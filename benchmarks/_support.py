@@ -1,0 +1,91 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(section 7).  Absolute times differ from the paper's (different hardware,
+different substrate -- a Python VM instead of native x86 + Klee); the
+*shapes* are what the benchmarks check and report: who finds the bug, who
+times out, and how times scale.
+
+Budgets are scaled: the paper caps baselines at 1 hour; we cap at
+``KC_BUDGET_SECONDS`` (default 8 s, override via ESD_BENCH_KC_SECONDS) --
+roughly the same ratio to ESD's synthesis times.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines import kc_find_path
+from repro.core import ESDConfig, SynthesisResult, esd_synthesize, extract_goal
+from repro.search import SearchBudget
+from repro.workloads.base import Workload
+
+KC_BUDGET_SECONDS = float(os.environ.get("ESD_BENCH_KC_SECONDS", "8"))
+ESD_BUDGET_SECONDS = float(os.environ.get("ESD_BENCH_ESD_SECONDS", "120"))
+
+
+def esd_budget() -> SearchBudget:
+    return SearchBudget(
+        max_seconds=ESD_BUDGET_SECONDS,
+        max_instructions=50_000_000,
+        max_states=1_000_000,
+    )
+
+
+def kc_budget() -> SearchBudget:
+    return SearchBudget(
+        max_seconds=KC_BUDGET_SECONDS,
+        max_instructions=50_000_000,
+        max_states=1_000_000,
+    )
+
+
+def run_esd(workload: Workload) -> SynthesisResult:
+    module = workload.compile()
+    report = workload.make_report()
+    result = esd_synthesize(module, report, ESDConfig(budget=esd_budget()))
+    return result
+
+
+def run_kc(workload: Workload, strategy: str):
+    module = workload.compile()
+    report = workload.make_report()
+    goal = extract_goal(module, report)
+    return kc_find_path(
+        module, goal.matches, strategy=strategy, budget=kc_budget()
+    )
+
+
+@dataclass(slots=True)
+class Row:
+    name: str
+    esd_seconds: Optional[float] = None
+    kc_dfs_seconds: Optional[float] = None
+    kc_rp_seconds: Optional[float] = None
+
+    @staticmethod
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return f">{KC_BUDGET_SECONDS:.0f} (timeout)"
+        return f"{value:.2f}s"
+
+
+_collected: dict[str, list[str]] = {}
+
+
+def report_line(section: str, line: str) -> None:
+    """Accumulate human-readable result lines, printed at session end (and
+    visible with pytest -s)."""
+    _collected.setdefault(section, []).append(line)
+    print(line)
+
+
+def collected_report() -> str:
+    parts = []
+    for section, lines in _collected.items():
+        parts.append(f"## {section}")
+        parts.extend(lines)
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,92 @@
+"""Figure 3: synthesizing a bug-bound path for BPF programs of growing
+branch count, ESD vs KC.
+
+Paper's setup: two threads, two locks, every branch (directly or indirectly)
+input-dependent, one deadlock per program; branch count swept from 2^4 to
+2^11.  Paper's result: ESD stays under ~2 minutes across the sweep (roughly
+increasing with size); KC-RandPath finds a path "within one hour only for
+the two simplest benchmark-generated programs", KC-DFS for none.
+
+Shape checks: ESD succeeds at every size; time grows from the smallest to
+the largest size; KC-RandPath fails beyond the small end of the sweep.
+"""
+
+import pytest
+
+from repro.bpf import BPFParams, generate
+from repro.core import ESDConfig, esd_synthesize, extract_goal
+from repro.baselines import kc_find_path
+from repro.playback import play_back
+
+from _support import esd_budget, kc_budget, report_line
+
+_SECTION = "Figure 3: BPF sweep, synthesis time vs number of branches"
+
+BRANCH_COUNTS = [2**k for k in range(4, 12)]  # 16 .. 2048
+
+_esd_times: dict[int, float] = {}
+
+
+def _program(branches: int):
+    params = BPFParams(
+        num_inputs=max(8, branches // 16),
+        num_branches=branches,
+        num_input_branches=branches,
+        num_threads=2,
+        num_locks=2,
+        seed=7,
+    )
+    return generate(params)
+
+
+@pytest.mark.parametrize("branches", BRANCH_COUNTS)
+def test_fig3_esd_series(benchmark, branches):
+    program = _program(branches)
+    workload = program.workload
+    module = workload.compile()
+    report = workload.make_report()
+    holder = {}
+
+    def synthesize():
+        holder["result"] = esd_synthesize(
+            module, report, ESDConfig(budget=esd_budget())
+        )
+        return holder["result"]
+
+    result = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+    assert result.found, f"BPF {branches} branches: {result.reason}"
+    playback = play_back(module, result.execution_file, mode="strict")
+    assert playback.bug_reproduced
+    _esd_times[branches] = result.total_seconds
+    report_line(
+        _SECTION,
+        f"branches={branches:5d} ({program.kloc:5.2f} KLOC): "
+        f"ESD {result.total_seconds:7.2f}s "
+        f"[{result.instructions} instrs explored]",
+    )
+
+
+@pytest.mark.parametrize("branches", [BRANCH_COUNTS[0], BRANCH_COUNTS[-1]])
+def test_fig3_kc_randpath_endpoints(branches):
+    """KC-RandPath: may solve the smallest program, must not solve the
+    largest at the scaled budget (the paper's fading bars)."""
+    program = _program(branches)
+    workload = program.workload
+    module = workload.compile()
+    goal = extract_goal(module, workload.make_report())
+    kc = kc_find_path(module, goal.matches, strategy="random-path",
+                      budget=kc_budget())
+    status = f"{kc.outcome.stats.seconds:.2f}s" if kc.found else "timeout"
+    report_line(_SECTION, f"branches={branches:5d}: KC-RandPath {status}")
+    if branches == BRANCH_COUNTS[-1]:
+        assert not kc.found, "KC-RandPath should time out on the largest program"
+
+
+def test_fig3_times_grow_with_size():
+    if len(_esd_times) < 2:
+        pytest.skip("series not populated (run the whole file)")
+    smallest = _esd_times[min(_esd_times)]
+    largest = _esd_times[max(_esd_times)]
+    assert largest > smallest, (
+        f"expected growth across the sweep: {smallest:.3f}s .. {largest:.3f}s"
+    )

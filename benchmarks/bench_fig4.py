@@ -1,0 +1,58 @@
+"""Figure 4: the Figure-3 data viewed as synthesis time vs program size
+(KLOC).  Paper's axis runs 0.36-40 KLOC; our generated programs span a
+comparable range, and the shape check is the same: time grows with program
+size and stays practical at the top of the range."""
+
+import pytest
+
+from repro.bpf import BPFParams, generate
+from repro.core import ESDConfig, esd_synthesize
+from repro.playback import play_back
+
+from _support import esd_budget, report_line
+
+_SECTION = "Figure 4: synthesis time as a function of program size"
+
+BRANCH_COUNTS = [2**k for k in range(4, 12)]
+
+_series: list[tuple[float, float]] = []
+
+
+@pytest.mark.parametrize("branches", BRANCH_COUNTS)
+def test_fig4_size_series(benchmark, branches):
+    params = BPFParams(
+        num_inputs=max(8, branches // 16),
+        num_branches=branches,
+        num_input_branches=branches,
+        num_threads=2,
+        num_locks=2,
+        seed=11,  # a different program family than Figure 3
+    )
+    program = generate(params)
+    workload = program.workload
+    module = workload.compile()
+    report = workload.make_report()
+    holder = {}
+
+    def synthesize():
+        holder["result"] = esd_synthesize(
+            module, report, ESDConfig(budget=esd_budget())
+        )
+        return holder["result"]
+
+    result = benchmark.pedantic(synthesize, rounds=1, iterations=1)
+    assert result.found, f"{program.kloc:.2f} KLOC: {result.reason}"
+    playback = play_back(module, result.execution_file, mode="strict")
+    assert playback.bug_reproduced
+    _series.append((program.kloc, result.total_seconds))
+    report_line(
+        _SECTION,
+        f"size={program.kloc:6.2f} KLOC: ESD {result.total_seconds:7.2f}s",
+    )
+
+
+def test_fig4_scales_with_kloc():
+    if len(_series) < 2:
+        pytest.skip("series not populated (run the whole file)")
+    ordered = sorted(_series)
+    assert ordered[-1][1] > ordered[0][1], "time should grow with program size"

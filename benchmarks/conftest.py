@@ -1,0 +1,16 @@
+"""Benchmark-suite plumbing: make _support importable and dump the
+paper-style summary at the end of the session."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from _support import collected_report
+
+    report = collected_report()
+    if report.strip():
+        out = Path(__file__).parent / "results.md"
+        out.write_text("# Benchmark results (paper-style rows)\n\n" + report)

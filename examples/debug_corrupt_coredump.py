@@ -1,0 +1,53 @@
+"""The ghttpd scenario: a crash report whose call stack was smashed.
+
+The ghttpd GET-request buffer overflow destroys the stack, so the coredump's
+faulting-thread backtrace is a single garbled frame (the paper repaired this
+by hand with gdb; section 8 describes automating it).  This example shows
+the automated repair -- call-graph-based stack reconstruction -- followed by
+synthesis of a request that overflows the log buffer, and playback.
+
+Run:  python examples/debug_corrupt_coredump.py
+"""
+
+from repro.coredump import repair_stack
+from repro.core import ESDConfig, esd_synthesize
+from repro.playback import play_back
+from repro.search import SearchBudget
+from repro.workloads import GHTTPD
+
+
+def main() -> None:
+    module = GHTTPD.compile()
+    report = GHTTPD.make_report()
+    dump = report.coredump
+
+    print("== the coredump as filed ==")
+    print(f"   corrupted: {dump.corrupted}")
+    faulting = dump.thread(dump.faulting_tid)
+    print(f"   faulting thread backtrace: {len(faulting.frames)} frame(s)")
+    for frame in faulting.frames:
+        print(f"     {frame.function} at line {frame.line}")
+
+    print("\n== automated stack reconstruction ==")
+    repaired = repair_stack(dump, module)
+    for frame in repaired.thread(dump.faulting_tid).frames:
+        print(f"     {frame.function} at line {frame.line}")
+
+    print("\n== synthesis (repair happens automatically inside) ==")
+    result = esd_synthesize(
+        module, report, ESDConfig(budget=SearchBudget(max_seconds=120))
+    )
+    assert result.found, result.reason
+    request = result.execution_file.inputs.buffers["request"]
+    text = "".join(chr(b) if 32 <= b < 127 else "?" for b in request)
+    print(f"   synthesized request ({len(request)} bytes): {text!r}")
+    url_len = len(text[4:].split(" ")[0].rstrip("\x00?"))
+    print(f"   URL length {url_len}: long enough to overflow the 24-cell log buffer")
+
+    playback = play_back(module, result.execution_file, mode="strict")
+    assert playback.bug_reproduced
+    print(f"\n== playback == \n   {playback.bug.summary()}")
+
+
+if __name__ == "__main__":
+    main()

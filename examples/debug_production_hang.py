@@ -1,0 +1,59 @@
+"""Debugging a production hang: the minidb (SQLite #1672 analogue) deadlock.
+
+A database server hangs in production after weeks of uptime.  The operator
+grabs a core of the hung process -- per-thread stacks, nothing else; there
+was no tracing enabled (that is ESD's whole premise).  This example walks
+the developer-side workflow: goal extraction, synthesis, and a debugger
+session that exposes the lock-order inversion in the custom recursive lock.
+
+Run:  python examples/debug_production_hang.py
+"""
+
+from repro.core import ESDConfig, esd_synthesize, extract_goal
+from repro.debugger import Debugger
+from repro.playback import play_back
+from repro.search import SearchBudget
+from repro.workloads import HAWKNL, MINIDB
+
+
+def investigate(workload) -> None:
+    print(f"==== {workload.name}: {workload.description} ====")
+    module = workload.compile()
+    report = workload.make_report()
+
+    goal = extract_goal(module, report)
+    print(f"goal <B, C>: {goal.description}")
+
+    result = esd_synthesize(
+        module, report, ESDConfig(budget=SearchBudget(max_seconds=120))
+    )
+    assert result.found, result.reason
+    execution = result.execution_file
+    print(f"synthesized in {result.total_seconds:.2f}s; "
+          f"env = {execution.inputs.env}")
+
+    playback = play_back(module, execution, mode="strict")
+    assert playback.bug_reproduced
+    print(f"playback: {playback.bug.summary()}")
+
+    # A debugging session: find who holds what.
+    debugger = Debugger(module, execution)
+    stop = debugger.cont()
+    while stop.reason == "breakpoint":
+        stop = debugger.cont()
+    print("threads at the deadlock:")
+    for row in debugger.info_threads():
+        print(f"  {row}")
+    for edge in debugger.state.bug.cycle:
+        print(f"  thread {edge.waiter} waits for {edge.resource} "
+              f"held by thread {edge.holder}")
+    print()
+
+
+def main() -> None:
+    investigate(MINIDB)
+    investigate(HAWKNL)
+
+
+if __name__ == "__main__":
+    main()

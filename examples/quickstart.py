@@ -1,0 +1,70 @@
+"""Quickstart: the paper's Listing 1, end to end.
+
+A two-thread program deadlocks only if ``getchar() == 'm'``, the MODE
+environment variable starts with 'Y', *and* one thread is preempted right
+after an unlock.  The end user hits it once and files a bug report with a
+coredump.  ESD synthesizes -- from the coredump alone -- the inputs and the
+thread schedule that reproduce it, and the developer replays it under a
+debugger, deterministically, as many times as needed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ESDConfig, esd_synthesize
+from repro.debugger import Debugger
+from repro.playback import play_back
+from repro.search import SearchBudget
+from repro.workloads import LISTING1
+
+
+def main() -> None:
+    # --- the end user's unlucky run (we never show ESD these inputs) -------
+    print("== 1. the end-user run crashes; a coredump is captured ==")
+    report = LISTING1.make_report()
+    module = LISTING1.compile()
+    dump = report.coredump
+    print(f"   program:       {dump.program}")
+    print(f"   manifestation: {dump.manifestation}")
+    for thread in dump.blocked_threads():
+        top = thread.top
+        print(f"   thread {thread.tid}: blocked on {thread.blocked_resource} "
+              f"at {top.function} line {top.line}")
+
+    # --- esdsynth: coredump in, execution file out -------------------------
+    print("\n== 2. ESD synthesizes an execution from the coredump ==")
+    result = esd_synthesize(
+        module, report, ESDConfig(budget=SearchBudget(max_seconds=120))
+    )
+    assert result.found, f"synthesis failed: {result.reason}"
+    execution = result.execution_file
+    print(f"   synthesized in {result.total_seconds:.2f}s "
+          f"({result.instructions} instructions explored)")
+    print(f"   inferred stdin: {[chr(b) for b in execution.inputs.stdin]}")
+    print(f"   inferred env:   {execution.inputs.env}")
+    print(f"   schedule:       {len(execution.strict_schedule)} serial segments, "
+          f"{len(execution.happens_before)} happens-before events")
+
+    # --- esdplay: deterministic playback ---------------------------------
+    print("\n== 3. playback reproduces the deadlock deterministically ==")
+    for mode in ("strict", "happens-before"):
+        playback = play_back(module, execution, mode=mode)
+        assert playback.bug_reproduced
+        print(f"   {mode:15s} -> {playback.bug.kind.value} reproduced "
+              f"({playback.steps} instructions)")
+
+    # --- attach the debugger ------------------------------------------------
+    print("\n== 4. inspect the execution in the debugger ==")
+    debugger = Debugger(module, execution)
+    debugger.break_at("critical_section")
+    stop = debugger.cont()
+    print(f"   stopped: {stop.reason} in {stop.function} at line {stop.line}")
+    print(f"   mode = {debugger.read_var('mode')}, idx = {debugger.read_var('idx')}")
+    stop = debugger.cont()  # the second thread arrives too
+    final = debugger.cont()
+    print(f"   continuing to the end: {final.reason}")
+    for row in debugger.info_threads():
+        print(f"   {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Bug triage and patch verification (paper sections 5.2 and 8).
+
+Two usage models beyond interactive debugging:
+
+* **automated triage** -- every incoming report is synthesized; identical
+  synthesized executions mean duplicate reports of one bug;
+* **patch verification** -- after fixing the bug, re-run ESD against the old
+  report: "if ESD can no longer synthesize an execution that triggers the
+  bug, then the patch can be considered successful."  This matters for
+  concurrency bugs, whose patches often just lower the probability.
+
+Run:  python examples/triage_and_patch.py
+"""
+
+from repro.core import ESDConfig, TriageDatabase, esd_synthesize
+from repro.lang import compile_source
+from repro.search import SearchBudget
+from repro.workloads import TAC, get
+
+
+def main() -> None:
+    config = ESDConfig(budget=SearchBudget(max_seconds=60))
+    database = TriageDatabase()
+
+    print("== triage: three incoming reports, two distinct bugs ==")
+    # Two users report the tac crash; one reports the paste crash.
+    for reporter, name in (("alice", "tac"), ("bob", "tac"), ("carol", "paste")):
+        workload = get(name)
+        module = workload.compile()
+        result = esd_synthesize(module, workload.make_report(), config)
+        assert result.found
+        bug_id, is_new = database.submit(result.execution_file)
+        print(f"   report from {reporter:6s} ({name:5s}) -> bug #{bug_id} "
+              f"{'(new)' if is_new else '(duplicate)'}")
+    print(f"   triage database holds {len(database)} distinct bugs")
+
+    print("\n== patch verification for tac ==")
+    report = TAC.make_report()
+
+    bad_patch = TAC.source.replace(
+        "int *buf = read_input(\"file\", 12);",
+        "int *buf = read_input(\"file\", 12);\n    // FIXME: band-aid\n",
+    )
+    module = compile_source(bad_patch, "tac")
+    result = esd_synthesize(module, report, config)
+    print(f"   cosmetic patch: path to the bug "
+          f"{'STILL EXISTS' if result.found else 'gone'}")
+    assert result.found
+
+    good_patch = TAC.source.replace(
+        "while (buf[i] != 10) {",
+        "while (i >= 0 && buf[i] != 10) {",
+    )
+    module = compile_source(good_patch, "tac")
+    result = esd_synthesize(module, report, config)
+    print(f"   bounds-checking patch: path to the bug "
+          f"{'still exists' if result.found else 'GONE -- patch verified'}")
+    assert not result.found
+
+
+if __name__ == "__main__":
+    main()

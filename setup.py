@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs cannot build.  This shim lets ``pip install -e .`` fall back
+to the legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro: a Python reproduction of "Execution Synthesis" (ESD), EuroSys 2010.
+
+ESD takes a program plus a bug report (coredump) and synthesizes an execution
+-- concrete inputs plus a thread schedule -- that deterministically reproduces
+the reported bug, with no tracing at the end-user site.
+
+Typical use::
+
+    from repro import compile_source
+    from repro.core import esd_synthesize
+    from repro.playback import play_back
+
+    module = compile_source(minic_source)
+    report = ...                       # BugReport built from a coredump
+    result = esd_synthesize(module, report)
+    trace = play_back(module, result.execution_file)
+"""
+
+__version__ = "1.0.0"
+
+from .lang import compile_source
+
+__all__ = ["compile_source", "__version__"]

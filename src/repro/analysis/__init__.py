@@ -1,0 +1,49 @@
+"""Static analyses: CFG, call graph, reaching definitions, critical edges,
+intermediate goals, and the Algorithm-1 proximity heuristic."""
+
+from .cfg import (
+    CFG,
+    CallGraph,
+    CallSite,
+    address_taken_functions,
+    build_call_graph,
+    reachable_functions,
+)
+from .critical import (
+    CriticalEdge,
+    IntermediateGoal,
+    find_critical_edges,
+    find_intermediate_goals,
+)
+from .distance import INF, RECURSION_COST, DistanceCalculator
+from .reachdefs import (
+    Definition,
+    ReachingDefs,
+    collect_global_definitions,
+    local_address_regs,
+    store_target,
+)
+from .reconstruct import ReconstructedCondition, reconstruct_condition
+
+__all__ = [
+    "CFG",
+    "CallGraph",
+    "CallSite",
+    "CriticalEdge",
+    "Definition",
+    "DistanceCalculator",
+    "INF",
+    "IntermediateGoal",
+    "ReachingDefs",
+    "ReconstructedCondition",
+    "RECURSION_COST",
+    "address_taken_functions",
+    "build_call_graph",
+    "collect_global_definitions",
+    "find_critical_edges",
+    "find_intermediate_goals",
+    "local_address_regs",
+    "reachable_functions",
+    "reconstruct_condition",
+    "store_target",
+]

@@ -1,0 +1,341 @@
+"""Proximity heuristic: estimated instructions to reach a goal (Algorithm 1).
+
+``distance(I, G)`` estimates the fewest instructions from instruction ``I``
+to goal ``G``: shortest acyclic path within the procedure, where each call
+along the path costs the callee's shortest entry-to-return path (function
+``dist2ret``), recursion costs a fixed ``RECURSION_COST`` (the paper uses
+1000), and unresolved indirect calls cost the average over possible targets.
+When the goal is not in the current procedure, the estimate walks the call
+stack: return from the current frame (``dist2ret``), resume in the caller,
+and so on (Algorithm 1 lines 3-6).
+
+The paper's listing is "(Simplified)"; one thing it leaves implicit is that
+the goal may live in a *callee* of the current procedure.  We compute block
+tables with call-descent edges (entering a call costs 1 plus the callee's
+entry-to-goal distance), which generalizes the listing and is required for
+any program whose failure point is below ``main``.
+
+Everything is cached: per-function suffix cost arrays, entry-to-return
+costs, and per-goal block tables ("we speed up the computation of the
+distance to the goal during synthesis by caching computed distances",
+section 6.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .. import ir
+from ..ir import InstrRef
+from .cfg import CFG, CallGraph, build_call_graph
+
+INF = float("inf")
+RECURSION_COST = 1000
+SYSCALL_COST = 1  # intrinsics model environment calls
+
+
+@dataclass(slots=True)
+class _BlockInfo:
+    # suffix[i] = cost of executing instructions [i, end] of the block,
+    # counting each call as 1 + its callee cost.
+    suffix: list[int]
+    # (index, cost-contribution-of-this-call, possible callees)
+    calls: list[tuple[int, int, tuple[str, ...]]]
+
+
+class DistanceCalculator:
+    """All distance queries for one module."""
+
+    def __init__(self, module: ir.Module) -> None:
+        self.module = module
+        self.callgraph: CallGraph = build_call_graph(module)
+        self.cfgs: dict[str, CFG] = {
+            name: CFG(func) for name, func in module.functions.items()
+        }
+        self._func_cost: dict[str, float] = {}
+        self._block_info: dict[tuple[str, str], _BlockInfo] = {}
+        self._ret_tables: dict[str, dict[str, float]] = {}
+        self._goal_tables: dict[InstrRef, "_GoalTable"] = {}
+        self._state_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Per-instruction call costs
+    # ------------------------------------------------------------------
+
+    def call_cost(self, name: str) -> float:
+        """Shortest entry-to-return instruction count of a function, with
+        recursive call edges weighted RECURSION_COST (paper section 3.4)."""
+        cached = self._func_cost.get(name)
+        if cached is not None:
+            return cached
+        self._compute_func_costs(name, in_progress=set())
+        return self._func_cost[name]
+
+    def _compute_func_costs(self, name: str, in_progress: set[str]) -> float:
+        cached = self._func_cost.get(name)
+        if cached is not None:
+            return cached
+        if name in in_progress:
+            return RECURSION_COST
+        if name not in self.module.functions:
+            return SYSCALL_COST
+        in_progress.add(name)
+        func = self.module.functions[name]
+        # Dijkstra over blocks toward any Ret, with call costs resolved
+        # recursively (cycles in the call graph cost RECURSION_COST).
+        block_cost: dict[str, float] = {}
+        ret_blocks: list[str] = []
+        for label, block in func.blocks.items():
+            cost = 0.0
+            for instr in list(block.instrs) + [block.terminator]:
+                cost += self._instr_cost(instr, in_progress)
+            block_cost[label] = cost
+            if isinstance(block.terminator, ir.Ret):
+                ret_blocks.append(label)
+        dist = _dijkstra_to_targets(self.cfgs[name], block_cost, ret_blocks)
+        entry_cost = dist.get(func.entry, INF)
+        in_progress.discard(name)
+        self._func_cost[name] = entry_cost
+        return entry_cost
+
+    def _instr_cost(self, instr: ir.Instr, in_progress: set[str]) -> float:
+        if isinstance(instr, ir.Call):
+            if isinstance(instr.callee, ir.FuncRef):
+                return 1 + self._compute_func_costs(instr.callee.name, in_progress)
+            targets = self.callgraph.address_taken.get(len(instr.args), ())
+            if not targets:
+                return 1 + SYSCALL_COST
+            costs = [self._compute_func_costs(t, in_progress) for t in targets]
+            finite = [c for c in costs if c != INF]
+            return 1 + (sum(finite) / len(finite) if finite else RECURSION_COST)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Block info (suffix costs, call sites)
+    # ------------------------------------------------------------------
+
+    def _info(self, func: str, label: str) -> _BlockInfo:
+        key = (func, label)
+        cached = self._block_info.get(key)
+        if cached is not None:
+            return cached
+        block = self.module.functions[func].blocks[label]
+        instrs = list(block.instrs) + [block.terminator]
+        suffix = [0] * (len(instrs) + 1)
+        calls: list[tuple[int, int, tuple[str, ...]]] = []
+        for i in range(len(instrs) - 1, -1, -1):
+            instr = instrs[i]
+            cost = self._instr_cost(instr, set())
+            if isinstance(instr, ir.Call):
+                if isinstance(instr.callee, ir.FuncRef):
+                    targets: tuple[str, ...] = (instr.callee.name,)
+                else:
+                    targets = self.callgraph.address_taken.get(len(instr.args), ())
+                calls.append((i, int(cost), targets))
+            elif isinstance(instr, ir.ThreadCreate):
+                # Spawning a thread is a descent point: the new thread starts
+                # at the routine's entry (the spawn itself costs 1).
+                if isinstance(instr.func, ir.FuncRef):
+                    targets = (instr.func.name,)
+                else:
+                    targets = self.callgraph.address_taken.get(1, ())
+                calls.append((i, int(cost), targets))
+            suffix[i] = suffix[i + 1] + int(cost)
+        calls.reverse()
+        info = _BlockInfo(suffix, calls)
+        self._block_info[key] = info
+        return info
+
+    def _cost_between(self, func: str, label: str, start: int, end: int) -> int:
+        """Cost of executing instruction range [start, end) of a block."""
+        suffix = self._info(func, label).suffix
+        return suffix[start] - suffix[end]
+
+    # ------------------------------------------------------------------
+    # dist2ret
+    # ------------------------------------------------------------------
+
+    def _ret_table(self, func: str) -> dict[str, float]:
+        cached = self._ret_tables.get(func)
+        if cached is not None:
+            return cached
+        function = self.module.functions[func]
+        block_cost: dict[str, float] = {}
+        ret_blocks: list[str] = []
+        for label, block in function.blocks.items():
+            block_cost[label] = float(self._info(func, label).suffix[0])
+            if isinstance(block.terminator, ir.Ret):
+                ret_blocks.append(label)
+        table = _dijkstra_to_targets(self.cfgs[func], block_cost, ret_blocks)
+        self._ret_tables[func] = table
+        return table
+
+    def dist2ret(self, ref: InstrRef) -> float:
+        """Fewest instructions from ``ref`` to returning from its function."""
+        info = self._info(ref.function, ref.block)
+        block = self.module.functions[ref.function].blocks[ref.block]
+        own = float(info.suffix[ref.index])
+        if isinstance(block.terminator, ir.Ret):
+            return own
+        table = self._ret_table(ref.function)
+        best = INF
+        for succ in block.terminator.successors():
+            best = min(best, table.get(succ, INF))
+        return own + best if best != INF else INF
+
+    # ------------------------------------------------------------------
+    # distance to a goal
+    # ------------------------------------------------------------------
+
+    def _goal_table(self, goal: InstrRef) -> "_GoalTable":
+        cached = self._goal_tables.get(goal)
+        if cached is not None:
+            return cached
+        table = _GoalTable(self, goal)
+        self._goal_tables[goal] = table
+        return table
+
+    def instruction_distance(self, ref: InstrRef, goal: InstrRef) -> float:
+        """Distance from executing at ``ref`` to reaching ``goal``, allowing
+        descent into callees but not returns (Algorithm 1's ``distance``)."""
+        return self._goal_table(goal).from_position(ref)
+
+    def state_distance(self, frames: list[InstrRef], goal: InstrRef) -> float:
+        """Algorithm 1: distance for a call stack (innermost ref first)."""
+        if not frames:
+            return INF
+        key = (tuple(frames), goal)
+        cached = self._state_cache.get(key)
+        if cached is not None:
+            return cached
+        best = self.instruction_distance(frames[0], goal)
+        acc = self.dist2ret(frames[0]) + 1
+        for resume in frames[1:]:
+            if acc == INF:
+                break
+            best = min(best, acc + self.instruction_distance(resume, goal))
+            acc += self.dist2ret(resume) + 1
+        self._state_cache[key] = best
+        return best
+
+
+class _GoalTable:
+    """Per-goal distances with call-descent, computed by a global Dijkstra
+    running backward from the goal over (function, block) nodes."""
+
+    def __init__(self, calc: DistanceCalculator, goal: InstrRef) -> None:
+        self.calc = calc
+        self.goal = goal
+        # block_dist[(func, label)] = min cost from the *start* of the block
+        # to the goal.
+        self.block_dist: dict[tuple[str, str], float] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        calc = self.calc
+        module = calc.module
+        dist = self.block_dist
+        goal = self.goal
+        # Worklist Bellman-Ford: all edge weights are positive, the graph is
+        # small, and cross-function descent edges make Dijkstra's one-pass
+        # property awkward, so iterate to fixpoint.
+        seed_key = (goal.function, goal.block)
+        seed_cost = float(calc._cost_between(goal.function, goal.block, 0, goal.index))
+        dist[seed_key] = seed_cost
+        worklist = [seed_key]
+        entry_of = {
+            name: (name, func.entry) for name, func in module.functions.items()
+        }
+
+        # Precompute reverse edges once: which (func,label) nodes can relax
+        # when a node's distance improves.  Intra edges: predecessors.
+        # Descent edges: callers' blocks containing calls to this function
+        # relax when the function's entry distance improves.
+        while worklist:
+            key = worklist.pop()
+            func, label = key
+            base = dist.get(key, INF)
+            if base == INF:
+                continue
+            cfg = calc.cfgs[func]
+            # Intra-procedural relaxation of predecessors.
+            for pred in cfg.preds.get(label, ()):  # pred -> label edge
+                cost = float(calc._info(func, pred).suffix[0]) + base
+                pkey = (func, pred)
+                if cost < dist.get(pkey, INF):
+                    dist[pkey] = cost
+                    worklist.append(pkey)
+            # Descent relaxation: if this is a function entry, every caller
+            # block containing a call site gets a shortcut.
+            if entry_of.get(func) == key:
+                for caller in calc.callgraph.callers.get(func, ()):
+                    for (cfunc, clabel), sites in calc.callgraph.sites_by_block.items():
+                        if cfunc != caller:
+                            continue
+                        for site in sites:
+                            if func not in site.targets:
+                                continue
+                            prefix = float(
+                                calc._cost_between(cfunc, clabel, 0, site.ref.index)
+                            )
+                            cost = prefix + 1 + base
+                            ckey = (cfunc, clabel)
+                            if cost < dist.get(ckey, INF):
+                                dist[ckey] = cost
+                                worklist.append(ckey)
+
+    def from_position(self, ref: InstrRef) -> float:
+        calc = self.calc
+        goal = self.goal
+        best = INF
+        # Straight to the goal within this block.
+        if (ref.function, ref.block) == (goal.function, goal.block) and ref.index <= goal.index:
+            best = float(
+                calc._cost_between(ref.function, ref.block, ref.index, goal.index)
+            )
+        info = calc._info(ref.function, ref.block)
+        # Descend into a call later in this block.
+        for index, _cost, targets in info.calls:
+            if index < ref.index:
+                continue
+            prefix = float(calc._cost_between(ref.function, ref.block, ref.index, index))
+            for target in targets:
+                entry_dist = self.block_dist.get(
+                    (target, calc.module.functions[target].entry)
+                    if target in calc.module.functions else ("", ""),
+                    INF,
+                )
+                best = min(best, prefix + 1 + entry_dist)
+        # Fall off the end of the block into a successor.
+        block = calc.module.functions[ref.function].blocks[ref.block]
+        if block.terminator is not None:
+            tail = float(info.suffix[ref.index])
+            for succ in block.terminator.successors():
+                succ_dist = self.block_dist.get((ref.function, succ), INF)
+                best = min(best, tail + succ_dist)
+        return best
+
+
+def _dijkstra_to_targets(
+    cfg: CFG, block_cost: dict[str, float], targets: list[str]
+) -> dict[str, float]:
+    """Min cost from the start of each block to finishing any target block,
+    where finishing a block costs ``block_cost`` and edges are CFG successors.
+    """
+    dist: dict[str, float] = {}
+    heap: list[tuple[float, str]] = []
+    for label in targets:
+        cost = block_cost[label]
+        dist[label] = cost
+        heapq.heappush(heap, (cost, label))
+    while heap:
+        cost, label = heapq.heappop(heap)
+        if cost > dist.get(label, INF):
+            continue
+        for pred in cfg.preds.get(label, ()):
+            candidate = block_cost[pred] + cost
+            if candidate < dist.get(pred, INF):
+                dist[pred] = candidate
+                heapq.heappush(heap, (candidate, pred))
+    return dist

@@ -1,0 +1,86 @@
+"""Reconstruct a branch condition as a symbolic expression over named
+variables.
+
+Used by the intermediate-goal analysis (paper section 3.2): given the
+register a ``CondBr`` tests, walk the register def-use chain back to loads of
+named variables and constants, producing a solver expression plus the map
+from named variables to solver variables.  Conditions that depend on calls,
+array cells, or multiply-defined registers are not reconstructible and the
+caller skips them (losing precision, never soundness -- intermediate goals
+are hints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import ir
+from ..solver.expr import Atom, Var, binop, make_var, unop
+from .reachdefs import VarId, local_address_regs
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+
+@dataclass(slots=True)
+class ReconstructedCondition:
+    expr: Atom
+    variables: dict[VarId, Var]
+
+
+class _Bail(Exception):
+    pass
+
+
+def reconstruct_condition(
+    module: ir.Module, func_name: str, reg: str
+) -> Optional[ReconstructedCondition]:
+    func = module.functions[func_name]
+    defs: dict[str, list[ir.Instr]] = {}
+    for _, instr in func.iter_instructions():
+        name = instr.defined
+        if name is not None:
+            defs.setdefault(name, []).append(instr)
+    addr_regs = local_address_regs(func)
+    variables: dict[VarId, Var] = {}
+
+    def var_for(var_id: VarId) -> Var:
+        existing = variables.get(var_id)
+        if existing is None:
+            label = ".".join(var_id)
+            existing = make_var(f"$rc.{label}", INT32_MIN, INT32_MAX)
+            variables[var_id] = existing
+        return existing
+
+    def build_value(value: ir.Value) -> Atom:
+        if isinstance(value, ir.Const):
+            return value.value
+        if isinstance(value, ir.Reg):
+            return build_reg(value.name)
+        raise _Bail
+
+    def build_reg(name: str) -> Atom:
+        instrs = defs.get(name)
+        if instrs is None or len(instrs) != 1:
+            raise _Bail  # undefined or multiply-defined (e.g. short-circuit temps)
+        instr = instrs[0]
+        if isinstance(instr, ir.Assign):
+            return build_value(instr.src)
+        if isinstance(instr, ir.BinOp):
+            return binop(instr.op, build_value(instr.lhs), build_value(instr.rhs))
+        if isinstance(instr, ir.UnOp):
+            return unop(instr.op, build_value(instr.value))
+        if isinstance(instr, ir.Load):
+            addr = instr.addr
+            if isinstance(addr, ir.GlobalRef):
+                return var_for(("global", addr.name))
+            if isinstance(addr, ir.Reg) and addr.name in addr_regs:
+                return var_for(("local", func_name, addr_regs[addr.name]))
+        raise _Bail
+
+    try:
+        expr = build_reg(reg)
+    except _Bail:
+        return None
+    return ReconstructedCondition(expr, variables)

@@ -1,0 +1,18 @@
+"""Comparison systems: KC (Klee+Chess), stress testing, scripted schedules."""
+
+from .kc import DEFAULT_PREEMPTION_BOUND, ChessPreemptionPolicy, KCResult, kc_find_path
+from .schedules import Directive, ForcedSchedulePolicy, RandomSchedulePolicy
+from .stress import RandomEnv, StressResult, stress_test
+
+__all__ = [
+    "ChessPreemptionPolicy",
+    "DEFAULT_PREEMPTION_BOUND",
+    "Directive",
+    "ForcedSchedulePolicy",
+    "KCResult",
+    "RandomEnv",
+    "RandomSchedulePolicy",
+    "StressResult",
+    "kc_find_path",
+    "stress_test",
+]

@@ -1,0 +1,113 @@
+"""KC: the Klee+Chess hybrid baseline (paper section 7.2).
+
+"We extended Klee with support for multi-threading and implemented Chess's
+preemption-bounding approach ... We compare ESD to two different KC search
+strategies inherited directly from Klee: DFS, which can be thought of as
+equivalent to an exhaustive search, and RandomPath, a quasi-random strategy
+meant to maximize global path coverage.  We augmented the corresponding
+strategies to encompass all active threads and limit preemptions to two."
+
+KC shares ESD's executor and engine; what changes is (a) the state-selection
+strategy (DFS / RandomPath instead of proximity-guided queues) and (b) the
+scheduling policy (Chess's iterative-context-bounding forks instead of the
+goal-directed snapshot strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .. import ir
+from ..search import (
+    DFSSearcher,
+    RandomPathSearcher,
+    SearchBudget,
+    SearchOutcome,
+    Searcher,
+    explore,
+)
+from ..symbex import ExecConfig, Executor, SymbolicEnv
+from ..symbex.policy import SchedulerPolicy
+from ..symbex.state import ExecutionState
+
+DEFAULT_PREEMPTION_BOUND = 2
+
+
+class ChessPreemptionPolicy(SchedulerPolicy):
+    """Fork alternative schedules at synchronization points, bounding the
+    number of *preemptions* (forced switches of a runnable thread) per
+    execution, as in Chess's iterative context bounding."""
+
+    def __init__(self, preemption_bound: int = DEFAULT_PREEMPTION_BOUND) -> None:
+        self.preemption_bound = preemption_bound
+
+    def _fork_schedules(
+        self, executor: Executor, state: ExecutionState,
+        before_instruction: bool = True,
+    ) -> list[ExecutionState]:
+        used = int(state.meta.get("kc_preemptions", 0))  # type: ignore[arg-type]
+        if used >= self.preemption_bound:
+            return []
+        forks = []
+        for tid in state.runnable_tids():
+            if tid == state.current_tid:
+                continue
+            fork = state.fork()
+            executor.stats.states_created += 1
+            if before_instruction:
+                fork.uncount_instruction()
+            fork.meta["kc_preemptions"] = used + 1
+            fork.switch_to(tid)
+            forks.append(fork)
+        return forks
+
+    def fork_before_acquire(self, executor, state, key, instr, ref):
+        return self._fork_schedules(executor, state)
+
+    def fork_before_release(self, executor, state, key, instr, ref):
+        return self._fork_schedules(executor, state)
+
+    def on_thread_event(self, executor, state, kind, tid, instr):
+        return self._fork_schedules(executor, state, before_instruction=False)
+
+
+@dataclass(slots=True)
+class KCResult:
+    outcome: SearchOutcome
+    strategy: str
+
+    @property
+    def found(self) -> bool:
+        return self.outcome.found
+
+
+def kc_find_path(
+    module: ir.Module,
+    is_goal: Callable[[ExecutionState], bool],
+    strategy: str = "dfs",
+    budget: Optional[SearchBudget] = None,
+    preemption_bound: int = DEFAULT_PREEMPTION_BOUND,
+    seed: int = 0,
+    string_size: int = 8,
+) -> KCResult:
+    """Search for a path to ``is_goal`` the way KC would."""
+    searcher: Searcher
+    if strategy == "dfs":
+        searcher = DFSSearcher()
+    elif strategy == "random-path":
+        searcher = RandomPathSearcher(seed=seed)
+    else:
+        raise ValueError(f"unknown KC strategy {strategy!r}")
+    policy = ChessPreemptionPolicy(preemption_bound)
+    executor = Executor(
+        module,
+        env=SymbolicEnv(string_size=string_size),
+        policy=policy,
+        config=ExecConfig(string_size=string_size),
+    )
+    outcome = explore(
+        executor, searcher, executor.initial_state(), is_goal,
+        budget or SearchBudget(),
+    )
+    return KCResult(outcome, strategy)

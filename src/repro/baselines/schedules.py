@@ -1,0 +1,96 @@
+"""Concrete scheduling policies for non-symbolic runs.
+
+* :class:`ForcedSchedulePolicy` scripts an "unlucky end-user run": directives
+  of the form *when thread T passes sync point R, switch to thread U*.  The
+  workloads use it to manifest their known bugs once, producing the coredump
+  that ESD starts from (ESD itself never sees the directives).
+* :class:`RandomSchedulePolicy` drives the stress-testing baseline (paper
+  section 7.2): random thread scheduling plus random preemptions at sync
+  points, no forking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir import Instr, InstrRef
+from ..symbex.policy import SchedulerPolicy
+from ..symbex.state import AddrKey, ExecutionState
+
+
+@dataclass(slots=True)
+class Directive:
+    """After ``from_tid`` executes the sync instruction at ``ref``, switch to
+    ``to_tid``.  Directives fire in order, each at most once."""
+
+    ref: InstrRef
+    from_tid: int
+    to_tid: int
+
+
+class ForcedSchedulePolicy(SchedulerPolicy):
+    """Deterministic scripted preemptions (for coredump generation)."""
+
+    def __init__(self, directives: list[Directive]) -> None:
+        self.directives = list(directives)
+        self._next = 0
+
+    def _maybe_switch(self, state: ExecutionState, ref: InstrRef) -> None:
+        if self._next >= len(self.directives):
+            return
+        directive = self.directives[self._next]
+        if directive.from_tid != state.current_tid or directive.ref != ref:
+            return
+        target = state.threads.get(directive.to_tid)
+        if target is not None and target.status == "runnable":
+            self._next += 1
+            state.switch_to(directive.to_tid)
+
+    def after_acquire(self, executor, state, key, instr, ref):
+        self._maybe_switch(state, ref)
+        return []
+
+    def on_release(self, executor, state, key, instr, ref):
+        self._maybe_switch(state, ref)
+
+    def on_thread_event(self, executor, state, kind, tid, instr):
+        if kind in ("create", "signal", "broadcast"):
+            self._maybe_switch(state, state.pc)
+        return []
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self.directives)
+
+
+class RandomSchedulePolicy(SchedulerPolicy):
+    """Random scheduling for stress testing: at every preemption opportunity
+    flip a coin and maybe run someone else."""
+
+    def __init__(self, seed: int = 0, preempt_probability: float = 0.5) -> None:
+        self._rng = random.Random(seed)
+        self.preempt_probability = preempt_probability
+
+    def pick_next(self, state: ExecutionState) -> Optional[int]:
+        runnable = state.runnable_tids()
+        if not runnable:
+            return None
+        return self._rng.choice(runnable)
+
+    def _maybe_preempt(self, state: ExecutionState) -> None:
+        others = [t for t in state.runnable_tids() if t != state.current_tid]
+        if others and self._rng.random() < self.preempt_probability:
+            state.switch_to(self._rng.choice(others))
+
+    def after_acquire(self, executor, state, key, instr, ref):
+        self._maybe_preempt(state)
+        return []
+
+    def on_release(self, executor, state, key, instr, ref):
+        self._maybe_preempt(state)
+
+    def on_thread_event(self, executor, state, kind, tid, instr):
+        self._maybe_preempt(state)
+        return []

@@ -1,0 +1,128 @@
+"""Brute-force baselines: stress testing and random input testing (§7.2).
+
+"The first approach to reproduce the bugs is brute force trial-and-error ...
+several series of stress tests and random input testing for several hours.
+Neither of these efforts caused any of the bugs to manifest."
+
+A stress run executes the program concretely with random inputs and a random
+schedule; the tester repeats runs until a bug (optionally a specific goal)
+manifests or the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .. import ir
+from ..symbex import ExecConfig, Executor
+from ..symbex.env import InputProvider
+from ..symbex.memory import Pointer
+from ..symbex.state import ExecutionState
+from .schedules import RandomSchedulePolicy
+
+_PRINTABLE = [0] + list(range(32, 127))
+
+
+class RandomEnv(InputProvider):
+    """Concrete random inputs: random stdin bytes, random short strings for
+    env vars and argv, random buffer contents."""
+
+    def __init__(self, rng: random.Random, max_string: int = 6) -> None:
+        self._rng = rng
+        self.max_string = max_string
+
+    def getchar(self, state: ExecutionState):
+        return self._rng.choice(_PRINTABLE)
+
+    def _random_string_obj(self, state: ExecutionState, label: str) -> Pointer:
+        length = self._rng.randrange(self.max_string + 1)
+        cells: list = [self._rng.randrange(32, 127) for _ in range(length)] + [0]
+        obj = state.new_object(len(cells), "heap", label, init=cells)
+        return Pointer(obj.obj_id, 0)
+
+    def getenv(self, state: ExecutionState, name: str) -> Pointer:
+        cached = state.env.env_buffers.get(name)
+        if cached is None:
+            cached = self._random_string_obj(state, f"env.{name}")
+            state.env.env_buffers[name] = cached
+        return cached
+
+    def argc(self, state: ExecutionState):
+        if state.env.argc_var is None:
+            state.env.argc_var = self._rng.randint(1, 4)
+        return state.env.argc_var
+
+    def arg(self, state: ExecutionState, index: int) -> Pointer:
+        cached = state.env.arg_buffers.get(index)
+        if cached is None:
+            cached = self._random_string_obj(state, f"arg{index}")
+            state.env.arg_buffers[index] = cached
+        return cached
+
+    def read_input(self, state: ExecutionState, name: str, size: int) -> Pointer:
+        cached = state.env.buffers.get(name)
+        if cached is None:
+            cells: list = [self._rng.randrange(256) for _ in range(size)]
+            obj = state.new_object(size, "heap", f"buf.{name}", init=cells)
+            cached = Pointer(obj.obj_id, 0)
+            state.env.buffers[name] = cached
+        return cached
+
+
+@dataclass(slots=True)
+class StressResult:
+    found: bool
+    runs: int
+    seconds: float
+    bug_kinds_seen: dict[str, int] = field(default_factory=dict)
+    matching_state: Optional[ExecutionState] = None
+
+
+def stress_test(
+    module: ir.Module,
+    is_goal: Optional[Callable[[ExecutionState], bool]] = None,
+    max_runs: int = 10_000,
+    max_seconds: float = 60.0,
+    seed: int = 0,
+    max_steps_per_run: int = 200_000,
+    preempt_probability: float = 0.1,
+) -> StressResult:
+    """Hammer the program with random inputs and schedules.
+
+    ``preempt_probability`` is the chance of a context switch at each sync
+    point; the default is deliberately modest, reflecting how rarely a real
+    OS scheduler preempts at exactly a lock boundary.
+    """
+    rng = random.Random(seed)
+    deadline = time.monotonic() + max_seconds
+    started = time.monotonic()
+    kinds: dict[str, int] = {}
+    for run in range(max_runs):
+        if time.monotonic() > deadline:
+            break
+        executor = Executor(
+            module,
+            env=RandomEnv(random.Random(rng.randrange(2**31))),
+            policy=RandomSchedulePolicy(
+                seed=rng.randrange(2**31),
+                preempt_probability=preempt_probability,
+            ),
+            config=ExecConfig(max_steps_per_state=max_steps_per_run),
+        )
+        try:
+            state = executor.run_to_completion(
+                executor.initial_state(), max_steps=max_steps_per_run
+            )
+        except RuntimeError:
+            continue  # stuck run: counts as no manifestation
+        if state.status == "bug" and state.bug is not None:
+            kinds[state.bug.kind.value] = kinds.get(state.bug.kind.value, 0) + 1
+            if is_goal is None or is_goal(state):
+                return StressResult(
+                    True, run + 1, time.monotonic() - started, kinds, state
+                )
+    return StressResult(False, run + 1 if max_runs else 0,
+                        time.monotonic() - started, kinds, None)

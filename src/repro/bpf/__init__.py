@@ -1,0 +1,5 @@
+"""BPF: synthetic buggy-program generator for the performance analysis."""
+
+from .generator import BPFParams, BPFProgram, generate
+
+__all__ = ["BPFParams", "BPFProgram", "generate"]

@@ -1,0 +1,255 @@
+"""BPF: the synthetic buggy-program family (paper section 7.3).
+
+"BPF produces synthetic programs that hang and/or crash.  These programs
+have conditional branch instructions that depend on program inputs.  When
+using more than one thread, the crash/hang scenarios depend on both the
+thread schedule and program inputs.  BPF allows direct control of five
+parameters for program generation: number of program inputs, number of total
+branches, number of branches depending (directly or indirectly) on inputs,
+number of threads, and number of shared locks."
+
+A generated program:
+
+* reads ``num_inputs`` bytes from stdin into globals;
+* runs a cascade of *stage* functions containing ``num_branches`` two-way
+  branches.  ``num_input_branches`` of them test expressions over the
+  inputs (directly or through derived globals); the rest test loop-carried
+  counters.  A few branches are *key* branches whose taken side sets a gate
+  flag; most are noise whose sides merely shape filler state;
+* spawns ``num_threads`` workers over ``num_locks`` mutexes.  Workers
+  normally acquire locks in ascending order; when every gate flag is set,
+  one worker takes its two locks in descending order -- the single deadlock
+  bug, reachable only with the right inputs *and* the right preemption.
+
+Programs are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .. import ir
+from ..baselines import Directive
+from ..symbex import BugKind, RecordedInputs
+from ..workloads.base import Workload
+
+
+@dataclass(slots=True)
+class BPFParams:
+    num_inputs: int = 4
+    num_branches: int = 16
+    num_input_branches: int = 16  # paper sweep: every branch input-dependent
+    num_threads: int = 2
+    num_locks: int = 2
+    num_key_branches: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError("need at least one input")
+        if self.num_threads < 2:
+            raise ValueError("a deadlock needs at least two threads")
+        if self.num_locks < 2:
+            raise ValueError("a deadlock needs at least two locks")
+        if self.num_input_branches > self.num_branches:
+            raise ValueError("input branches cannot exceed total branches")
+        self.num_key_branches = max(1, min(self.num_key_branches, self.num_branches))
+
+
+@dataclass(slots=True)
+class BPFProgram:
+    params: BPFParams
+    source: str
+    key_inputs: dict[int, int]  # input index -> byte value satisfying the gate
+    workload: "Workload" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def kloc(self) -> float:
+        return len(self.source.splitlines()) / 1000.0
+
+
+_BRANCHES_PER_STAGE = 8
+
+
+def generate(params: BPFParams) -> BPFProgram:
+    rng = random.Random(params.seed)
+    lines: list[str] = ["// BPF-generated program", ""]
+
+    # -- globals ------------------------------------------------------------
+    for i in range(params.num_inputs):
+        lines.append(f"int in{i} = 0;")
+    for i in range(params.num_key_branches):
+        lines.append(f"int flag{i} = 0;")
+    for i in range(params.num_locks):
+        lines.append(f"mutex L{i};")
+    lines.append("int gate = 0;")
+    lines.append("int noise = 0;")
+    lines.append("int acc = 1;")
+    lines.append("int done = 0;")
+    lines.append("")
+
+    # -- branch cascade ------------------------------------------------------
+    # Choose which branch indices are key branches (spread evenly) and which
+    # depend on inputs.  Key branches test dedicated inputs; noise branches
+    # test the remaining inputs, so noise decisions never make the deadlock
+    # gate unsatisfiable (each generated program has exactly one reachable
+    # deadlock, per the paper).
+    total = params.num_branches
+    key_positions = sorted(
+        rng.sample(range(total), params.num_key_branches)
+    )
+    input_positions = set(
+        rng.sample(range(total), params.num_input_branches)
+    )
+    input_positions.update(key_positions)  # key branches always test inputs
+    key_input_pool = list(range(min(params.num_key_branches, params.num_inputs)))
+    noise_input_pool = [
+        i for i in range(params.num_inputs) if i not in key_input_pool
+    ] or key_input_pool
+
+    key_inputs: dict[int, int] = {}
+    stage_count = (total + _BRANCHES_PER_STAGE - 1) // _BRANCHES_PER_STAGE
+    branch_index = 0
+    for stage in range(stage_count):
+        lines.append(f"void stage{stage}(int round) {{")
+        for _ in range(_BRANCHES_PER_STAGE):
+            if branch_index >= total:
+                break
+            position = branch_index
+            branch_index += 1
+            if position in key_positions:
+                key_number = key_positions.index(position)
+                unused = [i for i in key_input_pool if i not in key_inputs]
+                if unused:
+                    input_index = rng.choice(unused)
+                    value = rng.randrange(33, 127)
+                    key_inputs[input_index] = value
+                else:
+                    # More key branches than key inputs: reuse an input with
+                    # the value already required for it, keeping the gate
+                    # satisfiable.
+                    input_index = rng.choice(sorted(key_inputs))
+                    value = key_inputs[input_index]
+                offset = rng.randrange(1, 9)
+                lines.append(
+                    f"    if (in{input_index} + {offset} == {value + offset}) {{"
+                )
+                lines.append(f"        flag{key_number} = 1;")
+                lines.append("    } else {")
+                lines.append(f"        noise = noise + {position + 1};")
+                lines.append("    }")
+            elif position in input_positions:
+                input_index = rng.choice(noise_input_pool)
+                threshold = rng.randrange(1, 255)
+                op = rng.choice(["<", ">", "<=", ">=", "==", "!="])
+                lines.append(f"    if (in{input_index} {op} {threshold}) {{")
+                lines.append(f"        noise = noise + {position % 7 + 1};")
+                lines.append("    } else {")
+                lines.append(f"        acc = acc * 3 + {position % 5};")
+                lines.append("    }")
+            else:
+                modulus = rng.randrange(2, 7)
+                lines.append(f"    if ((round + {position}) % {modulus} == 0) {{")
+                lines.append(f"        noise = noise + 1;")
+                lines.append("    } else {")
+                lines.append(f"        acc = acc + {position % 9};")
+                lines.append("    }")
+        lines.append("}")
+        lines.append("")
+
+    # -- gate computation ------------------------------------------------------
+    conjuncts = " && ".join(
+        f"flag{i} == 1" for i in range(params.num_key_branches)
+    )
+    lines.append("void compute_gate(int unused) {")
+    lines.append(f"    if ({conjuncts}) {{")
+    lines.append("        gate = 1;")
+    lines.append("    }")
+    lines.append("}")
+    lines.append("")
+
+    # -- workers ------------------------------------------------------------
+    # Worker 0 is the inverted one (under the gate); the rest lock ascending.
+    first, second = 0, 1
+    lines.append("void worker0(int tid) {")
+    lines.append("    if (gate == 1) {")
+    lines.append(f"        lock(L{second});")
+    lines.append(f"        lock(L{first});")
+    lines.append("        done = done + 1;")
+    lines.append(f"        unlock(L{first});")
+    lines.append(f"        unlock(L{second});")
+    lines.append("    } else {")
+    lines.append(f"        lock(L{first});")
+    lines.append("        done = done + 1;")
+    lines.append(f"        unlock(L{first});")
+    lines.append("    }")
+    lines.append("}")
+    lines.append("")
+    for worker in range(1, params.num_threads):
+        lock_a = (worker - 1) % params.num_locks
+        lock_b = (lock_a + 1) % params.num_locks
+        if worker == 1:
+            lock_a, lock_b = first, second
+        lines.append(f"void worker{worker}(int tid) {{")
+        lines.append(f"    lock(L{lock_a});")
+        lines.append(f"    lock(L{lock_b});")
+        lines.append("    done = done + 1;")
+        lines.append(f"    unlock(L{lock_b});")
+        lines.append(f"    unlock(L{lock_a});")
+        lines.append("}")
+        lines.append("")
+
+    # -- main ------------------------------------------------------------
+    lines.append("int main() {")
+    for i in range(params.num_inputs):
+        lines.append(f"    in{i} = getchar();")
+    for stage in range(stage_count):
+        lines.append(f"    stage{stage}({stage});")
+    lines.append("    compute_gate(0);")
+    for worker in range(params.num_threads):
+        lines.append(f"    int t{worker} = spawn(worker{worker}, {worker});")
+    for worker in range(params.num_threads):
+        lines.append(f"    join(t{worker});")
+    lines.append("    return done;")
+    lines.append("}")
+
+    source = "\n".join(lines) + "\n"
+    program = BPFProgram(params=params, source=source, key_inputs=key_inputs)
+    program.workload = _make_workload(program)
+    return program
+
+
+def _make_workload(program: BPFProgram) -> Workload:
+    params = program.params
+    stdin = [
+        program.key_inputs.get(i, ord("n")) for i in range(params.num_inputs)
+    ]
+
+    def directives(module: ir.Module) -> list[Directive]:
+        # The unlucky schedule: preempt worker0 (thread 1) right after it
+        # acquires its first lock under the gate; worker1 (thread 2) then
+        # takes the locks in ascending order and the two block on each other.
+        locks = [
+            ref for ref, instr in module.functions["worker0"].iter_instructions()
+            if isinstance(instr, ir.MutexLock)
+        ]
+        return [Directive(locks[0], 1, 2)]
+
+    name = (
+        f"bpf_b{params.num_branches}_i{params.num_inputs}"
+        f"_t{params.num_threads}_l{params.num_locks}_s{params.seed}"
+    )
+    return Workload(
+        name=name,
+        source=program.source,
+        bug_type="deadlock",
+        expected_kind=BugKind.DEADLOCK,
+        description=(
+            f"BPF deadlock: {params.num_branches} branches, "
+            f"{params.num_inputs} inputs, {params.num_threads} threads, "
+            f"{params.num_locks} locks"
+        ),
+        trigger_inputs=RecordedInputs(stdin=stdin),
+        directives=directives,
+    )

@@ -1,0 +1,105 @@
+"""Command-line front ends (paper section 8's usage model).
+
+::
+
+    esdsynth <coredump.json> <program.minic> --deadlock [-o exec.json]
+    esdplay  <program.minic> <exec.json> [--mode strict|happens-before]
+
+The coredump file holds a serialized :class:`~repro.coredump.BugReport`
+(``BugReport.to_dict``); the program is MiniC source; the execution file is
+what ``esdsynth`` writes and ``esdplay`` (or the :class:`~repro.debugger.
+Debugger`) consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .coredump import BugReport
+from .core import ESDConfig, ExecutionFile, esd_synthesize
+from .lang import compile_source
+from .playback import play_back
+from .search import SearchBudget
+
+
+def esdsynth_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="esdsynth",
+        description="Synthesize an execution that reproduces a reported bug.",
+    )
+    parser.add_argument("coredump", help="bug report JSON (BugReport.to_dict)")
+    parser.add_argument("program", help="MiniC source file")
+    kind = parser.add_mutually_exclusive_group()
+    kind.add_argument("--crash", action="store_const", const="crash", dest="bug_type")
+    kind.add_argument(
+        "--deadlock", action="store_const", const="deadlock", dest="bug_type"
+    )
+    kind.add_argument("--race", action="store_const", const="race", dest="bug_type")
+    parser.add_argument(
+        "--with-race-det", action="store_true",
+        help="enable data-race detection during path synthesis",
+    )
+    parser.add_argument("-o", "--output", default="execution.json")
+    parser.add_argument("--max-seconds", type=float, default=180.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    report = BugReport.from_dict(json.loads(Path(args.coredump).read_text()))
+    if args.bug_type:
+        report.bug_type = args.bug_type
+    module = compile_source(Path(args.program).read_text(), Path(args.program).stem)
+
+    config = ESDConfig(
+        budget=SearchBudget(max_seconds=args.max_seconds),
+        seed=args.seed,
+        with_race_detection=args.with_race_det,
+    )
+    result = esd_synthesize(module, report, config)
+    if not result.found:
+        print(f"esdsynth: no execution found ({result.reason}); "
+              f"explored {result.instructions} instructions "
+              f"in {result.total_seconds:.1f}s", file=sys.stderr)
+        return 1
+    assert result.execution_file is not None
+    result.execution_file.save(args.output)
+    print(f"esdsynth: synthesized execution for: {result.execution_file.bug_summary}")
+    print(f"esdsynth: static phase {result.static_seconds:.2f}s, "
+          f"search {result.search_seconds:.2f}s, "
+          f"{result.instructions} instructions explored")
+    print(f"esdsynth: wrote {args.output}")
+    return 0
+
+
+def esdplay_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="esdplay",
+        description="Deterministically play back a synthesized execution.",
+    )
+    parser.add_argument("program", help="MiniC source file")
+    parser.add_argument("execution", help="execution file written by esdsynth")
+    parser.add_argument(
+        "--mode", choices=("strict", "happens-before"), default="strict"
+    )
+    args = parser.parse_args(argv)
+
+    module = compile_source(Path(args.program).read_text(), Path(args.program).stem)
+    execution = ExecutionFile.load(args.execution)
+    result = play_back(module, execution, mode=args.mode)
+    if result.bug is not None:
+        print(f"esdplay: reproduced {result.bug.summary()}")
+    if result.output:
+        print("esdplay: program output:")
+        for line in result.output:
+            print(f"  {line}")
+    if not result.bug_reproduced:
+        print("esdplay: execution did NOT reproduce the recorded bug",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(esdsynth_main())

@@ -1,0 +1,21 @@
+"""Thread schedule synthesis: deadlock and data-race strategies (paper §4)."""
+
+from .deadlock import FAR, NEAR, DeadlockSchedulePolicy
+from .races import (
+    ChainedPolicy,
+    RaceDetector,
+    RaceReport,
+    RaceSchedulePolicy,
+    common_stack_prefix,
+)
+
+__all__ = [
+    "ChainedPolicy",
+    "DeadlockSchedulePolicy",
+    "FAR",
+    "NEAR",
+    "RaceDetector",
+    "RaceReport",
+    "RaceSchedulePolicy",
+    "common_stack_prefix",
+]

@@ -1,0 +1,155 @@
+"""Deadlock schedule synthesis (paper section 4.1).
+
+The strategy: help each thread "find" its outer lock as quickly as possible.
+
+* Whenever a thread acquires a *free* mutex M, fork a snapshot state in which
+  the thread is preempted just before the acquisition and another thread runs
+  instead.  The continuing state remembers the snapshot in its map
+  ``KS: mutex -> state`` (``state.snapshots``).  Snapshots are dropped when M
+  is unlocked -- a free mutex cannot participate in a deadlock.
+* If the thread just acquired its *inner lock* (the lock statement its final
+  call stack in the bug report blocks on), preempt it and mark the state's
+  schedule distance "near": M stays locked, creating the conditions for some
+  other thread to request M as its outer lock.
+* If a thread requests M while another thread T2 holds it *as T2's inner
+  lock*, M could be the requester's outer lock: "switch to" the snapshot
+  taken before T2 acquired M by setting every snapshot in KS near and the
+  current state far.  The searcher's heavy schedule-distance bias makes the
+  snapshots run next.
+
+Thread identity in the report does not transfer to the synthesized run, so
+inner locks are matched by *location* (the lock statement's InstrRef), which
+is exactly what the report's call stacks give us.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..ir import Instr, InstrRef
+from ..symbex.executor import Executor
+from ..symbex.policy import SchedulerPolicy
+from ..symbex.state import AddrKey, ExecutionState
+
+NEAR = 0.0
+FAR = 1.0
+
+BoostFn = Callable[[ExecutionState], None]
+
+
+class DeadlockSchedulePolicy(SchedulerPolicy):
+    """ESD's preemption strategy for reproducing reported deadlocks."""
+
+    def __init__(
+        self,
+        inner_lock_refs: frozenset[InstrRef],
+        boost: Optional[BoostFn] = None,
+        fork_at_unlock: bool = True,
+    ) -> None:
+        self.inner_lock_refs = inner_lock_refs
+        self.boost = boost or (lambda state: None)
+        self.fork_at_unlock = fork_at_unlock
+        self.snapshots_taken = 0
+        self.activations = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _other_runnable(state: ExecutionState) -> list[int]:
+        return [t for t in state.runnable_tids() if t != state.current_tid]
+
+    def _fork_preempted(
+        self, executor: Executor, state: ExecutionState,
+        before_instruction: bool = True,
+    ) -> list[ExecutionState]:
+        """States identical to ``state`` except another thread runs next.
+
+        ``before_instruction`` means the hook fired before the current
+        instruction's semantics completed; the fork has not executed it.
+        """
+        forks = []
+        for tid in self._other_runnable(state):
+            snap = state.fork()
+            executor.stats.states_created += 1
+            if before_instruction:
+                snap.uncount_instruction()
+            snap.switch_to(tid)
+            forks.append(snap)
+        return forks
+
+    # -- hooks ------------------------------------------------------------
+
+    def fork_before_acquire(
+        self, executor: Executor, state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        # One snapshot per (thread, mutex) hold episode: a woken thread
+        # re-trying the same acquisition is the same "encounter" and must not
+        # fork again, or contended locks spin off unbounded siblings.
+        flag = f"snapfork:{key}"
+        forked: frozenset = state.meta.get(flag, frozenset())  # type: ignore[assignment]
+        forks: list[ExecutionState] = []
+        if state.current_tid not in forked:
+            state.meta[flag] = forked | {state.current_tid}
+            forks = self._fork_preempted(executor, state)
+            if forks:
+                state.snapshots[key] = forks[0]
+                self.snapshots_taken += 1
+        # Remember where this mutex is being acquired: at contention time we
+        # ask "was M acquired at its holder's inner-lock statement?".
+        state.meta[f"acq:{key}"] = ref
+        return forks
+
+    def after_acquire(
+        self, executor: Executor, state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        if ref in self.inner_lock_refs:
+            others = self._other_runnable(state)
+            if others:
+                state.schedule_distance = NEAR
+                state.switch_to(others[0])
+        return []
+
+    def on_contention(
+        self, executor: Executor, state: ExecutionState, key: AddrKey,
+        holder: int, instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        acquired_at = state.meta.get(f"acq:{key}")
+        if acquired_at in self.inner_lock_refs:
+            # M is the holder's inner lock, so it may be the requester's
+            # outer lock: roll "back" by boosting every snapshot in KS.
+            for snapshot in state.snapshots.values():
+                snapshot.schedule_distance = NEAR
+                self.boost(snapshot)
+                self.activations += 1
+            state.schedule_distance = FAR
+        return []
+
+    def fork_before_release(
+        self, executor: Executor, state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        if not self.fork_at_unlock:
+            return []
+        return self._fork_preempted(executor, state)
+
+    def on_release(
+        self, executor: Executor, state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> None:
+        # A free mutex cannot be part of a deadlock: drop its snapshot and
+        # re-arm the snapshot fork for the next acquisition episode.
+        state.snapshots.pop(key, None)
+        state.meta.pop(f"acq:{key}", None)
+        state.meta.pop(f"snapfork:{key}", None)
+
+    def on_thread_event(
+        self, executor: Executor, state: ExecutionState, kind: str, tid: int,
+        instr: Instr,
+    ) -> list[ExecutionState]:
+        if kind == "create":
+            # A new thread is a new scheduling opportunity.  The create
+            # itself already completed, so the fork keeps its count.
+            return self._fork_preempted(executor, state, before_instruction=False)
+        return []

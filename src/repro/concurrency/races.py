@@ -1,0 +1,226 @@
+"""Data-race detection and race schedule synthesis (paper section 4.2).
+
+Detection is Eraser-style lockset analysis: for each shared cell, intersect
+the set of mutexes held across accesses; a cell whose candidate lockset
+empties while being accessed by more than one thread with at least one write
+is a potential (harmful) data race.  Because the detector observes *symbolic*
+execution, it sees an arbitrary number of paths, independent of workload --
+the advantage the paper calls out over plain dynamic detectors.
+
+Schedule synthesis: preemptions are inserted *before* accesses flagged as
+racy (plus the synchronization points the deadlock policy already covers).
+To avoid useless schedules early in the run, the longest common prefix of the
+reported threads' final call stacks gates fine-grained preemption: only
+states in which every live thread has reached the gate procedure fork at
+memory accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir import Instr, InstrRef
+from ..symbex.executor import Executor
+from ..symbex.policy import SchedulerPolicy
+from ..symbex.state import AddrKey, ExecutionState
+
+
+@dataclass(frozen=True, slots=True)
+class RaceReport:
+    cell: AddrKey
+    first_ref: InstrRef
+    second_ref: InstrRef
+    tids: tuple[int, int]
+    wrote: bool
+
+
+@dataclass(slots=True)
+class _CellInfo:
+    """Immutable per-cell lockset record (functional updates only: states
+    share these through forked ``meta`` dictionaries)."""
+
+    lockset: frozenset[AddrKey]
+    tids: frozenset[int]
+    wrote: bool
+    last_ref: InstrRef
+    last_tid: int
+
+
+class RaceDetector:
+    """Global accumulator of racy locations across all explored states."""
+
+    def __init__(self) -> None:
+        self.racy_refs: set[InstrRef] = set()
+        self.racy_cells: set[AddrKey] = set()
+        self.reports: list[RaceReport] = []
+
+    def record(self, cell: AddrKey, info: _CellInfo, ref: InstrRef, tid: int) -> None:
+        if cell not in self.racy_cells:
+            self.reports.append(
+                RaceReport(cell, info.last_ref, ref, (info.last_tid, tid), info.wrote)
+            )
+        self.racy_cells.add(cell)
+        self.racy_refs.add(ref)
+        self.racy_refs.add(info.last_ref)
+
+
+class RaceSchedulePolicy(SchedulerPolicy):
+    """Insert preemptions before potentially racy accesses."""
+
+    def __init__(
+        self,
+        detector: Optional[RaceDetector] = None,
+        gate_function: Optional[str] = None,
+        max_forks_per_ref: int = 4,
+    ) -> None:
+        self.detector = detector or RaceDetector()
+        self.gate_function = gate_function
+        self.max_forks_per_ref = max_forks_per_ref
+
+    # -- hooks ------------------------------------------------------------
+
+    def wants_memory_hooks(self, state: ExecutionState) -> bool:
+        return len(state.live_threads()) > 1
+
+    def on_memory_access(
+        self,
+        executor: Executor,
+        state: ExecutionState,
+        instr: Instr,
+        ref: InstrRef,
+        key: AddrKey,
+        is_write: bool,
+    ) -> list[ExecutionState]:
+        self._update_lockset(state, ref, key, is_write)
+        if not self._gate_open(state):
+            return []
+        if ref not in self.detector.racy_refs and key not in self.detector.racy_cells:
+            return []
+        flag = f"racefork:{ref}"
+        count = int(state.meta.get(flag, 0))  # type: ignore[arg-type]
+        if count >= self.max_forks_per_ref:
+            return []
+        state.meta[flag] = count + 1
+        forks = []
+        for tid in state.runnable_tids():
+            if tid == state.current_tid:
+                continue
+            snap = state.fork()
+            executor.stats.states_created += 1
+            snap.uncount_instruction()  # the access has not executed in the fork
+            snap.switch_to(tid)
+            forks.append(snap)
+        return forks
+
+    # -- lockset analysis ------------------------------------------------------
+
+    def _update_lockset(
+        self, state: ExecutionState, ref: InstrRef, key: AddrKey, is_write: bool
+    ) -> None:
+        tid = state.current_tid
+        held = frozenset(
+            mkey for mkey, rec in state.mutexes.items() if rec.owner == tid
+        )
+        table: dict = state.meta.get("eraser") or {}
+        info = table.get(key)
+        if info is None:
+            new_info = _CellInfo(held, frozenset((tid,)), is_write, ref, tid)
+        else:
+            lockset = info.lockset & held
+            tids = info.tids | {tid}
+            wrote = info.wrote or is_write
+            new_info = _CellInfo(lockset, tids, wrote, ref, tid)
+            if len(tids) > 1 and wrote and not lockset:
+                self.detector.record(key, info, ref, tid)
+        # Functional update: forked states share meta values, never mutate.
+        table = dict(table)
+        table[key] = new_info
+        state.meta["eraser"] = table
+
+    def _gate_open(self, state: ExecutionState) -> bool:
+        """The common-stack-prefix heuristic: fine-grained preemption only
+        once every live thread has entered the gate procedure."""
+        if self.gate_function is None:
+            return True
+        if state.meta.get("race_gate"):
+            return True
+        threads = [t for t in state.live_threads() if t.tid != 0 or len(state.threads) == 1]
+        if not threads:
+            return False
+        for thread in threads:
+            functions = {frame.function for frame in thread.frames}
+            if self.gate_function not in functions:
+                return False
+        state.meta["race_gate"] = True
+        return True
+
+
+class ChainedPolicy(SchedulerPolicy):
+    """Combine several policies: fork hooks concatenate, ``pick_next`` and
+    memory-hook interest delegate to the first policy that cares."""
+
+    def __init__(self, *policies: SchedulerPolicy) -> None:
+        if not policies:
+            raise ValueError("ChainedPolicy needs at least one policy")
+        self.policies = policies
+
+    def pick_next(self, state):
+        return self.policies[0].pick_next(state)
+
+    def wants_memory_hooks(self, state):
+        return any(p.wants_memory_hooks(state) for p in self.policies)
+
+    def fork_before_acquire(self, executor, state, key, instr, ref):
+        return [
+            s for p in self.policies
+            for s in p.fork_before_acquire(executor, state, key, instr, ref)
+        ]
+
+    def after_acquire(self, executor, state, key, instr, ref):
+        return [
+            s for p in self.policies
+            for s in p.after_acquire(executor, state, key, instr, ref)
+        ]
+
+    def on_contention(self, executor, state, key, holder, instr, ref):
+        return [
+            s for p in self.policies
+            for s in p.on_contention(executor, state, key, holder, instr, ref)
+        ]
+
+    def fork_before_release(self, executor, state, key, instr, ref):
+        return [
+            s for p in self.policies
+            for s in p.fork_before_release(executor, state, key, instr, ref)
+        ]
+
+    def on_release(self, executor, state, key, instr, ref):
+        for p in self.policies:
+            p.on_release(executor, state, key, instr, ref)
+
+    def on_thread_event(self, executor, state, kind, tid, instr):
+        return [
+            s for p in self.policies
+            for s in p.on_thread_event(executor, state, kind, tid, instr)
+        ]
+
+    def on_memory_access(self, executor, state, instr, ref, key, is_write):
+        return [
+            s for p in self.policies
+            for s in p.on_memory_access(executor, state, instr, ref, key, is_write)
+        ]
+
+
+def common_stack_prefix(stacks: list[list[str]]) -> list[str]:
+    """Longest common prefix of call stacks given outermost-first function
+    names (used to pick the race gate procedure)."""
+    if not stacks:
+        return []
+    prefix: list[str] = []
+    for depth in range(min(len(s) for s in stacks)):
+        names = {stack[depth] for stack in stacks}
+        if len(names) != 1:
+            break
+        prefix.append(names.pop())
+    return prefix

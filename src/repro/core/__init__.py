@@ -1,0 +1,27 @@
+"""ESD's core: goal extraction, the synthesis driver, execution files, triage."""
+
+from .execfile import (
+    ExecutionFile,
+    HappensBefore,
+    concretize_inputs,
+    execution_file_from_state,
+)
+from .goals import GoalError, SynthesisGoal, extract_goal
+from .synthesis import ESDConfig, SynthesisResult, esd_synthesize
+from .triage import TriageDatabase, TriageEntry, same_bug
+
+__all__ = [
+    "ESDConfig",
+    "ExecutionFile",
+    "GoalError",
+    "HappensBefore",
+    "SynthesisGoal",
+    "SynthesisResult",
+    "TriageDatabase",
+    "TriageEntry",
+    "concretize_inputs",
+    "esd_synthesize",
+    "execution_file_from_state",
+    "extract_goal",
+    "same_bug",
+]

@@ -1,0 +1,199 @@
+"""The ESD synthesis driver: bug report in, execution file out (``esdsynth``).
+
+Pipeline (paper sections 2-4):
+
+1. extract the goal <B, C> from the coredump;
+2. static phase: build the inter-procedural CFG and distance tables, find
+   critical edges and intermediate goals;
+3. dynamic phase: proximity-guided multi-threaded symbolic execution with the
+   bug-class-specific scheduling strategy (deadlock snapshots / race
+   preemptions);
+4. solve the winning state's constraints and emit the execution file.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import ir
+from ..analysis import DistanceCalculator, find_intermediate_goals
+from ..concurrency import (
+    ChainedPolicy,
+    DeadlockSchedulePolicy,
+    RaceDetector,
+    RaceSchedulePolicy,
+)
+from ..coredump import BugReport
+from ..search import (
+    GoalSpec,
+    ProximityGuidedSearcher,
+    SearchBudget,
+    SearchOutcome,
+    explore,
+)
+from ..solver import Solver
+from ..symbex import ExecConfig, Executor, SchedulerPolicy, SymbolicEnv
+from ..symbex.state import ExecutionState
+from .execfile import ExecutionFile, execution_file_from_state
+from .goals import SynthesisGoal, extract_goal
+
+
+@dataclass(slots=True)
+class ESDConfig:
+    """Knobs for synthesis; the ablation benchmarks flip the ESD-specific
+    focusing techniques off one at a time."""
+
+    budget: SearchBudget = field(default_factory=lambda: SearchBudget(
+        max_instructions=20_000_000, max_states=500_000, max_seconds=180.0,
+    ))
+    seed: int = 0
+    string_size: int = 8
+    max_args: int = 4
+    # Focusing techniques (paper section 3.3/3.4):
+    use_intermediate_goals: bool = True
+    prune_unreachable: bool = True
+    use_schedule_distance: bool = True
+    # Schedule synthesis:
+    fork_at_unlock: bool = True
+    with_race_detection: bool = False
+
+
+@dataclass(slots=True)
+class SynthesisResult:
+    found: bool
+    reason: str
+    goal: SynthesisGoal
+    execution_file: Optional[ExecutionFile]
+    goal_state: Optional[ExecutionState]
+    static_seconds: float
+    search_seconds: float
+    instructions: int
+    states_explored: int
+    other_bugs: int
+    intermediate_goal_count: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.static_seconds + self.search_seconds
+
+
+def esd_synthesize(
+    module: ir.Module,
+    report: BugReport,
+    config: Optional[ESDConfig] = None,
+) -> SynthesisResult:
+    """Synthesize an execution reproducing the reported bug."""
+    config = config or ESDConfig()
+    goal = extract_goal(module, report)
+
+    static_started = time.monotonic()
+    distances = DistanceCalculator(module)
+    solver = Solver()
+    intermediate: list[GoalSpec] = []
+    if config.use_intermediate_goals:
+        seen: set[tuple] = set()
+        for target in goal.targets:
+            for ig in find_intermediate_goals(module, target, solver):
+                if ig.alternatives not in seen:
+                    seen.add(ig.alternatives)
+                    intermediate.append(
+                        GoalSpec(ig.alternatives, f"ig:{ig.variable}")
+                    )
+    final = GoalSpec(goal.targets, "final")
+    # Warm the distance tables so search-phase timing is pure search.
+    for spec in intermediate + [final]:
+        for ref in spec.refs:
+            distances.instruction_distance(ref, ref)
+    static_seconds = time.monotonic() - static_started
+
+    policy = _build_policy(module, goal, config)
+    executor = Executor(
+        module,
+        solver=solver,
+        env=SymbolicEnv(config.string_size, config.max_args),
+        policy=policy,
+        config=ExecConfig(string_size=config.string_size, max_args=config.max_args),
+    )
+    searcher = ProximityGuidedSearcher(
+        distances,
+        intermediate,
+        final,
+        seed=config.seed,
+        prune_unreachable=config.prune_unreachable,
+        use_schedule_distance=config.use_schedule_distance,
+    )
+    _wire_boost(policy, searcher)
+
+    outcome = explore(
+        executor, searcher, executor.initial_state(), goal.matches, config.budget
+    )
+    return _result_from_outcome(module, goal, outcome, executor, static_seconds,
+                                len(intermediate))
+
+
+def _build_policy(
+    module: ir.Module, goal: SynthesisGoal, config: ESDConfig
+) -> SchedulerPolicy:
+    multithreaded = any(
+        isinstance(instr, ir.ThreadCreate)
+        for func in module.functions.values()
+        for _, instr in func.iter_instructions()
+    )
+    if not multithreaded:
+        return SchedulerPolicy()
+    policies: list[SchedulerPolicy] = [
+        DeadlockSchedulePolicy(
+            goal.inner_lock_refs, fork_at_unlock=config.fork_at_unlock
+        )
+    ]
+    if goal.bug_class == "race" or config.with_race_detection:
+        policies.append(
+            RaceSchedulePolicy(RaceDetector(), gate_function=goal.gate_function)
+        )
+    if len(policies) == 1:
+        return policies[0]
+    return ChainedPolicy(*policies)
+
+
+def _wire_boost(policy: SchedulerPolicy, searcher: ProximityGuidedSearcher) -> None:
+    if isinstance(policy, DeadlockSchedulePolicy):
+        policy.boost = searcher.boost
+    elif isinstance(policy, ChainedPolicy):
+        for sub in policy.policies:
+            if isinstance(sub, DeadlockSchedulePolicy):
+                sub.boost = searcher.boost
+
+
+def _result_from_outcome(
+    module: ir.Module,
+    goal: SynthesisGoal,
+    outcome: SearchOutcome,
+    executor: Executor,
+    static_seconds: float,
+    intermediate_count: int,
+) -> SynthesisResult:
+    execution_file = None
+    if outcome.found:
+        assert outcome.goal_state is not None
+        execution_file = execution_file_from_state(
+            module.name,
+            outcome.goal_state,
+            executor.solver,
+            synthesis_seconds=static_seconds + outcome.stats.seconds,
+            instructions_explored=outcome.stats.instructions,
+        )
+    return SynthesisResult(
+        found=outcome.found,
+        reason=outcome.reason,
+        goal=goal,
+        execution_file=execution_file,
+        goal_state=outcome.goal_state,
+        static_seconds=static_seconds,
+        search_seconds=outcome.stats.seconds,
+        instructions=outcome.stats.instructions,
+        states_explored=outcome.stats.states_explored,
+        other_bugs=len(outcome.other_bugs),
+        intermediate_goal_count=intermediate_count,
+    )

@@ -1,0 +1,51 @@
+"""Automated bug triage and deduplication (paper section 8).
+
+"ESD can be used to automatically identify reports of the same bug: if two
+synthesized executions are identical, then they correspond to the same bug."
+Incoming reports are synthesized, and the resulting execution files are
+compared by fingerprint; duplicates are attached to the existing bug id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .execfile import ExecutionFile
+
+
+def same_bug(a: ExecutionFile, b: ExecutionFile) -> bool:
+    """Two synthesized executions that are identical are the same bug."""
+    return a.fingerprint() == b.fingerprint()
+
+
+@dataclass(slots=True)
+class TriageEntry:
+    bug_id: int
+    execution: ExecutionFile
+    duplicates: int = 0
+
+
+@dataclass(slots=True)
+class TriageDatabase:
+    """A tiny bug tracker keyed by synthesized-execution fingerprints."""
+
+    entries: list[TriageEntry] = field(default_factory=list)
+    _next_id: int = 1
+
+    def submit(self, execution: ExecutionFile) -> tuple[int, bool]:
+        """Register a synthesized execution.
+
+        Returns ``(bug_id, is_new)``: duplicates of an earlier report get the
+        original bug id.
+        """
+        for entry in self.entries:
+            if same_bug(entry.execution, execution):
+                entry.duplicates += 1
+                return entry.bug_id, False
+        bug_id = self._next_id
+        self._next_id += 1
+        self.entries.append(TriageEntry(bug_id, execution))
+        return bug_id, True
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,21 @@
+"""Coredumps, bug reports, and stack repair (paper sections 2, 3.1, 8)."""
+
+from .dump import (
+    BugReport,
+    Coredump,
+    StackFrame,
+    ThreadDump,
+    coredump_from_state,
+    corrupt_stack,
+    repair_stack,
+)
+
+__all__ = [
+    "BugReport",
+    "Coredump",
+    "StackFrame",
+    "ThreadDump",
+    "coredump_from_state",
+    "corrupt_stack",
+    "repair_stack",
+]

@@ -1,0 +1,5 @@
+"""gdb-like debugging of synthesized executions."""
+
+from .debugger import Breakpoint, Debugger, StopEvent
+
+__all__ = ["Breakpoint", "Debugger", "StopEvent"]

@@ -1,0 +1,295 @@
+"""A gdb-like debugger over deterministic playback (paper section 5.2).
+
+"Developers run the buggy program in the playback environment and can attach
+to it with a debugger at any time.  They can repeat the execution over and
+over again, place breakpoints, inspect data structures, etc."
+
+The debugger drives a :class:`~repro.playback.stepper.StrictStepper`, so the
+execution under inspection is exactly the synthesized one, every time.
+Supported operations mirror the gdb workflow: breakpoints by function/line,
+``continue``, ``step``, ``next`` (step over calls), ``backtrace``, ``print``
+of named variables and array cells, thread listing, and source listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .. import ir
+from ..core.execfile import ExecutionFile
+from ..playback.stepper import StrictStepper
+from ..symbex.memory import FnPtr, Pointer
+from ..symbex.state import ExecutionState
+
+
+@dataclass(slots=True)
+class Breakpoint:
+    number: int
+    function: str
+    line: Optional[int]
+    enabled: bool = True
+    hits: int = 0
+
+    def describe(self) -> str:
+        where = self.function if self.line is None else f"{self.function}:{self.line}"
+        return f"breakpoint {self.number} at {where} (hit {self.hits} times)"
+
+
+@dataclass(slots=True)
+class StopEvent:
+    reason: str  # 'breakpoint' | 'step' | 'exited' | 'bug' | 'done'
+    breakpoint: Optional[Breakpoint] = None
+    line: int = 0
+    function: str = ""
+
+    def __repr__(self) -> str:
+        at = f" at {self.function}:{self.line}" if self.function else ""
+        return f"<stop: {self.reason}{at}>"
+
+
+class Debugger:
+    """Deterministic source-level debugger for synthesized executions."""
+
+    def __init__(self, module: ir.Module, execution: ExecutionFile) -> None:
+        self.module = module
+        self.execution = execution
+        self._stepper = StrictStepper(module, execution)
+        self._breakpoints: list[Breakpoint] = []
+        self._next_bp = 1
+
+    # -- session control ------------------------------------------------------
+
+    def restart(self) -> None:
+        """Replay from the beginning (playback is repeatable)."""
+        self._stepper = StrictStepper(self.module, self.execution)
+        for bp in self._breakpoints:
+            bp.hits = 0
+
+    @property
+    def state(self) -> ExecutionState:
+        return self._stepper.state
+
+    @property
+    def finished(self) -> bool:
+        return self._stepper.done
+
+    # -- breakpoints ------------------------------------------------------------
+
+    def break_at(self, function: str, line: Optional[int] = None) -> Breakpoint:
+        if function not in self.module.functions:
+            raise KeyError(f"no function {function!r}")
+        bp = Breakpoint(self._next_bp, function, line)
+        self._next_bp += 1
+        self._breakpoints.append(bp)
+        return bp
+
+    def delete(self, number: int) -> None:
+        self._breakpoints = [b for b in self._breakpoints if b.number != number]
+
+    def breakpoints(self) -> list[Breakpoint]:
+        return list(self._breakpoints)
+
+    def _hit(self, state: ExecutionState) -> Optional[Breakpoint]:
+        thread = state.threads.get(state.current_tid)
+        if thread is None or not thread.frames:
+            return None
+        ref = thread.pc
+        try:
+            line = self.module.instruction(ref).line
+        except (KeyError, IndexError):
+            return None
+        for bp in self._breakpoints:
+            if not bp.enabled or bp.function != ref.function:
+                continue
+            if bp.line is None:
+                if ref.block == self.module.functions[ref.function].entry and ref.index == 0:
+                    return bp
+            elif bp.line == line:
+                return bp
+        return None
+
+    # -- execution ------------------------------------------------------------
+
+    def cont(self) -> StopEvent:
+        """Continue until a breakpoint or the end of the execution."""
+        # Always make at least one instruction of progress, so repeated
+        # cont() calls do not re-report the same breakpoint forever.
+        if not self._stepper.done:
+            self._stepper.step()
+        while not self._stepper.done:
+            bp = self._hit(self._stepper.state)
+            if bp is not None:
+                bp.hits += 1
+                return self._stop("breakpoint", bp)
+            self._stepper.step()
+        return self._stop_terminal()
+
+    def step(self, count: int = 1) -> StopEvent:
+        """Execute ``count`` instructions (gdb's ``stepi``)."""
+        for _ in range(count):
+            if self._stepper.done:
+                break
+            self._stepper.step()
+        if self._stepper.done:
+            return self._stop_terminal()
+        return self._stop("step")
+
+    def step_line(self) -> StopEvent:
+        """Execute until the source line changes (gdb's ``step``)."""
+        start = self._current_line()
+        while not self._stepper.done:
+            self._stepper.step()
+            line = self._current_line()
+            if line != start and line != 0:
+                break
+        if self._stepper.done:
+            return self._stop_terminal()
+        return self._stop("step")
+
+    def next_line(self) -> StopEvent:
+        """Like step_line but steps over calls (gdb's ``next``)."""
+        state = self._stepper.state
+        thread = state.threads.get(state.current_tid)
+        depth = len(thread.frames) if thread else 0
+        tid = state.current_tid
+        start = self._current_line()
+        while not self._stepper.done:
+            self._stepper.step()
+            state = self._stepper.state
+            thread = state.threads.get(tid)
+            if thread is None or not thread.frames:
+                break
+            if state.current_tid != tid:
+                continue
+            if len(thread.frames) > depth:
+                continue
+            line = self._current_line()
+            if line != start and line != 0:
+                break
+        if self._stepper.done:
+            return self._stop_terminal()
+        return self._stop("step")
+
+    def finish(self) -> StopEvent:
+        """Run until the current function returns."""
+        state = self._stepper.state
+        tid = state.current_tid
+        thread = state.threads.get(tid)
+        depth = len(thread.frames) if thread else 0
+        while not self._stepper.done:
+            self._stepper.step()
+            thread = self._stepper.state.threads.get(tid)
+            if thread is None or len(thread.frames) < depth:
+                break
+        if self._stepper.done:
+            return self._stop_terminal()
+        return self._stop("step")
+
+    # -- inspection ------------------------------------------------------------
+
+    def backtrace(self, tid: Optional[int] = None) -> list[str]:
+        state = self._stepper.state
+        thread = state.threads.get(tid if tid is not None else state.current_tid)
+        if thread is None or not thread.frames:
+            return []
+        lines = []
+        for depth, ref in enumerate(thread.call_stack()):
+            try:
+                line = self.module.instruction(ref).line
+                source = self.module.source_line(line).strip()
+            except (KeyError, IndexError):
+                line, source = 0, ""
+            lines.append(f"#{depth}  {ref.function} () at line {line}: {source}")
+        return lines
+
+    def info_threads(self) -> list[str]:
+        state = self._stepper.state
+        rows = []
+        for thread in state.threads.values():
+            mark = "*" if thread.tid == state.current_tid else " "
+            where = str(thread.pc) if thread.frames else "-"
+            extra = ""
+            if thread.blocked_on:
+                extra = f" blocked on {thread.blocked_on[0]}"
+            rows.append(f"{mark} thread {thread.tid} [{thread.status}]{extra} at {where}")
+        return rows
+
+    def read_var(self, name: str, tid: Optional[int] = None):
+        """Value of a named local (current frame) or global variable."""
+        state = self._stepper.state
+        thread = state.threads.get(tid if tid is not None else state.current_tid)
+        if thread is not None and thread.frames:
+            frame = thread.top
+            addr_reg = f"{name}.addr"
+            if addr_reg in frame.regs:
+                pointer = frame.regs[addr_reg]
+                assert isinstance(pointer, Pointer)
+                return self._cell(state, pointer.obj, pointer.offset)
+        if name in state.globals:
+            return self._cell(state, state.globals[name], 0)
+        raise KeyError(f"no variable {name!r} in scope")
+
+    def read_array(self, name: str, length: int, tid: Optional[int] = None) -> list:
+        base = None
+        state = self._stepper.state
+        thread = state.threads.get(tid if tid is not None else state.current_tid)
+        if thread is not None and thread.frames:
+            addr_reg = f"{name}.addr"
+            if addr_reg in thread.top.regs:
+                base = thread.top.regs[addr_reg]
+        if base is None and name in state.globals:
+            base = Pointer(state.globals[name], 0)
+        if not isinstance(base, Pointer):
+            raise KeyError(f"no array {name!r} in scope")
+        return [
+            self._cell(state, base.obj, base.offset + i) for i in range(length)
+        ]
+
+    @staticmethod
+    def _cell(state: ExecutionState, obj: int, offset) -> object:
+        value = state.address_space.read(obj, offset)
+        if isinstance(value, Pointer):
+            return f"<ptr obj{value.obj}+{value.offset}>"
+        if isinstance(value, FnPtr):
+            return f"<fn {value.name}>"
+        return value
+
+    def list_source(self, context: int = 3) -> list[str]:
+        line = self._current_line()
+        if line == 0:
+            return []
+        lines = []
+        for n in range(max(1, line - context), line + context + 1):
+            text = self.module.source_line(n)
+            marker = "->" if n == line else "  "
+            lines.append(f"{marker} {n:4d}  {text}")
+        return lines
+
+    def where(self) -> str:
+        state = self._stepper.state
+        thread = state.threads.get(state.current_tid)
+        if thread is None or not thread.frames:
+            return "<no frame>"
+        ref = thread.pc
+        return f"thread {state.current_tid} at {ref} (line {self._current_line()})"
+
+    # -- helpers ------------------------------------------------------------
+
+    def _current_line(self) -> int:
+        instr = self._stepper.current_instruction
+        return instr.line if instr is not None else 0
+
+    def _stop(self, reason: str, bp: Optional[Breakpoint] = None) -> StopEvent:
+        state = self._stepper.state
+        thread = state.threads.get(state.current_tid)
+        function = thread.pc.function if thread and thread.frames else ""
+        return StopEvent(reason, bp, self._current_line(), function)
+
+    def _stop_terminal(self) -> StopEvent:
+        state = self._stepper.state
+        if state.status == "bug":
+            return StopEvent("bug", line=state.bug.line if state.bug else 0)
+        if state.status == "exited":
+            return StopEvent("exited")
+        return StopEvent("done")

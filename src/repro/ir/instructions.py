@@ -1,0 +1,371 @@
+"""IR instruction set.
+
+Instructions are word-granular, mirroring the LLVM subset ESD operates on
+(paper section 6.2): loads and stores address individual memory cells, calls
+may be direct (:class:`~repro.ir.values.FuncRef` callee) or indirect (register
+callee), and every basic block ends in exactly one terminator.
+
+Synchronization operations are first-class instructions rather than opaque
+calls so that the scheduler can identify preemption points syntactically, the
+way ESD hijacks calls to the real threads library (paper section 6.1).
+
+Every instruction carries the MiniC source ``line`` that produced it, which is
+what the coredump generator and the gdb-like debugger report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .values import Value
+
+# Binary operators.  Comparison operators produce 0/1.  ``&&``/``||`` are
+# *bitwise-logical* on already-evaluated 0/1 operands; the MiniC frontend
+# compiles short-circuit evaluation into control flow.
+BINARY_OPS = frozenset(
+    {
+        "+", "-", "*", "/", "%",
+        "&", "|", "^", "<<", ">>",
+        "==", "!=", "<", "<=", ">", ">=",
+        "&&", "||",
+    }
+)
+
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+UNARY_OPS = frozenset({"-", "!", "~"})
+
+# Environment intrinsics understood by the executor.  ``getchar``/``getenv``
+# and friends return fresh symbolic values during synthesis and concrete
+# values during playback.
+INTRINSICS = frozenset(
+    {
+        "getchar",      # () -> int, one byte of stdin (-1 for EOF is not modeled)
+        "getenv",       # (name_ptr) -> ptr to NUL-terminated env string
+        "argc",         # () -> int
+        "arg",          # (i) -> ptr to NUL-terminated argv[i]
+        "read_input",   # (name_ptr, size) -> ptr to a fresh symbolic buffer
+        "print_int",    # (v) -> void
+        "print_str",    # (ptr) -> void
+        "abort",        # () -> crash
+        "exit",         # (code) -> terminate thread group
+        "assume",       # (cond) -> constrain path (testing aid)
+    }
+)
+
+
+@dataclass(slots=True)
+class Instr:
+    """Base class for all instructions."""
+
+    line: int = field(default=0, kw_only=True)
+
+    @property
+    def defined(self) -> Optional[str]:
+        """Name of the register this instruction defines, if any."""
+        dst = getattr(self, "dst", None)
+        return dst.name if dst is not None else None
+
+    def operands(self) -> tuple[Value, ...]:
+        """All value operands read by this instruction."""
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Straight-line instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Assign(Instr):
+    dst: Value
+    src: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.src,)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass(slots=True)
+class BinOp(Instr):
+    dst: Value
+    op: str
+    lhs: Value
+    rhs: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(slots=True)
+class UnOp(Instr):
+    dst: Value
+    op: str
+    value: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op}{self.value}"
+
+
+@dataclass(slots=True)
+class Alloc(Instr):
+    """Allocate ``size`` cells; yields a pointer.  ``heap`` selects malloc
+    semantics (freeable, survives the frame) vs. stack semantics."""
+
+    dst: Value
+    size: Value
+    heap: bool = False
+    name: str = ""
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.size,)
+
+    def __repr__(self) -> str:
+        kind = "malloc" if self.heap else "alloca"
+        return f"{self.dst} = {kind}({self.size})"
+
+
+@dataclass(slots=True)
+class Free(Instr):
+    ptr: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.ptr,)
+
+    def __repr__(self) -> str:
+        return f"free({self.ptr})"
+
+
+@dataclass(slots=True)
+class Load(Instr):
+    dst: Value
+    addr: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.addr,)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = load {self.addr}"
+
+
+@dataclass(slots=True)
+class Store(Instr):
+    addr: Value
+    value: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.addr, self.value)
+
+    def __repr__(self) -> str:
+        return f"store {self.value} -> {self.addr}"
+
+
+@dataclass(slots=True)
+class Gep(Instr):
+    """Pointer arithmetic: ``dst = base + offset`` (in cells)."""
+
+    dst: Value
+    base: Value
+    offset: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.base, self.offset)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = gep {self.base}, {self.offset}"
+
+
+@dataclass(slots=True)
+class Call(Instr):
+    """Direct (FuncRef callee) or indirect (register callee) call."""
+
+    dst: Optional[Value]
+    callee: Value
+    args: list[Value] = field(default_factory=list)
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.callee, *self.args)
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}call {self.callee}({args})"
+
+
+@dataclass(slots=True)
+class Intrinsic(Instr):
+    dst: Optional[Value]
+    name: str
+    args: list[Value] = field(default_factory=list)
+
+    def operands(self) -> tuple[Value, ...]:
+        return tuple(self.args)
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}{self.name}({args})"
+
+
+@dataclass(slots=True)
+class Assert(Instr):
+    """A failed assert is a crash whose goal condition is the negated cond."""
+
+    cond: Value
+    message: str = ""
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.cond,)
+
+    def __repr__(self) -> str:
+        return f"assert {self.cond}  ; {self.message!r}"
+
+
+# ---------------------------------------------------------------------------
+# Synchronization instructions (preemption points for schedule synthesis)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class MutexLock(Instr):
+    mutex: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.mutex,)
+
+    def __repr__(self) -> str:
+        return f"lock {self.mutex}"
+
+
+@dataclass(slots=True)
+class MutexUnlock(Instr):
+    mutex: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.mutex,)
+
+    def __repr__(self) -> str:
+        return f"unlock {self.mutex}"
+
+
+@dataclass(slots=True)
+class CondWait(Instr):
+    cond: Value
+    mutex: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.cond, self.mutex)
+
+    def __repr__(self) -> str:
+        return f"cond_wait {self.cond}, {self.mutex}"
+
+
+@dataclass(slots=True)
+class CondSignal(Instr):
+    cond: Value
+    broadcast: bool = False
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.cond,)
+
+    def __repr__(self) -> str:
+        op = "cond_broadcast" if self.broadcast else "cond_signal"
+        return f"{op} {self.cond}"
+
+
+@dataclass(slots=True)
+class ThreadCreate(Instr):
+    """Spawn a thread running ``func(arg)``; yields the new thread id."""
+
+    dst: Optional[Value]
+    func: Value
+    arg: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.func, self.arg)
+
+    def __repr__(self) -> str:
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}thread_create {self.func}, {self.arg}"
+
+
+@dataclass(slots=True)
+class ThreadJoin(Instr):
+    dst: Optional[Value]
+    tid: Value
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.tid,)
+
+    def __repr__(self) -> str:
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}thread_join {self.tid}"
+
+
+SYNC_INSTRS = (MutexLock, MutexUnlock, CondWait, CondSignal, ThreadCreate, ThreadJoin)
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Terminator(Instr):
+    """Base class for block terminators."""
+
+    def successors(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(slots=True)
+class Br(Terminator):
+    target: str
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def __repr__(self) -> str:
+        return f"br {self.target}"
+
+
+@dataclass(slots=True)
+class CondBr(Terminator):
+    cond: Value
+    then_target: str
+    else_target: str
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.cond,)
+
+    def successors(self) -> tuple[str, ...]:
+        return (self.then_target, self.else_target)
+
+    def __repr__(self) -> str:
+        return f"br {self.cond}, {self.then_target}, {self.else_target}"
+
+
+@dataclass(slots=True)
+class Ret(Terminator):
+    value: Optional[Value] = None
+
+    def operands(self) -> tuple[Value, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def __repr__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+@dataclass(slots=True)
+class Unreachable(Terminator):
+    def __repr__(self) -> str:
+        return "unreachable"

@@ -1,0 +1,29 @@
+"""Textual dump of IR modules, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from .module import Function, Module
+
+
+def format_function(func: Function) -> str:
+    lines = [f"func {func.name}({', '.join(func.params)}) {{"]
+    for label, block in func.blocks.items():
+        lines.append(f"{label}:")
+        for instr in block.instrs:
+            lines.append(f"    {instr!r}")
+        if block.terminator is not None:
+            lines.append(f"    {block.terminator!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for var in module.globals.values():
+        kind = "mutex" if var.is_mutex else "cond" if var.is_cond else "global"
+        init = f" = {var.init}" if var.init else ""
+        parts.append(f"{kind} @{var.name}[{var.size}]{init}")
+    for func in module.functions.values():
+        parts.append("")
+        parts.append(format_function(func))
+    return "\n".join(parts) + "\n"

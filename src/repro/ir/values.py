@@ -1,0 +1,79 @@
+"""IR value operands.
+
+The IR is a three-address code over virtual registers.  Operands are one of:
+
+* :class:`Const` -- a 32-bit integer constant (the null pointer is ``Const(0)``),
+* :class:`Reg` -- a per-function virtual register,
+* :class:`GlobalRef` -- the address of a module-level global memory object,
+* :class:`FuncRef` -- a function pointer constant.
+
+Operands are immutable and hashable so they can be used as dictionary keys by
+the static analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap a Python int to a signed 32-bit integer (two's complement)."""
+    return (value + 2**31) % 2**32 - 2**31
+
+
+class Value:
+    """Base class for IR operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Value):
+    """A signed 32-bit integer constant."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", wrap32(self.value))
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Reg(Value):
+    """A virtual register, local to one function activation."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "%" + self.name
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalRef(Value):
+    """The address of a global memory object (evaluates to a pointer)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "@" + self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FuncRef(Value):
+    """A function pointer constant."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return "&" + self.name
+
+
+NULL = Const(0)
+
+TRUE = Const(1)
+FALSE = Const(0)

@@ -1,0 +1,85 @@
+"""Structural validation of IR modules.
+
+The verifier catches frontend and generator bugs early: unterminated blocks,
+dangling branch targets, calls to missing functions, registers that are never
+defined, and malformed operators.  It is run by the MiniC compiler and by the
+BPF program generator on everything they emit.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    BINARY_OPS,
+    INTRINSICS,
+    UNARY_OPS,
+    BinOp,
+    Call,
+    CondBr,
+    Intrinsic,
+    UnOp,
+)
+from .module import Function, Module, instr_operand_regs
+from .values import FuncRef, GlobalRef
+
+
+class VerificationError(Exception):
+    """Raised when a module is structurally invalid."""
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` on the first structural problem."""
+    if "main" not in module.functions:
+        raise VerificationError("module has no main function")
+    for func in module.functions.values():
+        _verify_function(module, func)
+
+
+def _verify_function(module: Module, func: Function) -> None:
+    if func.entry not in func.blocks:
+        raise VerificationError(f"{func.name}: missing entry block {func.entry!r}")
+
+    defined: set[str] = set(func.params)
+    for _, instr in func.iter_instructions():
+        name = instr.defined
+        if name is not None:
+            defined.add(name)
+
+    for label, block in func.blocks.items():
+        where = f"{func.name}:{label}"
+        if block.terminator is None:
+            raise VerificationError(f"{where}: block is not terminated")
+        for target in block.terminator.successors():
+            if target not in func.blocks:
+                raise VerificationError(f"{where}: branch to unknown block {target!r}")
+        if isinstance(block.terminator, CondBr):
+            term = block.terminator
+            if term.then_target == term.else_target:
+                raise VerificationError(f"{where}: condbr with identical targets")
+
+        for index, instr in enumerate(list(block.instrs) + [block.terminator]):
+            at = f"{where}:{index}"
+            if isinstance(instr, BinOp) and instr.op not in BINARY_OPS:
+                raise VerificationError(f"{at}: unknown binary op {instr.op!r}")
+            if isinstance(instr, UnOp) and instr.op not in UNARY_OPS:
+                raise VerificationError(f"{at}: unknown unary op {instr.op!r}")
+            if isinstance(instr, Intrinsic) and instr.name not in INTRINSICS:
+                raise VerificationError(f"{at}: unknown intrinsic {instr.name!r}")
+            if isinstance(instr, Call) and isinstance(instr.callee, FuncRef):
+                if instr.callee.name not in module.functions:
+                    raise VerificationError(
+                        f"{at}: call to unknown function {instr.callee.name!r}"
+                    )
+                callee = module.functions[instr.callee.name]
+                if len(instr.args) != len(callee.params):
+                    raise VerificationError(
+                        f"{at}: call to {callee.name} with {len(instr.args)} args, "
+                        f"expected {len(callee.params)}"
+                    )
+            for reg in instr_operand_regs(instr):
+                if reg not in defined:
+                    raise VerificationError(f"{at}: use of undefined register %{reg}")
+            for op in instr.operands():
+                if isinstance(op, GlobalRef) and op.name not in module.globals:
+                    raise VerificationError(f"{at}: unknown global @{op.name}")
+                if isinstance(op, FuncRef) and op.name not in module.functions:
+                    raise VerificationError(f"{at}: unknown function &{op.name}")

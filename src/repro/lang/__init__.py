@@ -1,0 +1,17 @@
+"""MiniC: the C-like frontend standing in for the paper's C-to-LLVM pipeline."""
+
+from .ast import Program
+from .compiler import CompileError, compile_source
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "Program",
+    "Token",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,142 @@
+"""Abstract syntax tree for MiniC.
+
+Every node carries the source line it started on; the compiler propagates
+these onto IR instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(slots=True)
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# --- Expressions -----------------------------------------------------------
+
+
+@dataclass(slots=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(slots=True)
+class StrLit(Node):
+    value: str
+
+
+@dataclass(slots=True)
+class Ident(Node):
+    name: str
+
+
+@dataclass(slots=True)
+class Unary(Node):
+    op: str  # '-', '!', '~', '*' (deref), '&' (address-of)
+    operand: "Expr"
+
+
+@dataclass(slots=True)
+class Binary(Node):
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass(slots=True)
+class Index(Node):
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(slots=True)
+class CallExpr(Node):
+    callee: "Expr"  # Ident (direct, builtin, or variable) or arbitrary expr
+    args: list["Expr"]
+
+
+Expr = IntLit | StrLit | Ident | Unary | Binary | Index | CallExpr
+
+
+# --- Statements ------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class VarDecl(Node):
+    """``int x;``, ``int x = e;``, ``int a[N];``, ``int *p;``."""
+
+    name: str
+    kind: str  # 'int' | 'ptr' | 'array' | 'mutex' | 'cond'
+    array_size: int = 0
+    init: Optional[Expr] = None
+    init_list: Optional[list[int]] = None
+
+
+@dataclass(slots=True)
+class Assign(Node):
+    target: Expr  # Ident, Index, or Unary('*')
+    value: Expr
+
+
+@dataclass(slots=True)
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclass(slots=True)
+class If(Node):
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"]
+
+
+@dataclass(slots=True)
+class While(Node):
+    cond: Expr
+    body: list["Stmt"]
+
+
+@dataclass(slots=True)
+class For(Node):
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: list["Stmt"]
+
+
+@dataclass(slots=True)
+class Return(Node):
+    value: Optional[Expr]
+
+
+@dataclass(slots=True)
+class Break(Node):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Node):
+    pass
+
+
+Stmt = VarDecl | Assign | ExprStmt | If | While | For | Return | Break | Continue
+
+
+# --- Top level -------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class FuncDef(Node):
+    name: str
+    params: list[str]
+    body: list[Stmt]
+
+
+@dataclass(slots=True)
+class Program(Node):
+    globals: list[VarDecl]
+    functions: list[FuncDef]
+    source: str = ""

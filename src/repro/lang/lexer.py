@@ -1,0 +1,146 @@
+"""Lexer for MiniC, the C-like source language of this reproduction.
+
+MiniC stands in for the C programs the paper compiles to LLVM bitcode.  The
+lexer keeps 1-based line numbers on every token; lines flow through the
+compiler into the IR so coredumps and the debugger can report source
+positions, like the paper's gdb-based playback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset(
+    {
+        "int", "void", "char", "mutex", "cond",
+        "if", "else", "while", "for", "return", "break", "continue",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'int', 'char', 'string', 'ident', 'kw', 'op', 'eof'
+    text: str
+    line: int
+    value: int = 0
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+def tokenize(source: str) -> list[Token]:
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < n and source[pos].isdigit():
+                pos += 1
+            text = source[start:pos]
+            yield Token("int", text, line, value=int(text))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "kw" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line)
+            continue
+        if ch == "'":
+            value, pos = _char_literal(source, pos, line)
+            yield Token("char", source[pos - 1], line, value=value)
+            continue
+        if ch == '"':
+            text, pos, line = _string_literal(source, pos, line)
+            yield Token("string", text, line)
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                yield Token("op", op, line)
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    yield Token("eof", "", line)
+
+
+def _char_literal(source: str, pos: int, line: int) -> tuple[int, int]:
+    pos += 1  # opening quote
+    if pos >= len(source):
+        raise LexError("unterminated char literal", line)
+    ch = source[pos]
+    if ch == "\\":
+        pos += 1
+        if pos >= len(source) or source[pos] not in _ESCAPES:
+            raise LexError("bad escape in char literal", line)
+        value = ord(_ESCAPES[source[pos]])
+    else:
+        value = ord(ch)
+    pos += 1
+    if pos >= len(source) or source[pos] != "'":
+        raise LexError("unterminated char literal", line)
+    return value, pos + 1
+
+
+def _string_literal(source: str, pos: int, line: int) -> tuple[str, int, int]:
+    start_line = line
+    pos += 1  # opening quote
+    chars: list[str] = []
+    while pos < len(source):
+        ch = source[pos]
+        if ch == '"':
+            return "".join(chars), pos + 1, line
+        if ch == "\n":
+            raise LexError("newline in string literal", line)
+        if ch == "\\":
+            pos += 1
+            if pos >= len(source) or source[pos] not in _ESCAPES:
+                raise LexError("bad escape in string literal", line)
+            chars.append(_ESCAPES[source[pos]])
+        else:
+            chars.append(ch)
+        pos += 1
+    raise LexError("unterminated string literal", start_line)

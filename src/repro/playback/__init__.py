@@ -1,0 +1,12 @@
+"""Deterministic playback of synthesized executions (paper section 5)."""
+
+from .replay import PlaybackDivergence, PlaybackResult, play_back
+from .stepper import PlaybackDivergenceError, StrictStepper
+
+__all__ = [
+    "PlaybackDivergence",
+    "PlaybackDivergenceError",
+    "PlaybackResult",
+    "StrictStepper",
+    "play_back",
+]

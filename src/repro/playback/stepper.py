@@ -1,0 +1,104 @@
+"""Single-instruction stepping over a synthesized execution.
+
+The strict replayer as a resumable object: the debugger drives it one
+instruction at a time; :func:`repro.playback.play_back` drives it to the end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import ir
+from ..core.execfile import ExecutionFile
+from ..symbex import ConcreteEnv, ExecConfig, Executor
+from ..symbex.state import RUNNABLE, ExecutionState
+
+
+class PlaybackDivergenceError(Exception):
+    """Raised when the program no longer follows the synthesized schedule."""
+
+
+class StrictStepper:
+    """Replays the strict serial schedule one instruction per ``step()``."""
+
+    def __init__(
+        self, module: ir.Module, execution: ExecutionFile, max_steps: int = 10_000_000
+    ) -> None:
+        self.module = module
+        self.execution = execution
+        self.executor = Executor(
+            module, env=ConcreteEnv(execution.inputs), config=ExecConfig()
+        )
+        self.state: ExecutionState = self.executor.initial_state()
+        self.max_steps = max_steps
+        self._segments = execution.strict_schedule
+        self._segment_index = 0
+        self._executed_in_segment = 0
+        self._total = 0
+        if self._segments:
+            self.state.current_tid = self._segments[0].tid
+
+    @property
+    def done(self) -> bool:
+        return self.state.terminated
+
+    @property
+    def current_instruction(self) -> Optional[ir.Instr]:
+        if self.done:
+            return None
+        thread = self.state.threads.get(self.state.current_tid)
+        if thread is None or not thread.frames:
+            return None
+        return self.module.instruction(thread.pc)
+
+    def step(self) -> ExecutionState:
+        """Execute exactly one instruction (following the schedule)."""
+        if self.done:
+            return self.state
+        if self._total >= self.max_steps:
+            raise PlaybackDivergenceError("playback exceeded step budget")
+        self._position_on_schedule()
+        if self.done:
+            return self.state
+        before = self.state.steps
+        successors = self.executor.step(self.state)
+        if len(successors) != 1:
+            raise PlaybackDivergenceError("playback execution forked")
+        self.state = successors[0]
+        self._total += 1
+        self._executed_in_segment += self.state.steps - before
+        return self.state
+
+    def run(self, should_stop=None) -> ExecutionState:
+        """Step until termination or until ``should_stop(state)`` is true
+        *before* executing the next instruction."""
+        while not self.done:
+            if should_stop is not None and should_stop(self.state):
+                break
+            self.step()
+        return self.state
+
+    # -- schedule bookkeeping ------------------------------------------------
+
+    def _position_on_schedule(self) -> None:
+        while self._segment_index < len(self._segments):
+            segment = self._segments[self._segment_index]
+            if self._executed_in_segment >= segment.instrs:
+                self._segment_index += 1
+                self._executed_in_segment = 0
+                continue
+            thread = self.state.threads.get(segment.tid)
+            if thread is None:
+                raise PlaybackDivergenceError(
+                    f"schedule names thread {segment.tid}, which does not exist"
+                )
+            if thread.status != RUNNABLE:
+                raise PlaybackDivergenceError(
+                    f"thread {segment.tid} cannot run (status {thread.status}) at "
+                    f"instruction {self._executed_in_segment} of segment "
+                    f"{self._segment_index}"
+                )
+            self.state.current_tid = segment.tid
+            return
+        # Past the recorded schedule: let the program terminate naturally
+        # (e.g. the final scheduling step that diagnoses the deadlock).

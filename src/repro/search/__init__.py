@@ -1,0 +1,27 @@
+"""Search strategies over the symbolic execution tree."""
+
+from .engine import (
+    GoalPredicate,
+    SearchBudget,
+    SearchOutcome,
+    SearchStats,
+    Searcher,
+    explore,
+)
+from .esd import SCHEDULE_WEIGHT, GoalSpec, ProximityGuidedSearcher
+from .strategies import BFSSearcher, DFSSearcher, RandomPathSearcher
+
+__all__ = [
+    "BFSSearcher",
+    "DFSSearcher",
+    "GoalPredicate",
+    "GoalSpec",
+    "ProximityGuidedSearcher",
+    "RandomPathSearcher",
+    "SCHEDULE_WEIGHT",
+    "SearchBudget",
+    "SearchOutcome",
+    "SearchStats",
+    "Searcher",
+    "explore",
+]

@@ -1,0 +1,154 @@
+"""The exploration loop: a searcher picks states, the executor steps them.
+
+This mirrors the paper's section 3.3: forked states sit in a (strategy-
+specific) container; at every step one state is chosen, one instruction is
+executed in it, and any successors are returned to the container.  The
+engine is shared by ESD and by the KC baselines -- only the state-selection
+strategy differs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..symbex.executor import Executor
+from ..symbex.state import ExecutionState
+
+GoalPredicate = Callable[[ExecutionState], bool]
+
+
+class Searcher:
+    """Strategy interface: a mutable container of pending states."""
+
+    def add(self, state: ExecutionState) -> None:
+        raise NotImplementedError
+
+    def pick(self) -> ExecutionState:
+        """Remove and return the next state to execute."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def notify(self, event: str, state: ExecutionState) -> None:
+        """Optional hook for strategies that track events (e.g. ESD boosting
+        snapshot states when a contended mutex turns out to be an inner lock)."""
+
+
+@dataclass(slots=True)
+class SearchBudget:
+    max_instructions: int = 2_000_000
+    max_states: int = 200_000
+    max_seconds: float = 120.0
+    # How many instructions a picked state may run before being re-queued
+    # (it is returned early when it forks or terminates).  1 reproduces the
+    # paper's pick-one-instruction loop exactly; larger batches only change
+    # the interleaving of state selection, not which paths exist, and avoid
+    # re-sorting the queues after every instruction.
+    batch_instructions: int = 64
+
+
+@dataclass(slots=True)
+class SearchStats:
+    instructions: int = 0
+    picks: int = 0
+    states_explored: int = 0
+    bugs_seen: int = 0
+    paths_completed: int = 0
+    paths_infeasible: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class SearchOutcome:
+    """Result of one exploration run."""
+
+    goal_state: Optional[ExecutionState]
+    reason: str  # 'goal' | 'exhausted' | 'budget'
+    stats: SearchStats
+    other_bugs: list[ExecutionState] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.goal_state is not None
+
+
+def explore(
+    executor: Executor,
+    searcher: Searcher,
+    initial: ExecutionState,
+    is_goal: GoalPredicate,
+    budget: Optional[SearchBudget] = None,
+) -> SearchOutcome:
+    """Run the search until the goal is found or a budget is exhausted.
+
+    ``is_goal`` is evaluated on every successor state (terminated or not).
+    Terminated non-goal states are dropped; bug states that do not match the
+    goal are collected as ``other_bugs`` -- "ESD has discovered a different
+    bug ... records the information ... and resumes the search" (section 4.1).
+    """
+    budget = budget or SearchBudget()
+    stats = SearchStats()
+    other_bugs: list[ExecutionState] = []
+    deadline = time.monotonic() + budget.max_seconds
+    started = time.monotonic()
+
+    if is_goal(initial):
+        stats.seconds = time.monotonic() - started
+        return SearchOutcome(initial, "goal", stats, other_bugs)
+    searcher.add(initial)
+    states_seen = 1
+
+    while len(searcher):
+        if stats.instructions >= budget.max_instructions:
+            stats.seconds = time.monotonic() - started
+            return SearchOutcome(None, "budget", stats, other_bugs)
+        if states_seen >= budget.max_states:
+            stats.seconds = time.monotonic() - started
+            return SearchOutcome(None, "budget", stats, other_bugs)
+        if stats.picks % 256 == 0 and time.monotonic() > deadline:
+            stats.seconds = time.monotonic() - started
+            return SearchOutcome(None, "budget", stats, other_bugs)
+
+        state = searcher.pick()
+        stats.picks += 1
+        # Run the picked state for a batch: stop at a fork, termination, or
+        # the batch limit, whichever comes first.
+        pending = [state]
+        for _ in range(max(budget.batch_instructions, 1)):
+            successors = executor.step(pending[-1])
+            stats.instructions += 1
+            if len(successors) == 1 and not successors[0].terminated:
+                searcher.notify("step", successors[0])
+            else:
+                pending.pop()
+                pending.extend(successors)
+                for succ in successors:
+                    if not succ.terminated:
+                        searcher.notify("step", succ)
+                break
+
+        for succ in pending:
+            if is_goal(succ):
+                stats.states_explored = states_seen
+                stats.seconds = time.monotonic() - started
+                return SearchOutcome(succ, "goal", stats, other_bugs)
+            if succ.status == "bug":
+                stats.bugs_seen += 1
+                other_bugs.append(succ)
+                continue
+            if succ.status == "exited":
+                stats.paths_completed += 1
+                continue
+            if succ.status == "infeasible":
+                stats.paths_infeasible += 1
+                continue
+            if succ is not state:
+                states_seen += 1
+            searcher.add(succ)
+
+    stats.states_explored = states_seen
+    stats.seconds = time.monotonic() - started
+    return SearchOutcome(None, "exhausted", stats, other_bugs)

@@ -1,0 +1,201 @@
+"""ESD's proximity-guided search (paper sections 3.3-3.4).
+
+Each execution state has *n* distances: to the intermediate goals
+G1..Gn-1 discovered statically and to the final goal Gn = B.  The searcher
+keeps n "virtual" priority queues -- the queue entries are just tokens
+pointing at shared states -- ordered by the Algorithm-1 proximity estimate.
+Each pick chooses a queue uniformly at random and takes its closest state,
+"progressively advancing states toward the nearest intermediate goal".
+
+Two further focusing techniques from the paper are implemented here:
+
+* *path abandonment*: a state whose distance to the final goal is infinite
+  (it can statically never reach B -- the dynamic generalization of critical
+  edges) is dropped instead of enqueued;
+* *schedule distance*: for concurrency-bug synthesis, states carry a
+  near/far schedule distance (section 4.1); the queue priority is a weighted
+  combination "with a heavy bias toward schedule distance", so low-schedule-
+  distance states are selected preferentially.
+
+For the ablation benchmarks both techniques (and the intermediate-goal
+queues) can be disabled independently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+
+from ..analysis.distance import INF, DistanceCalculator
+from ..ir import InstrRef
+from ..symbex.state import ExecutionState
+from .engine import Searcher
+
+# The weight that makes schedule distance dominate path distance.  Path
+# distances are bounded by ~RECURSION_COST * call depth; 10^7 dwarfs that.
+SCHEDULE_WEIGHT = 10_000_000.0
+
+# Weight of one unachieved intermediate goal.  This realizes the paper's
+# "divide a big search into several small searches": states that have
+# already passed through more anchor blocks outrank states that have not,
+# so the search proceeds goal to goal instead of re-exploring phase 0.
+PHASE_WEIGHT = 100_000.0
+
+
+@dataclass(frozen=True, slots=True)
+class GoalSpec:
+    """One search goal: a disjunctive set of target locations.
+
+    For a deadlock involving several threads the final goal's alternatives
+    are each thread's blocked lock statement; for intermediate goals they are
+    the alternative defining blocks.
+    """
+
+    refs: tuple[InstrRef, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.refs:
+            raise ValueError("a goal needs at least one target location")
+
+
+class ProximityGuidedSearcher(Searcher):
+    """The ESD state-selection strategy."""
+
+    def __init__(
+        self,
+        distances: DistanceCalculator,
+        goals: list[GoalSpec],
+        final_goal: GoalSpec,
+        seed: int = 0,
+        prune_unreachable: bool = True,
+        use_schedule_distance: bool = True,
+    ) -> None:
+        if not goals or goals[-1] is not final_goal:
+            goals = list(goals) + [final_goal]
+        self.distances = distances
+        self.goals = goals
+        self.final_goal = final_goal
+        self.prune_unreachable = prune_unreachable
+        self.use_schedule_distance = use_schedule_distance
+        self._rng = random.Random(seed)
+        self._queues: list[list[tuple[float, int, dict]]] = [[] for _ in goals]
+        self._tokens: dict[int, dict] = {}
+        self._seq = itertools.count()
+        self._live = 0
+        self.pruned = 0
+        # Map (function, block) -> intermediate-goal indices, used to mark a
+        # goal *achieved* the moment a state's pc enters one of its blocks.
+        # Achieved goals stop attracting that state's lineage: without this,
+        # the goal queue keeps picking states that circle a loop around an
+        # already-executed definition instead of advancing to the next goal.
+        self._goal_blocks: dict[tuple[str, str], list[int]] = {}
+        for index, goal in enumerate(self.goals[:-1]):
+            for ref in goal.refs:
+                self._goal_blocks.setdefault(
+                    (ref.function, ref.block), []
+                ).append(index)
+
+    # -- distance ------------------------------------------------------------
+
+    def state_distance(self, state: ExecutionState, goal: GoalSpec) -> float:
+        """Min Algorithm-1 distance over the state's live threads and the
+        goal's alternative locations."""
+        best = INF
+        for thread in state.live_threads():
+            if not thread.frames:
+                continue
+            frames = thread.call_stack()
+            for ref in goal.refs:
+                d = self.distances.state_distance(frames, ref)
+                if d < best:
+                    best = d
+                    if best == 0:
+                        return 0.0
+        return best
+
+    def _priority(self, state: ExecutionState, distance: float) -> float:
+        achieved: frozenset = state.meta.get("goals_done", frozenset())  # type: ignore[assignment]
+        missing = len(self.goals) - 1 - len(achieved)
+        priority = max(missing, 0) * PHASE_WEIGHT + distance
+        if self.use_schedule_distance:
+            priority += state.schedule_distance * SCHEDULE_WEIGHT
+        return priority
+
+    # -- Searcher interface ------------------------------------------------------
+
+    def notify(self, event: str, state: ExecutionState) -> None:
+        """Per-instruction observation: mark intermediate goals achieved."""
+        if event != "step" or not self._goal_blocks:
+            return
+        thread = state.threads.get(state.current_tid)
+        if thread is None or not thread.frames:
+            return
+        ref = thread.pc
+        hits = self._goal_blocks.get((ref.function, ref.block))
+        if not hits:
+            return
+        achieved: frozenset = state.meta.get("goals_done", frozenset())  # type: ignore[assignment]
+        updated = achieved.union(hits)
+        if updated != achieved:
+            state.meta["goals_done"] = updated
+
+    def add(self, state: ExecutionState) -> None:
+        final_distance = self.state_distance(state, self.final_goal)
+        if self.prune_unreachable and final_distance == INF:
+            self.pruned += 1
+            return
+        token = {"state": state, "live": True}
+        old = self._tokens.get(state.sid)
+        if old is not None and old["live"]:
+            old["live"] = False
+            self._live -= 1
+        self._tokens[state.sid] = token
+        achieved: frozenset = state.meta.get("goals_done", frozenset())  # type: ignore[assignment]
+        pushed = False
+        for index, goal in enumerate(self.goals):
+            if goal is not self.final_goal and index in achieved:
+                continue
+            distance = (
+                final_distance if goal is self.final_goal
+                else self.state_distance(state, goal)
+            )
+            if distance == INF:
+                continue
+            heapq.heappush(
+                self._queues[index],
+                (self._priority(state, distance), next(self._seq), token),
+            )
+            pushed = True
+        if not pushed:
+            # Unreachable but pruning disabled: park on the final queue.
+            heapq.heappush(
+                self._queues[-1], (float("inf"), next(self._seq), token)
+            )
+        self._live += 1
+
+    def pick(self) -> ExecutionState:
+        while True:
+            candidates = [q for q in self._queues if q]
+            if not candidates:
+                raise IndexError("pick from an empty searcher")
+            queue = self._rng.choice(candidates)
+            _, _, token = heapq.heappop(queue)
+            if token["live"]:
+                token["live"] = False
+                self._live -= 1
+                return token["state"]
+
+    def boost(self, state: ExecutionState) -> None:
+        """Re-prioritize a pending state whose schedule distance changed
+        (the deadlock policy 'switches to' snapshot states this way)."""
+        token = self._tokens.get(state.sid)
+        if token is not None and token["live"]:
+            token["live"] = False
+            self._live -= 1
+            self.add(state)
+
+    def __len__(self) -> int:
+        return self._live

@@ -1,0 +1,77 @@
+"""Baseline search strategies: DFS, BFS, and Klee's RandomPath.
+
+The paper's KC baseline (section 7.2) inherits DFS ("equivalent to an
+exhaustive search") and RandomPath ("a quasi-random strategy meant to
+maximize global path coverage") directly from Klee; both are reimplemented
+here over the shared engine.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from ..symbex.state import ExecutionState
+from .engine import Searcher
+
+
+class DFSSearcher(Searcher):
+    """Depth-first: always continue the most recently forked state."""
+
+    def __init__(self) -> None:
+        self._stack: list[ExecutionState] = []
+
+    def add(self, state: ExecutionState) -> None:
+        self._stack.append(state)
+
+    def pick(self) -> ExecutionState:
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class BFSSearcher(Searcher):
+    """Breadth-first: round-robin over all pending states."""
+
+    def __init__(self) -> None:
+        self._queue: deque[ExecutionState] = deque()
+
+    def add(self, state: ExecutionState) -> None:
+        self._queue.append(state)
+
+    def pick(self) -> ExecutionState:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class RandomPathSearcher(Searcher):
+    """Approximation of Klee's RandomPath.
+
+    Klee walks the fork tree from the root, flipping a fair coin at each
+    branch, which weights states by 1/2^depth -- favoring states high in the
+    tree (short paths).  We keep the forked tree implicitly: states carry
+    ``forks`` (their fork depth), and we sample with weight 2^-min(forks, 62).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._states: list[ExecutionState] = []
+        self._rng = random.Random(seed)
+
+    def add(self, state: ExecutionState) -> None:
+        self._states.append(state)
+
+    def pick(self) -> ExecutionState:
+        weights = [2.0 ** -min(s.forks, 62) for s in self._states]
+        index = self._rng.choices(range(len(self._states)), weights=weights)[0]
+        # swap-remove for O(1) deletion
+        last = len(self._states) - 1
+        self._states[index], self._states[last] = (
+            self._states[last], self._states[index],
+        )
+        return self._states.pop()
+
+    def __len__(self) -> int:
+        return len(self._states)

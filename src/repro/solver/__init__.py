@@ -1,0 +1,39 @@
+"""Symbolic expressions and the constraint solver (the repo's STP stand-in)."""
+
+from .expr import (
+    Atom,
+    BinExpr,
+    Expr,
+    UnExpr,
+    Var,
+    binop,
+    evaluate,
+    make_var,
+    negate,
+    truthy,
+    unop,
+    walk,
+)
+from .intervals import Interval, IntervalEvaluator
+from .solver import Result, Solution, Solver, SolverStats
+
+__all__ = [
+    "Atom",
+    "BinExpr",
+    "Expr",
+    "Interval",
+    "IntervalEvaluator",
+    "Result",
+    "Solution",
+    "Solver",
+    "SolverStats",
+    "UnExpr",
+    "Var",
+    "binop",
+    "evaluate",
+    "make_var",
+    "negate",
+    "truthy",
+    "unop",
+    "walk",
+]

@@ -1,0 +1,323 @@
+"""Symbolic expression DAG.
+
+During symbolic execution (paper section 3.3), program inputs are
+*unconstrained symbolic values*; operations on them build expressions, and
+branch decisions accumulate constraints over those expressions.
+
+Expressions here are hash-consed: structurally identical expressions are the
+same Python object, so equality/hashing is identity, path conditions
+deduplicate for free, and the solver cache can key on expression ids.  Smart
+constructors constant-fold eagerly, so an expression containing no variables
+is always reduced to a plain Python int before an :class:`Expr` is built.
+
+Semantics are C-like signed 32-bit integers.  Comparison and logical
+operators yield 0/1.  Division/modulo truncate toward zero (the executor
+forks on a possibly-zero symbolic divisor before the expression is built).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from ..ir.values import wrap32
+
+Atom = Union[int, "Expr"]
+
+_COMMUTATIVE = frozenset({"+", "*", "&", "|", "^", "==", "!="})
+
+
+def _c_div(a: int, b: int) -> int:
+    """C division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C modulo: sign follows the dividend."""
+    return a - _c_div(a, b) * b
+
+
+_FOLDERS = {
+    "+": lambda a, b: wrap32(a + b),
+    "-": lambda a, b: wrap32(a - b),
+    "*": lambda a, b: wrap32(a * b),
+    "/": lambda a, b: wrap32(_c_div(a, b)),
+    "%": lambda a, b: wrap32(_c_mod(a, b)),
+    "&": lambda a, b: wrap32(a & b),
+    "|": lambda a, b: wrap32(a | b),
+    "^": lambda a, b: wrap32(a ^ b),
+    "<<": lambda a, b: wrap32(a << (b & 31)),
+    ">>": lambda a, b: wrap32(a >> (b & 31)),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+_UNARY_FOLDERS = {
+    "-": lambda a: wrap32(-a),
+    "!": lambda a: int(not a),
+    "~": lambda a: wrap32(~a),
+}
+
+_NEGATED_CMP = {
+    "==": "!=", "!=": "==",
+    "<": ">=", ">=": "<",
+    ">": "<=", "<=": ">",
+}
+
+
+class Expr:
+    """Base class for symbolic expressions.  Instances are interned."""
+
+    __slots__ = ("uid", "_vars")
+
+    uid_counter = 0
+
+    def variables(self) -> frozenset["Var"]:
+        return self._vars  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Var(Expr):
+    """A symbolic input with an inclusive integer domain ``[lo, hi]``.
+
+    Domains come from the input's type: bytes of stdin/env/argv strings are
+    ``[0, 255]``, generic int inputs get a configurable range.  Finite domains
+    are what makes the solver complete over this constraint class (the
+    analogue of the paper's "symbolic execution cannot invert SHA-2" limit).
+    """
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: str, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"empty domain for {name}: [{lo}, {hi}]")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        Expr.uid_counter += 1
+        self.uid = Expr.uid_counter
+        self._vars = frozenset((self,))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class BinExpr(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Atom, rhs: Atom) -> None:
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        Expr.uid_counter += 1
+        self.uid = Expr.uid_counter
+        vars_: frozenset[Var] = frozenset()
+        if isinstance(lhs, Expr):
+            vars_ |= lhs.variables()
+        if isinstance(rhs, Expr):
+            vars_ |= rhs.variables()
+        self._vars = vars_
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class UnExpr(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        self.op = op
+        self.operand = operand
+        Expr.uid_counter += 1
+        self.uid = Expr.uid_counter
+        self._vars = operand.variables()
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+# Intern table: (op, lhs key, rhs key) -> Expr.  Var objects are unique by
+# construction (fresh input names), so only compound nodes are interned.
+_interned: dict[tuple, Expr] = {}
+
+
+def _key(atom: Atom) -> object:
+    return atom.uid if isinstance(atom, Expr) else ("c", atom)
+
+
+def make_var(name: str, lo: int = -(2**31), hi: int = 2**31 - 1) -> Var:
+    return Var(name, lo, hi)
+
+
+def binop(op: str, lhs: Atom, rhs: Atom) -> Atom:
+    """Build ``lhs op rhs``, folding and simplifying."""
+    if isinstance(lhs, int) and isinstance(rhs, int):
+        return _FOLDERS[op](lhs, rhs)
+
+    simplified = _simplify_binop(op, lhs, rhs)
+    if simplified is not None:
+        return simplified
+
+    if op in _COMMUTATIVE and isinstance(lhs, int):
+        lhs, rhs = rhs, lhs  # canonical form: constant on the right
+
+    key = (op, _key(lhs), _key(rhs))
+    cached = _interned.get(key)
+    if cached is not None:
+        return cached
+    expr = BinExpr(op, lhs, rhs)
+    _interned[key] = expr
+    return expr
+
+
+def unop(op: str, operand: Atom) -> Atom:
+    if isinstance(operand, int):
+        return _UNARY_FOLDERS[op](operand)
+    if op == "-":
+        return binop("-", 0, operand)
+    if op == "!":
+        # !(a cmp b) -> negated comparison; !!x stays as (x == 0) == 0 form.
+        if isinstance(operand, BinExpr) and operand.op in _NEGATED_CMP:
+            return binop(_NEGATED_CMP[operand.op], operand.lhs, operand.rhs)
+        return binop("==", operand, 0)
+    key = (op, _key(operand), None)
+    cached = _interned.get(key)
+    if cached is not None:
+        return cached
+    expr = UnExpr(op, operand)
+    _interned[key] = expr
+    return expr
+
+
+def _simplify_binop(op: str, lhs: Atom, rhs: Atom) -> Optional[Atom]:
+    """Local algebraic simplifications.  Returns None when nothing applies."""
+    if op == "+":
+        if rhs == 0:
+            return lhs
+        if lhs == 0:
+            return rhs
+    elif op == "-":
+        if rhs == 0:
+            return lhs
+        if lhs is rhs:
+            return 0
+    elif op == "*":
+        if rhs == 1:
+            return lhs
+        if lhs == 1:
+            return rhs
+        if rhs == 0 or lhs == 0:
+            return 0
+    elif op == "/":
+        if rhs == 1:
+            return lhs
+    elif op in ("&&", "||"):
+        lhs_known = lhs if isinstance(lhs, int) else None
+        rhs_known = rhs if isinstance(rhs, int) else None
+        if op == "&&":
+            if lhs_known == 0 or rhs_known == 0:
+                return 0
+            if lhs_known is not None and lhs_known != 0:
+                return truthy(rhs)
+            if rhs_known is not None and rhs_known != 0:
+                return truthy(lhs)
+        else:
+            if (lhs_known is not None and lhs_known != 0) or (
+                rhs_known is not None and rhs_known != 0
+            ):
+                return 1
+            if lhs_known == 0:
+                return truthy(rhs)
+            if rhs_known == 0:
+                return truthy(lhs)
+    elif op in ("==", "!=", "<=", ">="):
+        if lhs is rhs and isinstance(lhs, Expr):
+            return int(op in ("==", "<=", ">="))
+    elif op in ("<", ">"):
+        if lhs is rhs and isinstance(lhs, Expr):
+            return 0
+    return None
+
+
+def truthy(atom: Atom) -> Atom:
+    """Normalize to 0/1: ``atom != 0``."""
+    if isinstance(atom, int):
+        return int(atom != 0)
+    if isinstance(atom, BinExpr) and atom.op in _NEGATED_CMP:
+        return atom  # comparisons are already 0/1
+    if isinstance(atom, BinExpr) and atom.op in ("&&", "||"):
+        return atom
+    if isinstance(atom, UnExpr) and atom.op == "!":
+        return atom
+    return binop("!=", atom, 0)
+
+
+def negate(atom: Atom) -> Atom:
+    """Logical negation: ``atom == 0``."""
+    return unop("!", atom) if isinstance(atom, Expr) else int(not atom)
+
+
+def evaluate(atom: Atom, model: dict[str, int]) -> int:
+    """Evaluate under a complete assignment of the variables involved."""
+    if isinstance(atom, int):
+        return atom
+    result = _eval_cache_walk(atom, model, {})
+    return result
+
+
+def _eval_cache_walk(expr: Expr, model: dict[str, int], cache: dict[int, int]) -> int:
+    cached = cache.get(expr.uid)
+    if cached is not None:
+        return cached
+    if isinstance(expr, Var):
+        value = model[expr.name]
+    elif isinstance(expr, BinExpr):
+        lhs = (
+            _eval_cache_walk(expr.lhs, model, cache)
+            if isinstance(expr.lhs, Expr) else expr.lhs
+        )
+        rhs = (
+            _eval_cache_walk(expr.rhs, model, cache)
+            if isinstance(expr.rhs, Expr) else expr.rhs
+        )
+        if expr.op in ("/", "%") and rhs == 0:
+            raise ZeroDivisionError("symbolic division by zero under model")
+        value = _FOLDERS[expr.op](lhs, rhs)
+    elif isinstance(expr, UnExpr):
+        value = _UNARY_FOLDERS[expr.op](_eval_cache_walk(expr.operand, model, cache))
+    else:  # pragma: no cover
+        raise TypeError(f"unknown expression node {expr!r}")
+    cache[expr.uid] = value
+    return value
+
+
+def walk(atom: Atom) -> Iterator[Expr]:
+    """Yield every node of an expression once (post-order)."""
+    if not isinstance(atom, Expr):
+        return
+    seen: set[int] = set()
+    stack = [atom]
+    while stack:
+        node = stack.pop()
+        if node.uid in seen:
+            continue
+        seen.add(node.uid)
+        if isinstance(node, BinExpr):
+            if isinstance(node.lhs, Expr):
+                stack.append(node.lhs)
+            if isinstance(node.rhs, Expr):
+                stack.append(node.rhs)
+        elif isinstance(node, UnExpr):
+            stack.append(node.operand)
+        yield node

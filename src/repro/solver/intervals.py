@@ -1,0 +1,246 @@
+"""Interval arithmetic for constraint propagation.
+
+The solver narrows variable domains with HC4-style propagation: a forward
+pass evaluates the interval of every expression node bottom-up, a backward
+pass pushes the required result interval down through each operator.
+Narrowing is *sound but not complete*: it may keep values that are not
+solutions (the search fixes that), but it never drops a real solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expr import BinExpr, Expr, UnExpr, Var
+
+# All program values are signed 32-bit; intervals never need to exceed this.
+LO_MIN = -(2**31)
+HI_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    lo: int
+    hi: int
+
+    @property
+    def empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def singleton(self) -> bool:
+        return self.lo == self.hi
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __len__(self) -> int:
+        return 0 if self.empty else self.hi - self.lo + 1
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def union(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+EMPTY = Interval(1, 0)
+FULL = Interval(LO_MIN, HI_MAX)
+TRUE = Interval(1, 1)
+FALSE = Interval(0, 0)
+BOOL = Interval(0, 1)
+
+
+def _clamp(lo: int, hi: int) -> Interval:
+    return Interval(max(lo, LO_MIN), min(hi, HI_MAX))
+
+
+def add(a: Interval, b: Interval) -> Interval:
+    return _clamp(a.lo + b.lo, a.hi + b.hi)
+
+
+def sub(a: Interval, b: Interval) -> Interval:
+    return _clamp(a.lo - b.hi, a.hi - b.lo)
+
+
+def mul(a: Interval, b: Interval) -> Interval:
+    products = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return _clamp(min(products), max(products))
+
+
+def divide(a: Interval, b: Interval) -> Interval:
+    """C truncating division; conservative when the divisor spans zero."""
+    if 0 in b:
+        # Dividing by something near zero can produce any magnitude.
+        return FULL
+    candidates = []
+    for x in (a.lo, a.hi):
+        for y in (b.lo, b.hi):
+            q = abs(x) // abs(y)
+            candidates.append(-q if (x < 0) != (y < 0) else q)
+    return _clamp(min(candidates), max(candidates))
+
+
+def modulo(a: Interval, b: Interval) -> Interval:
+    if b.lo == b.hi and b.lo > 0:
+        c = b.lo
+        if a.lo >= 0:
+            if a.hi < c:
+                return a  # no reduction happens
+            return Interval(0, c - 1)
+        return Interval(-(c - 1), c - 1)
+    return FULL
+
+
+def shift_left(a: Interval, b: Interval) -> Interval:
+    if b.singleton and 0 <= b.lo <= 31 and a.lo >= 0:
+        return _clamp(a.lo << b.lo, a.hi << b.lo)
+    return FULL
+
+
+def shift_right(a: Interval, b: Interval) -> Interval:
+    if b.singleton and 0 <= b.lo <= 31:
+        return _clamp(a.lo >> b.lo, a.hi >> b.lo)
+    return FULL
+
+
+def bit_and(a: Interval, b: Interval) -> Interval:
+    if a.lo >= 0 and b.lo >= 0:
+        return Interval(0, min(a.hi, b.hi))
+    return FULL
+
+
+def bit_or(a: Interval, b: Interval) -> Interval:
+    if a.lo >= 0 and b.lo >= 0:
+        bound = _next_pow2_minus1(max(a.hi, b.hi))
+        return Interval(0, min(bound, HI_MAX))
+    return FULL
+
+
+def bit_xor(a: Interval, b: Interval) -> Interval:
+    return bit_or(a, b)
+
+
+def _next_pow2_minus1(value: int) -> int:
+    bound = 1
+    while bound <= value:
+        bound <<= 1
+    return bound - 1
+
+
+_FORWARD = {
+    "+": add,
+    "-": sub,
+    "*": mul,
+    "/": divide,
+    "%": modulo,
+    "<<": shift_left,
+    ">>": shift_right,
+    "&": bit_and,
+    "|": bit_or,
+    "^": bit_xor,
+}
+
+
+def _compare_forward(op: str, a: Interval, b: Interval) -> Interval:
+    if op == "==":
+        if a.singleton and b.singleton:
+            return TRUE if a.lo == b.lo else FALSE
+        if a.intersect(b).empty:
+            return FALSE
+        return BOOL
+    if op == "!=":
+        inner = _compare_forward("==", a, b)
+        if inner is TRUE:
+            return FALSE
+        if inner is FALSE:
+            return TRUE
+        return BOOL
+    if op == "<":
+        if a.hi < b.lo:
+            return TRUE
+        if a.lo >= b.hi:
+            return FALSE
+        return BOOL
+    if op == "<=":
+        if a.hi <= b.lo:
+            return TRUE
+        if a.lo > b.hi:
+            return FALSE
+        return BOOL
+    if op == ">":
+        return _compare_forward("<", b, a)
+    if op == ">=":
+        return _compare_forward("<=", b, a)
+    raise KeyError(op)
+
+
+def _logic_forward(op: str, a: Interval, b: Interval) -> Interval:
+    a_true = a.lo > 0 or a.hi < 0
+    a_false = a.singleton and a.lo == 0
+    b_true = b.lo > 0 or b.hi < 0
+    b_false = b.singleton and b.lo == 0
+    if op == "&&":
+        if a_false or b_false:
+            return FALSE
+        if a_true and b_true:
+            return TRUE
+        return BOOL
+    if a_true or b_true:
+        return TRUE
+    if a_false and b_false:
+        return FALSE
+    return BOOL
+
+
+class IntervalEvaluator:
+    """Forward interval evaluation with per-call memoization."""
+
+    def __init__(self, domains: dict[str, Interval]) -> None:
+        self._domains = domains
+        self._memo: dict[int, Interval] = {}
+
+    def eval(self, atom) -> Interval:
+        if isinstance(atom, int):
+            return Interval(atom, atom)
+        return self._eval_expr(atom)
+
+    def _eval_expr(self, expr: Expr) -> Interval:
+        cached = self._memo.get(expr.uid)
+        if cached is not None:
+            return cached
+        if isinstance(expr, Var):
+            result = self._domains.get(expr.name, Interval(expr.lo, expr.hi))
+        elif isinstance(expr, BinExpr):
+            a = self.eval(expr.lhs)
+            b = self.eval(expr.rhs)
+            if expr.op in _FORWARD:
+                result = _FORWARD[expr.op](a, b)
+            elif expr.op in ("&&", "||"):
+                result = _logic_forward(expr.op, a, b)
+            else:
+                result = _compare_forward(expr.op, a, b)
+        elif isinstance(expr, UnExpr):
+            inner = self.eval(expr.operand)
+            if expr.op == "-":
+                result = Interval(-inner.hi, -inner.lo)
+            elif expr.op == "!":
+                if inner.singleton and inner.lo == 0:
+                    result = TRUE
+                elif 0 not in inner:
+                    result = FALSE
+                else:
+                    result = BOOL
+            else:  # '~'
+                result = Interval(~inner.hi, ~inner.lo)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown node {expr!r}")
+        self._memo[expr.uid] = result
+        return result

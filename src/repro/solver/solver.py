@@ -1,0 +1,455 @@
+"""Constraint solver: interval propagation + branch-and-prune search.
+
+This is the stand-in for the STP solver Klee uses.  Constraints are symbolic
+expressions required to be *truthy* (non-zero).  The solver:
+
+1. folds away concrete constraints,
+2. narrows variable domains by HC4-style forward/backward interval
+   propagation until a fixpoint,
+3. searches: enumerate small domains / bisect large ones, propagating after
+   every decision, and
+4. verifies every model by direct evaluation before reporting SAT (so a
+   propagation bug can cost time but never soundness).
+
+Results are cached by the constraint set's expression ids, mirroring Klee's
+counterexample cache.  Because variable domains are finite, the search is
+complete given enough budget; budget exhaustion reports UNKNOWN, which
+callers treat as "possibly feasible" (search keeps going, never drops paths).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from . import intervals as iv
+from .expr import Atom, BinExpr, Expr, UnExpr, Var, evaluate
+from .intervals import Interval, IntervalEvaluator
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass(slots=True)
+class Solution:
+    result: Result
+    model: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.result is Result.SAT
+
+    @property
+    def maybe_sat(self) -> bool:
+        """True unless definitely unsatisfiable (UNKNOWN counts as maybe)."""
+        return self.result is not Result.UNSAT
+
+
+class _Conflict(Exception):
+    """A domain became empty during propagation."""
+
+
+class _BudgetExhausted(Exception):
+    """The search budget ran out."""
+
+
+_MIRROR = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "==": "==", "!=": "!="}
+
+
+@dataclass(slots=True)
+class SolverStats:
+    queries: int = 0
+    cache_hits: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    search_nodes: int = 0
+
+
+class Solver:
+    """A reusable solver instance with a query cache.
+
+    ``enumeration_limit`` bounds how many values of one variable are tried
+    before bisection takes over; ``max_nodes`` bounds total search nodes per
+    query.
+    """
+
+    def __init__(self, enumeration_limit: int = 1024, max_nodes: int = 200_000) -> None:
+        self.enumeration_limit = enumeration_limit
+        self.max_nodes = max_nodes
+        self.stats = SolverStats()
+        self._cache: dict[frozenset[int], Solution] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def check(self, constraints: Iterable[Atom]) -> Solution:
+        """Decide satisfiability of the conjunction of ``constraints``.
+
+        Constraints are first partitioned into *independent* groups (connected
+        components of the shares-a-variable relation, Klee's independent-
+        constraint optimization); each component is solved and cached
+        separately.  Long path conditions over many unrelated inputs then
+        cost one small solve for the component the newest constraint touches,
+        with everything else answered from cache.
+        """
+        self.stats.queries += 1
+        exprs: list[Expr] = []
+        for atom in constraints:
+            if isinstance(atom, int):
+                if atom == 0:
+                    return Solution(Result.UNSAT)
+                continue
+            exprs.append(atom)
+        if not exprs:
+            return Solution(Result.SAT)
+
+        merged_model: dict[str, int] = {}
+        worst = Result.SAT
+        for component in _independent_components(exprs):
+            solution = self._check_component(component)
+            if solution.result is Result.UNSAT:
+                self.stats.unsat += 1
+                return Solution(Result.UNSAT)
+            if solution.result is Result.UNKNOWN:
+                worst = Result.UNKNOWN
+            merged_model.update(solution.model)
+        if worst is Result.SAT:
+            self.stats.sat += 1
+            return Solution(Result.SAT, merged_model)
+        self.stats.unknown += 1
+        return Solution(Result.UNKNOWN)
+
+    def _check_component(self, exprs: list[Expr]) -> Solution:
+        key = frozenset(e.uid for e in exprs)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        solution = self._solve(exprs)
+        if solution.result is not Result.UNKNOWN:
+            self._cache[key] = solution
+        return solution
+
+    def feasible(self, constraints: Iterable[Atom]) -> bool:
+        """May these constraints hold?  UNKNOWN counts as feasible (sound for
+        path search: we never drop a path we cannot refute)."""
+        return self.check(constraints).maybe_sat
+
+    def model(self, constraints: Iterable[Atom]) -> Optional[dict[str, int]]:
+        solution = self.check(constraints)
+        return dict(solution.model) if solution.is_sat else None
+
+    # -- core ---------------------------------------------------------------
+
+    def _solve(self, exprs: list[Expr]) -> Solution:
+        domains: dict[str, Interval] = {}
+        for expr in exprs:
+            for var in expr.variables():
+                domains.setdefault(var.name, Interval(var.lo, var.hi))
+        self._budget = self.max_nodes
+        try:
+            model = self._search(exprs, domains)
+        except _BudgetExhausted:
+            return Solution(Result.UNKNOWN)
+        if model is None:
+            return Solution(Result.UNSAT)
+        return Solution(Result.SAT, model)
+
+    def _search(
+        self, exprs: list[Expr], domains: dict[str, Interval]
+    ) -> Optional[dict[str, int]]:
+        self._budget -= 1
+        self.stats.search_nodes += 1
+        if self._budget <= 0:
+            raise _BudgetExhausted
+        try:
+            domains = self._propagate(exprs, domains)
+        except _Conflict:
+            return None
+
+        open_vars = [
+            (len(interval), name)
+            for name, interval in domains.items()
+            if not interval.singleton
+        ]
+        if not open_vars:
+            model = {name: interval.lo for name, interval in domains.items()}
+            return model if self._verify(exprs, model) else None
+
+        open_vars.sort()
+        size, name = open_vars[0]
+        interval = domains[name]
+        if size <= self.enumeration_limit:
+            for value in self._ordered_values(name, interval, exprs):
+                child = dict(domains)
+                child[name] = Interval(value, value)
+                model = self._search(exprs, child)
+                if model is not None:
+                    return model
+            return None
+        mid = (interval.lo + interval.hi) // 2
+        for half in (Interval(interval.lo, mid), Interval(mid + 1, interval.hi)):
+            child = dict(domains)
+            child[name] = half
+            model = self._search(exprs, child)
+            if model is not None:
+                return model
+        return None
+
+    def _ordered_values(
+        self, name: str, interval: Interval, exprs: list[Expr]
+    ) -> Iterable[int]:
+        """Try equality hints first, then sweep the domain in order."""
+        hints: list[int] = []
+        for expr in exprs:
+            if (
+                isinstance(expr, BinExpr)
+                and expr.op == "=="
+                and isinstance(expr.lhs, Var)
+                and expr.lhs.name == name
+                and isinstance(expr.rhs, int)
+                and expr.rhs in interval
+            ):
+                hints.append(expr.rhs)
+        seen = set(hints)
+        yield from hints
+        for value in range(interval.lo, interval.hi + 1):
+            if value not in seen:
+                yield value
+
+    def _verify(self, exprs: list[Expr], model: dict[str, int]) -> bool:
+        try:
+            return all(evaluate(expr, model) != 0 for expr in exprs)
+        except ZeroDivisionError:
+            return False
+
+    # -- propagation ------------------------------------------------------------
+
+    def _propagate(
+        self, exprs: list[Expr], domains: dict[str, Interval]
+    ) -> dict[str, Interval]:
+        domains = dict(domains)
+        for _ in range(20):  # fixpoint almost always reached in 2-3 rounds
+            self._changed = False
+            evaluator = IntervalEvaluator(domains)
+            for expr in exprs:
+                result = evaluator.eval(expr)
+                if result.singleton and result.lo == 0:
+                    raise _Conflict
+                self._narrow_truthy(expr, domains, evaluator)
+            if not self._changed:
+                break
+        return domains
+
+    def _update(self, var: Var, required: Interval, domains: dict[str, Interval]) -> None:
+        current = domains.get(var.name, Interval(var.lo, var.hi))
+        narrowed = current.intersect(required)
+        if narrowed.empty:
+            raise _Conflict
+        if narrowed != current:
+            domains[var.name] = narrowed
+            self._changed = True
+
+    def _narrow_truthy(
+        self, atom: Atom, domains: dict[str, Interval], ev: IntervalEvaluator
+    ) -> None:
+        """Require ``atom != 0`` and push implied bounds down."""
+        if isinstance(atom, int):
+            if atom == 0:
+                raise _Conflict
+            return
+        if isinstance(atom, Var):
+            # v != 0: can only trim an endpoint.
+            self._trim_value(atom, 0, domains)
+            return
+        if isinstance(atom, UnExpr) and atom.op == "!":
+            self._narrow_falsy(atom.operand, domains, ev)
+            return
+        if isinstance(atom, BinExpr):
+            if atom.op == "&&":
+                self._narrow_truthy(atom.lhs, domains, ev)
+                self._narrow_truthy(atom.rhs, domains, ev)
+                return
+            if atom.op == "||":
+                lhs_iv = ev.eval(atom.lhs)
+                rhs_iv = ev.eval(atom.rhs)
+                if lhs_iv.singleton and lhs_iv.lo == 0:
+                    self._narrow_truthy(atom.rhs, domains, ev)
+                elif rhs_iv.singleton and rhs_iv.lo == 0:
+                    self._narrow_truthy(atom.lhs, domains, ev)
+                return
+            if atom.op in _MIRROR:
+                self._narrow_compare(atom.op, atom.lhs, atom.rhs, domains, ev)
+                return
+        # Generic non-boolean expression: nothing useful to push down.
+
+    def _narrow_falsy(
+        self, atom: Atom, domains: dict[str, Interval], ev: IntervalEvaluator
+    ) -> None:
+        """Require ``atom == 0``."""
+        if isinstance(atom, int):
+            if atom != 0:
+                raise _Conflict
+            return
+        if isinstance(atom, Var):
+            self._update(atom, iv.FALSE, domains)
+            return
+        if isinstance(atom, UnExpr) and atom.op == "!":
+            self._narrow_truthy(atom.operand, domains, ev)
+            return
+        if isinstance(atom, BinExpr):
+            if atom.op == "||":
+                self._narrow_falsy(atom.lhs, domains, ev)
+                self._narrow_falsy(atom.rhs, domains, ev)
+                return
+            if atom.op == "&&":
+                lhs_iv = ev.eval(atom.lhs)
+                rhs_iv = ev.eval(atom.rhs)
+                if lhs_iv.lo > 0 or lhs_iv.hi < 0:
+                    self._narrow_falsy(atom.rhs, domains, ev)
+                elif rhs_iv.lo > 0 or rhs_iv.hi < 0:
+                    self._narrow_falsy(atom.lhs, domains, ev)
+                return
+            if atom.op in _MIRROR:
+                negated = {
+                    "==": "!=", "!=": "==", "<": ">=",
+                    ">=": "<", ">": "<=", "<=": ">",
+                }[atom.op]
+                self._narrow_compare(negated, atom.lhs, atom.rhs, domains, ev)
+                return
+
+    def _narrow_compare(
+        self, op: str, lhs: Atom, rhs: Atom, domains: dict[str, Interval],
+        ev: IntervalEvaluator,
+    ) -> None:
+        lhs_iv = ev.eval(lhs)
+        rhs_iv = ev.eval(rhs)
+        if op == "==":
+            meet = lhs_iv.intersect(rhs_iv)
+            if meet.empty:
+                raise _Conflict
+            self._narrow_term(lhs, meet, domains, ev)
+            self._narrow_term(rhs, meet, domains, ev)
+        elif op == "!=":
+            if lhs_iv.singleton and rhs_iv.singleton and lhs_iv.lo == rhs_iv.lo:
+                raise _Conflict
+            if rhs_iv.singleton and isinstance(lhs, Var):
+                self._trim_value(lhs, rhs_iv.lo, domains)
+            if lhs_iv.singleton and isinstance(rhs, Var):
+                self._trim_value(rhs, lhs_iv.lo, domains)
+        elif op == "<":
+            self._narrow_term(lhs, Interval(iv.LO_MIN, rhs_iv.hi - 1), domains, ev)
+            self._narrow_term(rhs, Interval(lhs_iv.lo + 1, iv.HI_MAX), domains, ev)
+        elif op == "<=":
+            self._narrow_term(lhs, Interval(iv.LO_MIN, rhs_iv.hi), domains, ev)
+            self._narrow_term(rhs, Interval(lhs_iv.lo, iv.HI_MAX), domains, ev)
+        elif op == ">":
+            self._narrow_compare("<", rhs, lhs, domains, ev)
+        elif op == ">=":
+            self._narrow_compare("<=", rhs, lhs, domains, ev)
+
+    def _trim_value(self, var: Var, value: int, domains: dict[str, Interval]) -> None:
+        """Remove ``value`` from a variable's domain if it sits on an endpoint."""
+        current = domains.get(var.name, Interval(var.lo, var.hi))
+        if current.singleton and current.lo == value:
+            raise _Conflict
+        if current.lo == value:
+            domains[var.name] = Interval(current.lo + 1, current.hi)
+            self._changed = True
+        elif current.hi == value:
+            domains[var.name] = Interval(current.lo, current.hi - 1)
+            self._changed = True
+
+    def _narrow_term(
+        self, atom: Atom, required: Interval, domains: dict[str, Interval],
+        ev: IntervalEvaluator,
+    ) -> None:
+        """Push ``atom ∈ required`` down through arithmetic structure."""
+        if isinstance(atom, int):
+            if atom not in required:
+                raise _Conflict
+            return
+        if isinstance(atom, Var):
+            self._update(atom, required, domains)
+            return
+        if isinstance(atom, BinExpr):
+            lhs_iv = ev.eval(atom.lhs)
+            rhs_iv = ev.eval(atom.rhs)
+            if atom.op == "+":
+                self._narrow_term(atom.lhs, iv.sub(required, rhs_iv), domains, ev)
+                self._narrow_term(atom.rhs, iv.sub(required, lhs_iv), domains, ev)
+            elif atom.op == "-":
+                self._narrow_term(atom.lhs, iv.add(required, rhs_iv), domains, ev)
+                self._narrow_term(
+                    atom.rhs, iv.sub(lhs_iv, required), domains, ev
+                )
+            elif atom.op == "*":
+                if rhs_iv.singleton and rhs_iv.lo != 0:
+                    self._narrow_term(
+                        atom.lhs, _div_exact(required, rhs_iv.lo), domains, ev
+                    )
+                elif lhs_iv.singleton and lhs_iv.lo != 0:
+                    self._narrow_term(
+                        atom.rhs, _div_exact(required, lhs_iv.lo), domains, ev
+                    )
+        elif isinstance(atom, UnExpr) and atom.op == "-":
+            self._narrow_term(
+                atom.operand, Interval(-required.hi, -required.lo), domains, ev
+            )
+        # Other operators: no backward rule; forward evaluation still prunes.
+
+
+def _independent_components(exprs: list[Expr]) -> list[list[Expr]]:
+    """Partition constraints into connected components of shared variables."""
+    parent: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    expr_vars: list[list[str]] = []
+    for expr in exprs:
+        names = [v.name for v in expr.variables()]
+        expr_vars.append(names)
+        for name in names:
+            parent.setdefault(name, name)
+        for other in names[1:]:
+            union(names[0], other)
+
+    groups: dict[str, list[Expr]] = {}
+    constants: list[Expr] = []
+    for expr, names in zip(exprs, expr_vars):
+        if not names:
+            constants.append(expr)
+            continue
+        groups.setdefault(find(names[0]), []).append(expr)
+    components = list(groups.values())
+    if constants:
+        components.append(constants)
+    return components
+
+
+def _div_exact(required: Interval, c: int) -> Interval:
+    """Solutions x of ``c * x ∈ required`` (c != 0)."""
+    import math
+
+    if c > 0:
+        lo = math.ceil(required.lo / c)
+        hi = math.floor(required.hi / c)
+    else:
+        lo = math.ceil(required.hi / c)
+        hi = math.floor(required.lo / c)
+    return Interval(lo, hi)

@@ -1,0 +1,50 @@
+"""Multi-threaded symbolic execution engine (the repo's modified-Klee)."""
+
+from .bugs import BugInfo, BugKind, DeadlockEdge
+from .env import ConcreteEnv, InputProvider, RecordedInputs, SymbolicEnv
+from .executor import ExecConfig, Executor, ExecStats
+from .memory import AddressSpace, FnPtr, MemObject, Pointer
+from .policy import RoundRobinPolicy, SchedulerPolicy
+from .state import (
+    BLOCKED,
+    EXITED,
+    RUNNABLE,
+    AddrKey,
+    ExecutionState,
+    Frame,
+    InputEvent,
+    MutexRec,
+    Segment,
+    SyncEvent,
+    ThreadState,
+)
+
+__all__ = [
+    "AddrKey",
+    "AddressSpace",
+    "BLOCKED",
+    "BugInfo",
+    "BugKind",
+    "ConcreteEnv",
+    "DeadlockEdge",
+    "EXITED",
+    "ExecConfig",
+    "ExecStats",
+    "ExecutionState",
+    "Executor",
+    "FnPtr",
+    "Frame",
+    "InputEvent",
+    "InputProvider",
+    "MemObject",
+    "MutexRec",
+    "Pointer",
+    "RecordedInputs",
+    "RoundRobinPolicy",
+    "RUNNABLE",
+    "SchedulerPolicy",
+    "Segment",
+    "SymbolicEnv",
+    "SyncEvent",
+    "ThreadState",
+]

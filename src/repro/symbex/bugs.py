@@ -1,0 +1,72 @@
+"""Bug classification shared by the executor, coredump generator, and ESD.
+
+Mirrors the bug classes the paper's prototype handles: crashes (segfault,
+assert, abort, invalid free, buffer overflow, division by zero), hangs
+(mutex/condvar deadlocks), and race-induced inconsistencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir import InstrRef
+
+
+class BugKind(enum.Enum):
+    NULL_DEREF = "null-dereference"
+    OUT_OF_BOUNDS = "buffer-overflow"
+    WILD_POINTER = "wild-pointer"
+    USE_AFTER_FREE = "use-after-free"
+    INVALID_FREE = "invalid-free"
+    DOUBLE_FREE = "double-free"
+    DIV_BY_ZERO = "division-by-zero"
+    ASSERT_FAIL = "assertion-failure"
+    ABORT = "abort"
+    DEADLOCK = "deadlock"
+    INVALID_UNLOCK = "invalid-unlock"
+    DATA_RACE = "data-race"
+
+    @property
+    def is_hang(self) -> bool:
+        return self is BugKind.DEADLOCK
+
+    @property
+    def is_crash(self) -> bool:
+        return not self.is_hang
+
+
+# Bug kinds a crash-type goal treats as equivalent manifestations.
+CRASH_KINDS = frozenset(kind for kind in BugKind if kind.is_crash)
+
+
+@dataclass(slots=True)
+class DeadlockEdge:
+    """One arc of the circular wait: ``waiter`` blocks on ``resource`` held
+    (or to-be-signaled) by ``holder``."""
+
+    waiter: int
+    resource: str  # human-readable, e.g. "mutex@(3,0)"
+    holder: Optional[int]
+
+
+@dataclass(slots=True)
+class BugInfo:
+    """Everything known about a bug manifestation at detection time."""
+
+    kind: BugKind
+    ref: InstrRef
+    tid: int
+    message: str = ""
+    line: int = 0
+    # For memory bugs: the faulting pointer as seen by the access.
+    fault_obj: Optional[int] = None
+    fault_offset: Optional[int] = None
+    fault_value: Optional[int] = None
+    # For deadlocks: the cycle of waiting threads.
+    cycle: list[DeadlockEdge] = field(default_factory=list)
+
+    def summary(self) -> str:
+        where = f"{self.ref} (line {self.line})"
+        return f"{self.kind.value} in thread {self.tid} at {where}: {self.message}"

@@ -1,0 +1,1113 @@
+"""The symbolic virtual machine.
+
+Interprets IR one instruction per :meth:`Executor.step` call, the granularity
+at which the paper's search strategies pick states off priority queues
+(section 3.3).  Values are concrete Python ints, symbolic expressions,
+pointers, or function pointers; branches over symbolic values fork states,
+accumulating path constraints.
+
+The same executor runs fully concrete programs (playback, coredump
+generation): with a :class:`~repro.symbex.env.ConcreteEnv` no symbolic values
+ever appear, so no forking happens and execution is deterministic under the
+scheduling policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .. import ir
+from ..ir import InstrRef
+from ..solver import Solver
+from ..solver.expr import Atom, Expr, binop, evaluate, negate, truthy, unop
+from .bugs import BugInfo, BugKind, DeadlockEdge
+from .env import InputProvider, SymbolicEnv
+from .memory import (
+    DoubleFree,
+    FnPtr,
+    InvalidFree,
+    MemoryError_,
+    OutOfBounds,
+    Pointer,
+    UseAfterFree,
+)
+from .policy import SchedulerPolicy
+from .state import (
+    BLOCKED,
+    EXITED,
+    RUNNABLE,
+    AddrKey,
+    ExecutionState,
+    Frame,
+    ThreadState,
+)
+
+Value = Union[int, Expr, Pointer, FnPtr]
+
+
+class _ExecError(Exception):
+    """Internal: converted into a bug state by the dispatcher."""
+
+    def __init__(self, kind: BugKind, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+
+@dataclass(slots=True)
+class ExecConfig:
+    max_steps_per_state: int = 2_000_000
+    string_size: int = 8
+    max_args: int = 4
+    # Treat accesses to these instruction refs as racy preemption points.
+    detect_deadlocks: bool = True
+
+
+@dataclass(slots=True)
+class ExecStats:
+    instructions: int = 0
+    forks: int = 0
+    sched_forks: int = 0
+    states_created: int = 0
+    solver_forks: int = 0
+
+
+class Executor:
+    """Executes IR modules symbolically or concretely."""
+
+    def __init__(
+        self,
+        module: ir.Module,
+        solver: Optional[Solver] = None,
+        env: Optional[InputProvider] = None,
+        policy: Optional[SchedulerPolicy] = None,
+        config: Optional[ExecConfig] = None,
+    ) -> None:
+        self.module = module
+        self.config = config or ExecConfig()
+        self.solver = solver or Solver()
+        self.env = env or SymbolicEnv(self.config.string_size, self.config.max_args)
+        self.policy = policy or SchedulerPolicy()
+        self.stats = ExecStats()
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+
+    def initial_state(self, entry: str = "main") -> ExecutionState:
+        if entry not in self.module.functions:
+            raise ValueError(f"no entry function {entry!r}")
+        state = ExecutionState()
+        for var in self.module.globals.values():
+            obj = state.new_object(var.size, "global", var.name, init=list(var.init))
+            state.globals[var.name] = obj.obj_id
+        thread = ThreadState(0, entry)
+        thread.frames.append(Frame(entry, self.module.functions[entry].entry))
+        state.threads[0] = thread
+        state.current_tid = 0
+        return state
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+
+    def step(self, state: ExecutionState) -> list[ExecutionState]:
+        """Execute one instruction (or one scheduling decision) in ``state``.
+
+        Returns every successor state, including terminated ones (bug/exit);
+        callers must check ``state.terminated``.
+        """
+        if state.terminated:
+            return [state]
+        thread = state.threads.get(state.current_tid)
+        if thread is None or thread.status != RUNNABLE:
+            self._reschedule(state)
+            return [state]
+        if state.steps >= self.config.max_steps_per_state:
+            state.status = "infeasible"
+            state.meta["killed"] = "step-limit"
+            return [state]
+
+        instr = self._fetch(state)
+        state.note_instruction()
+        self.stats.instructions += 1
+        try:
+            successors = self._dispatch(state, instr)
+        except _ExecError as err:
+            self._mark_bug(state, err.kind, instr, err.message)
+            return [state]
+        except MemoryError_ as err:
+            self._mark_bug(state, _memory_bug_kind(err), instr, str(err))
+            return [state]
+
+        results: list[ExecutionState] = []
+        for succ in successors:
+            if not succ.terminated:
+                current = succ.threads.get(succ.current_tid)
+                if current is None or current.status != RUNNABLE:
+                    self._reschedule(succ)
+            results.append(succ)
+        return results
+
+    def run_to_completion(
+        self, state: ExecutionState, max_steps: int = 5_000_000
+    ) -> ExecutionState:
+        """Drive a (concrete, non-forking) state until it terminates."""
+        steps = 0
+        while not state.terminated:
+            successors = self.step(state)
+            if len(successors) != 1:
+                raise RuntimeError(
+                    "run_to_completion requires a deterministic execution; "
+                    f"got {len(successors)} successors"
+                )
+            state = successors[0]
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("concrete execution exceeded step budget")
+        return state
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _fetch(self, state: ExecutionState) -> ir.Instr:
+        frame = state.frame
+        block = self.module.functions[frame.function].blocks[frame.block]
+        return block.instruction_at(frame.index)
+
+    def _dispatch(self, state: ExecutionState, instr: ir.Instr) -> list[ExecutionState]:
+        handler = _HANDLERS.get(type(instr))
+        if handler is None:  # pragma: no cover - verifier rules this out
+            raise _ExecError(BugKind.ABORT, f"unhandled instruction {instr!r}")
+        return handler(self, state, instr)
+
+    def _advance(self, state: ExecutionState) -> None:
+        state.frame.index += 1
+
+    def _mark_bug(
+        self,
+        state: ExecutionState,
+        kind: BugKind,
+        instr: ir.Instr,
+        message: str,
+        *,
+        fault_value: Optional[int] = None,
+        cycle: Optional[list[DeadlockEdge]] = None,
+    ) -> None:
+        state.status = "bug"
+        state.bug = BugInfo(
+            kind=kind,
+            ref=state.pc,
+            tid=state.current_tid,
+            message=message,
+            line=instr.line,
+            fault_value=fault_value,
+            cycle=cycle or [],
+        )
+
+    # ------------------------------------------------------------------
+    # Value evaluation
+    # ------------------------------------------------------------------
+
+    def _eval(self, state: ExecutionState, value: ir.Value) -> Value:
+        if isinstance(value, ir.Const):
+            return value.value
+        if isinstance(value, ir.Reg):
+            try:
+                return state.frame.regs[value.name]
+            except KeyError:
+                raise _ExecError(
+                    BugKind.WILD_POINTER,
+                    f"use of uninitialized register %{value.name}",
+                ) from None
+        if isinstance(value, ir.GlobalRef):
+            return Pointer(state.globals[value.name], 0)
+        if isinstance(value, ir.FuncRef):
+            return FnPtr(value.name)
+        raise TypeError(f"unknown operand {value!r}")  # pragma: no cover
+
+    def _set(self, state: ExecutionState, dst: ir.Value, value: Value) -> None:
+        assert isinstance(dst, ir.Reg)
+        state.frame.regs[dst.name] = value
+
+    # -- arithmetic over mixed concrete/symbolic/pointer values ----------------
+
+    def _compute_binop(self, op: str, lhs: Value, rhs: Value) -> Value:
+        lhs_ptr = isinstance(lhs, Pointer)
+        rhs_ptr = isinstance(rhs, Pointer)
+        if not lhs_ptr and not rhs_ptr:
+            if isinstance(lhs, FnPtr) or isinstance(rhs, FnPtr):
+                return self._fnptr_binop(op, lhs, rhs)
+            return binop(op, lhs, rhs)
+
+        if op == "+":
+            if lhs_ptr and not rhs_ptr and not isinstance(rhs, FnPtr):
+                return Pointer(lhs.obj, binop("+", lhs.offset, rhs))
+            if rhs_ptr and not lhs_ptr and not isinstance(lhs, FnPtr):
+                return Pointer(rhs.obj, binop("+", rhs.offset, lhs))
+        elif op == "-":
+            if lhs_ptr and rhs_ptr:
+                if lhs.obj != rhs.obj:
+                    raise _ExecError(
+                        BugKind.WILD_POINTER,
+                        "subtraction of pointers into different objects",
+                    )
+                return binop("-", lhs.offset, rhs.offset)
+            if lhs_ptr:
+                return Pointer(lhs.obj, binop("-", lhs.offset, rhs))
+        elif op in ("==", "!="):
+            if lhs_ptr and rhs_ptr:
+                if lhs.obj == rhs.obj:
+                    return binop(op, lhs.offset, rhs.offset)
+                return int(op == "!=")
+            # Pointer vs integer: only equal if the integer is the null
+            # pointer, and live pointers are never null.
+            return int(op == "!=")
+        elif op in ("<", "<=", ">", ">="):
+            if lhs_ptr and rhs_ptr:
+                if lhs.obj == rhs.obj:
+                    return binop(op, lhs.offset, rhs.offset)
+                return binop(op, lhs.obj, rhs.obj)
+        raise _ExecError(
+            BugKind.WILD_POINTER, f"invalid pointer arithmetic: {op!r}"
+        )
+
+    def _fnptr_binop(self, op: str, lhs: Value, rhs: Value) -> int:
+        if op in ("==", "!="):
+            if isinstance(lhs, FnPtr) and isinstance(rhs, FnPtr):
+                same = lhs.name == rhs.name
+            else:
+                same = False  # function pointer vs integer: equal only to null
+            return int(same if op == "==" else not same)
+        raise _ExecError(BugKind.WILD_POINTER, f"invalid function-pointer op {op!r}")
+
+    @staticmethod
+    def _truth_value(value: Value) -> Atom:
+        """0/1 (or symbolic 0/1 expression) for a branch condition."""
+        if isinstance(value, (Pointer, FnPtr)):
+            return 1
+        if isinstance(value, int):
+            return int(value != 0)
+        return truthy(value)
+
+    # -- constraint plumbing ------------------------------------------------------
+
+    def _feasible(self, state: ExecutionState, extra: Atom) -> bool:
+        """May ``extra`` hold on this path?
+
+        The existing path condition is satisfiable by construction (every
+        constraint was feasible when added), so only the constraints sharing
+        variables with ``extra`` need to be re-solved.
+        """
+        if isinstance(extra, int):
+            return extra != 0
+        related = state.related_constraints(extra)
+        return self.solver.feasible(related + [extra])
+
+    def concretize(self, state: ExecutionState, atom: Atom) -> int:
+        """Pick a concrete value for ``atom`` consistent with the path
+        constraints, and pin it with an equality constraint (Klee-style
+        address/size concretization)."""
+        if isinstance(atom, int):
+            return atom
+        model = self.solver.model(state.constraints)
+        if model is None:
+            raise _ExecError(BugKind.ABORT, "path constraints became unsatisfiable")
+        value = _eval_with_defaults(atom, model)
+        state.add_constraint(binop("==", atom, value))
+        return value
+
+    # ------------------------------------------------------------------
+    # Memory access
+    # ------------------------------------------------------------------
+
+    def _access(
+        self, state: ExecutionState, addr: Value, instr: ir.Instr, is_write: bool
+    ) -> tuple[list[ExecutionState], Optional[tuple[ExecutionState, int, int]]]:
+        """Resolve ``addr`` for an access.
+
+        Returns ``(bug_states, ok)`` where ``ok`` is ``(state, obj_id,
+        concrete_offset)`` if an in-bounds access is possible.  Symbolic
+        offsets fork an out-of-bounds bug state when the bounds can be
+        violated, and are concretized on the in-bounds path.
+        """
+        if isinstance(addr, int):
+            # Small positive addresses are offsets from a NULL base (field or
+            # array access through a null pointer): the OS null page.
+            kind = (
+                BugKind.NULL_DEREF if 0 <= addr < 4096 else BugKind.WILD_POINTER
+            )
+            raise _ExecError(kind, f"dereference of address {addr}")
+        if isinstance(addr, FnPtr):
+            raise _ExecError(BugKind.WILD_POINTER, "dereference of function pointer")
+        if isinstance(addr, Expr):
+            # A symbolic non-pointer address: could be null.
+            raise _ExecError(
+                BugKind.NULL_DEREF, "dereference of symbolic integer address"
+            )
+        obj = state.address_space.get(addr.obj)
+        offset = addr.offset
+        if isinstance(offset, int):
+            return [], (state, addr.obj, offset)
+
+        bug_states: list[ExecutionState] = []
+        oob = binop(
+            "||", binop("<", offset, 0), binop(">=", offset, obj.size)
+        )
+        in_bounds = binop(
+            "&&", binop(">=", offset, 0), binop("<", offset, obj.size)
+        )
+        if self._feasible(state, oob):
+            bug = state.fork()
+            self.stats.states_created += 1
+            bug.add_constraint(truthy(oob))
+            model = self.solver.model(bug.constraints)
+            fault = _eval_with_defaults(offset, model) if model else None
+            op = "write" if is_write else "read"
+            self._mark_bug(
+                bug,
+                BugKind.OUT_OF_BOUNDS,
+                instr,
+                f"out-of-bounds {op} at offset {fault} of {obj!r}",
+                fault_value=fault,
+            )
+            bug_states.append(bug)
+        if self._feasible(state, in_bounds):
+            state.add_constraint(truthy(in_bounds))
+            concrete = self.concretize(state, offset)
+            return bug_states, (state, addr.obj, concrete)
+        state.status = "infeasible"
+        return bug_states, None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _reschedule(self, state: ExecutionState) -> None:
+        """The current thread cannot run; pick another or diagnose the end."""
+        next_tid = self.policy.pick_next(state)
+        if next_tid is not None:
+            state.switch_to(next_tid)
+            return
+        live = state.live_threads()
+        if not live:
+            state.status = "exited"
+            return
+        # Every live thread is blocked: a deadlock (paper section 4.1 --
+        # waiting on a mutex, a condvar signal, or a join).
+        if self.config.detect_deadlocks:
+            cycle = self._wait_cycle(state)
+            blocked = live[0]
+            info = BugInfo(
+                kind=BugKind.DEADLOCK,
+                ref=blocked.pc,
+                tid=blocked.tid,
+                message="no thread can make progress",
+                line=self._line_at(blocked.pc),
+                cycle=cycle,
+            )
+            state.status = "bug"
+            state.bug = info
+        else:
+            state.status = "infeasible"
+            state.meta["killed"] = "no-runnable-thread"
+
+    def _line_at(self, ref: InstrRef) -> int:
+        try:
+            return self.module.instruction(ref).line
+        except KeyError:  # pragma: no cover
+            return 0
+
+    def _wait_cycle(self, state: ExecutionState) -> list[DeadlockEdge]:
+        """Resource-allocation-graph cycle among blocked threads [paper 4.1]."""
+        waiting: dict[int, tuple[str, Optional[int]]] = {}
+        for thread in state.live_threads():
+            if thread.status != BLOCKED or thread.blocked_on is None:
+                continue
+            kind = thread.blocked_on[0]
+            if kind == "mutex":
+                key = thread.blocked_on[1]
+                holder = state.mutexes[key].owner if key in state.mutexes else None
+                waiting[thread.tid] = (f"mutex@{key}", holder)
+            elif kind == "join":
+                waiting[thread.tid] = (f"thread{thread.blocked_on[1]}", thread.blocked_on[1])
+            else:
+                waiting[thread.tid] = (f"cond@{thread.blocked_on[1]}", None)
+
+        for start in waiting:
+            path: list[int] = []
+            tid: Optional[int] = start
+            while tid is not None and tid in waiting and tid not in path:
+                path.append(tid)
+                tid = waiting[tid][1]
+            if tid is not None and tid in path:
+                cycle_tids = path[path.index(tid):]
+                return [
+                    DeadlockEdge(t, waiting[t][0], waiting[t][1]) for t in cycle_tids
+                ]
+        return [DeadlockEdge(t, res, holder) for t, (res, holder) in waiting.items()]
+
+    def _check_mutex_cycle(self, state: ExecutionState, instr: ir.Instr) -> bool:
+        """After a thread blocks on a mutex: is there a circular wait already?
+        Catches deadlocks among a subset of threads while others still run."""
+        if not self.config.detect_deadlocks:
+            return False
+        origin = state.current_tid
+        seen: list[int] = []
+        tid = origin
+        while True:
+            thread = state.threads.get(tid)
+            if thread is None or thread.status != BLOCKED or not thread.blocked_on:
+                return False
+            kind, key = thread.blocked_on[0], thread.blocked_on[1]
+            if kind != "mutex":
+                return False
+            rec = state.mutexes.get(key)
+            if rec is None or rec.owner is None:
+                return False
+            if rec.owner == origin or rec.owner in seen:
+                seen.append(tid)
+                cycle = [
+                    DeadlockEdge(
+                        t,
+                        f"mutex@{state.threads[t].blocked_on[1]}",
+                        state.mutexes[state.threads[t].blocked_on[1]].owner,
+                    )
+                    for t in seen
+                ]
+                self._mark_bug(
+                    state,
+                    BugKind.DEADLOCK,
+                    instr,
+                    "circular mutex wait",
+                    cycle=cycle,
+                )
+                return True
+            seen.append(tid)
+            tid = rec.owner
+
+    def _sync_key(self, state: ExecutionState, value: Value) -> AddrKey:
+        """A mutex/condvar identity: concrete (object, offset)."""
+        if not isinstance(value, Pointer):
+            raise _ExecError(
+                BugKind.WILD_POINTER, f"sync operation on non-pointer {value!r}"
+            )
+        offset = value.offset
+        if isinstance(offset, Expr):
+            offset = self.concretize(state, offset)
+        return (value.obj, offset)
+
+    # ------------------------------------------------------------------
+    # Instruction handlers
+    # ------------------------------------------------------------------
+
+    def _exec_assign(self, state: ExecutionState, instr: ir.Assign) -> list[ExecutionState]:
+        self._set(state, instr.dst, self._eval(state, instr.src))
+        self._advance(state)
+        return [state]
+
+    def _exec_binop(self, state: ExecutionState, instr: ir.BinOp) -> list[ExecutionState]:
+        lhs = self._eval(state, instr.lhs)
+        rhs = self._eval(state, instr.rhs)
+        if instr.op in ("/", "%"):
+            return self._exec_division(state, instr, lhs, rhs)
+        self._set(state, instr.dst, self._compute_binop(instr.op, lhs, rhs))
+        self._advance(state)
+        return [state]
+
+    def _exec_division(
+        self, state: ExecutionState, instr: ir.BinOp, lhs: Value, rhs: Value
+    ) -> list[ExecutionState]:
+        if isinstance(lhs, (Pointer, FnPtr)) or isinstance(rhs, (Pointer, FnPtr)):
+            raise _ExecError(BugKind.WILD_POINTER, "division involving a pointer")
+        if isinstance(rhs, int):
+            if rhs == 0:
+                raise _ExecError(BugKind.DIV_BY_ZERO, "division by zero")
+            self._set(state, instr.dst, binop(instr.op, lhs, rhs))
+            self._advance(state)
+            return [state]
+        successors: list[ExecutionState] = []
+        zero = binop("==", rhs, 0)
+        if self._feasible(state, zero):
+            bug = state.fork()
+            self.stats.states_created += 1
+            bug.add_constraint(zero)
+            self._mark_bug(bug, BugKind.DIV_BY_ZERO, instr, "division by zero")
+            successors.append(bug)
+        nonzero = binop("!=", rhs, 0)
+        if self._feasible(state, nonzero):
+            state.add_constraint(nonzero)
+            self._set(state, instr.dst, binop(instr.op, lhs, rhs))
+            self._advance(state)
+            successors.append(state)
+        else:
+            state.status = "infeasible"
+            successors.append(state)
+        return successors
+
+    def _exec_unop(self, state: ExecutionState, instr: ir.UnOp) -> list[ExecutionState]:
+        operand = self._eval(state, instr.value)
+        if isinstance(operand, (Pointer, FnPtr)):
+            if instr.op == "!":
+                result: Value = 0  # pointers are truthy
+            else:
+                raise _ExecError(BugKind.WILD_POINTER, f"unary {instr.op} on pointer")
+        else:
+            result = unop(instr.op, operand)
+        self._set(state, instr.dst, result)
+        self._advance(state)
+        return [state]
+
+    def _exec_alloc(self, state: ExecutionState, instr: ir.Alloc) -> list[ExecutionState]:
+        size_value = self._eval(state, instr.size)
+        if isinstance(size_value, (Pointer, FnPtr)):
+            raise _ExecError(BugKind.WILD_POINTER, "allocation with pointer size")
+        size = (
+            size_value if isinstance(size_value, int)
+            else self.concretize(state, size_value)
+        )
+        if size < 0:
+            raise _ExecError(BugKind.OUT_OF_BOUNDS, f"allocation of negative size {size}")
+        kind = "heap" if instr.heap else "stack"
+        obj = state.new_object(max(size, 0), kind, instr.name)
+        if not instr.heap:
+            state.frame.allocas.append(obj.obj_id)
+        self._set(state, instr.dst, Pointer(obj.obj_id, 0))
+        self._advance(state)
+        return [state]
+
+    def _exec_free(self, state: ExecutionState, instr: ir.Free) -> list[ExecutionState]:
+        ptr = self._eval(state, instr.ptr)
+        if isinstance(ptr, int):
+            if ptr == 0:
+                self._advance(state)  # free(NULL) is a no-op, as in C
+                return [state]
+            raise _ExecError(BugKind.INVALID_FREE, f"free of integer address {ptr}")
+        if not isinstance(ptr, Pointer):
+            raise _ExecError(BugKind.INVALID_FREE, f"free of {ptr!r}")
+        offset = ptr.offset
+        if isinstance(offset, Expr):
+            offset = self.concretize(state, offset)
+        state.address_space.free(ptr.obj, offset)
+        self._advance(state)
+        return [state]
+
+    def _exec_load(self, state: ExecutionState, instr: ir.Load) -> list[ExecutionState]:
+        addr = self._eval(state, instr.addr)
+        extra = self._memory_hook(state, instr, addr, is_write=False)
+        bug_states, ok = self._access(state, addr, instr, is_write=False)
+        if ok is not None:
+            ok_state, obj_id, offset = ok
+            value = ok_state.address_space.read(obj_id, offset)
+            self._set(ok_state, instr.dst, value)
+            self._advance(ok_state)
+            return extra + bug_states + [ok_state]
+        return extra + bug_states + ([state] if state.terminated or state.status == "infeasible" else [])
+
+    def _exec_store(self, state: ExecutionState, instr: ir.Store) -> list[ExecutionState]:
+        addr = self._eval(state, instr.addr)
+        value = self._eval(state, instr.value)
+        extra = self._memory_hook(state, instr, addr, is_write=True)
+        bug_states, ok = self._access(state, addr, instr, is_write=True)
+        if ok is not None:
+            ok_state, obj_id, offset = ok
+            ok_state.address_space.write(obj_id, offset, value)
+            self._advance(ok_state)
+            return extra + bug_states + [ok_state]
+        return extra + bug_states + ([state] if state.terminated or state.status == "infeasible" else [])
+
+    def _memory_hook(
+        self, state: ExecutionState, instr: ir.Instr, addr: Value, is_write: bool
+    ) -> list[ExecutionState]:
+        """Race-detection / racy-preemption hook for shared-memory accesses."""
+        if not self.policy.wants_memory_hooks(state):
+            return []
+        if not isinstance(addr, Pointer):
+            return []
+        offset = addr.offset
+        if isinstance(offset, Expr):
+            return []  # symbolic offsets are concretized by _access afterwards
+        obj = state.address_space.objects.get(addr.obj)
+        if obj is None or obj.kind == "stack":
+            return []
+        forks = self.policy.on_memory_access(
+            self, state, instr, state.pc, (addr.obj, offset), is_write
+        )
+        self.stats.sched_forks += len(forks)
+        return forks
+
+    def _exec_gep(self, state: ExecutionState, instr: ir.Gep) -> list[ExecutionState]:
+        base = self._eval(state, instr.base)
+        offset = self._eval(state, instr.offset)
+        if isinstance(offset, (Pointer, FnPtr)):
+            raise _ExecError(BugKind.WILD_POINTER, "pointer used as index")
+        if isinstance(base, Pointer):
+            result: Value = Pointer(base.obj, binop("+", base.offset, offset))
+        elif isinstance(base, int):
+            result = binop("+", base, offset) if base else offset
+            if isinstance(result, int) and base == 0:
+                # Indexing off the null pointer: keep it null-like so the
+                # dereference reports a null dereference.
+                result = 0 if offset == 0 else result
+        elif isinstance(base, Expr):
+            result = binop("+", base, offset)
+        else:
+            raise _ExecError(BugKind.WILD_POINTER, "indexing a function pointer")
+        self._set(state, instr.dst, result)
+        self._advance(state)
+        return [state]
+
+    def _exec_call(self, state: ExecutionState, instr: ir.Call) -> list[ExecutionState]:
+        callee = self._eval(state, instr.callee)
+        if isinstance(callee, FnPtr):
+            name = callee.name
+        else:
+            raise _ExecError(
+                BugKind.WILD_POINTER, f"indirect call through non-function {callee!r}"
+            )
+        func = self.module.functions.get(name)
+        if func is None:
+            raise _ExecError(BugKind.WILD_POINTER, f"call to unknown function {name!r}")
+        if len(instr.args) != len(func.params):
+            raise _ExecError(
+                BugKind.WILD_POINTER,
+                f"call to {name} with {len(instr.args)} args, "
+                f"expected {len(func.params)}",
+            )
+        args = [self._eval(state, a) for a in instr.args]
+        self._advance(state)  # the caller resumes *after* the call
+        caller = state.frame
+        frame = Frame(name, func.entry)
+        frame.ret_dst = instr.dst.name if isinstance(instr.dst, ir.Reg) else None
+        for param, value in zip(func.params, args):
+            frame.regs[param] = value
+        state.thread.frames.append(frame)
+        del caller  # clarity: caller frame stays below the new frame
+        return [state]
+
+    def _exec_ret(self, state: ExecutionState, instr: ir.Ret) -> list[ExecutionState]:
+        value: Value = 0
+        if instr.value is not None:
+            value = self._eval(state, instr.value)
+        thread = state.thread
+        finished = thread.frames.pop()
+        for obj_id in finished.allocas:
+            state.address_space.release_stack(obj_id)
+        if not thread.frames:
+            return self._thread_exit(state, instr, value)
+        if finished.ret_dst is not None:
+            thread.top.regs[finished.ret_dst] = value
+        return [state]
+
+    def _thread_exit(
+        self, state: ExecutionState, instr: ir.Instr, value: Value
+    ) -> list[ExecutionState]:
+        thread = state.thread
+        thread.status = EXITED
+        state.log_sync("exit", ("thread", thread.tid), state.pc if thread.frames else InstrRef(thread.entry_function, "exit", 0))
+        if thread.tid == 0:
+            # main returned: the process exits (C semantics).
+            state.status = "exited"
+            state.exit_code = value if isinstance(value, int) else 0
+            return [state]
+        for other in state.threads.values():
+            if (
+                other.status == BLOCKED
+                and other.blocked_on == ("join", thread.tid)
+            ):
+                other.status = RUNNABLE
+                other.blocked_on = None
+        forks = self.policy.on_thread_event(self, state, "exit", thread.tid, instr)
+        self.stats.sched_forks += len(forks)
+        return forks + [state]
+
+    def _exec_br(self, state: ExecutionState, instr: ir.Br) -> list[ExecutionState]:
+        frame = state.frame
+        frame.block = instr.target
+        frame.index = 0
+        return [state]
+
+    def _exec_condbr(self, state: ExecutionState, instr: ir.CondBr) -> list[ExecutionState]:
+        cond = self._truth_value(self._eval(state, instr.cond))
+        frame = state.frame
+        if isinstance(cond, int):
+            frame.block = instr.then_target if cond else instr.else_target
+            frame.index = 0
+            return [state]
+
+        true_feasible = self._feasible(state, cond)
+        false_cond = negate(cond)
+        false_feasible = self._feasible(state, false_cond)
+        if true_feasible and false_feasible:
+            other = state.fork()
+            self.stats.forks += 1
+            self.stats.states_created += 1
+            other.add_constraint(false_cond)
+            other_frame = other.frame
+            other_frame.block = instr.else_target
+            other_frame.index = 0
+            state.add_constraint(cond if isinstance(cond, Expr) else truthy(cond))
+            frame.block = instr.then_target
+            frame.index = 0
+            return [state, other]
+        if true_feasible:
+            state.add_constraint(cond if isinstance(cond, Expr) else truthy(cond))
+            frame.block = instr.then_target
+        elif false_feasible:
+            state.add_constraint(false_cond if isinstance(false_cond, Expr) else truthy(false_cond))
+            frame.block = instr.else_target
+        else:
+            state.status = "infeasible"
+            return [state]
+        frame.index = 0
+        return [state]
+
+    def _exec_unreachable(
+        self, state: ExecutionState, instr: ir.Unreachable
+    ) -> list[ExecutionState]:
+        raise _ExecError(BugKind.ABORT, "reached unreachable code")
+
+    def _exec_assert(self, state: ExecutionState, instr: ir.Assert) -> list[ExecutionState]:
+        cond = self._truth_value(self._eval(state, instr.cond))
+        if isinstance(cond, int):
+            if cond:
+                self._advance(state)
+                return [state]
+            self._mark_bug(
+                state, BugKind.ASSERT_FAIL, instr, f"assertion failed: {instr.message}"
+            )
+            return [state]
+        successors: list[ExecutionState] = []
+        failing = negate(cond)
+        if self._feasible(state, failing):
+            bug = state.fork()
+            self.stats.states_created += 1
+            bug.add_constraint(failing)
+            self._mark_bug(
+                bug, BugKind.ASSERT_FAIL, instr, f"assertion failed: {instr.message}"
+            )
+            successors.append(bug)
+        if self._feasible(state, cond):
+            state.add_constraint(cond)
+            self._advance(state)
+            successors.append(state)
+        else:
+            state.status = "infeasible"
+            successors.append(state)
+        return successors
+
+    # -- synchronization --------------------------------------------------------
+
+    def _exec_lock(self, state: ExecutionState, instr: ir.MutexLock) -> list[ExecutionState]:
+        key = self._sync_key(state, self._eval(state, instr.mutex))
+        ref = state.pc
+        rec = state.mutexes.setdefault(key, _fresh_mutex())
+        thread = state.thread
+        if rec.owner is None:
+            forks = self.policy.fork_before_acquire(self, state, key, instr, ref)
+            self.stats.sched_forks += len(forks)
+            rec = state.mutexes[key]  # policy fork may have cloned records
+            rec.owner = thread.tid
+            if thread.tid in rec.waiters:
+                rec.waiters.remove(thread.tid)
+            state.log_sync("lock", key, ref)
+            self._advance(state)
+            after = self.policy.after_acquire(self, state, key, instr, ref)
+            self.stats.sched_forks += len(after)
+            return forks + after + [state]
+        # Mutex held (possibly by this same thread: self-deadlock, as for a
+        # non-recursive POSIX mutex).
+        holder = rec.owner
+        if thread.tid not in rec.waiters:
+            rec.waiters.append(thread.tid)
+        thread.status = BLOCKED
+        thread.blocked_on = ("mutex", key)
+        state.log_sync("block", key, ref)
+        if self._check_mutex_cycle(state, instr):
+            return [state]
+        forks = self.policy.on_contention(self, state, key, holder, instr, ref)
+        self.stats.sched_forks += len(forks)
+        return forks + [state]
+
+    def _exec_unlock(self, state: ExecutionState, instr: ir.MutexUnlock) -> list[ExecutionState]:
+        key = self._sync_key(state, self._eval(state, instr.mutex))
+        ref = state.pc
+        rec = state.mutexes.get(key)
+        if rec is None or rec.owner != state.current_tid:
+            raise _ExecError(
+                BugKind.INVALID_UNLOCK,
+                "unlock of a mutex not held by this thread",
+            )
+        forks = self.policy.fork_before_release(self, state, key, instr, ref)
+        self.stats.sched_forks += len(forks)
+        rec = state.mutexes[key]
+        rec.owner = None
+        for waiter_tid in rec.waiters:
+            waiter = state.threads[waiter_tid]
+            if waiter.status == BLOCKED and waiter.blocked_on == ("mutex", key):
+                waiter.status = RUNNABLE
+                waiter.blocked_on = None
+        rec.waiters.clear()
+        state.log_sync("unlock", key, ref)
+        self._advance(state)
+        self.policy.on_release(self, state, key, instr, ref)
+        return forks + [state]
+
+    def _exec_cond_wait(self, state: ExecutionState, instr: ir.CondWait) -> list[ExecutionState]:
+        cond_key = self._sync_key(state, self._eval(state, instr.cond))
+        mutex_key = self._sync_key(state, self._eval(state, instr.mutex))
+        thread = state.thread
+
+        if thread.reacquire_mutex is not None:
+            # Phase 2: signaled; re-acquire the mutex, then the wait returns.
+            rec = state.mutexes.setdefault(mutex_key, _fresh_mutex())
+            if rec.owner is None:
+                rec.owner = thread.tid
+                if thread.tid in rec.waiters:
+                    rec.waiters.remove(thread.tid)
+                thread.reacquire_mutex = None
+                state.log_sync("wakelock", mutex_key, state.pc)
+                self._advance(state)
+                return [state]
+            if thread.tid not in rec.waiters:
+                rec.waiters.append(thread.tid)
+            thread.status = BLOCKED
+            thread.blocked_on = ("mutex", mutex_key)
+            self._check_mutex_cycle(state, instr)
+            return [state]
+
+        # Phase 1: atomically release the mutex and sleep on the condvar.
+        rec = state.mutexes.get(mutex_key)
+        if rec is None or rec.owner != thread.tid:
+            raise _ExecError(
+                BugKind.INVALID_UNLOCK, "cond_wait without holding the mutex"
+            )
+        rec.owner = None
+        for waiter_tid in rec.waiters:
+            waiter = state.threads[waiter_tid]
+            if waiter.status == BLOCKED and waiter.blocked_on == ("mutex", mutex_key):
+                waiter.status = RUNNABLE
+                waiter.blocked_on = None
+        rec.waiters.clear()
+        state.condvars.setdefault(cond_key, []).append(thread.tid)
+        thread.status = BLOCKED
+        thread.blocked_on = ("cond", cond_key)
+        thread.reacquire_mutex = mutex_key
+        state.log_sync("wait", cond_key, state.pc)
+        return [state]
+
+    def _exec_cond_signal(self, state: ExecutionState, instr: ir.CondSignal) -> list[ExecutionState]:
+        cond_key = self._sync_key(state, self._eval(state, instr.cond))
+        waiters = state.condvars.get(cond_key, [])
+        woken = list(waiters) if instr.broadcast else waiters[:1]
+        for tid in woken:
+            waiters.remove(tid)
+            thread = state.threads[tid]
+            thread.status = RUNNABLE
+            thread.blocked_on = None
+            # reacquire_mutex stays set: the wait resumes in phase 2.
+        op = "broadcast" if instr.broadcast else "signal"
+        state.log_sync(op, cond_key, state.pc)
+        self._advance(state)
+        forks = self.policy.on_thread_event(self, state, op, state.current_tid, instr)
+        self.stats.sched_forks += len(forks)
+        return forks + [state]
+
+    def _exec_thread_create(
+        self, state: ExecutionState, instr: ir.ThreadCreate
+    ) -> list[ExecutionState]:
+        func_value = self._eval(state, instr.func)
+        if not isinstance(func_value, FnPtr):
+            raise _ExecError(
+                BugKind.WILD_POINTER, f"thread start routine is {func_value!r}"
+            )
+        func = self.module.functions.get(func_value.name)
+        if func is None:
+            raise _ExecError(
+                BugKind.WILD_POINTER, f"unknown start routine {func_value.name!r}"
+            )
+        if len(func.params) != 1:
+            raise _ExecError(
+                BugKind.WILD_POINTER,
+                f"start routine {func.name} must take exactly one argument",
+            )
+        arg = self._eval(state, instr.arg)
+        tid = state.next_tid
+        state.next_tid += 1
+        thread = ThreadState(tid, func.name)
+        frame = Frame(func.name, func.entry)
+        frame.regs[func.params[0]] = arg
+        thread.frames.append(frame)
+        state.threads[tid] = thread
+        if instr.dst is not None:
+            self._set(state, instr.dst, tid)
+        state.log_sync("create", ("thread", tid), state.pc)
+        self._advance(state)
+        forks = self.policy.on_thread_event(self, state, "create", tid, instr)
+        self.stats.sched_forks += len(forks)
+        return forks + [state]
+
+    def _exec_thread_join(self, state: ExecutionState, instr: ir.ThreadJoin) -> list[ExecutionState]:
+        tid_value = self._eval(state, instr.tid)
+        if isinstance(tid_value, Expr):
+            tid_value = self.concretize(state, tid_value)
+        if not isinstance(tid_value, int) or tid_value not in state.threads:
+            raise _ExecError(BugKind.WILD_POINTER, f"join of unknown thread {tid_value!r}")
+        target = state.threads[tid_value]
+        if target.status == EXITED:
+            if instr.dst is not None:
+                self._set(state, instr.dst, 0)
+            state.log_sync("join", ("thread", tid_value), state.pc)
+            self._advance(state)
+            return [state]
+        thread = state.thread
+        thread.status = BLOCKED
+        thread.blocked_on = ("join", tid_value)
+        return [state]
+
+    # -- intrinsics ------------------------------------------------------------
+
+    def _exec_intrinsic(self, state: ExecutionState, instr: ir.Intrinsic) -> list[ExecutionState]:
+        name = instr.name
+        args = [self._eval(state, a) for a in instr.args]
+        result: Value = 0
+        if name == "getchar":
+            result = self.env.getchar(state)
+        elif name == "getenv":
+            var_name = self._read_cstring(state, args[0])
+            result = self.env.getenv(state, var_name)
+        elif name == "argc":
+            result = self.env.argc(state)
+        elif name == "arg":
+            index = args[0]
+            if isinstance(index, Expr):
+                index = self.concretize(state, index)
+            if not isinstance(index, int):
+                raise _ExecError(BugKind.WILD_POINTER, "arg() index must be an int")
+            result = self.env.arg(state, index)
+        elif name == "read_input":
+            label = self._read_cstring(state, args[0])
+            size = args[1]
+            if isinstance(size, Expr):
+                size = self.concretize(state, size)
+            if not isinstance(size, int) or size <= 0:
+                raise _ExecError(BugKind.WILD_POINTER, "read_input size must be positive")
+            result = self.env.read_input(state, label, size)
+        elif name == "print_int":
+            state.output.append(_format_value(args[0]))
+        elif name == "print_str":
+            state.output.append(self._read_cstring(state, args[0], lossy=True))
+        elif name == "exit":
+            code = args[0]
+            state.status = "exited"
+            state.exit_code = code if isinstance(code, int) else 0
+            return [state]
+        elif name == "abort":
+            raise _ExecError(BugKind.ABORT, "abort() called")
+        elif name == "assume":
+            cond = self._truth_value(args[0])
+            if isinstance(cond, int):
+                if not cond:
+                    state.status = "infeasible"
+                    return [state]
+            elif self._feasible(state, cond):
+                state.add_constraint(cond)
+            else:
+                state.status = "infeasible"
+                return [state]
+        else:  # pragma: no cover - verifier rules this out
+            raise _ExecError(BugKind.ABORT, f"unknown intrinsic {name}")
+        if instr.dst is not None:
+            self._set(state, instr.dst, result)
+        self._advance(state)
+        return [state]
+
+    def _read_cstring(
+        self, state: ExecutionState, value: Value, lossy: bool = False, limit: int = 4096
+    ) -> str:
+        if not isinstance(value, Pointer):
+            raise _ExecError(BugKind.WILD_POINTER, "expected a string pointer")
+        offset = value.offset
+        if isinstance(offset, Expr):
+            offset = self.concretize(state, offset)
+        chars: list[str] = []
+        for i in range(limit):
+            cell = state.address_space.read(value.obj, offset + i)
+            if isinstance(cell, Expr):
+                if lossy:
+                    chars.append("?")
+                    continue
+                cell = self.concretize(state, cell)
+            if isinstance(cell, (Pointer, FnPtr)):
+                if lossy:
+                    chars.append("*")
+                    continue
+                raise _ExecError(BugKind.WILD_POINTER, "non-character in string")
+            if cell == 0:
+                return "".join(chars)
+            chars.append(chr(cell & 0xFF))
+        return "".join(chars)
+
+
+def _fresh_mutex():
+    from .state import MutexRec
+
+    return MutexRec()
+
+
+def _memory_bug_kind(err: MemoryError_) -> BugKind:
+    if isinstance(err, UseAfterFree):
+        return BugKind.USE_AFTER_FREE
+    if isinstance(err, DoubleFree):
+        return BugKind.DOUBLE_FREE
+    if isinstance(err, InvalidFree):
+        return BugKind.INVALID_FREE
+    if isinstance(err, OutOfBounds):
+        return BugKind.OUT_OF_BOUNDS
+    return BugKind.WILD_POINTER
+
+
+def _eval_with_defaults(atom: Atom, model: dict[str, int]) -> int:
+    if isinstance(atom, int):
+        return atom
+    full = dict(model)
+    for var in atom.variables():
+        full.setdefault(var.name, var.lo)
+    return evaluate(atom, full)
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Pointer):
+        return f"<ptr {value.obj}+{value.offset!r}>"
+    if isinstance(value, FnPtr):
+        return f"<fn {value.name}>"
+    return f"<sym {value!r}>"
+
+
+_HANDLERS = {
+    ir.Assign: Executor._exec_assign,
+    ir.BinOp: Executor._exec_binop,
+    ir.UnOp: Executor._exec_unop,
+    ir.Alloc: Executor._exec_alloc,
+    ir.Free: Executor._exec_free,
+    ir.Load: Executor._exec_load,
+    ir.Store: Executor._exec_store,
+    ir.Gep: Executor._exec_gep,
+    ir.Call: Executor._exec_call,
+    ir.Ret: Executor._exec_ret,
+    ir.Br: Executor._exec_br,
+    ir.CondBr: Executor._exec_condbr,
+    ir.Unreachable: Executor._exec_unreachable,
+    ir.Assert: Executor._exec_assert,
+    ir.Intrinsic: Executor._exec_intrinsic,
+    ir.MutexLock: Executor._exec_lock,
+    ir.MutexUnlock: Executor._exec_unlock,
+    ir.CondWait: Executor._exec_cond_wait,
+    ir.CondSignal: Executor._exec_cond_signal,
+    ir.ThreadCreate: Executor._exec_thread_create,
+    ir.ThreadJoin: Executor._exec_thread_join,
+}

@@ -1,0 +1,106 @@
+"""Scheduler policy interface.
+
+The executor runs one thread at a time and consults a policy at every
+*preemption point* -- before/after synchronization operations and before
+memory accesses flagged as potential data races (paper section 6.1).  A
+policy may fork additional states exploring alternative scheduling decisions;
+that is how "the underlying scheduler's decisions become symbolic" (paper
+section 4).
+
+The default policy never forks: it yields a deterministic cooperative
+round-robin execution, which is what playback and the concrete coredump runs
+use.  ESD's deadlock/race strategies and the Chess-style preemption-bounded
+baseline subclass this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..ir import Instr, InstrRef
+from .state import AddrKey, ExecutionState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import Executor
+
+
+class SchedulerPolicy:
+    """Hook points for schedule exploration.  All fork hooks return a list of
+    *additional* states to explore; the passed-in state continues normally."""
+
+    def pick_next(self, state: ExecutionState) -> Optional[int]:
+        """Choose the next runnable thread (the current one just blocked or
+        exited, or a handler asked for a reschedule)."""
+        runnable = state.runnable_tids()
+        if not runnable:
+            return None
+        # Round-robin starting after the current thread, for fairness.
+        later = [t for t in runnable if t > state.current_tid]
+        return min(later) if later else min(runnable)
+
+    # -- mutex hooks -------------------------------------------------------
+    # ``ref`` is always the location of the sync instruction itself (the
+    # state's pc may already have advanced past it).
+
+    def fork_before_acquire(
+        self, executor: "Executor", state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        return []
+
+    def after_acquire(
+        self, executor: "Executor", state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        return []
+
+    def on_contention(
+        self,
+        executor: "Executor",
+        state: ExecutionState,
+        key: AddrKey,
+        holder: int,
+        instr: Instr,
+        ref: InstrRef,
+    ) -> list[ExecutionState]:
+        return []
+
+    def fork_before_release(
+        self, executor: "Executor", state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> list[ExecutionState]:
+        return []
+
+    def on_release(
+        self, executor: "Executor", state: ExecutionState, key: AddrKey,
+        instr: Instr, ref: InstrRef,
+    ) -> None:
+        return None
+
+    # -- thread lifecycle hooks ----------------------------------------------
+
+    def on_thread_event(
+        self, executor: "Executor", state: ExecutionState, kind: str, tid: int,
+        instr: Instr,
+    ) -> list[ExecutionState]:
+        return []
+
+    # -- memory access hooks (data-race schedule synthesis) --------------------
+
+    def wants_memory_hooks(self, state: ExecutionState) -> bool:
+        return False
+
+    def on_memory_access(
+        self,
+        executor: "Executor",
+        state: ExecutionState,
+        instr: Instr,
+        ref: InstrRef,
+        key: AddrKey,
+        is_write: bool,
+    ) -> list[ExecutionState]:
+        return []
+
+
+class RoundRobinPolicy(SchedulerPolicy):
+    """Alias for the do-nothing default; named for readability at call sites."""

@@ -1,0 +1,376 @@
+"""Execution states: frames, threads, sync objects, and forking.
+
+An execution state is "a program counter, a stack, and an address space"
+(paper section 3.3) -- extended here, as in the paper's section 6.1, with a
+set of simulated threads sharing the address space, one of which runs at a
+time.  States fork at symbolic branches and at scheduling decisions; COW
+memory keeps forks cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir import InstrRef
+from ..solver.expr import Atom, Expr, Var
+from .bugs import BugInfo
+from .memory import AddressSpace, CellValue, MemObject, Pointer
+
+AddrKey = tuple[int, int]  # (object id, concrete offset): identity of a sync object
+
+
+class Frame:
+    """One activation record: function position + virtual registers."""
+
+    __slots__ = ("function", "block", "index", "regs", "ret_dst", "allocas")
+
+    def __init__(self, function: str, block: str = "entry") -> None:
+        self.function = function
+        self.block = block
+        self.index = 0
+        self.regs: dict[str, CellValue] = {}
+        self.ret_dst: Optional[str] = None  # caller register receiving the return
+        self.allocas: list[int] = []  # stack object ids to release on return
+
+    def clone(self) -> "Frame":
+        copy = Frame.__new__(Frame)
+        copy.function = self.function
+        copy.block = self.block
+        copy.index = self.index
+        copy.regs = dict(self.regs)
+        copy.ret_dst = self.ret_dst
+        copy.allocas = list(self.allocas)
+        return copy
+
+    @property
+    def ref(self) -> InstrRef:
+        return InstrRef(self.function, self.block, self.index)
+
+    def __repr__(self) -> str:
+        return f"<frame {self.function}:{self.block}:{self.index}>"
+
+
+RUNNABLE = "runnable"
+BLOCKED = "blocked"
+EXITED = "exited"
+
+
+class ThreadState:
+    """A simulated POSIX thread."""
+
+    __slots__ = (
+        "tid", "frames", "status", "blocked_on", "reacquire_mutex",
+        "instr_count", "entry_function",
+    )
+
+    def __init__(self, tid: int, entry_function: str) -> None:
+        self.tid = tid
+        self.frames: list[Frame] = []
+        self.status = RUNNABLE
+        # ('mutex', key) | ('cond', key) | ('join', tid) when status == BLOCKED
+        self.blocked_on: Optional[tuple] = None
+        # After a cond wait is signaled, the mutex the thread must re-acquire.
+        self.reacquire_mutex: Optional[AddrKey] = None
+        self.instr_count = 0
+        self.entry_function = entry_function
+
+    def clone(self) -> "ThreadState":
+        copy = ThreadState.__new__(ThreadState)
+        copy.tid = self.tid
+        copy.frames = [f.clone() for f in self.frames]
+        copy.status = self.status
+        copy.blocked_on = self.blocked_on
+        copy.reacquire_mutex = self.reacquire_mutex
+        copy.instr_count = self.instr_count
+        copy.entry_function = self.entry_function
+        return copy
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def pc(self) -> InstrRef:
+        return self.top.ref
+
+    def call_stack(self) -> list[InstrRef]:
+        """Innermost-first stack of instruction refs (like a gdb backtrace)."""
+        return [frame.ref for frame in reversed(self.frames)]
+
+    def __repr__(self) -> str:
+        where = self.pc if self.frames else "-"
+        return f"<thread {self.tid} {self.status} at {where}>"
+
+
+@dataclass(slots=True)
+class MutexRec:
+    owner: Optional[int] = None
+    waiters: list[int] = field(default_factory=list)
+
+    def clone(self) -> "MutexRec":
+        return MutexRec(self.owner, list(self.waiters))
+
+
+@dataclass(slots=True)
+class InputEvent:
+    """One symbolic input introduced during execution.
+
+    ``kind`` is 'stdin' | 'env' | 'arg' | 'argc' | 'buffer'; ``key`` is the
+    env-var name, argv index, or buffer label; ``variables`` are the symbolic
+    cells whose model values become the concrete input at playback.
+    """
+
+    kind: str
+    key: str
+    variables: list[Var]
+
+
+@dataclass(slots=True)
+class SyncEvent:
+    """A serialized synchronization operation (for happens-before replay)."""
+
+    seq: int
+    tid: int
+    op: str  # 'lock' | 'unlock' | 'wait' | 'signal' | 'broadcast' | 'create' | 'join' | 'exit' | 'access'
+    addr: Optional[AddrKey]
+    ref: InstrRef
+
+
+@dataclass(slots=True)
+class Segment:
+    """A maximal run of one thread (for strict serial replay)."""
+
+    tid: int
+    instrs: int
+
+
+class EnvState:
+    """Symbolic environment: stdin stream, env vars, argv (paper section 3.4:
+    'symbolic models of the filesystem and the network stack to ensure all
+    symbolic I/O stays consistent').  Reading the same env var twice returns
+    the same buffer."""
+
+    __slots__ = ("stdin_vars", "env_buffers", "arg_buffers", "argc_var", "buffers")
+
+    def __init__(self) -> None:
+        self.stdin_vars: list[Var] = []
+        self.env_buffers: dict[str, Pointer] = {}
+        self.arg_buffers: dict[int, Pointer] = {}
+        self.argc_var: Optional[Atom] = None
+        self.buffers: dict[str, Pointer] = {}
+
+    def clone(self) -> "EnvState":
+        copy = EnvState.__new__(EnvState)
+        copy.stdin_vars = list(self.stdin_vars)
+        copy.env_buffers = dict(self.env_buffers)
+        copy.arg_buffers = dict(self.arg_buffers)
+        copy.argc_var = self.argc_var
+        copy.buffers = dict(self.buffers)
+        return copy
+
+
+_state_ids = itertools.count(1)
+
+
+class ExecutionState:
+    """One node of the symbolic execution tree."""
+
+    __slots__ = (
+        "sid", "parent_sid", "address_space", "globals", "threads",
+        "current_tid", "next_tid", "next_obj", "constraints",
+        "constraint_uids", "var_index", "mutexes",
+        "condvars", "env", "input_events", "output", "sync_log", "segments",
+        "segment_instrs", "steps", "forks", "status", "exit_code", "bug",
+        "snapshots", "schedule_distance", "preemptions", "meta",
+    )
+
+    def __init__(self) -> None:
+        self.sid = next(_state_ids)
+        self.parent_sid = 0
+        self.address_space = AddressSpace()
+        self.globals: dict[str, int] = {}
+        self.threads: dict[int, ThreadState] = {}
+        self.current_tid = 0
+        self.next_tid = 1
+        self.next_obj = 1
+        self.constraints: list[Expr] = []
+        self.constraint_uids: set[int] = set()
+        # var name -> constraints mentioning it, for sliced solver queries
+        # (Klee's independent-constraint optimization at the state level).
+        self.var_index: dict[str, list[Expr]] = {}
+        self.mutexes: dict[AddrKey, MutexRec] = {}
+        self.condvars: dict[AddrKey, list[int]] = {}
+        self.env = EnvState()
+        self.input_events: list[InputEvent] = []
+        self.output: list[str] = []
+        self.sync_log: list[SyncEvent] = []
+        self.segments: list[Segment] = []
+        self.segment_instrs = 0
+        self.steps = 0
+        self.forks = 0
+        self.status = "running"  # 'running' | 'exited' | 'bug' | 'infeasible'
+        self.exit_code = 0
+        self.bug: Optional[BugInfo] = None
+        # Deadlock schedule synthesis (paper section 4.1): mutex -> state
+        # snapshot taken just before that mutex was acquired.
+        self.snapshots: dict[AddrKey, "ExecutionState"] = {}
+        self.schedule_distance = 1.0  # 1.0 == far, 0.0 == near
+        self.preemptions = 0  # context-switch count (for Chess-style bounding)
+        self.meta: dict[str, object] = {}
+
+    # -- thread accessors ------------------------------------------------------
+
+    @property
+    def thread(self) -> ThreadState:
+        return self.threads[self.current_tid]
+
+    @property
+    def frame(self) -> Frame:
+        return self.thread.top
+
+    @property
+    def pc(self) -> InstrRef:
+        return self.thread.pc
+
+    @property
+    def terminated(self) -> bool:
+        return self.status != "running"
+
+    def runnable_tids(self) -> list[int]:
+        return [t.tid for t in self.threads.values() if t.status == RUNNABLE]
+
+    def live_threads(self) -> list[ThreadState]:
+        return [t for t in self.threads.values() if t.status != EXITED]
+
+    # -- memory helpers ------------------------------------------------------
+
+    def new_object(
+        self, size: int, kind: str, name: str = "",
+        init: Optional[list[CellValue]] = None,
+    ) -> MemObject:
+        obj = MemObject(self.next_obj, size, kind, name, init)
+        self.next_obj += 1
+        self.address_space.add(obj)
+        return obj
+
+    # -- scheduling bookkeeping ------------------------------------------------
+
+    def note_instruction(self) -> None:
+        self.steps += 1
+        self.segment_instrs += 1
+        self.thread.instr_count += 1
+
+    def uncount_instruction(self) -> None:
+        """Roll back the current instruction's accounting.
+
+        Scheduling policies fork "preempted" states from hooks that run
+        *before* an instruction's semantics complete (e.g. just before a
+        mutex acquisition).  In the forked state that instruction has not
+        executed, so its count must not appear in the strict schedule --
+        otherwise playback diverges by one instruction per preemption.
+        """
+        assert self.segment_instrs > 0
+        self.steps -= 1
+        self.segment_instrs -= 1
+        self.thread.instr_count -= 1
+
+    def switch_to(self, tid: int) -> None:
+        """Context-switch the running thread, closing the current segment."""
+        if tid == self.current_tid:
+            return
+        if self.segment_instrs:
+            self.segments.append(Segment(self.current_tid, self.segment_instrs))
+            self.segment_instrs = 0
+        self.preemptions += 1
+        self.current_tid = tid
+
+    def finish_segments(self) -> list[Segment]:
+        """All segments including the in-progress one (call at termination)."""
+        result = list(self.segments)
+        if self.segment_instrs:
+            result.append(Segment(self.current_tid, self.segment_instrs))
+        return result
+
+    def log_sync(self, op: str, addr: Optional[AddrKey], ref: InstrRef) -> None:
+        self.sync_log.append(
+            SyncEvent(len(self.sync_log), self.current_tid, op, addr, ref)
+        )
+
+    # -- forking ------------------------------------------------------------
+
+    def fork(self) -> "ExecutionState":
+        """Fork a child state sharing memory copy-on-write."""
+        child = ExecutionState.__new__(ExecutionState)
+        child.sid = next(_state_ids)
+        child.parent_sid = self.sid
+        child.address_space = self.address_space.fork()
+        child.globals = self.globals  # immutable after setup
+        child.threads = {tid: t.clone() for tid, t in self.threads.items()}
+        child.current_tid = self.current_tid
+        child.next_tid = self.next_tid
+        child.next_obj = self.next_obj
+        child.constraints = list(self.constraints)
+        child.constraint_uids = set(self.constraint_uids)
+        child.var_index = {name: list(c) for name, c in self.var_index.items()}
+        child.mutexes = {k: m.clone() for k, m in self.mutexes.items()}
+        child.condvars = {k: list(v) for k, v in self.condvars.items()}
+        child.env = self.env.clone()
+        child.input_events = list(self.input_events)
+        child.output = list(self.output)
+        child.sync_log = list(self.sync_log)
+        child.segments = list(self.segments)
+        child.segment_instrs = self.segment_instrs
+        child.steps = self.steps
+        child.forks = self.forks + 1
+        self.forks += 1
+        child.status = self.status
+        child.exit_code = self.exit_code
+        child.bug = self.bug
+        child.snapshots = dict(self.snapshots)
+        child.schedule_distance = self.schedule_distance
+        child.preemptions = self.preemptions
+        child.meta = dict(self.meta)
+        return child
+
+    def add_constraint(self, constraint: Atom) -> None:
+        if not isinstance(constraint, Expr):
+            return
+        if constraint.uid in self.constraint_uids:
+            return
+        self.constraint_uids.add(constraint.uid)
+        self.constraints.append(constraint)
+        for var in constraint.variables():
+            self.var_index.setdefault(var.name, []).append(constraint)
+
+    def related_constraints(self, atom: Atom) -> list[Expr]:
+        """The constraints transitively connected to ``atom`` through shared
+        variables -- the only ones whose satisfiability a new condition on
+        ``atom``'s variables can change."""
+        if not isinstance(atom, Expr):
+            return []
+        seen_vars: set[str] = set()
+        seen_constraints: set[int] = set()
+        related: list[Expr] = []
+        worklist = [v.name for v in atom.variables()]
+        while worklist:
+            name = worklist.pop()
+            if name in seen_vars:
+                continue
+            seen_vars.add(name)
+            for constraint in self.var_index.get(name, ()):
+                if constraint.uid in seen_constraints:
+                    continue
+                seen_constraints.add(constraint.uid)
+                related.append(constraint)
+                for var in constraint.variables():
+                    if var.name not in seen_vars:
+                        worklist.append(var.name)
+        return related
+
+    def __repr__(self) -> str:
+        return (
+            f"<state {self.sid} {self.status} tid={self.current_tid} "
+            f"steps={self.steps} constraints={len(self.constraints)}>"
+        )

@@ -1,0 +1,45 @@
+"""The evaluation workloads (paper Table 1 + the Figure 2 ls variants)."""
+
+from .base import Workload
+from .coreutils import MKDIR, MKFIFO, MKNOD, PASTE, TAC
+from .ghttpd import WORKLOAD as GHTTPD
+from .hawknl import WORKLOAD as HAWKNL
+from .listing1 import WORKLOAD as LISTING1
+from .ls import LS1, LS2, LS3, LS4, ls_source
+from .minidb import WORKLOAD as MINIDB
+
+# Table 1's eight real bugs, in the paper's order.
+TABLE1 = [MINIDB, HAWKNL, GHTTPD, PASTE, MKNOD, MKDIR, MKFIFO, TAC]
+
+# Figure 2 adds the four ls variants (KC's feasible set) to the real bugs.
+FIGURE2 = [LS1, LS2, LS3, LS4, GHTTPD, TAC, MKDIR, MKFIFO, MKNOD, PASTE,
+           HAWKNL, MINIDB]
+
+ALL = {w.name: w for w in [LISTING1] + FIGURE2}
+
+
+def get(name: str) -> Workload:
+    return ALL[name]
+
+
+__all__ = [
+    "ALL",
+    "FIGURE2",
+    "GHTTPD",
+    "HAWKNL",
+    "LISTING1",
+    "LS1",
+    "LS2",
+    "LS3",
+    "LS4",
+    "MINIDB",
+    "MKDIR",
+    "MKFIFO",
+    "MKNOD",
+    "PASTE",
+    "TABLE1",
+    "TAC",
+    "Workload",
+    "get",
+    "ls_source",
+]

@@ -1,0 +1,313 @@
+"""Mini coreutils with their real reported crashes (paper Table 1).
+
+* ``paste`` -- invalid free for some inputs: ``-d ""`` makes the
+  escape-collapsing helper return the *static* default delimiter, which the
+  cleanup path then frees.
+* ``tac`` -- segfault: the backward separator scan has no lower bound, so a
+  file that does not contain the separator walks off the front of the
+  buffer.
+* ``mkdir``, ``mknod``, ``mkfifo`` -- segfaults on error-handling paths: an
+  invalid ``-m`` mode string makes ``parse_mode`` return NULL, and the error
+  diagnostic dereferences it.
+"""
+
+from __future__ import annotations
+
+from ..symbex import BugKind, RecordedInputs
+from .base import Workload
+
+PASTE_SOURCE = """
+// mini paste: merge lines with a delimiter list
+
+int line_a[8] = {'a', '1', 0, 'a', '2', 0, 'a', '3'};
+int line_b[8] = {'b', '1', 0, 'b', '2', 0, 'b', '3'};
+int out[64];
+int outlen = 0;
+
+int *collapse_escapes(int *s) {
+    if (s[0] == 0) {
+        // BUG (paste -d ''): falls back to the static default delimiter,
+        // but the caller still believes it allocated the buffer.
+        return "\\t";
+    }
+    int *buf = malloc(16);
+    int i = 0;
+    int j = 0;
+    while (s[i] != 0 && j < 15) {
+        int c = s[i];
+        if (c == '\\\\') {
+            i = i + 1;
+            int e = s[i];
+            if (e == 'n') { c = 10; }
+            else if (e == 't') { c = 9; }
+            else if (e == '0') { c = 0; }
+            else if (e == 0) { c = '\\\\'; i = i - 1; }
+            else { c = e; }
+        }
+        buf[j] = c;
+        j = j + 1;
+        i = i + 1;
+    }
+    buf[j] = 0;
+    return buf;
+}
+
+void emit(int c) {
+    if (outlen < 63) {
+        out[outlen] = c;
+        outlen = outlen + 1;
+    }
+}
+
+void paste_fields(int *delims) {
+    int dlen = strlen(delims);
+    if (dlen == 0) { dlen = 1; }
+    int field = 0;
+    while (field < 2) {
+        int i = field * 3;
+        emit(line_a[i]);
+        emit(line_a[i + 1]);
+        emit(delims[field % dlen]);
+        emit(line_b[i]);
+        emit(line_b[i + 1]);
+        emit(10);
+        field = field + 1;
+    }
+}
+
+int main() {
+    int *delims = "\\t";
+    int allocated = 0;
+    if (argc() >= 3) {
+        int *opt = arg(1);
+        if (opt[0] == '-' && opt[1] == 'd' && opt[2] == 0) {
+            delims = collapse_escapes(arg(2));
+            allocated = 1;
+        }
+    }
+    paste_fields(delims);
+    if (allocated == 1) {
+        free(delims);   // invalid free when collapse_escapes fell back
+    }
+    return outlen;
+}
+"""
+
+TAC_SOURCE = """
+// mini tac: print records last-first, separated by newline
+
+int out[32];
+int outlen = 0;
+
+void emit_range(int *buf, int from, int to) {
+    int i = from;
+    while (i < to && outlen < 31) {
+        out[outlen] = buf[i];
+        outlen = outlen + 1;
+        i = i + 1;
+    }
+}
+
+int main() {
+    int *buf = read_input("file", 12);
+    int len = 0;
+    while (len < 12 && buf[len] != 0) {
+        len = len + 1;
+    }
+    if (len == 0) {
+        return 0;
+    }
+    int end = len;
+    while (end > 0) {
+        // scan backward for the previous separator
+        int i = end - 1;
+        while (buf[i] != 10) {
+            // BUG: no lower bound -- a file without any separator walks
+            // past the front of the buffer (tac segfault).
+            i = i - 1;
+        }
+        emit_range(buf, i + 1, end);
+        end = i;
+    }
+    return outlen;
+}
+"""
+
+_MODE_UTIL_TEMPLATE = """
+// mini {name}: create {what} with an optional -m MODE
+
+int created = 0;
+
+int *parse_mode(int *s) {{
+    int *bits = malloc(4);
+    bits[0] = 0;
+    bits[1] = 0;
+    bits[2] = 0;
+    bits[3] = 0;
+    int i = 0;
+    while (s[i] != 0) {{
+        int c = s[i];
+        if (c == 'r') {{ bits[0] = 1; }}
+        else if (c == 'w') {{ bits[1] = 1; }}
+        else if (c == 'x') {{ bits[2] = 1; }}
+        else if (c >= '0' && c <= '7') {{ bits[3] = bits[3] * 8 + (c - '0'); }}
+        else {{
+            free(bits);
+            return 0;
+        }}
+        i = i + 1;
+    }}
+    return bits;
+}}
+
+int do_create(int *name, int *mode) {{
+    if (name[0] == 0) {{
+        return -1;
+    }}
+    created = created + 1;
+    return mode[3];
+}}
+{extra_functions}
+int main() {{
+    if (argc() < 2) {{
+        print_str("usage: {name} [-m MODE] NAME");
+        return 2;
+    }}
+    int *mode_bits = 0;
+    int have_mode = 0;
+    int name_index = 1;
+    int *first = arg(1);
+    if (first[0] == '-' && first[1] == 'm' && first[2] == 0) {{
+        mode_bits = parse_mode(arg(2));
+        have_mode = 1;
+        name_index = 3;
+        if (mode_bits == 0) {{
+            // BUG ({name}): the error path reports the rejected mode by
+            // reading through the NULL result (segfault on the error
+            // handling path, as in the reported coreutils bugs).
+            print_str("{name}: invalid mode:");
+            print_int(mode_bits[3]);
+            return 1;
+        }}
+    }}
+    if (have_mode == 0) {{
+        mode_bits = parse_mode("rw");
+    }}
+{body}
+    return 0;
+}}
+"""
+
+MKDIR_SOURCE = _MODE_UTIL_TEMPLATE.format(
+    name="mkdir",
+    what="directories",
+    extra_functions="""
+int make_parents(int *path, int *mode) {
+    int depth = 0;
+    int i = 0;
+    while (path[i] != 0) {
+        if (path[i] == '/') {
+            depth = depth + 1;
+            do_create(path, mode);
+        }
+        i = i + 1;
+    }
+    return depth;
+}
+""",
+    body="""
+    int *target = arg(name_index);
+    make_parents(target, mode_bits);
+    if (do_create(target, mode_bits) < 0) {
+        return 1;
+    }
+""",
+)
+
+MKNOD_SOURCE = _MODE_UTIL_TEMPLATE.format(
+    name="mknod",
+    what="device nodes",
+    extra_functions="""
+int check_type(int c) {
+    if (c == 'b') { return 1; }
+    if (c == 'c') { return 2; }
+    if (c == 'p') { return 3; }
+    return 0;
+}
+""",
+    body="""
+    int *target = arg(name_index);
+    int *type_arg = arg(name_index + 1);
+    int node_type = check_type(type_arg[0]);
+    if (node_type == 0) {
+        print_str("mknod: invalid type");
+        return 1;
+    }
+    if (do_create(target, mode_bits) < 0) {
+        return 1;
+    }
+""",
+)
+
+MKFIFO_SOURCE = _MODE_UTIL_TEMPLATE.format(
+    name="mkfifo",
+    what="named pipes",
+    extra_functions="",
+    body="""
+    int *target = arg(name_index);
+    if (do_create(target, mode_bits) < 0) {
+        return 1;
+    }
+""",
+)
+
+PASTE = Workload(
+    name="paste",
+    source=PASTE_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.INVALID_FREE,
+    description="crash: invalid free when -d is given an empty delimiter list",
+    trigger_inputs=RecordedInputs(args=["-d", ""], argc=3),
+    paper_seconds=25.0,
+)
+
+TAC = Workload(
+    name="tac",
+    source=TAC_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.OUT_OF_BOUNDS,
+    description="crash: backward separator scan underruns the buffer when "
+    "the input contains no separator",
+    trigger_inputs=RecordedInputs(buffers={"file": [ord("a"), ord("b"), ord("c")]}),
+    paper_seconds=11.0,
+)
+
+MKDIR = Workload(
+    name="mkdir",
+    source=MKDIR_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.NULL_DEREF,
+    description="crash: NULL dereference on the invalid-mode error path",
+    trigger_inputs=RecordedInputs(args=["-m", "z", "dir"], argc=4),
+    paper_seconds=15.0,
+)
+
+MKNOD = Workload(
+    name="mknod",
+    source=MKNOD_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.NULL_DEREF,
+    description="crash: NULL dereference on the invalid-mode error path",
+    trigger_inputs=RecordedInputs(args=["-m", "q", "dev", "b"], argc=5),
+    paper_seconds=20.0,
+)
+
+MKFIFO = Workload(
+    name="mkfifo",
+    source=MKFIFO_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.NULL_DEREF,
+    description="crash: NULL dereference on the invalid-mode error path",
+    trigger_inputs=RecordedInputs(args=["-m", "!", "pipe"], argc=4),
+    paper_seconds=15.0,
+)

@@ -1,0 +1,186 @@
+"""hawknl: a game networking library with an nl_close/nl_shutdown deadlock.
+
+Stands in for HawkNL 1.6b3 (paper section 7.1): "when two threads happen to
+call nlClose() and nlShutdown() at the same time on the same socket, HawkNL
+deadlocks."  ``nl_close`` takes the per-socket lock, then the library master
+lock (to remove the socket from the global table); ``nl_shutdown`` walks the
+socket table holding the master lock and takes each socket lock -- a classic
+lock-order inversion.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..baselines import Directive
+from ..symbex import BugKind, RecordedInputs
+from .base import Workload
+
+SOURCE = """
+// mini HawkNL: sockets, buffered writes, group management
+
+mutex master_lock;      // protects the global socket table
+mutex sock_lock;        // the per-socket lock (one socket in this driver)
+
+int nl_inited = 0;
+int sock_open = 0;
+int sock_buffer[32];
+int sock_buflen = 0;
+int sock_sent = 0;
+int groups[8];
+int group_count = 0;
+int shutdown_done = 0;
+
+int nl_init(int unused) {
+    lock(master_lock);
+    nl_inited = 1;
+    group_count = 0;
+    unlock(master_lock);
+    return 1;
+}
+
+int nl_open(int port) {
+    lock(master_lock);
+    if (nl_inited == 0) {
+        unlock(master_lock);
+        return -1;
+    }
+    sock_open = 1;
+    sock_buflen = 0;
+    unlock(master_lock);
+    return 0;
+}
+
+int nl_write(int byte) {
+    lock(sock_lock);
+    if (sock_open == 0) {
+        unlock(sock_lock);
+        return -1;
+    }
+    if (sock_buflen < 32) {
+        sock_buffer[sock_buflen] = byte;
+        sock_buflen = sock_buflen + 1;
+    }
+    unlock(sock_lock);
+    return 1;
+}
+
+void flush_buffer(int unused) {
+    int i = 0;
+    while (i < sock_buflen) {
+        sock_sent = sock_sent + 1;
+        i = i + 1;
+    }
+    sock_buflen = 0;
+}
+
+int sock_grouped = 0;
+
+int nl_groupjoin(int g) {
+    lock(master_lock);
+    if (group_count < 8) {
+        groups[group_count] = g;
+        group_count = group_count + 1;
+        sock_grouped = 1;
+    }
+    unlock(master_lock);
+    return sock_grouped;
+}
+
+void nl_close(int s) {
+    lock(sock_lock);
+    flush_buffer(0);
+    sock_open = 0;
+    if (sock_grouped == 1) {
+        // A grouped socket must also leave the global group table: the
+        // master lock is taken here in sock -> master order, inverted
+        // w.r.t. nl_shutdown's master -> sock.
+        lock(master_lock);
+        if (group_count > 0) {
+            group_count = group_count - 1;
+        }
+        sock_grouped = 0;
+        unlock(master_lock);
+    }
+    unlock(sock_lock);
+}
+
+void nl_shutdown(int unused) {
+    // walks all sockets in master -> sock order: inverted w.r.t. nl_close
+    lock(master_lock);
+    if (sock_open == 1) {
+        lock(sock_lock);
+        flush_buffer(0);
+        sock_open = 0;
+        unlock(sock_lock);
+    }
+    nl_inited = 0;
+    shutdown_done = 1;
+    unlock(master_lock);
+}
+
+void closer(int unused) {
+    nl_write('x');
+    nl_close(0);
+}
+
+void downer(int unused) {
+    nl_shutdown(0);
+}
+
+void pumper(int n) {
+    // Background traffic: each write takes and releases the socket lock,
+    // giving undirected schedule search a large tree to wade through.
+    int i = 0;
+    while (i < n) {
+        nl_write('p');
+        i = i + 1;
+    }
+}
+
+int main() {
+    nl_init(0);
+    int port = getchar();
+    if (nl_open(port) < 0) {
+        return 1;
+    }
+    int *grouping = getenv("NL_GROUP");
+    if (grouping[0] == '1') {
+        nl_groupjoin(7);
+    }
+    nl_write('h');
+    nl_write('i');
+    int p1 = spawn(pumper, 5);
+    int p2 = spawn(pumper, 5);
+    int t1 = spawn(closer, 0);
+    int t2 = spawn(downer, 0);
+    join(p1);
+    join(p2);
+    join(t1);
+    join(t2);
+    return shutdown_done;
+}
+"""
+
+
+def _directives(module: ir.Module) -> list[Directive]:
+    """Preempt the closer right after it acquires the socket lock; the
+    shutdown thread then takes the master lock and blocks on the socket
+    lock, and the closer blocks on the master lock."""
+    close_locks = [
+        ref for ref, instr in module.functions["nl_close"].iter_instructions()
+        if isinstance(instr, ir.MutexLock)
+    ]
+    # Threads: 1,2 = pumpers, 3 = closer, 4 = downer.
+    return [Directive(close_locks[0], 3, 4)]
+
+
+WORKLOAD = Workload(
+    name="hawknl",
+    source=SOURCE,
+    bug_type="deadlock",
+    expected_kind=BugKind.DEADLOCK,
+    description="hang: nl_close vs nl_shutdown lock-order inversion (HawkNL 1.6b3)",
+    trigger_inputs=RecordedInputs(stdin=[80], env={"NL_GROUP": "1"}),
+    directives=_directives,
+    paper_seconds=122.0,
+)

@@ -1,0 +1,71 @@
+"""The paper's running example (Listing 1): a two-thread deadlock that
+manifests only when ``getchar() == 'm'``, ``getenv("mode")[0] == 'Y'``, and
+one thread is preempted right after the unlock on line 11."""
+
+from __future__ import annotations
+
+from .. import ir
+from ..baselines import Directive
+from ..symbex import BugKind, RecordedInputs
+from .base import Workload
+
+SOURCE = """
+int idx = 0;
+int mode = 0;
+mutex M1;
+mutex M2;
+
+void critical_section(int unused) {
+    lock(M1);
+    lock(M2);
+    if (mode == 1 && idx == 1) {
+        unlock(M1);
+        lock(M1);
+    }
+    unlock(M2);
+    unlock(M1);
+}
+
+int main() {
+    if (getchar() == 'm') {
+        idx = idx + 1;
+    }
+    int *env = getenv("mode");
+    if (env[0] == 'Y') {
+        mode = 1;
+    } else {
+        mode = 2;
+    }
+    int t1 = spawn(critical_section, 0);
+    int t2 = spawn(critical_section, 0);
+    join(t1);
+    join(t2);
+    return 0;
+}
+"""
+
+
+def _directives(module: ir.Module) -> list[Directive]:
+    """The paper's interleaving: thread 1 runs to line 11 (the unlock inside
+    the if) and is preempted right after it; thread 2 runs up to line 9 and
+    blocks; thread 1 resumes and blocks on line 12."""
+    unlocks = [
+        ref for ref, instr in module.functions["critical_section"].iter_instructions()
+        if isinstance(instr, ir.MutexUnlock)
+    ]
+    # The unlock inside the if-block (line 11) is the first unlock
+    # lexically: blocks are emitted in source order (if.then before if.end).
+    line11 = min(unlocks, key=lambda ref: module.instruction(ref).line)
+    return [Directive(line11, 1, 2)]
+
+
+WORKLOAD = Workload(
+    name="listing1",
+    source=SOURCE,
+    bug_type="deadlock",
+    expected_kind=BugKind.DEADLOCK,
+    description="hang: the paper's Listing 1 deadlock (requires 'm' on stdin, "
+    "mode=Y in the environment, and a precise preemption)",
+    trigger_inputs=RecordedInputs(stdin=[ord("m")], env={"mode": "Y"}),
+    directives=_directives,
+)

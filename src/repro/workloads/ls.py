@@ -1,0 +1,246 @@
+"""ls1-ls4: a mini ``ls`` with four injected null-pointer dereferences.
+
+The paper introduces four null-pointer-dereference bugs in the 3-KLOC ls
+utility as the baseline-friendly workloads for Figure 2 ("for which KC does
+find a path in less than one hour").  This mini ls has option parsing, a
+synthetic directory table, filtering, three sort orders, reversal, and two
+output formats; each variant injects one bug at a different depth of the
+option-combination space, giving the same easy-to-hard gradient:
+
+* ls1 -- shallow: triggered by the ``-q`` flag alone (option parsing);
+* ls2 -- two flags: ``-l`` and ``-r`` together (long listing of a reversed list);
+* ls3 -- two flags plus data: ``-t`` sort with enough entries;
+* ls4 -- three flags: ``-R -a -1`` (recursion bookkeeping).
+"""
+
+from __future__ import annotations
+
+from ..symbex import BugKind, RecordedInputs
+from .base import Workload
+
+_BUG_SNIPPETS = {
+    1: ("/* BUG1 */", """
+        if (flag_q == 1) {
+            int *quote_table = 0;
+            quoting = quote_table[0];
+        }
+"""),
+    2: ("/* BUG2 */", """
+    if (flag_l == 1 && flag_r == 1) {
+        int *fmt = 0;
+        width = fmt[1];
+    }
+"""),
+    3: ("/* BUG3 */", """
+    if (flag_t == 1 && count > 2) {
+        int *clock = 0;
+        now = clock[0];
+    }
+"""),
+    4: ("/* BUG4 */", """
+        if (flag_R == 1 && flag_a == 1 && flag_1 == 1) {
+            int *stack = 0;
+            depth = stack[2];
+        }
+"""),
+}
+
+_BASE_SOURCE = """
+// mini ls: list a synthetic directory with sorting and formats
+
+int names[48] = {
+    'd', 'o', 'c', 's', 0, 0,
+    '.', 'g', 'i', 't', 0, 0,
+    'm', 'a', 'i', 'n', '.', 'c',
+    'l', 'i', 'b', '.', 'c', 0,
+    'R', 'E', 'A', 'D', 'M', 'E',
+    '.', 'e', 'n', 'v', 0, 0,
+    't', 'e', 's', 't', 's', 0,
+    'b', 'u', 'i', 'l', 'd', 0
+};
+int sizes[8] = {4096, 512, 2048, 1024, 300, 64, 4096, 8192};
+int mtimes[8] = {50, 10, 90, 70, 30, 20, 80, 60};
+int is_dir[8] = {1, 1, 0, 0, 0, 0, 1, 1};
+int order[8];
+int count = 0;
+
+int flag_a = 0;
+int flag_l = 0;
+int flag_r = 0;
+int flag_t = 0;
+int flag_S = 0;
+int flag_R = 0;
+int flag_1 = 0;
+int flag_q = 0;
+int quoting = 0;
+int width = 80;
+int now = 100;
+int depth = 0;
+int printed = 0;
+
+int name_char(int entry, int i) {
+    return names[entry * 6 + i];
+}
+
+int is_hidden(int entry) {
+    return name_char(entry, 0) == '.';
+}
+
+int name_cmp(int a, int b) {
+    int i = 0;
+    while (i < 6) {
+        int ca = name_char(a, i);
+        int cb = name_char(b, i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int entry_cmp(int a, int b) {
+    if (flag_t == 1) {
+        return mtimes[b] - mtimes[a];
+    }
+    if (flag_S == 1) {
+        return sizes[b] - sizes[a];
+    }
+    return name_cmp(a, b);
+}
+
+void parse_options(int argn) {
+    int i = 1;
+    while (i < argn) {
+        int *opt = arg(i);
+        if (opt[0] == '-') {
+            int j = 1;
+            while (opt[j] != 0) {
+                int c = opt[j];
+                if (c == 'a') { flag_a = 1; }
+                else if (c == 'l') { flag_l = 1; }
+                else if (c == 'r') { flag_r = 1; }
+                else if (c == 't') { flag_t = 1; }
+                else if (c == 'S') { flag_S = 1; }
+                else if (c == 'R') { flag_R = 1; }
+                else if (c == '1') { flag_1 = 1; }
+                else if (c == 'q') { flag_q = 1; }
+                /* BUG1 */
+                j = j + 1;
+            }
+        }
+        i = i + 1;
+    }
+}
+
+void collect_entries(int unused) {
+    int i = 0;
+    count = 0;
+    while (i < 8) {
+        if (flag_a == 1 || is_hidden(i) == 0) {
+            order[count] = i;
+            count = count + 1;
+        }
+        i = i + 1;
+    }
+}
+
+void sort_entries(int unused) {
+    int i = 1;
+    while (i < count) {
+        int key = order[i];
+        int j = i - 1;
+        while (j >= 0 && entry_cmp(order[j], key) > 0) {
+            order[j + 1] = order[j];
+            j = j - 1;
+        }
+        order[j + 1] = key;
+        i = i + 1;
+    }
+    /* BUG3 */
+    if (flag_r == 1) {
+        int lo = 0;
+        int hi = count - 1;
+        while (lo < hi) {
+            int tmp = order[lo];
+            order[lo] = order[hi];
+            order[hi] = tmp;
+            lo = lo + 1;
+            hi = hi - 1;
+        }
+    }
+}
+
+void print_entry(int entry) {
+    if (flag_l == 1) {
+        if (is_dir[entry] == 1) { print_str("d"); }
+        print_int(sizes[entry]);
+        print_int(now - mtimes[entry]);
+    }
+    int i = 0;
+    while (i < 6) {
+        int c = name_char(entry, i);
+        if (c == 0) { break; }
+        i = i + 1;
+    }
+    printed = printed + 1;
+}
+
+void list_directory(int unused) {
+    collect_entries(0);
+    sort_entries(0);
+    /* BUG2 */
+    int i = 0;
+    while (i < count) {
+        print_entry(order[i]);
+        i = i + 1;
+    }
+    if (flag_R == 1) {
+        int e = 0;
+        while (e < count) {
+            if (is_dir[order[e]] == 1) {
+                depth = depth + 1;
+                /* BUG4 */
+            }
+            e = e + 1;
+        }
+    }
+}
+
+int main() {
+    parse_options(argc());
+    list_directory(0);
+    return printed;
+}
+"""
+
+
+def ls_source(bug: int) -> str:
+    source = _BASE_SOURCE
+    for number, (marker, snippet) in _BUG_SNIPPETS.items():
+        source = source.replace(marker, snippet if number == bug else "")
+    return source
+
+
+_TRIGGERS = {
+    1: RecordedInputs(args=["-q"], argc=2),
+    2: RecordedInputs(args=["-lr"], argc=2),
+    3: RecordedInputs(args=["-t"], argc=2),
+    4: RecordedInputs(args=["-Ra1"], argc=2),
+}
+
+
+def _make(bug: int) -> Workload:
+    return Workload(
+        name=f"ls{bug}",
+        source=ls_source(bug),
+        bug_type="crash",
+        expected_kind=BugKind.NULL_DEREF,
+        description=f"crash: injected null dereference #{bug} in mini ls",
+        trigger_inputs=_TRIGGERS[bug],
+    )
+
+
+LS1 = _make(1)
+LS2 = _make(2)
+LS3 = _make(3)
+LS4 = _make(4)

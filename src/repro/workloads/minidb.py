@@ -1,0 +1,245 @@
+"""minidb: an embedded key-value database with a custom recursive lock.
+
+Stands in for SQLite 3.3.0 and its bug #1672 -- "a deadlock in the custom
+recursive lock implementation" (paper section 7.1).  The database has a
+pager layer (page cache + rollback journal), a table layer (open-addressed
+key/value store), and a hand-rolled recursive lock built from two POSIX
+mutexes: ``rl_master`` protecting the owner/count bookkeeping and
+``rl_real`` providing the actual exclusion.
+
+The bug: ``rl_enter`` acquires ``rl_real`` while *still holding*
+``rl_master`` (the fixed version releases the bookkeeping mutex before
+blocking).  A writer inside a transaction that calls ``rl_leave`` takes the
+two mutexes in the opposite order, so:
+
+  T1 (reader)  rl_enter: holds rl_master, blocks on rl_real
+  T2 (writer)  rl_leave: holds rl_real (transaction), blocks on rl_master
+
+which is a circular wait.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..baselines import Directive
+from ..symbex import BugKind, RecordedInputs
+from .base import Workload
+
+SOURCE = """
+// minidb: embedded database engine (SQLite bug #1672 analogue)
+
+mutex rl_master;        // protects rl_owner / rl_count
+mutex rl_real;          // the actual exclusion lock
+int rl_owner = -1;
+int rl_count = 0;
+
+int pages[64];          // pager: 16 pages of 4 cells
+int page_state[16];     // 0 clean, 1 dirty
+int journal[32];
+int journal_len = 0;
+int sync_mode = 1;
+
+int table_keys[16];
+int table_vals[16];
+int table_used[16];
+int table_count = 0;
+
+int committed = 0;
+int aborted = 0;
+
+// ---- custom recursive lock (the buggy component) ----
+
+void rl_enter(int tid) {
+    lock(rl_master);
+    if (rl_owner == tid) {
+        rl_count = rl_count + 1;
+        unlock(rl_master);
+        return;
+    }
+    // BUG (#1672 analogue): blocks on the real lock while still holding
+    // the bookkeeping mutex.  The fix releases rl_master first.
+    lock(rl_real);
+    rl_owner = tid;
+    rl_count = 1;
+    unlock(rl_master);
+}
+
+void rl_leave(int tid) {
+    lock(rl_master);
+    rl_count = rl_count - 1;
+    if (rl_count == 0) {
+        rl_owner = -1;
+        unlock(rl_real);
+    }
+    unlock(rl_master);
+}
+
+// ---- pager layer ----
+
+int page_of(int key) {
+    int h = key * 31 + 7;
+    if (h < 0) { h = 0 - h; }
+    return h % 16;
+}
+
+void pager_touch(int page) {
+    if (page_state[page] == 0) {
+        page_state[page] = 1;
+        if (journal_len < 32) {
+            journal[journal_len] = page;
+            journal_len = journal_len + 1;
+        }
+    }
+}
+
+void pager_write(int page, int slot, int value) {
+    pager_touch(page);
+    pages[page * 4 + slot % 4] = value;
+}
+
+void pager_sync(int unused) {
+    if (sync_mode == 0) { return; }
+    int i = 0;
+    while (i < journal_len) {
+        page_state[journal[i]] = 0;
+        i = i + 1;
+    }
+    journal_len = 0;
+}
+
+// ---- table layer ----
+
+int table_slot(int key) {
+    int h = key % 16;
+    if (h < 0) { h = h + 16; }
+    int probes = 0;
+    while (probes < 16) {
+        if (table_used[h] == 0 || table_keys[h] == key) {
+            return h;
+        }
+        h = (h + 1) % 16;
+        probes = probes + 1;
+    }
+    return -1;
+}
+
+int db_put(int tid, int key, int value) {
+    rl_enter(tid);
+    int slot = table_slot(key);
+    if (slot < 0) {
+        aborted = aborted + 1;
+        rl_leave(tid);
+        return -1;
+    }
+    if (table_used[slot] == 0) {
+        table_used[slot] = 1;
+        table_keys[slot] = key;
+        table_count = table_count + 1;
+    }
+    table_vals[slot] = value;
+    pager_write(page_of(key), slot, value);
+    rl_leave(tid);
+    return 0;
+}
+
+int db_get(int tid, int key) {
+    rl_enter(tid);
+    int slot = table_slot(key);
+    int result = -1;
+    if (slot >= 0 && table_used[slot] == 1) {
+        result = table_vals[slot];
+    }
+    rl_leave(tid);
+    return result;
+}
+
+int db_begin(int tid) {
+    rl_enter(tid);
+    return 0;
+}
+
+int db_commit(int tid) {
+    pager_sync(0);
+    committed = committed + 1;
+    rl_leave(tid);
+    return 0;
+}
+
+// ---- client threads ----
+
+int txn_mode = 0;   // 1: explicit transactions (the deadlock window)
+
+void writer(int tid) {
+    if (txn_mode == 1) {
+        // Write-ahead journal mode keeps the recursive lock held across
+        // the whole transaction: the window in which rl_leave's
+        // master-acquisition can deadlock against a concurrent rl_enter.
+        db_begin(tid);
+        int i = 0;
+        while (i < 4) {
+            db_put(tid, i * 7 + 1, i + 100);
+            i = i + 1;
+        }
+        db_commit(tid);
+    } else {
+        // Autocommit: enter/leave per operation, no nesting.
+        int j = 0;
+        while (j < 4) {
+            db_put(tid, j * 7 + 1, j + 100);
+            j = j + 1;
+        }
+    }
+}
+
+void reader(int tid) {
+    int total = 0;
+    int i = 0;
+    while (i < 8) {
+        total = total + db_get(tid, i * 7 + 1);
+        i = i + 1;
+    }
+}
+
+int main() {
+    int *mode = getenv("SYNCHRONOUS");
+    if (mode[0] == '0') {
+        sync_mode = 0;
+    }
+    int *journal = getenv("JOURNAL");
+    if (journal[0] == 'W' && journal[1] == 'A' && journal[2] == 'L') {
+        txn_mode = 1;
+    }
+    int t1 = spawn(writer, 1);
+    int t2 = spawn(reader, 2);
+    int t3 = spawn(reader, 3);
+    join(t1);
+    join(t2);
+    join(t3);
+    return committed;
+}
+"""
+
+
+def _directives(module: ir.Module) -> list[Directive]:
+    """The end-user's unlucky schedule: preempt the writer right after its
+    transaction-opening rl_enter releases rl_master; the reader then grabs
+    rl_master and blocks on rl_real; the writer later blocks on rl_master in
+    rl_leave."""
+    unlocks = [
+        ref for ref, instr in module.functions["rl_enter"].iter_instructions()
+        if isinstance(instr, ir.MutexUnlock)
+    ]
+    # The acquire-path unlock is the last unlock in rl_enter.
+    return [Directive(unlocks[-1], 1, 2)]
+
+
+WORKLOAD = Workload(
+    name="minidb",
+    source=SOURCE,
+    bug_type="deadlock",
+    expected_kind=BugKind.DEADLOCK,
+    description="hang: deadlock in the custom recursive lock (SQLite #1672)",
+    trigger_inputs=RecordedInputs(env={"SYNCHRONOUS": "1", "JOURNAL": "WAL"}),
+    directives=_directives,
+    paper_seconds=150.0,
+)

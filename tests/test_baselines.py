@@ -1,0 +1,151 @@
+"""Tests for the comparison systems: KC, stress testing, scripted schedules."""
+
+import pytest
+
+from repro import ir
+from repro.baselines import (
+    ChessPreemptionPolicy,
+    Directive,
+    ForcedSchedulePolicy,
+    RandomSchedulePolicy,
+    kc_find_path,
+    stress_test,
+)
+from repro.core import extract_goal
+from repro.lang import compile_source
+from repro.search import SearchBudget
+from repro.symbex import BugKind, ConcreteEnv, Executor, RecordedInputs
+from repro.workloads import get
+
+SIMPLE_CRASH = """
+int main() {
+    int c = getchar();
+    if (c == 'k') {
+        abort();
+    }
+    return 0;
+}
+"""
+
+
+class TestKC:
+    def test_kc_dfs_finds_shallow_input_bug(self):
+        module = compile_source(SIMPLE_CRASH)
+        result = kc_find_path(
+            module,
+            lambda s: s.status == "bug" and s.bug.kind is BugKind.ABORT,
+            strategy="dfs",
+            budget=SearchBudget(max_seconds=20),
+        )
+        assert result.found
+
+    def test_kc_random_path_finds_shallow_input_bug(self):
+        module = compile_source(SIMPLE_CRASH)
+        result = kc_find_path(
+            module,
+            lambda s: s.status == "bug" and s.bug.kind is BugKind.ABORT,
+            strategy="random-path",
+            budget=SearchBudget(max_seconds=20),
+        )
+        assert result.found
+
+    def test_unknown_strategy_rejected(self):
+        module = compile_source(SIMPLE_CRASH)
+        with pytest.raises(ValueError):
+            kc_find_path(module, lambda s: False, strategy="bogus")
+
+    def test_preemption_bound_limits_forking(self):
+        source = """
+        mutex m;
+        int counter = 0;
+        void w(int n) {
+            for (int i = 0; i < 3; i = i + 1) {
+                lock(m);
+                counter = counter + 1;
+                unlock(m);
+            }
+        }
+        int main() {
+            int t = spawn(w, 0);
+            w(1);
+            join(t);
+            return counter;
+        }
+        """
+        module = compile_source(source)
+        result = kc_find_path(
+            module, lambda s: False, strategy="dfs",
+            budget=SearchBudget(max_seconds=10, max_instructions=400_000),
+            preemption_bound=1,
+        )
+        # With bound 1 the schedule tree is finite and small: the search
+        # exhausts rather than hitting the budget.
+        assert result.outcome.reason == "exhausted"
+
+    def test_kc_times_out_on_minidb(self):
+        """The headline Figure 2 shape: KC cannot reproduce the real
+        deadlock at a budget where ESD succeeds in well under a second."""
+        workload = get("minidb")
+        module = workload.compile()
+        goal = extract_goal(module, workload.make_report())
+        result = kc_find_path(
+            module, goal.matches, strategy="dfs",
+            budget=SearchBudget(max_seconds=5),
+        )
+        assert not result.found
+
+
+class TestStress:
+    def test_stress_misses_schedule_sensitive_deadlock(self):
+        workload = get("hawknl")
+        module = workload.compile()
+        goal = extract_goal(module, workload.make_report())
+        result = stress_test(
+            module, is_goal=goal.matches, max_runs=300, max_seconds=10, seed=1,
+            preempt_probability=0.02,
+        )
+        assert not result.found
+        assert result.runs > 10  # it did actually run
+
+    def test_stress_finds_trivial_input_bug_eventually(self):
+        module = compile_source(SIMPLE_CRASH)
+        result = stress_test(module, max_runs=3000, max_seconds=20, seed=3)
+        # 1/96 chance per run of drawing 'k': near-certain within 3000 runs.
+        assert result.found
+
+    def test_stress_counts_bug_kinds(self):
+        module = compile_source(SIMPLE_CRASH)
+        result = stress_test(module, max_runs=3000, max_seconds=20, seed=4)
+        if result.found:
+            assert result.bug_kinds_seen.get("abort", 0) >= 1
+
+
+class TestForcedSchedule:
+    def test_directives_fire_in_order(self):
+        workload = get("listing1")
+        module, state = workload.trigger()
+        assert state.bug.kind is BugKind.DEADLOCK
+
+    def test_random_schedule_deterministic_per_seed(self):
+        source = """
+        int x = 0;
+        mutex m;
+        void w(int v) { lock(m); x = x + v; unlock(m); }
+        int main() {
+            int t1 = spawn(w, 1);
+            int t2 = spawn(w, 2);
+            join(t1); join(t2);
+            return x;
+        }
+        """
+        module = compile_source(source)
+
+        def run(seed):
+            executor = Executor(
+                module, env=ConcreteEnv(RecordedInputs()),
+                policy=RandomSchedulePolicy(seed=seed),
+            )
+            state = executor.run_to_completion(executor.initial_state())
+            return [(s.tid, s.instrs) for s in state.finish_segments()]
+
+        assert run(5) == run(5)

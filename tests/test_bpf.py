@@ -1,0 +1,102 @@
+"""Tests for the BPF synthetic-program generator."""
+
+import pytest
+
+from repro import ir
+from repro.bpf import BPFParams, generate
+from repro.core import ESDConfig, esd_synthesize
+from repro.playback import play_back
+from repro.search import SearchBudget
+from repro.symbex import BugKind
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate(BPFParams(seed=5))
+        b = generate(BPFParams(seed=5))
+        assert a.source == b.source
+
+    def test_different_seeds_differ(self):
+        a = generate(BPFParams(seed=5))
+        b = generate(BPFParams(seed=6))
+        assert a.source != b.source
+
+    def test_compiles_and_verifies(self):
+        program = generate(BPFParams(num_branches=32, seed=1))
+        module = program.workload.compile()
+        ir.verify_module(module)
+
+    def test_branch_count_scales_module(self):
+        small = generate(BPFParams(num_branches=16, seed=2)).workload.compile()
+        large = generate(BPFParams(num_branches=128, seed=2)).workload.compile()
+        assert large.size > small.size * 3
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            BPFParams(num_threads=1)
+        with pytest.raises(ValueError):
+            BPFParams(num_locks=1)
+        with pytest.raises(ValueError):
+            BPFParams(num_branches=4, num_input_branches=8)
+
+    def test_kloc_reported(self):
+        program = generate(BPFParams(num_branches=64, seed=3))
+        assert 0.1 < program.kloc < 2.0
+
+    def test_key_inputs_recorded(self):
+        program = generate(BPFParams(num_branches=32, seed=4))
+        assert program.key_inputs
+        for index, value in program.key_inputs.items():
+            assert 0 <= index < program.params.num_inputs
+            assert 33 <= value < 127
+
+
+class TestTriggerAndClean:
+    def test_trigger_deadlocks(self):
+        program = generate(BPFParams(num_branches=32, seed=8))
+        module, state = program.workload.trigger()
+        assert state.bug.kind is BugKind.DEADLOCK
+
+    def test_wrong_inputs_do_not_deadlock(self):
+        """With the gate closed the lock order is consistent: no deadlock
+        regardless of schedule (one deadlock bug per program)."""
+        from repro.baselines import RandomSchedulePolicy
+        from repro.symbex import ConcreteEnv, Executor, RecordedInputs
+
+        program = generate(BPFParams(num_branches=32, seed=8))
+        module = program.workload.compile()
+        wrong = RecordedInputs(stdin=[0] * program.params.num_inputs)
+        for seed in range(10):
+            executor = Executor(
+                module, env=ConcreteEnv(wrong),
+                policy=RandomSchedulePolicy(seed=seed),
+            )
+            state = executor.run_to_completion(executor.initial_state())
+            assert state.status == "exited", f"seed {seed}: {state.status}"
+
+    def test_more_threads_and_locks(self):
+        program = generate(
+            BPFParams(num_branches=24, num_threads=4, num_locks=3, seed=9)
+        )
+        module, state = program.workload.trigger()
+        assert state.bug.kind is BugKind.DEADLOCK
+
+
+class TestSynthesisOnBPF:
+    def test_esd_reproduces_small_bpf_deadlock(self):
+        program = generate(
+            BPFParams(num_inputs=8, num_branches=16, num_input_branches=16, seed=7)
+        )
+        workload = program.workload
+        module = workload.compile()
+        report = workload.make_report()
+        result = esd_synthesize(
+            module, report, ESDConfig(budget=SearchBudget(max_seconds=60))
+        )
+        assert result.found, result.reason
+        playback = play_back(module, result.execution_file, mode="strict")
+        assert playback.bug_reproduced
+        # The synthesized stdin must satisfy every key-branch equation.
+        stdin = result.execution_file.inputs.stdin
+        for index, value in program.key_inputs.items():
+            assert stdin[index] == value

@@ -1,0 +1,70 @@
+"""Tests for the esdsynth / esdplay command-line front ends."""
+
+import json
+
+import pytest
+
+from repro.cli import esdplay_main, esdsynth_main
+from repro.workloads import get
+
+
+@pytest.fixture()
+def tac_files(tmp_path):
+    workload = get("tac")
+    program = tmp_path / "tac.minic"
+    program.write_text(workload.source)
+    report = workload.make_report()
+    dump = tmp_path / "report.json"
+    dump.write_text(json.dumps(report.to_dict()))
+    return program, dump, tmp_path / "execution.json"
+
+
+class TestEsdSynth:
+    def test_synthesizes_and_writes_execution(self, tac_files, capsys):
+        program, dump, output = tac_files
+        code = esdsynth_main([str(dump), str(program), "--crash", "-o", str(output)])
+        assert code == 0
+        assert output.exists()
+        data = json.loads(output.read_text())
+        assert data["format"] == "esd-execution-file-v1"
+        assert data["bug_kind"] == "buffer-overflow"
+        out = capsys.readouterr().out
+        assert "synthesized execution" in out
+
+    def test_bug_type_from_report_when_flag_omitted(self, tac_files):
+        program, dump, output = tac_files
+        code = esdsynth_main([str(dump), str(program), "-o", str(output)])
+        assert code == 0
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        # A report pointing at a patched program: no path exists.
+        workload = get("tac")
+        report = workload.make_report()
+        fixed = workload.source.replace(
+            "while (buf[i] != 10) {",
+            "while (i >= 0 && buf[i] != 10) {",
+        )
+        program = tmp_path / "tac.minic"
+        program.write_text(fixed)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(report.to_dict()))
+        code = esdsynth_main(
+            [str(dump), str(program), "--crash", "--max-seconds", "10",
+             "-o", str(tmp_path / "x.json")]
+        )
+        assert code == 1
+        assert "no execution found" in capsys.readouterr().err
+
+
+class TestEsdPlay:
+    def test_playback_reproduces(self, tac_files, capsys):
+        program, dump, output = tac_files
+        assert esdsynth_main([str(dump), str(program), "--crash", "-o", str(output)]) == 0
+        code = esdplay_main([str(program), str(output)])
+        assert code == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_happens_before_mode(self, tac_files):
+        program, dump, output = tac_files
+        assert esdsynth_main([str(dump), str(program), "--crash", "-o", str(output)]) == 0
+        assert esdplay_main([str(program), str(output), "--mode", "happens-before"]) == 0

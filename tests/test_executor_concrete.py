@@ -1,0 +1,412 @@
+"""Concrete-execution tests of the VM: with concrete inputs the executor is a
+deterministic interpreter."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.symbex import BugKind, ConcreteEnv, Executor, RecordedInputs
+
+
+def run(source, inputs=None, **cfg):
+    module = compile_source(source)
+    env = ConcreteEnv(inputs or RecordedInputs())
+    executor = Executor(module, env=env)
+    state = executor.run_to_completion(executor.initial_state())
+    return state
+
+
+class TestArithmetic:
+    def test_exit_code_is_main_return(self):
+        state = run("int main() { return 42; }")
+        assert state.status == "exited"
+        assert state.exit_code == 42
+
+    def test_arith_chain(self):
+        state = run("int main() { int x = 10; int y = x * 3 + 4; return y % 17; }")
+        assert state.exit_code == 34 % 17
+
+    def test_division_c_semantics(self):
+        state = run("int main() { return (0 - 7) / 2; }")
+        assert state.exit_code == -3
+
+    def test_unary_ops(self):
+        state = run("int main() { int x = 5; return -x + !0 + ~0; }")
+        assert state.exit_code == -5 + 1 - 1
+
+    def test_comparisons(self):
+        state = run("int main() { return (3 < 4) + (4 <= 4) + (5 > 9) + (1 == 1); }")
+        assert state.exit_code == 3
+
+    def test_short_circuit_does_not_eval_rhs(self):
+        # The rhs would crash (null deref) if evaluated.
+        source = """
+        int main() {
+            int *p = 0;
+            if (0 && *p == 1) { return 1; }
+            return 2;
+        }
+        """
+        state = run(source)
+        assert state.status == "exited"
+        assert state.exit_code == 2
+
+    def test_while_loop(self):
+        state = run(
+            "int main() { int i = 0; int s = 0;"
+            " while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        )
+        assert state.exit_code == 45
+
+    def test_for_loop(self):
+        state = run(
+            "int main() { int s = 0; for (int i = 1; i <= 5; i = i + 1) { s = s + i; } return s; }"
+        )
+        assert state.exit_code == 15
+
+    def test_nested_calls(self):
+        source = """
+        int square(int x) { return x * x; }
+        int add(int a, int b) { return a + b; }
+        int main() { return add(square(3), square(4)); }
+        """
+        assert run(source).exit_code == 25
+
+    def test_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """
+        assert run(source).exit_code == 55
+
+    def test_function_pointer_call(self):
+        source = """
+        int twice(int x) { return 2 * x; }
+        int thrice(int x) { return 3 * x; }
+        int main() {
+            int *f = &twice;
+            if (1 == 2) { f = &thrice; }
+            return f(7);
+        }
+        """
+        assert run(source).exit_code == 14
+
+    def test_global_state(self):
+        source = """
+        int counter = 100;
+        void bump(int by) { counter = counter + by; }
+        int main() { bump(1); bump(2); return counter; }
+        """
+        assert run(source).exit_code == 103
+
+
+class TestMemory:
+    def test_array_roundtrip(self):
+        source = """
+        int main() {
+            int a[4];
+            for (int i = 0; i < 4; i = i + 1) { a[i] = i * i; }
+            return a[0] + a[1] + a[2] + a[3];
+        }
+        """
+        assert run(source).exit_code == 14
+
+    def test_global_array_init(self):
+        source = "int a[4] = {5, 6, 7, 8};\nint main() { return a[2]; }"
+        assert run(source).exit_code == 7
+
+    def test_pointer_passing(self):
+        source = """
+        void set(int *p, int v) { *p = v; }
+        int main() { int x = 0; set(&x, 9); return x; }
+        """
+        assert run(source).exit_code == 9
+
+    def test_malloc_and_use(self):
+        source = """
+        int main() {
+            int *p = malloc(3);
+            p[0] = 1; p[1] = 2; p[2] = 3;
+            int s = p[0] + p[1] + p[2];
+            free(p);
+            return s;
+        }
+        """
+        assert run(source).exit_code == 6
+
+    def test_free_null_is_noop(self):
+        state = run("int main() { int *p = 0; free(p); return 1; }")
+        assert state.status == "exited"
+
+    def test_string_literal(self):
+        source = 'int main() { return strlen("hello"); }'
+        assert run(source).exit_code == 5
+
+    def test_prelude_strcmp(self):
+        source = 'int main() { return strcmp("abc", "abd"); }'
+        assert run(source).exit_code == ord("c") - ord("d")
+
+    def test_prelude_strcpy_strcat(self):
+        source = """
+        int main() {
+            int buf[16];
+            strcpy(buf, "ab");
+            strcat(buf, "cd");
+            return strlen(buf);
+        }
+        """
+        assert run(source).exit_code == 4
+
+    def test_atoi(self):
+        source = 'int main() { return atoi("-123"); }'
+        assert run(source).exit_code == -123
+
+    def test_pointer_difference(self):
+        source = """
+        int main() {
+            int a[8];
+            int *p = &a[2];
+            int *q = &a[7];
+            return q - p;
+        }
+        """
+        assert run(source).exit_code == 5
+
+
+class TestBugsDetected:
+    def bug_of(self, source, inputs=None):
+        state = run(source, inputs)
+        assert state.status == "bug", f"expected bug, got {state.status}"
+        return state.bug
+
+    def test_null_deref(self):
+        bug = self.bug_of("int main() { int *p = 0; return *p; }")
+        assert bug.kind is BugKind.NULL_DEREF
+
+    def test_out_of_bounds_write(self):
+        bug = self.bug_of("int main() { int a[2]; a[5] = 1; return 0; }")
+        assert bug.kind is BugKind.OUT_OF_BOUNDS
+
+    def test_out_of_bounds_read(self):
+        bug = self.bug_of("int main() { int a[2]; return a[2]; }")
+        assert bug.kind is BugKind.OUT_OF_BOUNDS
+
+    def test_use_after_free(self):
+        bug = self.bug_of(
+            "int main() { int *p = malloc(2); free(p); return p[0]; }"
+        )
+        assert bug.kind is BugKind.USE_AFTER_FREE
+
+    def test_double_free(self):
+        bug = self.bug_of("int main() { int *p = malloc(2); free(p); free(p); return 0; }")
+        assert bug.kind is BugKind.DOUBLE_FREE
+
+    def test_invalid_free_of_interior_pointer(self):
+        bug = self.bug_of("int main() { int *p = malloc(4); free(&p[1]); return 0; }")
+        assert bug.kind is BugKind.INVALID_FREE
+
+    def test_invalid_free_of_global(self):
+        bug = self.bug_of("int g[2];\nint main() { free(&g[0]); return 0; }")
+        assert bug.kind is BugKind.INVALID_FREE
+
+    def test_division_by_zero(self):
+        bug = self.bug_of("int main() { int z = 0; return 5 / z; }")
+        assert bug.kind is BugKind.DIV_BY_ZERO
+
+    def test_assert_failure(self):
+        bug = self.bug_of("int main() { int x = 3; assert(x == 4); return 0; }")
+        assert bug.kind is BugKind.ASSERT_FAIL
+
+    def test_abort(self):
+        bug = self.bug_of("int main() { abort(); return 0; }")
+        assert bug.kind is BugKind.ABORT
+
+    def test_stack_use_after_return(self):
+        source = """
+        int *escape() { int local = 5; return &local; }
+        int main() { int *p = escape(); return *p; }
+        """
+        bug = self.bug_of(source)
+        assert bug.kind is BugKind.USE_AFTER_FREE
+
+    def test_bug_records_line(self):
+        source = "int main() {\nint *p = 0;\nreturn *p;\n}"
+        bug = self.bug_of(source)
+        assert bug.line == 3
+
+
+class TestConcreteInputs:
+    def test_stdin_bytes(self):
+        source = """
+        int main() {
+            int a = getchar();
+            int b = getchar();
+            return a * 256 + b;
+        }
+        """
+        state = run(source, RecordedInputs(stdin=[1, 2]))
+        assert state.exit_code == 258
+
+    def test_stdin_exhausted_yields_zero(self):
+        state = run("int main() { return getchar(); }", RecordedInputs())
+        assert state.exit_code == 0
+
+    def test_env_string(self):
+        source = """
+        int main() {
+            int *mode = getenv("MODE");
+            if (mode[0] == 'Y') { return 1; }
+            return 0;
+        }
+        """
+        assert run(source, RecordedInputs(env={"MODE": "Y"})).exit_code == 1
+        assert run(source, RecordedInputs(env={"MODE": "N"})).exit_code == 0
+
+    def test_getenv_same_buffer(self):
+        source = """
+        int main() {
+            int *a = getenv("X");
+            int *b = getenv("X");
+            return a == b;
+        }
+        """
+        assert run(source, RecordedInputs(env={"X": "v"})).exit_code == 1
+
+    def test_args(self):
+        source = """
+        int main() {
+            if (argc() < 2) { return 100; }
+            int *first = arg(1);
+            return atoi(first);
+        }
+        """
+        assert run(source, RecordedInputs(args=["77"])).exit_code == 77
+        assert run(source, RecordedInputs(args=[])).exit_code == 100
+
+    def test_output_capture(self):
+        source = """
+        int main() {
+            print_str("value:");
+            print_int(42);
+            return 0;
+        }
+        """
+        state = run(source)
+        assert state.output == ["value:", "42"]
+
+
+class TestThreadsConcrete:
+    def test_two_threads_increment(self):
+        source = """
+        int counter = 0;
+        mutex m;
+        void worker(int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                lock(m);
+                counter = counter + 1;
+                unlock(m);
+            }
+        }
+        int main() {
+            int t1 = spawn(worker, 10);
+            int t2 = spawn(worker, 10);
+            join(t1);
+            join(t2);
+            return counter;
+        }
+        """
+        state = run(source)
+        assert state.status == "exited"
+        assert state.exit_code == 20
+
+    def test_join_returns_after_exit(self):
+        source = """
+        int done = 0;
+        void w(int x) { done = x; }
+        int main() { int t = spawn(w, 5); join(t); return done; }
+        """
+        assert run(source).exit_code == 5
+
+    def test_condvar_pingpong(self):
+        source = """
+        mutex m;
+        cond c;
+        int ready = 0;
+        int got = 0;
+        void consumer(int unused) {
+            lock(m);
+            while (ready == 0) {
+                wait(c, m);
+            }
+            got = ready;
+            unlock(m);
+        }
+        int main() {
+            int t = spawn(consumer, 0);
+            lock(m);
+            ready = 33;
+            signal(c);
+            unlock(m);
+            join(t);
+            return got;
+        }
+        """
+        state = run(source)
+        assert state.status == "exited"
+        assert state.exit_code == 33
+
+    def test_self_deadlock_detected(self):
+        source = """
+        mutex m;
+        int main() { lock(m); lock(m); return 0; }
+        """
+        state = run(source)
+        assert state.status == "bug"
+        assert state.bug.kind is BugKind.DEADLOCK
+
+    def test_invalid_unlock(self):
+        source = """
+        mutex m;
+        int main() { unlock(m); return 0; }
+        """
+        state = run(source)
+        assert state.status == "bug"
+        assert state.bug.kind is BugKind.INVALID_UNLOCK
+
+    def test_abba_deadlock_with_forced_schedule(self):
+        # Round-robin scheduling alone will not deadlock this program (each
+        # thread holds both locks briefly); the deadlock needs a preemption
+        # between the two acquisitions, which schedule synthesis will find.
+        source = """
+        mutex a;
+        mutex b;
+        void w1(int x) { lock(a); lock(b); unlock(b); unlock(a); }
+        int main() { int t = spawn(w1, 0); lock(b); lock(a); unlock(a); unlock(b); join(t); return 0; }
+        """
+        state = run(source)
+        # With the default cooperative scheduler, main runs to completion
+        # before the spawned thread gets the CPU; no deadlock manifests.
+        assert state.status in ("exited", "bug")
+
+    def test_segments_recorded(self):
+        source = """
+        int x = 0;
+        void w(int v) { x = v; }
+        int main() { int t = spawn(w, 1); join(t); return x; }
+        """
+        state = run(source)
+        segments = state.finish_segments()
+        assert sum(s.instrs for s in segments) == state.steps
+        assert {s.tid for s in segments} == {0, 1}
+
+    def test_sync_log_ordering(self):
+        source = """
+        mutex m;
+        int main() { lock(m); unlock(m); return 0; }
+        """
+        state = run(source)
+        ops = [e.op for e in state.sync_log]
+        assert ops[0] == "lock"
+        assert "unlock" in ops

@@ -1,0 +1,263 @@
+"""Symbolic-execution tests: forking, path constraints, input inference."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.solver import evaluate
+from repro.symbex import BugKind, Executor
+from repro.search import DFSSearcher, SearchBudget, explore
+
+
+def find_bug(source, kind=None, budget=None):
+    """Explore with DFS until any bug (optionally of ``kind``) is found."""
+    module = compile_source(source)
+    executor = Executor(module)
+
+    def is_goal(state):
+        if state.status != "bug":
+            return False
+        return kind is None or state.bug.kind is kind
+
+    outcome = explore(
+        executor, DFSSearcher(), executor.initial_state(), is_goal,
+        budget or SearchBudget(max_seconds=30),
+    )
+    return outcome, executor
+
+
+def solved_inputs(outcome, executor):
+    model = executor.solver.model(outcome.goal_state.constraints)
+    assert model is not None
+    return model
+
+
+class TestForking:
+    def test_symbolic_branch_explores_both_sides(self):
+        source = """
+        int main() {
+            int c = getchar();
+            if (c == 'm') {
+                assert(0);
+            }
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ASSERT_FAIL)
+        assert outcome.found
+        model = solved_inputs(outcome, executor)
+        assert model["stdin0"] == ord("m")
+
+    def test_nested_conditions_constrain_inputs(self):
+        source = """
+        int main() {
+            int a = getchar();
+            int b = getchar();
+            if (a > 'f') {
+                if (b == a + 1) {
+                    abort();
+                }
+            }
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ABORT)
+        assert outcome.found
+        model = solved_inputs(outcome, executor)
+        assert model["stdin0"] > ord("f")
+        assert model["stdin1"] == model["stdin0"] + 1
+
+    def test_infeasible_path_not_explored(self):
+        source = """
+        int main() {
+            int c = getchar();
+            if (c > 10) {
+                if (c < 5) {
+                    abort();
+                }
+            }
+            return 0;
+        }
+        """
+        outcome, _ = find_bug(source, BugKind.ABORT, SearchBudget(max_seconds=10))
+        assert not outcome.found
+        assert outcome.reason == "exhausted"
+
+    def test_arithmetic_on_inputs(self):
+        source = """
+        int main() {
+            int x = getchar();
+            if (x * 3 + 1 == 91) {
+                abort();
+            }
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ABORT)
+        assert outcome.found
+        assert solved_inputs(outcome, executor)["stdin0"] == 30
+
+    def test_env_var_constrained(self):
+        source = """
+        int main() {
+            int *mode = getenv("mode");
+            if (mode[0] == 'Y') {
+                abort();
+            }
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ABORT)
+        assert outcome.found
+        model = solved_inputs(outcome, executor)
+        assert model["env.mode.0"] == ord("Y")
+
+    def test_path_constraints_consistent(self):
+        source = """
+        int main() {
+            int a = getchar();
+            int b = getchar();
+            if (a < b) {
+                if (b < 10) {
+                    abort();
+                }
+            }
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ABORT)
+        model = solved_inputs(outcome, executor)
+        for constraint in outcome.goal_state.constraints:
+            full = dict(model)
+            for var in constraint.variables():
+                full.setdefault(var.name, var.lo)
+            assert evaluate(constraint, full) != 0
+
+
+class TestSymbolicMemory:
+    def test_symbolic_index_oob_found(self):
+        source = """
+        int main() {
+            int a[4];
+            int i = getchar();
+            a[i] = 1;
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.OUT_OF_BOUNDS)
+        assert outcome.found
+        model = executor.solver.model(outcome.goal_state.constraints)
+        index = model.get("stdin0", 0)
+        assert index < 0 or index >= 4
+
+    def test_symbolic_index_in_bounds_continues(self):
+        source = """
+        int main() {
+            int a[4] = {0, 0, 0, 0};
+            int i = getchar();
+            if (i >= 0 && i < 4) {
+                a[i] = 1;
+            }
+            return 0;
+        }
+        """
+        outcome, _ = find_bug(source, BugKind.OUT_OF_BOUNDS, SearchBudget(max_seconds=10))
+        assert not outcome.found
+
+    def test_strlen_of_symbolic_env_forks(self):
+        source = """
+        int main() {
+            int *s = getenv("v");
+            if (strlen(s) == 3) {
+                abort();
+            }
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ABORT)
+        assert outcome.found
+        model = solved_inputs(outcome, executor)
+        full = {f"env.v.{i}": model.get(f"env.v.{i}", 0) for i in range(7)}
+        length = 0
+        while length < 7 and full[f"env.v.{length}"] != 0:
+            length += 1
+        assert length == 3
+
+    def test_symbolic_division_by_zero(self):
+        source = """
+        int main() {
+            int d = getchar();
+            return 100 / (d - 'x');
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.DIV_BY_ZERO)
+        assert outcome.found
+        assert solved_inputs(outcome, executor)["stdin0"] == ord("x")
+
+    def test_assert_forks_failing_state(self):
+        source = """
+        int main() {
+            int v = getchar();
+            assert(v != 'Q');
+            return 0;
+        }
+        """
+        outcome, executor = find_bug(source, BugKind.ASSERT_FAIL)
+        assert outcome.found
+        assert solved_inputs(outcome, executor)["stdin0"] == ord("Q")
+
+
+class TestSearchAccounting:
+    def test_paths_completed_counted(self):
+        source = """
+        int main() {
+            int a = getchar();
+            if (a == 1) { return 1; }
+            if (a == 2) { return 2; }
+            return 0;
+        }
+        """
+        module = compile_source(source)
+        executor = Executor(module)
+        outcome = explore(
+            executor, DFSSearcher(), executor.initial_state(),
+            lambda s: False, SearchBudget(max_seconds=10),
+        )
+        assert outcome.reason == "exhausted"
+        assert outcome.stats.paths_completed == 3
+
+    def test_other_bugs_collected(self):
+        source = """
+        int main() {
+            int a = getchar();
+            if (a == 7) { abort(); }
+            assert(a != 9);
+            return 0;
+        }
+        """
+        module = compile_source(source)
+        executor = Executor(module)
+        outcome = explore(
+            executor, DFSSearcher(), executor.initial_state(),
+            lambda s: False, SearchBudget(max_seconds=10),
+        )
+        kinds = {b.bug.kind for b in outcome.other_bugs}
+        assert BugKind.ABORT in kinds
+        assert BugKind.ASSERT_FAIL in kinds
+
+    def test_budget_respected(self):
+        source = """
+        int main() {
+            while (1) {
+                int c = getchar();
+                if (c == 0) { return 0; }
+            }
+            return 0;
+        }
+        """
+        module = compile_source(source)
+        executor = Executor(module)
+        outcome = explore(
+            executor, DFSSearcher(), executor.initial_state(),
+            lambda s: False, SearchBudget(max_instructions=5000, max_seconds=10),
+        )
+        assert outcome.reason == "budget"

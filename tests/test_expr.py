@@ -1,0 +1,126 @@
+"""Unit tests for the symbolic expression DAG."""
+
+import pytest
+
+from repro.solver import BinExpr, binop, evaluate, make_var, negate, truthy, unop
+
+
+class TestConstantFolding:
+    def test_arith_folds_to_int(self):
+        assert binop("+", 2, 3) == 5
+        assert binop("-", 2, 3) == -1
+        assert binop("*", 4, 3) == 12
+
+    def test_division_truncates_toward_zero(self):
+        assert binop("/", 7, 2) == 3
+        assert binop("/", -7, 2) == -3
+        assert binop("%", -7, 2) == -1
+        assert binop("%", 7, -2) == 1
+
+    def test_comparisons_fold(self):
+        assert binop("<", 1, 2) == 1
+        assert binop(">=", 1, 2) == 0
+
+    def test_wraparound_32bit(self):
+        assert binop("+", 2**31 - 1, 1) == -(2**31)
+        assert binop("*", 2**16, 2**16) == 0
+
+    def test_unary_folds(self):
+        assert unop("-", 5) == -5
+        assert unop("!", 0) == 1
+        assert unop("!", 7) == 0
+        assert unop("~", 0) == -1
+
+
+class TestSimplification:
+    def test_add_zero_identity(self):
+        v = make_var("x", 0, 10)
+        assert binop("+", v, 0) is v
+        assert binop("+", 0, v) is v
+
+    def test_mul_identities(self):
+        v = make_var("y", 0, 10)
+        assert binop("*", v, 1) is v
+        assert binop("*", v, 0) == 0
+
+    def test_sub_self_is_zero(self):
+        v = make_var("z", 0, 10)
+        assert binop("-", v, v) == 0
+
+    def test_eq_self_is_true(self):
+        v = make_var("w", 0, 10)
+        assert binop("==", v, v) == 1
+        assert binop("<", v, v) == 0
+
+    def test_and_short_circuit_fold(self):
+        v = make_var("a", 0, 10)
+        cond = binop("==", v, 3)
+        assert binop("&&", 0, cond) == 0
+        assert binop("||", 1, cond) == 1
+
+    def test_and_true_keeps_other_side(self):
+        v = make_var("b", 0, 10)
+        cond = binop("==", v, 3)
+        assert binop("&&", 1, cond) is cond
+
+
+class TestInterningAndNegation:
+    def test_structurally_equal_interned(self):
+        v = make_var("p", 0, 5)
+        e1 = binop("+", v, 7)
+        e2 = binop("+", v, 7)
+        assert e1 is e2
+
+    def test_commutative_canonicalization(self):
+        v = make_var("q", 0, 5)
+        assert binop("+", 3, v) is binop("+", v, 3)
+
+    def test_negate_comparison_flips_op(self):
+        v = make_var("r", 0, 5)
+        negated = negate(binop("<", v, 3))
+        assert isinstance(negated, BinExpr)
+        assert negated.op == ">="
+
+    def test_double_negation_of_comparison(self):
+        v = make_var("s", 0, 5)
+        cond = binop("==", v, 2)
+        assert negate(negate(cond)) is cond
+
+    def test_truthy_wraps_arith(self):
+        v = make_var("t", 0, 5)
+        wrapped = truthy(binop("+", v, 1))
+        assert isinstance(wrapped, BinExpr)
+        assert wrapped.op == "!="
+
+    def test_truthy_of_comparison_is_noop(self):
+        v = make_var("u", 0, 5)
+        cond = binop(">", v, 2)
+        assert truthy(cond) is cond
+
+
+class TestEvaluate:
+    def test_evaluate_simple(self):
+        v = make_var("m", 0, 255)
+        expr = binop("==", binop("+", v, 1), 10)
+        assert evaluate(expr, {"m": 9}) == 1
+        assert evaluate(expr, {"m": 3}) == 0
+
+    def test_evaluate_nested_logic(self):
+        a = make_var("aa", 0, 9)
+        b = make_var("bb", 0, 9)
+        expr = binop("&&", binop("<", a, b), binop("!=", b, 5))
+        assert evaluate(expr, {"aa": 1, "bb": 4}) == 1
+        assert evaluate(expr, {"aa": 1, "bb": 5}) == 0
+
+    def test_evaluate_division_by_zero_raises(self):
+        v = make_var("dd", 0, 9)
+        expr = binop("/", 10, v)
+        with pytest.raises(ZeroDivisionError):
+            evaluate(expr, {"dd": 0})
+
+    def test_variables_collected(self):
+        a = make_var("v1", 0, 1)
+        b = make_var("v2", 0, 1)
+        expr = binop("+", binop("*", a, 2), b)
+        names = {v.name for v in expr.variables()}
+        assert names == {"v1", "v2"}

@@ -1,0 +1,113 @@
+"""Property tests for interval arithmetic: forward evaluation must be sound
+(the true value of an expression always lies inside the computed interval),
+because the solver prunes domains with it -- an unsound interval would make
+the solver drop real solutions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import IntervalEvaluator, binop, evaluate, make_var, unop
+from repro.solver.intervals import Interval, add, divide, modulo, mul, sub
+
+ints = st.integers(-1000, 1000)
+
+
+@st.composite
+def interval_and_member(draw):
+    lo = draw(ints)
+    hi = draw(st.integers(lo, lo + draw(st.integers(0, 200))))
+    value = draw(st.integers(lo, hi))
+    return Interval(lo, hi), value
+
+
+class TestIntervalOps:
+    @settings(max_examples=150, deadline=None)
+    @given(interval_and_member(), interval_and_member())
+    def test_add_sound(self, a, b):
+        ia, va = a
+        ib, vb = b
+        assert va + vb in add(ia, ib)
+
+    @settings(max_examples=150, deadline=None)
+    @given(interval_and_member(), interval_and_member())
+    def test_sub_sound(self, a, b):
+        ia, va = a
+        ib, vb = b
+        assert va - vb in sub(ia, ib)
+
+    @settings(max_examples=150, deadline=None)
+    @given(interval_and_member(), interval_and_member())
+    def test_mul_sound(self, a, b):
+        ia, va = a
+        ib, vb = b
+        assert va * vb in mul(ia, ib)
+
+    @settings(max_examples=150, deadline=None)
+    @given(interval_and_member(), interval_and_member())
+    def test_div_sound(self, a, b):
+        ia, va = a
+        ib, vb = b
+        if vb == 0:
+            return
+        quotient = abs(va) // abs(vb)
+        if (va < 0) != (vb < 0):
+            quotient = -quotient
+        assert quotient in divide(ia, ib)
+
+    @settings(max_examples=150, deadline=None)
+    @given(interval_and_member(), st.integers(1, 50))
+    def test_mod_sound(self, a, c):
+        ia, va = a
+        remainder = va - (abs(va) // c) * c * (1 if va >= 0 else -1)
+        assert remainder in modulo(ia, Interval(c, c))
+
+    def test_empty_and_membership(self):
+        assert Interval(3, 2).empty
+        assert not Interval(2, 2).empty
+        assert 2 in Interval(2, 2)
+        assert len(Interval(1, 4)) == 4
+
+    def test_intersect_union(self):
+        a, b = Interval(0, 10), Interval(5, 20)
+        assert a.intersect(b) == Interval(5, 10)
+        assert a.union(b) == Interval(0, 20)
+        assert a.intersect(Interval(11, 12)).empty
+
+
+_OPS = ["+", "-", "*", "==", "!=", "<", "<=", ">", ">="]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 10**6),
+    st.sampled_from(_OPS),
+    st.sampled_from(_OPS),
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(0, 30),
+    st.integers(0, 30),
+)
+def test_forward_evaluation_sound_on_random_exprs(counter, op1, op2, c1, c2, va, vb):
+    """Build (a op1 c1) op2 (b op... ) style expressions; the concrete value
+    under any in-domain assignment must lie in the evaluated interval."""
+    a = make_var(f"iv_a{counter}", 0, 30)
+    b = make_var(f"iv_b{counter}", 0, 30)
+    expr = binop(op2, binop(op1, a, c1), binop("+", b, c2))
+    if isinstance(expr, int):
+        return
+    concrete = evaluate(expr, {a.name: va, b.name: vb})
+    interval = IntervalEvaluator({}).eval(expr)
+    assert concrete in interval
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 10**6), st.integers(-50, 50), st.integers(0, 40))
+def test_unary_forward_sound(counter, c, value):
+    v = make_var(f"iv_u{counter}", 0, 40)
+    for op in ("-", "!", "~"):
+        expr = unop(op, binop("+", v, c))
+        if isinstance(expr, int):
+            continue
+        concrete = evaluate(expr, {v.name: value})
+        interval = IntervalEvaluator({}).eval(expr)
+        assert concrete in interval

@@ -1,0 +1,274 @@
+"""Integration tests for thread schedule synthesis (paper section 4)."""
+
+import pytest
+
+from repro import ir
+from repro.analysis import DistanceCalculator
+from repro.concurrency import (
+    ChainedPolicy,
+    DeadlockSchedulePolicy,
+    RaceDetector,
+    RaceSchedulePolicy,
+    common_stack_prefix,
+)
+from repro.lang import compile_source
+from repro.search import (
+    DFSSearcher,
+    GoalSpec,
+    ProximityGuidedSearcher,
+    SearchBudget,
+    explore,
+)
+from repro.symbex import BugKind, Executor
+
+LISTING1 = """
+int idx = 0;
+int mode = 0;
+mutex M1;
+mutex M2;
+
+void critical_section(int unused) {
+    lock(M1);
+    lock(M2);
+    if (mode == 1 && idx == 1) {
+        unlock(M1);
+        lock(M1);
+    }
+    unlock(M2);
+    unlock(M1);
+}
+
+int main() {
+    if (getchar() == 'm') {
+        idx = idx + 1;
+    }
+    int *env = getenv("mode");
+    if (env[0] == 'Y') {
+        mode = 1;
+    } else {
+        mode = 2;
+    }
+    int t1 = spawn(critical_section, 0);
+    int t2 = spawn(critical_section, 0);
+    join(t1);
+    join(t2);
+    return 0;
+}
+"""
+
+ABBA = """
+mutex A;
+mutex B;
+
+void worker(int unused) {
+    lock(B);
+    lock(A);
+    unlock(A);
+    unlock(B);
+}
+
+int main() {
+    int t = spawn(worker, 0);
+    lock(A);
+    lock(B);
+    unlock(B);
+    unlock(A);
+    join(t);
+    return 0;
+}
+"""
+
+
+def lock_refs(module, function):
+    return [
+        ref for ref, instr in module.functions[function].iter_instructions()
+        if isinstance(instr, ir.MutexLock)
+    ]
+
+
+def deadlock_goal_predicate(expected_refs):
+    """State is a goal if it deadlocked with blocked threads at exactly the
+    reported lock statements."""
+    expected = set(expected_refs)
+
+    def is_goal(state):
+        if state.status != "bug" or state.bug.kind is not BugKind.DEADLOCK:
+            return False
+        blocked = {
+            t.pc for t in state.threads.values()
+            if t.status == "blocked" and t.blocked_on and t.blocked_on[0] == "mutex"
+        }
+        return expected <= blocked
+
+    return is_goal
+
+
+class TestABBADeadlock:
+    def synthesize(self, searcher_factory=None):
+        module = compile_source(ABBA, "abba")
+        worker_locks = lock_refs(module, "worker")
+        main_locks = lock_refs(module, "main")
+        # Inner locks per the coredump stacks: worker blocked at lock(A),
+        # main blocked at lock(B).
+        inner = frozenset({worker_locks[1], main_locks[1]})
+        policy = DeadlockSchedulePolicy(inner)
+        executor = Executor(module, policy=policy)
+        distances = DistanceCalculator(module)
+        final = GoalSpec(tuple(sorted(inner)), "deadlock")
+        if searcher_factory is None:
+            searcher = ProximityGuidedSearcher(distances, [], final)
+            policy.boost = searcher.boost
+        else:
+            searcher = searcher_factory()
+        outcome = explore(
+            executor, searcher, executor.initial_state(),
+            deadlock_goal_predicate(inner),
+            SearchBudget(max_seconds=60),
+        )
+        return outcome, module
+
+    def test_esd_finds_abba_deadlock(self):
+        outcome, _ = self.synthesize()
+        assert outcome.found
+        state = outcome.goal_state
+        assert state.bug.kind is BugKind.DEADLOCK
+        assert len(state.bug.cycle) >= 2
+
+    def test_bfs_also_finds_it(self):
+        # DFS, notably, does NOT find this in reasonable time (the paper's
+        # KC-DFS baseline found no paths either); breadth-first does.
+        from repro.search import BFSSearcher
+
+        outcome, _ = self.synthesize(searcher_factory=BFSSearcher)
+        assert outcome.found
+
+    def test_deadlock_cycle_names_both_threads(self):
+        outcome, _ = self.synthesize()
+        tids = {edge.waiter for edge in outcome.goal_state.bug.cycle}
+        assert len(tids) == 2
+
+
+class TestListing1Deadlock:
+    """The paper's running example: deadlock requires getchar() == 'm',
+    getenv("mode")[0] == 'Y', *and* the right preemptions."""
+
+    def synthesize(self):
+        from repro.analysis import find_intermediate_goals
+
+        module = compile_source(LISTING1, "listing1")
+        cs_locks = lock_refs(module, "critical_section")
+        # Inner locks: line 12's lock(M1) (last lock in critical_section) for
+        # one thread, line 9's lock(M2) (second lock) for the other.
+        inner = frozenset({cs_locks[2], cs_locks[1]})
+        policy = DeadlockSchedulePolicy(inner)
+        executor = Executor(module, policy=policy)
+        distances = DistanceCalculator(module)
+        final = GoalSpec(tuple(sorted(inner)), "deadlock")
+        intermediate = [
+            GoalSpec(g.alternatives, f"ig:{g.variable}")
+            for ref in sorted(inner)
+            for g in find_intermediate_goals(module, ref)
+        ]
+        searcher = ProximityGuidedSearcher(distances, intermediate, final)
+        policy.boost = searcher.boost
+        outcome = explore(
+            executor, searcher, executor.initial_state(),
+            deadlock_goal_predicate(inner),
+            SearchBudget(max_seconds=120, max_instructions=5_000_000),
+        )
+        return outcome, executor
+
+    def test_esd_synthesizes_listing1_deadlock(self):
+        outcome, executor = self.synthesize()
+        assert outcome.found, f"search failed: {outcome.reason}"
+        state = outcome.goal_state
+        # The synthesized inputs must satisfy the paper's requirements.
+        model = executor.solver.model(state.constraints)
+        assert model is not None
+        assert model.get("stdin0") == ord("m")
+        assert model.get("env.mode.0") == ord("Y")
+
+    def test_deadlock_involves_spawned_threads(self):
+        outcome, _ = self.synthesize()
+        blocked_tids = {
+            t.tid for t in outcome.goal_state.threads.values()
+            if t.status == "blocked"
+        }
+        # The two critical_section threads (1 and 2) are deadlocked.
+        assert {1, 2} <= blocked_tids
+
+
+class TestRaceSynthesis:
+    RACY = """
+    int shared = 0;
+    mutex m;
+
+    void writer(int v) {
+        // BUG: unprotected write
+        shared = v;
+    }
+
+    void reader(int unused) {
+        lock(m);
+        int copy = shared;
+        assert(copy != 13);
+        unlock(m);
+    }
+
+    int main() {
+        int t1 = spawn(writer, 13);
+        int t2 = spawn(reader, 0);
+        join(t1);
+        join(t2);
+        return 0;
+    }
+    """
+
+    def test_eraser_flags_unprotected_cell(self):
+        module = compile_source(self.RACY, "racy")
+        detector = RaceDetector()
+        policy = RaceSchedulePolicy(detector)
+        executor = Executor(module, policy=policy)
+        outcome = explore(
+            executor, DFSSearcher(), executor.initial_state(),
+            lambda s: False, SearchBudget(max_seconds=30),
+        )
+        assert detector.racy_cells, "expected at least one racy cell"
+
+    def test_race_preemption_finds_assert_failure(self):
+        module = compile_source(self.RACY, "racy")
+        detector = RaceDetector()
+        policy = RaceSchedulePolicy(detector)
+        executor = Executor(module, policy=policy)
+
+        def is_goal(state):
+            return (
+                state.status == "bug" and state.bug.kind is BugKind.ASSERT_FAIL
+            )
+
+        outcome = explore(
+            executor, DFSSearcher(), executor.initial_state(), is_goal,
+            SearchBudget(max_seconds=60),
+        )
+        assert outcome.found
+
+    def test_common_stack_prefix(self):
+        assert common_stack_prefix([["main", "f", "g"], ["main", "f", "h"]]) == ["main", "f"]
+        assert common_stack_prefix([["a"], ["b"]]) == []
+        assert common_stack_prefix([]) == []
+
+
+class TestChainedPolicy:
+    def test_chained_policy_combines_forks(self):
+        module = compile_source(ABBA, "abba")
+        inner = frozenset(lock_refs(module, "worker") + lock_refs(module, "main"))
+        chained = ChainedPolicy(
+            DeadlockSchedulePolicy(inner), RaceSchedulePolicy(RaceDetector())
+        )
+        executor = Executor(module, policy=chained)
+        outcome = explore(
+            executor, DFSSearcher(), executor.initial_state(),
+            lambda s: s.status == "bug" and s.bug.kind is BugKind.DEADLOCK,
+            SearchBudget(max_seconds=60),
+        )
+        assert outcome.found

@@ -1,0 +1,234 @@
+"""Unit and property tests for the constraint solver."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import Result, Solver, binop, evaluate, make_var, negate
+
+
+def fresh_solver():
+    return Solver()
+
+
+class TestBasicSat:
+    def test_empty_is_sat(self):
+        assert fresh_solver().check([]).is_sat
+
+    def test_concrete_true_constraints_dropped(self):
+        assert fresh_solver().check([1, 5]).is_sat
+
+    def test_concrete_false_is_unsat(self):
+        assert fresh_solver().check([0]).result is Result.UNSAT
+
+    def test_single_equality(self):
+        v = make_var("c0", 0, 255)
+        solution = fresh_solver().check([binop("==", v, ord("m"))])
+        assert solution.is_sat
+        assert solution.model["c0"] == ord("m")
+
+    def test_contradictory_equalities(self):
+        v = make_var("c1", 0, 255)
+        solution = fresh_solver().check(
+            [binop("==", v, 1), binop("==", v, 2)]
+        )
+        assert solution.result is Result.UNSAT
+
+    def test_range_conjunction(self):
+        v = make_var("c2", 0, 255)
+        solution = fresh_solver().check(
+            [binop(">", v, 10), binop("<", v, 13)]
+        )
+        assert solution.is_sat
+        assert solution.model["c2"] in (11, 12)
+
+    def test_impossible_range(self):
+        v = make_var("c3", 0, 255)
+        solution = fresh_solver().check(
+            [binop(">", v, 100), binop("<", v, 50)]
+        )
+        assert solution.result is Result.UNSAT
+
+    def test_disequality_chain(self):
+        v = make_var("c4", 0, 2)
+        constraints = [binop("!=", v, 0), binop("!=", v, 1), binop("!=", v, 2)]
+        assert fresh_solver().check(constraints).result is Result.UNSAT
+
+    def test_model_satisfies_all(self):
+        a = make_var("c5", 0, 100)
+        b = make_var("c6", 0, 100)
+        constraints = [
+            binop("==", binop("+", a, b), 50),
+            binop(">", a, 20),
+            binop("<", b, 25),
+        ]
+        solution = fresh_solver().check(constraints)
+        assert solution.is_sat
+        for c in constraints:
+            assert evaluate(c, solution.model) == 1
+
+
+class TestArithmeticPropagation:
+    def test_linear_equation(self):
+        v = make_var("a0", 0, 1000)
+        # 3*v + 7 == 37  ->  v == 10
+        expr = binop("==", binop("+", binop("*", v, 3), 7), 37)
+        solution = fresh_solver().check([expr])
+        assert solution.is_sat
+        assert solution.model["a0"] == 10
+
+    def test_linear_equation_no_solution(self):
+        v = make_var("a1", 0, 1000)
+        # 3*v == 10 has no integer solution
+        expr = binop("==", binop("*", v, 3), 10)
+        assert fresh_solver().check([expr]).result is Result.UNSAT
+
+    def test_negative_coefficient(self):
+        v = make_var("a2", -50, 50)
+        expr = binop("==", binop("*", v, -2), 30)
+        solution = fresh_solver().check([expr])
+        assert solution.is_sat
+        assert solution.model["a2"] == -15
+
+    def test_subtraction(self):
+        a = make_var("a3", 0, 100)
+        b = make_var("a4", 0, 100)
+        constraints = [binop("==", binop("-", a, b), 7), binop("==", b, 3)]
+        solution = fresh_solver().check(constraints)
+        assert solution.model["a3"] == 10
+
+    def test_two_var_inequality_system(self):
+        a = make_var("a5", 0, 30)
+        b = make_var("a6", 0, 30)
+        constraints = [
+            binop("<", a, b),
+            binop("<", b, binop("+", a, 2)),  # b == a + 1
+            binop("==", binop("+", a, b), 21),
+        ]
+        solution = fresh_solver().check(constraints)
+        assert solution.is_sat
+        assert (solution.model["a5"], solution.model["a6"]) == (10, 11)
+
+    def test_large_domain_bisection(self):
+        v = make_var("a7", -(2**31), 2**31 - 1)
+        expr = binop("==", v, 123456789)
+        solution = fresh_solver().check([expr])
+        assert solution.is_sat
+        assert solution.model["a7"] == 123456789
+
+
+class TestLogicOperators:
+    def test_disjunction(self):
+        v = make_var("l0", 0, 9)
+        expr = binop("||", binop("==", v, 3), binop("==", v, 7))
+        solution = fresh_solver().check([expr])
+        assert solution.is_sat
+        assert solution.model["l0"] in (3, 7)
+
+    def test_negation(self):
+        v = make_var("l1", 0, 1)
+        solution = fresh_solver().check([negate(binop("==", v, 0))])
+        assert solution.model["l1"] == 1
+
+    def test_conjunction_inside_expression(self):
+        a = make_var("l2", 0, 5)
+        b = make_var("l3", 0, 5)
+        expr = binop("&&", binop("==", a, 2), binop("==", b, 3))
+        solution = fresh_solver().check([expr])
+        assert solution.model == {"l2": 2, "l3": 3}
+
+    def test_unsat_conjunction(self):
+        a = make_var("l4", 0, 5)
+        expr = binop("&&", binop("==", a, 2), binop("==", a, 3))
+        assert fresh_solver().check([expr]).result is Result.UNSAT
+
+
+class TestCache:
+    def test_repeat_query_hits_cache(self):
+        solver = fresh_solver()
+        v = make_var("k0", 0, 255)
+        constraints = [binop("==", v, 5)]
+        solver.check(constraints)
+        before = solver.stats.cache_hits
+        solver.check(constraints)
+        assert solver.stats.cache_hits == before + 1
+
+    def test_interning_makes_cache_effective(self):
+        solver = fresh_solver()
+        v = make_var("k1", 0, 255)
+        solver.check([binop("<", v, 10)])
+        before = solver.stats.cache_hits
+        solver.check([binop("<", v, 10)])  # structurally equal, same object
+        assert solver.stats.cache_hits == before + 1
+
+
+# --- property-based tests ---------------------------------------------------
+
+_OPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+@st.composite
+def small_system(draw):
+    """A random system over two byte-sized variables, brute-force checkable."""
+    counter = draw(st.integers(0, 10**6))
+    a = make_var(f"pa{counter}", 0, 15)
+    b = make_var(f"pb{counter}", 0, 15)
+    n = draw(st.integers(1, 4))
+    constraints = []
+    for _ in range(n):
+        op = draw(st.sampled_from(_OPS))
+        lhs = draw(st.sampled_from(["a", "b", "a+b", "a-b", "2a"]))
+        rhs = draw(st.integers(-5, 35))
+        lhs_expr = {
+            "a": a,
+            "b": b,
+            "a+b": binop("+", a, b),
+            "a-b": binop("-", a, b),
+            "2a": binop("*", a, 2),
+        }[lhs]
+        constraints.append(binop(op, lhs_expr, rhs))
+    return a, b, constraints
+
+
+@settings(max_examples=120, deadline=None)
+@given(small_system())
+def test_solver_matches_brute_force(system):
+    a, b, constraints = system
+    concrete = [c for c in constraints if isinstance(c, int)]
+    exprs = [c for c in constraints if not isinstance(c, int)]
+    if any(c == 0 for c in concrete):
+        brute_sat = False
+    else:
+        brute_sat = any(
+            all(evaluate(e, {a.name: x, b.name: y}) for e in exprs)
+            for x, y in itertools.product(range(16), range(16))
+        )
+    solution = Solver().check(constraints)
+    assert solution.result is not Result.UNKNOWN
+    assert solution.is_sat == brute_sat
+    if solution.is_sat:
+        model = dict(solution.model)
+        model.setdefault(a.name, 0)
+        model.setdefault(b.name, 0)
+        assert all(evaluate(e, model) for e in exprs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 255), st.integers(0, 10**6))
+def test_equality_always_recovers_value(target, counter):
+    v = make_var(f"pe{counter}", 0, 255)
+    solution = Solver().check([binop("==", v, target)])
+    assert solution.is_sat
+    assert solution.model[v.name] == target
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(-100, 100), st.integers(1, 20), st.integers(0, 10**6))
+def test_linear_solutions_are_exact(offset, coeff, counter):
+    v = make_var(f"pl{counter}", -1000, 1000)
+    target = coeff * 7 + offset
+    expr = binop("==", binop("+", binop("*", v, coeff), offset), target)
+    solution = Solver().check([expr])
+    assert solution.is_sat
+    assert solution.model[v.name] == 7
