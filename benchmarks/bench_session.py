@@ -1,0 +1,87 @@
+"""Session API: amortized static phase across a batch of reports.
+
+The paper's section-8 service model is a stream of reports against one
+program.  The one-shot ``esd_synthesize`` pays the static phase (CFG,
+distance tables, intermediate goals) per call; a :class:`ReproSession`
+pays it once per module.  This benchmark measures both on the same batch
+and checks the amortization: the session's total static-phase time must be
+well below N one-shot static phases, and the static analysis must run
+exactly once (asserted via the session's cache counters).
+"""
+
+import pytest
+
+from repro.api import ReproSession
+from repro.core import ESDConfig, esd_synthesize
+
+from _support import report_line, session_for
+from repro.workloads import get
+
+_SECTION = "Session API: static-phase amortization (batch of reports)"
+
+# Workloads with a visible static phase relative to their search time.
+WORKLOADS = ["ls1", "ls3", "mknod"]
+N_REPORTS = 4
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_session_amortizes_static_phase(benchmark, name):
+    workload = get(name)
+    module = workload.compile()
+    reports = [workload.make_report() for _ in range(N_REPORTS)]
+
+    # One-shot API: every call rebuilds the static artifacts.
+    cold = [esd_synthesize(module, report, ESDConfig()) for report in reports]
+    assert all(r.found for r in cold)
+    cold_static = sum(r.static_seconds for r in cold)
+
+    # Session API: one static phase for the whole batch.
+    session = ReproSession(module)
+
+    def run_batch():
+        return session.synthesize_batch(reports)
+
+    batch = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    assert batch.found_count == N_REPORTS
+    assert session.static_stats.distance_builds == 1
+    assert session.static_stats.goal_computes == 1
+    assert session.static_stats.cache_hits == N_REPORTS - 1
+    warm_static = batch.static_seconds
+
+    # The batch must amortize: N reports for well under N static phases.
+    assert warm_static < cold_static, (
+        f"{name}: session static phase {warm_static:.4f}s not below "
+        f"{N_REPORTS} one-shot phases {cold_static:.4f}s"
+    )
+    speedup = cold_static / warm_static if warm_static > 0 else float("inf")
+    report_line(
+        _SECTION,
+        f"{name:8s} {N_REPORTS} reports: one-shot static "
+        f"{cold_static * 1000:8.2f}ms, session static "
+        f"{warm_static * 1000:8.2f}ms  ({speedup:5.1f}x amortization)",
+    )
+
+
+def test_portfolio_merges_variant_stats(benchmark):
+    workload = get("tac")
+    session = session_for(workload)
+    report = workload.make_report()
+    variants = {
+        "esd-seed0": ESDConfig(),
+        "esd-seed1": ESDConfig(seed=1),
+        "random-path": ESDConfig(strategy="random-path"),
+    }
+
+    def run_portfolio():
+        return session.synthesize_portfolio(report, variants)
+
+    portfolio = benchmark.pedantic(run_portfolio, rounds=1, iterations=1)
+    assert portfolio.found, "no portfolio variant found the tac bug"
+    report_line(
+        _SECTION,
+        f"portfolio on tac: winner {portfolio.winner_name} in "
+        f"{portfolio.wall_seconds:.2f}s wall; "
+        f"{portfolio.total_instructions} merged instructions across "
+        f"{len(portfolio.results)} variants "
+        f"({len(portfolio.cancelled)} cancelled)",
+    )

@@ -9,9 +9,9 @@ synthesis of a request that overflows the log buffer, and playback.
 Run:  python examples/debug_corrupt_coredump.py
 """
 
+from repro import ReproSession
 from repro.coredump import repair_stack
-from repro.core import ESDConfig, esd_synthesize
-from repro.playback import play_back
+from repro.core import ESDConfig
 from repro.search import SearchBudget
 from repro.workloads import GHTTPD
 
@@ -34,9 +34,10 @@ def main() -> None:
         print(f"     {frame.function} at line {frame.line}")
 
     print("\n== synthesis (repair happens automatically inside) ==")
-    result = esd_synthesize(
-        module, report, ESDConfig(budget=SearchBudget(max_seconds=120))
+    session = ReproSession(
+        module, config=ESDConfig(budget=SearchBudget(max_seconds=120))
     )
+    result = session.synthesize(report)
     assert result.found, result.reason
     request = result.execution_file.inputs.buffers["request"]
     text = "".join(chr(b) if 32 <= b < 127 else "?" for b in request)
@@ -44,7 +45,7 @@ def main() -> None:
     url_len = len(text[4:].split(" ")[0].rstrip("\x00?"))
     print(f"   URL length {url_len}: long enough to overflow the 24-cell log buffer")
 
-    playback = play_back(module, result.execution_file, mode="strict")
+    playback = session.play_back(result.execution_file, mode="strict")
     assert playback.bug_reproduced
     print(f"\n== playback == \n   {playback.bug.summary()}")
 

@@ -9,9 +9,9 @@ session that exposes the lock-order inversion in the custom recursive lock.
 Run:  python examples/debug_production_hang.py
 """
 
-from repro.core import ESDConfig, esd_synthesize, extract_goal
+from repro import ReproSession
+from repro.core import ESDConfig, extract_goal
 from repro.debugger import Debugger
-from repro.playback import play_back
 from repro.search import SearchBudget
 from repro.workloads import HAWKNL, MINIDB
 
@@ -24,15 +24,16 @@ def investigate(workload) -> None:
     goal = extract_goal(module, report)
     print(f"goal <B, C>: {goal.description}")
 
-    result = esd_synthesize(
-        module, report, ESDConfig(budget=SearchBudget(max_seconds=120))
+    session = ReproSession(
+        module, config=ESDConfig(budget=SearchBudget(max_seconds=120))
     )
+    result = session.synthesize(report)
     assert result.found, result.reason
     execution = result.execution_file
     print(f"synthesized in {result.total_seconds:.2f}s; "
           f"env = {execution.inputs.env}")
 
-    playback = play_back(module, execution, mode="strict")
+    playback = session.play_back(execution, mode="strict")
     assert playback.bug_reproduced
     print(f"playback: {playback.bug.summary()}")
 

@@ -10,9 +10,9 @@ debugger, deterministically, as many times as needed.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ESDConfig, esd_synthesize
+from repro import ReproSession
+from repro.core import ESDConfig
 from repro.debugger import Debugger
-from repro.playback import play_back
 from repro.search import SearchBudget
 from repro.workloads import LISTING1
 
@@ -30,11 +30,12 @@ def main() -> None:
         print(f"   thread {thread.tid}: blocked on {thread.blocked_resource} "
               f"at {top.function} line {top.line}")
 
-    # --- esdsynth: coredump in, execution file out -------------------------
+    # --- repro synth: coredump in, execution file out ----------------------
     print("\n== 2. ESD synthesizes an execution from the coredump ==")
-    result = esd_synthesize(
-        module, report, ESDConfig(budget=SearchBudget(max_seconds=120))
+    session = ReproSession(
+        module, config=ESDConfig(budget=SearchBudget(max_seconds=120))
     )
+    result = session.synthesize(report)
     assert result.found, f"synthesis failed: {result.reason}"
     execution = result.execution_file
     print(f"   synthesized in {result.total_seconds:.2f}s "
@@ -44,10 +45,10 @@ def main() -> None:
     print(f"   schedule:       {len(execution.strict_schedule)} serial segments, "
           f"{len(execution.happens_before)} happens-before events")
 
-    # --- esdplay: deterministic playback ---------------------------------
+    # --- repro play: deterministic playback --------------------------------
     print("\n== 3. playback reproduces the deadlock deterministically ==")
     for mode in ("strict", "happens-before"):
-        playback = play_back(module, execution, mode=mode)
+        playback = session.play_back(execution, mode=mode)
         assert playback.bug_reproduced
         print(f"   {mode:15s} -> {playback.bug.kind.value} reproduced "
               f"({playback.steps} instructions)")

@@ -3,7 +3,10 @@
 Two usage models beyond interactive debugging:
 
 * **automated triage** -- every incoming report is synthesized; identical
-  synthesized executions mean duplicate reports of one bug;
+  synthesized executions mean duplicate reports of one bug.  Each program
+  gets one :class:`~repro.api.ReproSession` (so a stream of reports shares
+  the static analysis), and the per-program triage shards are folded into a
+  central database with :meth:`TriageDatabase.merge`;
 * **patch verification** -- after fixing the bug, re-run ESD against the old
   report: "if ESD can no longer synthesize an execution that triggers the
   bug, then the patch can be considered successful."  This matters for
@@ -12,27 +15,36 @@ Two usage models beyond interactive debugging:
 Run:  python examples/triage_and_patch.py
 """
 
-from repro.core import ESDConfig, TriageDatabase, esd_synthesize
-from repro.lang import compile_source
+from repro import ReproSession
+from repro.core import ESDConfig, TriageDatabase
 from repro.search import SearchBudget
 from repro.workloads import TAC, get
 
 
 def main() -> None:
     config = ESDConfig(budget=SearchBudget(max_seconds=60))
-    database = TriageDatabase()
 
     print("== triage: three incoming reports, two distinct bugs ==")
-    # Two users report the tac crash; one reports the paste crash.
+    # Two users report the tac crash; one reports the paste crash.  One
+    # session per program: alice's and bob's reports share tac's static
+    # analysis.
+    sessions: dict[str, ReproSession] = {}
     for reporter, name in (("alice", "tac"), ("bob", "tac"), ("carol", "paste")):
         workload = get(name)
-        module = workload.compile()
-        result = esd_synthesize(module, workload.make_report(), config)
-        assert result.found
-        bug_id, is_new = database.submit(result.execution_file)
-        print(f"   report from {reporter:6s} ({name:5s}) -> bug #{bug_id} "
-              f"{'(new)' if is_new else '(duplicate)'}")
-    print(f"   triage database holds {len(database)} distinct bugs")
+        if name not in sessions:
+            sessions[name] = ReproSession(workload.compile(), config=config)
+        session = sessions[name]
+        outcome = session.triage(workload.make_report())
+        assert outcome.synthesized
+        print(f"   report from {reporter:6s} ({name:5s}) -> bug #{outcome.bug_id} "
+              f"{'(new)' if outcome.is_new else '(duplicate)'}")
+
+    # Fold the per-program shards into one central database.
+    central = TriageDatabase()
+    for name, session in sessions.items():
+        mapping = central.merge(session.triage_db)
+        print(f"   merged {name} shard: local ids {mapping}")
+    print(f"   central triage database holds {len(central)} distinct bugs")
 
     print("\n== patch verification for tac ==")
     report = TAC.make_report()
@@ -41,8 +53,7 @@ def main() -> None:
         "int *buf = read_input(\"file\", 12);",
         "int *buf = read_input(\"file\", 12);\n    // FIXME: band-aid\n",
     )
-    module = compile_source(bad_patch, "tac")
-    result = esd_synthesize(module, report, config)
+    result = ReproSession.from_source(bad_patch, "tac", config=config).synthesize(report)
     print(f"   cosmetic patch: path to the bug "
           f"{'STILL EXISTS' if result.found else 'gone'}")
     assert result.found
@@ -51,8 +62,7 @@ def main() -> None:
         "while (buf[i] != 10) {",
         "while (i >= 0 && buf[i] != 10) {",
     )
-    module = compile_source(good_patch, "tac")
-    result = esd_synthesize(module, report, config)
+    result = ReproSession.from_source(good_patch, "tac", config=config).synthesize(report)
     print(f"   bounds-checking patch: path to the bug "
           f"{'still exists' if result.found else 'GONE -- patch verified'}")
     assert not result.found

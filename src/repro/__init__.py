@@ -4,20 +4,34 @@ ESD takes a program plus a bug report (coredump) and synthesizes an execution
 -- concrete inputs plus a thread schedule -- that deterministically reproduces
 the reported bug, with no tracing at the end-user site.
 
+The front door is :class:`~repro.api.ReproSession`: one session per program,
+a stream of reports through it.  The session caches the static-phase
+artifacts (inter-procedural CFG, distance tables, intermediate goals), so
+synthesizing many reports against one program pays for static analysis once.
+
 Typical use::
 
-    from repro import compile_source
-    from repro.core import esd_synthesize
-    from repro.playback import play_back
+    from repro import ReproSession
 
-    module = compile_source(minic_source)
-    report = ...                       # BugReport built from a coredump
-    result = esd_synthesize(module, report)
-    trace = play_back(module, result.execution_file)
+    session = ReproSession.from_source(minic_source)
+    result = session.synthesize(report)        # BugReport from a coredump
+    trace = session.play_back(result.execution_file)
+    outcome = session.triage(another_report)   # duplicate detection
+
+    # Try several configurations at once; first win cancels the rest:
+    from repro.core import ESDConfig
+    portfolio = session.synthesize_portfolio(
+        report, {"esd": ESDConfig(), "esd-alt": ESDConfig(seed=1)}
+    )
+
+The one-shot helpers remain for single calls: ``repro.core.esd_synthesize``
+and ``repro.playback.play_back``.  On the command line, the ``repro`` entry
+point exposes the same pipeline (``repro synth | play | triage | bench``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .api import ReproSession
 from .lang import compile_source
 
-__all__ = ["compile_source", "__version__"]
+__all__ = ["ReproSession", "compile_source", "__version__"]

@@ -1,0 +1,8 @@
+"""``python -m repro`` runs the unified CLI."""
+
+import sys
+
+from .cli import repro_main
+
+if __name__ == "__main__":
+    sys.exit(repro_main())

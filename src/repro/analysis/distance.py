@@ -34,6 +34,13 @@ INF = float("inf")
 RECURSION_COST = 1000
 SYSCALL_COST = 1  # intrinsics model environment calls
 
+# The per-call-stack memo in state_distance is keyed by every distinct call
+# stack a search explores; a calculator that lives for a whole ReproSession
+# (thousands of reports) would otherwise grow it without bound.  When full
+# it is simply dropped -- entries are cheap to recompute from the persistent
+# goal tables.
+STATE_CACHE_LIMIT = 200_000
+
 
 @dataclass(slots=True)
 class _BlockInfo:
@@ -216,6 +223,8 @@ class DistanceCalculator:
                 break
             best = min(best, acc + self.instruction_distance(resume, goal))
             acc += self.dist2ret(resume) + 1
+        if len(self._state_cache) >= STATE_CACHE_LIMIT:
+            self._state_cache.clear()
         self._state_cache[key] = best
         return best
 

@@ -1,0 +1,48 @@
+"""The service API: a session facade plus the strategy/bug-class registry.
+
+:class:`ReproSession` is the front door for everything the pipeline does --
+synthesis (single, batch, portfolio), playback, and triage -- with the
+static-phase artifacts cached per module.  :mod:`repro.api.registry` makes
+search strategies and bug classes pluggable by name.
+"""
+
+from ..core.synthesis import StaticAnalysisCache, StaticStats
+from ..search import SynthesisEvent
+from . import registry
+from .registry import (
+    BugClassPlugin,
+    UnknownBugClassError,
+    UnknownStrategyError,
+    available_bug_classes,
+    available_searchers,
+    get_bug_class,
+    get_searcher,
+    register_bug_class,
+    register_searcher,
+)
+from .session import (
+    BatchResult,
+    PortfolioResult,
+    ReproSession,
+    TriageOutcome,
+)
+
+__all__ = [
+    "BatchResult",
+    "BugClassPlugin",
+    "PortfolioResult",
+    "ReproSession",
+    "StaticAnalysisCache",
+    "StaticStats",
+    "SynthesisEvent",
+    "TriageOutcome",
+    "UnknownBugClassError",
+    "UnknownStrategyError",
+    "available_bug_classes",
+    "available_searchers",
+    "get_bug_class",
+    "get_searcher",
+    "register_bug_class",
+    "register_searcher",
+    "registry",
+]

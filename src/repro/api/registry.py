@@ -1,0 +1,205 @@
+"""Plugin registry: search strategies and bug classes looked up by name.
+
+The synthesis driver used to hard-wire the proximity-guided searcher and the
+deadlock/race schedule policies; now both are resolved here, so a new search
+strategy or bug class is a registration away:
+
+    from repro.api import registry
+
+    @registry.register_searcher("my-search")
+    def make(distances, intermediate, final, config):
+        return MySearcher(...)
+
+    result = session.synthesize(report, ESDConfig(strategy="my-search"))
+
+A *searcher factory* receives ``(distances, intermediate_goals, final_goal,
+config)`` and returns a :class:`~repro.search.Searcher`.  A *bug class*
+bundles the schedule-policy construction for one ``report.bug_type`` (and,
+for plugin bug classes the core does not know, an optional goal extractor).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .. import ir
+from ..concurrency import (
+    DeadlockSchedulePolicy,
+    RaceDetector,
+    RaceSchedulePolicy,
+)
+from ..search import (
+    BFSSearcher,
+    DFSSearcher,
+    GoalSpec,
+    ProximityGuidedSearcher,
+    RandomPathSearcher,
+    Searcher,
+)
+from ..symbex import SchedulerPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis import DistanceCalculator
+    from ..coredump import BugReport
+    from ..core.goals import SynthesisGoal
+    from ..core.synthesis import ESDConfig
+
+SearcherFactory = Callable[
+    ["DistanceCalculator", list[GoalSpec], GoalSpec, "ESDConfig"], Searcher
+]
+PolicyBuilder = Callable[
+    [ir.Module, "SynthesisGoal", "ESDConfig"], list[SchedulerPolicy]
+]
+GoalExtractor = Callable[[ir.Module, "BugReport"], "SynthesisGoal"]
+
+
+class UnknownStrategyError(LookupError):
+    """No searcher registered under the requested name."""
+
+
+class UnknownBugClassError(LookupError):
+    """No bug class registered under the requested name."""
+
+
+@dataclass(frozen=True, slots=True)
+class BugClassPlugin:
+    """One bug class: how to build its schedule policies, and (for classes
+    the core goal extractor does not know) how to extract its goal."""
+
+    name: str
+    build_policies: PolicyBuilder
+    extract: Optional[GoalExtractor] = None
+
+
+_searchers: dict[str, SearcherFactory] = {}
+_bug_classes: dict[str, BugClassPlugin] = {}
+
+
+# -- searchers ---------------------------------------------------------------
+
+
+def register_searcher(name: str, factory: Optional[SearcherFactory] = None):
+    """Register a searcher factory under ``name`` (usable as a decorator)."""
+
+    def _register(fn: SearcherFactory) -> SearcherFactory:
+        _searchers[name] = fn
+        return fn
+
+    return _register if factory is None else _register(factory)
+
+
+def get_searcher(name: str) -> SearcherFactory:
+    try:
+        return _searchers[name]
+    except KeyError:
+        raise UnknownStrategyError(
+            f"unknown search strategy {name!r}; "
+            f"available: {', '.join(available_searchers())}"
+        ) from None
+
+
+def available_searchers() -> tuple[str, ...]:
+    return tuple(sorted(_searchers))
+
+
+# -- bug classes -------------------------------------------------------------
+
+
+def register_bug_class(plugin: BugClassPlugin) -> BugClassPlugin:
+    _bug_classes[plugin.name] = plugin
+    return plugin
+
+
+def get_bug_class(name: str) -> BugClassPlugin:
+    try:
+        return _bug_classes[name]
+    except KeyError:
+        raise UnknownBugClassError(
+            f"unknown bug class {name!r}; "
+            f"available: {', '.join(available_bug_classes())}"
+        ) from None
+
+
+def find_bug_class(name: str) -> Optional[BugClassPlugin]:
+    return _bug_classes.get(name)
+
+
+def available_bug_classes() -> tuple[str, ...]:
+    return tuple(sorted(_bug_classes))
+
+
+# -- built-ins ---------------------------------------------------------------
+
+
+@register_searcher("esd")
+def _make_esd(distances, intermediate, final, config) -> Searcher:
+    return ProximityGuidedSearcher(
+        distances,
+        intermediate,
+        final,
+        seed=config.seed,
+        prune_unreachable=config.prune_unreachable,
+        use_schedule_distance=config.use_schedule_distance,
+    )
+
+
+register_searcher("proximity", _make_esd)
+register_searcher("dfs", lambda d, i, f, c: DFSSearcher())
+register_searcher("bfs", lambda d, i, f, c: BFSSearcher())
+register_searcher("random-path", lambda d, i, f, c: RandomPathSearcher(seed=c.seed))
+
+
+# Memoized per module: whether any instruction creates a thread is a
+# module-static property, and the service model calls _build_policy once per
+# report -- rescanning every instruction each time would erode the static
+# amortization the session API exists for.
+_multithreaded_memo: "weakref.WeakKeyDictionary[ir.Module, bool]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _multithreaded(module: ir.Module) -> bool:
+    cached = _multithreaded_memo.get(module)
+    if cached is None:
+        cached = _multithreaded_memo[module] = any(
+            isinstance(instr, ir.ThreadCreate)
+            for func in module.functions.values()
+            for _, instr in func.iter_instructions()
+        )
+    return cached
+
+
+def _concurrency_policies(
+    module: ir.Module, goal, config, *, force_race: bool
+) -> list[SchedulerPolicy]:
+    """Single-threaded programs need no schedule exploration; multi-threaded
+    ones always get the deadlock snapshot policy, plus race preemption when
+    the bug class (or config) asks for it."""
+    if not _multithreaded(module):
+        return []
+    policies: list[SchedulerPolicy] = [
+        DeadlockSchedulePolicy(
+            goal.inner_lock_refs, fork_at_unlock=config.fork_at_unlock
+        )
+    ]
+    if force_race or config.with_race_detection:
+        policies.append(
+            RaceSchedulePolicy(RaceDetector(), gate_function=goal.gate_function)
+        )
+    return policies
+
+
+register_bug_class(BugClassPlugin(
+    "crash",
+    lambda m, g, c: _concurrency_policies(m, g, c, force_race=False),
+))
+register_bug_class(BugClassPlugin(
+    "deadlock",
+    lambda m, g, c: _concurrency_policies(m, g, c, force_race=False),
+))
+register_bug_class(BugClassPlugin(
+    "race",
+    lambda m, g, c: _concurrency_policies(m, g, c, force_race=True),
+))

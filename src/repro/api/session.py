@@ -1,0 +1,298 @@
+"""The :class:`ReproSession` facade: ESD as a service (paper section 8).
+
+The paper's usage model is a stream of bug reports against one program:
+each report is synthesized, played back, and triaged against earlier bugs.
+A session is constructed once per module and owns the artifacts every call
+shares -- the static-analysis cache (inter-procedural CFG, distance tables,
+intermediate goals) and the triage database -- so ``synthesize_batch`` over
+N reports performs static analysis once, not N times.
+
+    session = ReproSession.from_source(minic_source)
+    result = session.synthesize(report)          # static phase runs here...
+    more = session.synthesize_batch(reports)     # ...and is reused here
+    playback = session.play_back(result.execution_file)
+    outcome = session.triage(another_report)     # duplicate detection
+
+``synthesize_portfolio`` runs several :class:`~repro.core.ESDConfig`
+variants (seeds, strategies, focusing ablations) concurrently and cancels
+the losers as soon as one variant finds the bug.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+from .. import ir
+from ..coredump import BugReport
+from ..core.execfile import ExecutionFile
+from ..core.synthesis import (
+    ESDConfig,
+    StaticAnalysisCache,
+    StaticStats,
+    SynthesisResult,
+    esd_synthesize,
+)
+from ..core.triage import TriageDatabase
+from ..lang import compile_source
+from ..playback import PlaybackResult, play_back
+from ..search import EventCallback
+from . import registry
+
+Variants = Union[Sequence[ESDConfig], Mapping[str, ESDConfig]]
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Results of one ``synthesize_batch`` call, in report order."""
+
+    results: list[SynthesisResult]
+
+    def __iter__(self) -> Iterator[SynthesisResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def found_count(self) -> int:
+        return sum(1 for r in self.results if r.found)
+
+    @property
+    def static_seconds(self) -> float:
+        """Total static-phase time across the batch; with a warm session
+        cache this stays near the single-report cost."""
+        return sum(r.static_seconds for r in self.results)
+
+    @property
+    def search_seconds(self) -> float:
+        return sum(r.search_seconds for r in self.results)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.static_seconds + self.search_seconds
+
+
+@dataclass(slots=True)
+class PortfolioResult:
+    """Outcome of a first-win portfolio run."""
+
+    winner: Optional[SynthesisResult]
+    winner_name: Optional[str]
+    results: dict[str, SynthesisResult]
+    wall_seconds: float
+    # Variants that raised instead of returning a result (absent from
+    # ``results``); only populated when a winner emerged anyway, since with
+    # no winner the first error is re-raised.
+    errors: dict[str, BaseException] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return self.winner is not None
+
+    @property
+    def cancelled(self) -> tuple[str, ...]:
+        """Variants stopped by first-win cancellation."""
+        return tuple(
+            name for name, r in self.results.items() if r.reason == "cancelled"
+        )
+
+    @property
+    def total_instructions(self) -> int:
+        """Merged work across all variants (winners, losers, cancelled)."""
+        return sum(r.instructions for r in self.results.values())
+
+    @property
+    def total_states_explored(self) -> int:
+        return sum(r.states_explored for r in self.results.values())
+
+
+@dataclass(slots=True)
+class TriageOutcome:
+    """One report pushed through synthesize-then-deduplicate."""
+
+    bug_id: Optional[int]
+    is_new: bool
+    result: SynthesisResult
+
+    @property
+    def synthesized(self) -> bool:
+        return self.result.found
+
+
+class ReproSession:
+    """One program, many reports: the service-facade over the ESD pipeline."""
+
+    def __init__(
+        self,
+        module: ir.Module,
+        *,
+        config: Optional[ESDConfig] = None,
+        on_progress: Optional[EventCallback] = None,
+    ) -> None:
+        self.module = module
+        self.config = config or ESDConfig()
+        self.on_progress = on_progress
+        self.statics = StaticAnalysisCache(module)
+        self.triage_db = TriageDatabase()
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        name: str = "main",
+        *,
+        config: Optional[ESDConfig] = None,
+        on_progress: Optional[EventCallback] = None,
+    ) -> "ReproSession":
+        return cls(compile_source(source, name), config=config,
+                   on_progress=on_progress)
+
+    @property
+    def static_stats(self) -> StaticStats:
+        """Build/hit counters for the shared static-phase cache."""
+        return self.statics.stats
+
+    # -- synthesis -----------------------------------------------------------
+
+    def synthesize(
+        self,
+        report: BugReport,
+        config: Optional[ESDConfig] = None,
+        *,
+        on_progress: Optional[EventCallback] = None,
+        should_stop=None,
+    ) -> SynthesisResult:
+        """Synthesize one report, reusing the session's static artifacts."""
+        return esd_synthesize(
+            self.module,
+            report,
+            config or self.config,
+            statics=self.statics,
+            on_progress=on_progress or self.on_progress,
+            should_stop=should_stop,
+        )
+
+    def synthesize_batch(
+        self,
+        reports: Sequence[BugReport],
+        config: Optional[ESDConfig] = None,
+        *,
+        on_progress: Optional[EventCallback] = None,
+    ) -> BatchResult:
+        """Synthesize a stream of reports; static analysis is amortized
+        across the whole batch."""
+        return BatchResult([
+            self.synthesize(report, config, on_progress=on_progress)
+            for report in reports
+        ])
+
+    def synthesize_portfolio(
+        self,
+        report: BugReport,
+        variants: Variants,
+        *,
+        max_workers: Optional[int] = None,
+        on_progress: Optional[EventCallback] = None,
+    ) -> PortfolioResult:
+        """Run several config variants concurrently; first win cancels the
+        rest.
+
+        ``variants`` is a mapping of name -> :class:`ESDConfig` or a plain
+        sequence of configs (named ``v0``, ``v1``, ...).  The winner is the
+        first variant to return a found result; every other variant is
+        cancelled cooperatively and reports reason ``'cancelled'``.
+
+        Unknown strategy names raise before any variant starts.  If a
+        variant raises mid-run and no winner emerges, the others are
+        cancelled and the first error re-raised; errored variants are
+        absent from ``results``.
+        """
+        named = self._named_variants(variants)
+        # Fail fast on config typos: a bad strategy name must not cost the
+        # other variants their full search budgets.
+        for _, variant in named:
+            registry.get_searcher(variant.strategy)
+        cancel = threading.Event()
+        results: dict[str, SynthesisResult] = {}
+        errors: dict[str, BaseException] = {}
+        winner: Optional[SynthesisResult] = None
+        winner_name: Optional[str] = None
+        started = time.monotonic()
+
+        def run(name: str, variant: ESDConfig):
+            try:
+                return name, self.synthesize(
+                    report, variant,
+                    on_progress=on_progress,
+                    should_stop=cancel.is_set,
+                ), None
+            except BaseException as exc:  # noqa: BLE001 -- re-raised below
+                return name, None, exc
+
+        with ThreadPoolExecutor(max_workers=max_workers or len(named)) as pool:
+            futures = [pool.submit(run, name, cfg) for name, cfg in named]
+            for future in as_completed(futures):
+                name, result, exc = future.result()
+                if exc is not None:
+                    # Cancel the surviving variants so the error surfaces
+                    # promptly instead of after their full budgets.
+                    errors[name] = exc
+                    cancel.set()
+                    continue
+                results[name] = result
+                if result.found and winner is None:
+                    winner, winner_name = result, name
+                    cancel.set()
+        if winner is None and errors:
+            raise next(iter(errors.values()))
+        # Report in variant order, not completion order.
+        ordered = {name: results[name] for name, _ in named if name in results}
+        return PortfolioResult(
+            winner=winner,
+            winner_name=winner_name,
+            results=ordered,
+            wall_seconds=time.monotonic() - started,
+            errors=errors,
+        )
+
+    @staticmethod
+    def _named_variants(variants: Variants) -> list[tuple[str, ESDConfig]]:
+        if isinstance(variants, Mapping):
+            named = list(variants.items())
+        else:
+            named = [(f"v{i}", cfg) for i, cfg in enumerate(variants)]
+        if not named:
+            raise ValueError("portfolio needs at least one variant")
+        return named
+
+    # -- playback & triage ---------------------------------------------------
+
+    def play_back(
+        self,
+        execution: ExecutionFile,
+        mode: str = "strict",
+        max_steps: int = 10_000_000,
+    ) -> PlaybackResult:
+        """Deterministically replay a synthesized execution."""
+        return play_back(self.module, execution, mode=mode, max_steps=max_steps)
+
+    def triage(
+        self,
+        report: BugReport,
+        config: Optional[ESDConfig] = None,
+    ) -> TriageOutcome:
+        """Synthesize a report and deduplicate it against the session's
+        triage database (identical synthesized executions = same bug)."""
+        result = self.synthesize(report, config)
+        if not result.found:
+            return TriageOutcome(bug_id=None, is_new=False, result=result)
+        assert result.execution_file is not None
+        bug_id, is_new = self.triage_db.submit(result.execution_file)
+        return TriageOutcome(bug_id=bug_id, is_new=is_new, result=result)

@@ -1,14 +1,22 @@
-"""Command-line front ends (paper section 8's usage model).
+"""The ``repro`` command-line front end (paper section 8's usage model).
 
-::
+One entry point, four subcommands, all built on the session API::
 
-    esdsynth <coredump.json> <program.minic> --deadlock [-o exec.json]
-    esdplay  <program.minic> <exec.json> [--mode strict|happens-before]
+    repro synth  <coredump.json> <program.minic> [--deadlock] [-o exec.json]
+    repro play   <program.minic> <exec.json> [--mode strict|happens-before]
+    repro triage <program.minic> <coredump.json> [coredump.json ...]
+    repro bench  [--workload ls1] [--reports 4]
 
 The coredump file holds a serialized :class:`~repro.coredump.BugReport`
 (``BugReport.to_dict``); the program is MiniC source; the execution file is
-what ``esdsynth`` writes and ``esdplay`` (or the :class:`~repro.debugger.
-Debugger`) consumes.
+what ``repro synth`` writes and ``repro play`` (or the :class:`~repro.
+debugger.Debugger`) consumes.  ``repro triage`` pushes a stream of reports
+through one session -- static analysis runs once -- and deduplicates them by
+synthesized-execution fingerprint.  ``repro bench`` measures exactly that
+amortization on a bundled workload.
+
+``esdsynth`` and ``esdplay`` remain as deprecated shims over ``repro synth``
+and ``repro play``.
 """
 
 from __future__ import annotations
@@ -16,20 +24,246 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
+from . import __version__
+from .api import ReproSession, UnknownStrategyError, available_searchers
+from .core import ESDConfig, ExecutionFile, GoalError
 from .coredump import BugReport
-from .core import ESDConfig, ExecutionFile, esd_synthesize
-from .lang import compile_source
-from .playback import play_back
-from .search import SearchBudget
+from .lang import CompileError, LexError, ParseError, compile_source
+from .search import SynthesisEvent
+
+# Everything loading a bad input file can raise: unreadable/malformed/
+# wrong-shaped JSON (OSError, ValueError, KeyError, TypeError) or an
+# uncompilable program (Lex/Parse/CompileError).  Deliberately NOT wrapped
+# around the synthesis pipeline itself: an internal error there is a bug to
+# surface, not a bad input to report politely (GoalError is the one
+# input-shaped error synthesis raises, handled separately).
+_INPUT_ERRORS = (
+    OSError, ValueError, KeyError, TypeError, LexError, ParseError,
+    CompileError,
+)
 
 
-def esdsynth_main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="esdsynth",
-        description="Synthesize an execution that reproduces a reported bug.",
+def _describe(exc: BaseException) -> str:
+    # str(KeyError) is just the quoted key; say what it means.  The missing
+    # key may be in the report or the execution file, so stay generic.
+    if isinstance(exc, KeyError):
+        return f"input file is missing required field {exc}"
+    return str(exc)
+
+
+def _load_report(path: str) -> BugReport:
+    return BugReport.from_dict(json.loads(Path(path).read_text()))
+
+
+def _make_session(program: str) -> ReproSession:
+    source = Path(program).read_text()
+    return ReproSession(compile_source(source, Path(program).stem))
+
+
+def _make_config(args: argparse.Namespace) -> ESDConfig:
+    """Build the synthesis config from CLI flags.
+
+    Only the flags the user set override :class:`ESDConfig`'s defaults; in
+    particular the 20M-instruction default budget survives a bare
+    ``--max-seconds`` (the old CLI rebuilt the whole SearchBudget and
+    silently shrank it to 2M).
+    """
+    config = ESDConfig(
+        seed=args.seed,
+        strategy=getattr(args, "strategy", "esd"),
+        with_race_detection=getattr(args, "with_race_det", False),
     )
+    if args.max_seconds is not None:
+        config.budget.max_seconds = args.max_seconds
+    if getattr(args, "max_instructions", None) is not None:
+        config.budget.max_instructions = args.max_instructions
+    return config
+
+
+def _progress_printer(label: str):
+    def on_event(event: SynthesisEvent) -> None:
+        print(
+            f"{label}: [{event.kind}] {event.instructions} instrs, "
+            f"{event.states} states, {event.pending} pending, "
+            f"{event.seconds:.1f}s"
+            + (f" ({event.reason or event.detail})"
+               if event.reason or event.detail else ""),
+            file=sys.stderr,
+        )
+
+    return on_event
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations (shared with the deprecated shims)
+# ---------------------------------------------------------------------------
+
+
+def _run_synth(args: argparse.Namespace, label: str) -> int:
+    on_progress = (
+        _progress_printer(label) if getattr(args, "progress", False) else None
+    )
+    try:
+        report = _load_report(args.coredump)
+        if args.bug_type:
+            report.bug_type = args.bug_type
+        session = _make_session(args.program)
+    except _INPUT_ERRORS as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    try:
+        result = session.synthesize(report, _make_config(args),
+                                    on_progress=on_progress)
+    except UnknownStrategyError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 2
+    except GoalError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    if not result.found:
+        print(f"{label}: no execution found ({result.reason}); "
+              f"explored {result.instructions} instructions "
+              f"in {result.total_seconds:.1f}s", file=sys.stderr)
+        return 1
+    assert result.execution_file is not None
+    try:
+        result.execution_file.save(args.output)
+    except OSError as exc:
+        print(f"{label}: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{label}: synthesized execution for: {result.execution_file.bug_summary}")
+    print(f"{label}: static phase {result.static_seconds:.2f}s, "
+          f"search {result.search_seconds:.2f}s, "
+          f"{result.instructions} instructions explored")
+    print(f"{label}: wrote {args.output}")
+    return 0
+
+
+def _run_play(args: argparse.Namespace, label: str) -> int:
+    try:
+        session = _make_session(args.program)
+        execution = ExecutionFile.load(args.execution)
+    except _INPUT_ERRORS as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    result = session.play_back(execution, mode=args.mode)
+    if result.bug is not None:
+        print(f"{label}: reproduced {result.bug.summary()}")
+    if result.output:
+        print(f"{label}: program output:")
+        for line in result.output:
+            print(f"  {line}")
+    if not result.bug_reproduced:
+        print(f"{label}: execution did NOT reproduce the recorded bug",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_triage(args: argparse.Namespace, label: str) -> int:
+    try:
+        session = _make_session(args.program)
+    except _INPUT_ERRORS as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    config = _make_config(args)
+    failures = 0
+    for path in args.coredumps:
+        try:
+            report = _load_report(path)
+            if getattr(args, "bug_type", None):
+                report.bug_type = args.bug_type
+        except _INPUT_ERRORS as exc:
+            # One unreadable/malformed report must not abort the batch.
+            failures += 1
+            print(f"{label}: {path}: {_describe(exc)}", file=sys.stderr)
+            continue
+        try:
+            outcome = session.triage(report, config)
+        except UnknownStrategyError as exc:
+            # A config typo, not a per-report problem: no report would work.
+            print(f"{label}: {exc}", file=sys.stderr)
+            return 2
+        except GoalError as exc:
+            failures += 1
+            print(f"{label}: {path}: {exc}", file=sys.stderr)
+            continue
+        if outcome.bug_id is None:
+            failures += 1
+            print(f"{label}: {path}: synthesis failed "
+                  f"({outcome.result.reason})", file=sys.stderr)
+            continue
+        status = "NEW" if outcome.is_new else "duplicate"
+        print(f"{label}: {path} -> bug #{outcome.bug_id} ({status}, "
+              f"synthesized in {outcome.result.total_seconds:.2f}s)")
+    print(f"{label}: {len(session.triage_db)} distinct bug(s) "
+          f"from {len(args.coredumps)} report(s); static analysis ran "
+          f"{session.static_stats.distance_builds} time(s)")
+    return 1 if failures else 0
+
+
+def _run_bench(args: argparse.Namespace, label: str) -> int:
+    from .core import esd_synthesize
+    from .workloads import ALL, get
+
+    if args.workload not in ALL:
+        print(f"{label}: unknown workload {args.workload!r}; "
+              f"available: {', '.join(sorted(ALL))}", file=sys.stderr)
+        return 2
+    workload = get(args.workload)
+    module = workload.compile()
+    reports = [workload.make_report() for _ in range(args.reports)]
+    config = ESDConfig()
+    config.budget.max_seconds = args.max_seconds
+
+    cold_started = time.perf_counter()
+    cold = [esd_synthesize(module, r, config) for r in reports]
+    cold_wall = time.perf_counter() - cold_started
+    cold_static = sum(r.static_seconds for r in cold)
+
+    session = ReproSession(module, config=config)
+    warm_started = time.perf_counter()
+    batch = session.synthesize_batch(reports)
+    warm_wall = time.perf_counter() - warm_started
+    warm_static = batch.static_seconds
+
+    print(f"{label}: workload {workload.name}, {args.reports} reports")
+    print(f"{label}: one-shot API: static {cold_static*1000:8.2f}ms total "
+          f"({cold_wall*1000:.2f}ms wall)")
+    print(f"{label}: session API:  static {warm_static*1000:8.2f}ms total "
+          f"({warm_wall*1000:.2f}ms wall, "
+          f"{session.static_stats.distance_builds} distance build, "
+          f"{session.static_stats.cache_hits} cache hits)")
+    if warm_static > 0:
+        print(f"{label}: static-phase amortization: "
+              f"{cold_static / warm_static:.1f}x")
+    ok = all(r.found for r in batch) and all(r.found for r in cold)
+    return 0 if ok else 1
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _add_search_flags(parser: argparse.ArgumentParser) -> None:
+    """The flags _make_config reads, shared by synth and triage.
+
+    Budget flags default to None so only user-set values override
+    :class:`ESDConfig`'s defaults (180s / 20M instructions)."""
+    parser.add_argument("--max-seconds", type=float, default=None)
+    parser.add_argument("--max-instructions", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--strategy", default="esd", metavar="NAME",
+        help=f"search strategy ({', '.join(available_searchers())})",
+    )
+
+
+def _add_synth_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("coredump", help="bug report JSON (BugReport.to_dict)")
     parser.add_argument("program", help="MiniC source file")
     kind = parser.add_mutually_exclusive_group()
@@ -43,63 +277,103 @@ def esdsynth_main(argv: list[str] | None = None) -> int:
         help="enable data-race detection during path synthesis",
     )
     parser.add_argument("-o", "--output", default="execution.json")
-    parser.add_argument("--max-seconds", type=float, default=180.0)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-
-    report = BugReport.from_dict(json.loads(Path(args.coredump).read_text()))
-    if args.bug_type:
-        report.bug_type = args.bug_type
-    module = compile_source(Path(args.program).read_text(), Path(args.program).stem)
-
-    config = ESDConfig(
-        budget=SearchBudget(max_seconds=args.max_seconds),
-        seed=args.seed,
-        with_race_detection=args.with_race_det,
+    _add_search_flags(parser)
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print structured progress events to stderr",
     )
-    result = esd_synthesize(module, report, config)
-    if not result.found:
-        print(f"esdsynth: no execution found ({result.reason}); "
-              f"explored {result.instructions} instructions "
-              f"in {result.total_seconds:.1f}s", file=sys.stderr)
-        return 1
-    assert result.execution_file is not None
-    result.execution_file.save(args.output)
-    print(f"esdsynth: synthesized execution for: {result.execution_file.bug_summary}")
-    print(f"esdsynth: static phase {result.static_seconds:.2f}s, "
-          f"search {result.search_seconds:.2f}s, "
-          f"{result.instructions} instructions explored")
-    print(f"esdsynth: wrote {args.output}")
-    return 0
 
 
-def esdplay_main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="esdplay",
-        description="Deterministically play back a synthesized execution.",
-    )
+def _add_play_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="MiniC source file")
-    parser.add_argument("execution", help="execution file written by esdsynth")
+    parser.add_argument("execution", help="execution file written by repro synth")
     parser.add_argument(
         "--mode", choices=("strict", "happens-before"), default="strict"
     )
-    args = parser.parse_args(argv)
 
-    module = compile_source(Path(args.program).read_text(), Path(args.program).stem)
-    execution = ExecutionFile.load(args.execution)
-    result = play_back(module, execution, mode=args.mode)
-    if result.bug is not None:
-        print(f"esdplay: reproduced {result.bug.summary()}")
-    if result.output:
-        print("esdplay: program output:")
-        for line in result.output:
-            print(f"  {line}")
-    if not result.bug_reproduced:
-        print("esdplay: execution did NOT reproduce the recorded bug",
-              file=sys.stderr)
-        return 1
-    return 0
+
+def repro_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Execution synthesis: reproduce, replay, and triage bugs "
+                    "from coredumps alone.",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser(
+        "synth", help="synthesize an execution that reproduces a reported bug"
+    )
+    _add_synth_args(synth)
+
+    play = sub.add_parser(
+        "play", help="deterministically play back a synthesized execution"
+    )
+    _add_play_args(play)
+
+    triage = sub.add_parser(
+        "triage", help="synthesize a stream of reports and deduplicate them"
+    )
+    triage.add_argument("program", help="MiniC source file")
+    triage.add_argument("coredumps", nargs="+",
+                        help="bug report JSON files, one per incoming report")
+    _add_search_flags(triage)
+    triage.add_argument("--bug-type", default=None, dest="bug_type",
+                        choices=("crash", "deadlock", "race"),
+                        help="override every report's bug type")
+
+    bench = sub.add_parser(
+        "bench", help="measure session-API static-phase amortization"
+    )
+    bench.add_argument("--workload", default="ls1",
+                       help="bundled workload name (default: ls1)")
+    bench.add_argument("--reports", type=int, default=4)
+    bench.add_argument("--max-seconds", type=float, default=120.0)
+
+    args = parser.parse_args(argv)
+    if args.command == "synth":
+        return _run_synth(args, "repro synth")
+    if args.command == "play":
+        return _run_play(args, "repro play")
+    if args.command == "triage":
+        return _run_triage(args, "repro triage")
+    if args.command == "bench":
+        return _run_bench(args, "repro bench")
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims
+# ---------------------------------------------------------------------------
+
+
+def esdsynth_main(argv: list[str] | None = None) -> int:
+    """Deprecated: use ``repro synth``."""
+    parser = argparse.ArgumentParser(
+        prog="esdsynth",
+        description="[deprecated: use `repro synth`] Synthesize an execution "
+                    "that reproduces a reported bug.",
+    )
+    _add_synth_args(parser)
+    args = parser.parse_args(argv)
+    print("esdsynth: deprecated, use `repro synth`", file=sys.stderr)
+    return _run_synth(args, "esdsynth")
+
+
+def esdplay_main(argv: list[str] | None = None) -> int:
+    """Deprecated: use ``repro play``."""
+    parser = argparse.ArgumentParser(
+        prog="esdplay",
+        description="[deprecated: use `repro play`] Deterministically play "
+                    "back a synthesized execution.",
+    )
+    _add_play_args(parser)
+    args = parser.parse_args(argv)
+    print("esdplay: deprecated, use `repro play`", file=sys.stderr)
+    return _run_play(args, "esdplay")
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(esdsynth_main())
+    sys.exit(repro_main())

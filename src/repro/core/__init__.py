@@ -7,7 +7,13 @@ from .execfile import (
     execution_file_from_state,
 )
 from .goals import GoalError, SynthesisGoal, extract_goal
-from .synthesis import ESDConfig, SynthesisResult, esd_synthesize
+from .synthesis import (
+    ESDConfig,
+    StaticAnalysisCache,
+    StaticStats,
+    SynthesisResult,
+    esd_synthesize,
+)
 from .triage import TriageDatabase, TriageEntry, same_bug
 
 __all__ = [
@@ -15,6 +21,8 @@ __all__ = [
     "ExecutionFile",
     "GoalError",
     "HappensBefore",
+    "StaticAnalysisCache",
+    "StaticStats",
     "SynthesisGoal",
     "SynthesisResult",
     "TriageDatabase",

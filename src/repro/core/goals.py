@@ -108,6 +108,13 @@ def extract_goal(module: ir.Module, report: BugReport) -> SynthesisGoal:
         return _deadlock_goal(module, dump)
     if report.bug_type in ("crash", "race"):
         return _crash_goal(module, dump, report.bug_type)
+    # Bug classes the core does not know may be registered as plugins with
+    # their own goal extractor (lazy import: the registry layers above core).
+    from ..api.registry import find_bug_class
+
+    plugin = find_bug_class(report.bug_type)
+    if plugin is not None and plugin.extract is not None:
+        return plugin.extract(module, report)
     raise GoalError(f"unknown bug type {report.bug_type!r}")
 
 

@@ -1,4 +1,4 @@
-"""The ESD synthesis driver: bug report in, execution file out (``esdsynth``).
+"""The ESD synthesis driver: bug report in, execution file out.
 
 Pipeline (paper sections 2-4):
 
@@ -9,28 +9,38 @@ Pipeline (paper sections 2-4):
    bug-class-specific scheduling strategy (deadlock snapshots / race
    preemptions);
 4. solve the winning state's constraints and emit the execution file.
+
+The static phase (step 2) depends only on the module and the goal targets,
+not on the individual report, so a stream of reports against one program can
+share it.  :class:`StaticAnalysisCache` holds those artifacts -- the
+:class:`~repro.analysis.DistanceCalculator` and the intermediate-goal specs
+keyed by goal target -- and :func:`esd_synthesize` accepts one via
+``statics=``; :class:`repro.api.ReproSession` keeps a cache per module and
+threads it through every call, which is how batch synthesis amortizes static
+analysis (paper section 8's service usage model).
+
+Searchers and bug-class schedule policies are no longer hard-wired here:
+they are looked up by name in :mod:`repro.api.registry`, so a new bug class
+or search strategy is a plugin registration away.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from .. import ir
 from ..analysis import DistanceCalculator, find_intermediate_goals
-from ..concurrency import (
-    ChainedPolicy,
-    DeadlockSchedulePolicy,
-    RaceDetector,
-    RaceSchedulePolicy,
-)
+from ..concurrency import ChainedPolicy
 from ..coredump import BugReport
 from ..search import (
+    EventCallback,
     GoalSpec,
-    ProximityGuidedSearcher,
     SearchBudget,
     SearchOutcome,
+    StopPredicate,
     explore,
 )
 from ..solver import Solver
@@ -51,6 +61,10 @@ class ESDConfig:
     seed: int = 0
     string_size: int = 8
     max_args: int = 4
+    # State-selection strategy, looked up in repro.api.registry ('esd' is the
+    # paper's proximity-guided search; 'dfs'/'bfs'/'random-path' are the KC
+    # baselines; plugins may register more).
+    strategy: str = "esd"
     # Focusing techniques (paper section 3.3/3.4):
     use_intermediate_goals: bool = True
     prune_unreachable: bool = True
@@ -58,6 +72,78 @@ class ESDConfig:
     # Schedule synthesis:
     fork_at_unlock: bool = True
     with_race_detection: bool = False
+
+
+@dataclass(slots=True)
+class StaticStats:
+    """Counters for the static-phase cache (the test spy for amortization)."""
+
+    distance_builds: int = 0
+    goal_computes: int = 0
+    cache_hits: int = 0
+
+
+class StaticAnalysisCache:
+    """Per-module static-phase artifacts, built once and reused.
+
+    Thread-safe: portfolio synthesis runs several variants concurrently
+    against one cache.
+    """
+
+    def __init__(self, module: ir.Module) -> None:
+        self.module = module
+        self.stats = StaticStats()
+        self._lock = threading.RLock()
+        self._distances: Optional[DistanceCalculator] = None
+        self._goal_specs: dict[tuple, tuple[GoalSpec, ...]] = {}
+        self._warmed: set = set()
+
+    def distances(self) -> DistanceCalculator:
+        with self._lock:
+            if self._distances is None:
+                self._distances = DistanceCalculator(self.module)
+                self.stats.distance_builds += 1
+            return self._distances
+
+    def intermediate_goal_specs(
+        self, goal: SynthesisGoal, solver: Solver
+    ) -> tuple[GoalSpec, ...]:
+        """The disjunctive intermediate-goal specs for a goal's targets,
+        computed once per distinct target set."""
+        key = goal.targets
+        with self._lock:
+            cached = self._goal_specs.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+            specs: list[GoalSpec] = []
+            seen: set[tuple] = set()
+            for target in goal.targets:
+                for ig in find_intermediate_goals(self.module, target, solver):
+                    if ig.alternatives not in seen:
+                        seen.add(ig.alternatives)
+                        specs.append(GoalSpec(ig.alternatives, f"ig:{ig.variable}"))
+            result = tuple(specs)
+            self._goal_specs[key] = result
+            self.stats.goal_computes += 1
+            return result
+
+    def warm(self, specs: Iterable[GoalSpec]) -> None:
+        """Build the per-goal distance tables up front so search-phase timing
+        is pure search; repeat calls for the same refs are no-ops.
+
+        The lock is held across the builds: a concurrent caller must not see
+        a ref marked warm before its table exists, or its static/search time
+        split would be wrong (the table would be built lazily mid-search).
+        """
+        distances = self.distances()
+        with self._lock:
+            for spec in specs:
+                for ref in spec.refs:
+                    if ref in self._warmed:
+                        continue
+                    distances.instruction_distance(ref, ref)
+                    self._warmed.add(ref)
 
 
 @dataclass(slots=True)
@@ -83,32 +169,45 @@ def esd_synthesize(
     module: ir.Module,
     report: BugReport,
     config: Optional[ESDConfig] = None,
+    *,
+    statics: Optional[StaticAnalysisCache] = None,
+    on_progress: Optional[EventCallback] = None,
+    should_stop: Optional[StopPredicate] = None,
 ) -> SynthesisResult:
-    """Synthesize an execution reproducing the reported bug."""
+    """Synthesize an execution reproducing the reported bug.
+
+    ``statics`` shares static-phase artifacts across calls (see
+    :class:`StaticAnalysisCache`); ``on_progress`` observes the explore loop
+    via :class:`~repro.search.SynthesisEvent`; ``should_stop`` cancels the
+    search cooperatively (outcome reason ``'cancelled'``).
+    """
     config = config or ESDConfig()
+    if statics is None:
+        statics = StaticAnalysisCache(module)
+    elif statics.module is not module:
+        raise ValueError(
+            f"statics cache was built for module {statics.module.name!r}, "
+            f"not {module.name!r}; a recompiled (e.g. patched) program needs "
+            f"a fresh cache/session"
+        )
+    # Resolve the strategy before paying for the static phase, so a typo'd
+    # name fails fast (lazy import: the registry layers above core).
+    from ..api.registry import get_searcher
+
+    searcher_factory = get_searcher(config.strategy)
     goal = extract_goal(module, report)
 
     static_started = time.monotonic()
-    distances = DistanceCalculator(module)
+    distances = statics.distances()
     solver = Solver()
     intermediate: list[GoalSpec] = []
     if config.use_intermediate_goals:
-        seen: set[tuple] = set()
-        for target in goal.targets:
-            for ig in find_intermediate_goals(module, target, solver):
-                if ig.alternatives not in seen:
-                    seen.add(ig.alternatives)
-                    intermediate.append(
-                        GoalSpec(ig.alternatives, f"ig:{ig.variable}")
-                    )
+        intermediate = list(statics.intermediate_goal_specs(goal, solver))
     final = GoalSpec(goal.targets, "final")
-    # Warm the distance tables so search-phase timing is pure search.
-    for spec in intermediate + [final]:
-        for ref in spec.refs:
-            distances.instruction_distance(ref, ref)
+    statics.warm(intermediate + [final])
     static_seconds = time.monotonic() - static_started
 
-    policy = _build_policy(module, goal, config)
+    policy = _build_policy(module, goal, config, report.bug_type)
     executor = Executor(
         module,
         solver=solver,
@@ -116,54 +215,48 @@ def esd_synthesize(
         policy=policy,
         config=ExecConfig(string_size=config.string_size, max_args=config.max_args),
     )
-    searcher = ProximityGuidedSearcher(
-        distances,
-        intermediate,
-        final,
-        seed=config.seed,
-        prune_unreachable=config.prune_unreachable,
-        use_schedule_distance=config.use_schedule_distance,
-    )
+    searcher = searcher_factory(distances, intermediate, final, config)
     _wire_boost(policy, searcher)
 
     outcome = explore(
-        executor, searcher, executor.initial_state(), goal.matches, config.budget
+        executor,
+        searcher,
+        executor.initial_state(),
+        goal.matches,
+        config.budget,
+        on_event=on_progress,
+        should_stop=should_stop,
     )
     return _result_from_outcome(module, goal, outcome, executor, static_seconds,
                                 len(intermediate))
 
 
 def _build_policy(
-    module: ir.Module, goal: SynthesisGoal, config: ESDConfig
+    module: ir.Module, goal: SynthesisGoal, config: ESDConfig, bug_type: str
 ) -> SchedulerPolicy:
-    multithreaded = any(
-        isinstance(instr, ir.ThreadCreate)
-        for func in module.functions.values()
-        for _, instr in func.iter_instructions()
-    )
-    if not multithreaded:
+    from ..api.registry import get_bug_class  # lazy: registry layers above core
+
+    # Keyed by the report's bug type, not goal.bug_class: a plugin whose goal
+    # extractor reuses a built-in goal shape (so goal.bug_class says 'crash')
+    # must still get its own schedule policies.
+    policies = get_bug_class(bug_type).build_policies(module, goal, config)
+    if not policies:
         return SchedulerPolicy()
-    policies: list[SchedulerPolicy] = [
-        DeadlockSchedulePolicy(
-            goal.inner_lock_refs, fork_at_unlock=config.fork_at_unlock
-        )
-    ]
-    if goal.bug_class == "race" or config.with_race_detection:
-        policies.append(
-            RaceSchedulePolicy(RaceDetector(), gate_function=goal.gate_function)
-        )
     if len(policies) == 1:
         return policies[0]
     return ChainedPolicy(*policies)
 
 
-def _wire_boost(policy: SchedulerPolicy, searcher: ProximityGuidedSearcher) -> None:
-    if isinstance(policy, DeadlockSchedulePolicy):
-        policy.boost = searcher.boost
-    elif isinstance(policy, ChainedPolicy):
-        for sub in policy.policies:
-            if isinstance(sub, DeadlockSchedulePolicy):
-                sub.boost = searcher.boost
+def _wire_boost(policy: SchedulerPolicy, searcher) -> None:
+    """Connect policies that re-prioritize snapshot states (deadlock's
+    'switch to' move) to searchers that support it."""
+    boost = getattr(searcher, "boost", None)
+    if boost is None:
+        return
+    subs = policy.policies if isinstance(policy, ChainedPolicy) else [policy]
+    for sub in subs:
+        if hasattr(sub, "boost"):
+            sub.boost = boost
 
 
 def _result_from_outcome(

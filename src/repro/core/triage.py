@@ -27,10 +27,24 @@ class TriageEntry:
 
 @dataclass(slots=True)
 class TriageDatabase:
-    """A tiny bug tracker keyed by synthesized-execution fingerprints."""
+    """A bug tracker keyed by synthesized-execution fingerprints.
+
+    Entries are indexed by fingerprint, so ``submit`` is O(1) regardless of
+    how many distinct bugs the database holds, and shards filled in parallel
+    can be combined with :meth:`merge`.
+    """
 
     entries: list[TriageEntry] = field(default_factory=list)
     _next_id: int = 1
+    _index: dict[tuple, TriageEntry] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Support construction from a pre-existing entry list.
+        for entry in self.entries:
+            self._index[entry.execution.fingerprint()] = entry
+        if self.entries:
+            self._next_id = max(self._next_id,
+                                max(e.bug_id for e in self.entries) + 1)
 
     def submit(self, execution: ExecutionFile) -> tuple[int, bool]:
         """Register a synthesized execution.
@@ -38,14 +52,40 @@ class TriageDatabase:
         Returns ``(bug_id, is_new)``: duplicates of an earlier report get the
         original bug id.
         """
-        for entry in self.entries:
-            if same_bug(entry.execution, execution):
-                entry.duplicates += 1
-                return entry.bug_id, False
+        fingerprint = execution.fingerprint()
+        entry = self._index.get(fingerprint)
+        if entry is not None:
+            entry.duplicates += 1
+            return entry.bug_id, False
         bug_id = self._next_id
         self._next_id += 1
-        self.entries.append(TriageEntry(bug_id, execution))
+        entry = TriageEntry(bug_id, execution)
+        self.entries.append(entry)
+        self._index[fingerprint] = entry
         return bug_id, True
+
+    def merge(self, other: "TriageDatabase") -> dict[int, int]:
+        """Fold another (sharded) database into this one.
+
+        Returns a mapping from the other database's bug ids to the local
+        ones.  Duplicate counts carry over: an entry that collides with a
+        local fingerprint contributes its original report plus all its
+        recorded duplicates to the local entry's count.
+        """
+        mapping: dict[int, int] = {}
+        for entry in other.entries:
+            fingerprint = entry.execution.fingerprint()
+            local = self._index.get(fingerprint)
+            if local is not None:
+                local.duplicates += entry.duplicates + 1
+            else:
+                local = TriageEntry(self._next_id, entry.execution,
+                                    entry.duplicates)
+                self._next_id += 1
+                self.entries.append(local)
+                self._index[fingerprint] = local
+            mapping[entry.bug_id] = local.bug_id
+        return mapping
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -1,11 +1,14 @@
 """Search strategies over the symbolic execution tree."""
 
 from .engine import (
+    EventCallback,
     GoalPredicate,
     SearchBudget,
     SearchOutcome,
     SearchStats,
     Searcher,
+    StopPredicate,
+    SynthesisEvent,
     explore,
 )
 from .esd import SCHEDULE_WEIGHT, GoalSpec, ProximityGuidedSearcher
@@ -14,6 +17,7 @@ from .strategies import BFSSearcher, DFSSearcher, RandomPathSearcher
 __all__ = [
     "BFSSearcher",
     "DFSSearcher",
+    "EventCallback",
     "GoalPredicate",
     "GoalSpec",
     "ProximityGuidedSearcher",
@@ -23,5 +27,7 @@ __all__ = [
     "SearchOutcome",
     "SearchStats",
     "Searcher",
+    "StopPredicate",
+    "SynthesisEvent",
     "explore",
 ]

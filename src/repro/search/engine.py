@@ -19,6 +19,30 @@ from ..symbex.state import ExecutionState
 GoalPredicate = Callable[[ExecutionState], bool]
 
 
+@dataclass(slots=True)
+class SynthesisEvent:
+    """A structured progress event emitted by :func:`explore`.
+
+    ``kind`` is one of ``'start'`` (search begins), ``'progress'`` (periodic,
+    every ``event_interval`` picks), ``'bug'`` (a non-goal bug state was
+    recorded), and ``'done'`` (the search returned; ``reason`` holds the
+    outcome reason).
+    """
+
+    kind: str
+    picks: int = 0
+    instructions: int = 0
+    states: int = 0
+    pending: int = 0
+    seconds: float = 0.0
+    reason: str = ""
+    detail: str = ""
+
+
+EventCallback = Callable[[SynthesisEvent], None]
+StopPredicate = Callable[[], bool]
+
+
 class Searcher:
     """Strategy interface: a mutable container of pending states."""
 
@@ -66,7 +90,7 @@ class SearchOutcome:
     """Result of one exploration run."""
 
     goal_state: Optional[ExecutionState]
-    reason: str  # 'goal' | 'exhausted' | 'budget'
+    reason: str  # 'goal' | 'exhausted' | 'budget' | 'cancelled'
     stats: SearchStats
     other_bugs: list[ExecutionState] = field(default_factory=list)
 
@@ -81,6 +105,10 @@ def explore(
     initial: ExecutionState,
     is_goal: GoalPredicate,
     budget: Optional[SearchBudget] = None,
+    *,
+    on_event: Optional[EventCallback] = None,
+    event_interval: int = 4096,
+    should_stop: Optional[StopPredicate] = None,
 ) -> SearchOutcome:
     """Run the search until the goal is found or a budget is exhausted.
 
@@ -88,32 +116,58 @@ def explore(
     Terminated non-goal states are dropped; bug states that do not match the
     goal are collected as ``other_bugs`` -- "ESD has discovered a different
     bug ... records the information ... and resumes the search" (section 4.1).
+
+    ``on_event`` receives :class:`SynthesisEvent` observations ('start',
+    periodic 'progress' every ``event_interval`` picks, 'bug', and a final
+    'done' carrying the outcome reason).  ``should_stop`` is polled once per
+    pick; when it returns True the search returns with reason 'cancelled'
+    (portfolio synthesis cancels the losing variants this way).
     """
     budget = budget or SearchBudget()
     stats = SearchStats()
     other_bugs: list[ExecutionState] = []
     deadline = time.monotonic() + budget.max_seconds
     started = time.monotonic()
-
-    if is_goal(initial):
-        stats.seconds = time.monotonic() - started
-        return SearchOutcome(initial, "goal", stats, other_bugs)
-    searcher.add(initial)
     states_seen = 1
 
+    def emit(kind: str, reason: str = "", detail: str = "") -> None:
+        if on_event is not None:
+            on_event(SynthesisEvent(
+                kind=kind,
+                picks=stats.picks,
+                instructions=stats.instructions,
+                states=states_seen,
+                pending=len(searcher),
+                seconds=time.monotonic() - started,
+                reason=reason,
+                detail=detail,
+            ))
+
+    def finish(goal_state: Optional[ExecutionState], reason: str) -> SearchOutcome:
+        stats.states_explored = states_seen
+        stats.seconds = time.monotonic() - started
+        emit("done", reason=reason)
+        return SearchOutcome(goal_state, reason, stats, other_bugs)
+
+    emit("start")
+    if is_goal(initial):
+        return finish(initial, "goal")
+    searcher.add(initial)
+
     while len(searcher):
+        if should_stop is not None and should_stop():
+            return finish(None, "cancelled")
         if stats.instructions >= budget.max_instructions:
-            stats.seconds = time.monotonic() - started
-            return SearchOutcome(None, "budget", stats, other_bugs)
+            return finish(None, "budget")
         if states_seen >= budget.max_states:
-            stats.seconds = time.monotonic() - started
-            return SearchOutcome(None, "budget", stats, other_bugs)
+            return finish(None, "budget")
         if stats.picks % 256 == 0 and time.monotonic() > deadline:
-            stats.seconds = time.monotonic() - started
-            return SearchOutcome(None, "budget", stats, other_bugs)
+            return finish(None, "budget")
 
         state = searcher.pick()
         stats.picks += 1
+        if on_event is not None and stats.picks % max(event_interval, 1) == 0:
+            emit("progress")
         # Run the picked state for a batch: stop at a fork, termination, or
         # the batch limit, whichever comes first.
         pending = [state]
@@ -132,12 +186,12 @@ def explore(
 
         for succ in pending:
             if is_goal(succ):
-                stats.states_explored = states_seen
-                stats.seconds = time.monotonic() - started
-                return SearchOutcome(succ, "goal", stats, other_bugs)
+                return finish(succ, "goal")
             if succ.status == "bug":
                 stats.bugs_seen += 1
                 other_bugs.append(succ)
+                if on_event is not None:
+                    emit("bug", detail=succ.bug.summary() if succ.bug else "")
                 continue
             if succ.status == "exited":
                 stats.paths_completed += 1
@@ -149,6 +203,4 @@ def explore(
                 states_seen += 1
             searcher.add(succ)
 
-    stats.states_explored = states_seen
-    stats.seconds = time.monotonic() - started
-    return SearchOutcome(None, "exhausted", stats, other_bugs)
+    return finish(None, "exhausted")
