@@ -1,0 +1,249 @@
+"""Solver acceleration benchmark: structural cache + model-reuse fast path.
+
+Measures queries/sec on repeated-query workloads -- the access pattern the
+ESD pipeline actually produces (the same branch conditions re-checked by
+sibling states, re-run reports, and portfolio variants) -- for two solver
+configurations:
+
+* **baseline**: the seed solver's behavior -- per-solver exact cache keyed
+  by expression uids, no subset/superset reasoning, no model reuse.
+  Rebuilt expressions (new states, new sessions) never hit.
+* **accelerated**: structural digest keys + the Klee-style counterexample
+  cache (UNSAT-superset / SAT-subset answers) + the executor's model-reuse
+  fast path.
+
+Three workloads:
+
+* ``rebuild``   -- a suite of constraint systems solved, then re-built from
+                   scratch (fresh ``Var``/``Expr`` objects, as a new session
+                   or recompiled module would) and re-solved N times.
+* ``growth``    -- path conditions growing one constraint at a time, with
+                   both-direction branch probes along the way, re-issued
+                   across rebuilt expression sets.
+* ``branches``  -- the real ``Executor._feasible`` driven over a long run
+                   of branch-feasibility probes against one state (the fast
+                   path's home turf).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py [--quick] [--json OUT]
+
+Exit status is 0 when the accelerated configuration clears the 2x
+queries/sec target on the repeated-query workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lang import compile_source  # noqa: E402
+from repro.solver import Solver, binop, make_var  # noqa: E402
+from repro.symbex import ExecConfig, Executor  # noqa: E402
+
+SPEEDUP_TARGET = 2.0
+
+
+def baseline_solver() -> Solver:
+    """The seed solver: uid-keyed exact cache, nothing else."""
+    return Solver(structural_keys=False, subset_reasoning=False)
+
+
+def accelerated_solver() -> Solver:
+    return Solver()
+
+
+# ---------------------------------------------------------------------------
+# Workload definitions.  Each builder returns a *freshly constructed* list of
+# constraints every call, so repeats present structurally identical but
+# object-distinct queries -- the cross-state/cross-session pattern.
+# ---------------------------------------------------------------------------
+
+
+def _system(index: int) -> list:
+    """One small mixed constraint system over fresh byte variables."""
+    a = make_var(f"in{index}.a", 0, 255)
+    b = make_var(f"in{index}.b", 0, 255)
+    c = make_var(f"in{index}.c", 0, 255)
+    return [
+        binop("==", binop("+", a, b), 60 + (index % 40)),
+        binop(">", a, index % 20),
+        binop("<", b, 200),
+        binop("!=", c, index % 256),
+        binop(">=", binop("*", c, 2), 10),
+    ]
+
+
+def rebuild_queries(systems: int, repeats: int) -> list[list]:
+    """Each system solved once, then the whole suite rebuilt and re-solved."""
+    queries = []
+    for _ in range(repeats + 1):
+        for index in range(systems):
+            queries.append(_system(index))
+    return queries
+
+
+def growth_queries(chains: int, depth: int, repeats: int) -> list[list]:
+    """Growing path conditions with branch probes, re-issued from scratch.
+
+    Mimics a path condition accumulating one branch constraint per step:
+    at each depth the query is the prefix so far plus a probe in each
+    direction (the taken probe extends the prefix).  Probes share variables
+    with the prefix, so subset/superset reasoning gets real work.
+    """
+    queries = []
+    for _ in range(repeats + 1):
+        for chain in range(chains):
+            vars_ = [
+                make_var(f"ch{chain}.v{i}", 0, 255) for i in range(depth + 1)
+            ]
+            prefix: list = []
+            for i in range(depth):
+                link = binop("<", vars_[i], binop("+", vars_[i + 1], 16))
+                taken = binop(">", vars_[i], 2 * i)
+                not_taken = binop("<=", vars_[i], 2 * i)
+                queries.append(prefix + [link, taken])
+                queries.append(prefix + [link, not_taken])
+                prefix = prefix + [link, taken]
+    return queries
+
+
+def run_solver_workload(solver: Solver, queries: list[list]) -> dict:
+    started = time.perf_counter()
+    for constraints in queries:
+        solver.check(constraints)
+    seconds = time.perf_counter() - started
+    return {
+        "queries": len(queries),
+        "seconds": round(seconds, 6),
+        "qps": round(len(queries) / seconds, 1) if seconds > 0 else float("inf"),
+        "component_lookups": solver.cache.stats.lookups,
+        "cache_hits": solver.stats.cache_hits,
+        "unsat_superset_hits": solver.stats.unsat_superset_hits,
+        "sat_subset_hits": solver.stats.sat_subset_hits,
+        "search_nodes": solver.stats.search_nodes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Branch-probe workload: the real Executor._feasible against one state.
+# ---------------------------------------------------------------------------
+
+
+def run_branch_workload(solver: Solver, probes: int, sweeps: int) -> dict:
+    """Drive ``Executor._feasible`` over ``sweeps`` states exploring the
+    same branches.
+
+    Each sweep rebuilds the state's constraints and every probe expression
+    from scratch (fresh ``Var`` objects with the same names/domains), the
+    way forked siblings and re-run reports re-encounter the same branch
+    conditions.  Within a sweep the model-reuse fast path answers the
+    satisfiable probes; across sweeps the structural cache answers what the
+    fast path misses.  The baseline's uid-keyed cache sees every sweep as
+    all-new queries.
+    """
+    module = compile_source("int main() { return 0; }", "bench")
+    # The baseline ablates the model-reuse fast path too: it is part of the
+    # acceleration layer under measurement, not of the seed solver.
+    executor = Executor(
+        module, solver=solver,
+        config=ExecConfig(model_reuse=solver.structural_keys),
+    )
+    started = time.perf_counter()
+    feasible = 0
+    for _ in range(sweeps):
+        state = executor.initial_state()
+        vars_ = [make_var(f"br.v{i}", 0, 255) for i in range(8)]
+        for i, var in enumerate(vars_):
+            state.add_constraint(binop(">", var, i))
+        # Chain the variables so every probe's related set is the whole
+        # path condition, as in a real accumulated path.
+        for left, right in zip(vars_, vars_[1:]):
+            state.add_constraint(binop("<=", left, right))
+        for i in range(probes):
+            var = vars_[i % len(vars_)]
+            bound = 2 + i % 250  # distinct (var, bound) pairs per sweep
+            feasible += executor._feasible(state, binop("<", var, bound))
+            feasible += executor._feasible(state, binop(">=", var, bound))
+    seconds = time.perf_counter() - started
+    queries = 2 * probes * sweeps
+    return {
+        "queries": queries,
+        "feasible": feasible,
+        "seconds": round(seconds, 6),
+        "qps": round(queries / seconds, 1) if seconds > 0 else float("inf"),
+        "fastpath_hits": solver.stats.fastpath_hits,
+        "fastpath_misses": solver.stats.fastpath_misses,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes (CI smoke)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the result record as JSON")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        systems, rebuilds = 40, 3
+        chains, depth, growth_repeats = 4, 10, 2
+        probes, sweeps = 120, 3
+    else:
+        systems, rebuilds = 150, 5
+        chains, depth, growth_repeats = 10, 20, 4
+        probes, sweeps = 250, 6
+
+    record: dict = {"quick": args.quick, "workloads": {}}
+
+    for name, queries in (
+        ("rebuild", rebuild_queries(systems, rebuilds)),
+        ("growth", growth_queries(chains, depth, growth_repeats)),
+    ):
+        base = run_solver_workload(baseline_solver(), queries)
+        accel = run_solver_workload(accelerated_solver(), queries)
+        speedup = accel["qps"] / base["qps"] if base["qps"] else float("inf")
+        record["workloads"][name] = {
+            "baseline": base, "accelerated": accel,
+            "speedup": round(speedup, 2),
+        }
+        hit_rate = accel["cache_hits"] / max(accel["component_lookups"], 1)
+        print(f"{name:8s}: baseline {base['qps']:10.1f} q/s, "
+              f"accelerated {accel['qps']:10.1f} q/s "
+              f"({speedup:.2f}x, {100 * hit_rate:.1f}% component hits)")
+
+    base = run_branch_workload(baseline_solver(), probes, sweeps)
+    accel = run_branch_workload(accelerated_solver(), probes, sweeps)
+    speedup = accel["qps"] / base["qps"] if base["qps"] else float("inf")
+    fast_total = accel["fastpath_hits"] + accel["fastpath_misses"]
+    fast_rate = accel["fastpath_hits"] / fast_total if fast_total else 0.0
+    record["workloads"]["branches"] = {
+        "baseline": base, "accelerated": accel, "speedup": round(speedup, 2),
+    }
+    assert base["feasible"] == accel["feasible"], "configs must agree"
+    print(f"branches: baseline {base['qps']:10.1f} q/s, "
+          f"accelerated {accel['qps']:10.1f} q/s "
+          f"({speedup:.2f}x, {100 * fast_rate:.1f}% fast-path hits)")
+
+    speedups = [w["speedup"] for w in record["workloads"].values()]
+    record["min_speedup"] = min(speedups)
+    record["target"] = SPEEDUP_TARGET
+    record["passed"] = record["min_speedup"] >= SPEEDUP_TARGET
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    status = "PASS" if record["passed"] else "FAIL"
+    print(f"{status}: min speedup {record['min_speedup']:.2f}x "
+          f"(target {SPEEDUP_TARGET:.1f}x)")
+    return 0 if record["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

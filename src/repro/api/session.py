@@ -40,6 +40,7 @@ from ..core.triage import TriageDatabase
 from ..lang import compile_source
 from ..playback import PlaybackResult, play_back
 from ..search import EventCallback
+from ..solver import CacheStats, CounterexampleCache, Solver, SolverStats
 from . import registry
 
 Variants = Union[Sequence[ESDConfig], Mapping[str, ESDConfig]]
@@ -141,6 +142,14 @@ class ReproSession:
         self.on_progress = on_progress
         self.statics = StaticAnalysisCache(module)
         self.triage_db = TriageDatabase()
+        # One solver (and one structural counterexample cache) per session:
+        # constraint sets recur across the reports of a batch, across
+        # portfolio variants, and across re-runs of one report, and
+        # structural keys let all of them share solutions.  The solver is
+        # reentrant and the cache locked, so portfolio worker threads may
+        # use it concurrently.
+        self.solver_cache = CounterexampleCache()
+        self.solver = Solver(cache=self.solver_cache)
 
     @classmethod
     def from_source(
@@ -159,6 +168,16 @@ class ReproSession:
         """Build/hit counters for the shared static-phase cache."""
         return self.statics.stats
 
+    @property
+    def solver_stats(self) -> SolverStats:
+        """Query/hit/fast-path counters for the session's shared solver."""
+        return self.solver.stats
+
+    @property
+    def solver_cache_stats(self) -> CacheStats:
+        """Counters for the structural counterexample cache (all hit kinds)."""
+        return self.solver_cache.stats
+
     # -- synthesis -----------------------------------------------------------
 
     def synthesize(
@@ -169,12 +188,14 @@ class ReproSession:
         on_progress: Optional[EventCallback] = None,
         should_stop=None,
     ) -> SynthesisResult:
-        """Synthesize one report, reusing the session's static artifacts."""
+        """Synthesize one report, reusing the session's static artifacts
+        and its shared solver/counterexample cache."""
         return esd_synthesize(
             self.module,
             report,
             config or self.config,
             statics=self.statics,
+            solver=self.solver,
             on_progress=on_progress or self.on_progress,
             should_stop=should_stop,
         )

@@ -240,6 +240,20 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
     if warm_static > 0:
         print(f"{label}: static-phase amortization: "
               f"{cold_static / warm_static:.1f}x")
+    sstats = session.solver_stats
+    cstats = session.solver_cache_stats
+    fast_total = sstats.fastpath_hits + sstats.fastpath_misses
+    print(f"{label}: solver: {sstats.queries} queries, "
+          f"{sstats.cache_hits} cache hits "
+          f"({cstats.exact_hits} exact, "
+          f"{cstats.unsat_superset_hits} unsat-superset, "
+          f"{cstats.sat_subset_hits} sat-subset, "
+          f"{cstats.unknown_hits} unknown), "
+          f"{sstats.search_nodes} search nodes")
+    if fast_total:
+        print(f"{label}: model-reuse fast path: {sstats.fastpath_hits}/"
+              f"{fast_total} branch queries "
+              f"({100.0 * sstats.fastpath_hits / fast_total:.1f}% hit)")
     ok = all(r.found for r in batch) and all(r.found for r in cold)
     return 0 if ok else 1
 

@@ -171,14 +171,19 @@ def esd_synthesize(
     config: Optional[ESDConfig] = None,
     *,
     statics: Optional[StaticAnalysisCache] = None,
+    solver: Optional[Solver] = None,
     on_progress: Optional[EventCallback] = None,
     should_stop: Optional[StopPredicate] = None,
 ) -> SynthesisResult:
     """Synthesize an execution reproducing the reported bug.
 
     ``statics`` shares static-phase artifacts across calls (see
-    :class:`StaticAnalysisCache`); ``on_progress`` observes the explore loop
-    via :class:`~repro.search.SynthesisEvent`; ``should_stop`` cancels the
+    :class:`StaticAnalysisCache`); ``solver`` shares a solver -- and with it
+    the structural counterexample cache -- across calls, the way
+    :class:`~repro.api.ReproSession` amortizes solves over a stream of
+    reports (the solver is reentrant, so portfolio variants may share one
+    concurrently); ``on_progress`` observes the explore loop via
+    :class:`~repro.search.SynthesisEvent`; ``should_stop`` cancels the
     search cooperatively (outcome reason ``'cancelled'``).
     """
     config = config or ESDConfig()
@@ -199,7 +204,8 @@ def esd_synthesize(
 
     static_started = time.monotonic()
     distances = statics.distances()
-    solver = Solver()
+    if solver is None:
+        solver = Solver()
     intermediate: list[GoalSpec] = []
     if config.use_intermediate_goals:
         intermediate = list(statics.intermediate_goal_specs(goal, solver))

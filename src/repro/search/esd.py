@@ -143,8 +143,11 @@ class ProximityGuidedSearcher(Searcher):
             state.meta["goals_done"] = updated
 
     def add(self, state: ExecutionState) -> None:
+        self._insert(state, may_prune=True)
+
+    def _insert(self, state: ExecutionState, may_prune: bool) -> None:
         final_distance = self.state_distance(state, self.final_goal)
-        if self.prune_unreachable and final_distance == INF:
+        if may_prune and self.prune_unreachable and final_distance == INF:
             self.pruned += 1
             return
         token = {"state": state, "live": True}
@@ -190,12 +193,22 @@ class ProximityGuidedSearcher(Searcher):
 
     def boost(self, state: ExecutionState) -> None:
         """Re-prioritize a pending state whose schedule distance changed
-        (the deadlock policy 'switches to' snapshot states this way)."""
+        (the deadlock policy 'switches to' snapshot states this way).
+
+        The state was *live* when boost was called, so it must stay live:
+        re-adding it through the pruning path of :meth:`add` would silently
+        drop it if its final-goal distance turned infinite after a schedule
+        change (losing a state the policy just promoted, and leaving
+        ``_live`` claiming one fewer state than the queues hold).  Instead
+        the re-insert parks unreachable states on the final queue at
+        infinite priority, exactly like ``add`` does when pruning is
+        disabled.
+        """
         token = self._tokens.get(state.sid)
         if token is not None and token["live"]:
             token["live"] = False
             self._live -= 1
-            self.add(state)
+            self._insert(state, may_prune=False)
 
     def __len__(self) -> int:
         return self._live

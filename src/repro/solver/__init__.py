@@ -1,5 +1,6 @@
 """Symbolic expressions and the constraint solver (the repo's STP stand-in)."""
 
+from .cache import CacheStats, CounterexampleCache
 from .expr import (
     Atom,
     BinExpr,
@@ -8,18 +9,25 @@ from .expr import (
     Var,
     binop,
     evaluate,
+    holds_under,
+    intern_table_size,
     make_var,
     negate,
+    set_intern_limit,
+    struct_key,
     truthy,
     unop,
     walk,
 )
 from .intervals import Interval, IntervalEvaluator
-from .solver import Result, Solution, Solver, SolverStats
+from .solver import Solver, SolverStats
+from .solver_types import Result, Solution
 
 __all__ = [
     "Atom",
     "BinExpr",
+    "CacheStats",
+    "CounterexampleCache",
     "Expr",
     "Interval",
     "IntervalEvaluator",
@@ -31,8 +39,12 @@ __all__ = [
     "Var",
     "binop",
     "evaluate",
+    "holds_under",
+    "intern_table_size",
     "make_var",
     "negate",
+    "set_intern_limit",
+    "struct_key",
     "truthy",
     "unop",
     "walk",

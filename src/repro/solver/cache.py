@@ -1,0 +1,221 @@
+"""Klee-style counterexample cache keyed by structural constraint digests.
+
+This is the solver acceleration layer (paper section 3.3 lineage: Klee's
+counterexample cache).  Queries are *sets* of constraint digests
+(:func:`~repro.solver.expr.struct_key`), so structurally identical queries
+from different execution states, different :class:`~repro.api.ReproSession`
+runs, or a rebuilt module all hit the same entries -- uid-based keys never
+could.
+
+Beyond exact lookups, the cache reasons about set containment the way Klee
+does:
+
+* **UNSAT superset**: a query that contains a known-UNSAT constraint set is
+  itself UNSAT -- answered without solving.
+* **SAT subset**: a query that is a subset of a known-SAT set is satisfied
+  by the cached model.  The solver re-verifies the model by direct
+  evaluation before trusting it, so on this path a digest collision costs
+  one cheap evaluation.  Exact and UNSAT-superset answers trust the
+  64-bit structural digests (collision-hardened against CPython's
+  ``hash(-1) == hash(-2)`` quirk; a random collision is ~2**-64 per
+  pair), as Klee's cache trusts its query hashes.
+* **UNKNOWN**: budget-exhausting queries are remembered too (bounded,
+  recency-evicted), so re-checking a hard query does not re-burn the full
+  search budget -- but only for solvers with an equal-or-smaller budget
+  than the one that gave up.
+
+All stores are bounded LRUs so a long-lived service process stays flat in
+memory; a single lock makes the cache safe to share across the portfolio
+API's worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from .solver_types import Result, Solution
+
+Key = frozenset  # frozenset[int] of struct_key digests
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss counters for one shared counterexample cache."""
+
+    lookups: int = 0
+    exact_hits: int = 0
+    unsat_superset_hits: int = 0
+    sat_subset_hits: int = 0
+    unknown_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return (self.exact_hits + self.unsat_superset_hits
+                + self.sat_subset_hits + self.unknown_hits)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+# Hit kinds returned by :meth:`CounterexampleCache.lookup`.
+EXACT = "exact"
+UNSAT_SUPERSET = "unsat_superset"
+SAT_SUBSET = "sat_subset"
+UNKNOWN_HIT = "unknown"
+
+
+class CounterexampleCache:
+    """Bounded, thread-safe store of solved constraint sets.
+
+    ``capacity`` bounds the SAT/UNSAT entry count, ``unknown_capacity`` the
+    remembered budget-exhausted queries.  Subset/superset candidates are
+    found through per-digest inverted indexes, so containment checks scan
+    only entries sharing a digest with the query, not the whole cache.
+    """
+
+    def __init__(self, capacity: int = 8192, unknown_capacity: int = 512) -> None:
+        if capacity < 1 or unknown_capacity < 1:
+            raise ValueError("cache capacities must be positive")
+        self.capacity = capacity
+        self.unknown_capacity = unknown_capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Key, Solution]" = OrderedDict()
+        # digest -> key-sets containing it, split by result so UNSAT-superset
+        # and SAT-subset scans each touch only eligible entries.
+        self._unsat_index: dict[int, list[Key]] = {}
+        self._sat_index: dict[int, list[Key]] = {}
+        # key -> max_nodes budget that was exhausted proving nothing.
+        self._unknown: "OrderedDict[Key, int]" = OrderedDict()
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(
+        self, key: Key, max_nodes: int, subset_reasoning: bool = True
+    ) -> Optional[tuple[str, Solution]]:
+        """Find an answer for ``key`` without solving.
+
+        Returns ``(kind, solution)`` or ``None``.  A ``SAT_SUBSET`` hit's
+        model comes from a *superset* of the query, so it satisfies every
+        query constraint by construction; the caller still re-verifies it
+        against the actual expressions to make digest collisions harmless.
+        The caller records the hit with :meth:`record_hit` only once it
+        accepts it.
+        """
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return EXACT, entry
+            if subset_reasoning:
+                # A known-UNSAT core contained in the query: every core
+                # element is in the query, so the core shows up in the index
+                # bucket of each of its digests -- scanning the query's
+                # buckets finds it.  Scanned *before* the UNKNOWN store: a
+                # definite refutation learned later must beat a remembered
+                # give-up, or a provably infeasible path would stay
+                # "possibly feasible" until the UNKNOWN entry ages out.
+                for digest in key:
+                    for stored in self._unsat_index.get(digest, ()):
+                        if stored <= key:
+                            return UNSAT_SUPERSET, Solution(Result.UNSAT)
+                # A known-SAT superset of the query: it contains every query
+                # digest, so any single query digest's bucket suffices.
+                probe = next(iter(key), None)
+                if probe is not None:
+                    for stored in self._sat_index.get(probe, ()):
+                        if key <= stored:
+                            # The matched superset is doing the work: keep
+                            # it recent, or a hot entry serving thousands
+                            # of subset probes would age out as cold.
+                            self._entries.move_to_end(stored)
+                            return SAT_SUBSET, self._entries[stored]
+            budget = self._unknown.get(key)
+            if budget is not None and budget >= max_nodes:
+                self._unknown.move_to_end(key)
+                return UNKNOWN_HIT, Solution(Result.UNKNOWN)
+        return None
+
+    def record_hit(self, kind: str) -> None:
+        with self._lock:
+            if kind == EXACT:
+                self.stats.exact_hits += 1
+            elif kind == UNSAT_SUPERSET:
+                self.stats.unsat_superset_hits += 1
+            elif kind == SAT_SUBSET:
+                self.stats.sat_subset_hits += 1
+            elif kind == UNKNOWN_HIT:
+                self.stats.unknown_hits += 1
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, key: Key, solution: Solution) -> None:
+        """Store a definite (SAT/UNSAT) result; evicts LRU beyond capacity."""
+        if solution.result is Result.UNKNOWN:
+            raise ValueError("use insert_unknown for budget-exhausted results")
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            while len(self._entries) >= self.capacity:
+                old_key, old = self._entries.popitem(last=False)
+                self._unindex(old_key, old)
+                self.stats.evictions += 1
+            self._entries[key] = solution
+            index = (self._sat_index if solution.result is Result.SAT
+                     else self._unsat_index)
+            for digest in key:
+                index.setdefault(digest, []).append(key)
+            self.stats.insertions += 1
+            # A definite answer supersedes any remembered give-up.
+            self._unknown.pop(key, None)
+
+    def insert_unknown(self, key: Key, max_nodes: int) -> None:
+        """Remember that ``key`` exhausted a ``max_nodes`` search budget."""
+        with self._lock:
+            prior = self._unknown.get(key)
+            if prior is not None:
+                # In-place budget raise: no new slot needed, so evicting an
+                # unrelated entry would just lose someone else's memo.
+                if prior < max_nodes:
+                    self._unknown[key] = max_nodes
+                self._unknown.move_to_end(key)
+                return
+            while len(self._unknown) >= self.unknown_capacity:
+                self._unknown.popitem(last=False)
+                self.stats.evictions += 1
+            self._unknown[key] = max_nodes
+
+    def _unindex(self, key: Key, solution: Solution) -> None:
+        index = (self._sat_index if solution.result is Result.SAT
+                 else self._unsat_index)
+        for digest in key:
+            bucket = index.get(digest)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(key)
+            except ValueError:
+                pass
+            if not bucket:
+                del index[digest]
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._unsat_index.clear()
+            self._sat_index.clear()
+            self._unknown.clear()

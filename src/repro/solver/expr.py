@@ -17,6 +17,8 @@ forks on a possibly-zero symbolic divisor before the expression is built).
 
 from __future__ import annotations
 
+import itertools
+from collections import OrderedDict
 from typing import Iterator, Optional, Union
 
 from ..ir.values import wrap32
@@ -71,12 +73,17 @@ _NEGATED_CMP = {
 }
 
 
+# uid allocation must be atomic: concurrent portfolio threads build
+# expressions through the shared intern table, whose keys embed child uids
+# -- a duplicated uid would silently alias two structurally different
+# expressions.  ``next()`` on an itertools.count is a single C call.
+_uid_counter = itertools.count(1)
+
+
 class Expr:
     """Base class for symbolic expressions.  Instances are interned."""
 
-    __slots__ = ("uid", "_vars")
-
-    uid_counter = 0
+    __slots__ = ("uid", "_vars", "_skey")
 
     def variables(self) -> frozenset["Var"]:
         return self._vars  # type: ignore[attr-defined]
@@ -105,9 +112,9 @@ class Var(Expr):
         self.name = name
         self.lo = lo
         self.hi = hi
-        Expr.uid_counter += 1
-        self.uid = Expr.uid_counter
+        self.uid = next(_uid_counter)
         self._vars = frozenset((self,))
+        self._skey: Optional[int] = None
 
     def __repr__(self) -> str:
         return self.name
@@ -120,14 +127,14 @@ class BinExpr(Expr):
         self.op = op
         self.lhs = lhs
         self.rhs = rhs
-        Expr.uid_counter += 1
-        self.uid = Expr.uid_counter
+        self.uid = next(_uid_counter)
         vars_: frozenset[Var] = frozenset()
         if isinstance(lhs, Expr):
             vars_ |= lhs.variables()
         if isinstance(rhs, Expr):
             vars_ |= rhs.variables()
         self._vars = vars_
+        self._skey: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"({self.lhs!r} {self.op} {self.rhs!r})"
@@ -139,9 +146,9 @@ class UnExpr(Expr):
     def __init__(self, op: str, operand: Expr) -> None:
         self.op = op
         self.operand = operand
-        Expr.uid_counter += 1
-        self.uid = Expr.uid_counter
+        self.uid = next(_uid_counter)
         self._vars = operand.variables()
+        self._skey: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"{self.op}({self.operand!r})"
@@ -149,11 +156,97 @@ class UnExpr(Expr):
 
 # Intern table: (op, lhs key, rhs key) -> Expr.  Var objects are unique by
 # construction (fresh input names), so only compound nodes are interned.
-_interned: dict[tuple, Expr] = {}
+# The table is a bounded LRU: a long-lived service process (batch/portfolio
+# synthesis over many reports) builds expressions forever, and an unbounded
+# table would pin every one of them.  Evicting an entry is always safe --
+# a structurally identical expression built later just becomes a fresh
+# object with a fresh uid, and the solver keys its caches on *structural*
+# digests (:func:`struct_key`), not uids, so cache effectiveness survives
+# eviction.
+_INTERN_LIMIT = 1 << 17
+_interned: "OrderedDict[tuple, Expr]" = OrderedDict()
+
+
+def set_intern_limit(limit: int) -> None:
+    """Bound the intern table to ``limit`` entries (evicts oldest now)."""
+    global _INTERN_LIMIT
+    if limit < 1:
+        raise ValueError("intern limit must be positive")
+    _INTERN_LIMIT = limit
+    while len(_interned) > _INTERN_LIMIT:
+        _interned.popitem(last=False)
+
+
+def intern_table_size() -> int:
+    return len(_interned)
 
 
 def _key(atom: Atom) -> object:
     return atom.uid if isinstance(atom, Expr) else ("c", atom)
+
+
+# CPython's hash(-1) == hash(-2), so hashing raw integers into a digest
+# would make the constants -1 and -2 (or domain bounds differing the same
+# way) collide *systematically* -- and a digest collision in the solver
+# cache is a wrong SAT/UNSAT answer.  Shifting into the positive range
+# [0, 2**61-1) keeps integer hashing injective for every value 32-bit
+# program arithmetic can produce.
+_HASH_SHIFT = 1 << 32
+
+
+def _int_digest(value: int) -> int:
+    return value + _HASH_SHIFT
+
+
+def struct_key(atom: Atom) -> int:
+    """A canonical structural digest of an expression (or constant).
+
+    Structurally identical expressions -- even ones built by different
+    sessions, from a recompiled module, or after intern-table eviction --
+    get equal digests, so solver caches keyed on ``struct_key`` survive
+    expression re-construction (uids do not).  Variables hash by
+    ``(name, lo, hi)``: two symbolic inputs with the same name and domain
+    denote the same value stream across runs of one program.
+
+    Digests are memoized on the node; computation is iterative so deep
+    path-condition expressions cannot overflow the recursion limit.
+    """
+    if not isinstance(atom, Expr):
+        return hash(("c", _int_digest(atom)))
+    cached = atom._skey
+    if cached is not None:
+        return cached
+    stack = [atom]
+    while stack:
+        node = stack[-1]
+        if node._skey is not None:
+            stack.pop()
+            continue
+        if isinstance(node, Var):
+            node._skey = hash(
+                ("v", node.name, _int_digest(node.lo), _int_digest(node.hi))
+            )
+            stack.pop()
+        elif isinstance(node, BinExpr):
+            lhs, rhs = node.lhs, node.rhs
+            if isinstance(lhs, Expr) and lhs._skey is None:
+                stack.append(lhs)
+                continue
+            if isinstance(rhs, Expr) and rhs._skey is None:
+                stack.append(rhs)
+                continue
+            lk = lhs._skey if isinstance(lhs, Expr) else hash(("c", _int_digest(lhs)))
+            rk = rhs._skey if isinstance(rhs, Expr) else hash(("c", _int_digest(rhs)))
+            node._skey = hash(("b", node.op, lk, rk))
+            stack.pop()
+        else:
+            operand = node.operand  # type: ignore[attr-defined]
+            if operand._skey is None:
+                stack.append(operand)
+                continue
+            node._skey = hash(("u", node.op, operand._skey))
+            stack.pop()
+    return atom._skey  # type: ignore[return-value]
 
 
 def make_var(name: str, lo: int = -(2**31), hi: int = 2**31 - 1) -> Var:
@@ -175,9 +268,10 @@ def binop(op: str, lhs: Atom, rhs: Atom) -> Atom:
     key = (op, _key(lhs), _key(rhs))
     cached = _interned.get(key)
     if cached is not None:
+        _touch(key)
         return cached
     expr = BinExpr(op, lhs, rhs)
-    _interned[key] = expr
+    _intern(key, expr)
     return expr
 
 
@@ -194,10 +288,30 @@ def unop(op: str, operand: Atom) -> Atom:
     key = (op, _key(operand), None)
     cached = _interned.get(key)
     if cached is not None:
+        _touch(key)
         return cached
     expr = UnExpr(op, operand)
-    _interned[key] = expr
+    _intern(key, expr)
     return expr
+
+
+def _touch(key: tuple) -> None:
+    # Lock-free recency bump: a concurrent portfolio thread may evict the
+    # key between our get() and here; losing the bump for an entry that is
+    # gone anyway is fine, raising out of binop() is not.
+    try:
+        _interned.move_to_end(key)
+    except KeyError:
+        pass
+
+
+def _intern(key: tuple, expr: Expr) -> None:
+    while len(_interned) >= _INTERN_LIMIT:
+        try:
+            _interned.popitem(last=False)
+        except KeyError:  # another thread emptied it under us
+            break
+    _interned[key] = expr
 
 
 def _simplify_binop(op: str, lhs: Atom, rhs: Atom) -> Optional[Atom]:
@@ -300,6 +414,43 @@ def _eval_cache_walk(expr: Expr, model: dict[str, int], cache: dict[int, int]) -
         raise TypeError(f"unknown expression node {expr!r}")
     cache[expr.uid] = value
     return value
+
+
+def holds_under(atoms: "list[Atom]", model: dict[str, int]) -> bool:
+    """Do all ``atoms`` evaluate truthy under ``model``?
+
+    Variables absent from the model default to their domain minimum (the
+    same default the executor uses when concretizing).  One evaluation
+    cache is shared across all atoms, so a path condition's common
+    subexpressions are evaluated once.  Division by zero under the model
+    counts as "does not hold" (the assignment is no witness).
+
+    This is the solver's model-reuse fast path: most branch-feasibility
+    queries during symbolic execution are answered by evaluating the
+    state's last satisfying assignment instead of running a full interval
+    search.
+    """
+    exprs: list[Expr] = []
+    for atom in atoms:
+        if isinstance(atom, int):
+            if atom == 0:
+                return False
+        else:
+            exprs.append(atom)
+    if not exprs:
+        return True
+    missing = {
+        var.name: var.lo
+        for expr in exprs
+        for var in expr.variables()
+        if var.name not in model
+    }
+    full = {**model, **missing} if missing else model
+    cache: dict[int, int] = {}
+    try:
+        return all(_eval_cache_walk(expr, full, cache) != 0 for expr in exprs)
+    except ZeroDivisionError:
+        return False
 
 
 def walk(atom: Atom) -> Iterator[Expr]:

@@ -11,42 +11,28 @@ expressions required to be *truthy* (non-zero).  The solver:
 4. verifies every model by direct evaluation before reporting SAT (so a
    propagation bug can cost time but never soundness).
 
-Results are cached by the constraint set's expression ids, mirroring Klee's
-counterexample cache.  Because variable domains are finite, the search is
-complete given enough budget; budget exhaustion reports UNKNOWN, which
-callers treat as "possibly feasible" (search keeps going, never drops paths).
+Results are cached in a Klee-style :class:`~repro.solver.cache.
+CounterexampleCache` keyed by *structural* digests of the constraints
+(:func:`~repro.solver.expr.struct_key`), so structurally identical queries
+hit even when the expressions were rebuilt by another state, session, or
+module compilation.  The cache also answers supersets of known-UNSAT sets
+and subsets of known-SAT sets without solving, and remembers (bounded)
+budget-exhausting queries so re-checks do not re-burn the search budget.
+Because variable domains are finite, the search is complete given enough
+budget; budget exhaustion reports UNKNOWN, which callers treat as "possibly
+feasible" (search keeps going, never drops paths).
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from . import intervals as iv
-from .expr import Atom, BinExpr, Expr, UnExpr, Var, evaluate
+from .cache import SAT_SUBSET, UNKNOWN_HIT, UNSAT_SUPERSET, CounterexampleCache
+from .expr import Atom, BinExpr, Expr, UnExpr, Var, evaluate, struct_key
 from .intervals import Interval, IntervalEvaluator
-
-
-class Result(enum.Enum):
-    SAT = "sat"
-    UNSAT = "unsat"
-    UNKNOWN = "unknown"
-
-
-@dataclass(slots=True)
-class Solution:
-    result: Result
-    model: dict[str, int] = field(default_factory=dict)
-
-    @property
-    def is_sat(self) -> bool:
-        return self.result is Result.SAT
-
-    @property
-    def maybe_sat(self) -> bool:
-        """True unless definitely unsatisfiable (UNKNOWN counts as maybe)."""
-        return self.result is not Result.UNSAT
+from .solver_types import Result, Solution
 
 
 class _Conflict(Exception):
@@ -62,27 +48,74 @@ _MIRROR = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "==": "==", "!=": "!="}
 
 @dataclass(slots=True)
 class SolverStats:
+    """Telemetry counters for one solver.
+
+    Incremented without locking: when portfolio variants share a solver
+    across threads, concurrent increments can occasionally be lost, so
+    treat the numbers as near-exact telemetry, not an exact ledger (the
+    shared :class:`CounterexampleCache` keeps its own locked counters).
+    Solver *answers* are unaffected -- per-query search state lives in
+    :class:`_SearchCtx` and the cache is locked.
+    """
+
     queries: int = 0
-    cache_hits: int = 0
+    cache_hits: int = 0  # total component-level hits, all kinds
+    unsat_superset_hits: int = 0
+    sat_subset_hits: int = 0
+    unknown_hits: int = 0
     sat: int = 0
     unsat: int = 0
     unknown: int = 0
     search_nodes: int = 0
+    # Model-reuse fast path (driven by Executor._feasible): branch
+    # feasibility answered by one concrete evaluation of the state's last
+    # satisfying assignment, no solve at all.
+    fastpath_hits: int = 0
+    fastpath_misses: int = 0
+
+
+@dataclass(slots=True)
+class _SearchCtx:
+    """Per-query mutable search state.
+
+    Kept off the solver instance so one solver (with its shared caches) is
+    reentrant: portfolio synthesis runs several variants concurrently
+    against the session's single solver.
+    """
+
+    budget: int
+    changed: bool = False
 
 
 class Solver:
-    """A reusable solver instance with a query cache.
+    """A reusable solver instance with a counterexample cache.
 
     ``enumeration_limit`` bounds how many values of one variable are tried
     before bisection takes over; ``max_nodes`` bounds total search nodes per
-    query.
+    query.  ``cache`` shares one :class:`CounterexampleCache` across several
+    solvers (a :class:`~repro.api.ReproSession` does this per module);
+    omitted, the solver gets a private one.  ``structural_keys=False``
+    reverts to uid-based cache keys and ``subset_reasoning=False`` disables
+    the UNSAT-superset/SAT-subset answers -- both exist for the
+    ``bench_solver`` baseline and ablations, not for production use.
     """
 
-    def __init__(self, enumeration_limit: int = 1024, max_nodes: int = 200_000) -> None:
+    def __init__(
+        self,
+        enumeration_limit: int = 1024,
+        max_nodes: int = 200_000,
+        *,
+        cache: Optional[CounterexampleCache] = None,
+        structural_keys: bool = True,
+        subset_reasoning: bool = True,
+    ) -> None:
         self.enumeration_limit = enumeration_limit
         self.max_nodes = max_nodes
+        self.structural_keys = structural_keys
+        self.subset_reasoning = subset_reasoning
         self.stats = SolverStats()
-        self._cache: dict[frozenset[int], Solution] = {}
+        # `cache or ...` would discard an *empty* shared cache (it has len()).
+        self.cache = cache if cache is not None else CounterexampleCache()
 
     # -- public API -----------------------------------------------------------
 
@@ -124,15 +157,47 @@ class Solver:
         return Solution(Result.UNKNOWN)
 
     def _check_component(self, exprs: list[Expr]) -> Solution:
-        key = frozenset(e.uid for e in exprs)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.stats.cache_hits += 1
-            return cached
+        if self.structural_keys:
+            key = frozenset(struct_key(e) for e in exprs)
+        else:
+            key = frozenset(e.uid for e in exprs)
+        hit = self.cache.lookup(key, self.max_nodes, self.subset_reasoning)
+        if hit is not None:
+            kind, cached = hit
+            if kind == SAT_SUBSET:
+                # The stored model solved a *superset*, so it may assign
+                # variables outside this component; those extraneous values
+                # must not leak into check()'s merged model, where they
+                # would clobber a sibling component's assignment.  The
+                # restriction still covers every variable of ``exprs``, and
+                # re-verification guards against structural-digest
+                # collisions: reject the hit rather than report a model the
+                # expressions themselves refute.
+                names = {v.name for e in exprs for v in e.variables()}
+                model = {n: v for n, v in cached.model.items() if n in names}
+                if not self._verify(exprs, model):
+                    cached = None
+                else:
+                    cached = Solution(Result.SAT, model)
+            if cached is not None:
+                self.cache.record_hit(kind)
+                self._count_hit(kind)
+                return cached
         solution = self._solve(exprs)
-        if solution.result is not Result.UNKNOWN:
-            self._cache[key] = solution
+        if solution.result is Result.UNKNOWN:
+            self.cache.insert_unknown(key, self.max_nodes)
+        else:
+            self.cache.insert(key, solution)
         return solution
+
+    def _count_hit(self, kind: str) -> None:
+        self.stats.cache_hits += 1
+        if kind == UNSAT_SUPERSET:
+            self.stats.unsat_superset_hits += 1
+        elif kind == SAT_SUBSET:
+            self.stats.sat_subset_hits += 1
+        elif kind == UNKNOWN_HIT:
+            self.stats.unknown_hits += 1
 
     def feasible(self, constraints: Iterable[Atom]) -> bool:
         """May these constraints hold?  UNKNOWN counts as feasible (sound for
@@ -150,9 +215,9 @@ class Solver:
         for expr in exprs:
             for var in expr.variables():
                 domains.setdefault(var.name, Interval(var.lo, var.hi))
-        self._budget = self.max_nodes
+        ctx = _SearchCtx(budget=self.max_nodes)
         try:
-            model = self._search(exprs, domains)
+            model = self._search(exprs, domains, ctx)
         except _BudgetExhausted:
             return Solution(Result.UNKNOWN)
         if model is None:
@@ -160,14 +225,14 @@ class Solver:
         return Solution(Result.SAT, model)
 
     def _search(
-        self, exprs: list[Expr], domains: dict[str, Interval]
+        self, exprs: list[Expr], domains: dict[str, Interval], ctx: _SearchCtx
     ) -> Optional[dict[str, int]]:
-        self._budget -= 1
+        ctx.budget -= 1
         self.stats.search_nodes += 1
-        if self._budget <= 0:
+        if ctx.budget <= 0:
             raise _BudgetExhausted
         try:
-            domains = self._propagate(exprs, domains)
+            domains = self._propagate(exprs, domains, ctx)
         except _Conflict:
             return None
 
@@ -187,7 +252,7 @@ class Solver:
             for value in self._ordered_values(name, interval, exprs):
                 child = dict(domains)
                 child[name] = Interval(value, value)
-                model = self._search(exprs, child)
+                model = self._search(exprs, child, ctx)
                 if model is not None:
                     return model
             return None
@@ -195,7 +260,7 @@ class Solver:
         for half in (Interval(interval.lo, mid), Interval(mid + 1, interval.hi)):
             child = dict(domains)
             child[name] = half
-            model = self._search(exprs, child)
+            model = self._search(exprs, child, ctx)
             if model is not None:
                 return model
         return None
@@ -222,40 +287,47 @@ class Solver:
                 yield value
 
     def _verify(self, exprs: list[Expr], model: dict[str, int]) -> bool:
+        # KeyError: a digest-collision subset hit can hand us a model that
+        # lacks one of the query's variables -- that is a rejection, not a
+        # crash.
         try:
             return all(evaluate(expr, model) != 0 for expr in exprs)
-        except ZeroDivisionError:
+        except (ZeroDivisionError, KeyError):
             return False
 
     # -- propagation ------------------------------------------------------------
 
     def _propagate(
-        self, exprs: list[Expr], domains: dict[str, Interval]
+        self, exprs: list[Expr], domains: dict[str, Interval], ctx: _SearchCtx
     ) -> dict[str, Interval]:
         domains = dict(domains)
         for _ in range(20):  # fixpoint almost always reached in 2-3 rounds
-            self._changed = False
+            ctx.changed = False
             evaluator = IntervalEvaluator(domains)
             for expr in exprs:
                 result = evaluator.eval(expr)
                 if result.singleton and result.lo == 0:
                     raise _Conflict
-                self._narrow_truthy(expr, domains, evaluator)
-            if not self._changed:
+                self._narrow_truthy(expr, domains, evaluator, ctx)
+            if not ctx.changed:
                 break
         return domains
 
-    def _update(self, var: Var, required: Interval, domains: dict[str, Interval]) -> None:
+    def _update(
+        self, var: Var, required: Interval, domains: dict[str, Interval],
+        ctx: _SearchCtx,
+    ) -> None:
         current = domains.get(var.name, Interval(var.lo, var.hi))
         narrowed = current.intersect(required)
         if narrowed.empty:
             raise _Conflict
         if narrowed != current:
             domains[var.name] = narrowed
-            self._changed = True
+            ctx.changed = True
 
     def _narrow_truthy(
-        self, atom: Atom, domains: dict[str, Interval], ev: IntervalEvaluator
+        self, atom: Atom, domains: dict[str, Interval], ev: IntervalEvaluator,
+        ctx: _SearchCtx,
     ) -> None:
         """Require ``atom != 0`` and push implied bounds down."""
         if isinstance(atom, int):
@@ -264,31 +336,32 @@ class Solver:
             return
         if isinstance(atom, Var):
             # v != 0: can only trim an endpoint.
-            self._trim_value(atom, 0, domains)
+            self._trim_value(atom, 0, domains, ctx)
             return
         if isinstance(atom, UnExpr) and atom.op == "!":
-            self._narrow_falsy(atom.operand, domains, ev)
+            self._narrow_falsy(atom.operand, domains, ev, ctx)
             return
         if isinstance(atom, BinExpr):
             if atom.op == "&&":
-                self._narrow_truthy(atom.lhs, domains, ev)
-                self._narrow_truthy(atom.rhs, domains, ev)
+                self._narrow_truthy(atom.lhs, domains, ev, ctx)
+                self._narrow_truthy(atom.rhs, domains, ev, ctx)
                 return
             if atom.op == "||":
                 lhs_iv = ev.eval(atom.lhs)
                 rhs_iv = ev.eval(atom.rhs)
                 if lhs_iv.singleton and lhs_iv.lo == 0:
-                    self._narrow_truthy(atom.rhs, domains, ev)
+                    self._narrow_truthy(atom.rhs, domains, ev, ctx)
                 elif rhs_iv.singleton and rhs_iv.lo == 0:
-                    self._narrow_truthy(atom.lhs, domains, ev)
+                    self._narrow_truthy(atom.lhs, domains, ev, ctx)
                 return
             if atom.op in _MIRROR:
-                self._narrow_compare(atom.op, atom.lhs, atom.rhs, domains, ev)
+                self._narrow_compare(atom.op, atom.lhs, atom.rhs, domains, ev, ctx)
                 return
         # Generic non-boolean expression: nothing useful to push down.
 
     def _narrow_falsy(
-        self, atom: Atom, domains: dict[str, Interval], ev: IntervalEvaluator
+        self, atom: Atom, domains: dict[str, Interval], ev: IntervalEvaluator,
+        ctx: _SearchCtx,
     ) -> None:
         """Require ``atom == 0``."""
         if isinstance(atom, int):
@@ -296,35 +369,35 @@ class Solver:
                 raise _Conflict
             return
         if isinstance(atom, Var):
-            self._update(atom, iv.FALSE, domains)
+            self._update(atom, iv.FALSE, domains, ctx)
             return
         if isinstance(atom, UnExpr) and atom.op == "!":
-            self._narrow_truthy(atom.operand, domains, ev)
+            self._narrow_truthy(atom.operand, domains, ev, ctx)
             return
         if isinstance(atom, BinExpr):
             if atom.op == "||":
-                self._narrow_falsy(atom.lhs, domains, ev)
-                self._narrow_falsy(atom.rhs, domains, ev)
+                self._narrow_falsy(atom.lhs, domains, ev, ctx)
+                self._narrow_falsy(atom.rhs, domains, ev, ctx)
                 return
             if atom.op == "&&":
                 lhs_iv = ev.eval(atom.lhs)
                 rhs_iv = ev.eval(atom.rhs)
                 if lhs_iv.lo > 0 or lhs_iv.hi < 0:
-                    self._narrow_falsy(atom.rhs, domains, ev)
+                    self._narrow_falsy(atom.rhs, domains, ev, ctx)
                 elif rhs_iv.lo > 0 or rhs_iv.hi < 0:
-                    self._narrow_falsy(atom.lhs, domains, ev)
+                    self._narrow_falsy(atom.lhs, domains, ev, ctx)
                 return
             if atom.op in _MIRROR:
                 negated = {
                     "==": "!=", "!=": "==", "<": ">=",
                     ">=": "<", ">": "<=", "<=": ">",
                 }[atom.op]
-                self._narrow_compare(negated, atom.lhs, atom.rhs, domains, ev)
+                self._narrow_compare(negated, atom.lhs, atom.rhs, domains, ev, ctx)
                 return
 
     def _narrow_compare(
         self, op: str, lhs: Atom, rhs: Atom, domains: dict[str, Interval],
-        ev: IntervalEvaluator,
+        ev: IntervalEvaluator, ctx: _SearchCtx,
     ) -> None:
         lhs_iv = ev.eval(lhs)
         rhs_iv = ev.eval(rhs)
@@ -332,41 +405,43 @@ class Solver:
             meet = lhs_iv.intersect(rhs_iv)
             if meet.empty:
                 raise _Conflict
-            self._narrow_term(lhs, meet, domains, ev)
-            self._narrow_term(rhs, meet, domains, ev)
+            self._narrow_term(lhs, meet, domains, ev, ctx)
+            self._narrow_term(rhs, meet, domains, ev, ctx)
         elif op == "!=":
             if lhs_iv.singleton and rhs_iv.singleton and lhs_iv.lo == rhs_iv.lo:
                 raise _Conflict
             if rhs_iv.singleton and isinstance(lhs, Var):
-                self._trim_value(lhs, rhs_iv.lo, domains)
+                self._trim_value(lhs, rhs_iv.lo, domains, ctx)
             if lhs_iv.singleton and isinstance(rhs, Var):
-                self._trim_value(rhs, lhs_iv.lo, domains)
+                self._trim_value(rhs, lhs_iv.lo, domains, ctx)
         elif op == "<":
-            self._narrow_term(lhs, Interval(iv.LO_MIN, rhs_iv.hi - 1), domains, ev)
-            self._narrow_term(rhs, Interval(lhs_iv.lo + 1, iv.HI_MAX), domains, ev)
+            self._narrow_term(lhs, Interval(iv.LO_MIN, rhs_iv.hi - 1), domains, ev, ctx)
+            self._narrow_term(rhs, Interval(lhs_iv.lo + 1, iv.HI_MAX), domains, ev, ctx)
         elif op == "<=":
-            self._narrow_term(lhs, Interval(iv.LO_MIN, rhs_iv.hi), domains, ev)
-            self._narrow_term(rhs, Interval(lhs_iv.lo, iv.HI_MAX), domains, ev)
+            self._narrow_term(lhs, Interval(iv.LO_MIN, rhs_iv.hi), domains, ev, ctx)
+            self._narrow_term(rhs, Interval(lhs_iv.lo, iv.HI_MAX), domains, ev, ctx)
         elif op == ">":
-            self._narrow_compare("<", rhs, lhs, domains, ev)
+            self._narrow_compare("<", rhs, lhs, domains, ev, ctx)
         elif op == ">=":
-            self._narrow_compare("<=", rhs, lhs, domains, ev)
+            self._narrow_compare("<=", rhs, lhs, domains, ev, ctx)
 
-    def _trim_value(self, var: Var, value: int, domains: dict[str, Interval]) -> None:
+    def _trim_value(
+        self, var: Var, value: int, domains: dict[str, Interval], ctx: _SearchCtx
+    ) -> None:
         """Remove ``value`` from a variable's domain if it sits on an endpoint."""
         current = domains.get(var.name, Interval(var.lo, var.hi))
         if current.singleton and current.lo == value:
             raise _Conflict
         if current.lo == value:
             domains[var.name] = Interval(current.lo + 1, current.hi)
-            self._changed = True
+            ctx.changed = True
         elif current.hi == value:
             domains[var.name] = Interval(current.lo, current.hi - 1)
-            self._changed = True
+            ctx.changed = True
 
     def _narrow_term(
         self, atom: Atom, required: Interval, domains: dict[str, Interval],
-        ev: IntervalEvaluator,
+        ev: IntervalEvaluator, ctx: _SearchCtx,
     ) -> None:
         """Push ``atom ∈ required`` down through arithmetic structure."""
         if isinstance(atom, int):
@@ -374,31 +449,31 @@ class Solver:
                 raise _Conflict
             return
         if isinstance(atom, Var):
-            self._update(atom, required, domains)
+            self._update(atom, required, domains, ctx)
             return
         if isinstance(atom, BinExpr):
             lhs_iv = ev.eval(atom.lhs)
             rhs_iv = ev.eval(atom.rhs)
             if atom.op == "+":
-                self._narrow_term(atom.lhs, iv.sub(required, rhs_iv), domains, ev)
-                self._narrow_term(atom.rhs, iv.sub(required, lhs_iv), domains, ev)
+                self._narrow_term(atom.lhs, iv.sub(required, rhs_iv), domains, ev, ctx)
+                self._narrow_term(atom.rhs, iv.sub(required, lhs_iv), domains, ev, ctx)
             elif atom.op == "-":
-                self._narrow_term(atom.lhs, iv.add(required, rhs_iv), domains, ev)
+                self._narrow_term(atom.lhs, iv.add(required, rhs_iv), domains, ev, ctx)
                 self._narrow_term(
-                    atom.rhs, iv.sub(lhs_iv, required), domains, ev
+                    atom.rhs, iv.sub(lhs_iv, required), domains, ev, ctx
                 )
             elif atom.op == "*":
                 if rhs_iv.singleton and rhs_iv.lo != 0:
                     self._narrow_term(
-                        atom.lhs, _div_exact(required, rhs_iv.lo), domains, ev
+                        atom.lhs, _div_exact(required, rhs_iv.lo), domains, ev, ctx
                     )
                 elif lhs_iv.singleton and lhs_iv.lo != 0:
                     self._narrow_term(
-                        atom.rhs, _div_exact(required, lhs_iv.lo), domains, ev
+                        atom.rhs, _div_exact(required, lhs_iv.lo), domains, ev, ctx
                     )
         elif isinstance(atom, UnExpr) and atom.op == "-":
             self._narrow_term(
-                atom.operand, Interval(-required.hi, -required.lo), domains, ev
+                atom.operand, Interval(-required.hi, -required.lo), domains, ev, ctx
             )
         # Other operators: no backward rule; forward evaluation still prunes.
 

@@ -1,0 +1,32 @@
+"""Result types shared by the solver and its counterexample cache.
+
+Split out of :mod:`repro.solver.solver` so the cache layer can name
+:class:`Solution` without a circular import; :mod:`repro.solver` re-exports
+everything, so callers are unaffected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Result(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass(slots=True)
+class Solution:
+    result: Result
+    model: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.result is Result.SAT
+
+    @property
+    def maybe_sat(self) -> bool:
+        """True unless definitely unsatisfiable (UNKNOWN counts as maybe)."""
+        return self.result is not Result.UNSAT

@@ -20,7 +20,16 @@ from typing import Optional, Union
 from .. import ir
 from ..ir import InstrRef
 from ..solver import Solver
-from ..solver.expr import Atom, Expr, binop, evaluate, negate, truthy, unop
+from ..solver.expr import (
+    Atom,
+    Expr,
+    binop,
+    evaluate,
+    holds_under,
+    negate,
+    truthy,
+    unop,
+)
 from .bugs import BugInfo, BugKind, DeadlockEdge
 from .env import InputProvider, SymbolicEnv
 from .memory import (
@@ -62,6 +71,10 @@ class ExecConfig:
     max_args: int = 4
     # Treat accesses to these instruction refs as racy preemption points.
     detect_deadlocks: bool = True
+    # Answer branch-feasibility queries by evaluating the state's last
+    # satisfying assignment before solving (off only for ablations, e.g.
+    # bench_solver's baseline).
+    model_reuse: bool = True
 
 
 @dataclass(slots=True)
@@ -300,11 +313,31 @@ class Executor:
         The existing path condition is satisfiable by construction (every
         constraint was feasible when added), so only the constraints sharing
         variables with ``extra`` need to be re-solved.
+
+        Model-reuse fast path: if the state's last satisfying assignment
+        also satisfies ``extra`` (and the related constraints -- a forked
+        sibling may carry a model that predates its branch constraint), the
+        query is SAT by witness and no solve runs.  Most branch-feasibility
+        queries take this path: one concrete evaluation instead of an
+        interval search.
         """
         if isinstance(extra, int):
             return extra != 0
         related = state.related_constraints(extra)
-        return self.solver.feasible(related + [extra])
+        model = state.last_model if self.config.model_reuse else None
+        if model is not None:
+            # Evaluate the new condition first: the common stale case is a
+            # model that contradicts exactly the branch being asked about.
+            if holds_under([extra], model) and holds_under(related, model):
+                self.solver.stats.fastpath_hits += 1
+                return True
+            self.solver.stats.fastpath_misses += 1
+        solution = self.solver.check(related + [extra])
+        if solution.is_sat:
+            merged = dict(model) if model else {}
+            merged.update(solution.model)
+            state.last_model = merged
+        return solution.maybe_sat
 
     def concretize(self, state: ExecutionState, atom: Atom) -> int:
         """Pick a concrete value for ``atom`` consistent with the path
@@ -317,6 +350,9 @@ class Executor:
             raise _ExecError(BugKind.ABORT, "path constraints became unsatisfiable")
         value = _eval_with_defaults(atom, model)
         state.add_constraint(binop("==", atom, value))
+        # A full-path model is the best possible fast-path witness: it also
+        # satisfies the pin constraint just added (it produced the value).
+        state.last_model = {**(state.last_model or {}), **model}
         return value
 
     # ------------------------------------------------------------------
@@ -359,8 +395,9 @@ class Executor:
         in_bounds = binop(
             "&&", binop(">=", offset, 0), binop("<", offset, obj.size)
         )
+        orig_model = state.last_model
         if self._feasible(state, oob):
-            bug = state.fork()
+            bug = state.fork()  # inherits the out-of-bounds model
             self.stats.states_created += 1
             bug.add_constraint(truthy(oob))
             model = self.solver.model(bug.constraints)
@@ -374,6 +411,7 @@ class Executor:
                 fault_value=fault,
             )
             bug_states.append(bug)
+        state.last_model = orig_model  # un-poison the in-bounds probe
         if self._feasible(state, in_bounds):
             state.add_constraint(truthy(in_bounds))
             concrete = self.concretize(state, offset)
@@ -530,12 +568,14 @@ class Executor:
             return [state]
         successors: list[ExecutionState] = []
         zero = binop("==", rhs, 0)
+        orig_model = state.last_model
         if self._feasible(state, zero):
-            bug = state.fork()
+            bug = state.fork()  # inherits the zero-satisfying model
             self.stats.states_created += 1
             bug.add_constraint(zero)
             self._mark_bug(bug, BugKind.DIV_BY_ZERO, instr, "division by zero")
             successors.append(bug)
+        state.last_model = orig_model  # un-poison the nonzero probe
         nonzero = binop("!=", rhs, 0)
         if self._feasible(state, nonzero):
             state.add_constraint(nonzero)
@@ -737,13 +777,23 @@ class Executor:
             frame.index = 0
             return [state]
 
+        # Probe each direction against the state's *original* path witness:
+        # exactly one direction holds under it, so one of the two probes is
+        # a guaranteed fast-path hit.  Letting the first probe's refreshed
+        # model leak into the second would poison it (a model satisfying
+        # ``cond`` never satisfies ``!cond``), and each surviving branch
+        # must keep the model matching the constraint it adds.
+        orig_model = state.last_model
         true_feasible = self._feasible(state, cond)
+        true_model = state.last_model
+        state.last_model = orig_model
         false_cond = negate(cond)
         false_feasible = self._feasible(state, false_cond)
         if true_feasible and false_feasible:
-            other = state.fork()
+            other = state.fork()  # inherits the false-direction model
             self.stats.forks += 1
             self.stats.states_created += 1
+            state.last_model = true_model
             other.add_constraint(false_cond)
             other_frame = other.frame
             other_frame.block = instr.else_target
@@ -753,6 +803,7 @@ class Executor:
             frame.index = 0
             return [state, other]
         if true_feasible:
+            state.last_model = true_model
             state.add_constraint(cond if isinstance(cond, Expr) else truthy(cond))
             frame.block = instr.then_target
         elif false_feasible:
@@ -781,14 +832,16 @@ class Executor:
             return [state]
         successors: list[ExecutionState] = []
         failing = negate(cond)
+        orig_model = state.last_model
         if self._feasible(state, failing):
-            bug = state.fork()
+            bug = state.fork()  # inherits the failing-side model
             self.stats.states_created += 1
             bug.add_constraint(failing)
             self._mark_bug(
                 bug, BugKind.ASSERT_FAIL, instr, f"assertion failed: {instr.message}"
             )
             successors.append(bug)
+        state.last_model = orig_model  # un-poison the passing-side probe
         if self._feasible(state, cond):
             state.add_constraint(cond)
             self._advance(state)

@@ -183,7 +183,7 @@ class ExecutionState:
         "constraint_uids", "var_index", "mutexes",
         "condvars", "env", "input_events", "output", "sync_log", "segments",
         "segment_instrs", "steps", "forks", "status", "exit_code", "bug",
-        "snapshots", "schedule_distance", "preemptions", "meta",
+        "snapshots", "schedule_distance", "preemptions", "meta", "last_model",
     )
 
     def __init__(self) -> None:
@@ -219,6 +219,11 @@ class ExecutionState:
         self.schedule_distance = 1.0  # 1.0 == far, 0.0 == near
         self.preemptions = 0  # context-switch count (for Chess-style bounding)
         self.meta: dict[str, object] = {}
+        # Last satisfying assignment the solver produced for this path: the
+        # executor's model-reuse fast path tries it before solving (Klee's
+        # "counterexample" reuse at the state level).  Advisory only -- a
+        # stale model just misses and falls back to the solver.
+        self.last_model: Optional[dict[str, int]] = None
 
     # -- thread accessors ------------------------------------------------------
 
@@ -332,6 +337,7 @@ class ExecutionState:
         child.schedule_distance = self.schedule_distance
         child.preemptions = self.preemptions
         child.meta = dict(self.meta)
+        child.last_model = dict(self.last_model) if self.last_model else None
         return child
 
     def add_constraint(self, constraint: Atom) -> None:

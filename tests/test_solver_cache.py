@@ -1,0 +1,367 @@
+"""The solver acceleration layer: structural keys, counterexample cache,
+model-reuse fast path, bounded interning, and the boost()-after-prune fix."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.solver import (
+    CounterexampleCache,
+    Result,
+    Solver,
+    binop,
+    intern_table_size,
+    make_var,
+    set_intern_limit,
+    struct_key,
+)
+from repro.solver import expr as expr_mod
+from repro.symbex import Executor
+
+
+class TestStructuralKeys:
+    def test_rebuilt_expressions_share_digests(self):
+        # Two independently built Vars/exprs with the same names and
+        # domains -- as two sessions or a recompiled module would produce.
+        a1 = make_var("s0", 0, 255)
+        a2 = make_var("s0", 0, 255)
+        assert a1 is not a2 and a1.uid != a2.uid
+        e1 = binop("==", binop("+", a1, 3), 10)
+        e2 = binop("==", binop("+", a2, 3), 10)
+        assert e1 is not e2
+        assert struct_key(e1) == struct_key(e2)
+
+    def test_different_domains_get_different_digests(self):
+        assert struct_key(make_var("s1", 0, 255)) != struct_key(
+            make_var("s1", 0, 127)
+        )
+
+    def test_minus_one_and_minus_two_do_not_collide(self):
+        # CPython's hash(-1) == hash(-2); a naive digest made x == -1 and
+        # x == -2 share a cache key, turning an UNSAT query into a cached
+        # SAT answer (and vice versa).
+        v = make_var("sneg", -10, 10)
+        assert struct_key(binop("==", v, -1)) != struct_key(binop("==", v, -2))
+        assert struct_key(make_var("sn2", -1, 10)) != struct_key(
+            make_var("sn2", -2, 10)
+        )
+        solver = Solver()
+        sat = solver.check([binop(">", v, -2), binop("==", v, -1)])
+        assert sat.is_sat and sat.model["sneg"] == -1
+        unsat = solver.check([binop(">", v, -2), binop("==", v, -2)])
+        assert unsat.result is Result.UNSAT
+
+    def test_cache_hits_across_independently_built_sets(self):
+        solver = Solver()
+        v1 = make_var("s2", 0, 255)
+        first = solver.check([binop("==", v1, 7), binop("<", v1, 100)])
+        assert first.is_sat
+        nodes = solver.stats.search_nodes
+        v2 = make_var("s2", 0, 255)  # fresh object, same structure
+        second = solver.check([binop("==", v2, 7), binop("<", v2, 100)])
+        assert second.is_sat and second.model["s2"] == 7
+        assert solver.stats.cache_hits == 1
+        assert solver.stats.search_nodes == nodes  # answered without solving
+
+    def test_shared_cache_carries_across_solvers(self):
+        cache = CounterexampleCache()
+        first = Solver(cache=cache)
+        v1 = make_var("s3", 0, 255)
+        assert first.check([binop(">", v1, 250)]).is_sat
+        second = Solver(cache=cache)
+        v2 = make_var("s3", 0, 255)
+        assert second.check([binop(">", v2, 250)]).is_sat
+        assert second.stats.cache_hits == 1
+        assert cache.stats.exact_hits == 1
+
+
+class TestCounterexampleReasoning:
+    def test_superset_of_unsat_is_unsat_without_solving(self):
+        solver = Solver()
+        x = make_var("u0", 0, 255)
+        y = make_var("u1", 0, 255)
+        core = [binop("<", x, 5), binop(">", x, 10)]
+        assert solver.check(core).result is Result.UNSAT
+        nodes = solver.stats.search_nodes
+        # The extra constraint shares a variable with the core, so the whole
+        # query is one component strictly containing the known-UNSAT set.
+        superset = core + [binop("==", binop("+", x, y), 30)]
+        assert solver.check(superset).result is Result.UNSAT
+        assert solver.stats.unsat_superset_hits == 1
+        assert solver.stats.search_nodes == nodes
+
+    def test_subset_of_sat_reuses_the_model(self):
+        solver = Solver()
+        a = make_var("u2", 0, 100)
+        b = make_var("u3", 0, 100)
+        big = [
+            binop(">", a, 3),
+            binop("<", a, 10),
+            binop("==", binop("+", a, b), 12),
+        ]
+        assert solver.check(big).is_sat
+        nodes = solver.stats.search_nodes
+        small = solver.check([binop(">", a, 3), binop("==", binop("+", a, b), 12)])
+        assert small.is_sat
+        assert solver.stats.sat_subset_hits == 1
+        assert solver.stats.search_nodes == nodes
+        # The reused model satisfies the subset query by construction.
+        assert small.model["u2"] + small.model["u3"] == 12
+        assert small.model["u2"] > 3
+
+    def test_unknown_results_are_cached_and_budget_scoped(self):
+        tiny = Solver(max_nodes=3)
+        p = make_var("u4", 0, 10_000)
+        q = make_var("u5", 0, 10_000)
+        hard = [
+            binop("==", binop("+", binop("*", p, 7), q), 9_999),
+            binop(">", q, 5),
+        ]
+        assert tiny.check(hard).result is Result.UNKNOWN
+        nodes = tiny.stats.search_nodes
+        # Re-check: answered from the unknown cache, no budget re-burned.
+        assert tiny.check(hard).result is Result.UNKNOWN
+        assert tiny.stats.unknown_hits == 1
+        assert tiny.stats.search_nodes == nodes
+        # A solver with a *bigger* budget must not inherit the give-up.
+        big = Solver(max_nodes=200_000, cache=tiny.cache)
+        solution = big.check(hard)
+        assert solution.result is Result.SAT
+        # ...and its definite answer supersedes the remembered UNKNOWN.
+        assert tiny.check(hard).is_sat
+
+    def test_subset_hit_model_does_not_leak_foreign_variables(self):
+        # The cached superset's model may assign variables outside the
+        # queried component; if they leaked into check()'s merged model
+        # they would clobber a sibling component's correct assignment.
+        solver = Solver()
+        a = make_var("lk0", 0, 100)
+        x = make_var("lk1", 0, 100)
+        # One *connected* set over both variables: its model assigns x=0.
+        assert solver.check(
+            [binop(">", a, 0), binop("<", binop("+", a, x), 10)]
+        ).is_sat
+        # New query: {a>0} hits as a SAT subset, {x==3} is its own
+        # component whose assignment must survive the merge.
+        solution = solver.check([binop("==", x, 3), binop(">", a, 0)])
+        assert solution.is_sat
+        assert solution.model["lk1"] == 3
+        assert solution.model["lk0"] > 0
+
+    def test_unsat_core_learned_later_beats_remembered_unknown(self):
+        # The hard query is remembered as UNKNOWN; once a contained UNSAT
+        # core is learned, re-checks must report the definite refutation,
+        # not keep answering "possibly feasible" until the entry ages out.
+        tiny = Solver(max_nodes=3)
+        p = make_var("u6", 0, 10_000)
+        q = make_var("u7", 0, 10_000)
+        # p+q == 5 and p-q == 2 has no integer solution, but refuting it
+        # takes search, not one propagation pass -- so the widened query
+        # exhausts a 3-node budget.
+        core = [
+            binop("==", binop("+", p, q), 5),
+            binop("==", binop("-", p, q), 2),
+        ]
+        hard = core + [binop("<", binop("*", p, 3), 100)]
+        assert tiny.check(hard).result is Result.UNKNOWN
+        assert Solver(cache=tiny.cache).check(core).result is Result.UNSAT
+        assert tiny.check(hard).result is Result.UNSAT
+        assert tiny.stats.unsat_superset_hits == 1
+
+    def test_unknown_cache_is_bounded(self):
+        cache = CounterexampleCache(unknown_capacity=4)
+        for i in range(10):
+            cache.insert_unknown(frozenset({i}), 100)
+        assert len(cache._unknown) == 4
+
+    def test_entry_store_is_bounded_with_index_cleanup(self):
+        from repro.solver.solver_types import Solution
+
+        cache = CounterexampleCache(capacity=4)
+        for i in range(10):
+            cache.insert(frozenset({i, 1000 + i}), Solution(Result.UNSAT))
+        assert len(cache) == 4
+        # Evicted entries must leave no index residue behind.
+        live = set()
+        for bucket in cache._unsat_index.values():
+            live.update(bucket)
+        assert len(live) == 4
+
+
+class TestModelReuseFastPath:
+    def _executor(self):
+        module = compile_source("int main() { return 0; }", "fp")
+        return Executor(module)
+
+    def test_fast_path_answers_after_first_solve(self):
+        executor = self._executor()
+        state = executor.initial_state()
+        v = make_var("fp0", 0, 255)
+        state.add_constraint(binop(">", v, 10))
+        # First query: no model yet -- full solve, records the model.
+        assert executor._feasible(state, binop("<", v, 100))
+        assert executor.solver.stats.fastpath_hits == 0
+        assert state.last_model is not None
+        nodes = executor.solver.stats.search_nodes
+        # Second query satisfied by the recorded model: no solve at all.
+        assert executor._feasible(state, binop("<", v, 200))
+        assert executor.solver.stats.fastpath_hits == 1
+        assert executor.solver.stats.search_nodes == nodes
+
+    def test_stale_model_misses_and_falls_back(self):
+        executor = self._executor()
+        state = executor.initial_state()
+        v = make_var("fp1", 0, 255)
+        state.add_constraint(binop(">", v, 10))
+        assert executor._feasible(state, binop("<", v, 100))
+        model_value = state.last_model["fp1"]
+        # A probe the recorded model contradicts: fast path must miss, the
+        # full solver must still answer correctly (feasible: v can be 201+).
+        assert executor._feasible(state, binop(">", v, 200))
+        assert executor.solver.stats.fastpath_misses >= 1
+        # The fallback refreshed the model to a satisfying assignment.
+        assert state.last_model["fp1"] > 200 or state.last_model["fp1"] == model_value
+
+    def test_infeasible_probe_stays_infeasible(self):
+        executor = self._executor()
+        state = executor.initial_state()
+        v = make_var("fp2", 0, 255)
+        state.add_constraint(binop(">", v, 10))
+        assert executor._feasible(state, binop("<", v, 100))
+        assert not executor._feasible(state, binop("<", v, 5))
+
+    def test_forked_state_inherits_model_copy(self):
+        executor = self._executor()
+        state = executor.initial_state()
+        v = make_var("fp3", 0, 255)
+        state.add_constraint(binop(">", v, 10))
+        assert executor._feasible(state, binop("<", v, 100))
+        child = state.fork()
+        assert child.last_model == state.last_model
+        child.last_model["fp3"] = -1
+        assert state.last_model["fp3"] != -1
+
+
+class TestBoundedInterning:
+    def test_intern_table_respects_limit(self):
+        old_limit = expr_mod._INTERN_LIMIT
+        try:
+            set_intern_limit(64)
+            v = make_var("it0", 0, 255)
+            for i in range(500):
+                binop("+", v, i + 1)
+            assert intern_table_size() <= 64
+        finally:
+            set_intern_limit(old_limit)
+
+    def test_eviction_is_semantically_invisible(self):
+        old_limit = expr_mod._INTERN_LIMIT
+        try:
+            set_intern_limit(8)
+            solver = Solver()
+            v = make_var("it1", 0, 255)
+            first = solver.check([binop("==", v, 42)])
+            for i in range(100):  # flush the interned '== 42' expression
+                binop("+", v, i + 1)
+            second = solver.check([binop("==", v, 42)])  # rebuilt object
+            assert first.model == second.model
+            assert solver.stats.cache_hits == 1  # structural key still hits
+        finally:
+            set_intern_limit(old_limit)
+
+    def test_set_intern_limit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_intern_limit(0)
+
+
+class TestBoostAfterPrune:
+    """A live state whose final-goal distance turns INF after a schedule
+    change must be re-parked, not silently dropped (searcher state-loss)."""
+
+    SOURCE = """
+    int main() {
+        int c = getchar();
+        if (c == 'm') {
+            assert(0);
+        }
+        return 0;
+    }
+    """
+
+    def _searcher_and_states(self, prune=True):
+        from repro.analysis import DistanceCalculator
+        from repro.search import GoalSpec
+        from repro.search.esd import ProximityGuidedSearcher
+
+        from repro.ir import InstrRef
+
+        module = compile_source(self.SOURCE, "boosted")
+        executor = Executor(module)
+        func = module.functions["main"]
+        distances = DistanceCalculator(module)
+        final = GoalSpec((InstrRef("main", func.entry, 0),), "final")
+        searcher = ProximityGuidedSearcher(
+            distances, [], final, prune_unreachable=prune
+        )
+        return searcher, executor
+
+    def test_boost_keeps_state_live_when_distance_turns_inf(self):
+        searcher, executor = self._searcher_and_states()
+        state = executor.initial_state()
+        searcher.add(state)
+        assert len(searcher) == 1
+        # Simulate the schedule change that makes the final goal statically
+        # unreachable for this state: exit every thread.  state_distance
+        # over no live threads is INF, which add() would prune.
+        for thread in state.threads.values():
+            thread.status = "exited"
+        assert searcher.state_distance(state, searcher.final_goal) == float("inf")
+        searcher.boost(state)
+        # The regression: boost() used to route through add()'s pruning path
+        # and drop the live state, leaving _live at 0 with nothing queued.
+        assert len(searcher) == 1
+        picked = searcher.pick()
+        assert picked is state
+        assert len(searcher) == 0
+
+    def test_boost_still_reprioritizes_reachable_states(self):
+        searcher, executor = self._searcher_and_states()
+        state = executor.initial_state()
+        searcher.add(state)
+        state.schedule_distance = 0.0  # promoted to 'near'
+        searcher.boost(state)
+        assert len(searcher) == 1
+        assert searcher.pick() is state
+
+
+class TestSessionSolverSharing:
+    """One solver + one counterexample cache per ReproSession, shared by
+    every synthesis call and surfaced through the session API."""
+
+    def test_batch_reuses_the_solver_across_reports(self):
+        from repro.api import ReproSession
+        from repro.workloads import get
+
+        workload = get("tac")
+        session = ReproSession(workload.compile())
+        reports = [workload.make_report() for _ in range(3)]
+        batch = session.synthesize_batch(reports)
+        assert batch.found_count == 3
+        stats = session.solver_stats
+        assert stats.queries > 0
+        # Reports 2 and 3 re-issue report 1's queries: the shared cache
+        # answers them (exact structural hits), and the fast path answers
+        # one direction of every branch probe.
+        assert stats.cache_hits > 0
+        assert session.solver_cache_stats.exact_hits == stats.cache_hits
+        assert stats.fastpath_hits > 0
+
+    def test_fresh_sessions_share_nothing(self):
+        from repro.api import ReproSession
+        from repro.workloads import get
+
+        workload = get("tac")
+        first = ReproSession(workload.compile())
+        assert first.synthesize(workload.make_report()).found
+        second = ReproSession(workload.compile())
+        assert second.solver_stats.queries == 0
+        assert len(second.solver_cache) == 0
