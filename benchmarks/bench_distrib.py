@@ -1,0 +1,182 @@
+"""Distributed exploration benchmark: serial vs. sharded wall-clock.
+
+Measures end-to-end synthesis wall time for the serial engine against the
+:class:`~repro.distrib.ParallelExplorer` pool at 2 and 4 workers on two
+workloads where the path search dominates:
+
+* ``ghttpd-hard`` -- the ghttpd log overflow behind a header-parsing
+  distance plateau: a large, near-uniform-priority frontier that banded
+  sharding sweeps concurrently (crash synthesis).
+* ``hawknl-bfs``  -- the HawkNL nl_close/nl_shutdown lock-order inversion
+  searched with the KC breadth-first baseline strategy: a wide schedule
+  tree (deadlock synthesis).  The ESD-guided search cuts this workload to
+  well under a second, so the BFS baseline stands in for programs whose
+  guided frontier is genuinely wide.
+
+Every parallel run is checked against the serial run's synthesized
+artifact: same bug, same inputs/schedule fingerprint (modulo first-win
+nondeterminism on the deadlock workload, where any matching schedule is a
+valid reproduction -- there the artifact is validated by playback instead).
+
+Speedup depends on physical cores: on a single-core container the pool
+degrades gracefully to ~1x (quantum overhead only); the ≥1.5x wall-clock
+target at 4 workers is expected on hosts with >= 4 cores.  The exit status
+reflects *correctness* (all runs found the bug, artifacts validated);
+``--require-speedup X`` additionally gates on the measured 4-worker
+speedup for use on suitably provisioned machines.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_distrib.py [--quick] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ESDConfig, esd_synthesize  # noqa: E402
+from repro.distrib import ParallelExplorer, parallel_supported  # noqa: E402
+from repro.playback import play_back  # noqa: E402
+from repro.workloads import get  # noqa: E402
+from repro.workloads.ghttpd import hard_workload  # noqa: E402
+
+SPEEDUP_TARGET = 1.5
+
+
+def _config(strategy: str, max_seconds: float) -> ESDConfig:
+    config = ESDConfig(strategy=strategy)
+    config.budget.max_seconds = max_seconds
+    return config
+
+
+def bench_workload(name, workload, strategy, max_seconds, worker_counts,
+                   exact_artifact):
+    """Serial run + one pool run per worker count; returns the record."""
+    module = workload.compile()
+    report = workload.make_report()
+
+    started = time.perf_counter()
+    serial = esd_synthesize(module, report, _config(strategy, max_seconds))
+    serial_wall = time.perf_counter() - started
+    record = {
+        "workload": name,
+        "strategy": strategy,
+        "serial": {
+            "wall_seconds": serial_wall,
+            "found": serial.found,
+            "instructions": serial.instructions,
+            "states": serial.states_explored,
+        },
+        "parallel": {},
+        "ok": serial.found,
+    }
+    for workers in worker_counts:
+        pool = ParallelExplorer(
+            module, report, _config(strategy, max_seconds), workers=workers
+        )
+        started = time.perf_counter()
+        result = pool.run()
+        wall = time.perf_counter() - started
+        valid = result.found
+        if valid:
+            if exact_artifact:
+                valid = (result.execution_file.fingerprint()
+                         == serial.execution_file.fingerprint())
+            else:
+                # Deadlock first-win may land on a different (equally valid)
+                # schedule: validate by deterministic playback instead.
+                valid = play_back(
+                    module, result.execution_file
+                ).bug_reproduced
+        record["parallel"][str(workers)] = {
+            "wall_seconds": wall,
+            "found": result.found,
+            "instructions": result.instructions,
+            "states": result.states_explored,
+            "steals": pool.steals,
+            "speedup": serial_wall / wall if wall > 0 else None,
+            "artifact_valid": valid,
+        }
+        record["ok"] = record["ok"] and valid
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller plateau + shorter budgets (CI smoke)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="also fail unless some workload reaches X "
+                             "speedup at the highest worker count")
+    args = parser.parse_args(argv)
+
+    if not parallel_supported():
+        print("bench_distrib: fork unavailable; nothing to measure")
+        return 0
+
+    worker_counts = (2, 4)
+    max_seconds = 60.0 if args.quick else 300.0
+    plateau = 6 if args.quick else 8
+    entries = [
+        ("ghttpd-hard", hard_workload(plateau), "esd", True),
+        ("hawknl-bfs", get("hawknl"), "bfs", False),
+    ]
+
+    records = []
+    for name, workload, strategy, exact in entries:
+        record = bench_workload(name, workload, strategy, max_seconds,
+                                worker_counts, exact)
+        records.append(record)
+        serial = record["serial"]
+        print(f"{name} [{strategy}]: serial {serial['wall_seconds']:.2f}s "
+              f"({serial['instructions']} instrs, {serial['states']} states)")
+        for workers, run in record["parallel"].items():
+            print(f"  {workers} workers: {run['wall_seconds']:.2f}s "
+                  f"(speedup {run['speedup']:.2f}x, {run['steals']} steals, "
+                  f"artifact {'ok' if run['artifact_valid'] else 'MISMATCH'})")
+
+    best = max(
+        run["speedup"]
+        for record in records
+        for run in record["parallel"].values()
+        if run["speedup"] is not None
+    )
+    top = str(worker_counts[-1])
+    best_at_top = max(
+        record["parallel"][top]["speedup"] for record in records
+    )
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else os.cpu_count()
+    print(f"best speedup {best:.2f}x (best at {top} workers: "
+          f"{best_at_top:.2f}x) on {cores} core(s)")
+
+    ok = all(record["ok"] for record in records)
+    if args.require_speedup is not None:
+        ok = ok and best_at_top >= args.require_speedup
+    if args.json:
+        Path(args.json).write_text(json.dumps({
+            "benchmark": "distrib",
+            "quick": args.quick,
+            "cores": cores,
+            "speedup_target": SPEEDUP_TARGET,
+            "best_speedup": best,
+            "best_speedup_at_max_workers": best_at_top,
+            "workloads": records,
+            "ok": ok,
+        }, indent=2))
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

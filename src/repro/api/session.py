@@ -20,11 +20,15 @@ the losers as soon as one variant finds the bug.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..distrib import ExplorationCheckpoint
 
 from .. import ir
 from ..coredump import BugReport
@@ -136,10 +140,17 @@ class ReproSession:
         *,
         config: Optional[ESDConfig] = None,
         on_progress: Optional[EventCallback] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.module = module
         self.config = config or ESDConfig()
         self.on_progress = on_progress
+        # Default worker count for synthesize(): explicit argument, else the
+        # REPRO_WORKERS environment variable (how the CI matrix runs the
+        # whole test suite through the parallel pool), else serial.
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
+        self.default_workers = max(1, workers)
         self.statics = StaticAnalysisCache(module)
         self.triage_db = TriageDatabase()
         # One solver (and one structural counterexample cache) per session:
@@ -187,9 +198,56 @@ class ReproSession:
         *,
         on_progress: Optional[EventCallback] = None,
         should_stop=None,
+        workers: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: float = 5.0,
     ) -> SynthesisResult:
         """Synthesize one report, reusing the session's static artifacts
-        and its shared solver/counterexample cache."""
+        and its shared solver/counterexample cache.
+
+        ``workers > 1`` routes the search phase through the parallel
+        exploration pool (:class:`~repro.distrib.ParallelExplorer`): the
+        frontier is sharded by proximity-score bands across worker
+        processes with work-stealing and first-win cancellation.  Omitted,
+        the session default applies (constructor ``workers`` argument or
+        the ``REPRO_WORKERS`` environment variable).  ``checkpoint_path``
+        writes periodic frontier checkpoints there (implies the pool even
+        with one worker) for :meth:`resume`.
+
+        ``should_stop`` callers (the portfolio path runs variants on
+        threads) always get the serial engine: forking a process pool from
+        a multi-threaded parent is not safe.
+        """
+        workers = workers if workers is not None else self.default_workers
+        use_pool = (workers > 1 or checkpoint_path is not None)
+        if use_pool and should_stop is None:
+            from ..distrib import (
+                DistribUnsupportedError,
+                ParallelExplorer,
+                parallel_supported,
+            )
+
+            if checkpoint_path is not None and not parallel_supported():
+                # workers>1 may degrade to serial (a performance matter),
+                # but a checkpoint the caller plans to resume from would
+                # silently never be written -- refuse instead.
+                raise DistribUnsupportedError(
+                    "checkpointing requires the parallel exploration pool, "
+                    "which needs the fork start method (unavailable here)"
+                )
+            if parallel_supported():
+                pool = ParallelExplorer(
+                    self.module,
+                    report,
+                    config or self.config,
+                    workers=workers,
+                    statics=self.statics,
+                    solver=self.solver,
+                    on_event=on_progress or self.on_progress,
+                    checkpoint_path=checkpoint_path,
+                    checkpoint_interval=checkpoint_interval,
+                )
+                return pool.run()
         return esd_synthesize(
             self.module,
             report,
@@ -200,17 +258,66 @@ class ReproSession:
             should_stop=should_stop,
         )
 
+    def resume(
+        self,
+        checkpoint: "ExplorationCheckpoint",
+        *,
+        workers: Optional[int] = None,
+        on_progress: Optional[EventCallback] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: float = 5.0,
+    ) -> SynthesisResult:
+        """Continue a checkpointed synthesis (see :meth:`from_checkpoint`).
+
+        The resumed leg gets a fresh budget allowance from the checkpoint's
+        config; reported totals accumulate across legs.  ``checkpoint_path``
+        keeps checkpointing the resumed run (pass the same path to make the
+        file a rolling checkpoint)."""
+        from ..distrib import ParallelExplorer
+
+        if checkpoint.module is not self.module:
+            raise ValueError(
+                "checkpoint was not made for this session's module; "
+                "use ReproSession.from_checkpoint(checkpoint)"
+            )
+        pool = ParallelExplorer(
+            self.module,
+            checkpoint.report,
+            checkpoint.config,
+            workers=workers if workers is not None else checkpoint.workers,
+            statics=self.statics,
+            solver=self.solver,
+            on_event=on_progress or self.on_progress,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=checkpoint_interval,
+        )
+        return pool.resume(checkpoint)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: "ExplorationCheckpoint",
+        *,
+        on_progress: Optional[EventCallback] = None,
+    ) -> "ReproSession":
+        """A session over the module embedded in an exploration checkpoint."""
+        return cls(checkpoint.module, config=checkpoint.config,
+                   on_progress=on_progress)
+
     def synthesize_batch(
         self,
         reports: Sequence[BugReport],
         config: Optional[ESDConfig] = None,
         *,
         on_progress: Optional[EventCallback] = None,
+        workers: Optional[int] = None,
     ) -> BatchResult:
         """Synthesize a stream of reports; static analysis is amortized
-        across the whole batch."""
+        across the whole batch.  ``workers`` routes every report through
+        the parallel exploration pool."""
         return BatchResult([
-            self.synthesize(report, config, on_progress=on_progress)
+            self.synthesize(report, config, on_progress=on_progress,
+                            workers=workers)
             for report in reports
         ])
 

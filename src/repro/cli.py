@@ -1,11 +1,13 @@
 """The ``repro`` command-line front end (paper section 8's usage model).
 
-One entry point, four subcommands, all built on the session API::
+One entry point, five subcommands, all built on the session API::
 
     repro synth  <coredump.json> <program.minic> [--deadlock] [-o exec.json]
+                 [--workers N] [--checkpoint ckpt.json]
+    repro resume <ckpt.json> [-o exec.json] [--workers N]
     repro play   <program.minic> <exec.json> [--mode strict|happens-before]
-    repro triage <program.minic> <coredump.json> [coredump.json ...]
-    repro bench  [--workload ls1] [--reports 4]
+    repro triage <program.minic> <coredump.json> [coredump.json ...] [--json]
+    repro bench  [--workload ls1] [--reports 4] [--json]
 
 The coredump file holds a serialized :class:`~repro.coredump.BugReport`
 (``BugReport.to_dict``); the program is MiniC source; the execution file is
@@ -13,7 +15,13 @@ what ``repro synth`` writes and ``repro play`` (or the :class:`~repro.
 debugger.Debugger`) consumes.  ``repro triage`` pushes a stream of reports
 through one session -- static analysis runs once -- and deduplicates them by
 synthesized-execution fingerprint.  ``repro bench`` measures exactly that
-amortization on a bundled workload.
+amortization on a bundled workload.  ``--json`` switches triage and bench
+to machine-readable output on stdout for CI and downstream tools.
+
+``repro synth --workers N`` shards the path search across N worker
+processes (work-stealing, first-win); ``--checkpoint PATH`` writes periodic
+frontier checkpoints so ``repro resume PATH`` continues a killed or
+budget-exhausted synthesis instead of restarting it.
 
 ``esdsynth`` and ``esdplay`` remain as deprecated shims over ``repro synth``
 and ``repro play``.
@@ -102,31 +110,16 @@ def _progress_printer(label: str):
 # ---------------------------------------------------------------------------
 
 
-def _run_synth(args: argparse.Namespace, label: str) -> int:
-    on_progress = (
-        _progress_printer(label) if getattr(args, "progress", False) else None
-    )
-    try:
-        report = _load_report(args.coredump)
-        if args.bug_type:
-            report.bug_type = args.bug_type
-        session = _make_session(args.program)
-    except _INPUT_ERRORS as exc:
-        print(f"{label}: {_describe(exc)}", file=sys.stderr)
-        return 1
-    try:
-        result = session.synthesize(report, _make_config(args),
-                                    on_progress=on_progress)
-    except UnknownStrategyError as exc:
-        print(f"{label}: {exc}", file=sys.stderr)
-        return 2
-    except GoalError as exc:
-        print(f"{label}: {exc}", file=sys.stderr)
-        return 1
+def _finish_synth(result, args: argparse.Namespace, label: str) -> int:
+    """Common tail of synth/resume: report the outcome, save the artifact."""
     if not result.found:
         print(f"{label}: no execution found ({result.reason}); "
               f"explored {result.instructions} instructions "
               f"in {result.total_seconds:.1f}s", file=sys.stderr)
+        if getattr(args, "checkpoint", None) and result.reason == "budget":
+            print(f"{label}: frontier checkpoint at {args.checkpoint}; "
+                  f"continue with `repro resume {args.checkpoint}`",
+                  file=sys.stderr)
         return 1
     assert result.execution_file is not None
     try:
@@ -140,6 +133,70 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
           f"{result.instructions} instructions explored")
     print(f"{label}: wrote {args.output}")
     return 0
+
+
+def _run_synth(args: argparse.Namespace, label: str) -> int:
+    on_progress = (
+        _progress_printer(label) if getattr(args, "progress", False) else None
+    )
+    try:
+        report = _load_report(args.coredump)
+        if args.bug_type:
+            report.bug_type = args.bug_type
+        session = _make_session(args.program)
+    except _INPUT_ERRORS as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    from .distrib import DistribUnsupportedError
+
+    try:
+        result = session.synthesize(
+            report, _make_config(args),
+            on_progress=on_progress,
+            workers=getattr(args, "workers", None),
+            checkpoint_path=getattr(args, "checkpoint", None),
+            checkpoint_interval=getattr(args, "checkpoint_interval", 5.0),
+        )
+    except UnknownStrategyError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 2
+    except DistribUnsupportedError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 2
+    except GoalError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    return _finish_synth(result, args, label)
+
+
+def _run_resume(args: argparse.Namespace, label: str) -> int:
+    from .distrib import CheckpointError, ExplorationCheckpoint
+
+    on_progress = (
+        _progress_printer(label) if getattr(args, "progress", False) else None
+    )
+    try:
+        checkpoint = ExplorationCheckpoint.load(args.checkpoint_file)
+    except CheckpointError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    if args.max_seconds is not None:
+        checkpoint.config.budget.max_seconds = args.max_seconds
+    if args.max_instructions is not None:
+        checkpoint.config.budget.max_instructions = args.max_instructions
+    session = ReproSession.from_checkpoint(checkpoint, on_progress=on_progress)
+    print(f"{label}: resuming {checkpoint.module.name!r} with "
+          f"{checkpoint.pending} frontier state(s), "
+          f"{checkpoint.instructions} instructions already explored",
+          file=sys.stderr)
+    result = session.resume(
+        checkpoint,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint or args.checkpoint_file,
+        checkpoint_interval=getattr(args, "checkpoint_interval", 5.0),
+    )
+    args.checkpoint = args.checkpoint or args.checkpoint_file
+    return _finish_synth(result, args, label)
 
 
 def _run_play(args: argparse.Namespace, label: str) -> int:
@@ -164,6 +221,7 @@ def _run_play(args: argparse.Namespace, label: str) -> int:
 
 
 def _run_triage(args: argparse.Namespace, label: str) -> int:
+    as_json = getattr(args, "json", False)
     try:
         session = _make_session(args.program)
     except _INPUT_ERRORS as exc:
@@ -171,7 +229,11 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
         return 1
     config = _make_config(args)
     failures = 0
+    records = []
     for path in args.coredumps:
+        record = {"report": str(path), "bug_id": None, "new": False,
+                  "error": None, "reason": None, "seconds": None}
+        records.append(record)
         try:
             report = _load_report(path)
             if getattr(args, "bug_type", None):
@@ -179,6 +241,7 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
         except _INPUT_ERRORS as exc:
             # One unreadable/malformed report must not abort the batch.
             failures += 1
+            record["error"] = _describe(exc)
             print(f"{label}: {path}: {_describe(exc)}", file=sys.stderr)
             continue
         try:
@@ -189,19 +252,35 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
             return 2
         except GoalError as exc:
             failures += 1
+            record["error"] = str(exc)
             print(f"{label}: {path}: {exc}", file=sys.stderr)
             continue
+        record["reason"] = outcome.result.reason
+        record["seconds"] = round(outcome.result.total_seconds, 6)
         if outcome.bug_id is None:
             failures += 1
+            record["error"] = f"synthesis failed ({outcome.result.reason})"
             print(f"{label}: {path}: synthesis failed "
                   f"({outcome.result.reason})", file=sys.stderr)
             continue
-        status = "NEW" if outcome.is_new else "duplicate"
-        print(f"{label}: {path} -> bug #{outcome.bug_id} ({status}, "
-              f"synthesized in {outcome.result.total_seconds:.2f}s)")
-    print(f"{label}: {len(session.triage_db)} distinct bug(s) "
-          f"from {len(args.coredumps)} report(s); static analysis ran "
-          f"{session.static_stats.distance_builds} time(s)")
+        record["bug_id"] = outcome.bug_id
+        record["new"] = outcome.is_new
+        if not as_json:
+            status = "NEW" if outcome.is_new else "duplicate"
+            print(f"{label}: {path} -> bug #{outcome.bug_id} ({status}, "
+                  f"synthesized in {outcome.result.total_seconds:.2f}s)")
+    if as_json:
+        print(json.dumps({
+            "program": args.program,
+            "reports": records,
+            "distinct_bugs": len(session.triage_db),
+            "failures": failures,
+            "static_distance_builds": session.static_stats.distance_builds,
+        }, indent=2))
+    else:
+        print(f"{label}: {len(session.triage_db)} distinct bug(s) "
+              f"from {len(args.coredumps)} report(s); static analysis ran "
+              f"{session.static_stats.distance_builds} time(s)")
     return 1 if failures else 0
 
 
@@ -229,6 +308,36 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
     batch = session.synthesize_batch(reports)
     warm_wall = time.perf_counter() - warm_started
     warm_static = batch.static_seconds
+
+    if getattr(args, "json", False):
+        sstats = session.solver_stats
+        cstats = session.solver_cache_stats
+        ok = all(r.found for r in batch) and all(r.found for r in cold)
+        print(json.dumps({
+            "workload": workload.name,
+            "reports": args.reports,
+            "all_found": ok,
+            "one_shot": {"static_seconds": cold_static,
+                         "wall_seconds": cold_wall},
+            "session": {"static_seconds": warm_static,
+                        "wall_seconds": warm_wall,
+                        "distance_builds": session.static_stats.distance_builds,
+                        "cache_hits": session.static_stats.cache_hits},
+            "amortization": (cold_static / warm_static
+                             if warm_static > 0 else None),
+            "solver": {
+                "queries": sstats.queries,
+                "cache_hits": sstats.cache_hits,
+                "exact_hits": cstats.exact_hits,
+                "unsat_superset_hits": cstats.unsat_superset_hits,
+                "sat_subset_hits": cstats.sat_subset_hits,
+                "unknown_hits": cstats.unknown_hits,
+                "search_nodes": sstats.search_nodes,
+                "fastpath_hits": sstats.fastpath_hits,
+                "fastpath_misses": sstats.fastpath_misses,
+            },
+        }, indent=2))
+        return 0 if ok else 1
 
     print(f"{label}: workload {workload.name}, {args.reports} reports")
     print(f"{label}: one-shot API: static {cold_static*1000:8.2f}ms total "
@@ -275,6 +384,11 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
         "--strategy", default="esd", metavar="NAME",
         help=f"search strategy ({', '.join(available_searchers())})",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the path search across N worker processes "
+             "(default: serial, or the REPRO_WORKERS environment variable)",
+    )
 
 
 def _add_synth_args(parser: argparse.ArgumentParser) -> None:
@@ -292,6 +406,15 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("-o", "--output", default="execution.json")
     _add_search_flags(parser)
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write periodic frontier checkpoints to PATH "
+             "(continue a killed run with `repro resume PATH`)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between frontier checkpoints (default: 5)",
+    )
     parser.add_argument(
         "--progress", action="store_true",
         help="print structured progress events to stderr",
@@ -321,6 +444,26 @@ def repro_main(argv: list[str] | None = None) -> int:
     )
     _add_synth_args(synth)
 
+    resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed synthesis (see `repro synth --checkpoint`)",
+    )
+    resume.add_argument("checkpoint_file",
+                        help="checkpoint written by `repro synth --checkpoint`")
+    resume.add_argument("-o", "--output", default="execution.json")
+    resume.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count (default: the checkpointed value)")
+    resume.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="keep checkpointing to PATH "
+                             "(default: the resumed file itself)")
+    resume.add_argument("--checkpoint-interval", type=float, default=5.0,
+                        metavar="SECONDS")
+    resume.add_argument("--max-seconds", type=float, default=None,
+                        help="fresh wall-clock budget for the resumed leg")
+    resume.add_argument("--max-instructions", type=int, default=None,
+                        help="fresh instruction budget for the resumed leg")
+    resume.add_argument("--progress", action="store_true")
+
     play = sub.add_parser(
         "play", help="deterministically play back a synthesized execution"
     )
@@ -336,6 +479,8 @@ def repro_main(argv: list[str] | None = None) -> int:
     triage.add_argument("--bug-type", default=None, dest="bug_type",
                         choices=("crash", "deadlock", "race"),
                         help="override every report's bug type")
+    triage.add_argument("--json", action="store_true",
+                        help="machine-readable results on stdout")
 
     bench = sub.add_parser(
         "bench", help="measure session-API static-phase amortization"
@@ -344,10 +489,14 @@ def repro_main(argv: list[str] | None = None) -> int:
                        help="bundled workload name (default: ls1)")
     bench.add_argument("--reports", type=int, default=4)
     bench.add_argument("--max-seconds", type=float, default=120.0)
+    bench.add_argument("--json", action="store_true",
+                       help="machine-readable results on stdout")
 
     args = parser.parse_args(argv)
     if args.command == "synth":
         return _run_synth(args, "repro synth")
+    if args.command == "resume":
+        return _run_resume(args, "repro resume")
     if args.command == "play":
         return _run_play(args, "repro play")
     if args.command == "triage":

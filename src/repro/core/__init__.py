@@ -9,9 +9,11 @@ from .execfile import (
 from .goals import GoalError, SynthesisGoal, extract_goal
 from .synthesis import (
     ESDConfig,
+    SearchSetup,
     StaticAnalysisCache,
     StaticStats,
     SynthesisResult,
+    build_search_setup,
     esd_synthesize,
 )
 from .triage import TriageDatabase, TriageEntry, same_bug
@@ -21,12 +23,14 @@ __all__ = [
     "ExecutionFile",
     "GoalError",
     "HappensBefore",
+    "SearchSetup",
     "StaticAnalysisCache",
     "StaticStats",
     "SynthesisGoal",
     "SynthesisResult",
     "TriageDatabase",
     "TriageEntry",
+    "build_search_setup",
     "concretize_inputs",
     "esd_synthesize",
     "execution_file_from_state",

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from .. import ir
@@ -72,6 +72,47 @@ class ESDConfig:
     # Schedule synthesis:
     fork_at_unlock: bool = True
     with_race_detection: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON form (used by exploration checkpoints)."""
+        return {
+            "budget": {
+                "max_instructions": self.budget.max_instructions,
+                "max_states": self.budget.max_states,
+                "max_seconds": self.budget.max_seconds,
+                "batch_instructions": self.budget.batch_instructions,
+            },
+            "seed": self.seed,
+            "string_size": self.string_size,
+            "max_args": self.max_args,
+            "strategy": self.strategy,
+            "use_intermediate_goals": self.use_intermediate_goals,
+            "prune_unreachable": self.prune_unreachable,
+            "use_schedule_distance": self.use_schedule_distance,
+            "fork_at_unlock": self.fork_at_unlock,
+            "with_race_detection": self.with_race_detection,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ESDConfig":
+        budget = data.get("budget", {})
+        return cls(
+            budget=SearchBudget(
+                max_instructions=budget.get("max_instructions", 20_000_000),
+                max_states=budget.get("max_states", 500_000),
+                max_seconds=budget.get("max_seconds", 180.0),
+                batch_instructions=budget.get("batch_instructions", 64),
+            ),
+            seed=data.get("seed", 0),
+            string_size=data.get("string_size", 8),
+            max_args=data.get("max_args", 4),
+            strategy=data.get("strategy", "esd"),
+            use_intermediate_goals=data.get("use_intermediate_goals", True),
+            prune_unreachable=data.get("prune_unreachable", True),
+            use_schedule_distance=data.get("use_schedule_distance", True),
+            fork_at_unlock=data.get("fork_at_unlock", True),
+            with_race_detection=data.get("with_race_detection", False),
+        )
 
 
 @dataclass(slots=True)
@@ -165,26 +206,34 @@ class SynthesisResult:
         return self.static_seconds + self.search_seconds
 
 
-def esd_synthesize(
+@dataclass(slots=True)
+class SearchSetup:
+    """Everything the dynamic phase needs, built once per (module, report,
+    config) triple.  :func:`esd_synthesize` uses it inline; the parallel
+    exploration pool builds one per worker process."""
+
+    goal: "SynthesisGoal"
+    executor: Executor
+    searcher: object
+    policy: SchedulerPolicy
+    intermediate_count: int
+    static_seconds: float
+
+
+def build_search_setup(
     module: ir.Module,
     report: BugReport,
     config: Optional[ESDConfig] = None,
     *,
     statics: Optional[StaticAnalysisCache] = None,
     solver: Optional[Solver] = None,
-    on_progress: Optional[EventCallback] = None,
-    should_stop: Optional[StopPredicate] = None,
-) -> SynthesisResult:
-    """Synthesize an execution reproducing the reported bug.
+    seed_offset: int = 0,
+) -> SearchSetup:
+    """Run the static phase and wire up executor/searcher/policy.
 
-    ``statics`` shares static-phase artifacts across calls (see
-    :class:`StaticAnalysisCache`); ``solver`` shares a solver -- and with it
-    the structural counterexample cache -- across calls, the way
-    :class:`~repro.api.ReproSession` amortizes solves over a stream of
-    reports (the solver is reentrant, so portfolio variants may share one
-    concurrently); ``on_progress`` observes the explore loop via
-    :class:`~repro.search.SynthesisEvent`; ``should_stop`` cancels the
-    search cooperatively (outcome reason ``'cancelled'``).
+    ``seed_offset`` perturbs the searcher's RNG seed (each parallel worker
+    gets a distinct stream so sibling shards do not mirror each other's
+    queue choices).
     """
     config = config or ESDConfig()
     if statics is None:
@@ -221,20 +270,58 @@ def esd_synthesize(
         policy=policy,
         config=ExecConfig(string_size=config.string_size, max_args=config.max_args),
     )
+    if seed_offset:
+        config = replace(config, seed=config.seed + seed_offset)
     searcher = searcher_factory(distances, intermediate, final, config)
     _wire_boost(policy, searcher)
+    return SearchSetup(
+        goal=goal,
+        executor=executor,
+        searcher=searcher,
+        policy=policy,
+        intermediate_count=len(intermediate),
+        static_seconds=static_seconds,
+    )
 
+
+def esd_synthesize(
+    module: ir.Module,
+    report: BugReport,
+    config: Optional[ESDConfig] = None,
+    *,
+    statics: Optional[StaticAnalysisCache] = None,
+    solver: Optional[Solver] = None,
+    on_progress: Optional[EventCallback] = None,
+    should_stop: Optional[StopPredicate] = None,
+) -> SynthesisResult:
+    """Synthesize an execution reproducing the reported bug.
+
+    ``statics`` shares static-phase artifacts across calls (see
+    :class:`StaticAnalysisCache`); ``solver`` shares a solver -- and with it
+    the structural counterexample cache -- across calls, the way
+    :class:`~repro.api.ReproSession` amortizes solves over a stream of
+    reports (the solver is reentrant, so portfolio variants may share one
+    concurrently); ``on_progress`` observes the explore loop via
+    :class:`~repro.search.SynthesisEvent`; ``should_stop`` cancels the
+    search cooperatively (outcome reason ``'cancelled'``).
+    """
+    config = config or ESDConfig()
+    setup = build_search_setup(
+        module, report, config, statics=statics, solver=solver
+    )
     outcome = explore(
-        executor,
-        searcher,
-        executor.initial_state(),
-        goal.matches,
+        setup.executor,
+        setup.searcher,
+        setup.executor.initial_state(),
+        setup.goal.matches,
         config.budget,
         on_event=on_progress,
         should_stop=should_stop,
     )
-    return _result_from_outcome(module, goal, outcome, executor, static_seconds,
-                                len(intermediate))
+    return _result_from_outcome(
+        module, setup.goal, outcome, setup.executor, setup.static_seconds,
+        setup.intermediate_count,
+    )
 
 
 def _build_policy(

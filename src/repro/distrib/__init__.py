@@ -1,0 +1,43 @@
+"""Parallel exploration: sharded work-stealing search with checkpoint/resume.
+
+This package scales the path-search phase -- the paper's own evaluation
+shows synthesis time dominated by exploring the proximity-guided frontier --
+across a pool of worker processes:
+
+* :mod:`repro.distrib.snapshot` -- versioned serialization of
+  :class:`~repro.symbex.state.ExecutionState` (frames, COW address space,
+  environment, path constraints) to a compact checkpoint format, with
+  round-trip fidelity verified against the live state;
+* :mod:`repro.distrib.pool` -- :class:`ParallelExplorer`, which partitions
+  the frontier by proximity-score bands, runs ``explore()`` shards in worker
+  processes, rebalances via work-stealing when a shard's queue drains, and
+  first-win cancels siblings when any worker reaches the goal;
+* :mod:`repro.distrib.checkpoint` -- periodic frontier checkpoints to disk
+  plus resume, so a killed or budget-exhausted synthesis continues instead
+  of restarting.
+"""
+
+from .checkpoint import CheckpointError, ExplorationCheckpoint
+from .pool import DistribUnsupportedError, ParallelExplorer, parallel_supported
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    SnapshotCodec,
+    SnapshotError,
+    restore_states,
+    snapshot_states,
+    verify_roundtrip,
+)
+
+__all__ = [
+    "CheckpointError",
+    "DistribUnsupportedError",
+    "ExplorationCheckpoint",
+    "ParallelExplorer",
+    "SNAPSHOT_FORMAT",
+    "SnapshotCodec",
+    "SnapshotError",
+    "parallel_supported",
+    "restore_states",
+    "snapshot_states",
+    "verify_roundtrip",
+]

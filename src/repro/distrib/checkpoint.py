@@ -1,0 +1,144 @@
+"""Exploration checkpoints: frontier snapshots that survive a kill.
+
+A checkpoint is one self-contained JSON document holding everything needed
+to continue a synthesis that stopped mid-search -- the compiled module, the
+bug report, the effective config, the scored frontier (as a
+:mod:`~repro.distrib.snapshot` payload), and the cumulative search counters
+-- so ``repro resume CKPT`` picks up where a killed or budget-exhausted
+``repro synth --checkpoint CKPT`` left off instead of restarting.
+
+The module travels as a base64 pickle: the IR is a plain object graph with
+no process-local identity (unlike expressions), so pickling is faithful,
+and embedding it makes the checkpoint independent of the source file still
+being present (or unchanged) at resume time.  The original source path is
+recorded for provenance only.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from .. import ir
+from ..coredump import BugReport
+from ..core.synthesis import ESDConfig
+
+CHECKPOINT_FORMAT = "esd-exploration-checkpoint-v1"
+
+
+class CheckpointError(Exception):
+    """The checkpoint file is unreadable, malformed, or from an unknown
+    format version."""
+
+
+@dataclass(slots=True)
+class ExplorationCheckpoint:
+    """One resumable snapshot of an in-progress synthesis."""
+
+    module: ir.Module
+    report: BugReport
+    config: ESDConfig
+    # A snapshot_states() payload plus parallel "scores" (proximity-band
+    # priorities, best first) -- the resume path re-shards by these.
+    frontier: dict
+    scores: list[float]
+    # Cumulative search counters at checkpoint time, carried forward so a
+    # resumed run reports totals as if it had never stopped.
+    instructions: int = 0
+    states_explored: int = 0
+    picks: int = 0
+    bugs_seen: int = 0
+    paths_completed: int = 0
+    paths_infeasible: int = 0
+    search_seconds: float = 0.0
+    static_seconds: float = 0.0
+    workers: int = 1
+    source_path: str = ""
+    created_at: float = field(default_factory=time.time)
+
+    @property
+    def pending(self) -> int:
+        return len(self.frontier.get("states", ()))
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "module_name": self.module.name,
+            "module_pickle": base64.b64encode(
+                pickle.dumps(self.module, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii"),
+            "report": self.report.to_dict(),
+            "config": self.config.to_dict(),
+            "frontier": self.frontier,
+            "scores": list(self.scores),
+            "stats": {
+                "instructions": self.instructions,
+                "states_explored": self.states_explored,
+                "picks": self.picks,
+                "bugs_seen": self.bugs_seen,
+                "paths_completed": self.paths_completed,
+                "paths_infeasible": self.paths_infeasible,
+                "search_seconds": self.search_seconds,
+                "static_seconds": self.static_seconds,
+            },
+            "workers": self.workers,
+            "source_path": self.source_path,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExplorationCheckpoint":
+        fmt = data.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"unsupported checkpoint format {fmt!r} "
+                f"(expected {CHECKPOINT_FORMAT!r})"
+            )
+        try:
+            module = pickle.loads(base64.b64decode(data["module_pickle"]))
+            report = BugReport.from_dict(data["report"])
+            config = ESDConfig.from_dict(data["config"])
+            stats = data["stats"]
+            return cls(
+                module=module,
+                report=report,
+                config=config,
+                frontier=data["frontier"],
+                scores=list(data["scores"]),
+                instructions=stats["instructions"],
+                states_explored=stats["states_explored"],
+                picks=stats["picks"],
+                bugs_seen=stats["bugs_seen"],
+                paths_completed=stats["paths_completed"],
+                paths_infeasible=stats["paths_infeasible"],
+                search_seconds=stats["search_seconds"],
+                static_seconds=stats["static_seconds"],
+                workers=data.get("workers", 1),
+                source_path=data.get("source_path", ""),
+                created_at=data.get("created_at", 0.0),
+            )
+        except (KeyError, TypeError, ValueError, pickle.UnpicklingError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write atomically (write-then-rename): a kill mid-checkpoint must
+        not destroy the previous good checkpoint."""
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict()))
+        tmp.replace(target)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExplorationCheckpoint":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint {path} is not a JSON object")
+        return cls.from_dict(data)

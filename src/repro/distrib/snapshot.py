@@ -1,0 +1,547 @@
+"""Versioned :class:`ExecutionState` serialization (the state-snapshot layer).
+
+An execution state is "a program counter, a stack, and an address space"
+plus everything this engine layers on top: simulated threads, sync objects,
+the symbolic environment, path constraints, and the deadlock-policy snapshot
+map.  This module turns all of it into a compact JSON-serializable document
+and back, so frontier states can cross process boundaries (sharded search)
+and survive on disk (checkpoint/resume).
+
+Design points:
+
+* **Expressions are rebuilt, never pickled.**  Expression nodes are
+  hash-consed with process-local uids; shipping pickled nodes into another
+  process would collide uids and silently alias structurally different
+  expressions in the intern table.  Instead the codec writes each DAG as a
+  table of structural nodes and rebuilds them through the intern-aware
+  constructors (:func:`~repro.solver.expr.rebuild_binop` /
+  ``rebuild_unop``), so decoded expressions are first-class citizens of the
+  receiving process.
+* **One codec, many states.**  Sibling frontier states share most of their
+  path condition; a :class:`SnapshotCodec` deduplicates shared subtrees into
+  one node table across every state of a payload, and on decode maps equal
+  ``(name, lo, hi)`` variables to one :class:`~repro.solver.expr.Var`
+  object, so restored siblings keep sharing.
+* **Round-trip fidelity is checkable.**  Encoding is canonical given the
+  state's structure (state ids and expression uids are process-local and
+  excluded), so ``encode(restore(encode(s))) == encode(s)`` --
+  :func:`verify_roundtrip` asserts exactly that against the live state.
+
+The format is versioned (:data:`SNAPSHOT_FORMAT`); readers reject payloads
+they do not understand instead of guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Optional, Union
+
+from ..ir import InstrRef
+from ..solver.expr import (
+    BinExpr,
+    Expr,
+    UnExpr,
+    Var,
+    rebuild_binop,
+    rebuild_unop,
+)
+from ..symbex.bugs import BugInfo, BugKind, DeadlockEdge
+from ..symbex.memory import AddressSpace, FnPtr, MemObject, Pointer
+from ..symbex.state import (
+    EnvState,
+    ExecutionState,
+    Frame,
+    InputEvent,
+    MutexRec,
+    Segment,
+    SyncEvent,
+    ThreadState,
+)
+
+SNAPSHOT_FORMAT = "esd-state-snapshot-v1"
+
+Json = Union[int, float, str, bool, None, list, dict]
+
+
+class SnapshotError(Exception):
+    """The payload is malformed, from an unknown format version, or a
+    round-trip fidelity check failed."""
+
+
+class SnapshotCodec:
+    """Shared expression table for a batch of state snapshots.
+
+    Encode and decode sides are independent; one codec instance is used for
+    one payload (a shard transfer, a steal response, a checkpoint file).
+    """
+
+    def __init__(self) -> None:
+        # encode: Expr.uid -> index into the node table
+        self._encoded: dict[int, int] = {}
+        self.nodes: list[list] = []
+        # decode: node index -> rebuilt Expr; (name, lo, hi) -> shared Var
+        self._decoded: list[Expr] = []
+        self._vars: dict[tuple[str, int, int], Var] = {}
+
+    # -- expressions ---------------------------------------------------------
+
+    def encode_expr(self, expr: Expr) -> int:
+        """Add ``expr``'s DAG to the node table; return its node index."""
+        cached = self._encoded.get(expr.uid)
+        if cached is not None:
+            return cached
+        stack = [expr]
+        while stack:
+            node = stack[-1]
+            if node.uid in self._encoded:
+                stack.pop()
+                continue
+            if isinstance(node, Var):
+                self._encoded[node.uid] = len(self.nodes)
+                self.nodes.append(["v", node.name, node.lo, node.hi])
+                stack.pop()
+            elif isinstance(node, BinExpr):
+                missing = [
+                    child for child in (node.lhs, node.rhs)
+                    if isinstance(child, Expr) and child.uid not in self._encoded
+                ]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                self._encoded[node.uid] = len(self.nodes)
+                self.nodes.append([
+                    "b", node.op,
+                    self._atom_ref(node.lhs), self._atom_ref(node.rhs),
+                ])
+                stack.pop()
+            elif isinstance(node, UnExpr):
+                if node.operand.uid not in self._encoded:
+                    stack.append(node.operand)
+                    continue
+                self._encoded[node.uid] = len(self.nodes)
+                self.nodes.append(["u", node.op, self._atom_ref(node.operand)])
+                stack.pop()
+            else:  # pragma: no cover - the Expr hierarchy is closed
+                raise SnapshotError(f"unknown expression node {node!r}")
+        return self._encoded[expr.uid]
+
+    def _atom_ref(self, atom) -> Json:
+        if isinstance(atom, Expr):
+            return ["e", self._encoded[atom.uid]]
+        return atom
+
+    def decode_nodes(self, nodes: list[list]) -> None:
+        """Rebuild the node table (children always precede parents)."""
+        for entry in nodes:
+            tag = entry[0]
+            if tag == "v":
+                _, name, lo, hi = entry
+                key = (name, lo, hi)
+                var = self._vars.get(key)
+                if var is None:
+                    var = self._vars[key] = Var(name, lo, hi)
+                self._decoded.append(var)
+            elif tag == "b":
+                _, op, lhs, rhs = entry
+                self._decoded.append(
+                    rebuild_binop(op, self._atom_deref(lhs), self._atom_deref(rhs))
+                )
+            elif tag == "u":
+                _, op, operand = entry
+                self._decoded.append(rebuild_unop(op, self._atom_deref(operand)))
+            else:
+                raise SnapshotError(f"unknown expression node tag {tag!r}")
+
+    def _atom_deref(self, encoded: Json):
+        if isinstance(encoded, list):
+            return self._decoded[encoded[1]]
+        return encoded
+
+    # -- cell values ---------------------------------------------------------
+
+    def encode_value(self, value) -> Json:
+        """Encode a cell/register value: int, Expr, Pointer, or FnPtr."""
+        if isinstance(value, bool):  # before int: bools are ints in Python
+            raise SnapshotError(f"unexpected bool cell value {value!r}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, Expr):
+            return ["e", self.encode_expr(value)]
+        if isinstance(value, Pointer):
+            return ["p", value.obj, self.encode_value(value.offset)]
+        if isinstance(value, FnPtr):
+            return ["fn", value.name]
+        raise SnapshotError(f"unserializable cell value {value!r}")
+
+    def decode_value(self, encoded: Json):
+        if isinstance(encoded, int):
+            return encoded
+        if isinstance(encoded, list):
+            tag = encoded[0]
+            if tag == "e":
+                return self._decoded[encoded[1]]
+            if tag == "p":
+                return Pointer(encoded[1], self.decode_value(encoded[2]))
+            if tag == "fn":
+                return FnPtr(encoded[1])
+        raise SnapshotError(f"unknown value encoding {encoded!r}")
+
+    # -- meta values ---------------------------------------------------------
+
+    def encode_meta(self, value) -> Json:
+        """Tagged encoding for the open-ended ``state.meta`` dict.
+
+        Covers the types the engine and the bundled policies store --
+        including dicts (the race policy's per-cell lockset table) and
+        frozen dataclass records, rebuilt by import path on decode.
+        Anything else is an explicit error: a policy adding unserializable
+        metadata must extend the snapshot format, not silently lose state.
+        """
+        if value is None:
+            return ["none"]
+        if isinstance(value, bool):
+            return ["bool", value]
+        if isinstance(value, int):
+            return ["i", value]
+        if isinstance(value, float):
+            return ["fl", value]
+        if isinstance(value, str):
+            return ["s", value]
+        if isinstance(value, InstrRef):
+            return ["ref", repr(value)]
+        if isinstance(value, frozenset):
+            return ["fs", sorted(self.encode_meta(v) for v in value)]
+        if isinstance(value, tuple):
+            return ["t", [self.encode_meta(v) for v in value]]
+        if isinstance(value, dict):
+            return ["d", [[self.encode_meta(k), self.encode_meta(v)]
+                          for k, v in value.items()]]
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            cls = type(value)
+            return ["dc", f"{cls.__module__}:{cls.__qualname__}",
+                    [self.encode_meta(getattr(value, f.name))
+                     for f in dataclasses.fields(value)]]
+        raise SnapshotError(
+            f"unserializable meta value {value!r} ({type(value).__name__})"
+        )
+
+    def decode_meta(self, encoded: Json):
+        tag = encoded[0]
+        if tag == "none":
+            return None
+        if tag in ("bool", "i", "fl", "s"):
+            return encoded[1]
+        if tag == "ref":
+            return InstrRef.parse(encoded[1])
+        if tag == "fs":
+            return frozenset(self.decode_meta(v) for v in encoded[1])
+        if tag == "t":
+            return tuple(self.decode_meta(v) for v in encoded[1])
+        if tag == "d":
+            return {self.decode_meta(k): self.decode_meta(v)
+                    for k, v in encoded[1]}
+        if tag == "dc":
+            return self._decode_dataclass(encoded[1], encoded[2])
+        raise SnapshotError(f"unknown meta encoding {encoded!r}")
+
+    def _decode_dataclass(self, path: str, fields: list):
+        module_name, _, qualname = path.partition(":")
+        try:
+            obj = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+        except (ImportError, AttributeError) as exc:
+            raise SnapshotError(f"unknown dataclass {path!r}") from exc
+        if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+            raise SnapshotError(f"{path!r} is not a dataclass")
+        return obj(*[self.decode_meta(f) for f in fields])
+
+    # -- states --------------------------------------------------------------
+
+    def encode_state(self, state: ExecutionState) -> dict:
+        """Encode one execution state (recursing into its snapshot map)."""
+        return {
+            "parent_sid": state.parent_sid,
+            "objects": [
+                [
+                    obj.obj_id, obj.kind, obj.name, int(obj.freed),
+                    [self.encode_value(c) for c in obj.cells],
+                ]
+                for obj in state.address_space.objects.values()
+            ],
+            "globals": dict(state.globals),
+            "threads": [self._encode_thread(t) for t in state.threads.values()],
+            "current_tid": state.current_tid,
+            "next_tid": state.next_tid,
+            "next_obj": state.next_obj,
+            "constraints": [
+                ["e", self.encode_expr(c)] for c in state.constraints
+            ],
+            "mutexes": [
+                [list(key), rec.owner, list(rec.waiters)]
+                for key, rec in state.mutexes.items()
+            ],
+            "condvars": [
+                [list(key), list(tids)] for key, tids in state.condvars.items()
+            ],
+            "env": self._encode_env(state.env),
+            "input_events": [
+                [e.kind, e.key, [self.encode_value(v) for v in e.variables]]
+                for e in state.input_events
+            ],
+            "output": list(state.output),
+            "sync_log": [
+                [e.seq, e.tid, e.op,
+                 list(e.addr) if e.addr is not None else None, repr(e.ref)]
+                for e in state.sync_log
+            ],
+            "segments": [[s.tid, s.instrs] for s in state.segments],
+            "segment_instrs": state.segment_instrs,
+            "steps": state.steps,
+            "forks": state.forks,
+            "status": state.status,
+            "exit_code": state.exit_code,
+            "bug": self._encode_bug(state.bug),
+            "snapshots": [
+                [list(key), self.encode_state(snap)]
+                for key, snap in state.snapshots.items()
+            ],
+            "schedule_distance": state.schedule_distance,
+            "preemptions": state.preemptions,
+            "meta": [
+                [key, self.encode_meta(value)]
+                for key, value in state.meta.items()
+            ],
+            "last_model": (
+                dict(state.last_model) if state.last_model is not None else None
+            ),
+        }
+
+    def decode_state(self, data: dict) -> ExecutionState:
+        state = ExecutionState()  # fresh process-local sid
+        state.parent_sid = data["parent_sid"]
+        space = AddressSpace()
+        for obj_id, kind, name, freed, cells in data["objects"]:
+            obj = MemObject(
+                obj_id, len(cells), kind, name,
+                init=[self.decode_value(c) for c in cells],
+            )
+            obj.freed = bool(freed)
+            space.add(obj)
+        state.address_space = space
+        state.globals = dict(data["globals"])
+        state.threads = {}
+        for encoded in data["threads"]:
+            thread = self._decode_thread(encoded)
+            state.threads[thread.tid] = thread
+        state.current_tid = data["current_tid"]
+        state.next_tid = data["next_tid"]
+        state.next_obj = data["next_obj"]
+        for encoded in data["constraints"]:
+            state.add_constraint(self.decode_value(encoded))
+        state.mutexes = {
+            tuple(key): MutexRec(owner, list(waiters))
+            for key, owner, waiters in data["mutexes"]
+        }
+        state.condvars = {
+            tuple(key): list(tids) for key, tids in data["condvars"]
+        }
+        state.env = self._decode_env(data["env"])
+        state.input_events = [
+            InputEvent(kind, key, [self.decode_value(v) for v in variables])
+            for kind, key, variables in data["input_events"]
+        ]
+        state.output = list(data["output"])
+        state.sync_log = [
+            SyncEvent(seq, tid, op,
+                      tuple(addr) if addr is not None else None,
+                      InstrRef.parse(ref))
+            for seq, tid, op, addr, ref in data["sync_log"]
+        ]
+        state.segments = [Segment(tid, n) for tid, n in data["segments"]]
+        state.segment_instrs = data["segment_instrs"]
+        state.steps = data["steps"]
+        state.forks = data["forks"]
+        state.status = data["status"]
+        state.exit_code = data["exit_code"]
+        state.bug = self._decode_bug(data["bug"])
+        state.snapshots = {
+            tuple(key): self.decode_state(snap)
+            for key, snap in data["snapshots"]
+        }
+        state.schedule_distance = data["schedule_distance"]
+        state.preemptions = data["preemptions"]
+        state.meta = {key: self.decode_meta(value) for key, value in data["meta"]}
+        model = data["last_model"]
+        state.last_model = dict(model) if model is not None else None
+        return state
+
+    # -- pieces --------------------------------------------------------------
+
+    def _encode_thread(self, thread: ThreadState) -> dict:
+        blocked = thread.blocked_on
+        return {
+            "tid": thread.tid,
+            "status": thread.status,
+            "blocked_on": (
+                [blocked[0], list(blocked[1]) if isinstance(blocked[1], tuple)
+                 else blocked[1]]
+                if blocked is not None else None
+            ),
+            "reacquire": (
+                list(thread.reacquire_mutex)
+                if thread.reacquire_mutex is not None else None
+            ),
+            "instr_count": thread.instr_count,
+            "entry": thread.entry_function,
+            "replaying": int(thread.replaying),
+            "frames": [
+                [
+                    frame.function, frame.block, frame.index,
+                    [[name, self.encode_value(v)]
+                     for name, v in frame.regs.items()],
+                    frame.ret_dst, list(frame.allocas),
+                ]
+                for frame in thread.frames
+            ],
+        }
+
+    def _decode_thread(self, data: dict) -> ThreadState:
+        thread = ThreadState(data["tid"], data["entry"])
+        thread.status = data["status"]
+        blocked = data["blocked_on"]
+        if blocked is not None:
+            kind, target = blocked
+            thread.blocked_on = (
+                (kind, tuple(target)) if isinstance(target, list)
+                else (kind, target)
+            )
+        reacquire = data["reacquire"]
+        thread.reacquire_mutex = tuple(reacquire) if reacquire is not None else None
+        thread.instr_count = data["instr_count"]
+        thread.replaying = bool(data["replaying"])
+        for function, block, index, regs, ret_dst, allocas in data["frames"]:
+            frame = Frame(function, block)
+            frame.index = index
+            frame.regs = {name: self.decode_value(v) for name, v in regs}
+            frame.ret_dst = ret_dst
+            frame.allocas = list(allocas)
+            thread.frames.append(frame)
+        return thread
+
+    def _encode_env(self, env: EnvState) -> dict:
+        return {
+            "stdin": [self.encode_value(v) for v in env.stdin_vars],
+            "env_buffers": [
+                [name, self.encode_value(ptr)]
+                for name, ptr in env.env_buffers.items()
+            ],
+            "arg_buffers": [
+                [index, self.encode_value(ptr)]
+                for index, ptr in env.arg_buffers.items()
+            ],
+            "argc": (
+                self.encode_value(env.argc_var)
+                if env.argc_var is not None else None
+            ),
+            "buffers": [
+                [name, self.encode_value(ptr)]
+                for name, ptr in env.buffers.items()
+            ],
+        }
+
+    def _decode_env(self, data: dict) -> EnvState:
+        env = EnvState()
+        env.stdin_vars = [self.decode_value(v) for v in data["stdin"]]
+        env.env_buffers = {
+            name: self.decode_value(ptr) for name, ptr in data["env_buffers"]
+        }
+        env.arg_buffers = {
+            index: self.decode_value(ptr) for index, ptr in data["arg_buffers"]
+        }
+        env.argc_var = (
+            self.decode_value(data["argc"]) if data["argc"] is not None else None
+        )
+        env.buffers = {
+            name: self.decode_value(ptr) for name, ptr in data["buffers"]
+        }
+        return env
+
+    def _encode_bug(self, bug: Optional[BugInfo]) -> Optional[dict]:
+        if bug is None:
+            return None
+        return {
+            "kind": bug.kind.value,
+            "ref": repr(bug.ref),
+            "tid": bug.tid,
+            "message": bug.message,
+            "line": bug.line,
+            "fault_obj": bug.fault_obj,
+            "fault_offset": bug.fault_offset,
+            "fault_value": bug.fault_value,
+            "cycle": [[e.waiter, e.resource, e.holder] for e in bug.cycle],
+        }
+
+    def _decode_bug(self, data: Optional[dict]) -> Optional[BugInfo]:
+        if data is None:
+            return None
+        return BugInfo(
+            kind=BugKind(data["kind"]),
+            ref=InstrRef.parse(data["ref"]),
+            tid=data["tid"],
+            message=data["message"],
+            line=data["line"],
+            fault_obj=data["fault_obj"],
+            fault_offset=data["fault_offset"],
+            fault_value=data["fault_value"],
+            cycle=[
+                DeadlockEdge(waiter, resource, holder)
+                for waiter, resource, holder in data["cycle"]
+            ],
+        )
+
+
+# -- payload helpers ---------------------------------------------------------
+
+
+def snapshot_states(states: list[ExecutionState]) -> dict:
+    """Serialize a batch of states into one self-contained payload."""
+    codec = SnapshotCodec()
+    encoded = [codec.encode_state(state) for state in states]
+    return {"format": SNAPSHOT_FORMAT, "exprs": codec.nodes, "states": encoded}
+
+
+def restore_states(payload: dict) -> list[ExecutionState]:
+    """Rebuild the states of a :func:`snapshot_states` payload."""
+    fmt = payload.get("format")
+    if fmt != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"unsupported snapshot format {fmt!r} (expected {SNAPSHOT_FORMAT!r})"
+        )
+    codec = SnapshotCodec()
+    codec.decode_nodes(payload["exprs"])
+    return [codec.decode_state(data) for data in payload["states"]]
+
+
+def verify_roundtrip(state: ExecutionState) -> None:
+    """Assert that ``state`` survives serialization bit-for-bit.
+
+    Encodes the live state, restores it, re-encodes the restored copy, and
+    compares the two documents (state ids and expression uids are process-
+    local and never serialized, so canonical encodings of a faithful
+    round-trip are identical).  Raises :class:`SnapshotError` on the first
+    field that differs.
+    """
+    first = snapshot_states([state])
+    second = snapshot_states(restore_states(first))
+    if first == second:
+        return
+    original, restored = first["states"][0], second["states"][0]
+    for key in original:
+        if original[key] != restored.get(key):
+            raise SnapshotError(
+                f"round-trip mismatch in field {key!r}: "
+                f"{original[key]!r} != {restored.get(key)!r}"
+            )
+    raise SnapshotError("round-trip mismatch in expression table")

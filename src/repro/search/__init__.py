@@ -10,6 +10,7 @@ from .engine import (
     StopPredicate,
     SynthesisEvent,
     explore,
+    explore_frontier,
 )
 from .esd import SCHEDULE_WEIGHT, GoalSpec, ProximityGuidedSearcher
 from .strategies import BFSSearcher, DFSSearcher, RandomPathSearcher
@@ -30,4 +31,5 @@ __all__ = [
     "StopPredicate",
     "SynthesisEvent",
     "explore",
+    "explore_frontier",
 ]

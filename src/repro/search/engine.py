@@ -25,8 +25,13 @@ class SynthesisEvent:
 
     ``kind`` is one of ``'start'`` (search begins), ``'progress'`` (periodic,
     every ``event_interval`` picks), ``'bug'`` (a non-goal bug state was
-    recorded), and ``'done'`` (the search returned; ``reason`` holds the
+    recorded), ``'checkpoint'`` (a frontier checkpoint was written; ``detail``
+    holds the path), and ``'done'`` (the search returned; ``reason`` holds the
     outcome reason).
+
+    ``worker`` and ``shard`` attribute the event to one worker process of a
+    :class:`~repro.distrib.ParallelExplorer` run; both are ``-1`` for events
+    from a serial search (or from the parallel master itself).
     """
 
     kind: str
@@ -37,6 +42,8 @@ class SynthesisEvent:
     seconds: float = 0.0
     reason: str = ""
     detail: str = ""
+    worker: int = -1
+    shard: int = -1
 
 
 EventCallback = Callable[[SynthesisEvent], None]
@@ -59,6 +66,24 @@ class Searcher:
     def notify(self, event: str, state: ExecutionState) -> None:
         """Optional hook for strategies that track events (e.g. ESD boosting
         snapshot states when a contended mutex turns out to be an inner lock)."""
+
+    # -- frontier export (sharded exploration) --------------------------------
+
+    def drain(self) -> list[ExecutionState]:
+        """Remove and return every pending state (in pick order)."""
+        states = []
+        while len(self):
+            states.append(self.pick())
+        return states
+
+    def export_frontier(self) -> list[tuple[float, ExecutionState]]:
+        """Drain the frontier as ``(score, state)`` pairs, best first.
+
+        The score orders states for proximity-band sharding; strategies
+        without a numeric priority fall back to pick order.  The searcher is
+        empty afterwards -- re-``add`` the states to keep exploring locally.
+        """
+        return [(float(i), s) for i, s in enumerate(self.drain())]
 
 
 @dataclass(slots=True)
@@ -123,12 +148,48 @@ def explore(
     pick; when it returns True the search returns with reason 'cancelled'
     (portfolio synthesis cancels the losing variants this way).
     """
+    return explore_frontier(
+        executor, searcher, [initial], is_goal, budget,
+        on_event=on_event, event_interval=event_interval,
+        should_stop=should_stop,
+    )
+
+
+def explore_frontier(
+    executor: Executor,
+    searcher: Searcher,
+    frontier: list[ExecutionState],
+    is_goal: GoalPredicate,
+    budget: Optional[SearchBudget] = None,
+    *,
+    on_event: Optional[EventCallback] = None,
+    event_interval: int = 4096,
+    should_stop: Optional[StopPredicate] = None,
+    count_frontier: bool = True,
+) -> SearchOutcome:
+    """:func:`explore` generalized to start from a whole frontier.
+
+    This is the sharded-exploration entry point: a worker seeds its searcher
+    with its shard (``frontier``) and keeps calling ``explore_frontier`` with
+    an empty frontier to continue across work quanta -- the searcher's
+    pending states persist between calls.
+
+    ``count_frontier=False`` excludes the seeded states from
+    ``states_explored``: states migrating between shards (or resuming from a
+    checkpoint) were already counted where they were created, so a sharded
+    run's totals match the serial run's.
+
+    Budget accounting charges *distinct* instruction executions: retries of a
+    blocking sync instruction after a wake (``executor.stats.replayed``) and
+    pure scheduling decisions are not re-charged, so the instruction count is
+    a measure of forward progress that serial and sharded runs agree on.
+    """
     budget = budget or SearchBudget()
     stats = SearchStats()
     other_bugs: list[ExecutionState] = []
     deadline = time.monotonic() + budget.max_seconds
     started = time.monotonic()
-    states_seen = 1
+    states_seen = len(frontier) if count_frontier else 0
 
     def emit(kind: str, reason: str = "", detail: str = "") -> None:
         if on_event is not None:
@@ -149,10 +210,15 @@ def explore(
         emit("done", reason=reason)
         return SearchOutcome(goal_state, reason, stats, other_bugs)
 
+    def executed() -> int:
+        # Distinct instruction executions so far (replay retries excluded).
+        return executor.stats.instructions - executor.stats.replayed
+
     emit("start")
-    if is_goal(initial):
-        return finish(initial, "goal")
-    searcher.add(initial)
+    for state in frontier:
+        if is_goal(state):
+            return finish(state, "goal")
+        searcher.add(state)
 
     while len(searcher):
         if should_stop is not None and should_stop():
@@ -170,10 +236,10 @@ def explore(
             emit("progress")
         # Run the picked state for a batch: stop at a fork, termination, or
         # the batch limit, whichever comes first.
+        batch_base = executed()
         pending = [state]
         for _ in range(max(budget.batch_instructions, 1)):
             successors = executor.step(pending[-1])
-            stats.instructions += 1
             if len(successors) == 1 and not successors[0].terminated:
                 searcher.notify("step", successors[0])
             else:
@@ -183,6 +249,7 @@ def explore(
                     if not succ.terminated:
                         searcher.notify("step", succ)
                 break
+        stats.instructions += executed() - batch_base
 
         for succ in pending:
             if is_goal(succ):

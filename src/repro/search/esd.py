@@ -191,6 +191,42 @@ class ProximityGuidedSearcher(Searcher):
                 self._live -= 1
                 return token["state"]
 
+    def drain(self) -> list[ExecutionState]:
+        """Remove every pending state without consuming RNG draws.
+
+        Sharded exploration drains the frontier to serialize it; going
+        through :meth:`pick` would advance the queue-selection RNG and pop
+        heaps, perturbing a continuation that re-adds the same states.
+        States come back in insertion order (token order), which is
+        deterministic.
+        """
+        states = [
+            token["state"] for token in self._tokens.values() if token["live"]
+        ]
+        for token in self._tokens.values():
+            token["live"] = False
+        self._tokens.clear()
+        for queue in self._queues:
+            queue.clear()
+        self._live = 0
+        return states
+
+    def export_frontier(self) -> list[tuple[float, ExecutionState]]:
+        """Drain as ``(proximity score, state)`` pairs, best (lowest) first.
+
+        The score is the same combined priority the queues order by
+        (phase progress + path distance + schedule-distance bias) against
+        the final goal, so proximity-band sharding sees the search's own
+        notion of "close".
+        """
+        scored = [
+            (self._priority(state, self.state_distance(state, self.final_goal)),
+             state)
+            for state in self.drain()
+        ]
+        scored.sort(key=lambda pair: pair[0])
+        return scored
+
     def boost(self, state: ExecutionState) -> None:
         """Re-prioritize a pending state whose schedule distance changed
         (the deadlock policy 'switches to' snapshot states this way).

@@ -52,6 +52,8 @@ class CacheStats:
     unknown_hits: int = 0
     insertions: int = 0
     evictions: int = 0
+    # Entries accepted from another cache's delta (cross-worker sync).
+    merged: int = 0
 
     @property
     def hits(self) -> int:
@@ -93,6 +95,10 @@ class CounterexampleCache:
         self._sat_index: dict[int, list[Key]] = {}
         # key -> max_nodes budget that was exhausted proving nothing.
         self._unknown: "OrderedDict[Key, int]" = OrderedDict()
+        # When enabled, definite insertions are journaled here so a sharded-
+        # search worker can ship its newly learned results to its siblings
+        # (merged entries are not re-journaled -- see merge_delta).
+        self._delta: Optional[list[tuple[tuple[int, ...], str, Optional[dict]]]] = None
 
     # -- lookup --------------------------------------------------------------
 
@@ -161,21 +167,71 @@ class CounterexampleCache:
         if solution.result is Result.UNKNOWN:
             raise ValueError("use insert_unknown for budget-exhausted results")
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                return
-            while len(self._entries) >= self.capacity:
-                old_key, old = self._entries.popitem(last=False)
-                self._unindex(old_key, old)
-                self.stats.evictions += 1
-            self._entries[key] = solution
-            index = (self._sat_index if solution.result is Result.SAT
-                     else self._unsat_index)
-            for digest in key:
-                index.setdefault(digest, []).append(key)
-            self.stats.insertions += 1
-            # A definite answer supersedes any remembered give-up.
-            self._unknown.pop(key, None)
+            self._insert_locked(key, solution, journal=True)
+
+    def _insert_locked(self, key: Key, solution: Solution, journal: bool) -> bool:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return False
+        while len(self._entries) >= self.capacity:
+            old_key, old = self._entries.popitem(last=False)
+            self._unindex(old_key, old)
+            self.stats.evictions += 1
+        self._entries[key] = solution
+        index = (self._sat_index if solution.result is Result.SAT
+                 else self._unsat_index)
+        for digest in key:
+            index.setdefault(digest, []).append(key)
+        self.stats.insertions += 1
+        # A definite answer supersedes any remembered give-up.
+        self._unknown.pop(key, None)
+        if journal and self._delta is not None:
+            self._delta.append((
+                tuple(sorted(key)),
+                solution.result.value,
+                dict(solution.model) if solution.model else None,
+            ))
+        return True
+
+    # -- cross-worker delta sync ---------------------------------------------
+    #
+    # Sharded exploration gives each worker process its own cache; results
+    # learned in one shard are shipped to the others at steal/checkpoint
+    # boundaries.  Deltas carry raw structural digests, which are stable
+    # across fork()ed processes (same string-hash seed) -- the pool layer
+    # only enables syncing under the fork start method.
+
+    def enable_delta_log(self) -> None:
+        """Start journaling definite insertions for :meth:`drain_delta`."""
+        with self._lock:
+            if self._delta is None:
+                self._delta = []
+
+    def drain_delta(self) -> list[tuple[tuple[int, ...], str, Optional[dict]]]:
+        """Return and clear the journal of insertions since the last drain."""
+        with self._lock:
+            if not self._delta:
+                return []
+            drained, self._delta = self._delta, []
+            return drained
+
+    def merge_delta(
+        self, entries: list[tuple[tuple[int, ...], str, Optional[dict]]]
+    ) -> int:
+        """Apply another cache's drained delta; returns entries accepted.
+
+        Merged entries are *not* re-journaled into this cache's own delta:
+        the pool routes every worker's delta to every sibling itself, and
+        re-journaling would echo entries back and forth forever.
+        """
+        applied = 0
+        with self._lock:
+            for digests, result, model in entries:
+                solution = Solution(Result(result), dict(model) if model else {})
+                if self._insert_locked(frozenset(digests), solution, journal=False):
+                    applied += 1
+            self.stats.merged += applied
+        return applied
 
     def insert_unknown(self, key: Key, max_nodes: int) -> None:
         """Remember that ``key`` exhausted a ``max_nodes`` search budget."""

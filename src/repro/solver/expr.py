@@ -295,6 +295,38 @@ def unop(op: str, operand: Atom) -> Atom:
     return expr
 
 
+def rebuild_binop(op: str, lhs: Atom, rhs: Atom) -> Expr:
+    """Reconstruct a binary node *exactly*, without folding or simplifying.
+
+    Snapshot deserialization rebuilds expression DAGs node for node; the
+    encoded structure already went through :func:`binop`'s folding when it
+    was first built, so re-simplifying could produce a structurally
+    different (if equivalent) tree and break round-trip fidelity checks.
+    The node is still interned, so decoded DAGs share subexpressions with
+    live ones.
+    """
+    key = (op, _key(lhs), _key(rhs))
+    cached = _interned.get(key)
+    if isinstance(cached, BinExpr):
+        _touch(key)
+        return cached
+    expr = BinExpr(op, lhs, rhs)
+    _intern(key, expr)
+    return expr
+
+
+def rebuild_unop(op: str, operand: Expr) -> Expr:
+    """Reconstruct a unary node exactly (see :func:`rebuild_binop`)."""
+    key = (op, _key(operand), None)
+    cached = _interned.get(key)
+    if isinstance(cached, UnExpr):
+        _touch(key)
+        return cached
+    expr = UnExpr(op, operand)
+    _intern(key, expr)
+    return expr
+
+
 def _touch(key: tuple) -> None:
     # Lock-free recency bump: a concurrent portfolio thread may evict the
     # key between our get() and here; losing the bump for an entry that is

@@ -80,6 +80,11 @@ class ExecConfig:
 @dataclass(slots=True)
 class ExecStats:
     instructions: int = 0
+    # Re-executions of a blocking sync instruction after its thread was woken
+    # (the pc stays on a contended lock/wait/join, so the instruction runs
+    # again).  ``instructions - replayed`` is the count of *distinct*
+    # instruction executions, which is what search budgets charge.
+    replayed: int = 0
     forks: int = 0
     sched_forks: int = 0
     states_created: int = 0
@@ -145,6 +150,11 @@ class Executor:
         instr = self._fetch(state)
         state.note_instruction()
         self.stats.instructions += 1
+        if thread.replaying:
+            # Woken after blocking here: this is a retry of an instruction
+            # that was already charged when the thread first attempted it.
+            thread.replaying = False
+            self.stats.replayed += 1
         try:
             successors = self._dispatch(state, instr)
         except _ExecError as err:
@@ -877,6 +887,7 @@ class Executor:
             rec.waiters.append(thread.tid)
         thread.status = BLOCKED
         thread.blocked_on = ("mutex", key)
+        thread.replaying = True  # the pc stays here; wake re-executes the lock
         state.log_sync("block", key, ref)
         if self._check_mutex_cycle(state, instr):
             return [state]
@@ -928,6 +939,7 @@ class Executor:
                 rec.waiters.append(thread.tid)
             thread.status = BLOCKED
             thread.blocked_on = ("mutex", mutex_key)
+            thread.replaying = True  # wake retries the re-acquisition
             self._check_mutex_cycle(state, instr)
             return [state]
 
@@ -948,6 +960,7 @@ class Executor:
         thread.status = BLOCKED
         thread.blocked_on = ("cond", cond_key)
         thread.reacquire_mutex = mutex_key
+        thread.replaying = True  # the signaled wait re-executes as phase 2
         state.log_sync("wait", cond_key, state.pc)
         return [state]
 
@@ -1018,6 +1031,7 @@ class Executor:
         thread = state.thread
         thread.status = BLOCKED
         thread.blocked_on = ("join", tid_value)
+        thread.replaying = True  # the join re-executes once the target exits
         return [state]
 
     # -- intrinsics ------------------------------------------------------------

@@ -62,7 +62,7 @@ class ThreadState:
 
     __slots__ = (
         "tid", "frames", "status", "blocked_on", "reacquire_mutex",
-        "instr_count", "entry_function",
+        "instr_count", "entry_function", "replaying",
     )
 
     def __init__(self, tid: int, entry_function: str) -> None:
@@ -75,6 +75,12 @@ class ThreadState:
         self.reacquire_mutex: Optional[AddrKey] = None
         self.instr_count = 0
         self.entry_function = entry_function
+        # A blocking sync operation (lock contention, cond wait, join) leaves
+        # the pc on the blocking instruction, so the woken thread *re-executes*
+        # it.  This flag marks that pending re-execution; the engine's budget
+        # accounting counts the instruction once, not per retry, keeping
+        # instruction counts consistent between serial and sharded runs.
+        self.replaying = False
 
     def clone(self) -> "ThreadState":
         copy = ThreadState.__new__(ThreadState)
@@ -85,6 +91,7 @@ class ThreadState:
         copy.reacquire_mutex = self.reacquire_mutex
         copy.instr_count = self.instr_count
         copy.entry_function = self.entry_function
+        copy.replaying = self.replaying
         return copy
 
     @property

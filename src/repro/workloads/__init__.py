@@ -2,7 +2,7 @@
 
 from .base import Workload
 from .coreutils import MKDIR, MKFIFO, MKNOD, PASTE, TAC
-from .ghttpd import WORKLOAD as GHTTPD
+from .ghttpd import GHTTPD_HARD, WORKLOAD as GHTTPD
 from .hawknl import WORKLOAD as HAWKNL
 from .listing1 import WORKLOAD as LISTING1
 from .ls import LS1, LS2, LS3, LS4, ls_source
@@ -15,7 +15,10 @@ TABLE1 = [MINIDB, HAWKNL, GHTTPD, PASTE, MKNOD, MKDIR, MKFIFO, TAC]
 FIGURE2 = [LS1, LS2, LS3, LS4, GHTTPD, TAC, MKDIR, MKFIFO, MKNOD, PASTE,
            HAWKNL, MINIDB]
 
-ALL = {w.name: w for w in [LISTING1] + FIGURE2}
+# ghttpd-hard is not part of the paper's evaluation set: it scales the
+# ghttpd overflow behind a header-parsing plateau for the distributed-
+# search benchmark, so it joins the registry but not TABLE1/FIGURE2.
+ALL = {w.name: w for w in [LISTING1] + FIGURE2 + [GHTTPD_HARD]}
 
 
 def get(name: str) -> Workload:
@@ -26,6 +29,7 @@ __all__ = [
     "ALL",
     "FIGURE2",
     "GHTTPD",
+    "GHTTPD_HARD",
     "HAWKNL",
     "LISTING1",
     "LS1",

@@ -101,3 +101,122 @@ WORKLOAD = Workload(
     corrupt_dump=True,
     paper_seconds=7.0,
 )
+
+
+# -- ghttpd-hard: the same overflow behind a header-parsing plateau ----------
+#
+# The plain ghttpd search is almost a straight proximity descent (~70
+# states), so there is nothing for a parallel frontier to shard.  The hard
+# variant prefixes the request with a run of classified header characters:
+# every header byte forks the state over the classifier's alternatives while
+# the proximity distance barely changes -- a *distance plateau* that the
+# guided search must sweep breadth-first.  Logging (where the overflow
+# lives) is only enabled when some header classified as 'l', so the goal
+# still constrains the plateau.  This is the distributed-search benchmark
+# workload: big frontier, same bug.
+
+_HARD_HEADERS = 8
+
+_HARD_SOURCE_TEMPLATE = """
+// ghttpd-hard: header parsing creates a distance plateau before the
+// overflowing log write.
+int logbuf[24];
+int loglen = 0;
+int served = 0;
+int status = 0;
+int headers[%(nh)d];
+int log_enabled = 0;
+
+int is_space(int c) {
+    if (c == ' ') { return 1; }
+    if (c == 9) { return 1; }
+    return 0;
+}
+
+int classify(int c) {
+    if (c == 'a') { return 1; }
+    if (c == 'c') { return 2; }
+    if (c == 'k') { return 3; }
+    if (c == 'l') { return 4; }
+    if (c == 'u') { return 5; }
+    return 0;
+}
+
+int parse_headers(int *request) {
+    int i = 0;
+    while (i < %(nh)d) {
+        int kind = classify(request[i]);
+        headers[i] = kind;
+        if (kind == 4) { log_enabled = 1; }
+        i = i + 1;
+    }
+    return i;
+}
+
+void log_request(int *url) {
+    logbuf[0] = 'G';
+    logbuf[1] = ' ';
+    int pos = 2;
+    int i = 0;
+    while (url[i] != 0) {
+        // BUG: no bound check against the 24-cell log buffer.
+        logbuf[pos + i] = url[i];
+        i = i + 1;
+    }
+    logbuf[pos + i] = 0;
+    loglen = pos + i;
+}
+
+int send_response(int code) {
+    status = code;
+    served = served + 1;
+    return code;
+}
+
+int serveconnection(int *request) {
+    int nh = parse_headers(request);
+    if (request[nh] != 'G') { return send_response(400); }
+    if (request[nh + 1] != ' ') { return send_response(400); }
+    int url[40];
+    int i = 0;
+    while (i < 36) {
+        int c = request[nh + 2 + i];
+        if (c == 0) { break; }
+        if (is_space(c)) { break; }
+        url[i] = c;
+        i = i + 1;
+    }
+    url[i] = 0;
+    if (i == 0) { return send_response(400); }
+    if (log_enabled == 1) { log_request(url); }
+    return send_response(200);
+}
+
+int main() {
+    int *request = read_input("req", 64);
+    int code = serveconnection(request);
+    if (code == 200) { return 0; }
+    return 1;
+}
+"""
+
+
+def hard_workload(headers: int = _HARD_HEADERS) -> Workload:
+    """Build a ghttpd-hard variant with a ``headers``-deep plateau (each
+    extra header roughly doubles the frontier the search must sweep)."""
+    trigger = "l" * headers + "G " + "/" + "A" * 25
+    return Workload(
+        name="ghttpd-hard" if headers == _HARD_HEADERS
+        else f"ghttpd-hard{headers}",
+        source=_HARD_SOURCE_TEMPLATE % {"nh": headers},
+        bug_type="crash",
+        expected_kind=BugKind.OUT_OF_BOUNDS,
+        description="crash: the ghttpd log overflow behind a header-parsing "
+        "plateau (distributed-search benchmark workload)",
+        trigger_inputs=RecordedInputs(
+            buffers={"req": [ord(c) for c in trigger]}
+        ),
+    )
+
+
+GHTTPD_HARD = hard_workload()

@@ -361,6 +361,9 @@ class TestReproCli:
 
         monkeypatch.setattr(synthesis_mod, "esd_synthesize", spy)
         monkeypatch.setattr("repro.api.session.esd_synthesize", spy)
+        # The spy observes the serial driver; pin the worker default so a
+        # REPRO_WORKERS test matrix does not route around it.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
         assert repro_main(
             ["synth", str(dump), str(program), "--crash",
              "--max-seconds", "15", "-o", str(output)]
