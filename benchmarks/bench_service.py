@@ -1,0 +1,150 @@
+"""Job-service throughput benchmark: jobs/minute vs. sequential cold runs.
+
+Simulates the service usage model the ROADMAP targets -- a stream of bug
+reports arriving for the same program -- two ways:
+
+* **sequential cold**: one fresh :class:`~repro.api.ReproSession` per
+  report, the way a script without the service would handle a queue
+  (static analysis and solver caches rebuilt every time);
+* **service**: every report submitted as a job to one
+  :class:`~repro.service.ReproService` with N scheduler workers, so all
+  jobs share a single program context (one static pass, one structural
+  counterexample cache).
+
+Reported: wall-clock, jobs/minute, speedup, and the shared-statics
+counter (``distance_builds`` must be 1 for the service run, N for the
+cold baseline).  On a single-core container the speedup is dominated by
+the static/solver amortization rather than parallelism; multicore hosts
+add scheduler concurrency on top.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import ReproSession  # noqa: E402
+from repro.api.jobs import FOUND, JobSpec  # noqa: E402
+from repro.core import ESDConfig  # noqa: E402
+from repro.service import ReproService  # noqa: E402
+from repro.workloads import get  # noqa: E402
+
+
+def _config(max_seconds: float) -> ESDConfig:
+    config = ESDConfig()
+    config.budget.max_seconds = max_seconds
+    return config
+
+
+def bench(workload_name: str, jobs: int, workers: int,
+          max_seconds: float) -> dict:
+    workload = get(workload_name)
+    reports = []
+    for i in range(jobs):
+        report = workload.make_report()
+        report.description = f"bench job {i}"  # distinct spec digests
+        reports.append(report)
+
+    # Sequential cold baseline: a fresh session (fresh statics, fresh
+    # solver cache) per report.
+    cold_started = time.perf_counter()
+    cold_found = 0
+    cold_builds = 0
+    for report in reports:
+        session = ReproSession(workload.compile(), workers=1)
+        result = session.synthesize(report, _config(max_seconds))
+        cold_found += int(result.found)
+        cold_builds += session.static_stats.distance_builds
+    cold_wall = time.perf_counter() - cold_started
+
+    # The service: all jobs queued at once on one shared program context.
+    service = ReproService(max_workers=workers,
+                           default_config=_config(max_seconds))
+    try:
+        service_started = time.perf_counter()
+        records = [
+            service.submit(JobSpec(workload=workload_name, report=report))
+            for report in reports
+        ]
+        finals = [service.wait(r.job_id, timeout=max_seconds * jobs)
+                  for r in records]
+        service_wall = time.perf_counter() - service_started
+        service_found = sum(1 for r in finals if r.state == FOUND)
+        program = service.programs()[f"workload:{workload_name}"]
+        service_builds = program.static_stats.distance_builds
+    finally:
+        service.shutdown(graceful=False, timeout=10.0)
+
+    return {
+        "workload": workload_name,
+        "jobs": jobs,
+        "service_workers": workers,
+        "cold": {
+            "wall_seconds": cold_wall,
+            "jobs_per_minute": 60.0 * jobs / cold_wall if cold_wall else None,
+            "found": cold_found,
+            "distance_builds": cold_builds,
+        },
+        "service": {
+            "wall_seconds": service_wall,
+            "jobs_per_minute": (60.0 * jobs / service_wall
+                                if service_wall else None),
+            "found": service_found,
+            "distance_builds": service_builds,
+        },
+        "speedup": cold_wall / service_wall if service_wall else None,
+        "ok": (cold_found == jobs and service_found == jobs
+               and service_builds == 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller job count for CI")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH")
+    parser.add_argument("--workload", default="ls1",
+                        help="heavier static phase shows the amortization "
+                             "(default: ls1)")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else (4 if args.quick else 8)
+    max_seconds = 120.0
+    result = bench(args.workload, jobs, args.workers, max_seconds)
+
+    cold, svc = result["cold"], result["service"]
+    print(f"bench_service: {jobs} '{args.workload}' jobs, "
+          f"{args.workers} service workers")
+    print(f"bench_service: sequential cold  {cold['wall_seconds']:7.2f}s "
+          f"({cold['jobs_per_minute']:.1f} jobs/min, "
+          f"{cold['distance_builds']} static builds)")
+    print(f"bench_service: job service      {svc['wall_seconds']:7.2f}s "
+          f"({svc['jobs_per_minute']:.1f} jobs/min, "
+          f"{svc['distance_builds']} static build)")
+    print(f"bench_service: speedup {result['speedup']:.2f}x "
+          f"({'ok' if result['ok'] else 'FAILED'})")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps({
+            "benchmark": "service-throughput",
+            "quick": args.quick,
+            "result": result,
+        }, indent=2))
+        print(f"bench_service: wrote {args.json}")
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Service quickstart: a batch of bug reports through the job API.
+
+The job model turns ESD from a blocking library call into a service: you
+submit versioned, JSON-serializable job specs, a bounded scheduler drains
+them from a priority queue, every artifact lands in a content-addressed
+store, and concurrent jobs on one program share a single static-analysis
+pass and one solver cache.
+
+This example runs everything in-process (an in-memory store, no HTTP);
+`repro serve` exposes exactly the same service over HTTP + a spool
+directory, with `repro submit|status|fetch` as clients.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import json
+import time
+
+from repro.api.jobs import FOUND, TERMINAL_STATES, JobSpec
+from repro.core import ExecutionFile
+from repro.service import ReproService
+from repro.workloads import get
+
+
+def main() -> None:
+    # --- a stream of reports against one program ---------------------------
+    print("== 1. four bug reports arrive for 'tac' ==")
+    workload = get("tac")
+    reports = []
+    for i in range(4):
+        report = workload.make_report()
+        report.description = f"ticket #{1042 + i}"  # distinct job specs
+        reports.append(report)
+
+    # --- submit them all as jobs -------------------------------------------
+    print("\n== 2. submit the batch; the queue runs 4 jobs concurrently ==")
+    service = ReproService(max_workers=4)
+    records = [
+        service.submit(JobSpec(workload=workload.name, report=report,
+                               priority=i))
+        for i, report in enumerate(reports)
+    ]
+    for record in records:
+        print(f"   {record.job_id}: {record.state}")
+
+    # A duplicate submission dedupes via the spec's store digest:
+    duplicate = service.submit(JobSpec(workload=workload.name,
+                                       report=reports[0], priority=0))
+    print(f"   duplicate submit -> existing job {duplicate.job_id}")
+
+    # --- poll to completion -------------------------------------------------
+    print("\n== 3. poll the job lifecycle to completion ==")
+    pending = {record.job_id for record in records}
+    while pending:
+        for job_id in sorted(pending):
+            record = service.job(job_id)
+            if record.state in TERMINAL_STATES:
+                pending.discard(job_id)
+                print(f"   {job_id}: {record.state} "
+                      f"({record.result['instructions']} instructions)")
+        time.sleep(0.05)
+
+    # One static-analysis pass served all four jobs:
+    program = service.programs()[f"workload:{workload.name}"]
+    print(f"   static distance builds across 4 jobs: "
+          f"{program.static_stats.distance_builds}")
+
+    # --- fetch and replay the artifact --------------------------------------
+    print("\n== 4. fetch an artifact from the store and play it back ==")
+    job = records[0]
+    final = service.job(job.job_id)
+    assert final.state == FOUND
+    digest = final.artifacts["execution"]
+    execution = ExecutionFile.from_dict(
+        json.loads(service.fetch_artifact(job.job_id))
+    )
+    print(f"   artifact {digest[:16]}…: {execution.bug_summary}")
+
+    from repro.api import ReproSession
+
+    playback = ReproSession(workload.compile()).play_back(execution)
+    assert playback.bug_reproduced
+    print("   playback reproduced the bug deterministically")
+
+    service.shutdown()
+    print("\nAll four jobs served by one static pass; same API over HTTP:")
+    print("  repro serve --store repro-store &")
+    print("  repro submit --workload tac --wait && repro fetch <job-id>")
+
+
+if __name__ == "__main__":
+    main()

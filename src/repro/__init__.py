@@ -24,14 +24,23 @@ Typical use::
         report, {"esd": ESDConfig(), "esd-alt": ESDConfig(seed=1)}
     )
 
+Behind the session sits the job service (:class:`repro.service.
+ReproService`): versioned :class:`~repro.api.jobs.JobSpec` documents in, a
+priority queue across a bounded worker budget, artifacts persisted in a
+content-addressed store, and graceful drain with resumable checkpoints.
+``repro serve`` exposes it over HTTP; ``repro submit | status | fetch``
+are the clients.
+
 The one-shot helpers remain for single calls: ``repro.core.esd_synthesize``
 and ``repro.playback.play_back``.  On the command line, the ``repro`` entry
 point exposes the same pipeline (``repro synth | play | triage | bench``).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from .api import ReproSession
+from .api import JobRecord, JobSpec, ReproSession
 from .lang import compile_source
+from .service import ReproService
 
-__all__ = ["ReproSession", "compile_source", "__version__"]
+__all__ = ["JobRecord", "JobSpec", "ReproService", "ReproSession",
+           "compile_source", "__version__"]

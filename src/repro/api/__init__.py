@@ -1,14 +1,27 @@
-"""The service API: a session facade plus the strategy/bug-class registry.
+"""The service API: jobs, a session facade, and the plugin registry.
 
-:class:`ReproSession` is the front door for everything the pipeline does --
-synthesis (single, batch, portfolio), playback, and triage -- with the
-static-phase artifacts cached per module.  :mod:`repro.api.registry` makes
-search strategies and bug classes pluggable by name.
+:class:`ReproSession` is the single-tenant front door for everything the
+pipeline does -- synthesis (single, batch, portfolio), playback, and
+triage -- with the static-phase artifacts cached per module.
+:mod:`repro.api.jobs` defines the versioned :class:`JobSpec`/
+:class:`JobRecord` wire model the :class:`~repro.service.ReproService`
+job queue runs on.  :mod:`repro.api.registry` makes search strategies and
+bug classes pluggable by name.
 """
 
 from ..core.synthesis import StaticAnalysisCache, StaticStats
 from ..search import SynthesisEvent
 from . import registry
+from .jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobError,
+    JobRecord,
+    JobSpec,
+    ResultNotReadyError,
+    SpecError,
+    UnknownJobError,
+)
 from .registry import (
     BugClassPlugin,
     UnknownBugClassError,
@@ -30,12 +43,20 @@ from .session import (
 __all__ = [
     "BatchResult",
     "BugClassPlugin",
+    "JOB_STATES",
+    "JobError",
+    "JobRecord",
+    "JobSpec",
     "PortfolioResult",
     "ReproSession",
+    "ResultNotReadyError",
+    "SpecError",
     "StaticAnalysisCache",
     "StaticStats",
     "SynthesisEvent",
+    "TERMINAL_STATES",
     "TriageOutcome",
+    "UnknownJobError",
     "UnknownBugClassError",
     "UnknownStrategyError",
     "available_bug_classes",

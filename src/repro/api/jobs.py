@@ -1,0 +1,305 @@
+"""The job model: versioned, JSON-serializable job specs and records.
+
+A :class:`JobSpec` is everything needed to run one synthesis as a detached
+job -- the program (MiniC source, or the name of a bundled workload), the
+bug report, the ESD config, and scheduling hints (priority, workers).  Its
+canonical JSON bytes are content-addressed, so the spec digest doubles as
+the store key *and* the deduplication key: submitting the identical spec
+twice yields one job.
+
+A :class:`JobRecord` is the mutable lifecycle document the service keeps
+per job::
+
+    QUEUED -> STATIC -> SEARCHING -> FOUND | EXHAUSTED | CANCELLED | FAILED
+
+``STATIC`` covers program compilation plus the static analysis phase;
+``SEARCHING`` is the path search.  A gracefully interrupted job (service
+shutdown) goes *back* to ``QUEUED`` with a checkpoint artifact attached and
+``interruptions`` bumped -- it is resumable, not failed.  Every transition
+appends a :class:`JobEvent`, which the daemon's ``/events`` endpoint
+exposes for polling clients.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..coredump import BugReport
+from ..core.synthesis import ESDConfig
+from ..schema import (
+    canonical_json_bytes,
+    check_schema_version,
+    content_digest,
+)
+
+JOBSPEC_FORMAT = "esd-jobspec-v1"
+JOBSPEC_SCHEMA_VERSION = 1
+JOBRECORD_FORMAT = "esd-jobrecord-v1"
+JOBRECORD_SCHEMA_VERSION = 1
+
+# -- lifecycle states ---------------------------------------------------------
+
+QUEUED = "QUEUED"
+STATIC = "STATIC"
+SEARCHING = "SEARCHING"
+FOUND = "FOUND"
+EXHAUSTED = "EXHAUSTED"
+CANCELLED = "CANCELLED"
+FAILED = "FAILED"
+
+JOB_STATES = (QUEUED, STATIC, SEARCHING, FOUND, EXHAUSTED, CANCELLED, FAILED)
+RUNNING_STATES = frozenset({STATIC, SEARCHING})
+TERMINAL_STATES = frozenset({FOUND, EXHAUSTED, CANCELLED, FAILED})
+
+
+class JobError(Exception):
+    """Base class for job-layer errors."""
+
+
+class SpecError(JobError, ValueError):
+    """A job spec is malformed (bad program reference, missing report)."""
+
+
+class UnknownJobError(JobError, KeyError):
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"no job {job_id!r}")
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class ResultNotReadyError(JobError):
+    """The job has not produced the requested artifact yet."""
+
+
+@dataclass(slots=True)
+class JobSpec:
+    """One synthesis request in wire form.
+
+    Exactly one of ``source`` (MiniC text, compiled as ``program_name``) or
+    ``workload`` (a bundled workload name) identifies the program.  The
+    report may be omitted only for workload jobs -- the service generates
+    the workload's deterministic coredump server-side.
+    """
+
+    report: Optional[BugReport] = None
+    source: Optional[str] = None
+    program_name: str = "main"
+    workload: Optional[str] = None
+    config: Optional[ESDConfig] = None
+    workers: int = 1
+    priority: int = 0
+
+    def validate(self) -> None:
+        if (self.source is None) == (self.workload is None):
+            raise SpecError(
+                "job spec needs exactly one of source= or workload="
+            )
+        if self.workload is None and self.report is None:
+            raise SpecError("a source job spec needs a bug report")
+        if self.workers < 1:
+            raise SpecError("workers must be at least 1")
+
+    def to_dict(self) -> dict:
+        program: dict = (
+            {"workload": self.workload} if self.workload is not None
+            else {"source": self.source, "name": self.program_name}
+        )
+        return {
+            "format": JOBSPEC_FORMAT,
+            "schema_version": JOBSPEC_SCHEMA_VERSION,
+            "program": program,
+            "report": self.report.to_dict() if self.report else None,
+            "config": self.config.to_dict() if self.config else None,
+            "workers": self.workers,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        if data.get("format") != JOBSPEC_FORMAT:
+            raise SpecError(
+                f"not a job spec: format {data.get('format')!r} "
+                f"(expected {JOBSPEC_FORMAT!r})"
+            )
+        check_schema_version(data, JOBSPEC_SCHEMA_VERSION, "job spec")
+        program = data.get("program") or {}
+        report = data.get("report")
+        config = data.get("config")
+        spec = cls(
+            report=BugReport.from_dict(report) if report else None,
+            source=program.get("source"),
+            program_name=program.get("name", "main"),
+            workload=program.get("workload"),
+            config=ESDConfig.from_dict(config) if config else None,
+            workers=data.get("workers", 1),
+            priority=data.get("priority", 0),
+        )
+        spec.validate()
+        return spec
+
+    def canonical_bytes(self) -> bytes:
+        return canonical_json_bytes(self.to_dict())
+
+    def digest(self) -> str:
+        """The content address of this spec -- also the dedup key."""
+        return content_digest(self.canonical_bytes())
+
+
+@dataclass(slots=True)
+class JobEvent:
+    """One observable moment in a job's life (transition or progress)."""
+
+    seq: int
+    kind: str  # 'state' | 'progress' | 'checkpoint' | 'error'
+    state: str = ""
+    detail: str = ""
+    instructions: int = 0
+    at: float = 0.0  # wall-clock (time.time)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "state": self.state,
+            "detail": self.detail,
+            "instructions": self.instructions,
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobEvent":
+        return cls(
+            seq=data["seq"],
+            kind=data["kind"],
+            state=data.get("state", ""),
+            detail=data.get("detail", ""),
+            instructions=data.get("instructions", 0),
+            at=data.get("at", 0.0),
+        )
+
+
+# Progress events beyond this are folded into the latest one: a job record
+# must stay a cheap document, not an unbounded log.
+MAX_PROGRESS_EVENTS = 256
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """The mutable per-job lifecycle document."""
+
+    job_id: str
+    spec_digest: str
+    priority: int = 0
+    state: str = QUEUED
+    reason: str = ""  # search outcome reason for EXHAUSTED/CANCELLED
+    error: str = ""  # traceback summary for FAILED
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    # kind -> digest references into the artifact store ('spec', 'execution',
+    # 'checkpoint', 'report').
+    artifacts: dict[str, str] = field(default_factory=dict)
+    # Summary numbers from the SynthesisResult, once terminal.
+    result: Optional[dict] = None
+    events: list[JobEvent] = field(default_factory=list)
+    interruptions: int = 0
+    # True when a later identical submission was answered with this record.
+    deduped: bool = False
+    # A job submitted through the in-process facade over a module object
+    # (no source text) cannot be re-run by a restarted daemon.
+    ephemeral: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def add_event(self, kind: str, *, state: str = "", detail: str = "",
+                  instructions: int = 0) -> JobEvent:
+        if (kind == "progress" and self.events
+                and self.events[-1].kind == "progress"
+                and len(self.events) >= MAX_PROGRESS_EVENTS):
+            last = self.events[-1]
+            # Folding still bumps seq: an incremental `?since=` poller must
+            # see the updated event again, or progress would look stalled
+            # past the cap.
+            last.seq += 1
+            last.detail = detail
+            last.instructions = instructions
+            last.at = time.time()
+            return last
+        event = JobEvent(
+            seq=self.events[-1].seq + 1 if self.events else 1,
+            kind=kind, state=state, detail=detail,
+            instructions=instructions, at=time.time(),
+        )
+        self.events.append(event)
+        return event
+
+    def transition(self, state: str, *, reason: str = "",
+                   detail: str = "") -> None:
+        assert state in JOB_STATES, state
+        now = time.time()
+        if state in RUNNING_STATES and self.started_at is None:
+            self.started_at = now
+        if state in TERMINAL_STATES:
+            self.finished_at = now
+        elif state == QUEUED:
+            # Re-queued after a graceful interruption: the next leg gets its
+            # own started/finished stamps.
+            self.started_at = None
+            self.finished_at = None
+        self.state = state
+        if reason:
+            self.reason = reason
+        self.add_event("state", state=state, detail=detail or reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": JOBRECORD_FORMAT,
+            "schema_version": JOBRECORD_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "spec_digest": self.spec_digest,
+            "priority": self.priority,
+            "state": self.state,
+            "reason": self.reason,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "artifacts": dict(self.artifacts),
+            "result": self.result,
+            "events": [e.to_dict() for e in self.events],
+            "interruptions": self.interruptions,
+            "deduped": self.deduped,
+            "ephemeral": self.ephemeral,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        if data.get("format") != JOBRECORD_FORMAT:
+            raise SpecError(
+                f"not a job record: format {data.get('format')!r} "
+                f"(expected {JOBRECORD_FORMAT!r})"
+            )
+        check_schema_version(data, JOBRECORD_SCHEMA_VERSION, "job record")
+        return cls(
+            job_id=data["job_id"],
+            spec_digest=data["spec_digest"],
+            priority=data.get("priority", 0),
+            state=data.get("state", QUEUED),
+            reason=data.get("reason", ""),
+            error=data.get("error", ""),
+            created_at=data.get("created_at", 0.0),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            artifacts=dict(data.get("artifacts", {})),
+            result=data.get("result"),
+            events=[JobEvent.from_dict(e) for e in data.get("events", [])],
+            interruptions=data.get("interruptions", 0),
+            deduped=data.get("deduped", False),
+            ephemeral=data.get("ephemeral", False),
+        )

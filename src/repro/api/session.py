@@ -2,16 +2,23 @@
 
 The paper's usage model is a stream of bug reports against one program:
 each report is synthesized, played back, and triaged against earlier bugs.
-A session is constructed once per module and owns the artifacts every call
-shares -- the static-analysis cache (inter-procedural CFG, distance tables,
-intermediate goals) and the triage database -- so ``synthesize_batch`` over
-N reports performs static analysis once, not N times.
+Since the job-service redesign, a session is a thin *single-tenant facade*
+over :class:`~repro.service.ReproService`: it registers its module as one
+service program context and delegates synthesis to the service's engine,
+so the artifacts every call shares -- the static-analysis cache
+(inter-procedural CFG, distance tables, intermediate goals) and the shared
+solver with its structural counterexample cache -- live in the service
+layer and behave identically whether reached through this facade, a
+``synthesize_batch``, or a queued job.
 
     session = ReproSession.from_source(minic_source)
     result = session.synthesize(report)          # static phase runs here...
     more = session.synthesize_batch(reports)     # ...and is reused here
     playback = session.play_back(result.execution_file)
     outcome = session.triage(another_report)     # duplicate detection
+
+    job = session.submit(report)                 # async: queue on the service
+    record = session.wait(job.job_id)            # ... and await the job
 
 ``synthesize_portfolio`` runs several :class:`~repro.core.ESDConfig`
 variants (seeds, strategies, focusing ablations) concurrently and cancels
@@ -33,18 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover
 from .. import ir
 from ..coredump import BugReport
 from ..core.execfile import ExecutionFile
-from ..core.synthesis import (
-    ESDConfig,
-    StaticAnalysisCache,
-    StaticStats,
-    SynthesisResult,
-    esd_synthesize,
-)
+from ..core.synthesis import ESDConfig, StaticStats, SynthesisResult
 from ..core.triage import TriageDatabase
 from ..lang import compile_source
 from ..playback import PlaybackResult, play_back
 from ..search import EventCallback
-from ..solver import CacheStats, CounterexampleCache, Solver, SolverStats
+from ..service import JobRecord, ReproService
+from ..solver import CacheStats, SolverStats
 from . import registry
 
 Variants = Union[Sequence[ESDConfig], Mapping[str, ESDConfig]]
@@ -132,7 +134,8 @@ class TriageOutcome:
 
 
 class ReproSession:
-    """One program, many reports: the service-facade over the ESD pipeline."""
+    """One program, many reports: the single-tenant facade over the
+    job service's synthesis engine."""
 
     def __init__(
         self,
@@ -141,6 +144,8 @@ class ReproSession:
         config: Optional[ESDConfig] = None,
         on_progress: Optional[EventCallback] = None,
         workers: Optional[int] = None,
+        service: Optional[ReproService] = None,
+        source: Optional[str] = None,
     ) -> None:
         self.module = module
         self.config = config or ESDConfig()
@@ -151,16 +156,20 @@ class ReproSession:
         if workers is None:
             workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
         self.default_workers = max(1, workers)
-        self.statics = StaticAnalysisCache(module)
+        # The session's backing service: private and in-memory by default
+        # (no disk artifacts), or a shared daemon-grade service passed in.
+        # A private service is owned: close() stops its scheduler threads
+        # (they only start if submit() is used).
+        self._owns_service = service is None
+        self.service = service or ReproService(default_config=self.config)
+        self.program = self.service.register_module(module, source=source)
+        # Shared-artifact views, same names as before the redesign: one
+        # static cache and one solver/counterexample cache per program,
+        # shared by batch, portfolio, and every queued job on this module.
+        self.statics = self.program.statics
+        self.solver_cache = self.program.solver_cache
+        self.solver = self.program.solver
         self.triage_db = TriageDatabase()
-        # One solver (and one structural counterexample cache) per session:
-        # constraint sets recur across the reports of a batch, across
-        # portfolio variants, and across re-runs of one report, and
-        # structural keys let all of them share solutions.  The solver is
-        # reentrant and the cache locked, so portfolio worker threads may
-        # use it concurrently.
-        self.solver_cache = CounterexampleCache()
-        self.solver = Solver(cache=self.solver_cache)
 
     @classmethod
     def from_source(
@@ -170,9 +179,29 @@ class ReproSession:
         *,
         config: Optional[ESDConfig] = None,
         on_progress: Optional[EventCallback] = None,
+        service: Optional[ReproService] = None,
     ) -> "ReproSession":
+        """A session over MiniC source.  The source text travels into the
+        service program context, so queued jobs from this session are
+        recoverable and dedupe against wire submissions of the same
+        program."""
         return cls(compile_source(source, name), config=config,
-                   on_progress=on_progress)
+                   on_progress=on_progress, service=service, source=source)
+
+    def close(self) -> None:
+        """Release the backing service's scheduler threads.
+
+        Only needed after :meth:`submit` (inline synthesis never starts
+        them), and only when the session owns its service -- a shared
+        service passed into the constructor is left running."""
+        if self._owns_service:
+            self.service.shutdown(graceful=False, timeout=10.0)
+
+    def __enter__(self) -> "ReproSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def static_stats(self) -> StaticStats:
@@ -201,6 +230,7 @@ class ReproSession:
         workers: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: float = 5.0,
+        handle_signals: bool = False,
     ) -> SynthesisResult:
         """Synthesize one report, reusing the session's static artifacts
         and its shared solver/counterexample cache.
@@ -212,51 +242,50 @@ class ReproSession:
         the session default applies (constructor ``workers`` argument or
         the ``REPRO_WORKERS`` environment variable).  ``checkpoint_path``
         writes periodic frontier checkpoints there (implies the pool even
-        with one worker) for :meth:`resume`.
+        with one worker) for :meth:`resume`; ``handle_signals`` makes the
+        pool catch SIGTERM/SIGINT and write a final checkpoint before
+        returning (reason ``'interrupted'``).
 
         ``should_stop`` callers (the portfolio path runs variants on
         threads) always get the serial engine: forking a process pool from
         a multi-threaded parent is not safe.
         """
         workers = workers if workers is not None else self.default_workers
-        use_pool = (workers > 1 or checkpoint_path is not None)
-        if use_pool and should_stop is None:
-            from ..distrib import (
-                DistribUnsupportedError,
-                ParallelExplorer,
-                parallel_supported,
-            )
-
-            if checkpoint_path is not None and not parallel_supported():
-                # workers>1 may degrade to serial (a performance matter),
-                # but a checkpoint the caller plans to resume from would
-                # silently never be written -- refuse instead.
-                raise DistribUnsupportedError(
-                    "checkpointing requires the parallel exploration pool, "
-                    "which needs the fork start method (unavailable here)"
-                )
-            if parallel_supported():
-                pool = ParallelExplorer(
-                    self.module,
-                    report,
-                    config or self.config,
-                    workers=workers,
-                    statics=self.statics,
-                    solver=self.solver,
-                    on_event=on_progress or self.on_progress,
-                    checkpoint_path=checkpoint_path,
-                    checkpoint_interval=checkpoint_interval,
-                )
-                return pool.run()
-        return esd_synthesize(
-            self.module,
+        return self.service.synthesize(
+            self.program,
             report,
             config or self.config,
-            statics=self.statics,
-            solver=self.solver,
             on_progress=on_progress or self.on_progress,
             should_stop=should_stop,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            checkpoint_interval=checkpoint_interval,
+            handle_signals=handle_signals,
         )
+
+    # -- async jobs ----------------------------------------------------------
+
+    def submit(
+        self,
+        report: BugReport,
+        config: Optional[ESDConfig] = None,
+        *,
+        priority: int = 0,
+    ) -> JobRecord:
+        """Queue the report as an asynchronous job on the backing service.
+
+        Returns the :class:`~repro.api.jobs.JobRecord` immediately; poll it
+        via :meth:`job` or block with :meth:`wait`.  Identical submissions
+        dedupe to one job via the spec's store digest."""
+        return self.service.submit_report(
+            self.program, report, config or self.config, priority=priority,
+        )
+
+    def job(self, job_id: str) -> JobRecord:
+        return self.service.job(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        return self.service.wait(job_id, timeout=timeout)
 
     def resume(
         self,
@@ -266,6 +295,7 @@ class ReproSession:
         on_progress: Optional[EventCallback] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: float = 5.0,
+        handle_signals: bool = False,
     ) -> SynthesisResult:
         """Continue a checkpointed synthesis (see :meth:`from_checkpoint`).
 
@@ -290,6 +320,7 @@ class ReproSession:
             on_event=on_progress or self.on_progress,
             checkpoint_path=checkpoint_path,
             checkpoint_interval=checkpoint_interval,
+            handle_signals=handle_signals,
         )
         return pool.resume(checkpoint)
 

@@ -1,27 +1,44 @@
 """The ``repro`` command-line front end (paper section 8's usage model).
 
-One entry point, five subcommands, all built on the session API::
+One entry point; inline commands built on the session API::
 
     repro synth  <coredump.json> <program.minic> [--deadlock] [-o exec.json]
                  [--workers N] [--checkpoint ckpt.json]
     repro resume <ckpt.json> [-o exec.json] [--workers N]
     repro play   <program.minic> <exec.json> [--mode strict|happens-before]
-    repro triage <program.minic> <coredump.json> [coredump.json ...] [--json]
+    repro triage <program.minic> <coredump.json> [...] [--db triage.json]
     repro bench  [--workload ls1] [--reports 4] [--json]
+
+plus the job-service commands built on :mod:`repro.service`::
+
+    repro serve  [--port 8377] [--store DIR] [--max-workers N] [--spool DIR]
+    repro submit (<coredump.json> <program.minic> | --workload NAME)
+                 [--url URL] [--priority N] [--wait]
+    repro status [JOB_ID] [--url URL] [--events] [--json]
+    repro fetch  JOB_ID [-o exec.json] [--url URL] [--wait]
 
 The coredump file holds a serialized :class:`~repro.coredump.BugReport`
 (``BugReport.to_dict``); the program is MiniC source; the execution file is
 what ``repro synth`` writes and ``repro play`` (or the :class:`~repro.
 debugger.Debugger`) consumes.  ``repro triage`` pushes a stream of reports
-through one session -- static analysis runs once -- and deduplicates them by
-synthesized-execution fingerprint.  ``repro bench`` measures exactly that
-amortization on a bundled workload.  ``--json`` switches triage and bench
-to machine-readable output on stdout for CI and downstream tools.
+through one session -- static analysis runs once -- and deduplicates them
+by synthesized-execution fingerprint; ``--db PATH`` persists the triage
+database so deduplication accumulates across invocations.  ``repro bench``
+measures session amortization on a bundled workload.  ``--json`` switches
+triage and bench to machine-readable output on stdout for CI and
+downstream tools.
 
 ``repro synth --workers N`` shards the path search across N worker
 processes (work-stealing, first-win); ``--checkpoint PATH`` writes periodic
 frontier checkpoints so ``repro resume PATH`` continues a killed or
-budget-exhausted synthesis instead of restarting it.
+budget-exhausted synthesis instead of restarting it.  With a checkpoint
+path, SIGTERM/SIGINT trigger a final checkpoint and a clean exit (reason
+``interrupted``) instead of losing the search.
+
+``repro serve`` runs the job daemon: submit/status/events/result/cancel
+over stdlib HTTP, artifacts in a content-addressed store, graceful
+SIGTERM drain that re-queues in-flight jobs as resumable.  ``repro
+submit|status|fetch`` are the matching client commands.
 
 ``esdsynth`` and ``esdplay`` remain as deprecated shims over ``repro synth``
 and ``repro play``.
@@ -37,9 +54,10 @@ from pathlib import Path
 
 from . import __version__
 from .api import ReproSession, UnknownStrategyError, available_searchers
-from .core import ESDConfig, ExecutionFile, GoalError
+from .core import ESDConfig, ExecutionFile, GoalError, TriageDatabase
 from .coredump import BugReport
 from .lang import CompileError, LexError, ParseError, compile_source
+from .schema import SchemaVersionError
 from .search import SynthesisEvent
 
 # Everything loading a bad input file can raise: unreadable/malformed/
@@ -116,7 +134,8 @@ def _finish_synth(result, args: argparse.Namespace, label: str) -> int:
         print(f"{label}: no execution found ({result.reason}); "
               f"explored {result.instructions} instructions "
               f"in {result.total_seconds:.1f}s", file=sys.stderr)
-        if getattr(args, "checkpoint", None) and result.reason == "budget":
+        if (getattr(args, "checkpoint", None)
+                and result.reason in ("budget", "interrupted")):
             print(f"{label}: frontier checkpoint at {args.checkpoint}; "
                   f"continue with `repro resume {args.checkpoint}`",
                   file=sys.stderr)
@@ -156,6 +175,9 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
             workers=getattr(args, "workers", None),
             checkpoint_path=getattr(args, "checkpoint", None),
             checkpoint_interval=getattr(args, "checkpoint_interval", 5.0),
+            # With a checkpoint path, SIGTERM/SIGINT write one final
+            # checkpoint and exit cleanly instead of losing the search.
+            handle_signals=bool(getattr(args, "checkpoint", None)),
         )
     except UnknownStrategyError as exc:
         print(f"{label}: {exc}", file=sys.stderr)
@@ -194,6 +216,7 @@ def _run_resume(args: argparse.Namespace, label: str) -> int:
         workers=args.workers,
         checkpoint_path=args.checkpoint or args.checkpoint_file,
         checkpoint_interval=getattr(args, "checkpoint_interval", 5.0),
+        handle_signals=True,
     )
     args.checkpoint = args.checkpoint or args.checkpoint_file
     return _finish_synth(result, args, label)
@@ -227,6 +250,18 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
         return 1
+    db_path = getattr(args, "db", None)
+    preloaded = 0
+    if db_path and Path(db_path).exists():
+        # Accumulate across invocations: new reports dedupe against every
+        # bug the persisted database already knows.
+        try:
+            session.triage_db = TriageDatabase.load(db_path)
+        except (SchemaVersionError, *_INPUT_ERRORS) as exc:
+            print(f"{label}: cannot load triage db {db_path}: "
+                  f"{_describe(exc)}", file=sys.stderr)
+            return 1
+        preloaded = len(session.triage_db)
     config = _make_config(args)
     failures = 0
     records = []
@@ -269,18 +304,33 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
             status = "NEW" if outcome.is_new else "duplicate"
             print(f"{label}: {path} -> bug #{outcome.bug_id} ({status}, "
                   f"synthesized in {outcome.result.total_seconds:.2f}s)")
+    if db_path:
+        try:
+            session.triage_db.save(db_path)
+        except OSError as exc:
+            print(f"{label}: cannot write triage db {db_path}: {exc}",
+                  file=sys.stderr)
+            return 1
     if as_json:
         print(json.dumps({
             "program": args.program,
             "reports": records,
             "distinct_bugs": len(session.triage_db),
+            "preloaded_bugs": preloaded,
+            "db": db_path,
             "failures": failures,
             "static_distance_builds": session.static_stats.distance_builds,
         }, indent=2))
     else:
         print(f"{label}: {len(session.triage_db)} distinct bug(s) "
-              f"from {len(args.coredumps)} report(s); static analysis ran "
-              f"{session.static_stats.distance_builds} time(s)")
+              f"from {len(args.coredumps)} report(s)"
+              + (f" + {preloaded} preloaded from {db_path}" if preloaded
+                 else "")
+              + f"; static analysis ran "
+                f"{session.static_stats.distance_builds} time(s)")
+        if db_path:
+            print(f"{label}: triage db saved to {db_path} "
+                  f"({len(session.triage_db)} bugs)")
     return 1 if failures else 0
 
 
@@ -365,6 +415,182 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
               f"({100.0 * sstats.fastpath_hits / fast_total:.1f}% hit)")
     ok = all(r.found for r in batch) and all(r.found for r in cold)
     return 0 if ok else 1
+
+
+# ---------------------------------------------------------------------------
+# Job-service subcommands (repro serve | submit | status | fetch)
+# ---------------------------------------------------------------------------
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    import os
+
+    from .service.client import DEFAULT_URL
+
+    return (getattr(args, "url", None)
+            or os.environ.get("REPRO_SERVICE_URL")
+            or DEFAULT_URL)
+
+
+def _run_serve(args: argparse.Namespace, label: str) -> int:
+    import signal
+
+    from .service import ReproService
+    from .service.daemon import ServiceDaemon
+    from .store import ArtifactStore, StoreError
+
+    try:
+        store = ArtifactStore(args.store)
+    except StoreError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    service = ReproService(store=store, max_workers=args.max_workers)
+    try:
+        daemon = ServiceDaemon(service, host=args.host, port=args.port,
+                               spool_dir=args.spool, verbose=args.verbose)
+    except OSError as exc:
+        print(f"{label}: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    def on_signal(signum, frame):  # noqa: ARG001 -- signal API
+        daemon.request_stop()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    if service.stats.recovered:
+        print(f"{label}: recovered {service.stats.recovered} queued "
+              f"job(s) from {args.store}", file=sys.stderr)
+    print(f"{label}: listening on {daemon.url} "
+          f"(store {args.store}, {args.max_workers} worker(s)"
+          + (f", spool {args.spool}" if args.spool else "") + ")",
+          file=sys.stderr, flush=True)
+    daemon.run()
+    stats = service.stats
+    print(f"{label}: drained; {stats.completed} completed, "
+          f"{stats.interrupted} checkpointed as resumable, "
+          f"{stats.cancelled} cancelled", file=sys.stderr)
+    return 0
+
+
+def _run_submit(args: argparse.Namespace, label: str) -> int:
+    from .api.jobs import JobSpec, SpecError
+    from .service.client import ServiceClient, ServiceClientError
+
+    try:
+        if args.workload:
+            if args.coredump or args.program:
+                print(f"{label}: give either --workload or "
+                      f"coredump+program, not both", file=sys.stderr)
+                return 2
+            if getattr(args, "bug_type", None):
+                # The report is generated server-side for workload jobs;
+                # silently dropping the override would search a different
+                # goal than asked for.
+                print(f"{label}: --bug-type needs an explicit coredump "
+                      f"(workload jobs use the workload's bug type)",
+                      file=sys.stderr)
+                return 2
+            spec = JobSpec(workload=args.workload,
+                           config=_make_config(args),
+                           priority=args.priority)
+        else:
+            if not (args.coredump and args.program):
+                print(f"{label}: need a coredump and a program "
+                      f"(or --workload NAME)", file=sys.stderr)
+                return 2
+            report = _load_report(args.coredump)
+            if getattr(args, "bug_type", None):
+                report.bug_type = args.bug_type
+            spec = JobSpec(
+                report=report,
+                source=Path(args.program).read_text(),
+                program_name=Path(args.program).stem,
+                config=_make_config(args),
+                priority=args.priority,
+            )
+        spec.validate()
+    except (SpecError, *_INPUT_ERRORS) as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    client = ServiceClient(_service_url(args))
+    try:
+        record = client.submit(spec)
+        if args.wait:
+            record = client.wait(record["job_id"], timeout=args.timeout)
+    except ServiceClientError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        print(f"{label}: job {record['job_id']} {record['state']}"
+              + (" (deduplicated)" if record.get("deduped") else ""))
+    if args.wait:
+        return 0 if record.get("state") == "FOUND" else 1
+    return 0
+
+
+def _run_status(args: argparse.Namespace, label: str) -> int:
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        if not args.job_id:
+            jobs = client.jobs()
+            if args.json:
+                print(json.dumps(jobs, indent=2))
+            else:
+                for job in jobs:
+                    print(f"{job['job_id']}  {job['state']:<10} "
+                          f"prio {job['priority']:<3} "
+                          f"{job.get('reason') or ''}")
+                if not jobs:
+                    print(f"{label}: no jobs", file=sys.stderr)
+            return 0
+        record = client.job(args.job_id)
+        if args.events:
+            events = client.events(args.job_id, since=args.since)
+            if args.json:
+                print(json.dumps(events, indent=2))
+            else:
+                for event in events:
+                    print(f"#{event['seq']:<4} {event['kind']:<9} "
+                          f"{event.get('state') or '':<10} "
+                          f"{event.get('detail') or ''}")
+            return 0
+        if args.json:
+            print(json.dumps(record, indent=2))
+        else:
+            print(f"{label}: job {record['job_id']}: {record['state']}"
+                  + (f" ({record['reason']})" if record.get("reason")
+                     else ""))
+            for kind, digest in record.get("artifacts", {}).items():
+                print(f"{label}:   artifact {kind}: {digest}")
+        return 0
+    except ServiceClientError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_fetch(args: argparse.Namespace, label: str) -> int:
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        if args.wait:
+            client.wait(args.job_id, timeout=args.timeout)
+        data = client.fetch_job_artifact(args.job_id, kind=args.kind)
+    except ServiceClientError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        Path(args.output).write_bytes(data)
+    except OSError as exc:
+        print(f"{label}: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{label}: wrote {args.output} ({len(data)} bytes)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -479,6 +705,10 @@ def repro_main(argv: list[str] | None = None) -> int:
     triage.add_argument("--bug-type", default=None, dest="bug_type",
                         choices=("crash", "deadlock", "race"),
                         help="override every report's bug type")
+    triage.add_argument("--db", default=None, metavar="PATH",
+                        help="persistent triage database (JSON); loaded if "
+                             "present, saved after the run, so dedup "
+                             "accumulates across invocations")
     triage.add_argument("--json", action="store_true",
                         help="machine-readable results on stdout")
 
@@ -492,6 +722,66 @@ def repro_main(argv: list[str] | None = None) -> int:
     bench.add_argument("--json", action="store_true",
                        help="machine-readable results on stdout")
 
+    serve = sub.add_parser(
+        "serve", help="run the job-service daemon (HTTP + artifact store)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377)
+    serve.add_argument("--store", default="repro-store", metavar="DIR",
+                       help="artifact-store directory (default: repro-store)")
+    serve.add_argument("--max-workers", type=int, default=2, metavar="N",
+                       help="concurrent synthesis jobs (default: 2)")
+    serve.add_argument("--spool", default=None, metavar="DIR",
+                       help="also watch DIR for *.json job-spec files")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    submit = sub.add_parser(
+        "submit", help="submit a synthesis job to a running `repro serve`"
+    )
+    submit.add_argument("coredump", nargs="?", default=None,
+                        help="bug report JSON (omit with --workload)")
+    submit.add_argument("program", nargs="?", default=None,
+                        help="MiniC source file (omit with --workload)")
+    submit.add_argument("--workload", default=None, metavar="NAME",
+                        help="submit a bundled workload instead of files")
+    submit.add_argument("--bug-type", default=None, dest="bug_type",
+                        choices=("crash", "deadlock", "race"))
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs sooner (default: 0)")
+    submit.add_argument("--url", default=None,
+                        help="service URL (default: $REPRO_SERVICE_URL or "
+                             "http://127.0.0.1:8377)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after SECONDS")
+    submit.add_argument("--json", action="store_true")
+    _add_search_flags(submit)
+
+    status = sub.add_parser(
+        "status", help="job status (or the whole job list) from the daemon"
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+    status.add_argument("--url", default=None)
+    status.add_argument("--events", action="store_true",
+                        help="print the job's lifecycle/progress events")
+    status.add_argument("--since", type=int, default=0,
+                        help="only events after this sequence number")
+    status.add_argument("--json", action="store_true")
+
+    fetch = sub.add_parser(
+        "fetch", help="download a job's artifact from the daemon"
+    )
+    fetch.add_argument("job_id")
+    fetch.add_argument("-o", "--output", default="execution.json")
+    fetch.add_argument("--kind", default="execution",
+                       choices=("execution", "checkpoint", "spec"))
+    fetch.add_argument("--url", default=None)
+    fetch.add_argument("--wait", action="store_true",
+                       help="wait for the job to finish first")
+    fetch.add_argument("--timeout", type=float, default=None)
+
     args = parser.parse_args(argv)
     if args.command == "synth":
         return _run_synth(args, "repro synth")
@@ -503,6 +793,14 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_triage(args, "repro triage")
     if args.command == "bench":
         return _run_bench(args, "repro bench")
+    if args.command == "serve":
+        return _run_serve(args, "repro serve")
+    if args.command == "submit":
+        return _run_submit(args, "repro submit")
+    if args.command == "status":
+        return _run_status(args, "repro status")
+    if args.command == "fetch":
+        return _run_fetch(args, "repro fetch")
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

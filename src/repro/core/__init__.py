@@ -15,6 +15,7 @@ from .synthesis import (
     SynthesisResult,
     build_search_setup,
     esd_synthesize,
+    search_from_setup,
 )
 from .triage import TriageDatabase, TriageEntry, same_bug
 
@@ -36,4 +37,5 @@ __all__ = [
     "execution_file_from_state",
     "extract_goal",
     "same_bug",
+    "search_from_setup",
 ]

@@ -17,7 +17,10 @@ from typing import Optional, Union
 from ..ir import InstrRef
 from ..solver import Solver
 from ..symbex.env import RecordedInputs
+from ..schema import canonical_json_bytes, check_schema_version
 from ..symbex.state import ExecutionState, Segment
+
+EXECFILE_SCHEMA_VERSION = 1
 
 
 @dataclass(slots=True)
@@ -69,6 +72,7 @@ class ExecutionFile:
     def to_dict(self) -> dict:
         return {
             "format": "esd-execution-file-v1",
+            "schema_version": EXECFILE_SCHEMA_VERSION,
             "program": self.program,
             "inputs": self.inputs.to_dict(),
             "strict_schedule": [[s.tid, s.instrs] for s in self.strict_schedule],
@@ -82,6 +86,7 @@ class ExecutionFile:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionFile":
+        check_schema_version(data, EXECFILE_SCHEMA_VERSION, "execution file")
         return cls(
             program=data["program"],
             inputs=RecordedInputs.from_dict(data["inputs"]),
@@ -102,6 +107,19 @@ class ExecutionFile:
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ExecutionFile":
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def canonical_dict(self) -> dict:
+        """The content-addressable form: volatile wall-clock timing is
+        zeroed (it lives in the job record instead), so re-synthesizing the
+        same execution yields the same digest."""
+        data = self.to_dict()
+        data["synthesis_seconds"] = 0.0
+        return data
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte serialization for the artifact store: two
+        identical synthesized executions are one stored object."""
+        return canonical_json_bytes(self.canonical_dict())
 
     # -- identity (for bug triage/dedup, paper section 8) -----------------------
 

@@ -41,7 +41,7 @@ from ..search import (
     SearchBudget,
     SearchOutcome,
     StopPredicate,
-    explore,
+    explore_frontier,
 )
 from ..solver import Solver
 from ..symbex import ExecConfig, Executor, SchedulerPolicy, SymbolicEnv
@@ -309,14 +309,45 @@ def esd_synthesize(
     setup = build_search_setup(
         module, report, config, statics=statics, solver=solver
     )
-    outcome = explore(
+    return search_from_setup(
+        module, setup, config, on_progress=on_progress,
+        should_stop=should_stop,
+    )
+
+
+def search_from_setup(
+    module: ir.Module,
+    setup: SearchSetup,
+    config: Optional[ESDConfig] = None,
+    *,
+    frontier: Optional[list[ExecutionState]] = None,
+    count_frontier: bool = True,
+    on_progress: Optional[EventCallback] = None,
+    should_stop: Optional[StopPredicate] = None,
+) -> SynthesisResult:
+    """The dynamic phase alone: explore from a prepared
+    :class:`SearchSetup` and package the outcome.
+
+    This is the seam the job service schedules through -- it runs
+    :func:`build_search_setup` while a job is in its STATIC state and this
+    function while it is SEARCHING, on the same shared caches
+    :func:`esd_synthesize` uses inline.  ``frontier`` overrides the start
+    states (a checkpoint's restored frontier instead of the initial state);
+    ``count_frontier=False`` keeps resumed totals from double-counting
+    states that were already counted in the leg that snapshotted them.
+    """
+    config = config or ESDConfig()
+    states = (frontier if frontier is not None
+              else [setup.executor.initial_state()])
+    outcome = explore_frontier(
         setup.executor,
         setup.searcher,
-        setup.executor.initial_state(),
+        states,
         setup.goal.matches,
         config.budget,
         on_event=on_progress,
         should_stop=should_stop,
+        count_frontier=count_frontier,
     )
     return _result_from_outcome(
         module, setup.goal, outcome, setup.executor, setup.static_seconds,

@@ -8,9 +8,20 @@ compared by fingerprint; duplicates are attached to the existing bug id.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
 
+from ..schema import (
+    SchemaVersionError,
+    atomic_write_text,
+    check_schema_version,
+)
 from .execfile import ExecutionFile
+
+TRIAGE_DB_FORMAT = "esd-triage-db-v1"
+TRIAGE_DB_SCHEMA_VERSION = 1
 
 
 def same_bug(a: ExecutionFile, b: ExecutionFile) -> bool:
@@ -89,3 +100,47 @@ class TriageDatabase:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    # -- persistence (triage accumulates across invocations) -----------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": TRIAGE_DB_FORMAT,
+            "schema_version": TRIAGE_DB_SCHEMA_VERSION,
+            "entries": [
+                {
+                    "bug_id": entry.bug_id,
+                    "duplicates": entry.duplicates,
+                    "execution": entry.execution.to_dict(),
+                }
+                for entry in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TriageDatabase":
+        if data.get("format") != TRIAGE_DB_FORMAT:
+            raise SchemaVersionError(
+                f"not a triage database: format {data.get('format')!r} "
+                f"(expected {TRIAGE_DB_FORMAT!r})"
+            )
+        check_schema_version(data, TRIAGE_DB_SCHEMA_VERSION, "triage database")
+        return cls(entries=[
+            TriageEntry(
+                bug_id=entry["bug_id"],
+                execution=ExecutionFile.from_dict(entry["execution"]),
+                duplicates=entry.get("duplicates", 0),
+            )
+            for entry in data.get("entries", [])
+        ])
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write atomically so a crash mid-save keeps the previous database."""
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TriageDatabase":
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, dict):
+            raise SchemaVersionError(f"{path} is not a triage database")
+        return cls.from_dict(data)

@@ -19,8 +19,12 @@ from typing import Optional
 
 from .. import ir
 from ..ir import InstrRef
+from ..schema import check_schema_version
 from ..symbex.bugs import BugKind
 from ..symbex.state import BLOCKED, ExecutionState
+
+COREDUMP_SCHEMA_VERSION = 1
+BUGREPORT_SCHEMA_VERSION = 1
 
 
 @dataclass(slots=True)
@@ -96,6 +100,7 @@ class Coredump:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": COREDUMP_SCHEMA_VERSION,
             "program": self.program,
             "manifestation": self.manifestation,
             "threads": [t.to_dict() for t in self.threads],
@@ -110,6 +115,7 @@ class Coredump:
 
     @classmethod
     def from_dict(cls, data: dict) -> "Coredump":
+        check_schema_version(data, COREDUMP_SCHEMA_VERSION, "coredump")
         kind = data.get("bug_kind")
         return cls(
             program=data["program"],
@@ -137,6 +143,7 @@ class BugReport:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": BUGREPORT_SCHEMA_VERSION,
             "coredump": self.coredump.to_dict(),
             "bug_type": self.bug_type,
             "description": self.description,
@@ -145,6 +152,7 @@ class BugReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BugReport":
+        check_schema_version(data, BUGREPORT_SCHEMA_VERSION, "bug report")
         return cls(
             coredump=Coredump.from_dict(data["coredump"]),
             bug_type=data["bug_type"],

@@ -27,6 +27,7 @@ from typing import Optional, Union
 from .. import ir
 from ..coredump import BugReport
 from ..core.synthesis import ESDConfig
+from ..schema import atomic_write_text
 
 CHECKPOINT_FORMAT = "esd-exploration-checkpoint-v1"
 
@@ -128,10 +129,7 @@ class ExplorationCheckpoint:
     def save(self, path: Union[str, Path]) -> None:
         """Write atomically (write-then-rename): a kill mid-checkpoint must
         not destroy the previous good checkpoint."""
-        target = Path(path)
-        tmp = target.with_name(target.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict()))
-        tmp.replace(target)
+        atomic_write_text(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ExplorationCheckpoint":

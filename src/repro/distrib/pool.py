@@ -46,6 +46,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -162,6 +163,7 @@ class ParallelExplorer:
         seed_states_per_worker: int = 4,
         verify_snapshots: bool = False,
         source_path: str = "",
+        handle_signals: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -180,8 +182,10 @@ class ParallelExplorer:
         self.seed_states_per_worker = seed_states_per_worker
         self.verify_snapshots = verify_snapshots
         self.source_path = source_path
+        self.handle_signals = handle_signals
         self.checkpoints_written = 0
         self.steals = 0
+        self._shutdown_requested = threading.Event()
 
     # -- public entry points -------------------------------------------------
 
@@ -198,9 +202,39 @@ class ParallelExplorer:
         """
         return self._run(resume=checkpoint)
 
+    def request_shutdown(self) -> None:
+        """Ask the running search to wind down gracefully: cancel the
+        workers, write a final checkpoint (when ``checkpoint_path`` is
+        set), and return with reason ``'interrupted'``.  Signal-handler
+        safe."""
+        self._shutdown_requested.set()
+
     # -- master --------------------------------------------------------------
 
     def _run(self, resume: Optional[ExplorationCheckpoint]) -> SynthesisResult:
+        """Graceful-shutdown wrapper: with ``handle_signals``, SIGTERM and
+        SIGINT during the run become :meth:`request_shutdown` instead of
+        killing the process mid-search, so the final checkpoint makes the
+        interrupted job resumable."""
+        if not (self.handle_signals
+                and threading.current_thread() is threading.main_thread()):
+            return self._run_impl(resume)
+        previous = {}
+
+        def on_signal(signum, frame):  # noqa: ARG001 -- signal API
+            self.request_shutdown()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, on_signal)
+        try:
+            return self._run_impl(resume)
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+
+    def _run_impl(
+        self, resume: Optional[ExplorationCheckpoint]
+    ) -> SynthesisResult:
         if not parallel_supported():
             raise DistribUnsupportedError(
                 "parallel exploration requires the fork start method"
@@ -237,6 +271,15 @@ class ParallelExplorer:
             seeded = self._seed(setup, budget, totals)
             if seeded is not None:  # search ended during seeding
                 outcome_state, reason = seeded
+                if reason == "interrupted" and self.checkpoint_path:
+                    # Shut down before sharding: the seed searcher's
+                    # frontier is the whole resumable state.
+                    scored = setup.searcher.export_frontier()
+                    self._write_checkpoint(
+                        {0: ([score for score, _ in scored],
+                             [state for _, state in scored])},
+                        (), setup, totals, static_seconds, started,
+                    )
                 return self._result(outcome_state, reason, setup, totals,
                                     static_seconds, started)
             scored = setup.searcher.export_frontier()
@@ -264,7 +307,17 @@ class ParallelExplorer:
         try:
             while True:
                 if goal_state is None and not cancel_sent:
-                    if self.should_stop is not None and self.should_stop():
+                    if self._shutdown_requested.is_set():
+                        # Graceful shutdown: stop the workers and (with a
+                        # checkpoint path) collect one final resumable
+                        # frontier before returning.
+                        reason, cancel_sent = "interrupted", True
+                        self._cancel.set()
+                        if self.checkpoint_path:
+                            final_collect = True
+                            if collecting is None:
+                                collecting = {}
+                    elif self.should_stop is not None and self.should_stop():
                         reason, cancel_sent = "cancelled", True
                         self._cancel.set()
                     elif (leg.instructions >= leg_budget_instructions
@@ -386,6 +439,8 @@ class ParallelExplorer:
         searcher = setup.searcher
 
         def stop() -> bool:
+            if self._shutdown_requested.is_set():
+                return True
             if self.should_stop is not None and self.should_stop():
                 return True
             return len(searcher) >= target
@@ -410,6 +465,8 @@ class ParallelExplorer:
         totals.infeasible += outcome.stats.paths_infeasible
         if outcome.reason != "cancelled":
             return outcome.goal_state, outcome.reason
+        if self._shutdown_requested.is_set():
+            return None, "interrupted"
         if self.should_stop is not None and self.should_stop():
             return None, "cancelled"
         return None

@@ -1,0 +1,77 @@
+"""Schema versioning and canonical JSON for persisted artifacts.
+
+Every JSON document the system persists -- coredumps, bug reports,
+execution files, triage databases, job specs/records, the artifact-store
+index -- carries an explicit ``schema_version``.  Readers accept documents
+whose version they understand and reject everything else with a clear
+:class:`SchemaVersionError` instead of mis-parsing a future format.  A
+missing version is read as version 1: every pre-versioning file in the wild
+is a version-1 document.
+
+Canonical JSON (sorted keys, minimal separators, UTF-8) is the byte form
+content addressing hashes: two semantically identical documents must map to
+the same digest regardless of who serialized them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = [
+    "SchemaVersionError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "canonical_json_bytes",
+    "content_digest",
+    "check_schema_version",
+]
+
+
+class SchemaVersionError(ValueError):
+    """A persisted document declares a schema version this code does not
+    understand (or is not the kind of document expected)."""
+
+
+def check_schema_version(data: dict, expected: int, what: str) -> int:
+    """Validate ``data['schema_version']`` against ``expected``.
+
+    Returns the effective version.  Absent versions mean 1 (files written
+    before versioning); anything other than ``expected`` raises
+    :class:`SchemaVersionError` with a message naming the document kind.
+    """
+    version = data.get("schema_version", 1)
+    if not isinstance(version, int) or version != expected:
+        raise SchemaVersionError(
+            f"unsupported {what} schema version {version!r} "
+            f"(this build reads version {expected}); "
+            f"upgrade repro or re-export the file"
+        )
+    return version
+
+
+def canonical_json_bytes(obj) -> bytes:
+    """The canonical byte serialization of a JSON-able object."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def content_digest(data: bytes) -> str:
+    """The content address of a byte string (sha256 hex)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write-then-rename: a crash mid-write must never destroy the previous
+    good file.  The one implementation every persisted artifact shares."""
+    from pathlib import Path
+
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(target)
+
+
+def atomic_write_text(path, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))

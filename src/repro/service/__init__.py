@@ -1,0 +1,51 @@
+"""The job-oriented service layer behind ``repro serve``.
+
+* :mod:`repro.service.service` -- :class:`ReproService`: priority job
+  queue, bounded scheduler threads, shared per-program static/solver
+  artifacts, content-addressed results, graceful drain with resumable
+  checkpoints;
+* :mod:`repro.service.daemon` -- the stdlib-HTTP daemon plus the
+  spool-directory mode;
+* :mod:`repro.service.client` -- the urllib client the ``repro
+  submit|status|fetch`` commands use.
+"""
+
+from ..api.jobs import (
+    CANCELLED,
+    EXHAUSTED,
+    FAILED,
+    FOUND,
+    JOB_STATES,
+    QUEUED,
+    SEARCHING,
+    STATIC,
+    TERMINAL_STATES,
+    JobError,
+    JobRecord,
+    JobSpec,
+    ResultNotReadyError,
+    SpecError,
+    UnknownJobError,
+)
+from .service import ReproService, ServiceProgram, ServiceStats
+
+__all__ = [
+    "CANCELLED",
+    "EXHAUSTED",
+    "FAILED",
+    "FOUND",
+    "JOB_STATES",
+    "JobError",
+    "JobRecord",
+    "JobSpec",
+    "QUEUED",
+    "ReproService",
+    "ResultNotReadyError",
+    "SEARCHING",
+    "STATIC",
+    "ServiceProgram",
+    "ServiceStats",
+    "SpecError",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]

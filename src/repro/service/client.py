@@ -1,0 +1,118 @@
+"""A small urllib client for the ``repro serve`` wire API.
+
+This is what ``repro submit|status|fetch`` speak; it is importable on its
+own (no synthesis machinery) so scripts can drive a remote service without
+loading the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Union
+
+from ..api.jobs import TERMINAL_STATES, JobSpec
+
+__all__ = ["ServiceClient", "ServiceClientError", "DEFAULT_URL"]
+
+DEFAULT_URL = "http://127.0.0.1:8377"
+
+
+class ServiceClientError(Exception):
+    """An HTTP-level failure talking to the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service error {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> tuple[bytes, dict]:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read(), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")[:200]
+            raise ServiceClientError(exc.code, message or exc.reason) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None):
+        raw, _ = self._request(method, path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    # -- API ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def submit(self, spec: Union[JobSpec, dict]) -> dict:
+        """Submit a spec; returns the job record (existing one on dedup)."""
+        payload = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return self._json("POST", "/v1/jobs", payload)["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> list[dict]:
+        return self._json(
+            "GET", f"/v1/jobs/{job_id}/events?since={since}"
+        )["events"]
+
+    def result(self, job_id: str) -> dict:
+        """Terminal record; raises ServiceClientError(409) while running."""
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def fetch_artifact(self, digest: str) -> bytes:
+        raw, _ = self._request("GET", f"/v1/artifacts/{digest}")
+        return raw
+
+    def fetch_job_artifact(self, job_id: str, kind: str = "execution") -> bytes:
+        record = self.job(job_id)
+        digest = record.get("artifacts", {}).get(kind)
+        if digest is None:
+            raise ServiceClientError(
+                409,
+                f"job {job_id} has no {kind!r} artifact yet "
+                f"(state {record.get('state')})",
+            )
+        return self.fetch_artifact(digest)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.25) -> dict:
+        """Poll until the job is terminal (or the timeout passes)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                return record
+            time.sleep(poll)

@@ -1,0 +1,322 @@
+"""The ``repro serve`` daemon: ReproService over stdlib HTTP + a spool dir.
+
+Wire API (all JSON; no dependencies beyond :mod:`http.server`)::
+
+    GET  /healthz                   liveness + scheduler counters
+    POST /v1/jobs                   submit a JobSpec document
+    GET  /v1/jobs                   list job records
+    GET  /v1/jobs/<id>              one job record
+    GET  /v1/jobs/<id>/events       lifecycle/progress events (?since=SEQ)
+    GET  /v1/jobs/<id>/result       terminal record (409 while in flight)
+    POST /v1/jobs/<id>/cancel       cancel queued or running
+    GET  /v1/artifacts/<digest>     raw artifact bytes by store digest
+
+Spool mode watches a directory for ``*.json`` job-spec files -- the
+scriptable, no-HTTP integration path: drop ``fix-1042.json`` in, the file
+is submitted and renamed to ``fix-1042.json.submitted``, and the terminal
+record appears as ``fix-1042.result.json`` next to it.
+
+:class:`ServiceDaemon` owns the HTTP thread and the spool watcher;
+``stop()`` (what the CLI's SIGTERM/SIGINT handlers call) shuts the listener
+down and drains the service gracefully -- in-flight jobs checkpoint their
+frontiers and re-queue as resumable, never FAILED.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..api.jobs import (
+    TERMINAL_STATES,
+    JobError,
+    JobSpec,
+    ResultNotReadyError,
+    SpecError,
+    UnknownJobError,
+)
+from ..schema import SchemaVersionError
+from ..store import UnknownArtifactError
+from .service import ReproService
+
+__all__ = ["ServiceDaemon"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.repro_service
+
+    def log_message(self, fmt, *args):  # noqa: D102 -- quiet by default
+        if self.server.repro_verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise SpecError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SpecError("request body must be a JSON object")
+        return data
+
+    # -- routing --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 -- http.server naming
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            self._dispatch(method, parts, query)
+        except UnknownJobError as exc:
+            self._send_error_json(404, str(exc))
+        except UnknownArtifactError as exc:
+            self._send_error_json(404, str(exc))
+        except ResultNotReadyError as exc:
+            self._send_error_json(409, str(exc))
+        except (SpecError, SchemaVersionError) as exc:
+            self._send_error_json(400, str(exc))
+        except JobError as exc:
+            self._send_error_json(503, str(exc))
+        except BrokenPipeError:  # client went away mid-reply
+            pass
+        except Exception as exc:  # noqa: BLE001 -- daemon must not die
+            self._send_error_json(500, f"internal error: {exc}")
+
+    def _dispatch(self, method: str, parts: list[str], query: dict) -> None:
+        if method == "GET" and parts == ["healthz"]:
+            service = self.service
+            self._send_json({
+                "ok": True,
+                "version": __version__,
+                "jobs": len(service.jobs()),
+                "stats": service.stats.to_dict(),
+            })
+            return
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "jobs":
+            self._dispatch_jobs(method, parts[2:], query)
+            return
+        if (method == "GET" and len(parts) == 3 and parts[0] == "v1"
+                and parts[1] == "artifacts"):
+            data = self.service.store.get_bytes(parts[2])
+            kind = self.service.store.kind(parts[2])
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.send_header("X-Repro-Artifact-Kind", kind)
+            self.end_headers()
+            self.wfile.write(data)
+            return
+        self._send_error_json(404, f"no route {method} {self.path}")
+
+    def _dispatch_jobs(self, method: str, rest: list[str],
+                       query: dict) -> None:
+        service = self.service
+        if not rest:
+            if method == "POST":
+                spec = JobSpec.from_dict(self._read_body())
+                record = service.submit(spec)
+                # describe(): serialize under the service lock -- a
+                # scheduler thread may already be mutating the record.
+                self._send_json({"job": service.describe(record.job_id)},
+                                status=202)
+            elif method == "GET":
+                self._send_json({"jobs": service.describe_all()})
+            else:
+                self._send_error_json(405, "method not allowed")
+            return
+        job_id = rest[0]
+        action = rest[1] if len(rest) > 1 else None
+        if method == "GET" and action is None:
+            self._send_json(service.describe(job_id))
+        elif method == "GET" and action == "events":
+            since = int(query.get("since", ["0"])[0])
+            self._send_json({"events": service.events(job_id, since=since)})
+        elif method == "GET" and action == "result":
+            self._send_json(service.result(job_id).to_dict())
+        elif method == "POST" and action == "cancel":
+            service.cancel(job_id)
+            self._send_json(service.describe(job_id))
+        else:
+            self._send_error_json(404, f"no route {method} {self.path}")
+
+
+class _SpoolWatcher(threading.Thread):
+    """Polls a directory for job-spec files; writes terminal records back."""
+
+    def __init__(self, service: ReproService, directory: Path,
+                 interval: float = 0.25) -> None:
+        super().__init__(daemon=True, name="repro-spool")
+        self.service = service
+        self.directory = Path(directory)
+        self.interval = interval
+        # Not `_stop`: that name is a threading.Thread internal.
+        self._stop_spool = threading.Event()
+        # job_id -> pending .result.json paths.  A list: two spec files
+        # with identical content dedupe to one job, and each file's
+        # promised result must still be written.
+        self._pending: dict[str, list[Path]] = {}
+
+    def stop(self) -> None:
+        self._stop_spool.set()
+
+    def run(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._recover_submitted()
+        while not self._stop_spool.is_set():
+            self._scan_once()
+            self._flush_results()
+            self._stop_spool.wait(self.interval)
+        # One final flush so jobs that finished during shutdown still get
+        # their result files.
+        self._flush_results()
+
+    def _recover_submitted(self) -> None:
+        """Re-adopt ``.submitted`` files whose result was never written: a
+        restarted daemon must still honor the drop-a-spec-get-a-result
+        contract.  Re-submitting the spec dedupes onto the recovered job
+        (or its terminal record), so no work is redone."""
+        for path in sorted(self.directory.glob("*.json.submitted")):
+            stem = path.name[: -len(".json.submitted")]
+            if (self.directory / (stem + ".result.json")).exists():
+                continue
+            try:
+                spec = JobSpec.from_dict(json.loads(path.read_text()))
+                record = self.service.submit(spec)
+            except (OSError, ValueError, JobError, SchemaVersionError):
+                continue  # was rejected before; leave the error file story
+            self._pending.setdefault(record.job_id, []).append(
+                self.directory / (stem + ".result.json")
+            )
+
+    def _scan_once(self) -> None:
+        for path in sorted(self.directory.glob("*.json")):
+            name = path.name
+            if name.endswith(".result.json") or name.endswith(".error.json"):
+                continue
+            try:
+                spec = JobSpec.from_dict(json.loads(path.read_text()))
+                record = self.service.submit(spec)
+            except (OSError, ValueError, JobError,
+                    SchemaVersionError) as exc:
+                path.rename(path.with_name(name + ".rejected"))
+                error_path = self.directory / (path.stem + ".error.json")
+                error_path.write_text(json.dumps({
+                    "file": name, "error": str(exc),
+                }, indent=2))
+                continue
+            path.rename(path.with_name(name + ".submitted"))
+            self._pending.setdefault(record.job_id, []).append(
+                self.directory / (path.stem + ".result.json")
+            )
+
+    def _flush_results(self) -> None:
+        from ..schema import atomic_write_text
+
+        for job_id, targets in list(self._pending.items()):
+            record = self.service.describe(job_id)
+            if record["state"] not in TERMINAL_STATES:
+                continue
+            for target in targets:
+                atomic_write_text(target, json.dumps(record, indent=2))
+            del self._pending[job_id]
+
+
+class ServiceDaemon:
+    """The HTTP listener + optional spool watcher around one service."""
+
+    def __init__(
+        self,
+        service: ReproService,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        *,
+        spool_dir=None,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.repro_service = service
+        self.httpd.repro_verbose = verbose
+        self.spool = (
+            _SpoolWatcher(service, Path(spool_dir))
+            if spool_dir is not None else None
+        )
+        self._http_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True, name="repro-http",
+        )
+        self._http_thread.start()
+        if self.spool is not None:
+            self.spool.start()
+
+    def request_stop(self) -> None:
+        """Signal-handler safe: ask :meth:`run` to wind down."""
+        self._stop.set()
+
+    def stop(self, graceful: bool = True) -> None:
+        """Stop listening and drain the service (graceful = checkpoint and
+        re-queue in-flight jobs instead of failing them)."""
+        self._stop.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self.spool is not None:
+            self.spool.stop()
+        self.service.shutdown(graceful=graceful)
+        if self.spool is not None:
+            self.spool.join(timeout=5.0)
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+
+    def run(self) -> None:
+        """Serve until :meth:`request_stop` (the CLI wires SIGTERM/SIGINT
+        to it), then shut down gracefully."""
+        self.start()
+        while not self._stop.is_set():
+            self._stop.wait(0.2)
+        self.stop(graceful=True)

@@ -1,0 +1,15 @@
+"""Content-addressed artifact persistence for the job service."""
+
+from .artifacts import (
+    STORE_FORMAT,
+    ArtifactStore,
+    StoreError,
+    UnknownArtifactError,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "ArtifactStore",
+    "StoreError",
+    "UnknownArtifactError",
+]

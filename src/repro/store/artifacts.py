@@ -1,0 +1,282 @@
+"""The content-addressed artifact store.
+
+Synthesis artifacts -- execution files, coredumps/bug reports, exploration
+checkpoints, triage databases, job specs -- are persisted by the digest of
+their canonical byte form, so identical artifacts are stored once no matter
+how many jobs produce them, and a digest in a job record is a durable,
+location-independent reference.
+
+On-disk layout (``root`` is the store directory)::
+
+    root/
+      index.json               versioned JSON index: digest -> {kind, size,
+                               created_at}
+      objects/ab/abcdef...     one file per object, sharded by digest prefix
+      jobs/<job_id>.json       job records (mutable side-store; the objects
+                               they reference are content-addressed)
+
+``root=None`` gives an in-memory store with the same API -- what a
+single-tenant :class:`~repro.api.ReproSession` uses so artifacts and
+deduplication work without touching disk.
+
+Writes are atomic (write-then-rename) and idempotent: putting bytes that
+already exist is a no-op returning the same digest.  :meth:`gc` sweeps
+objects not reachable from a caller-supplied live set (the service passes
+every digest referenced by a job record).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..schema import (
+    SchemaVersionError,
+    atomic_write_bytes,
+    atomic_write_text,
+    canonical_json_bytes,
+    check_schema_version,
+    content_digest,
+)
+
+STORE_FORMAT = "esd-artifact-store-v1"
+STORE_SCHEMA_VERSION = 1
+
+__all__ = ["ArtifactStore", "StoreError", "UnknownArtifactError",
+           "STORE_FORMAT"]
+
+
+class StoreError(Exception):
+    """The store directory is unusable or its index is malformed."""
+
+
+class UnknownArtifactError(StoreError, KeyError):
+    """No object with the requested digest exists in this store."""
+
+    def __init__(self, digest: str) -> None:
+        super().__init__(f"no artifact {digest!r} in store")
+        self.digest = digest
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+class ArtifactStore:
+    """Content-addressed object store with a versioned index and GC."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._lock = threading.RLock()
+        self._index: dict[str, dict] = {}
+        self._objects: dict[str, bytes] = {}  # in-memory mode only
+        self._jobs_memory: dict[str, dict] = {}
+        if self.root is not None:
+            (self.root / "objects").mkdir(parents=True, exist_ok=True)
+            (self.root / "jobs").mkdir(parents=True, exist_ok=True)
+            self._load_index()
+            if not (self.root / "index.json").exists():
+                self._save_index()
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    # -- objects --------------------------------------------------------------
+
+    def put_bytes(self, data: bytes, kind: str = "blob") -> str:
+        """Store a byte string; returns its digest.  Idempotent."""
+        digest = content_digest(data)
+        with self._lock:
+            if digest in self._index:
+                return digest
+            if self.root is None:
+                self._objects[digest] = bytes(data)
+            else:
+                target = self._object_path(digest)
+                target.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write_bytes(target, data)
+            entry = {
+                "kind": kind,
+                "size": len(data),
+                "created_at": time.time(),
+            }
+            self._index[digest] = entry
+            # O(1) per put: new entries go to an append-only journal and
+            # are folded into index.json at open/gc time.  Rewriting the
+            # whole index on every put would make a long-lived daemon's
+            # store writes O(n) each.
+            self._append_journal(digest, entry)
+        return digest
+
+    def put_json(self, obj, kind: str = "json") -> str:
+        """Store a JSON-able object in canonical byte form."""
+        return self.put_bytes(canonical_json_bytes(obj), kind)
+
+    def get_bytes(self, digest: str) -> bytes:
+        with self._lock:
+            if digest not in self._index:
+                raise UnknownArtifactError(digest)
+            if self.root is None:
+                return self._objects[digest]
+        try:
+            return self._object_path(digest).read_bytes()
+        except OSError as exc:
+            raise StoreError(
+                f"artifact {digest!r} is indexed but unreadable: {exc}"
+            ) from exc
+
+    def get_json(self, digest: str):
+        return json.loads(self.get_bytes(digest).decode("utf-8"))
+
+    def kind(self, digest: str) -> str:
+        with self._lock:
+            entry = self._index.get(digest)
+            if entry is None:
+                raise UnknownArtifactError(digest)
+            return entry["kind"]
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def digests(self, kind: Optional[str] = None) -> list[str]:
+        with self._lock:
+            return [
+                digest for digest, entry in self._index.items()
+                if kind is None or entry["kind"] == kind
+            ]
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(entry["size"] for entry in self._index.values())
+
+    def gc(self, live: Iterable[str]) -> list[str]:
+        """Delete every object not in ``live``; returns the removed digests."""
+        keep = set(live)
+        with self._lock:
+            dead = [d for d in self._index if d not in keep]
+            for digest in dead:
+                del self._index[digest]
+                if self.root is None:
+                    self._objects.pop(digest, None)
+                else:
+                    try:
+                        self._object_path(digest).unlink()
+                    except OSError:
+                        pass  # index is authoritative; a stray file is noise
+            if dead:
+                self._compact()
+        return dead
+
+    # -- job records ----------------------------------------------------------
+    #
+    # Job records are mutable (state transitions), so they live beside the
+    # content-addressed objects keyed by job id.  Everything a record
+    # references (spec, execution, checkpoint) is an immutable object above.
+
+    def save_job(self, job_id: str, record: dict) -> None:
+        with self._lock:
+            if self.root is None:
+                self._jobs_memory[job_id] = json.loads(
+                    json.dumps(record)  # defensive copy, JSON-shaped
+                )
+                return
+            atomic_write_text(self.root / "jobs" / f"{job_id}.json",
+                              json.dumps(record, indent=2))
+
+    def load_jobs(self) -> dict[str, dict]:
+        with self._lock:
+            if self.root is None:
+                return dict(self._jobs_memory)
+            records: dict[str, dict] = {}
+            for path in sorted((self.root / "jobs").glob("*.json")):
+                try:
+                    records[path.stem] = json.loads(path.read_text())
+                except (OSError, ValueError) as exc:
+                    raise StoreError(
+                        f"unreadable job record {path}: {exc}"
+                    ) from exc
+            return records
+
+    # -- index ----------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        assert self.root is not None
+        return self.root / "objects" / digest[:2] / digest
+
+    def _load_index(self) -> None:
+        path = self.root / "index.json"
+        if not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"unreadable store index {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("format") != STORE_FORMAT:
+            raise StoreError(
+                f"{path} is not an artifact-store index "
+                f"(format {data.get('format')!r}, expected {STORE_FORMAT!r})"
+            )
+        try:
+            check_schema_version(data, STORE_SCHEMA_VERSION, "artifact store")
+        except SchemaVersionError as exc:
+            raise StoreError(str(exc)) from exc
+        self._index = dict(data.get("objects", {}))
+        self._replay_journal()
+
+    def _journal_path(self):
+        return self.root / "index.log"
+
+    def _append_journal(self, digest: str, entry: dict) -> None:
+        if self.root is None:
+            return
+        with self._journal_path().open("a", encoding="utf-8") as journal:
+            journal.write(json.dumps({"digest": digest, **entry}) + "\n")
+
+    def _replay_journal(self) -> None:
+        """Fold journaled puts into the in-memory index, then compact so
+        the journal stays short across restarts.  A torn trailing line
+        (crash mid-append) is skipped: its object is simply re-put later."""
+        journal = self._journal_path()
+        if not journal.exists():
+            return
+        applied = False
+        for line in journal.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            digest = entry.pop("digest", None)
+            if digest:
+                self._index[digest] = entry
+                applied = True
+        if applied:
+            self._compact()
+        else:
+            journal.unlink()
+
+    def _compact(self) -> None:
+        self._save_index()
+        try:
+            self._journal_path().unlink()
+        except FileNotFoundError:
+            pass
+
+    def _save_index(self) -> None:
+        if self.root is None:
+            return
+        atomic_write_text(self.root / "index.json", json.dumps({
+            "format": STORE_FORMAT,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "objects": self._index,
+        }, indent=2))

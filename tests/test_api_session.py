@@ -138,15 +138,15 @@ class TestPortfolio:
     def test_variant_error_cancels_the_rest(self, session, tac, monkeypatch):
         # A mid-run failure in one variant cancels the others instead of
         # letting them run out their budgets behind the pool shutdown.
-        import repro.api.session as session_mod
+        import repro.service.service as service_mod
 
-        real = session_mod.esd_synthesize
+        real = service_mod.esd_synthesize
         def flaky(module, report, config=None, **kwargs):
             if config is not None and config.seed == 7:
                 raise RuntimeError("variant blew up")
             return real(module, report, config, **kwargs)
 
-        monkeypatch.setattr(session_mod, "esd_synthesize", flaky)
+        monkeypatch.setattr(service_mod, "esd_synthesize", flaky)
         report = tac.make_report()
         started = time.monotonic()
         with pytest.raises(RuntimeError, match="variant blew up"):
@@ -156,15 +156,15 @@ class TestPortfolio:
 
     def test_variant_error_recorded_when_another_wins(self, session, tac,
                                                       monkeypatch):
-        import repro.api.session as session_mod
+        import repro.service.service as service_mod
 
-        real = session_mod.esd_synthesize
+        real = service_mod.esd_synthesize
         def flaky(module, report, config=None, **kwargs):
             if config is not None and config.seed == 7:
                 raise RuntimeError("variant blew up")
             return real(module, report, config, **kwargs)
 
-        monkeypatch.setattr(session_mod, "esd_synthesize", flaky)
+        monkeypatch.setattr(service_mod, "esd_synthesize", flaky)
         portfolio = session.synthesize_portfolio(tac.make_report(), {
             "good": ESDConfig(),
             "boom": ESDConfig(seed=7),
@@ -360,7 +360,7 @@ class TestReproCli:
             return real(module, report, config, **kwargs)
 
         monkeypatch.setattr(synthesis_mod, "esd_synthesize", spy)
-        monkeypatch.setattr("repro.api.session.esd_synthesize", spy)
+        monkeypatch.setattr("repro.service.service.esd_synthesize", spy)
         # The spy observes the serial driver; pin the worker default so a
         # REPRO_WORKERS test matrix does not route around it.
         monkeypatch.setenv("REPRO_WORKERS", "1")

@@ -68,3 +68,115 @@ class TestEsdPlay:
         program, dump, output = tac_files
         assert esdsynth_main([str(dump), str(program), "--crash", "-o", str(output)]) == 0
         assert esdplay_main([str(program), str(output), "--mode", "happens-before"]) == 0
+
+
+class TestTriageDb:
+    def test_triage_db_accumulates_across_invocations(self, tmp_path, capsys):
+        from repro.cli import repro_main
+        from repro.core import TriageDatabase
+
+        workload = get("tac")
+        program = tmp_path / "tac.minic"
+        program.write_text(workload.source)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(workload.make_report().to_dict()))
+        db = tmp_path / "triage.json"
+
+        code = repro_main(["triage", str(program), str(dump),
+                           "--db", str(db), "--json"])
+        assert code == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["distinct_bugs"] == 1
+        assert first["preloaded_bugs"] == 0
+        bug_id = first["reports"][0]["bug_id"]
+        assert first["reports"][0]["new"] is True
+        assert db.exists()
+
+        # Second invocation: the persisted database makes the same report a
+        # duplicate of the existing bug instead of bug #1 of a fresh run.
+        code = repro_main(["triage", str(program), str(dump),
+                           "--db", str(db), "--json"])
+        assert code == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["preloaded_bugs"] == 1
+        assert second["distinct_bugs"] == 1
+        assert second["reports"][0]["bug_id"] == bug_id
+        assert second["reports"][0]["new"] is False
+
+        loaded = TriageDatabase.load(db)
+        assert len(loaded) == 1
+        assert loaded.entries[0].duplicates == 1
+
+    def test_triage_rejects_foreign_db(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        workload = get("tac")
+        program = tmp_path / "tac.minic"
+        program.write_text(workload.source)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(workload.make_report().to_dict()))
+        db = tmp_path / "not-a-db.json"
+        db.write_text(json.dumps({"format": "something-else"}))
+        code = repro_main(["triage", str(program), str(dump),
+                           "--db", str(db)])
+        assert code == 1
+        assert "cannot load triage db" in capsys.readouterr().err
+
+
+class TestGracefulInterrupt:
+    def test_sigterm_writes_final_checkpoint_and_resume_completes(
+            self, tmp_path):
+        """Satellite: SIGTERM to `repro synth --checkpoint` exits cleanly
+        with a final checkpoint (reason 'interrupted') instead of dying
+        mid-search; `repro resume` finishes the job."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        from repro.cli import repro_main
+        from repro.core import ExecutionFile
+        from repro.distrib import parallel_supported
+        from repro.workloads.ghttpd import hard_workload
+
+        if not parallel_supported():
+            pytest.skip("parallel pool requires fork")
+
+        workload = hard_workload(4)
+        program = tmp_path / "hard.minic"
+        program.write_text(workload.source)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(workload.make_report().to_dict()))
+        ckpt = tmp_path / "ck.json"
+        out = tmp_path / "resumed.json"
+
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ, PYTHONPATH=repo_src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "synth", str(dump), str(program),
+             "-o", str(tmp_path / "never.json"), "--workers", "2",
+             "--checkpoint", str(ckpt), "--checkpoint-interval", "0.05",
+             "--max-instructions", "100000000"],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        deadline = time.monotonic() + 20.0
+        while not ckpt.exists() and time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if proc.poll() is not None:
+            # The search finished before the first checkpoint: nothing to
+            # interrupt, and the artifact is already correct.
+            assert proc.returncode == 0
+            return
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        stderr = proc.stderr.read()
+        assert code == 1
+        assert "interrupted" in stderr
+        assert "repro resume" in stderr  # the hint names the next command
+        assert ckpt.exists()
+        assert repro_main(["resume", str(ckpt), "-o", str(out)]) == 0
+        assert ExecutionFile.load(out).bug_kind == "buffer-overflow"

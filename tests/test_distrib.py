@@ -284,3 +284,41 @@ class TestCliJson:
             ["synth", str(dump), str(program), "-o", str(out), "--workers", "2"]
         ) == 0
         assert ExecutionFile.load(out).bug_kind == "buffer-overflow"
+
+
+class TestGracefulShutdown:
+    def test_request_shutdown_checkpoints_and_reports_interrupted(
+            self, hard, tmp_path):
+        """Satellite: a graceful shutdown request (what the SIGTERM handler
+        issues) stops the pool with reason 'interrupted' and writes a final
+        resumable checkpoint."""
+        workload = hard_workload(6)
+        module, report = workload.compile(), workload.make_report()
+        ckpt = tmp_path / "final.json"
+        config = ESDConfig()
+        config.budget.max_instructions = 100_000_000
+        config.budget.max_seconds = 300.0
+        pool = ParallelExplorer(module, report, config, workers=2,
+                                checkpoint_path=str(ckpt),
+                                checkpoint_interval=3600.0)
+        import threading
+
+        timer = threading.Timer(0.3, pool.request_shutdown)
+        timer.start()
+        try:
+            result = pool.run()
+        finally:
+            timer.cancel()
+        if result.found:
+            pytest.skip("search won before the shutdown request landed")
+        assert result.reason == "interrupted"
+        assert ckpt.exists()
+        loaded = ExplorationCheckpoint.load(ckpt)
+        assert loaded.pending > 0
+        # The checkpoint resumes to the same artifact as an uninterrupted run.
+        session = ReproSession.from_checkpoint(loaded)
+        resumed = session.resume(loaded)
+        assert resumed.found
+        serial = ReproSession(module).synthesize(report)
+        assert (resumed.execution_file.fingerprint()
+                == serial.execution_file.fingerprint())

@@ -1,0 +1,173 @@
+"""Schema versioning: round-trips and unknown-version rejection for every
+persisted document (coredumps, bug reports, execution files, triage
+databases, job specs/records)."""
+
+import pytest
+
+from repro.api.jobs import JobRecord, JobSpec, SpecError
+from repro.core import ExecutionFile, TriageDatabase
+from repro.coredump import BugReport, Coredump
+from repro.schema import SchemaVersionError, check_schema_version
+from repro.workloads import get
+
+
+@pytest.fixture(scope="module")
+def report():
+    return get("tac").make_report()
+
+
+@pytest.fixture(scope="module")
+def execution():
+    workload = get("tac")
+    from repro.api import ReproSession
+
+    result = ReproSession(workload.compile(), workers=1).synthesize(
+        workload.make_report()
+    )
+    assert result.found
+    return result.execution_file
+
+
+class TestCheckHelper:
+    def test_missing_version_means_one(self):
+        assert check_schema_version({}, 1, "thing") == 1
+
+    def test_matching_version_passes(self):
+        assert check_schema_version({"schema_version": 1}, 1, "thing") == 1
+
+    def test_unknown_version_rejected_with_kind_in_message(self):
+        with pytest.raises(SchemaVersionError, match="coredump.*99"):
+            check_schema_version({"schema_version": 99}, 1, "coredump")
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(SchemaVersionError):
+            check_schema_version({"schema_version": "2"}, 1, "thing")
+
+
+class TestCoredump:
+    def test_round_trip(self, report):
+        dump = report.coredump
+        data = dump.to_dict()
+        assert data["schema_version"] == 1
+        again = Coredump.from_dict(data)
+        assert again.to_dict() == data
+
+    def test_unknown_version_rejected(self, report):
+        data = report.coredump.to_dict()
+        data["schema_version"] = 7
+        with pytest.raises(SchemaVersionError, match="coredump"):
+            Coredump.from_dict(data)
+
+    def test_legacy_unversioned_accepted(self, report):
+        data = report.coredump.to_dict()
+        del data["schema_version"]
+        assert Coredump.from_dict(data).program == report.coredump.program
+
+
+class TestBugReport:
+    def test_round_trip(self, report):
+        data = report.to_dict()
+        assert data["schema_version"] == 1
+        again = BugReport.from_dict(data)
+        assert again.to_dict() == data
+
+    def test_unknown_version_rejected(self, report):
+        data = report.to_dict()
+        data["schema_version"] = 12
+        with pytest.raises(SchemaVersionError, match="bug report"):
+            BugReport.from_dict(data)
+
+
+class TestExecutionFile:
+    def test_round_trip(self, execution, tmp_path):
+        data = execution.to_dict()
+        assert data["schema_version"] == 1
+        again = ExecutionFile.from_dict(data)
+        assert again.to_dict() == data
+        path = tmp_path / "exec.json"
+        execution.save(path)
+        assert ExecutionFile.load(path).fingerprint() == (
+            execution.fingerprint()
+        )
+
+    def test_unknown_version_rejected(self, execution):
+        data = execution.to_dict()
+        data["schema_version"] = 3
+        with pytest.raises(SchemaVersionError, match="execution file"):
+            ExecutionFile.from_dict(data)
+
+    def test_canonical_bytes_deterministic_and_timing_free(self, execution):
+        first = execution.canonical_bytes()
+        # Wall-clock timing must not leak into the content address.
+        execution.synthesis_seconds += 42.0
+        assert execution.canonical_bytes() == first
+        # The regular serialization still carries it.
+        assert execution.to_dict()["synthesis_seconds"] > 42.0
+
+
+class TestTriageDatabase:
+    def test_round_trip_preserves_ids_and_duplicates(self, execution,
+                                                     tmp_path):
+        db = TriageDatabase()
+        bug_id, is_new = db.submit(execution)
+        assert is_new
+        again_id, again_new = db.submit(execution)
+        assert again_id == bug_id and not again_new
+        path = tmp_path / "triage.json"
+        db.save(path)
+        loaded = TriageDatabase.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0].bug_id == bug_id
+        assert loaded.entries[0].duplicates == 1
+        # Dedup still works against the reloaded database.
+        dup_id, dup_new = loaded.submit(execution)
+        assert dup_id == bug_id and not dup_new
+
+    def test_unknown_version_rejected(self, execution, tmp_path):
+        db = TriageDatabase()
+        db.submit(execution)
+        data = db.to_dict()
+        data["schema_version"] = 9
+        with pytest.raises(SchemaVersionError, match="triage database"):
+            TriageDatabase.from_dict(data)
+
+    def test_foreign_document_rejected(self):
+        with pytest.raises(SchemaVersionError, match="not a triage database"):
+            TriageDatabase.from_dict({"format": "something-else"})
+
+
+class TestJobDocuments:
+    def test_spec_round_trip_and_digest_stability(self, report):
+        spec = JobSpec(report=report, source="int main() { return 0; }",
+                       program_name="prog", priority=3)
+        data = spec.to_dict()
+        assert data["schema_version"] == 1
+        again = JobSpec.from_dict(data)
+        assert again.digest() == spec.digest()
+        assert again.to_dict() == data
+
+    def test_spec_unknown_version_rejected(self, report):
+        data = JobSpec(workload="tac").to_dict()
+        data["schema_version"] = 4
+        with pytest.raises(SchemaVersionError, match="job spec"):
+            JobSpec.from_dict(data)
+
+    def test_spec_validation(self, report):
+        with pytest.raises(SpecError):
+            JobSpec().validate()  # neither source nor workload
+        with pytest.raises(SpecError):
+            JobSpec(source="x", workload="tac").validate()  # both
+        with pytest.raises(SpecError):
+            JobSpec(source="int main() {}").validate()  # no report
+
+    def test_record_round_trip(self):
+        record = JobRecord("j00001-abcd0123", "f" * 64, priority=1)
+        record.transition("STATIC")
+        record.transition("SEARCHING")
+        record.transition("FOUND", reason="goal")
+        data = record.to_dict()
+        again = JobRecord.from_dict(data)
+        assert again.state == "FOUND"
+        assert again.terminal
+        assert [e.kind for e in again.events].count("state") == 3
+        assert again.to_dict() == data

@@ -1,0 +1,128 @@
+"""The content-addressed artifact store: addressing, index, jobs, GC."""
+
+import json
+
+import pytest
+
+from repro.schema import canonical_json_bytes, content_digest
+from repro.store import (
+    STORE_FORMAT,
+    ArtifactStore,
+    StoreError,
+    UnknownArtifactError,
+)
+
+
+class TestContentAddressing:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        digest = store.put_bytes(b"hello", kind="blob")
+        assert digest == content_digest(b"hello")
+        assert store.get_bytes(digest) == b"hello"
+        assert store.kind(digest) == "blob"
+        assert digest in store and len(store) == 1
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = store.put_bytes(b"data", kind="a")
+        second = store.put_bytes(b"data", kind="b")
+        assert first == second
+        assert len(store) == 1
+        # First writer wins the kind label: same content, same object.
+        assert store.kind(first) == "a"
+
+    def test_json_canonicalization(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        a = store.put_json({"b": 1, "a": [1, 2]})
+        b = store.put_json({"a": [1, 2], "b": 1})  # key order irrelevant
+        assert a == b
+        assert store.get_json(a) == {"a": [1, 2], "b": 1}
+
+    def test_unknown_digest_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(UnknownArtifactError):
+            store.get_bytes("0" * 64)
+
+    def test_memory_mode(self):
+        store = ArtifactStore()  # no root: in-memory
+        assert not store.persistent
+        digest = store.put_json({"x": 1})
+        assert store.get_json(digest) == {"x": 1}
+        store.save_job("j1", {"state": "QUEUED"})
+        assert store.load_jobs() == {"j1": {"state": "QUEUED"}}
+
+
+class TestIndexPersistence:
+    def test_reopen_sees_objects(self, tmp_path):
+        root = tmp_path / "store"
+        digest = ArtifactStore(root).put_bytes(b"persisted", kind="exec")
+        reopened = ArtifactStore(root)
+        assert reopened.get_bytes(digest) == b"persisted"
+        assert reopened.kind(digest) == "exec"
+
+    def test_index_is_versioned(self, tmp_path):
+        root = tmp_path / "store"
+        ArtifactStore(root).put_bytes(b"x")
+        index = json.loads((root / "index.json").read_text())
+        assert index["format"] == STORE_FORMAT
+        assert index["schema_version"] == 1
+
+    def test_unknown_index_version_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        ArtifactStore(root).put_bytes(b"x")
+        index = json.loads((root / "index.json").read_text())
+        index["schema_version"] = 99
+        (root / "index.json").write_text(json.dumps(index))
+        with pytest.raises(StoreError, match="schema version"):
+            ArtifactStore(root)
+
+    def test_foreign_index_rejected(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "index.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(StoreError, match="not an artifact-store index"):
+            ArtifactStore(root)
+
+
+class TestJobRecords:
+    def test_save_and_load_jobs(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save_job("j00001-abc", {"state": "QUEUED", "n": 1})
+        store.save_job("j00002-def", {"state": "FOUND", "n": 2})
+        reopened = ArtifactStore(tmp_path / "store")
+        jobs = reopened.load_jobs()
+        assert jobs["j00001-abc"]["state"] == "QUEUED"
+        assert jobs["j00002-def"]["n"] == 2
+
+    def test_save_job_overwrites(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save_job("j1", {"state": "QUEUED"})
+        store.save_job("j1", {"state": "FOUND"})
+        assert store.load_jobs()["j1"]["state"] == "FOUND"
+
+
+class TestGC:
+    def test_gc_sweeps_unreferenced(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        live = store.put_bytes(b"live")
+        dead = store.put_bytes(b"dead")
+        removed = store.gc([live])
+        assert removed == [dead]
+        assert live in store and dead not in store
+        assert store.get_bytes(live) == b"live"
+        # The object file itself is gone, not just the index entry.
+        assert not (tmp_path / "store" / "objects" / dead[:2] / dead).exists()
+
+    def test_gc_survives_reopen(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        live = store.put_bytes(b"live")
+        store.put_bytes(b"dead")
+        store.gc([live])
+        assert len(ArtifactStore(tmp_path / "store")) == 1
+
+
+def test_digest_matches_canonical_bytes():
+    payload = {"z": 0, "a": "é"}
+    assert content_digest(canonical_json_bytes(payload)) == content_digest(
+        canonical_json_bytes({"a": "é", "z": 0})
+    )
