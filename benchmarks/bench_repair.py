@@ -1,0 +1,164 @@
+"""Repair benchmark: localization accuracy + end-to-end repair wall-clock.
+
+Runs the automated repair pipeline over the seeded-bug corpus -- workloads
+whose ground-truth faulty statements are known -- and reports, per workload:
+
+* **localization rank**: where the ground-truth statement lands in the
+  Ochiai ranking (the acceptance bar is top 3);
+* **repair outcome**: whether a validated patch was synthesized, with the
+  template that produced it and the end-to-end wall-clock split into
+  synthesis (failing + passing executions), localization, and patch
+  search/validation.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_repair.py [--quick] [--json OUT]
+
+``--quick`` runs the three fast workloads (tac, listing1, paste); the full
+corpus adds mkdir, mkfifo, and minidb (the SQLite-#1672 lock-order fix).
+Exit status is 0 when every workload localizes its ground truth in the top
+3 *and* produces a validated patch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ESDConfig, esd_synthesize  # noqa: E402
+from repro.repair import (  # noqa: E402
+    RepairConfig,
+    localize,
+    repair,
+    synthesize_passing_executions,
+)
+from repro.search import SearchBudget  # noqa: E402
+from repro.workloads import get  # noqa: E402
+
+RANK_TARGET = 3
+
+# (workload, ground-truth faulty statements as (function, line) keys).
+# Multiple keys when the fix site spans a statement window (listing1's
+# unlock/relock pair) or the fault has two defensible anchors.
+CORPUS = [
+    ("tac", [("main", 29)]),            # unbounded backward scan
+    ("listing1", [("critical_section", 11), ("critical_section", 12)]),
+    ("paste", [("main", 72)]),          # invalid free of the static fallback
+    ("mkdir", [("main", 67)]),          # NULL deref on the error path
+    ("mkfifo", [("main", 54)]),         # NULL deref on the error path
+    ("minidb", [("rl_enter", 34)]),     # lock-order bug (SQLite #1672)
+]
+QUICK = {"tac", "listing1", "paste"}
+
+
+def bench_workload(name: str, truth: list[tuple[str, int]],
+                   budget_seconds: float) -> dict:
+    workload = get(name)
+    module = workload.compile()
+    report = workload.make_report()
+    esd = ESDConfig(budget=SearchBudget(max_seconds=budget_seconds))
+
+    started = time.perf_counter()
+    synthesis = esd_synthesize(module, report, esd)
+    if not synthesis.found:
+        return {"workload": name, "error": f"synthesis: {synthesis.reason}"}
+    passing = synthesize_passing_executions(module, count=4)
+    synth_seconds = time.perf_counter() - started
+
+    loc_started = time.perf_counter()
+    ranking = localize(module, [synthesis.execution_file], passing)
+    loc_seconds = time.perf_counter() - loc_started
+    rank = ranking.best_rank(truth)
+
+    repair_started = time.perf_counter()
+    result = repair(
+        module, report, config=RepairConfig(esd=esd),
+        failing=synthesis.execution_file, passing=passing,
+    )
+    repair_seconds = time.perf_counter() - repair_started
+
+    return {
+        "workload": name,
+        "ground_truth": [f"{fn}:{line}" for fn, line in truth],
+        "localization_rank": rank,
+        "rank_ok": rank is not None and rank <= RANK_TARGET,
+        "repaired": result.found,
+        "template": result.patch.candidate.kind if result.found else None,
+        "patch": result.patch.description if result.found else None,
+        "candidates_tried": result.candidates_tried,
+        "identical_replays": (
+            result.patch.validation.identical_replays if result.found else 0
+        ),
+        "passing_executions": len(passing),
+        "seconds": {
+            "synthesis": round(synth_seconds, 3),
+            "localization": round(loc_seconds, 3),
+            "repair": round(repair_seconds, 3),
+            "total": round(synth_seconds + loc_seconds + repair_seconds, 3),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fast subset of the corpus (tac, listing1, paste)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write machine-readable results to PATH")
+    parser.add_argument("--budget", type=float, default=120.0,
+                        help="per-ESD-run wall-clock budget (default: 120s)")
+    args = parser.parse_args(argv)
+
+    corpus = [(n, t) for n, t in CORPUS if not args.quick or n in QUICK]
+    results = []
+    for name, truth in corpus:
+        print(f"bench_repair: {name} ...", flush=True)
+        row = bench_workload(name, truth, args.budget)
+        results.append(row)
+        if "error" in row:
+            print(f"bench_repair:   ERROR {row['error']}")
+            continue
+        print(f"bench_repair:   ground truth {row['ground_truth']} "
+              f"ranked #{row['localization_rank']} "
+              f"({'ok' if row['rank_ok'] else 'MISSED top ' + str(RANK_TARGET)})")
+        print(f"bench_repair:   "
+              + (f"patched via {row['template']} "
+                 f"({row['candidates_tried']} candidate(s), "
+                 f"{row['identical_replays']}/{row['passing_executions']} "
+                 f"byte-identical replays)"
+                 if row["repaired"] else "NO validated patch"))
+        seconds = row["seconds"]
+        print(f"bench_repair:   wall: synth {seconds['synthesis']}s, "
+              f"localize {seconds['localization']}s, "
+              f"repair {seconds['repair']}s "
+              f"(total {seconds['total']}s)")
+
+    ok = all(
+        "error" not in row and row["rank_ok"] and row["repaired"]
+        for row in results
+    )
+    repaired = sum(1 for r in results if r.get("repaired"))
+    ranked = sum(1 for r in results if r.get("rank_ok"))
+    print(f"bench_repair: {repaired}/{len(results)} repaired, "
+          f"{ranked}/{len(results)} ground truths in top {RANK_TARGET} "
+          f"-> {'PASS' if ok else 'FAIL'}")
+
+    if args.json:
+        payload = {
+            "corpus": [name for name, _ in corpus],
+            "rank_target": RANK_TARGET,
+            "ok": ok,
+            "results": results,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"bench_repair: wrote {args.json}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ Two usage models beyond interactive debugging:
   bug, then the patch can be considered successful."  This matters for
   concurrency bugs, whose patches often just lower the probability.
 
+The manual loop below is CI-asserted in tests/test_repair.py, and fully
+automated (localize -> patch -> validate) by :mod:`repro.repair` -- see
+examples/repair_quickstart.py.
+
 Run:  python examples/triage_and_patch.py
 """
 

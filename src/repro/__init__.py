@@ -31,9 +31,16 @@ content-addressed store, and graceful drain with resumable checkpoints.
 ``repro serve`` exposes it over HTTP; ``repro submit | status | fetch``
 are the clients.
 
+Beyond reproduction, :mod:`repro.repair` closes the loop from report to
+*verified patch*: spectrum-based fault localization over playback coverage,
+template/constraint patch synthesis through the symbolic executor, and the
+paper's own validation criterion (``session.repair(report)``, the service's
+``repair`` job kind, or ``repro repair`` on the command line).
+
 The one-shot helpers remain for single calls: ``repro.core.esd_synthesize``
 and ``repro.playback.play_back``.  On the command line, the ``repro`` entry
-point exposes the same pipeline (``repro synth | play | triage | bench``).
+point exposes the same pipeline (``repro synth | play | repair | triage |
+bench``).
 """
 
 __version__ = "1.2.0"

@@ -75,14 +75,22 @@ class ResultNotReadyError(JobError):
     """The job has not produced the requested artifact yet."""
 
 
+# Job kinds: 'synth' runs ESD and stores the execution file; 'repair' runs
+# the full localize -> patch -> validate pipeline and stores the patch (plus
+# the failing execution it synthesized on the way).
+JOB_KINDS = ("synth", "repair")
+
+
 @dataclass(slots=True)
 class JobSpec:
-    """One synthesis request in wire form.
+    """One synthesis (or repair) request in wire form.
 
     Exactly one of ``source`` (MiniC text, compiled as ``program_name``) or
     ``workload`` (a bundled workload name) identifies the program.  The
     report may be omitted only for workload jobs -- the service generates
-    the workload's deterministic coredump server-side.
+    the workload's deterministic coredump server-side.  ``kind='repair'``
+    asks for the automated-repair pipeline instead of plain synthesis;
+    ``repair_config`` (a :class:`~repro.repair.RepairConfig` dict) tunes it.
     """
 
     report: Optional[BugReport] = None
@@ -92,6 +100,8 @@ class JobSpec:
     config: Optional[ESDConfig] = None
     workers: int = 1
     priority: int = 0
+    kind: str = "synth"
+    repair_config: Optional[dict] = None
 
     def validate(self) -> None:
         if (self.source is None) == (self.workload is None):
@@ -102,6 +112,13 @@ class JobSpec:
             raise SpecError("a source job spec needs a bug report")
         if self.workers < 1:
             raise SpecError("workers must be at least 1")
+        if self.kind not in JOB_KINDS:
+            raise SpecError(
+                f"unknown job kind {self.kind!r}; "
+                f"available: {', '.join(JOB_KINDS)}"
+            )
+        if self.repair_config is not None and self.kind != "repair":
+            raise SpecError("repair_config= needs kind='repair'")
 
     def to_dict(self) -> dict:
         program: dict = (
@@ -111,9 +128,12 @@ class JobSpec:
         return {
             "format": JOBSPEC_FORMAT,
             "schema_version": JOBSPEC_SCHEMA_VERSION,
+            "kind": self.kind,
             "program": program,
             "report": self.report.to_dict() if self.report else None,
             "config": self.config.to_dict() if self.config else None,
+            "repair_config": (dict(self.repair_config)
+                              if self.repair_config else None),
             "workers": self.workers,
             "priority": self.priority,
         }
@@ -129,6 +149,7 @@ class JobSpec:
         program = data.get("program") or {}
         report = data.get("report")
         config = data.get("config")
+        repair_config = data.get("repair_config")
         spec = cls(
             report=BugReport.from_dict(report) if report else None,
             source=program.get("source"),
@@ -137,6 +158,8 @@ class JobSpec:
             config=ESDConfig.from_dict(config) if config else None,
             workers=data.get("workers", 1),
             priority=data.get("priority", 0),
+            kind=data.get("kind", "synth"),
+            repair_config=dict(repair_config) if repair_config else None,
         )
         spec.validate()
         return spec

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..distrib import ExplorationCheckpoint
+    from ..repair import Localization, RepairConfig, RepairResult
 
 from .. import ir
 from ..coredump import BugReport
@@ -271,14 +272,22 @@ class ReproSession:
         config: Optional[ESDConfig] = None,
         *,
         priority: int = 0,
+        kind: str = "synth",
+        repair_config=None,
     ) -> JobRecord:
         """Queue the report as an asynchronous job on the backing service.
 
         Returns the :class:`~repro.api.jobs.JobRecord` immediately; poll it
         via :meth:`job` or block with :meth:`wait`.  Identical submissions
-        dedupe to one job via the spec's store digest."""
+        dedupe to one job via the spec's store digest.  ``kind='repair'``
+        queues the automated-repair pipeline (needs a session built from
+        source); ``repair_config`` may be a
+        :class:`~repro.repair.RepairConfig` or its dict form."""
+        if repair_config is not None and not isinstance(repair_config, dict):
+            repair_config = repair_config.to_dict()
         return self.service.submit_report(
             self.program, report, config or self.config, priority=priority,
+            kind=kind, repair_config=repair_config,
         )
 
     def job(self, job_id: str) -> JobRecord:
@@ -455,3 +464,78 @@ class ReproSession:
         assert result.execution_file is not None
         bug_id, is_new = self.triage_db.submit(result.execution_file)
         return TriageOutcome(bug_id=bug_id, is_new=is_new, result=result)
+
+    # -- repair --------------------------------------------------------------
+
+    def localize(
+        self,
+        report: BugReport,
+        *,
+        failing: Optional[ExecutionFile] = None,
+        passing: Optional[Sequence[ExecutionFile]] = None,
+        passing_count: int = 4,
+        formula: str = "ochiai",
+        config: Optional[ESDConfig] = None,
+    ) -> "Localization":
+        """Rank suspect statements for a report (repair step 1 standalone).
+
+        The failing execution is synthesized from the report unless given;
+        passing executions are synthesized from clean symbolic terminations
+        unless given.  Both reuse the session's shared static artifacts and
+        solver."""
+        from ..repair import (
+            LocalizationError,
+            localize as run_localize,
+            synthesize_passing_executions,
+        )
+
+        if failing is None:
+            result = self.synthesize(report, config, workers=1)
+            if not result.found:
+                raise LocalizationError(
+                    f"cannot localize: synthesis found no failing execution "
+                    f"({result.reason})"
+                )
+            failing = result.execution_file
+        if passing is None:
+            passing = synthesize_passing_executions(
+                self.module, count=passing_count, solver=self.solver,
+            )
+        return run_localize(self.module, [failing], passing, formula=formula)
+
+    def repair(
+        self,
+        report: BugReport,
+        *,
+        config: Optional["RepairConfig"] = None,
+        failing: Optional[ExecutionFile] = None,
+        passing: Optional[Sequence[ExecutionFile]] = None,
+        on_progress: Optional[EventCallback] = None,
+        should_stop=None,
+    ) -> "RepairResult":
+        """The full localize -> patch -> validate pipeline for one report,
+        on the session's shared static artifacts and solver.  Returns a
+        :class:`~repro.repair.RepairResult` whose ``patch`` (when found) is
+        a serializable, re-applicable edit validated by the paper's
+        criterion."""
+        from ..repair import RepairConfig as _RepairConfig, repair as run_repair
+
+        if config is None:
+            config = _RepairConfig()
+        if config.esd is None:
+            # Inherit the session's synthesis budget for the failing-execution
+            # synthesis and the validation re-synthesis -- on a private copy,
+            # never by mutating the caller's config object.
+            config = _RepairConfig.from_dict(config.to_dict())
+            config.esd = self.config
+        return run_repair(
+            self.module,
+            report,
+            config=config,
+            failing=failing,
+            passing=passing,
+            statics=self.statics,
+            solver=self.solver,
+            on_progress=on_progress or self.on_progress,
+            should_stop=should_stop,
+        )

@@ -6,6 +6,9 @@ One entry point; inline commands built on the session API::
                  [--workers N] [--checkpoint ckpt.json]
     repro resume <ckpt.json> [-o exec.json] [--workers N]
     repro play   <program.minic> <exec.json> [--mode strict|happens-before]
+                 [--coverage [cov.json]]
+    repro repair <coredump.json> <program.minic> [-o patch.json]
+                 [--passing N] [--suspects K] [--json]
     repro triage <program.minic> <coredump.json> [...] [--db triage.json]
     repro bench  [--workload ls1] [--reports 4] [--json]
 
@@ -39,6 +42,14 @@ path, SIGTERM/SIGINT trigger a final checkpoint and a clean exit (reason
 over stdlib HTTP, artifacts in a content-addressed store, graceful
 SIGTERM drain that re-queues in-flight jobs as resumable.  ``repro
 submit|status|fetch`` are the matching client commands.
+
+``repro repair`` runs the automated-repair pipeline (spectrum-based fault
+localization over stepper coverage, template/constraint patch synthesis,
+paper-section-8 validation) and writes the validated patch as JSON;
+``repro play --coverage`` emits the per-function/per-line hit counts the
+localizer consumes.  ``repro submit --repair`` queues the same pipeline as
+a service job whose patch lands in the artifact store (``repro fetch
+--kind patch``).
 
 ``esdsynth`` and ``esdplay`` remain as deprecated shims over ``repro synth``
 and ``repro play``.
@@ -229,6 +240,8 @@ def _run_play(args: argparse.Namespace, label: str) -> int:
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
         return 1
+    if getattr(args, "coverage", None) is not None:
+        return _run_play_coverage(session, execution, args, label)
     result = session.play_back(execution, mode=args.mode)
     if result.bug is not None:
         print(f"{label}: reproduced {result.bug.summary()}")
@@ -240,6 +253,108 @@ def _run_play(args: argparse.Namespace, label: str) -> int:
         print(f"{label}: execution did NOT reproduce the recorded bug",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_play_coverage(session, execution, args: argparse.Namespace,
+                       label: str) -> int:
+    """Replay through the stepper and emit per-function/per-line hit counts
+    as JSON (stdout, or the path given to ``--coverage``)."""
+    from .playback import PlaybackDivergenceError, collect_coverage
+
+    try:
+        coverage = collect_coverage(session.module, execution)
+    except PlaybackDivergenceError as exc:
+        print(f"{label}: coverage replay diverged: {exc}", file=sys.stderr)
+        return 1
+    payload = json.dumps(coverage.to_dict(), indent=2)
+    if args.coverage == "-":
+        print(payload)
+    else:
+        try:
+            Path(args.coverage).write_text(payload + "\n")
+        except OSError as exc:
+            print(f"{label}: cannot write {args.coverage}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{label}: wrote coverage for {coverage.steps} executed "
+              f"instructions to {args.coverage}", file=sys.stderr)
+    return 0
+
+
+def _run_repair(args: argparse.Namespace, label: str) -> int:
+    from .repair import LocalizationError, RepairConfig
+
+    on_progress = (
+        _progress_printer(label) if getattr(args, "progress", False) else None
+    )
+    try:
+        report = _load_report(args.coredump)
+        if args.bug_type:
+            report.bug_type = args.bug_type
+        session = _make_session(args.program)
+    except _INPUT_ERRORS as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    config = RepairConfig(
+        max_suspects=args.suspects,
+        passing_count=args.passing,
+        formula=args.formula,
+        esd=_make_config(args),
+    )
+    try:
+        result = session.repair(report, config=config,
+                                on_progress=on_progress)
+    except UnknownStrategyError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 2
+    except (GoalError, LocalizationError) as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps({
+            "found": result.found,
+            "reason": result.reason,
+            "patch": result.patch.to_dict() if result.patch else None,
+            "localization": (result.localization.to_dict()
+                             if result.localization else None),
+            "candidates_tried": result.candidates_tried,
+            "seconds": round(result.seconds, 6),
+        }, indent=2))
+    else:
+        if result.localization is not None:
+            print(f"{label}: top suspects "
+                  f"({result.localization.formula}, "
+                  f"{result.localization.passing_count} passing run(s)):")
+            for rank, suspect in enumerate(result.localization.top(5), 1):
+                print(f"{label}:   #{rank} {suspect.function}:{suspect.line} "
+                      f"score {suspect.score:.3f}"
+                      + (" [end-site]" if suspect.boosted else ""))
+        if result.found:
+            validation = result.patch.validation
+            print(f"{label}: PATCHED -- {result.patch.description}")
+            print(f"{label}: validated: re-synthesis "
+                  f"{validation.resynthesis_reason!r}, "
+                  f"{len(validation.passing)} passing run(s) preserved "
+                  f"({validation.identical_replays} byte-identical), "
+                  f"{result.candidates_tried} candidate(s) tried "
+                  f"in {result.seconds:.1f}s")
+        else:
+            print(f"{label}: no validated patch ({result.reason}); "
+                  f"{result.candidates_tried} candidate(s) tried "
+                  f"in {result.seconds:.1f}s", file=sys.stderr)
+    if not result.found:
+        return 1
+    try:
+        Path(args.output).write_text(
+            json.dumps(result.patch.to_dict(), indent=2) + "\n"
+        )
+    except OSError as exc:
+        print(f"{label}: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 1
+    if not args.json:
+        print(f"{label}: wrote {args.output}")
     return 0
 
 
@@ -300,9 +415,12 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
             continue
         record["bug_id"] = outcome.bug_id
         record["new"] = outcome.is_new
+        entry = session.triage_db.entry(outcome.bug_id)
+        record["patched"] = bool(entry is not None and entry.patched)
         if not as_json:
             status = "NEW" if outcome.is_new else "duplicate"
-            print(f"{label}: {path} -> bug #{outcome.bug_id} ({status}, "
+            patched = ", patched" if record["patched"] else ""
+            print(f"{label}: {path} -> bug #{outcome.bug_id} ({status}{patched}, "
                   f"synthesized in {outcome.result.total_seconds:.2f}s)")
     if db_path:
         try:
@@ -316,6 +434,7 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
             "program": args.program,
             "reports": records,
             "distinct_bugs": len(session.triage_db),
+            "patched_bugs": session.triage_db.patched_count,
             "preloaded_bugs": preloaded,
             "db": db_path,
             "failures": failures,
@@ -329,8 +448,11 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
               + f"; static analysis ran "
                 f"{session.static_stats.distance_builds} time(s)")
         if db_path:
+            patched = session.triage_db.patched_count
             print(f"{label}: triage db saved to {db_path} "
-                  f"({len(session.triage_db)} bugs)")
+                  f"({len(session.triage_db)} bugs, "
+                  f"{patched} patched, "
+                  f"{len(session.triage_db) - patched} unpatched)")
     return 1 if failures else 0
 
 
@@ -477,6 +599,7 @@ def _run_submit(args: argparse.Namespace, label: str) -> int:
     from .api.jobs import JobSpec, SpecError
     from .service.client import ServiceClient, ServiceClientError
 
+    kind = "repair" if getattr(args, "repair", False) else "synth"
     try:
         if args.workload:
             if args.coredump or args.program:
@@ -493,7 +616,8 @@ def _run_submit(args: argparse.Namespace, label: str) -> int:
                 return 2
             spec = JobSpec(workload=args.workload,
                            config=_make_config(args),
-                           priority=args.priority)
+                           priority=args.priority,
+                           kind=kind)
         else:
             if not (args.coredump and args.program):
                 print(f"{label}: need a coredump and a program "
@@ -508,6 +632,7 @@ def _run_submit(args: argparse.Namespace, label: str) -> int:
                 program_name=Path(args.program).stem,
                 config=_make_config(args),
                 priority=args.priority,
+                kind=kind,
             )
         spec.validate()
     except (SpecError, *_INPUT_ERRORS) as exc:
@@ -653,6 +778,11 @@ def _add_play_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mode", choices=("strict", "happens-before"), default="strict"
     )
+    parser.add_argument(
+        "--coverage", nargs="?", const="-", default=None, metavar="PATH",
+        help="replay through the stepper and emit per-function/per-line "
+             "hit counts as JSON (to PATH, or stdout when omitted)",
+    )
 
 
 def repro_main(argv: list[str] | None = None) -> int:
@@ -694,6 +824,36 @@ def repro_main(argv: list[str] | None = None) -> int:
         "play", help="deterministically play back a synthesized execution"
     )
     _add_play_args(play)
+
+    repair = sub.add_parser(
+        "repair",
+        help="localize the fault and synthesize a validated patch",
+    )
+    repair.add_argument("coredump", help="bug report JSON (BugReport.to_dict)")
+    repair.add_argument("program", help="MiniC source file")
+    repair_kind = repair.add_mutually_exclusive_group()
+    repair_kind.add_argument("--crash", action="store_const", const="crash",
+                             dest="bug_type")
+    repair_kind.add_argument("--deadlock", action="store_const",
+                             const="deadlock", dest="bug_type")
+    repair_kind.add_argument("--race", action="store_const", const="race",
+                             dest="bug_type")
+    repair.add_argument("-o", "--output", default="patch.json",
+                        help="where to write the validated patch JSON")
+    repair.add_argument("--passing", type=int, default=4, metavar="N",
+                        help="passing executions to synthesize for the "
+                             "coverage spectra (default: 4)")
+    repair.add_argument("--suspects", type=int, default=5, metavar="K",
+                        help="ranked suspects to attempt patches at "
+                             "(default: 5)")
+    repair.add_argument("--formula", choices=("ochiai", "tarantula"),
+                        default="ochiai",
+                        help="suspiciousness formula (default: ochiai)")
+    repair.add_argument("--json", action="store_true",
+                        help="machine-readable result on stdout")
+    repair.add_argument("--progress", action="store_true",
+                        help="print structured progress events to stderr")
+    _add_search_flags(repair)
 
     triage = sub.add_parser(
         "triage", help="synthesize a stream of reports and deduplicate them"
@@ -747,6 +907,9 @@ def repro_main(argv: list[str] | None = None) -> int:
                         help="submit a bundled workload instead of files")
     submit.add_argument("--bug-type", default=None, dest="bug_type",
                         choices=("crash", "deadlock", "race"))
+    submit.add_argument("--repair", action="store_true", dest="repair",
+                        help="queue the automated-repair pipeline instead "
+                             "of plain synthesis (patch lands in the store)")
     submit.add_argument("--priority", type=int, default=0,
                         help="higher runs sooner (default: 0)")
     submit.add_argument("--url", default=None,
@@ -776,7 +939,7 @@ def repro_main(argv: list[str] | None = None) -> int:
     fetch.add_argument("job_id")
     fetch.add_argument("-o", "--output", default="execution.json")
     fetch.add_argument("--kind", default="execution",
-                       choices=("execution", "checkpoint", "spec"))
+                       choices=("execution", "checkpoint", "spec", "patch"))
     fetch.add_argument("--url", default=None)
     fetch.add_argument("--wait", action="store_true",
                        help="wait for the job to finish first")
@@ -789,6 +952,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_resume(args, "repro resume")
     if args.command == "play":
         return _run_play(args, "repro play")
+    if args.command == "repair":
+        return _run_repair(args, "repro repair")
     if args.command == "triage":
         return _run_triage(args, "repro triage")
     if args.command == "bench":

@@ -11,17 +11,17 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
-from ..schema import (
-    SchemaVersionError,
-    atomic_write_text,
-    check_schema_version,
-)
+from ..schema import SchemaVersionError, atomic_write_text
 from .execfile import ExecutionFile
 
 TRIAGE_DB_FORMAT = "esd-triage-db-v1"
-TRIAGE_DB_SCHEMA_VERSION = 1
+# Version 2 adds per-bug repair outcomes (patch artifact digest + verified
+# flag).  Version-1 files load as unpatched; version-2 files are rejected by
+# older readers via their exact-version check.
+TRIAGE_DB_SCHEMA_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def same_bug(a: ExecutionFile, b: ExecutionFile) -> bool:
@@ -34,6 +34,15 @@ class TriageEntry:
     bug_id: int
     execution: ExecutionFile
     duplicates: int = 0
+    # Repair outcome: the content digest of the stored patch artifact and
+    # whether it passed validation (ESD could no longer synthesize the
+    # report and the passing executions replayed identically).
+    patch_digest: Optional[str] = None
+    patch_verified: bool = False
+
+    @property
+    def patched(self) -> bool:
+        return self.patch_digest is not None and self.patch_verified
 
 
 @dataclass(slots=True)
@@ -81,7 +90,9 @@ class TriageDatabase:
         Returns a mapping from the other database's bug ids to the local
         ones.  Duplicate counts carry over: an entry that collides with a
         local fingerprint contributes its original report plus all its
-        recorded duplicates to the local entry's count.
+        recorded duplicates to the local entry's count.  A repair outcome
+        carries over when the local entry has none (a verified patch is
+        never downgraded by an unpatched shard).
         """
         mapping: dict[int, int] = {}
         for entry in other.entries:
@@ -89,14 +100,40 @@ class TriageDatabase:
             local = self._index.get(fingerprint)
             if local is not None:
                 local.duplicates += entry.duplicates + 1
+                if entry.patch_digest is not None and not local.patched:
+                    local.patch_digest = entry.patch_digest
+                    local.patch_verified = entry.patch_verified
             else:
                 local = TriageEntry(self._next_id, entry.execution,
-                                    entry.duplicates)
+                                    entry.duplicates,
+                                    patch_digest=entry.patch_digest,
+                                    patch_verified=entry.patch_verified)
                 self._next_id += 1
                 self.entries.append(local)
                 self._index[fingerprint] = local
             mapping[entry.bug_id] = local.bug_id
         return mapping
+
+    def entry(self, bug_id: int) -> Optional[TriageEntry]:
+        for candidate in self.entries:
+            if candidate.bug_id == bug_id:
+                return candidate
+        return None
+
+    def record_repair(self, bug_id: int, patch_digest: str,
+                      verified: bool) -> TriageEntry:
+        """Attach a repair outcome (patch artifact digest + verified flag)
+        to a tracked bug."""
+        entry = self.entry(bug_id)
+        if entry is None:
+            raise KeyError(f"no bug #{bug_id} in the triage database")
+        entry.patch_digest = patch_digest
+        entry.patch_verified = verified
+        return entry
+
+    @property
+    def patched_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.patched)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -112,6 +149,8 @@ class TriageDatabase:
                     "bug_id": entry.bug_id,
                     "duplicates": entry.duplicates,
                     "execution": entry.execution.to_dict(),
+                    "patch_digest": entry.patch_digest,
+                    "patch_verified": entry.patch_verified,
                 }
                 for entry in self.entries
             ],
@@ -124,12 +163,23 @@ class TriageDatabase:
                 f"not a triage database: format {data.get('format')!r} "
                 f"(expected {TRIAGE_DB_FORMAT!r})"
             )
-        check_schema_version(data, TRIAGE_DB_SCHEMA_VERSION, "triage database")
+        # Both readable versions share the entry shape; version 1 simply
+        # predates the repair-outcome fields (absent -> unpatched).
+        version = data.get("schema_version", 1)
+        if not isinstance(version, int) or version not in _READABLE_VERSIONS:
+            raise SchemaVersionError(
+                f"unsupported triage database schema version {version!r} "
+                f"(this build reads versions "
+                f"{', '.join(map(str, _READABLE_VERSIONS))}); "
+                f"upgrade repro or re-export the file"
+            )
         return cls(entries=[
             TriageEntry(
                 bug_id=entry["bug_id"],
                 execution=ExecutionFile.from_dict(entry["execution"]),
                 duplicates=entry.get("duplicates", 0),
+                patch_digest=entry.get("patch_digest"),
+                patch_verified=entry.get("patch_verified", False),
             )
             for entry in data.get("entries", [])
         ])

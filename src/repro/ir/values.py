@@ -73,6 +73,27 @@ class FuncRef(Value):
         return "&" + self.name
 
 
+@dataclass(frozen=True, slots=True)
+class Hole(Value):
+    """A symbolic constant to be synthesized (constraint-based repair).
+
+    A patch template replaces a concrete operand with a hole; the symbolic
+    executor evaluates every occurrence of one hole to the *same* symbolic
+    variable over ``[lo, hi]``, so the repair engine can constrain its value
+    ("bug goal unreachable and passing executions preserved") and concretize
+    the solver's model back into a :class:`Const`.  Holes never appear in
+    modules the frontend emits -- only in candidate-patch modules built by
+    :mod:`repro.repair`.
+    """
+
+    name: str
+    lo: int = INT_MIN
+    hi: int = INT_MAX
+
+    def __repr__(self) -> str:
+        return f"?{self.name}[{self.lo},{self.hi}]"
+
+
 NULL = Const(0)
 
 TRUE = Const(1)

@@ -1,12 +1,16 @@
 """Deterministic playback of synthesized executions (paper section 5)."""
 
+from .coverage import CoverageMap, collect_coverage, merge_coverage
 from .replay import PlaybackDivergence, PlaybackResult, play_back
 from .stepper import PlaybackDivergenceError, StrictStepper
 
 __all__ = [
+    "CoverageMap",
     "PlaybackDivergence",
     "PlaybackDivergenceError",
     "PlaybackResult",
     "StrictStepper",
+    "collect_coverage",
+    "merge_coverage",
     "play_back",
 ]

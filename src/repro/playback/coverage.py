@@ -1,0 +1,142 @@
+"""Per-statement coverage of a synthesized execution (repair step 1).
+
+Spectrum-based fault localization needs to know, for one failing and several
+passing executions, exactly which statements ran.  The collector drives the
+strict playback stepper instruction by instruction and attributes each
+executed instruction to its ``(function, source line)`` statement and to its
+:class:`~repro.ir.InstrRef` -- the same artifact ``repro play --coverage``
+emits as JSON for standalone triage.
+
+Besides hit counts, the map records the execution's *end sites*: the bug
+location for a crash, and every blocked thread's program counter for a
+deadlock.  Localization boosts these (the coredump's stacks are evidence the
+spectrum alone cannot see -- a deadlocked run covers strictly fewer
+statements than a lucky run over the same inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import ir
+from ..core.execfile import ExecutionFile
+from ..ir import InstrRef
+from ..symbex.state import BLOCKED
+from .stepper import StrictStepper
+
+COVERAGE_FORMAT = "esd-coverage-v1"
+COVERAGE_SCHEMA_VERSION = 1
+
+LineKey = tuple[str, int]  # (function, source line)
+
+
+@dataclass(slots=True)
+class CoverageMap:
+    """Hit counts for one replayed execution."""
+
+    program: str
+    # (function, line) -> times any instruction of that statement executed.
+    lines: dict[LineKey, int] = field(default_factory=dict)
+    refs: dict[InstrRef, int] = field(default_factory=dict)
+    # Statements where the execution ended: the crash site, or each blocked
+    # thread's pc for a deadlock.  Empty for passing executions.
+    end_sites: tuple[LineKey, ...] = ()
+    status: str = ""  # terminal state status: 'exited' | 'bug'
+    bug_kind: str = ""
+    exit_code: int = 0
+    steps: int = 0
+
+    @property
+    def failing(self) -> bool:
+        return self.status == "bug"
+
+    def covers(self, key: LineKey) -> bool:
+        return key in self.lines
+
+    def function_lines(self) -> dict[str, dict[int, int]]:
+        """Per-function {line: hits} view (what the CLI emits)."""
+        result: dict[str, dict[int, int]] = {}
+        for (function, line), hits in sorted(self.lines.items()):
+            result.setdefault(function, {})[line] = hits
+        return result
+
+    def to_dict(self) -> dict:
+        return {
+            "format": COVERAGE_FORMAT,
+            "schema_version": COVERAGE_SCHEMA_VERSION,
+            "program": self.program,
+            "status": self.status,
+            "bug_kind": self.bug_kind,
+            "exit_code": self.exit_code,
+            "steps": self.steps,
+            "functions": {
+                function: {str(line): hits for line, hits in lines.items()}
+                for function, lines in self.function_lines().items()
+            },
+            "instructions": {
+                repr(ref): hits for ref, hits in sorted(self.refs.items())
+            },
+            "end_sites": [
+                {"function": function, "line": line}
+                for function, line in self.end_sites
+            ],
+        }
+
+
+def collect_coverage(
+    module: ir.Module,
+    execution: ExecutionFile,
+    max_steps: int = 10_000_000,
+) -> CoverageMap:
+    """Replay ``execution`` through the strict stepper, counting statement
+    hits.  The replay runs to termination, so a failing execution's map ends
+    at the reproduced bug."""
+    stepper = StrictStepper(module, execution, max_steps=max_steps)
+    coverage = CoverageMap(program=execution.program)
+    while not stepper.done:
+        stepper.step()
+        if not stepper.executed_last or stepper.last_ref is None:
+            continue
+        ref = stepper.last_ref
+        line = _line_of(module, ref)
+        key = (ref.function, line)
+        coverage.lines[key] = coverage.lines.get(key, 0) + 1
+        coverage.refs[ref] = coverage.refs.get(ref, 0) + 1
+
+    state = stepper.state
+    coverage.status = state.status
+    coverage.exit_code = state.exit_code
+    coverage.steps = state.steps
+    sites: list[LineKey] = []
+    if state.bug is not None:
+        coverage.bug_kind = state.bug.kind.value
+        sites.append((state.bug.ref.function, state.bug.line))
+    for thread in state.threads.values():
+        if thread.status == BLOCKED and thread.frames:
+            pc = thread.pc
+            sites.append((pc.function, _line_of(module, pc)))
+    # Preserve discovery order but drop duplicates (two threads blocked on
+    # the same statement are one suspect site).
+    coverage.end_sites = tuple(dict.fromkeys(sites))
+    return coverage
+
+
+def _line_of(module: ir.Module, ref: InstrRef) -> int:
+    try:
+        return module.instruction(ref).line
+    except KeyError:
+        return 0
+
+
+def merge_coverage(maps: list[CoverageMap]) -> Optional[CoverageMap]:
+    """Fold several maps of one program into an aggregate (hit counts sum)."""
+    if not maps:
+        return None
+    merged = CoverageMap(program=maps[0].program)
+    for cov in maps:
+        for key, hits in cov.lines.items():
+            merged.lines[key] = merged.lines.get(key, 0) + hits
+        for ref, hits in cov.refs.items():
+            merged.refs[ref] = merged.refs.get(ref, 0) + hits
+    return merged

@@ -10,6 +10,7 @@ from typing import Optional
 
 from .. import ir
 from ..core.execfile import ExecutionFile
+from ..ir import InstrRef
 from ..symbex import ConcreteEnv, ExecConfig, Executor
 from ..symbex.state import RUNNABLE, ExecutionState
 
@@ -35,6 +36,12 @@ class StrictStepper:
         self._segment_index = 0
         self._executed_in_segment = 0
         self._total = 0
+        # Where the last step() actually executed an instruction (None when
+        # it only made a scheduling decision).  The coverage collector reads
+        # these to attribute per-statement hit counts.
+        self.last_ref: Optional[InstrRef] = None
+        self.last_tid: Optional[int] = None
+        self.executed_last = False
         if self._segments:
             self.state.current_tid = self._segments[0].tid
 
@@ -61,12 +68,25 @@ class StrictStepper:
         if self.done:
             return self.state
         before = self.state.steps
+        thread = self.state.threads.get(self.state.current_tid)
+        ref = (
+            thread.pc
+            if thread is not None and thread.frames
+            and thread.status == RUNNABLE else None
+        )
+        tid = self.state.current_tid
         successors = self.executor.step(self.state)
         if len(successors) != 1:
             raise PlaybackDivergenceError("playback execution forked")
         self.state = successors[0]
         self._total += 1
         self._executed_in_segment += self.state.steps - before
+        # state.steps only advances when an instruction actually executed
+        # (a pure reschedule leaves it untouched), so the captured pc is
+        # exactly the instruction that ran.
+        self.executed_last = self.state.steps > before
+        self.last_ref = ref if self.executed_last else None
+        self.last_tid = tid if self.executed_last else None
         return self.state
 
     def run(self, should_stop=None) -> ExecutionState:

@@ -1,0 +1,84 @@
+"""Automated repair: fault localization + constraint-based patch synthesis.
+
+The subsystem that closes ESD's loop from "report in" to "verified patch
+out" (paper section 8 stops at manual patch verification; this automates the
+patch too, in the spirit of SemFix-style constraint-based repair and
+path-based program repair):
+
+1. **localize** -- per-statement coverage spectra from the playback stepper
+   for the failing synthesized execution plus passing executions, ranked by
+   Ochiai/Tarantula suspiciousness (:mod:`repro.repair.localize`);
+2. **patch** -- a small template grammar instantiated at the top suspects;
+   unknown constants become symbolic holes whose values the existing solver
+   derives from "bug unreachable and passing behavior preserved" constraints
+   (:mod:`repro.repair.templates`, :mod:`repro.repair.holes`);
+3. **validate** -- the paper's own criterion: ESD can no longer synthesize
+   the original report against the patched module, and the passing
+   executions replay identically (:mod:`repro.repair.validate`).
+
+Entry points: :func:`repair` (one call, full pipeline),
+:meth:`repro.api.ReproSession.repair` / ``.localize`` (session facade),
+the service's ``repair`` job kind, and the ``repro repair`` CLI verb.
+"""
+
+from .holes import (
+    Behavior,
+    HolePath,
+    concrete_behavior,
+    explore_with_holes,
+    module_holes,
+    solve_hole_bindings,
+    substitute_holes,
+)
+from .localize import (
+    Localization,
+    LocalizationError,
+    Suspect,
+    localize,
+    synthesize_passing_executions,
+)
+from .patcher import (
+    PATCH_FORMAT,
+    PATCH_SCHEMA_VERSION,
+    Patch,
+    RepairConfig,
+    RepairResult,
+    clone_module,
+    repair,
+)
+from .templates import PatchCandidate, TemplateError, candidates_for
+from .validate import (
+    PassingReplay,
+    ValidationResult,
+    validate_patch,
+    validation_config,
+)
+
+__all__ = [
+    "Behavior",
+    "HolePath",
+    "Localization",
+    "LocalizationError",
+    "PATCH_FORMAT",
+    "PATCH_SCHEMA_VERSION",
+    "PassingReplay",
+    "Patch",
+    "PatchCandidate",
+    "RepairConfig",
+    "RepairResult",
+    "Suspect",
+    "TemplateError",
+    "ValidationResult",
+    "candidates_for",
+    "clone_module",
+    "concrete_behavior",
+    "explore_with_holes",
+    "localize",
+    "module_holes",
+    "repair",
+    "solve_hole_bindings",
+    "substitute_holes",
+    "synthesize_passing_executions",
+    "validate_patch",
+    "validation_config",
+]

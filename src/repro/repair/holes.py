@@ -1,0 +1,227 @@
+"""Symbolic holes: constraint-based patch-parameter synthesis (repair step 2).
+
+A patch template may leave a *hole* -- an unknown program constant, an
+:class:`~repro.ir.Hole` operand in the candidate module.  This module turns
+"what value makes the patch correct?" into a constraint query, SemFix-style:
+
+* re-run the candidate module over the **failing** execution's concrete
+  inputs with the hole symbolic.  Branches over the hole fork, so the
+  terminal states partition the hole's domain into behaviors; the states
+  that terminate *cleanly* contribute "bug unreachable" constraints.
+* re-run it over each **passing** execution's inputs.  The states whose
+  observable behavior (output, exit code, termination status) matches the
+  original program's contribute "passing executions preserved" constraints.
+* conjoin one clean failing path with one behavior-preserving path per
+  passing execution and hand the conjunction to the existing
+  :class:`~repro.solver.Solver` (counterexample cache included); a model
+  binds every hole to a concrete value.
+
+All program inputs are concrete during these runs (they come from recorded
+executions), so every path constraint ranges over hole variables only and
+the queries stay tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Optional, Sequence
+
+from .. import ir
+from ..core.execfile import ExecutionFile
+from ..solver import Solver
+from ..symbex import ConcreteEnv, ExecConfig, Executor
+from ..symbex.env import RecordedInputs
+from ..symbex.executor import hole_var
+
+HOLE_PREFIX = "hole:"
+
+
+@dataclass(slots=True)
+class Behavior:
+    """The observable outcome of one concrete (or hole-symbolic) run."""
+
+    status: str  # 'exited' | 'bug' | 'infeasible'
+    exit_code: int
+    output: tuple[str, ...]
+    bug_kind: str = ""
+
+    def matches(self, other: "Behavior") -> bool:
+        return (
+            self.status == other.status
+            and self.exit_code == other.exit_code
+            and self.output == other.output
+        )
+
+
+@dataclass(slots=True)
+class HolePath:
+    """One terminal path of a hole-symbolic run: behavior + the path
+    condition over the hole variables that selects it."""
+
+    behavior: Behavior
+    constraints: list = field(default_factory=list)
+
+
+def concrete_behavior(
+    module: ir.Module,
+    inputs: RecordedInputs,
+    *,
+    max_steps: int = 2_000_000,
+) -> Behavior:
+    """Run a fully concrete module deterministically and observe the outcome
+    (default cooperative scheduling; used as the reference behavior for
+    passing-execution preservation)."""
+    executor = Executor(module, env=ConcreteEnv(inputs), config=ExecConfig())
+    state = executor.run_to_completion(executor.initial_state(), max_steps)
+    return _behavior_of(state)
+
+
+def explore_with_holes(
+    module: ir.Module,
+    inputs: RecordedInputs,
+    solver: Solver,
+    *,
+    max_states: int = 512,
+    max_instructions: int = 500_000,
+) -> list[HolePath]:
+    """All terminal paths of ``module`` over concrete ``inputs`` with its
+    holes symbolic.  Forking happens only where control depends on a hole."""
+    executor = Executor(
+        module, solver=solver, env=ConcreteEnv(inputs), config=ExecConfig()
+    )
+    paths: list[HolePath] = []
+    frontier = [executor.initial_state()]
+    states = 0
+    while frontier and states < max_states:
+        state = frontier.pop()
+        states += 1
+        pending = [state]
+        while (len(pending) == 1 and not pending[0].terminated
+               and executor.stats.instructions < max_instructions):
+            pending = executor.step(pending[0])
+        for successor in pending:
+            if successor.terminated:
+                if successor.status == "infeasible":
+                    continue
+                paths.append(HolePath(
+                    behavior=_behavior_of(successor),
+                    constraints=list(successor.constraints),
+                ))
+            else:
+                frontier.append(successor)
+        if executor.stats.instructions >= max_instructions:
+            break
+    return paths
+
+
+def solve_hole_bindings(
+    holes: Sequence[ir.Hole],
+    failing_paths: Sequence[HolePath],
+    preserved_paths: Sequence[Sequence[HolePath]],
+    solver: Solver,
+    *,
+    combo_cap: int = 64,
+) -> Optional[dict[str, int]]:
+    """Find hole values satisfying one clean failing path *and* one
+    behavior-preserving path per passing execution.
+
+    The paths of one run partition the hole domain, so the right query shape
+    is "pick one disjunct per run and conjoin".  Combinations are tried in
+    order (shortest constraint sets first) up to ``combo_cap``.
+    """
+    if not holes:
+        return {}
+    if not failing_paths:
+        return None
+    by_size = lambda p: len(p.constraints)  # noqa: E731 -- local sort key
+    choice_lists: list[list[HolePath]] = [sorted(failing_paths, key=by_size)]
+    for options in preserved_paths:
+        if not options:
+            return None  # some passing run cannot be preserved at all
+        choice_lists.append(sorted(options, key=by_size))
+
+    tried = 0
+    for combo in product(*choice_lists):
+        if tried >= combo_cap:
+            break
+        tried += 1
+        constraints = [c for path in combo for c in path.constraints]
+        model = solver.model(constraints)
+        if model is None:
+            continue
+        bindings: dict[str, int] = {}
+        for hole in holes:
+            var = hole_var(hole)
+            bindings[hole.name] = model.get(var.name, var.lo)
+        return bindings
+    return None
+
+
+def substitute_holes(module: ir.Module, bindings: dict[str, int]) -> None:
+    """Concretize: replace every :class:`~repro.ir.Hole` operand with the
+    solved :class:`~repro.ir.Const` (in place, on a candidate module)."""
+
+    def rewrite(value):
+        if isinstance(value, ir.Hole):
+            if value.name not in bindings:
+                raise KeyError(f"no binding for hole {value.name!r}")
+            return ir.Const(bindings[value.name])
+        return value
+
+    for function in module.functions.values():
+        for block in function.blocks.values():
+            for instr in list(block.instrs) + (
+                [block.terminator] if block.terminator is not None else []
+            ):
+                _rewrite_operands(instr, rewrite)
+
+
+def module_holes(module: ir.Module) -> list[ir.Hole]:
+    """Every distinct hole appearing in the module (stable order)."""
+    found: dict[str, ir.Hole] = {}
+    for function in module.functions.values():
+        for _, instr in function.iter_instructions():
+            for operand in instr.operands():
+                if isinstance(operand, ir.Hole):
+                    found.setdefault(operand.name, operand)
+    return list(found.values())
+
+
+_OPERAND_FIELDS = {
+    ir.Assign: ("src",),
+    ir.BinOp: ("lhs", "rhs"),
+    ir.UnOp: ("value",),
+    ir.Alloc: ("size",),
+    ir.Free: ("ptr",),
+    ir.Load: ("addr",),
+    ir.Store: ("addr", "value"),
+    ir.Gep: ("base", "offset"),
+    ir.Assert: ("cond",),
+    ir.CondBr: ("cond",),
+    ir.Ret: ("value",),
+    ir.MutexLock: ("mutex",),
+    ir.MutexUnlock: ("mutex",),
+    ir.CondWait: ("cond", "mutex"),
+    ir.CondSignal: ("cond",),
+    ir.ThreadCreate: ("func", "arg"),
+    ir.ThreadJoin: ("tid",),
+}
+
+
+def _rewrite_operands(instr: ir.Instr, rewrite) -> None:
+    for field_name in _OPERAND_FIELDS.get(type(instr), ()):
+        value = getattr(instr, field_name)
+        if value is not None:
+            setattr(instr, field_name, rewrite(value))
+    if isinstance(instr, (ir.Call, ir.Intrinsic)):
+        instr.args = [rewrite(a) for a in instr.args]
+
+
+def _behavior_of(state) -> Behavior:
+    return Behavior(
+        status=state.status,
+        exit_code=state.exit_code if isinstance(state.exit_code, int) else 0,
+        output=tuple(state.output),
+        bug_kind=state.bug.kind.value if state.bug is not None else "",
+    )

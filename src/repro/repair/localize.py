@@ -1,0 +1,246 @@
+"""Spectrum-based fault localization (repair step 1).
+
+Coverage spectra come from the playback stepper: one failing synthesized
+execution (what ESD produces from the bug report) plus a set of passing
+executions -- either replayed from known-good inputs or synthesized here by
+exploring the program symbolically and keeping paths that terminate cleanly
+(the "bug condition negated" source of passing runs).
+
+Statements are ranked by Ochiai (default) or Tarantula suspiciousness.  On
+top of the pure spectrum the ranking boosts the failing execution's *end
+sites* -- the crash statement, or each blocked thread's program counter for
+a deadlock.  The coredump already pins those statements as involved in the
+failure; for concurrency bugs this matters because a deadlocking run covers
+a *subset* of what a lucky run over the same inputs covers, so the spectrum
+alone carries no positive signal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .. import ir
+from ..core.execfile import ExecutionFile, execution_file_from_state
+from ..playback.coverage import CoverageMap, LineKey, collect_coverage
+from ..solver import Solver
+from ..symbex import ExecConfig, Executor, SymbolicEnv
+
+FORMULAS = ("ochiai", "tarantula")
+
+Spectrum = Union[CoverageMap, ExecutionFile]
+
+
+class LocalizationError(Exception):
+    """Localization cannot run (no failing spectrum, unknown formula)."""
+
+
+@dataclass(slots=True)
+class Suspect:
+    """One ranked statement."""
+
+    function: str
+    line: int
+    score: float
+    ef: int  # failing executions covering the statement
+    ep: int  # passing executions covering the statement
+    nf: int  # failing executions missing it
+    np: int  # passing executions missing it
+    boosted: bool = False  # an end-site (crash / blocked pc) boost applied
+    refs: tuple[ir.InstrRef, ...] = ()
+
+    @property
+    def key(self) -> LineKey:
+        return (self.function, self.line)
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "line": self.line,
+            "score": round(self.score, 6),
+            "ef": self.ef,
+            "ep": self.ep,
+            "nf": self.nf,
+            "np": self.np,
+            "boosted": self.boosted,
+        }
+
+
+@dataclass(slots=True)
+class Localization:
+    """The ranked suspect list for one report."""
+
+    suspects: list[Suspect] = field(default_factory=list)
+    formula: str = "ochiai"
+    failing_count: int = 0
+    passing_count: int = 0
+
+    def top(self, n: int) -> list[Suspect]:
+        return self.suspects[:n]
+
+    def rank_of(self, function: str, line: int) -> Optional[int]:
+        """1-based rank of a statement, or None when it was never suspected."""
+        for rank, suspect in enumerate(self.suspects, start=1):
+            if suspect.function == function and suspect.line == line:
+                return rank
+        return None
+
+    def best_rank(self, keys: Sequence[LineKey]) -> Optional[int]:
+        """Best rank any of several ground-truth statements achieved."""
+        ranks = [r for r in (self.rank_of(f, ln) for f, ln in keys)
+                 if r is not None]
+        return min(ranks) if ranks else None
+
+    def to_dict(self) -> dict:
+        return {
+            "formula": self.formula,
+            "failing": self.failing_count,
+            "passing": self.passing_count,
+            "suspects": [s.to_dict() for s in self.suspects],
+        }
+
+
+def localize(
+    module: ir.Module,
+    failing: Sequence[Spectrum],
+    passing: Sequence[Spectrum],
+    *,
+    formula: str = "ochiai",
+    site_boost: float = 0.5,
+) -> Localization:
+    """Rank statements by suspiciousness from failing/passing spectra.
+
+    ``failing``/``passing`` entries may be :class:`CoverageMap` objects or
+    :class:`ExecutionFile` artifacts (replayed through the stepper here).
+    """
+    if formula not in FORMULAS:
+        raise LocalizationError(
+            f"unknown suspiciousness formula {formula!r}; "
+            f"available: {', '.join(FORMULAS)}"
+        )
+    fail_maps = [_as_coverage(module, s) for s in failing]
+    pass_maps = [_as_coverage(module, s) for s in passing]
+    if not fail_maps:
+        raise LocalizationError("localization needs at least one failing execution")
+
+    total_f = len(fail_maps)
+    total_p = len(pass_maps)
+    lines: set[LineKey] = set()
+    for cov in fail_maps:
+        lines.update(cov.lines)
+    boosted: set[LineKey] = set()
+    for cov in fail_maps:
+        boosted.update(cov.end_sites)
+
+    ref_index: dict[LineKey, set[ir.InstrRef]] = {}
+    for cov in fail_maps:
+        for ref in cov.refs:
+            try:
+                line = module.instruction(ref).line
+            except KeyError:
+                continue
+            ref_index.setdefault((ref.function, line), set()).add(ref)
+
+    suspects: list[Suspect] = []
+    for key in lines:
+        if key[1] <= 0:
+            continue  # synthetic/prelude instructions carry no source line
+        ef = sum(1 for cov in fail_maps if cov.covers(key))
+        ep = sum(1 for cov in pass_maps if cov.covers(key))
+        score = _score(formula, ef, ep, total_f, total_p)
+        is_boosted = key in boosted
+        if is_boosted:
+            score += site_boost
+        suspects.append(Suspect(
+            function=key[0], line=key[1], score=score,
+            ef=ef, ep=ep, nf=total_f - ef, np=total_p - ep,
+            boosted=is_boosted,
+            refs=tuple(sorted(ref_index.get(key, ()))),
+        ))
+    suspects.sort(key=lambda s: (-s.score, s.function, s.line))
+    return Localization(
+        suspects=suspects,
+        formula=formula,
+        failing_count=total_f,
+        passing_count=total_p,
+    )
+
+
+def _as_coverage(module: ir.Module, spectrum: Spectrum) -> CoverageMap:
+    if isinstance(spectrum, CoverageMap):
+        return spectrum
+    return collect_coverage(module, spectrum)
+
+
+def _score(formula: str, ef: int, ep: int, total_f: int, total_p: int) -> float:
+    if formula == "tarantula":
+        if total_f == 0 or ef == 0:
+            return 0.0
+        fail_rate = ef / total_f
+        pass_rate = ep / total_p if total_p else 0.0
+        return fail_rate / (fail_rate + pass_rate)
+    # ochiai
+    denominator = math.sqrt((ef + (total_f - ef)) * (ef + ep))
+    return ef / denominator if denominator else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Passing-execution synthesis (the "bug condition negated" source)
+# ---------------------------------------------------------------------------
+
+
+def synthesize_passing_executions(
+    module: ir.Module,
+    *,
+    count: int = 4,
+    solver: Optional[Solver] = None,
+    string_size: int = 8,
+    max_args: int = 4,
+    max_states: int = 4096,
+    max_instructions: int = 400_000,
+) -> list[ExecutionFile]:
+    """Explore the program symbolically and keep clean terminations.
+
+    A breadth-first sweep (short paths first) over the unconstrained input
+    space; every state that exits without a bug is solved into a concrete
+    passing execution.  Distinct fingerprints only -- the spectra should
+    represent distinct paths, not one path four times.
+    """
+    solver = solver or Solver()
+    executor = Executor(
+        module,
+        solver=solver,
+        env=SymbolicEnv(string_size, max_args),
+        config=ExecConfig(string_size=string_size, max_args=max_args),
+    )
+    frontier: deque = deque([executor.initial_state()])
+    executions: list[ExecutionFile] = []
+    seen: set[tuple] = set()
+    states = 0
+    while frontier and len(executions) < count and states < max_states:
+        state = frontier.popleft()
+        states += 1
+        # Run the picked state until it forks or terminates: breadth-first
+        # over *paths*, not over single instructions.
+        pending = [state]
+        while (len(pending) == 1 and not pending[0].terminated
+               and executor.stats.instructions < max_instructions):
+            pending = executor.step(pending[0])
+        for successor in pending:
+            if successor.status == "exited":
+                execution = execution_file_from_state(
+                    module.name, successor, solver
+                )
+                fingerprint = execution.fingerprint()
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    executions.append(execution)
+                continue
+            if successor.terminated:
+                continue  # bug or infeasible path: not a passing run
+            frontier.append(successor)
+        if executor.stats.instructions >= max_instructions:
+            break
+    return executions

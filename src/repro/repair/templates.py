@@ -1,0 +1,428 @@
+"""The patch template grammar (repair step 2).
+
+Each template turns one suspect statement into concrete candidate edits on a
+*clone* of the module.  The grammar is deliberately small -- the classic
+repair moves that cover the seeded-bug corpus and most of what
+constraint-based repair papers synthesize:
+
+* ``cmp-op``      -- mutate a comparison operator (off-by-one fences:
+                     ``<`` vs ``<=``, inverted guards);
+* ``const-hole``  -- replace a constant with a symbolic hole, value solved
+                     from the failing/passing constraints;
+* ``bounds-guard``-- conjoin ``(index >= ?h)`` (or ``<=``) onto a branch
+                     condition, guarding an indexed access; the fence ``?h``
+                     is a hole;
+* ``branch-flip`` -- force a conditional branch (make the suspect region,
+                     e.g. a buggy error path or a preemption window,
+                     unreachable);
+* ``line-drop``   -- delete the suspect statement (all its instructions);
+* ``unlock-hoist``-- release an already-held mutex *before* acquiring
+                     another one (the canonical lock-order deadlock fix).
+
+Candidates are plain data -- ``(kind, anchor, params)`` -- so a validated
+patch can be serialized into the artifact store and re-applied to a freshly
+compiled module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .. import ir
+from ..ir import InstrRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .localize import Suspect
+
+# Fresh hole names: one hole is one unknown constant, and its solver variable
+# is shared across every run that evaluates it (see repair.holes), so names
+# must not collide between candidates generated in one process.
+_hole_names = itertools.count(1)
+
+# Hole domain half-width for const-hole candidates.  Small on purpose: patch
+# constants live near the original value (fence posts, sentinel tweaks), and
+# a tight domain keeps the interval solver fast.
+CONST_HOLE_SPREAD = 64
+GUARD_HOLE_LO = -8
+GUARD_HOLE_HI = 63
+
+
+class TemplateError(Exception):
+    """A candidate cannot be applied to this module (bad anchor/params)."""
+
+
+@dataclass(slots=True)
+class PatchCandidate:
+    """One concrete candidate edit, serializable and re-applicable."""
+
+    kind: str
+    function: str
+    line: int
+    params: dict
+    description: str
+    holes: tuple[ir.Hole, ...] = ()
+
+    def apply(self, module: ir.Module,
+              bindings: Optional[dict[str, int]] = None) -> None:
+        """Mutate ``module`` (a clone!) with this edit.
+
+        With ``bindings`` the candidate's holes are written as solved
+        :class:`~repro.ir.Const` values; without, as symbolic
+        :class:`~repro.ir.Hole` operands for the constraint phase.
+        """
+        applier = _APPLIERS.get(self.kind)
+        if applier is None:
+            raise TemplateError(f"unknown patch template {self.kind!r}")
+        applier(self, module, bindings or {})
+
+    def _hole_value(self, name: str, lo: int, hi: int,
+                    bindings: dict[str, int]) -> ir.Value:
+        if name in bindings:
+            return ir.Const(bindings[name])
+        return ir.Hole(name, lo, hi)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "line": self.line,
+            "params": dict(self.params),
+            "description": self.description,
+            "holes": [
+                {"name": h.name, "lo": h.lo, "hi": h.hi} for h in self.holes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PatchCandidate":
+        return cls(
+            kind=data["kind"],
+            function=data["function"],
+            line=data["line"],
+            params=dict(data.get("params", {})),
+            description=data.get("description", ""),
+            holes=tuple(
+                ir.Hole(h["name"], h["lo"], h["hi"])
+                for h in data.get("holes", [])
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Appliers
+# ---------------------------------------------------------------------------
+
+
+def _instr_at(module: ir.Module, ref_text: str) -> ir.Instr:
+    ref = InstrRef.parse(ref_text)
+    try:
+        return module.instruction(ref)
+    except (KeyError, IndexError) as exc:
+        raise TemplateError(f"patch anchor {ref_text} not in module") from exc
+
+
+def _block_of(module: ir.Module, ref_text: str) -> ir.BasicBlock:
+    ref = InstrRef.parse(ref_text)
+    func = module.functions.get(ref.function)
+    if func is None or ref.block not in func.blocks:
+        raise TemplateError(f"patch anchor {ref_text} not in module")
+    return func.blocks[ref.block]
+
+
+def _apply_cmp_op(cand: PatchCandidate, module: ir.Module, _b) -> None:
+    instr = _instr_at(module, cand.params["ref"])
+    if not isinstance(instr, ir.BinOp):
+        raise TemplateError(f"cmp-op anchor is not a binary op: {instr!r}")
+    instr.op = cand.params["op"]
+
+
+def _apply_const_hole(cand: PatchCandidate, module: ir.Module,
+                      bindings: dict[str, int]) -> None:
+    instr = _instr_at(module, cand.params["ref"])
+    if not isinstance(instr, ir.BinOp):
+        raise TemplateError(f"const-hole anchor is not a binary op: {instr!r}")
+    value = cand._hole_value(
+        cand.params["hole"], cand.params["lo"], cand.params["hi"], bindings
+    )
+    side = cand.params["side"]
+    if side == "lhs":
+        instr.lhs = value
+    else:
+        instr.rhs = value
+
+
+def _apply_bounds_guard(cand: PatchCandidate, module: ir.Module,
+                        bindings: dict[str, int]) -> None:
+    block = _block_of(module, cand.params["ref"])
+    term = block.terminator
+    if not isinstance(term, ir.CondBr):
+        raise TemplateError("bounds-guard anchor block has no conditional branch")
+    fence = cand._hole_value(
+        cand.params["hole"], cand.params["lo"], cand.params["hi"], bindings
+    )
+    hole_name = cand.params["hole"]
+    guard = ir.Reg(f"__repair.{hole_name}.cmp")
+    conj = ir.Reg(f"__repair.{hole_name}.and")
+    # Appending before the terminator leaves every existing instruction ref
+    # (including a crash goal target in this block) stable; only the
+    # terminator's own index shifts.
+    block.instrs.append(ir.BinOp(
+        guard, cand.params["cmp"], ir.Reg(cand.params["guard_reg"]), fence,
+        line=term.line,
+    ))
+    block.instrs.append(ir.BinOp(conj, "&&", guard, term.cond, line=term.line))
+    term.cond = conj
+
+
+def _apply_branch_flip(cand: PatchCandidate, module: ir.Module, _b) -> None:
+    instr = _instr_at(module, cand.params["ref"])
+    if not isinstance(instr, ir.CondBr):
+        raise TemplateError(f"branch-flip anchor is not a condbr: {instr!r}")
+    instr.cond = ir.Const(cand.params["value"])
+
+
+def _apply_line_drop(cand: PatchCandidate, module: ir.Module, _b) -> None:
+    func = module.functions.get(cand.function)
+    if func is None:
+        raise TemplateError(f"line-drop function {cand.function!r} missing")
+    dropped = 0
+    for block in func.blocks.values():
+        for index, instr in enumerate(block.instrs):
+            if instr.line != cand.line:
+                continue
+            if isinstance(instr, (ir.Terminator, *ir.SYNC_INSTRS)):
+                continue
+            # Replace with a no-op rather than delete: every InstrRef in the
+            # block (goal targets, distance tables, later patch anchors)
+            # stays valid, and the strict-schedule instruction counts of
+            # paths that executed this statement shift uniformly.
+            block.instrs[index] = ir.Assign(
+                ir.Reg("__repair.nop"), ir.Const(0), line=instr.line
+            )
+            dropped += 1
+    if not dropped:
+        raise TemplateError(f"line-drop found nothing at line {cand.line}")
+
+
+def _apply_unlock_hoist(cand: PatchCandidate, module: ir.Module, _b) -> None:
+    block = _block_of(module, cand.params["ref"])
+    lock_index = cand.params["lock_index"]
+    unlock_index = cand.params["unlock_index"]
+    if not (0 <= lock_index < unlock_index < len(block.instrs)):
+        raise TemplateError("unlock-hoist indices out of range")
+    unlock = block.instrs[unlock_index]
+    lock = block.instrs[lock_index]
+    if not isinstance(unlock, ir.MutexUnlock) or not isinstance(lock, ir.MutexLock):
+        raise TemplateError("unlock-hoist anchors are not lock/unlock")
+    block.instrs.pop(unlock_index)
+    block.instrs.insert(lock_index, unlock)
+
+
+_APPLIERS = {
+    "cmp-op": _apply_cmp_op,
+    "const-hole": _apply_const_hole,
+    "bounds-guard": _apply_bounds_guard,
+    "branch-flip": _apply_branch_flip,
+    "line-drop": _apply_line_drop,
+    "unlock-hoist": _apply_unlock_hoist,
+}
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+
+def candidates_for(
+    module: ir.Module, suspect: "Suspect", bug_type: str
+) -> list[PatchCandidate]:
+    """All template instantiations for one suspect statement, most promising
+    kind first for the reported bug class."""
+    func = module.functions.get(suspect.function)
+    if func is None:
+        return []
+    at_line = [
+        (ref, instr) for ref, instr in func.iter_instructions()
+        if instr.line == suspect.line
+    ]
+    if not at_line:
+        return []
+
+    generators = (
+        (_gen_unlock_hoist, _gen_branch_flip, _gen_cmp_op, _gen_line_drop)
+        if bug_type == "deadlock"
+        else (_gen_bounds_guard, _gen_const_hole, _gen_cmp_op,
+              _gen_line_drop, _gen_branch_flip)
+    )
+    candidates: list[PatchCandidate] = []
+    for generator in generators:
+        candidates.extend(generator(module, func, suspect, at_line))
+    return candidates
+
+
+def _source_context(module: ir.Module, line: int) -> str:
+    text = module.source_line(line).strip()
+    return f" -- `{text}`" if text else ""
+
+
+def _gen_cmp_op(module, func, suspect, at_line) -> list[PatchCandidate]:
+    out = []
+    for ref, instr in at_line:
+        if not isinstance(instr, ir.BinOp) or instr.op not in ir.COMPARISON_OPS:
+            continue
+        for op in sorted(ir.COMPARISON_OPS):
+            if op == instr.op:
+                continue
+            out.append(PatchCandidate(
+                kind="cmp-op", function=suspect.function, line=suspect.line,
+                params={"ref": repr(ref), "op": op},
+                description=(
+                    f"{suspect.function}:{suspect.line}: change comparison "
+                    f"`{instr.op}` to `{op}`"
+                    + _source_context(module, suspect.line)
+                ),
+            ))
+    return out
+
+
+def _gen_const_hole(module, func, suspect, at_line) -> list[PatchCandidate]:
+    out = []
+    for ref, instr in at_line:
+        if not isinstance(instr, ir.BinOp):
+            continue
+        for side in ("lhs", "rhs"):
+            operand = getattr(instr, side)
+            if not isinstance(operand, ir.Const):
+                continue
+            name = f"c{next(_hole_names)}"
+            lo = max(operand.value - CONST_HOLE_SPREAD, -(2**31))
+            hi = min(operand.value + CONST_HOLE_SPREAD, 2**31 - 1)
+            out.append(PatchCandidate(
+                kind="const-hole", function=suspect.function,
+                line=suspect.line,
+                params={"ref": repr(ref), "side": side, "hole": name,
+                        "lo": lo, "hi": hi},
+                description=(
+                    f"{suspect.function}:{suspect.line}: replace constant "
+                    f"{operand.value} with a solved constant"
+                    + _source_context(module, suspect.line)
+                ),
+                holes=(ir.Hole(name, lo, hi),),
+            ))
+    return out
+
+
+def _gen_bounds_guard(module, func, suspect, at_line) -> list[PatchCandidate]:
+    out = []
+    for ref, instr in at_line:
+        if not isinstance(instr, ir.CondBr) or not isinstance(instr.cond, ir.Reg):
+            continue
+        block = func.blocks[ref.block]
+        for reg in _index_regs(block)[:3]:
+            for cmp in (">=", "<="):
+                name = f"g{next(_hole_names)}"
+                out.append(PatchCandidate(
+                    kind="bounds-guard", function=suspect.function,
+                    line=suspect.line,
+                    params={"ref": repr(ref), "guard_reg": reg, "cmp": cmp,
+                            "hole": name, "lo": GUARD_HOLE_LO,
+                            "hi": GUARD_HOLE_HI},
+                    description=(
+                        f"{suspect.function}:{suspect.line}: guard condition "
+                        f"with `%{reg} {cmp} ?` (fence solved)"
+                        + _source_context(module, suspect.line)
+                    ),
+                    holes=(ir.Hole(name, GUARD_HOLE_LO, GUARD_HOLE_HI),),
+                ))
+    return out
+
+
+def _index_regs(block: ir.BasicBlock) -> list[str]:
+    """Registers used as Gep offsets feeding a load/store in this block --
+    the natural fence candidates for an indexed-access guard."""
+    gep_offsets: dict[str, str] = {}  # dst reg -> offset reg
+    for instr in block.instrs:
+        if isinstance(instr, ir.Gep) and isinstance(instr.offset, ir.Reg):
+            if isinstance(instr.dst, ir.Reg):
+                gep_offsets[instr.dst.name] = instr.offset.name
+    ordered: list[str] = []
+    for instr in block.instrs:
+        addr = None
+        if isinstance(instr, (ir.Load, ir.Store)):
+            addr = instr.addr
+        if isinstance(addr, ir.Reg) and addr.name in gep_offsets:
+            offset = gep_offsets[addr.name]
+            if offset not in ordered:
+                ordered.append(offset)
+    return ordered
+
+
+def _gen_branch_flip(module, func, suspect, at_line) -> list[PatchCandidate]:
+    """Force branches that guard the suspect region to skip it."""
+    suspect_blocks = {ref.block for ref, _ in at_line}
+    out = []
+    for ref, instr in func.iter_instructions():
+        if not isinstance(instr, ir.CondBr):
+            continue
+        then_in = instr.then_target in suspect_blocks
+        else_in = instr.else_target in suspect_blocks
+        if then_in == else_in:
+            continue  # guards nothing, or both sides reach the suspect
+        value = 0 if then_in else 1
+        out.append(PatchCandidate(
+            kind="branch-flip", function=suspect.function, line=suspect.line,
+            params={"ref": repr(ref), "value": value},
+            description=(
+                f"{suspect.function}:{instr.line}: force branch to skip the "
+                f"suspect region at line {suspect.line}"
+                + _source_context(module, instr.line)
+            ),
+        ))
+    return out
+
+
+def _gen_line_drop(module, func, suspect, at_line) -> list[PatchCandidate]:
+    # Never drop terminators or synchronization (that is unlock-hoist's job).
+    droppable = [
+        instr for _, instr in at_line
+        if not isinstance(instr, (ir.Terminator, *ir.SYNC_INSTRS))
+    ]
+    if not droppable:
+        return []
+    return [PatchCandidate(
+        kind="line-drop", function=suspect.function, line=suspect.line,
+        params={},
+        description=(
+            f"{suspect.function}:{suspect.line}: delete the statement"
+            + _source_context(module, suspect.line)
+        ),
+    )]
+
+
+def _gen_unlock_hoist(module, func, suspect, at_line) -> list[PatchCandidate]:
+    out = []
+    for label, block in func.blocks.items():
+        for i, lock in enumerate(block.instrs):
+            if not isinstance(lock, ir.MutexLock):
+                continue
+            for j in range(i + 1, len(block.instrs)):
+                unlock = block.instrs[j]
+                if not isinstance(unlock, ir.MutexUnlock):
+                    continue
+                if repr(unlock.mutex) == repr(lock.mutex):
+                    continue  # releasing the same mutex: not a reorder fix
+                out.append(PatchCandidate(
+                    kind="unlock-hoist", function=suspect.function,
+                    line=suspect.line,
+                    params={"ref": f"{func.name}:{label}:{i}",
+                            "lock_index": i, "unlock_index": j},
+                    description=(
+                        f"{func.name}:{lock.line}: release {unlock.mutex!r} "
+                        f"before acquiring {lock.mutex!r} "
+                        f"(lock-order fix)"
+                    ),
+                ))
+                break  # one hoist per lock site
+    return out

@@ -273,14 +273,22 @@ class ReproService:
         config: Optional[ESDConfig] = None,
         *,
         priority: int = 0,
+        kind: str = "synth",
+        repair_config: Optional[dict] = None,
     ) -> JobRecord:
         """Queue a job against an already-registered program (the session
         facade's async path).  When the program has source text the job is
         stored as a full recoverable spec; otherwise it is ephemeral."""
+        if kind != "synth" and program.source is None:
+            raise JobError(
+                f"{kind!r} jobs need a program with source text "
+                f"(module-only registrations cannot be re-run)"
+            )
         if program.source is not None:
             spec = JobSpec(report=report, source=program.source,
                            program_name=program.module.name,
-                           config=config, priority=priority)
+                           config=config, priority=priority,
+                           kind=kind, repair_config=repair_config)
             record = self.submit(spec)
             with self._lock:
                 # Pin the already-registered context so the job skips the
@@ -557,6 +565,11 @@ class ReproService:
             work.report = report
         config = self._job_config(work.config)
 
+        if work.spec is not None and work.spec.kind == "repair":
+            self._execute_repair(job_id, record, cancel, work, program,
+                                 report, config)
+            return
+
         setup = build_search_setup(
             program.module, report, config,
             statics=program.statics, solver=program.solver,
@@ -636,6 +649,77 @@ class ReproService:
                 # A long-lived daemon must not pin every finished job's
                 # report/source payload and cancel event forever; the
                 # JobRecord alone serves status queries.
+                self._prune(job_id)
+            self._persist(record)
+            self._cv.notify_all()
+
+    def _execute_repair(self, job_id: str, record: JobRecord,
+                        cancel: threading.Event, work: _Work,
+                        program: ServiceProgram, report: BugReport,
+                        config: ESDConfig) -> None:
+        """Run a ``repair`` job: localize -> patch -> validate, with the
+        validated patch stored content-addressed next to the failing
+        execution it was synthesized from."""
+        from ..repair import RepairConfig, repair
+
+        spec = work.spec
+        repair_config = (RepairConfig.from_dict(spec.repair_config)
+                         if spec.repair_config else RepairConfig())
+        if repair_config.esd is None:
+            repair_config.esd = config
+
+        with self._cv:
+            record.transition(SEARCHING, detail="repair: localize + patch")
+            self._persist(record)
+
+        def on_progress(event) -> None:
+            if event.kind in ("progress", "bug"):
+                with self._lock:
+                    record.add_event("progress", detail=event.detail or event.kind,
+                                     instructions=event.instructions)
+
+        def should_stop() -> bool:
+            return cancel.is_set() or self._interrupt.is_set()
+
+        result = repair(
+            program.module, report, config=repair_config,
+            statics=program.statics, solver=program.solver,
+            on_progress=on_progress, should_stop=should_stop,
+        )
+
+        with self._cv:
+            record.result = {"kind": "repair", **result.summary()}
+            if result.failing_execution is not None:
+                record.artifacts["execution"] = self.store.put_bytes(
+                    result.failing_execution.canonical_bytes(),
+                    kind="execution",
+                )
+            if result.found:
+                # Canonical byte form: two jobs synthesizing the identical
+                # patch share one stored object (timing lives in `result`).
+                record.artifacts["patch"] = self.store.put_bytes(
+                    result.patch.canonical_bytes(), kind="patch"
+                )
+                record.transition(FOUND, reason="patched")
+                self.stats.completed += 1
+            elif result.reason == "cancelled":
+                if self._interrupt.is_set() and not cancel.is_set():
+                    # Graceful drain: repair has no frontier checkpoint --
+                    # requeue the job whole; a restarted daemon redoes it.
+                    record.interruptions += 1
+                    record.transition(QUEUED,
+                                      detail="interrupted; repair restarts")
+                    self.stats.interrupted += 1
+                else:
+                    record.transition(CANCELLED, reason="cancelled",
+                                      detail="cancelled mid-repair")
+                    self.stats.cancelled += 1
+            else:
+                # 'no-patch' / 'no-failing-execution': the pipeline completed
+                # without a validated patch.
+                record.transition(EXHAUSTED, reason=result.reason)
+                self.stats.completed += 1
+            if record.terminal:
                 self._prune(job_id)
             self._persist(record)
             self._cv.notify_all()

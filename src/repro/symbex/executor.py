@@ -23,9 +23,11 @@ from ..solver import Solver
 from ..solver.expr import (
     Atom,
     Expr,
+    Var,
     binop,
     evaluate,
     holds_under,
+    make_var,
     negate,
     truthy,
     unop,
@@ -53,6 +55,31 @@ from .state import (
 )
 
 Value = Union[int, Expr, Pointer, FnPtr]
+
+
+# Symbolic-hole variables (constraint-based repair).  One hole denotes one
+# unknown *program constant*, so every evaluation of the same hole -- across
+# states, executors, and separate runs over the failing and passing inputs --
+# must yield the *same* solver variable: the constraints those runs produce
+# are later conjoined into a single query whose model binds the hole.  Repair
+# generates globally fresh hole names, so a long-lived daemon running repair
+# jobs would grow the registry forever; the table is bounded by evicting the
+# oldest entries (insertion order), which only ever touches holes of long-
+# finished candidates -- the live candidate's one or two holes are always
+# the newest.
+_HOLE_VARS: dict[tuple[str, int, int], Var] = {}
+_HOLE_VARS_LIMIT = 4096
+
+
+def hole_var(hole: "ir.Hole") -> Var:
+    key = (hole.name, hole.lo, hole.hi)
+    var = _HOLE_VARS.get(key)
+    if var is None:
+        while len(_HOLE_VARS) >= _HOLE_VARS_LIMIT:
+            _HOLE_VARS.pop(next(iter(_HOLE_VARS)))
+        var = make_var(f"hole:{hole.name}", hole.lo, hole.hi)
+        _HOLE_VARS[key] = var
+    return var
 
 
 class _ExecError(Exception):
@@ -249,6 +276,8 @@ class Executor:
             return Pointer(state.globals[value.name], 0)
         if isinstance(value, ir.FuncRef):
             return FnPtr(value.name)
+        if isinstance(value, ir.Hole):
+            return hole_var(value)
         raise TypeError(f"unknown operand {value!r}")  # pragma: no cover
 
     def _set(self, state: ExecutionState, dst: ir.Value, value: Value) -> None:

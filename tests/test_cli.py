@@ -123,6 +123,86 @@ class TestTriageDb:
         assert "cannot load triage db" in capsys.readouterr().err
 
 
+class TestPlayCoverage:
+    def test_emits_per_line_hit_counts_to_stdout(self, tac_files, capsys):
+        from repro.cli import repro_main
+
+        program, dump, output = tac_files
+        assert repro_main(["synth", str(dump), str(program),
+                           "-o", str(output)]) == 0
+        capsys.readouterr()
+        code = repro_main(["play", str(program), str(output), "--coverage"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == "esd-coverage-v1"
+        assert data["status"] == "bug"
+        # The unbounded backward scan (line 29) is hit and is the end site.
+        assert data["functions"]["main"]["29"] >= 1
+        assert data["end_sites"] == [{"function": "main", "line": 29}]
+
+    def test_writes_coverage_file(self, tac_files, tmp_path):
+        from repro.cli import repro_main
+
+        program, dump, output = tac_files
+        assert repro_main(["synth", str(dump), str(program),
+                           "-o", str(output)]) == 0
+        cov = tmp_path / "coverage.json"
+        assert repro_main(["play", str(program), str(output),
+                           "--coverage", str(cov)]) == 0
+        data = json.loads(cov.read_text())
+        assert "main" in data["functions"]
+
+
+class TestRepairCommand:
+    def test_writes_validated_patch(self, tac_files, capsys):
+        from repro.cli import repro_main
+
+        program, dump, _ = tac_files
+        patch_path = program.parent / "patch.json"
+        code = repro_main(["repair", str(dump), str(program),
+                           "-o", str(patch_path), "--max-seconds", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PATCHED" in out
+        assert "top suspects" in out
+        data = json.loads(patch_path.read_text())
+        assert data["format"] == "esd-patch-v1"
+        assert data["verified"] is True
+
+    def test_json_output(self, tac_files, capsys):
+        from repro.cli import repro_main
+
+        program, dump, _ = tac_files
+        patch_path = program.parent / "patch.json"
+        code = repro_main(["repair", str(dump), str(program),
+                           "-o", str(patch_path), "--json",
+                           "--max-seconds", "60"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["found"] is True
+        assert data["patch"]["candidate"]["kind"] == "bounds-guard"
+        assert data["localization"]["suspects"]
+
+    def test_unrepairable_report_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        # A report against the already-fixed program: synthesis finds no
+        # failing execution, so there is nothing to repair.
+        workload = get("tac")
+        fixed = workload.source.replace(
+            "while (buf[i] != 10) {",
+            "while (i >= 0 && buf[i] != 10) {",
+        )
+        program = tmp_path / "tac.minic"
+        program.write_text(fixed)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(workload.make_report().to_dict()))
+        code = repro_main(["repair", str(dump), str(program),
+                           "--max-seconds", "15"])
+        assert code == 1
+        assert "no validated patch" in capsys.readouterr().err
+
+
 class TestGracefulInterrupt:
     def test_sigterm_writes_final_checkpoint_and_resume_completes(
             self, tmp_path):

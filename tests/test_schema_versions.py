@@ -135,6 +135,42 @@ class TestTriageDatabase:
         with pytest.raises(SchemaVersionError, match="not a triage database"):
             TriageDatabase.from_dict({"format": "something-else"})
 
+    def test_v2_round_trips_repair_outcome(self, execution):
+        db = TriageDatabase()
+        bug_id, _ = db.submit(execution)
+        db.record_repair(bug_id, "ab" * 32, verified=True)
+        data = db.to_dict()
+        assert data["schema_version"] == 2
+        again = TriageDatabase.from_dict(data)
+        entry = again.entry(bug_id)
+        assert entry.patch_digest == "ab" * 32
+        assert entry.patched
+        assert again.patched_count == 1
+        assert again.to_dict() == data
+
+    def test_legacy_v1_loads_as_unpatched(self, execution):
+        db = TriageDatabase()
+        bug_id, _ = db.submit(execution)
+        data = db.to_dict()
+        data["schema_version"] = 1
+        for entry in data["entries"]:
+            del entry["patch_digest"]
+            del entry["patch_verified"]
+        again = TriageDatabase.from_dict(data)
+        entry = again.entry(bug_id)
+        assert entry.patch_digest is None
+        assert not entry.patched
+        assert again.patched_count == 0
+
+    def test_merge_carries_repair_outcome(self, execution):
+        shard = TriageDatabase()
+        bug_id, _ = shard.submit(execution)
+        shard.record_repair(bug_id, "cd" * 32, verified=True)
+        central = TriageDatabase()
+        central.submit(execution)
+        mapping = central.merge(shard)
+        assert central.entry(mapping[bug_id]).patched
+
 
 class TestJobDocuments:
     def test_spec_round_trip_and_digest_stability(self, report):
@@ -159,6 +195,27 @@ class TestJobDocuments:
             JobSpec(source="x", workload="tac").validate()  # both
         with pytest.raises(SpecError):
             JobSpec(source="int main() {}").validate()  # no report
+
+    def test_repair_spec_round_trip(self, report):
+        spec = JobSpec(report=report, source="int main() { return 0; }",
+                       program_name="prog", kind="repair",
+                       repair_config={"max_suspects": 3})
+        data = spec.to_dict()
+        assert data["kind"] == "repair"
+        again = JobSpec.from_dict(data)
+        assert again.kind == "repair"
+        assert again.repair_config == {"max_suspects": 3}
+        assert again.digest() == spec.digest()
+        # A repair spec and the identical synth spec are different jobs.
+        synth = JobSpec(report=report, source="int main() { return 0; }",
+                        program_name="prog")
+        assert synth.digest() != spec.digest()
+
+    def test_repair_spec_validation(self):
+        with pytest.raises(SpecError, match="kind"):
+            JobSpec(workload="tac", kind="mystery").validate()
+        with pytest.raises(SpecError, match="repair_config"):
+            JobSpec(workload="tac", repair_config={}).validate()
 
     def test_record_round_trip(self):
         record = JobRecord("j00001-abcd0123", "f" * 64, priority=1)
