@@ -1,0 +1,183 @@
+"""Static-pruning benchmark: abstract interpretation + lockset narrowing.
+
+Measures what the whole-module static analyses buy the dynamic phase, per
+seeded workload, by running the identical synthesis twice:
+
+* **pruning off** -- the seed pipeline: every feasibility probe (static
+  phase and search phase) goes to the solver; schedule policies fork at
+  every unlock site and every suspect access.
+* **pruning on**  -- ``ESDConfig(use_static_pruning=True)``: the abstract
+  interpreter's facts answer provably-decided queries with zero solver
+  work (pinned-constant probes in the intermediate-goal derivation,
+  one-sided branches, in-bounds accesses, nonzero divisors; counted in
+  ``SolverStats.static_answers``), and the lockset analysis gates the
+  deadlock policy's unlock forks and the race policy's preemption sites.
+
+Workloads are measured under the mechanism that applies to them:
+
+* ``IDENTITY_WORKLOADS`` exercise the abstract-interpretation path.  The
+  headline metric is **solver queries avoided**, and the correctness gate
+  is strict: the synthesized execution artifact must be *byte-identical*
+  between the two runs, because the static answers are provably the
+  answers the solver would have given -- pruning may only change how the
+  answer is computed, never the answer.
+* ``SCHEDULE_WORKLOADS`` exercise lockset narrowing.  Suppressing forks
+  changes which valid interleaving the search reaches first, so the
+  artifacts legitimately differ; the metric is **states explored**, and
+  the gate is that both runs still reproduce the bug.
+
+Each run gets a fresh solver with the cross-query cache disabled, so the
+query counts measure the pipeline, not cache luck.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_static.py [--quick] [--json OUT]
+
+Exit status is 0 when every run reproduces its bug, every
+identity-workload artifact pair is byte-identical, and at least one
+identity workload shows a measured reduction in solver queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ESDConfig, esd_synthesize  # noqa: E402
+from repro.search import SearchBudget  # noqa: E402
+from repro.solver import Solver  # noqa: E402
+from repro.workloads import get  # noqa: E402
+
+# Abstract interpretation: queries avoided, artifacts byte-identical.
+QUICK_IDENTITY = ("tac", "mkdir", "paste")
+FULL_IDENTITY = ("tac", "mkdir", "mkfifo", "paste", "listing1", "minidb")
+# Lockset narrowing: states avoided, both runs must reproduce the bug.
+QUICK_SCHEDULE = ("hawknl",)
+FULL_SCHEDULE = ("hawknl",)
+
+
+def _config(pruning: bool) -> ESDConfig:
+    return ESDConfig(
+        budget=SearchBudget(
+            max_seconds=120.0,
+            max_instructions=20_000_000,
+            max_states=500_000,
+        ),
+        use_static_pruning=pruning,
+    )
+
+
+def run_one(name: str, pruning: bool) -> dict:
+    workload = get(name)
+    module = workload.compile()
+    report = workload.make_report()
+    # Cache-free solver: measured queries are real solver work, and the
+    # pruning-off run cannot borrow answers computed by the pruning-on run.
+    solver = Solver(structural_keys=False, subset_reasoning=False)
+    result = esd_synthesize(module, report, _config(pruning), solver=solver)
+    artifact = (
+        result.execution_file.canonical_bytes()
+        if result.execution_file is not None else None
+    )
+    return {
+        "found": result.found,
+        "reason": result.reason,
+        "artifact_sha256": (
+            hashlib.sha256(artifact).hexdigest() if artifact is not None else None
+        ),
+        "solver_queries": solver.stats.queries,
+        "static_answers": solver.stats.static_answers,
+        "states_explored": result.states_explored,
+        "instructions": result.instructions,
+        "search_seconds": round(result.search_seconds, 6),
+        "static_seconds": round(result.static_seconds, 6),
+    }
+
+
+def bench_workload(name: str, mechanism: str) -> dict:
+    off = run_one(name, pruning=False)
+    on = run_one(name, pruning=True)
+    identical = (off["artifact_sha256"] is not None
+                 and off["artifact_sha256"] == on["artifact_sha256"])
+    row = {
+        "workload": name,
+        "mechanism": mechanism,
+        "both_found": off["found"] and on["found"],
+        "artifact_identical": identical,
+        "artifact_off": off["artifact_sha256"],
+        "artifact_on": on["artifact_sha256"],
+        "queries_off": off["solver_queries"],
+        "queries_on": on["solver_queries"],
+        "queries_avoided": off["solver_queries"] - on["solver_queries"],
+        "static_answers": on["static_answers"],
+        "states_off": off["states_explored"],
+        "states_on": on["states_explored"],
+        "states_delta": off["states_explored"] - on["states_explored"],
+        "instructions_off": off["instructions"],
+        "instructions_on": on["instructions"],
+        "seconds_off": off["search_seconds"],
+        "seconds_on": on["search_seconds"],
+    }
+    for side, record in (("off", off), ("on", on)):
+        if not record["found"]:
+            row[f"reason_{side}"] = record["reason"]
+    return row
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="representative subset (CI smoke)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the result record as JSON")
+    args = parser.parse_args(argv)
+
+    identity = QUICK_IDENTITY if args.quick else FULL_IDENTITY
+    schedule = QUICK_SCHEDULE if args.quick else FULL_SCHEDULE
+    record: dict = {"quick": args.quick, "workloads": []}
+
+    print(f"{'workload':10s} {'mech':8s} {'queries off->on':>16s} "
+          f"{'states off->on':>16s} {'static':>6s}  artifact")
+    for name, mechanism in (
+        [(n, "absint") for n in identity] + [(n, "schedule") for n in schedule]
+    ):
+        row = bench_workload(name, mechanism)
+        record["workloads"].append(row)
+        marker = "identical" if row["artifact_identical"] else "differs"
+        print(f"{name:10s} {mechanism:8s} "
+              f"{row['queries_off']:6d} -> {row['queries_on']:<6d} "
+              f"{row['states_off']:6d} -> {row['states_on']:<6d} "
+              f"{row['static_answers']:6d}  {marker}")
+
+    rows = record["workloads"]
+    absint_rows = [r for r in rows if r["mechanism"] == "absint"]
+    schedule_rows = [r for r in rows if r["mechanism"] == "schedule"]
+    record["all_found"] = all(r["both_found"] for r in rows)
+    record["absint_identical"] = all(r["artifact_identical"] for r in absint_rows)
+    record["absint_queries_avoided"] = sum(r["queries_avoided"] for r in absint_rows)
+    record["schedule_states_avoided"] = sum(r["states_delta"] for r in schedule_rows)
+    record["passed"] = (
+        record["all_found"]
+        and record["absint_identical"]
+        and any(r["queries_avoided"] > 0 for r in absint_rows)
+    )
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    status = "PASS" if record["passed"] else "FAIL"
+    print(f"{status}: {record['absint_queries_avoided']} solver queries avoided "
+          f"(artifacts byte-identical: {record['absint_identical']}); "
+          f"{record['schedule_states_avoided']} states avoided by lockset "
+          f"narrowing across {len(schedule_rows)} concurrency workload(s)")
+    return 0 if record["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

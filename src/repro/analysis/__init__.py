@@ -1,6 +1,9 @@
 """Static analyses: CFG, call graph, reaching definitions, critical edges,
-intermediate goals, and the Algorithm-1 proximity heuristic."""
+intermediate goals, the Algorithm-1 proximity heuristic, the abstract
+interpreter, the concurrency (lockset/lock-order) analysis, crash-site
+backward slicing, and the IR lint pass."""
 
+from .absint import Finding, ModuleFacts, analyze_module
 from .cfg import (
     CFG,
     CallGraph,
@@ -15,7 +18,10 @@ from .critical import (
     find_critical_edges,
     find_intermediate_goals,
 )
+from .dataflow import DataflowProblem, Solution, solve
 from .distance import INF, RECURSION_COST, DistanceCalculator
+from .lint import LINT_FORMAT, LINT_SCHEMA_VERSION, LintReport, lint_module
+from .locks import ConcurrencyFacts, LockOrderEdge, analyze_locks
 from .reachdefs import (
     Definition,
     ReachingDefs,
@@ -24,26 +30,53 @@ from .reachdefs import (
     store_target,
 )
 from .reconstruct import ReconstructedCondition, reconstruct_condition
+from .slice import ProgramSlice, slice_for_report, slice_from
+from .summary import (
+    ANALYSIS_FORMAT,
+    ANALYSIS_SCHEMA_VERSION,
+    analysis_document,
+    check_analysis_document,
+)
 
 __all__ = [
+    "ANALYSIS_FORMAT",
+    "ANALYSIS_SCHEMA_VERSION",
     "CFG",
     "CallGraph",
     "CallSite",
+    "ConcurrencyFacts",
     "CriticalEdge",
+    "DataflowProblem",
     "Definition",
     "DistanceCalculator",
+    "Finding",
     "INF",
     "IntermediateGoal",
+    "LINT_FORMAT",
+    "LINT_SCHEMA_VERSION",
+    "LintReport",
+    "LockOrderEdge",
+    "ModuleFacts",
+    "ProgramSlice",
     "ReachingDefs",
     "ReconstructedCondition",
     "RECURSION_COST",
+    "Solution",
     "address_taken_functions",
+    "analysis_document",
+    "analyze_locks",
+    "analyze_module",
     "build_call_graph",
+    "check_analysis_document",
     "collect_global_definitions",
     "find_critical_edges",
     "find_intermediate_goals",
+    "lint_module",
     "local_address_regs",
     "reachable_functions",
     "reconstruct_condition",
+    "slice_for_report",
+    "slice_from",
+    "solve",
     "store_target",
 ]

@@ -1,0 +1,1533 @@
+"""Interval + constant-propagation abstract interpretation over the IR.
+
+The interpreter runs the generic worklist framework (:mod:`.dataflow`) over
+every reachable function with a product domain per value:
+
+* ``num``  -- an interval of possible *integer* values,
+* ``ptrs`` -- a set of abstract memory objects the value may point into,
+* ``off``  -- an interval of cell offsets into those objects.
+
+Scalar stack locals whose address never escapes are tracked flow-sensitively
+with strong updates; global scalars are tracked flow-sensitively between
+"interference points" (calls that may write them, synchronization); all other
+memory (arrays, heap, escaped locals, symbolic input buffers) is summarized
+flow-insensitively as the join of its initial contents and every store in the
+module.  An interprocedural fixpoint joins argument values into callee
+parameter summaries and return values back to call sites.
+
+Arithmetic is *overflow-widened*: the concrete semantics wrap at 32 bits
+(:func:`repro.ir.values.wrap32`) while plain interval arithmetic clamps, so
+any operation whose raw result bounds leave the 32-bit range goes to ``FULL``
+rather than silently clamping -- that keeps every fact an over-approximation
+of the wrap-around executor.
+
+Outputs (:class:`ModuleFacts`):
+
+* ``branch_facts``   -- conditional branches with a statically decided side,
+* ``access_safe``    -- loads/stores provably in-bounds and non-null,
+* ``nonzero_divisors`` -- divisions whose divisor provably is not zero,
+* ``unreachable``    -- per-function semantically dead blocks,
+* ``findings``       -- bug smells (possible null deref / out-of-bounds /
+  free of non-heap memory) consumed by :mod:`.lint`.
+
+The first three are consulted by the symbolic executor to answer feasibility
+probes with zero solver queries.  They are exported only when the module is
+single-threaded and the fixpoint converged: flow-sensitive reasoning about
+globals is sequential, and a preempting thread could invalidate it.  Findings
+and per-block facts are always produced (lint is advisory).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .. import ir
+from ..solver.intervals import FULL, HI_MAX, LO_MIN, Interval
+from .cfg import CFG, CallGraph, build_call_graph, reachable_functions
+from .dataflow import DataflowProblem, Solution, solve
+
+EMPTY_IV = Interval(1, 0)
+ZERO_IV = Interval(0, 0)
+BYTE_IV = Interval(0, 255)
+BOOL_IV = Interval(0, 1)
+
+# Integer addresses below this are treated as "page zero": dereferencing a
+# value that may land there is the null-dereference smell.
+NULL_PAGE = 4096
+
+# Interprocedural rounds: widen summaries after WIDEN_ROUNDS, give up (and
+# withhold executor-facing facts) after MAX_ROUNDS without convergence.
+WIDEN_ROUNDS = 4
+MAX_ROUNDS = 16
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PtrObj:
+    """One abstract memory object.
+
+    ``kind`` is ``global`` / ``stack`` / ``heap`` / ``input`` / ``func`` /
+    ``unknown``; ``key`` identifies the object within its kind; ``size`` is
+    the cell count when statically known.
+    """
+
+    kind: str
+    key: str
+    size: Optional[int] = None
+
+    def __repr__(self) -> str:
+        size = f"[{self.size}]" if self.size is not None else ""
+        return f"{self.kind}:{self.key}{size}"
+
+
+UNKNOWN_OBJ = PtrObj("unknown", "?")
+
+
+@dataclass(frozen=True, slots=True)
+class AbsVal:
+    """Abstract value: possible integers + possible pointer targets."""
+
+    num: Interval = EMPTY_IV
+    ptrs: FrozenSet[PtrObj] = frozenset()
+    off: Interval = EMPTY_IV
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.num.empty and not self.ptrs
+
+    @property
+    def may_be_pointer(self) -> bool:
+        return bool(self.ptrs)
+
+    def __repr__(self) -> str:
+        parts = []
+        if not self.num.empty:
+            parts.append(repr(self.num))
+        if self.ptrs:
+            objs = "|".join(sorted(map(repr, self.ptrs)))
+            parts.append(f"ptr({objs})+{self.off!r}")
+        return "⊥" if not parts else " ∪ ".join(parts)
+
+
+BOTTOM = AbsVal()
+TOP = AbsVal(num=FULL, ptrs=frozenset({UNKNOWN_OBJ}), off=FULL)
+
+
+def integer(iv: Interval) -> AbsVal:
+    return AbsVal(num=iv) if not iv.empty else BOTTOM
+
+
+def const_val(value: int) -> AbsVal:
+    return AbsVal(num=Interval(value, value))
+
+
+def pointer(objs: FrozenSet[PtrObj], off: Interval) -> AbsVal:
+    return AbsVal(ptrs=objs, off=off)
+
+
+def join_vals(a: AbsVal, b: AbsVal) -> AbsVal:
+    if a.is_bottom:
+        return b
+    if b.is_bottom:
+        return a
+    return AbsVal(
+        num=a.num.union(b.num),
+        ptrs=a.ptrs | b.ptrs,
+        off=a.off.union(b.off),
+    )
+
+
+def _widen_iv(old: Interval, new: Interval) -> Interval:
+    if old.empty:
+        return new
+    if new.empty:
+        return old
+    lo = old.lo if new.lo >= old.lo else LO_MIN
+    hi = old.hi if new.hi <= old.hi else HI_MAX
+    return Interval(lo, hi)
+
+
+def widen_vals(old: AbsVal, new: AbsVal) -> AbsVal:
+    if old.is_bottom:
+        return new
+    if new.is_bottom:
+        return old
+    return AbsVal(
+        num=_widen_iv(old.num, new.num),
+        ptrs=old.ptrs | new.ptrs,
+        off=_widen_iv(old.off, new.off),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Overflow-widened interval arithmetic
+# ---------------------------------------------------------------------------
+#
+# The rails ``LO_MIN`` / ``HI_MAX`` behave as -inf / +inf: a railed bound is
+# (almost always) an artifact of widening, not a value the program computed,
+# so arithmetic on it saturates at the rail instead of being declared a wrap
+# (the standard no-signed-wrap assumption).  A *finite* bound escaping 32
+# bits is a genuine overflow and widens the whole interval to ``FULL``.
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+def _ext(iv: Interval) -> tuple:
+    """The interval's bounds with the rails mapped to +-infinity."""
+    lo = _NEG_INF if iv.lo <= LO_MIN else iv.lo
+    hi = _POS_INF if iv.hi >= HI_MAX else iv.hi
+    return lo, hi
+
+
+def _mk(lo, hi) -> Interval:
+    """Extended-arithmetic bounds -> interval (rails clamp, wraps widen)."""
+    if lo == _NEG_INF:
+        lo = LO_MIN
+    elif lo < LO_MIN or lo > HI_MAX:
+        return FULL
+    if hi == _POS_INF:
+        hi = HI_MAX
+    elif hi > HI_MAX or hi < LO_MIN:
+        return FULL
+    return Interval(int(lo), int(hi))
+
+
+def _xmul(x, y):
+    """Multiplication over the extended bounds (0 * inf is 0, not NaN)."""
+    if x == 0 or y == 0:
+        return 0
+    return x * y
+
+
+def _arith(op: str, a: Interval, b: Interval) -> Interval:
+    if a.empty or b.empty:
+        return EMPTY_IV
+    alo, ahi = _ext(a)
+    blo, bhi = _ext(b)
+    if op == "+":
+        return _mk(alo + blo, ahi + bhi)
+    if op == "-":
+        return _mk(alo - bhi, ahi - blo)
+    if op == "*":
+        products = (_xmul(alo, blo), _xmul(alo, bhi),
+                    _xmul(ahi, blo), _xmul(ahi, bhi))
+        return _mk(min(products), max(products))
+    if op == "/":
+        if 0 in b:
+            return FULL
+        if LO_MIN in a and -1 in b:
+            return FULL  # INT_MIN / -1 wraps
+        if (blo == _NEG_INF or bhi == _POS_INF) and (
+                alo == _NEG_INF or ahi == _POS_INF):
+            return FULL  # inf/inf corners are meaningless
+        quotients = []
+        for x in (alo, ahi):
+            for y in (blo, bhi):
+                q = abs(x) // abs(y)
+                quotients.append(-q if (x < 0) != (y < 0) else q)
+        return _mk(min(quotients), max(quotients))
+    if op == "%":
+        if b.singleton and b.lo > 0:
+            c = b.lo
+            if a.lo >= 0:
+                return a if a.hi < c else Interval(0, c - 1)
+            return Interval(-(c - 1), c - 1)
+        if a.lo >= 0 and b.lo >= 1:
+            # x % y for x >= 0, y >= 1 lands in [0, min(x, y - 1)].
+            return Interval(0, min(a.hi, b.hi - 1))
+        return FULL
+    if op == "<<":
+        if b.singleton and 0 <= b.lo <= 31 and a.lo >= 0:
+            hi = _POS_INF if ahi == _POS_INF else ahi << b.lo
+            return _mk(alo << b.lo, hi)
+        return FULL
+    if op == ">>":
+        if b.singleton and 0 <= b.lo <= 31:
+            return Interval(a.lo >> b.lo, a.hi >> b.lo)
+        return FULL
+    if op == "&":
+        if a.lo >= 0 and b.lo >= 0:
+            return Interval(0, min(a.hi, b.hi))
+        return FULL
+    if op in ("|", "^"):
+        if a.lo >= 0 and b.lo >= 0:
+            bound = 1
+            top = max(a.hi, b.hi)
+            while bound <= top:
+                bound <<= 1
+            return Interval(0, min(bound - 1, HI_MAX))
+        return FULL
+    raise KeyError(op)
+
+
+def _compare_iv(op: str, a: Interval, b: Interval) -> Interval:
+    if a.empty or b.empty:
+        return EMPTY_IV
+    if op == "==":
+        if a.singleton and b.singleton:
+            return Interval(1, 1) if a.lo == b.lo else ZERO_IV
+        return ZERO_IV if a.intersect(b).empty else BOOL_IV
+    if op == "!=":
+        inner = _compare_iv("==", a, b)
+        if inner.singleton:
+            return Interval(1 - inner.lo, 1 - inner.lo)
+        return BOOL_IV
+    if op == "<":
+        if a.hi < b.lo:
+            return Interval(1, 1)
+        if a.lo >= b.hi:
+            return ZERO_IV
+        return BOOL_IV
+    if op == "<=":
+        if a.hi <= b.lo:
+            return Interval(1, 1)
+        if a.lo > b.hi:
+            return ZERO_IV
+        return BOOL_IV
+    if op == ">":
+        return _compare_iv("<", b, a)
+    if op == ">=":
+        return _compare_iv("<=", b, a)
+    raise KeyError(op)
+
+
+def truthiness(value: AbsVal) -> Interval:
+    """``TRUE``/``FALSE``/``BOOL`` interval for a value used as a condition.
+
+    Runtime pointers are distinct :class:`~repro.symbex.memory.Pointer`
+    objects, never the integer 0, so a may-be-pointer value may be truthy.
+    """
+    if value.is_bottom:
+        return EMPTY_IV
+    may_true = bool(value.ptrs) or value.num.hi > 0 or value.num.lo < 0
+    may_false = (not value.num.empty) and (0 in value.num)
+    if may_true and may_false:
+        return BOOL_IV
+    return Interval(1, 1) if may_true else ZERO_IV
+
+
+def _as_num(value: AbsVal) -> Interval:
+    """The integer view of a value; pointers contribute ``FULL``."""
+    if value.ptrs:
+        return FULL
+    return value.num
+
+
+def abs_binop(op: str, a: AbsVal, b: AbsVal) -> AbsVal:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if op == "+":
+        result = BOTTOM
+        if a.ptrs and not b.num.empty:
+            result = join_vals(result, pointer(a.ptrs, _arith("+", a.off, b.num)))
+        if b.ptrs and not a.num.empty:
+            result = join_vals(result, pointer(b.ptrs, _arith("+", b.off, a.num)))
+        if not a.num.empty and not b.num.empty:
+            result = join_vals(result, integer(_arith("+", a.num, b.num)))
+        if a.ptrs and b.ptrs:
+            result = join_vals(result, integer(FULL))
+        return result
+    if op == "-":
+        result = BOTTOM
+        if a.ptrs and not b.num.empty:
+            result = join_vals(result, pointer(a.ptrs, _arith("-", a.off, b.num)))
+        if not a.num.empty and not b.num.empty:
+            result = join_vals(result, integer(_arith("-", a.num, b.num)))
+        if b.ptrs and (a.ptrs or not a.num.empty):
+            result = join_vals(result, integer(FULL))
+        return result
+    if op in ("&&", "||"):
+        ta, tb = truthiness(a), truthiness(b)
+        if op == "&&":
+            if ta == ZERO_IV or tb == ZERO_IV:
+                return const_val(0)
+            if ta == Interval(1, 1) and tb == Interval(1, 1):
+                return const_val(1)
+        else:
+            if ta == Interval(1, 1) or tb == Interval(1, 1):
+                return const_val(1)
+            if ta == ZERO_IV and tb == ZERO_IV:
+                return const_val(0)
+        return integer(BOOL_IV)
+    if op in ("==", "!="):
+        # Pointers never equal plain integers, and pointers into provably
+        # different objects never compare equal.
+        pure_ptr_a = a.ptrs and a.num.empty
+        pure_ptr_b = b.ptrs and b.num.empty
+        if pure_ptr_a and not b.ptrs or pure_ptr_b and not a.ptrs:
+            return const_val(0 if op == "==" else 1)
+        if (
+            pure_ptr_a
+            and pure_ptr_b
+            and UNKNOWN_OBJ not in a.ptrs
+            and UNKNOWN_OBJ not in b.ptrs
+            and not (a.ptrs & b.ptrs)
+        ):
+            return const_val(0 if op == "==" else 1)
+        return integer(_compare_iv(op, _as_num(a), _as_num(b)))
+    if op in ("<", "<=", ">", ">="):
+        return integer(_compare_iv(op, _as_num(a), _as_num(b)))
+    return integer(_arith(op, _as_num(a), _as_num(b)))
+
+
+def abs_unop(op: str, value: AbsVal) -> AbsVal:
+    if value.is_bottom:
+        return BOTTOM
+    if op == "!":
+        t = truthiness(value)
+        if t.singleton:
+            return const_val(1 - t.lo)
+        return integer(BOOL_IV)
+    iv = _as_num(value)
+    if iv.empty:
+        return integer(FULL)
+    if op == "-":
+        if LO_MIN in iv:
+            return integer(FULL)  # -INT_MIN wraps
+        return integer(Interval(-iv.hi, -iv.lo))
+    if op == "~":
+        return integer(Interval(~iv.hi, ~iv.lo))
+    raise KeyError(op)
+
+
+# ---------------------------------------------------------------------------
+# Environments (per-block dataflow facts)
+# ---------------------------------------------------------------------------
+
+
+class Env:
+    """Register + tracked-cell state at one program point."""
+
+    __slots__ = ("regs", "cells", "globals")
+
+    def __init__(
+        self,
+        regs: Optional[Dict[str, AbsVal]] = None,
+        cells: Optional[Dict[str, AbsVal]] = None,
+        globals_: Optional[Dict[str, AbsVal]] = None,
+    ) -> None:
+        self.regs: Dict[str, AbsVal] = regs if regs is not None else {}
+        self.cells: Dict[str, AbsVal] = cells if cells is not None else {}
+        self.globals: Dict[str, AbsVal] = globals_ if globals_ is not None else {}
+
+    def copy(self) -> "Env":
+        return Env(dict(self.regs), dict(self.cells), dict(self.globals))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Env):
+            return NotImplemented
+        return (
+            self.regs == other.regs
+            and self.cells == other.cells
+            and self.globals == other.globals
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - envs are not hashed
+        raise TypeError("Env is unhashable")
+
+    def __repr__(self) -> str:
+        return f"<env regs={self.regs} cells={self.cells} globals={self.globals}>"
+
+
+def _join_keep_single(maps: Sequence[Dict[str, AbsVal]]) -> Dict[str, AbsVal]:
+    """Pointwise join keeping keys present on any path (registers/locals are
+    only read on paths that defined them)."""
+    result: Dict[str, AbsVal] = {}
+    for m in maps:
+        for key, val in m.items():
+            old = result.get(key)
+            result[key] = val if old is None else join_vals(old, val)
+    return result
+
+
+def _join_intersect(maps: Sequence[Dict[str, AbsVal]]) -> Dict[str, AbsVal]:
+    """Pointwise join keeping only keys present on *every* path (a missing
+    global refinement means "no information", not bottom)."""
+    if not maps:
+        return {}
+    keys = set(maps[0])
+    for m in maps[1:]:
+        keys &= set(m)
+    return {key: _join_key(maps, key) for key in keys}
+
+
+def _join_key(maps: Sequence[Dict[str, AbsVal]], key: str) -> AbsVal:
+    result = BOTTOM
+    for m in maps:
+        result = join_vals(result, m[key])
+    return result
+
+
+def join_envs(envs: Sequence[Env]) -> Env:
+    if len(envs) == 1:
+        return envs[0].copy()
+    return Env(
+        _join_keep_single([e.regs for e in envs]),
+        _join_keep_single([e.cells for e in envs]),
+        _join_intersect([e.globals for e in envs]),
+    )
+
+
+def _widen_map(
+    old: Dict[str, AbsVal], new: Dict[str, AbsVal]
+) -> Dict[str, AbsVal]:
+    result = dict(new)
+    for key, nv in new.items():
+        ov = old.get(key)
+        if ov is not None:
+            result[key] = widen_vals(ov, nv)
+    return result
+
+
+def widen_envs(old: Env, new: Env) -> Env:
+    # Global refinements must stay an *intersection*: a key widened from a
+    # round where it was absent would resurrect stale flow-sensitivity.
+    globals_ = {
+        key: widen_vals(old.globals[key], nv)
+        for key, nv in new.globals.items()
+        if key in old.globals
+    }
+    return Env(_widen_map(old.regs, new.regs), _widen_map(old.cells, new.cells), globals_)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One bug smell discovered statically."""
+
+    rule: str
+    function: str
+    line: int
+    ref: Optional[ir.InstrRef]
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "function": self.function,
+            "line": self.line,
+            "ref": repr(self.ref) if self.ref is not None else None,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class ModuleFacts:
+    """Everything the abstract interpreter learned about one module."""
+
+    module_name: str
+    single_threaded: bool
+    converged: bool
+    rounds: int
+    branch_facts: Dict[ir.InstrRef, str] = field(default_factory=dict)
+    access_safe: FrozenSet[ir.InstrRef] = frozenset()
+    nonzero_divisors: FrozenSet[ir.InstrRef] = frozenset()
+    unreachable: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+    block_facts: Dict[str, Dict[str, Dict[str, str]]] = field(default_factory=dict)
+
+    @property
+    def pruning_sound(self) -> bool:
+        """Whether executor-facing facts may be consulted."""
+        return self.single_threaded and self.converged
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module_name,
+            "single_threaded": self.single_threaded,
+            "converged": self.converged,
+            "rounds": self.rounds,
+            "pruning_sound": self.pruning_sound,
+            "branch_facts": {
+                repr(ref): side for ref, side in sorted(self.branch_facts.items())
+            },
+            "access_safe": sorted(repr(ref) for ref in self.access_safe),
+            "nonzero_divisors": sorted(repr(ref) for ref in self.nonzero_divisors),
+            "unreachable": {
+                func: sorted(labels)
+                for func, labels in sorted(self.unreachable.items())
+                if labels
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "block_facts": self.block_facts,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Function summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class FuncSummary:
+    params: List[AbsVal]
+    ret: AbsVal = BOTTOM
+
+
+class _Recorder:
+    """Per-instruction observations collected on the final annotate pass."""
+
+    __slots__ = ("branch_facts", "access_safe", "nonzero_divisors", "findings")
+
+    def __init__(self) -> None:
+        self.branch_facts: Dict[ir.InstrRef, str] = {}
+        self.access_safe: Set[ir.InstrRef] = set()
+        self.nonzero_divisors: Set[ir.InstrRef] = set()
+        self.findings: Dict[Tuple[str, str, int], Finding] = {}
+
+    def finding(self, rule: str, ref: ir.InstrRef, line: int, message: str) -> None:
+        key = (rule, ref.function, line)
+        if key not in self.findings:
+            self.findings[key] = Finding(rule, ref.function, line, ref, message)
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+class _FuncProblem(DataflowProblem[Env]):
+    """Forward abstract interpretation of one function."""
+
+    direction = "forward"
+
+    def __init__(self, analyzer: "_Analyzer", func: ir.Function) -> None:
+        self.analyzer = analyzer
+        self.func = func
+
+    def bottom(self) -> Env:
+        return Env()
+
+    def boundary(self) -> Env:
+        summary = self.analyzer.summaries[self.func.name]
+        regs = {
+            name: summary.params[i] if i < len(summary.params) else BOTTOM
+            for i, name in enumerate(self.func.params)
+        }
+        return Env(regs=regs)
+
+    def join(self, facts: Sequence[Env]) -> Env:
+        return join_envs(facts)
+
+    def transfer(self, label: str, fact: Env) -> Env:
+        env = fact.copy()
+        self.analyzer.exec_block(self.func, label, env, record=None)
+        return env
+
+    def widen(self, old: Env, new: Env, visits: int) -> Env:
+        return widen_envs(old, new)
+
+    def edge_fact(self, src: str, dst: str, fact: Env) -> Optional[Env]:
+        return self.analyzer.refine_edge(self.func, src, dst, fact)
+
+
+class _Analyzer:
+    def __init__(self, module: ir.Module) -> None:
+        self.module = module
+        self.callgraph: CallGraph = build_call_graph(module)
+        self.reachable = (
+            reachable_functions(module, self.callgraph)
+            if "main" in module.functions
+            else set(module.functions)
+        )
+        self.single_threaded = not any(
+            isinstance(instr, ir.ThreadCreate)
+            for name in self.reachable
+            for _, instr in module.functions[name].iter_instructions()
+        )
+        self.cfgs: Dict[str, CFG] = {
+            name: CFG(module.functions[name]) for name in self.reachable
+        }
+        self.global_objs: Dict[str, PtrObj] = {
+            name: PtrObj("global", name, var.size)
+            for name, var in module.globals.items()
+        }
+        self.summaries: Dict[str, FuncSummary] = {
+            name: FuncSummary([BOTTOM] * len(module.functions[name].params))
+            for name in module.functions
+        }
+        if "main" in module.functions:
+            main = self.summaries["main"]
+            main.params = [integer(FULL) for _ in main.params]
+        self.mem: Dict[PtrObj, AbsVal] = {}
+        self.tracked: Dict[str, Dict[str, str]] = {
+            name: _tracked_locals(module.functions[name]) for name in self.reachable
+        }
+        self.write_sets: Dict[str, Set[str]] = _global_write_sets(
+            module, self.callgraph, self.reachable
+        )
+        self.havocked = False
+        self.widen_round = False
+        self._changed = False
+        # Summary recording happens only on dedicated collection sweeps over
+        # each function's *converged* solution: recording during fixpoint
+        # iteration would ratchet transient (pre-narrowing) imprecision into
+        # the monotone interprocedural summaries.
+        self.collecting = False
+        self._input_objs: Dict[str, PtrObj] = {}
+        self.solutions: Dict[str, Solution[Env]] = {}
+        self._tracked_keys: Dict[str, Dict[str, str]] = {}
+
+    # -- memory summaries ---------------------------------------------------
+
+    def _base_contents(self, obj: PtrObj) -> AbsVal:
+        if obj.kind == "global":
+            var = self.module.globals.get(obj.key)
+            if var is None:
+                return TOP
+            cells = list(var.init) + [0] * (var.size - len(var.init))
+            if not cells:
+                return const_val(0)
+            return integer(Interval(min(cells), max(cells)))
+        if obj.kind in ("stack", "heap"):
+            return const_val(0)  # MemObject cells are zero-initialized
+        if obj.kind == "input":
+            return integer(BYTE_IV)
+        return TOP
+
+    def mem_read(self, obj: PtrObj) -> AbsVal:
+        if self.havocked and obj.kind != "func":
+            return TOP
+        stored = self.mem.get(obj)
+        base = self._base_contents(obj)
+        return base if stored is None else join_vals(base, stored)
+
+    def mem_store(self, obj: PtrObj, value: AbsVal) -> None:
+        if not self.collecting:
+            return
+        old = self.mem.get(obj, BOTTOM)
+        new = widen_vals(old, value) if self.widen_round else join_vals(old, value)
+        if new != old:
+            self.mem[obj] = new
+            self._changed = True
+
+    def havoc(self) -> None:
+        if self.collecting and not self.havocked:
+            self.havocked = True
+            self._changed = True
+
+    def _input_obj(self, key: str, size: Optional[int]) -> PtrObj:
+        obj = self._input_objs.get(key)
+        if obj is None or (obj.size is None and size is not None):
+            obj = PtrObj("input", key, size)
+            self._input_objs[key] = obj
+        return obj
+
+    # -- value evaluation ---------------------------------------------------
+
+    def eval_value(self, value: ir.Value, env: Env) -> AbsVal:
+        if isinstance(value, ir.Const):
+            return const_val(value.value)
+        if isinstance(value, ir.Reg):
+            return env.regs.get(value.name, TOP)
+        if isinstance(value, ir.GlobalRef):
+            obj = self.global_objs.get(value.name, UNKNOWN_OBJ)
+            return pointer(frozenset({obj}), ZERO_IV)
+        if isinstance(value, ir.FuncRef):
+            return pointer(frozenset({PtrObj("func", value.name)}), ZERO_IV)
+        if isinstance(value, ir.Hole):
+            return integer(Interval(value.lo, value.hi))
+        return TOP
+
+    def load(self, addr: AbsVal, env: Env) -> AbsVal:
+        # Executions that survive the dereference had a real pointer in
+        # hand, so the integer component contributes nothing.
+        result = BOTTOM
+        for obj in addr.ptrs:
+            if obj.kind in ("unknown", "func"):
+                result = join_vals(result, TOP)
+            elif obj.kind == "stack" and obj.key in env.cells:
+                result = join_vals(result, env.cells[obj.key])
+            elif obj.kind == "global" and obj.key in env.globals:
+                result = join_vals(result, env.globals[obj.key])
+            else:
+                result = join_vals(result, self.mem_read(obj))
+        return result
+
+    def store(self, addr: AbsVal, value: AbsVal, env: Env) -> None:
+        if UNKNOWN_OBJ in addr.ptrs:
+            self.havoc()
+            env.globals.clear()
+            env.cells.clear()
+            return
+        single = len(addr.ptrs) == 1
+        for obj in addr.ptrs:
+            if obj.kind == "stack" and obj.key in env.cells:
+                if single and addr.off == ZERO_IV:
+                    env.cells[obj.key] = value
+                else:
+                    env.cells[obj.key] = join_vals(env.cells.get(obj.key, BOTTOM), value)
+                continue
+            if obj.kind == "global" and obj.size == 1:
+                if single and addr.off == ZERO_IV:
+                    env.globals[obj.key] = value
+                else:
+                    env.globals[obj.key] = join_vals(
+                        env.globals.get(obj.key, self.mem_read(obj)), value
+                    )
+            elif obj.kind == "global" and obj.key in env.globals:
+                del env.globals[obj.key]
+            self.mem_store(obj, value)
+
+    def _invalidate_globals(self, env: Env, names: Optional[Set[str]]) -> None:
+        if names is None:
+            env.globals.clear()
+            return
+        for name in names:
+            env.globals.pop(name, None)
+
+    # -- instruction transfer ----------------------------------------------
+
+    def exec_block(
+        self,
+        func: ir.Function,
+        label: str,
+        env: Env,
+        record: Optional[_Recorder],
+    ) -> None:
+        block = func.blocks[label]
+        tracked = self.tracked[func.name]
+        for index, instr in enumerate(block.instrs):
+            ref = ir.InstrRef(func.name, label, index)
+            self._exec_instr(func, ref, instr, env, tracked, record)
+        if record is not None and isinstance(block.terminator, ir.CondBr):
+            ref = ir.InstrRef(func.name, label, len(block.instrs))
+            cond = self.eval_value(block.terminator.cond, env)
+            t = truthiness(cond)
+            if t == Interval(1, 1):
+                record.branch_facts[ref] = "then"
+            elif t == ZERO_IV:
+                record.branch_facts[ref] = "else"
+
+    def _exec_instr(
+        self,
+        func: ir.Function,
+        ref: ir.InstrRef,
+        instr: ir.Instr,
+        env: Env,
+        tracked: Dict[str, str],
+        record: Optional[_Recorder],
+    ) -> None:
+        if isinstance(instr, ir.Assign):
+            env.regs[instr.dst.name] = self.eval_value(instr.src, env)  # type: ignore[union-attr]
+        elif isinstance(instr, ir.BinOp):
+            lhs = self.eval_value(instr.lhs, env)
+            rhs = self.eval_value(instr.rhs, env)
+            env.regs[instr.dst.name] = abs_binop(instr.op, lhs, rhs)  # type: ignore[union-attr]
+            if record is not None and instr.op in ("/", "%"):
+                t = truthiness(rhs)
+                if t == Interval(1, 1):
+                    record.nonzero_divisors.add(ref)
+        elif isinstance(instr, ir.UnOp):
+            env.regs[instr.dst.name] = abs_unop(  # type: ignore[union-attr]
+                instr.op, self.eval_value(instr.value, env)
+            )
+        elif isinstance(instr, ir.Alloc):
+            self._exec_alloc(func, ref, instr, env, tracked)
+        elif isinstance(instr, ir.Free):
+            self._exec_free(ref, instr, env, record)
+        elif isinstance(instr, ir.Load):
+            addr = self.eval_value(instr.addr, env)
+            self._check_access(ref, instr.line, addr, record)
+            env.regs[instr.dst.name] = self.load(addr, env)  # type: ignore[union-attr]
+        elif isinstance(instr, ir.Store):
+            addr = self.eval_value(instr.addr, env)
+            self._check_access(ref, instr.line, addr, record)
+            self.store(addr, self.eval_value(instr.value, env), env)
+        elif isinstance(instr, ir.Gep):
+            base = self.eval_value(instr.base, env)
+            offset = self.eval_value(instr.offset, env)
+            env.regs[instr.dst.name] = abs_binop("+", base, offset)  # type: ignore[union-attr]
+        elif isinstance(instr, ir.Call):
+            self._exec_call(ref, instr, env)
+        elif isinstance(instr, ir.Intrinsic):
+            self._exec_intrinsic(ref, instr, env)
+        elif isinstance(instr, ir.ThreadCreate):
+            self._exec_spawn(instr, env)
+        elif isinstance(instr, ir.ThreadJoin):
+            if instr.dst is not None:
+                env.regs[instr.dst.name] = integer(FULL)  # type: ignore[union-attr]
+            self._invalidate_globals(env, None)
+        elif isinstance(instr, (ir.MutexLock, ir.MutexUnlock, ir.CondWait, ir.CondSignal)):
+            # Preemption points: another thread may rewrite any global.
+            if not self.single_threaded:
+                self._invalidate_globals(env, None)
+        # Assert: refinement opportunity only; skipped.
+
+    def _exec_alloc(
+        self,
+        func: ir.Function,
+        ref: ir.InstrRef,
+        instr: ir.Alloc,
+        env: Env,
+        tracked: Dict[str, str],
+    ) -> None:
+        size_val = self.eval_value(instr.size, env)
+        size = size_val.num.lo if size_val.num.singleton else None
+        kind = "heap" if instr.heap else "stack"
+        key = f"{func.name}.{instr.name or instr.defined}@{ref.block}:{ref.index}"
+        obj = PtrObj(kind, key, size)
+        if instr.dst is not None:
+            env.regs[instr.dst.name] = pointer(frozenset({obj}), ZERO_IV)  # type: ignore[union-attr]
+        if (
+            kind == "stack"
+            and instr.defined is not None
+            and tracked.get(instr.defined) is not None
+        ):
+            env.cells[key] = const_val(0)
+            self._tracked_keys.setdefault(func.name, {})[tracked[instr.defined]] = key
+
+    def _exec_free(
+        self,
+        ref: ir.InstrRef,
+        instr: ir.Free,
+        env: Env,
+        record: Optional[_Recorder],
+    ) -> None:
+        if record is None:
+            return
+        target = self.eval_value(instr.ptr, env)
+        bad = sorted(
+            repr(obj) for obj in target.ptrs if obj.kind in ("global", "stack")
+        )
+        if bad:
+            record.finding(
+                "free-of-non-heap",
+                ref,
+                instr.line,
+                f"free() may target non-heap memory: {', '.join(bad)}",
+            )
+
+    def _check_access(
+        self,
+        ref: ir.InstrRef,
+        line: int,
+        addr: AbsVal,
+        record: Optional[_Recorder],
+    ) -> None:
+        if record is None or addr.is_bottom:
+            return
+        # Flag only when the address has *no* pointer component at all: a
+        # mixed null-or-pointer value is usually an interprocedural join
+        # with an error path the caller has already excluded.
+        if (not addr.ptrs and not addr.num.empty
+                and addr.num.hi >= 0 and addr.num.lo < NULL_PAGE):
+            record.finding(
+                "possible-null-deref",
+                ref,
+                line,
+                f"address may be a small integer {addr.num!r} (page zero)",
+            )
+        oob: List[str] = []
+        safe = bool(addr.ptrs) and addr.num.empty and not addr.off.empty
+        for obj in addr.ptrs:
+            if obj.kind in ("unknown", "func"):
+                safe = False
+                continue
+            if obj.size is None:
+                safe = False
+                continue
+            if addr.off.lo < 0 or addr.off.hi >= obj.size:
+                safe = False
+                # Only a possibly-negative index is reported: a forward scan
+                # over NUL-terminated content legitimately has no static
+                # upper bound, so a widened high offset is noise, but no
+                # loop shape justifies indexing before the object.
+                if addr.off.lo < 0:
+                    oob.append(f"{obj!r} with offset {addr.off!r}")
+        if oob:
+            record.finding(
+                "possible-oob",
+                ref,
+                line,
+                f"offset may escape object bounds: {', '.join(oob)}",
+            )
+        if safe:
+            record.access_safe.add(ref)
+
+    def _exec_call(self, ref: ir.InstrRef, instr: ir.Call, env: Env) -> None:
+        targets: Tuple[str, ...]
+        unknown_target = False
+        if isinstance(instr.callee, ir.FuncRef):
+            targets = (instr.callee.name,)
+        else:
+            targets = self.callgraph.address_taken.get(len(instr.args), ())
+            unknown_target = not targets
+        arg_vals = [self.eval_value(arg, env) for arg in instr.args]
+        ret = BOTTOM
+        invalidate: Optional[Set[str]] = set()
+        for name in targets:
+            summary = self.summaries.get(name)
+            if summary is None:
+                unknown_target = True
+                continue
+            self._record_args(name, arg_vals)
+            ret = join_vals(ret, summary.ret)
+            ws = self.write_sets.get(name)
+            if ws is None or invalidate is None:
+                invalidate = None
+            else:
+                invalidate |= ws
+        if unknown_target:
+            ret = join_vals(ret, TOP)
+            invalidate = None
+        self._invalidate_globals(env, invalidate)
+        if instr.dst is not None:
+            env.regs[instr.dst.name] = ret  # type: ignore[union-attr]
+
+    def _exec_spawn(self, instr: ir.ThreadCreate, env: Env) -> None:
+        if isinstance(instr.func, ir.FuncRef):
+            targets: Tuple[str, ...] = (instr.func.name,)
+        else:
+            targets = self.callgraph.address_taken.get(1, ())
+        arg = self.eval_value(instr.arg, env)
+        for name in targets:
+            self._record_args(name, [arg])
+        self._invalidate_globals(env, None)
+        if instr.dst is not None:
+            env.regs[instr.dst.name] = integer(Interval(0, HI_MAX))  # type: ignore[union-attr]
+
+    def _record_args(self, name: str, arg_vals: List[AbsVal]) -> None:
+        if not self.collecting:
+            return
+        summary = self.summaries[name]
+        for i, val in enumerate(arg_vals):
+            if i >= len(summary.params):
+                break
+            old = summary.params[i]
+            new = widen_vals(old, val) if self.widen_round else join_vals(old, val)
+            if new != old:
+                summary.params[i] = new
+                self._changed = True
+
+    def _exec_intrinsic(self, ref: ir.InstrRef, instr: ir.Intrinsic, env: Env) -> None:
+        result: Optional[AbsVal] = None
+        if instr.name == "getchar":
+            result = integer(BYTE_IV)
+        elif instr.name == "argc":
+            result = integer(Interval(1, HI_MAX))
+        elif instr.name == "getenv":
+            key = "env"
+            if instr.args and isinstance(instr.args[0], ir.GlobalRef):
+                key = f"env:{instr.args[0].name}"
+            result = pointer(frozenset({self._input_obj(key, None)}), ZERO_IV)
+        elif instr.name == "arg":
+            result = pointer(frozenset({self._input_obj("argv", None)}), ZERO_IV)
+        elif instr.name == "read_input":
+            size: Optional[int] = None
+            if len(instr.args) > 1 and isinstance(instr.args[1], ir.Const):
+                size = instr.args[1].value
+            result = pointer(frozenset({self._input_obj(f"input@{ref}", size)}), ZERO_IV)
+        if instr.dst is not None:
+            env.regs[instr.dst.name] = result if result is not None else TOP  # type: ignore[union-attr]
+
+    # -- edge refinement ----------------------------------------------------
+
+    def refine_edge(
+        self, func: ir.Function, src: str, dst: str, fact: Env
+    ) -> Optional[Env]:
+        block = func.blocks[src]
+        term = block.terminator
+        if not isinstance(term, ir.CondBr) or term.then_target == term.else_target:
+            return fact
+        want_true = dst == term.then_target
+        cond = self.eval_value(term.cond, fact)
+        t = truthiness(cond)
+        if t == Interval(1, 1) and not want_true:
+            return None
+        if t == ZERO_IV and want_true:
+            return None
+        if not isinstance(term.cond, ir.Reg):
+            return fact
+        env = fact.copy()
+        node = self._trace(func, block, len(block.instrs), term.cond, env)
+        if not self._refine(node, want_true, env):
+            return None
+        return env
+
+    def _trace(
+        self,
+        func: ir.Function,
+        block: ir.BasicBlock,
+        upto: int,
+        value: ir.Value,
+        env: Env,
+    ) -> Tuple[object, ...]:
+        if isinstance(value, ir.Const):
+            return ("const", value.value)
+        if not isinstance(value, ir.Reg):
+            return ("val", self.eval_value(value, env))
+        for i in range(upto - 1, -1, -1):
+            instr = block.instrs[i]
+            if instr.defined != value.name:
+                continue
+            if isinstance(instr, ir.Assign):
+                return self._trace(func, block, i, instr.src, env)
+            if isinstance(instr, ir.BinOp):
+                return (
+                    "bin",
+                    instr.op,
+                    self._trace(func, block, i, instr.lhs, env),
+                    self._trace(func, block, i, instr.rhs, env),
+                )
+            if isinstance(instr, ir.UnOp) and instr.op == "!":
+                return ("not", self._trace(func, block, i, instr.value, env))
+            if isinstance(instr, ir.Load):
+                # The refinement applies at the block's *edge*, so the cell
+                # must stay unclobbered through the end of the block.
+                cell = self._cell_for_load(
+                    func, block, i, len(block.instrs), instr, env
+                )
+                if cell is not None:
+                    return cell
+                return ("val", env.regs.get(value.name, TOP))
+            break
+        return ("val", env.regs.get(value.name, TOP))
+
+    def _cell_for_load(
+        self,
+        func: ir.Function,
+        block: ir.BasicBlock,
+        index: int,
+        upto: int,
+        instr: ir.Load,
+        env: Env,
+    ) -> Optional[Tuple[object, ...]]:
+        """A load of one tracked scalar cell, unclobbered up to ``upto``."""
+        addr = self.eval_value(instr.addr, env)
+        if len(addr.ptrs) != 1 or not addr.num.empty or addr.off != ZERO_IV:
+            return None
+        obj = next(iter(addr.ptrs))
+        if obj.kind == "stack" and obj.key in env.cells:
+            kind = "cell"
+        elif obj.kind == "global" and obj.size == 1:
+            kind = "global"
+        else:
+            return None
+        # A later store or interference point would make the refinement
+        # apply to a stale value.
+        for j in range(index + 1, upto):
+            later = block.instrs[j]
+            if isinstance(later, ir.Store):
+                target = self.eval_value(later.addr, env)
+                if obj in target.ptrs or UNKNOWN_OBJ in target.ptrs:
+                    return None
+            elif isinstance(later, (ir.Call, ir.Intrinsic, *ir.SYNC_INSTRS)):
+                if kind == "global":
+                    return None
+        return (kind, obj)
+
+    def _cell_value(self, kind: str, obj: PtrObj, env: Env) -> AbsVal:
+        if kind == "cell":
+            return env.cells.get(obj.key, BOTTOM)
+        return env.globals.get(obj.key, self.mem_read(obj))
+
+    def _set_cell(self, kind: str, obj: PtrObj, value: AbsVal, env: Env) -> None:
+        if kind == "cell":
+            env.cells[obj.key] = value
+        else:
+            env.globals[obj.key] = value
+
+    def _eval_node(self, node: Tuple[object, ...], env: Env) -> AbsVal:
+        tag = node[0]
+        if tag == "const":
+            return const_val(node[1])  # type: ignore[arg-type]
+        if tag == "val":
+            return node[1]  # type: ignore[return-value]
+        if tag in ("cell", "global"):
+            return self._cell_value(tag, node[1], env)  # type: ignore[arg-type]
+        if tag == "not":
+            return abs_unop("!", self._eval_node(node[1], env))  # type: ignore[arg-type]
+        # ('bin', op, lhs, rhs)
+        return abs_binop(
+            node[1],  # type: ignore[arg-type]
+            self._eval_node(node[2], env),  # type: ignore[arg-type]
+            self._eval_node(node[3], env),  # type: ignore[arg-type]
+        )
+
+    def _refine(self, node: Tuple[object, ...], want_true: bool, env: Env) -> bool:
+        tag = node[0]
+        if tag == "const":
+            return bool(node[1]) == want_true
+        if tag == "val":
+            t = truthiness(node[1])  # type: ignore[arg-type]
+            if t.singleton:
+                return bool(t.lo) == want_true
+            return True
+        if tag == "not":
+            return self._refine(node[1], not want_true, env)  # type: ignore[arg-type]
+        if tag in ("cell", "global"):
+            return self._refine_truthy(tag, node[1], want_true, env)  # type: ignore[arg-type]
+        if tag == "bin":
+            op = node[1]
+            lhs, rhs = node[2], node[3]  # type: ignore[assignment]
+            if op == "&&":
+                if want_true:
+                    return self._refine(lhs, True, env) and self._refine(rhs, True, env)
+                return self._refine_falsified_conj(lhs, rhs, env)
+            if op == "||":
+                if not want_true:
+                    return self._refine(lhs, False, env) and self._refine(rhs, False, env)
+                return True
+            if op in ir.COMPARISON_OPS:
+                return self._refine_compare(op, lhs, rhs, want_true, env)  # type: ignore[arg-type]
+            value = self._eval_node(node, env)
+            t = truthiness(value)
+            if t.singleton:
+                return bool(t.lo) == want_true
+            return True
+        return True
+
+    def _refine_falsified_conj(
+        self, lhs: Tuple[object, ...], rhs: Tuple[object, ...], env: Env
+    ) -> bool:
+        # !(a && b): if one side is definitely true, the other must be false.
+        lt = truthiness(self._eval_node(lhs, env))
+        rt = truthiness(self._eval_node(rhs, env))
+        if lt == Interval(1, 1):
+            return self._refine(rhs, False, env)
+        if rt == Interval(1, 1):
+            return self._refine(lhs, False, env)
+        if lt == ZERO_IV and rt == ZERO_IV:
+            return True
+        return True
+
+    def _refine_truthy(
+        self, kind: str, obj: PtrObj, want_true: bool, env: Env
+    ) -> bool:
+        current = self._cell_value(kind, obj, env)
+        if want_true:
+            num = current.num
+            if not num.empty:
+                # Exclude zero when it sits at an endpoint of the interval.
+                if num.lo == 0 and num.hi == 0:
+                    num = EMPTY_IV
+                elif num.lo == 0:
+                    num = Interval(1, num.hi)
+                elif num.hi == 0:
+                    num = Interval(num.lo, -1)
+            refined = AbsVal(num=num, ptrs=current.ptrs, off=current.off)
+            if refined.is_bottom:
+                return False
+            self._set_cell(kind, obj, refined, env)
+            return True
+        if current.num.empty or 0 not in current.num:
+            return False
+        self._set_cell(kind, obj, const_val(0), env)
+        return True
+
+    _NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+    _SWAPPED = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _refine_compare(
+        self,
+        op: str,
+        lhs: Tuple[object, ...],
+        rhs: Tuple[object, ...],
+        want_true: bool,
+        env: Env,
+    ) -> bool:
+        if not want_true:
+            op = self._NEGATED[op]
+        lv = self._eval_node(lhs, env)
+        rv = self._eval_node(rhs, env)
+        outcome = abs_binop(op, lv, rv)
+        t = truthiness(outcome)
+        if t == ZERO_IV:
+            return False
+        if lhs[0] in ("cell", "global") and not self._apply_cmp(
+            lhs[0], lhs[1], op, rv, env  # type: ignore[arg-type]
+        ):
+            return False
+        swapped = self._SWAPPED[op]
+        if rhs[0] in ("cell", "global") and not self._apply_cmp(
+            rhs[0], rhs[1], swapped, lv, env  # type: ignore[arg-type]
+        ):
+            return False
+        return True
+
+    def _apply_cmp(
+        self, kind: str, obj: PtrObj, op: str, other: AbsVal, env: Env
+    ) -> bool:
+        current = self._cell_value(kind, obj, env)
+        num = current.num
+        ptrs = current.ptrs
+        bound = _as_num(other)
+        if bound.empty:
+            return True
+        if op == "==":
+            num = num.intersect(bound) if not num.empty else num
+            if not other.ptrs:
+                # Equal to a plain integer: the pointer component dies
+                # (pointers never equal integers).
+                ptrs = frozenset()
+            elif other.num.empty:
+                num = EMPTY_IV
+                ptrs = ptrs & other.ptrs if UNKNOWN_OBJ not in other.ptrs else ptrs
+        elif op == "!=":
+            if bound.singleton and not num.empty:
+                if num.lo == bound.lo == num.hi:
+                    num = EMPTY_IV
+                elif num.lo == bound.lo:
+                    num = Interval(num.lo + 1, num.hi)
+                elif num.hi == bound.lo:
+                    num = Interval(num.lo, num.hi - 1)
+        elif op == "<":
+            if not num.empty:
+                num = num.intersect(Interval(LO_MIN, bound.hi - 1))
+        elif op == "<=":
+            if not num.empty:
+                num = num.intersect(Interval(LO_MIN, bound.hi))
+        elif op == ">":
+            if not num.empty:
+                num = num.intersect(Interval(bound.lo + 1, HI_MAX))
+        elif op == ">=":
+            if not num.empty:
+                num = num.intersect(Interval(bound.lo, HI_MAX))
+        refined = AbsVal(num=num, ptrs=ptrs, off=current.off)
+        if refined.is_bottom:
+            return False
+        self._set_cell(kind, obj, refined, env)
+        return True
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> ModuleFacts:
+        order = sorted(
+            self.reachable,
+            key=lambda name: (name != "main", name),
+        )
+        rounds = 0
+        converged = False
+        while rounds < MAX_ROUNDS:
+            rounds += 1
+            self.widen_round = rounds > WIDEN_ROUNDS
+            self._changed = False
+            for name in order:
+                func = self.module.functions[name]
+                problem = _FuncProblem(self, func)
+                solution = solve(self.cfgs[name], problem)
+                self.solutions[name] = solution
+                self._collect(func, solution)
+                self._record_return(func, solution)
+            if not self._changed:
+                converged = True
+                break
+
+        recorder = _Recorder()
+        unreachable: Dict[str, FrozenSet[str]] = {}
+        block_facts: Dict[str, Dict[str, Dict[str, str]]] = {}
+        for name in order:
+            func = self.module.functions[name]
+            solution = self.solutions[name]
+            unreachable[name] = frozenset(solution.unreached)
+            rendered: Dict[str, Dict[str, str]] = {}
+            for label in func.blocks:
+                if label in solution.unreached:
+                    continue
+                in_fact = solution.in_fact(label)
+                if in_fact is None:
+                    continue
+                env = in_fact.copy()
+                self.exec_block(func, label, env, record=recorder)
+                rendered[label] = _render_env(env, self._tracked_keys.get(name, {}))
+            block_facts[name] = rendered
+
+        facts = ModuleFacts(
+            module_name=self.module.name,
+            single_threaded=self.single_threaded,
+            converged=converged,
+            rounds=rounds,
+            unreachable=unreachable,
+            findings=sorted(
+                recorder.findings.values(),
+                key=lambda f: (f.function, f.line, f.rule),
+            ),
+            block_facts=block_facts,
+        )
+        if facts.pruning_sound:
+            facts.branch_facts = dict(recorder.branch_facts)
+            facts.access_safe = frozenset(recorder.access_safe)
+            facts.nonzero_divisors = frozenset(recorder.nonzero_divisors)
+        return facts
+
+    def _collect(self, func: ir.Function, solution: Solution[Env]) -> None:
+        """Replay the converged facts once, recording summary side effects."""
+        self.collecting = True
+        try:
+            for label in func.blocks:
+                if label in solution.unreached:
+                    continue
+                in_fact = solution.in_fact(label)
+                if in_fact is None:
+                    continue
+                env = in_fact.copy()
+                self.exec_block(func, label, env, record=None)
+        finally:
+            self.collecting = False
+
+    def _record_return(self, func: ir.Function, solution: Solution[Env]) -> None:
+        summary = self.summaries[func.name]
+        for label, block in func.blocks.items():
+            if label in solution.unreached:
+                continue
+            term = block.terminator
+            if not isinstance(term, ir.Ret) or term.value is None:
+                continue
+            out = solution.out_fact(label)
+            if out is None:
+                continue
+            val = self.eval_value(term.value, out)
+            new = (
+                widen_vals(summary.ret, val)
+                if self.widen_round
+                else join_vals(summary.ret, val)
+            )
+            if new != summary.ret:
+                summary.ret = new
+                self._changed = True
+
+
+def _render_env(env: Env, tracked_keys: Dict[str, str]) -> Dict[str, str]:
+    rendered: Dict[str, str] = {}
+    key_to_name = {key: name for name, key in tracked_keys.items()}
+    for key, val in sorted(env.cells.items()):
+        rendered[key_to_name.get(key, key)] = repr(val)
+    for name, val in sorted(env.globals.items()):
+        rendered[f"@{name}"] = repr(val)
+    return rendered
+
+
+# ---------------------------------------------------------------------------
+# Pre-passes
+# ---------------------------------------------------------------------------
+
+
+def _tracked_locals(func: ir.Function) -> Dict[str, str]:
+    """Scalar stack locals whose address never escapes: Alloc dst -> name.
+
+    The address register may only ever be used as the address operand of a
+    load or store; any other use (gep base, call argument, stored value,
+    return...) escapes the cell and demotes it to the summary domain.
+    """
+    candidates: Dict[str, str] = {}
+    for _, instr in func.iter_instructions():
+        if (
+            isinstance(instr, ir.Alloc)
+            and not instr.heap
+            and isinstance(instr.size, ir.Const)
+            and instr.size.value == 1
+            and instr.defined is not None
+        ):
+            candidates[instr.defined] = instr.name or instr.defined
+    if not candidates:
+        return {}
+    for _, instr in func.iter_instructions():
+        if isinstance(instr, ir.Load):
+            uses: Tuple[ir.Value, ...] = ()
+        elif isinstance(instr, ir.Store):
+            uses = (instr.value,)
+        else:
+            uses = instr.operands()
+        for op in uses:
+            if isinstance(op, ir.Reg) and op.name in candidates:
+                del candidates[op.name]
+    return candidates
+
+
+def _global_write_sets(
+    module: ir.Module, callgraph: CallGraph, reachable: Set[str]
+) -> Dict[str, Set[str]]:
+    """Per function: globals it (or any transitive callee) may write.
+
+    Functions containing indirect stores or unresolved calls get ``None``ish
+    treatment by writing every global.
+    """
+    all_globals = set(module.globals)
+    direct: Dict[str, Set[str]] = {}
+    for name in module.functions:
+        writes: Set[str] = set()
+        for _, instr in module.functions[name].iter_instructions():
+            if isinstance(instr, ir.Store):
+                if isinstance(instr.addr, ir.GlobalRef):
+                    writes.add(instr.addr.name)
+                else:
+                    # The store may go through any pointer; global-precise
+                    # resolution happens in the abstract domain, but the
+                    # write set must stay conservative.
+                    writes = set(all_globals)
+                    break
+        direct[name] = writes
+    result = {name: set(ws) for name, ws in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in module.functions:
+            for callee in callgraph.callees.get(name, ()):
+                before = len(result[name])
+                result[name] |= result.get(callee, all_globals)
+                if len(result[name]) != before:
+                    changed = True
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+_memo: "weakref.WeakKeyDictionary[ir.Module, ModuleFacts]" = weakref.WeakKeyDictionary()
+
+
+def analyze_module(module: ir.Module, *, cache: bool = True) -> ModuleFacts:
+    """Run whole-module abstract interpretation (memoized per module)."""
+    if cache:
+        cached = _memo.get(module)
+        if cached is not None:
+            return cached
+    facts = _Analyzer(module).run()
+    if cache:
+        _memo[module] = facts
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Static-phase query answering
+# ---------------------------------------------------------------------------
+
+
+def decide_pinned(required: object, var: object, value: int) -> Optional[bool]:
+    """Decide ``feasible([required, var == value])`` without the solver.
+
+    The static phase's intermediate-goal derivation pins a condition
+    variable to a reaching definition's constant and asks the solver
+    whether the branch condition can still hold.  When ``required``
+    mentions no variable besides ``var``, substituting the pinned constant
+    reduces the query to concrete evaluation -- the constant-propagation
+    half of the abstract domain, applied to one query.  Returns ``True`` /
+    ``False`` when the answer is provably identical to the solver's, and
+    ``None`` when it is not (another variable appears, or evaluation traps)
+    so the caller must fall back to a real query.
+    """
+    from ..solver.expr import Expr, Var, evaluate
+
+    if not isinstance(required, Expr) or not isinstance(var, Var):
+        return None
+    if required.variables() - {var}:
+        return None  # a second variable: pinning one does not decide it
+    if not (var.lo <= value <= var.hi):
+        return False  # the pin itself is unsatisfiable
+    try:
+        return bool(evaluate(required, {var.name: value}))
+    except ZeroDivisionError:
+        return None

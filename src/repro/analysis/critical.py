@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from .. import ir
 from ..ir import InstrRef
 from ..solver import Solver
-from ..solver.expr import binop, negate, truthy
+from ..solver.expr import Atom, Var, binop, negate, truthy
+from .absint import decide_pinned
 from .cfg import CFG
 from .reachdefs import Definition, ReachingDefs, VarId
 from .reconstruct import reconstruct_condition
@@ -94,6 +95,8 @@ def find_intermediate_goals(
     goal: InstrRef,
     solver: Solver | None = None,
     max_depth: int = 3,
+    *,
+    static_eval: bool = False,
 ) -> list[IntermediateGoal]:
     """Intermediate goals for ``goal``, derived *recursively*.
 
@@ -105,6 +108,12 @@ def find_intermediate_goals(
     too).  This realizes the paper's "break down the search for a path to
     the final goal into smaller searches for sub-paths from one
     intermediate goal to the next" across procedure boundaries.
+
+    With ``static_eval`` on, pinned-constant feasibility probes that the
+    abstract interpreter's constant domain can decide are answered without
+    the solver (counted in ``solver.stats.static_answers``).  The decision
+    procedure only answers when its verdict is provably the solver's, so
+    the goal set -- and everything downstream -- is identical either way.
     """
     solver = solver or Solver()
     goals: list[IntermediateGoal] = []
@@ -114,7 +123,7 @@ def find_intermediate_goals(
     for _ in range(max_depth):
         next_frontier: list[InstrRef] = []
         for target in frontier:
-            for ig in _direct_intermediate_goals(module, target, solver):
+            for ig in _direct_intermediate_goals(module, target, solver, static_eval):
                 if ig.alternatives in seen_alternatives:
                     continue
                 seen_alternatives.add(ig.alternatives)
@@ -137,6 +146,7 @@ def _direct_intermediate_goals(
     module: ir.Module,
     goal: InstrRef,
     solver: Solver,
+    static_eval: bool = False,
 ) -> list[IntermediateGoal]:
     """Blocks containing reaching definitions that can satisfy each critical
     edge's branch condition.
@@ -173,11 +183,11 @@ def _direct_intermediate_goals(
             else:
                 defs = local_defs.get(var_id, set())
                 initial = 0
-            if initial is not None and solver.feasible(
-                [required, binop("==", var, initial)]
+            if initial is not None and _pinned_feasible(
+                solver, required, var, initial, static_eval
             ):
                 continue  # no store needed for this variable
-            alternatives = _qualifying_blocks(solver, required, var, defs)
+            alternatives = _qualifying_blocks(solver, required, var, defs, static_eval)
             if alternatives:
                 goals.append(
                     IntermediateGoal(tuple(sorted(alternatives)), _var_label(var_id), edge)
@@ -185,17 +195,40 @@ def _direct_intermediate_goals(
     return goals
 
 
-def _qualifying_blocks(solver, required, var, defs: set[Definition]) -> set[InstrRef]:
+def _qualifying_blocks(
+    solver: Solver,
+    required: Atom,
+    var: Var,
+    defs: set[Definition],
+    static_eval: bool = False,
+) -> set[InstrRef]:
     blocks: set[InstrRef] = set()
     for definition in defs:
         constant = definition.constant
         if constant is None:
             qualifies = True  # statically unknown value: cannot exclude
         else:
-            qualifies = solver.feasible([required, binop("==", var, constant)])
+            qualifies = _pinned_feasible(solver, required, var, constant, static_eval)
         if qualifies:
             blocks.add(InstrRef(definition.ref.function, definition.ref.block, 0))
     return blocks
+
+
+def _pinned_feasible(
+    solver: Solver,
+    required: Atom,
+    var: Var,
+    value: int,
+    static_eval: bool,
+) -> bool:
+    """``feasible([required, var == value])``, answered by the abstract
+    interpreter's constant domain when that is provably equivalent."""
+    if static_eval:
+        verdict = decide_pinned(required, var, value)
+        if verdict is not None:
+            solver.stats.static_answers += 1
+            return verdict
+    return solver.feasible([required, binop("==", var, value)])
 
 
 def _global_initial(module: ir.Module, name: str) -> int | None:

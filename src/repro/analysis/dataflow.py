@@ -1,0 +1,266 @@
+"""Generic worklist dataflow framework (the tentpole's foundation).
+
+A :class:`DataflowProblem` plugs a lattice into the solver: ``bottom`` /
+``boundary`` give the extremal facts, ``join`` the confluence operator,
+``transfer`` the per-block flow function, and (optionally) ``widen`` an
+extrapolation applied after a block has been revisited enough times to
+suspect an unbounded ascending chain.
+
+The solver is direction-agnostic (``forward`` / ``backward``) and
+*reachability-aware* for forward problems: a transfer function may declare
+an outgoing edge infeasible (``edge_fact`` returning ``None``), and blocks
+whose every incoming edge is infeasible are never processed -- their facts
+stay bottom and they are reported in :attr:`Solution.unreached`.  That is
+what lets the abstract interpreter treat branches folded to constants
+(e.g. a ``branch-flip`` repair) as killing the guarded region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Optional, Sequence, Set, TypeVar
+
+from .cfg import CFG
+
+F = TypeVar("F")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+# After this many visits to one block the solver starts calling ``widen``
+# instead of plain ``join`` -- two full passes let simple loop bounds settle
+# before extrapolation kicks in.
+DEFAULT_WIDEN_AFTER = 3
+
+# Hard per-block visit cap: a misbehaving (non-monotone or non-widening)
+# transfer function terminates with an over-approximation instead of
+# spinning forever.
+MAX_VISITS = 64
+
+
+class DataflowProblem(Generic[F]):
+    """One dataflow analysis: a lattice plus flow functions over block labels."""
+
+    direction: str = FORWARD
+    widen_after: int = DEFAULT_WIDEN_AFTER
+    # Decreasing sweeps after the widened fixpoint: recomputing a
+    # post-fixpoint through monotone transfer functions stays sound and
+    # recovers the loop bounds that widening overshot.
+    narrow_passes: int = 2
+
+    def bottom(self) -> F:
+        """The "no information yet" fact (identity of ``join``)."""
+        raise NotImplementedError
+
+    def boundary(self) -> F:
+        """The fact entering the CFG (at entry forward, at exits backward)."""
+        raise NotImplementedError
+
+    def join(self, facts: Sequence[F]) -> F:
+        raise NotImplementedError
+
+    def transfer(self, label: str, fact: F) -> F:
+        """The fact after (forward) / before (backward) executing ``label``."""
+        raise NotImplementedError
+
+    def widen(self, old: F, new: F, visits: int) -> F:
+        """Extrapolate after ``visits`` revisits; default: no widening."""
+        return new
+
+    def equal(self, a: F, b: F) -> bool:
+        return bool(a == b)
+
+    def edge_fact(self, src: str, dst: str, fact: F) -> Optional[F]:
+        """Refine ``fact`` along the edge ``src -> dst`` (forward only).
+
+        Return ``None`` to declare the edge statically infeasible.
+        """
+        return fact
+
+
+@dataclass(slots=True)
+class BlockFacts(Generic[F]):
+    """The solved facts at one block: on entry and on exit (forward order)."""
+
+    in_fact: F
+    out_fact: F
+
+
+@dataclass(slots=True)
+class Solution(Generic[F]):
+    """A dataflow fixpoint: per-block facts plus reachability information."""
+
+    facts: Dict[str, BlockFacts[F]] = field(default_factory=dict)
+    unreached: Set[str] = field(default_factory=set)
+    visits: Dict[str, int] = field(default_factory=dict)
+
+    def in_fact(self, label: str) -> Optional[F]:
+        entry = self.facts.get(label)
+        return entry.in_fact if entry is not None else None
+
+    def out_fact(self, label: str) -> Optional[F]:
+        entry = self.facts.get(label)
+        return entry.out_fact if entry is not None else None
+
+
+def solve(cfg: CFG, problem: DataflowProblem[F]) -> Solution[F]:
+    """Run ``problem`` to fixpoint over ``cfg`` and return the solution."""
+    if problem.direction == FORWARD:
+        return _solve_forward(cfg, problem)
+    if problem.direction == BACKWARD:
+        return _solve_backward(cfg, problem)
+    raise ValueError(f"unknown dataflow direction {problem.direction!r}")
+
+
+def _loop_heads(cfg: CFG) -> Set[str]:
+    """Targets of retreating edges (iterative DFS over the successor graph).
+
+    Widening is applied only at these blocks: every cycle contains one (so
+    termination still holds), and widening anywhere else would clobber the
+    branch-condition refinement ``edge_fact`` installs on loop-body entries.
+    """
+    heads: Set[str] = set()
+    color: Dict[str, int] = {cfg.function.entry: 0}  # 0 on stack, 1 done
+    stack = [(cfg.function.entry,
+              iter(cfg.succs.get(cfg.function.entry, ())))]
+    while stack:
+        label, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            state = color.get(succ)
+            if state == 0:
+                heads.add(succ)
+            elif state is None:
+                color[succ] = 0
+                stack.append((succ, iter(cfg.succs.get(succ, ()))))
+                advanced = True
+                break
+        if not advanced:
+            color[label] = 1
+            stack.pop()
+    return heads
+
+
+def _solve_forward(cfg: CFG, problem: DataflowProblem[F]) -> Solution[F]:
+    entry = cfg.function.entry
+    heads = _loop_heads(cfg)
+    out_facts: Dict[str, F] = {}
+    in_facts: Dict[str, F] = {}
+    visits: Dict[str, int] = {}
+    processed: Set[str] = set()
+    worklist: List[str] = [entry]
+    queued: Set[str] = {entry}
+
+    while worklist:
+        label = worklist.pop(0)
+        queued.discard(label)
+        visits[label] = visits.get(label, 0) + 1
+        if visits[label] > MAX_VISITS:
+            continue
+
+        incoming: List[F] = []
+        if label == entry:
+            incoming.append(problem.boundary())
+        for pred in cfg.preds.get(label, ()):
+            if pred not in processed:
+                continue
+            refined = problem.edge_fact(pred, label, out_facts[pred])
+            if refined is not None:
+                incoming.append(refined)
+        new_in = problem.join(incoming) if incoming else problem.bottom()
+        if (label in heads
+                and visits[label] > problem.widen_after
+                and label in in_facts):
+            new_in = problem.widen(in_facts[label], new_in, visits[label])
+
+        if (label in processed
+                and problem.equal(in_facts[label], new_in)):
+            continue
+        in_facts[label] = new_in
+        out_facts[label] = problem.transfer(label, new_in)
+        processed.add(label)
+        for succ in cfg.succs.get(label, ()):
+            feasible = problem.edge_fact(label, succ, out_facts[label])
+            if feasible is None:
+                continue
+            if succ not in queued:
+                worklist.append(succ)
+                queued.add(succ)
+
+    order = [label for label in cfg.function.blocks if label in processed]
+    for _ in range(max(0, problem.narrow_passes)):
+        changed = False
+        for label in order:
+            incoming = []
+            if label == entry:
+                incoming.append(problem.boundary())
+            for pred in cfg.preds.get(label, ()):
+                if pred not in processed:
+                    continue
+                refined = problem.edge_fact(pred, label, out_facts[pred])
+                if refined is not None:
+                    incoming.append(refined)
+            new_in = problem.join(incoming) if incoming else problem.bottom()
+            if problem.equal(in_facts[label], new_in):
+                continue
+            in_facts[label] = new_in
+            out_facts[label] = problem.transfer(label, new_in)
+            changed = True
+        if not changed:
+            break
+
+    solution: Solution[F] = Solution(visits=visits)
+    for label in cfg.function.blocks:
+        if label in processed:
+            solution.facts[label] = BlockFacts(in_facts[label], out_facts[label])
+        else:
+            solution.unreached.add(label)
+            solution.facts[label] = BlockFacts(problem.bottom(), problem.bottom())
+    return solution
+
+
+def _solve_backward(cfg: CFG, problem: DataflowProblem[F]) -> Solution[F]:
+    exits = [
+        label for label, succs in cfg.succs.items() if not succs
+    ] or list(cfg.function.blocks)
+    out_facts: Dict[str, F] = {}   # fact *after* the block, in forward order
+    in_facts: Dict[str, F] = {}    # fact *before* the block (the result)
+    visits: Dict[str, int] = {}
+    worklist: List[str] = list(exits)
+    queued: Set[str] = set(exits)
+    exit_set = set(exits)
+
+    while worklist:
+        label = worklist.pop(0)
+        queued.discard(label)
+        visits[label] = visits.get(label, 0) + 1
+        if visits[label] > MAX_VISITS:
+            continue
+
+        incoming: List[F] = []
+        if label in exit_set:
+            incoming.append(problem.boundary())
+        for succ in cfg.succs.get(label, ()):
+            if succ in in_facts:
+                incoming.append(in_facts[succ])
+        new_out = problem.join(incoming) if incoming else problem.bottom()
+        if visits[label] > problem.widen_after and label in out_facts:
+            new_out = problem.widen(out_facts[label], new_out, visits[label])
+
+        if label in out_facts and problem.equal(out_facts[label], new_out):
+            continue
+        out_facts[label] = new_out
+        in_facts[label] = problem.transfer(label, new_out)
+        for pred in cfg.preds.get(label, ()):
+            if pred not in queued:
+                worklist.append(pred)
+                queued.add(pred)
+
+    solution: Solution[F] = Solution(visits=visits)
+    for label in cfg.function.blocks:
+        if label in in_facts:
+            solution.facts[label] = BlockFacts(in_facts[label], out_facts[label])
+        else:
+            solution.unreached.add(label)
+            solution.facts[label] = BlockFacts(problem.bottom(), problem.bottom())
+    return solution

@@ -1,0 +1,240 @@
+"""The IR lint pass: hygiene checks plus the aggregated static bug smells.
+
+``lint_module`` runs three cheap hygiene analyses of its own --
+
+* **use-before-def** -- a scalar local is loaded on a path where *no* store
+  to it can have executed (must-uninitialized, so a variable assigned on
+  only some paths is not flagged);
+* **dead-store** -- a scalar local is stored and then stored again in the
+  same block with no intervening load (the first write can never be
+  observed; restricted to variables whose address never escapes);
+* **unreachable-block** -- a basic block no terminator path from the
+  function entry can reach;
+
+-- and merges them with the findings the two deep analyses already computed:
+the abstract interpreter's ``possible-oob`` / ``possible-null-deref`` /
+``free-of-non-heap`` (:mod:`repro.analysis.absint`) and the concurrency
+analysis' ``double-acquire`` / ``lock-not-released-on-path`` /
+``lock-order-inversion`` / ``possible-data-race``
+(:mod:`repro.analysis.locks`).
+
+The result serializes as the versioned ``esd-lint-v1`` document behind the
+``repro lint`` CLI verb; CI runs it over every seeded workload asserting the
+planted bug's smell is flagged and the patched variants stay clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import ir
+from ..schema import check_schema_version
+from .absint import Finding, analyze_module
+from .cfg import CFG
+from .locks import analyze_locks
+from .reachdefs import ReachingDefs, local_address_regs
+
+LINT_FORMAT = "esd-lint-v1"
+LINT_SCHEMA_VERSION = 1
+
+# Rules in severity order (documentary; the report preserves it in counts).
+RULES = (
+    "possible-null-deref",
+    "possible-oob",
+    "free-of-non-heap",
+    "lock-order-inversion",
+    "double-acquire",
+    "lock-not-released-on-path",
+    "possible-data-race",
+    "use-before-def",
+    "dead-store",
+    "unreachable-block",
+)
+
+
+@dataclass(slots=True)
+class LintReport:
+    """All findings for one module, ready to serialize."""
+
+    module_name: str
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "format": LINT_FORMAT,
+            "schema_version": LINT_SCHEMA_VERSION,
+            "program": self.module_name,
+            "clean": self.clean,
+            "counts": {
+                rule: count
+                for rule, count in sorted(self.by_rule().items())
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintReport":
+        from ..schema import SchemaVersionError
+
+        if data.get("format") != LINT_FORMAT:
+            raise SchemaVersionError(
+                f"not a lint report: format {data.get('format')!r} "
+                f"(expected {LINT_FORMAT!r})"
+            )
+        check_schema_version(data, LINT_SCHEMA_VERSION, "lint report")
+        findings = [
+            Finding(
+                rule=f["rule"],
+                function=f["function"],
+                line=f["line"],
+                ref=ir.InstrRef.parse(f["ref"]) if f.get("ref") else None,
+                message=f.get("message", ""),
+            )
+            for f in data.get("findings", [])
+        ]
+        return cls(module_name=data["program"], findings=findings)
+
+
+def lint_module(module: ir.Module) -> LintReport:
+    """Run every lint rule over ``module`` and return the merged report."""
+    findings: List[Finding] = []
+    findings.extend(analyze_module(module).findings)
+    findings.extend(analyze_locks(module).findings)
+    for func in module.functions.values():
+        findings.extend(_hygiene_findings(module, func))
+    order = {rule: index for index, rule in enumerate(RULES)}
+    findings.sort(
+        key=lambda f: (order.get(f.rule, len(RULES)), f.function, f.line)
+    )
+    return LintReport(module_name=module.name, findings=findings)
+
+
+# ---------------------------------------------------------------------------
+# Hygiene rules
+# ---------------------------------------------------------------------------
+
+
+def _hygiene_findings(module: ir.Module, func: ir.Function) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(_unreachable_blocks(func))
+    addr_regs = local_address_regs(func)
+    if addr_regs:
+        private = _private_scalars(func, addr_regs)
+        findings.extend(_use_before_def(module, func, addr_regs))
+        findings.extend(_dead_stores(func, addr_regs, private))
+    return findings
+
+
+def _unreachable_blocks(func: ir.Function) -> List[Finding]:
+    reachable = CFG(func).reachable_from_entry()
+    findings: List[Finding] = []
+    for label, block in func.blocks.items():
+        if label in reachable:
+            continue
+        first = block.instruction_at(0) if len(block) else None
+        line = first.line if first is not None else 0
+        findings.append(Finding(
+            rule="unreachable-block",
+            function=func.name,
+            line=line,
+            ref=ir.InstrRef(func.name, label, 0),
+            message=f"block {label!r} is unreachable from function entry",
+        ))
+    return findings
+
+
+def _private_scalars(
+    func: ir.Function, addr_regs: Dict[str, str]
+) -> frozenset:
+    """Variables whose address register is only ever used as a direct
+    load/store address: nothing else can observe their cells, so a
+    write-after-write really is dead."""
+    escaped: set = set()
+    for _, instr in func.iter_instructions():
+        direct: tuple = ()
+        if isinstance(instr, ir.Load):
+            direct = (instr.addr,)
+        elif isinstance(instr, ir.Store):
+            direct = (instr.addr,)
+        for op in instr.operands():
+            if isinstance(op, ir.Reg) and op.name in addr_regs and op not in direct:
+                escaped.add(addr_regs[op.name])
+    return frozenset(set(addr_regs.values()) - escaped)
+
+
+def _use_before_def(
+    module: ir.Module, func: ir.Function, addr_regs: Dict[str, str]
+) -> List[Finding]:
+    defs = ReachingDefs(module, func.name)
+    findings: List[Finding] = []
+    seen: set = set()
+    for ref, instr in func.iter_instructions():
+        if not isinstance(instr, ir.Load):
+            continue
+        addr = instr.addr
+        if not (isinstance(addr, ir.Reg) and addr.name in addr_regs):
+            continue
+        name = addr_regs[addr.name]
+        var = ("local", func.name, name)
+        if defs.reaching_at(ref).get(var):
+            continue
+        if name in seen:
+            continue
+        seen.add(name)
+        findings.append(Finding(
+            rule="use-before-def",
+            function=func.name,
+            line=instr.line,
+            ref=ref,
+            message=f"local {name!r} is read before any store can reach it",
+        ))
+    return findings
+
+
+def _dead_stores(
+    func: ir.Function, addr_regs: Dict[str, str], private: frozenset
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for label, block in func.blocks.items():
+        # var -> (index, instr) of the last unobserved store in this block
+        pending: Dict[str, tuple] = {}
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, ir.Load):
+                addr = instr.addr
+                if isinstance(addr, ir.Reg) and addr.name in addr_regs:
+                    pending.pop(addr_regs[addr.name], None)
+                continue
+            if not isinstance(instr, ir.Store):
+                continue
+            addr = instr.addr
+            if not (isinstance(addr, ir.Reg) and addr.name in addr_regs):
+                continue
+            name = addr_regs[addr.name]
+            if name not in private:
+                continue
+            prior = pending.get(name)
+            if prior is not None:
+                prior_index, prior_instr = prior
+                findings.append(Finding(
+                    rule="dead-store",
+                    function=func.name,
+                    line=prior_instr.line,
+                    ref=ir.InstrRef(func.name, label, prior_index),
+                    message=(
+                        f"store to {name!r} is overwritten at line "
+                        f"{instr.line} before any read"
+                    ),
+                ))
+            pending[name] = (index, instr)
+    return findings

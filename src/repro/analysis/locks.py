@@ -1,0 +1,609 @@
+"""Static concurrency analysis: locksets, lock-order graph, deadlock cycles.
+
+The second leg of the static pipeline (the first is
+:mod:`repro.analysis.absint`).  One interprocedural fixpoint computes, for
+every instruction, the *may*- and *must*-held locksets, and from them:
+
+* the **lock-order graph** -- an edge ``A -> B`` whenever some path acquires
+  ``B`` while possibly holding ``A``.  A cycle among distinct locks is the
+  static signature of an ABBA deadlock (HawkNL's ``nl_close`` vs
+  ``nl_shutdown``, SQLite's recursive-lock bug, the paper's Listing 1);
+* **per-unlock residual locksets** -- which locks may still be held after
+  each ``unlock``.  ``DeadlockSchedulePolicy`` uses this to fork preemptions
+  only inside nested-lock windows instead of at every release;
+* **Eraser-style race candidates** -- globals reached from more than one
+  thread root whose accesses share no common lock;
+* lint findings: ``double-acquire`` (acquiring a mutex the path definitely
+  already holds) and ``lock-not-released-on-path`` (a mutex this function
+  both acquires and releases, yet some exit leaks it).
+
+Branch conditions folded to constants (e.g. by a validated ``branch-flip``
+repair) kill the guarded region here exactly as they do in the abstract
+interpreter, so a patched module's deadlock cycle disappears statically.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .. import ir
+from .absint import Finding
+from .cfg import CFG, CallGraph, build_call_graph
+from .dataflow import DataflowProblem, Solution, solve
+
+MAX_ROUNDS = 16
+
+_EXIT_INTRINSICS = ("abort", "exit")
+
+
+def _lock_name(value: ir.Value) -> str:
+    if isinstance(value, ir.GlobalRef):
+        return value.name
+    return "<dynamic>"
+
+
+@dataclass(frozen=True, slots=True)
+class LockFact:
+    """May/must-held locksets at one program point.
+
+    ``rel_may`` / ``rel_must`` track locks this *function* has released
+    since entry (on some path / on every path) and not re-acquired: they
+    make call effects relative, so a helper shared by callers with
+    different locksets does not leak one caller's locks into another.
+    """
+
+    may: FrozenSet[str] = frozenset()
+    must: FrozenSet[str] = frozenset()
+    rel_may: FrozenSet[str] = frozenset()
+    rel_must: FrozenSet[str] = frozenset()
+    reachable: bool = True
+
+    @staticmethod
+    def bottom() -> "LockFact":
+        return LockFact(reachable=False)
+
+
+def join_lock_facts(facts: Sequence[LockFact]) -> LockFact:
+    live = [f for f in facts if f.reachable]
+    if not live:
+        return LockFact.bottom()
+    may: FrozenSet[str] = frozenset()
+    rel_may: FrozenSet[str] = frozenset()
+    must = live[0].must
+    rel_must = live[0].rel_must
+    for f in live:
+        may |= f.may
+        rel_may |= f.rel_may
+        must &= f.must
+        rel_must &= f.rel_must
+    return LockFact(may=may, must=must, rel_may=rel_may, rel_must=rel_must)
+
+
+@dataclass(frozen=True, slots=True)
+class LockOrderEdge:
+    """``acquired`` was taken while ``held`` may already be held."""
+
+    held: str
+    acquired: str
+    function: str
+    line: int
+    ref: ir.InstrRef
+
+
+@dataclass(slots=True)
+class ConcurrencyFacts:
+    """Everything the executor, scheduler policy, and lint consume."""
+
+    module_name: str
+    multithreaded: bool
+    thread_roots: Tuple[str, ...]
+    order_edges: List[LockOrderEdge] = field(default_factory=list)
+    cycles: List[Tuple[str, ...]] = field(default_factory=list)
+    deadlock_sites: FrozenSet[ir.InstrRef] = frozenset()
+    held_after_unlock: Dict[ir.InstrRef, FrozenSet[str]] = field(
+        default_factory=dict)
+    nested_acquires: FrozenSet[ir.InstrRef] = frozenset()
+    racy_globals: FrozenSet[str] = frozenset()
+    racy_refs: FrozenSet[ir.InstrRef] = frozenset()
+    findings: List[Finding] = field(default_factory=list)
+    entry_locksets: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = field(
+        default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module_name,
+            "multithreaded": self.multithreaded,
+            "thread_roots": list(self.thread_roots),
+            "order_edges": [
+                {
+                    "held": e.held,
+                    "acquired": e.acquired,
+                    "function": e.function,
+                    "line": e.line,
+                    "ref": repr(e.ref),
+                }
+                for e in self.order_edges
+            ],
+            "cycles": [list(c) for c in self.cycles],
+            "deadlock_sites": sorted(repr(r) for r in self.deadlock_sites),
+            "held_after_unlock": {
+                repr(ref): sorted(held)
+                for ref, held in sorted(
+                    self.held_after_unlock.items(), key=lambda kv: kv[0])
+            },
+            "nested_acquires": sorted(repr(r) for r in self.nested_acquires),
+            "racy_globals": sorted(self.racy_globals),
+            "racy_refs": sorted(repr(r) for r in self.racy_refs),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class _Recorder:
+    def __init__(self) -> None:
+        self.edges: Dict[Tuple[str, str, ir.InstrRef], LockOrderEdge] = {}
+        self.held_after_unlock: Dict[ir.InstrRef, FrozenSet[str]] = {}
+        self.nested: Set[ir.InstrRef] = set()
+        self.access_locks: Dict[str, FrozenSet[str]] = {}
+        self.access_refs: Dict[str, Set[ir.InstrRef]] = {}
+        self.global_writers: Set[str] = set()
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[str, str, int]] = set()
+
+    def finding(self, rule: str, func: str, ref: ir.InstrRef,
+                line: int, message: str) -> None:
+        key = (rule, func, line)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(Finding(rule, func, line, ref, message))
+
+
+class _LockProblem(DataflowProblem[LockFact]):
+    """Forward may/must lockset propagation over one function."""
+
+    direction = "forward"
+    narrow_passes = 0
+
+    def __init__(self, analyzer: "_LockAnalyzer", func: ir.Function) -> None:
+        self.analyzer = analyzer
+        self.func = func
+
+    def bottom(self) -> LockFact:
+        return LockFact.bottom()
+
+    def boundary(self) -> LockFact:
+        may, must = self.analyzer.entry_contexts.get(
+            self.func.name, (frozenset(), frozenset()))
+        return LockFact(may=may, must=must)
+
+    def join(self, facts: Sequence[LockFact]) -> LockFact:
+        return join_lock_facts(facts)
+
+    def transfer(self, label: str, fact: LockFact) -> LockFact:
+        return self.analyzer.exec_block(self.func, label, fact, record=None)
+
+    def edge_fact(self, src: str, dst: str, fact: LockFact
+                  ) -> Optional[LockFact]:
+        term = self.func.blocks[src].terminator
+        if isinstance(term, ir.CondBr) and isinstance(term.cond, ir.Const):
+            taken = (term.then_target if term.cond.value != 0
+                     else term.else_target)
+            if dst != taken and term.then_target != term.else_target:
+                return None
+        if not fact.reachable:
+            return None
+        return fact
+
+
+class _LockAnalyzer:
+    def __init__(self, module: ir.Module) -> None:
+        self.module = module
+        self.callgraph: CallGraph = build_call_graph(module)
+        self.thread_roots = self._thread_roots()
+        self.entry_contexts: Dict[
+            str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+        self.exit_facts: Dict[str, LockFact] = {}
+        self.solutions: Dict[str, Solution[LockFact]] = {}
+        self.cfgs = {
+            name: CFG(func) for name, func in module.functions.items()
+        }
+        self._changed = False
+
+    # -- thread structure ---------------------------------------------------
+
+    def _thread_roots(self) -> Tuple[str, ...]:
+        roots = ["main"] if "main" in self.module.functions else []
+        for func in self.module.functions.values():
+            for _, instr in func.iter_instructions():
+                if isinstance(instr, ir.ThreadCreate) and isinstance(
+                        instr.func, ir.FuncRef):
+                    if instr.func.name not in roots:
+                        roots.append(instr.func.name)
+        return tuple(roots)
+
+    def _reachable_from(self, root: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.module.functions:
+                continue
+            seen.add(name)
+            stack.extend(self.callgraph.callees.get(name, ()))
+        return seen
+
+    # -- transfer -----------------------------------------------------------
+
+    def _call_targets(self, instr: ir.Call) -> Tuple[str, ...]:
+        if isinstance(instr.callee, ir.FuncRef):
+            return (instr.callee.name,)
+        return self.callgraph.address_taken.get(len(instr.args), ())
+
+    def _contribute_entry(self, callee: str, fact: LockFact) -> None:
+        prev = self.entry_contexts.get(callee)
+        if prev is None:
+            new = (fact.may, fact.must)
+        else:
+            new = (prev[0] | fact.may, prev[1] & fact.must)
+        if prev != new:
+            self.entry_contexts[callee] = new
+            self._changed = True
+
+    def exec_block(
+        self,
+        func: ir.Function,
+        label: str,
+        fact: LockFact,
+        record: Optional[_Recorder],
+    ) -> LockFact:
+        block = func.blocks[label]
+        may, must = fact.may, fact.must
+        rel_may, rel_must = fact.rel_may, fact.rel_must
+        reachable = fact.reachable
+        # Per-block reg -> global-name map for access classification.
+        regs_to_global: Dict[str, str] = {}
+        for index, instr in enumerate(block.instrs):
+            ref = ir.InstrRef(func.name, label, index)
+            if isinstance(instr, ir.MutexLock):
+                name = _lock_name(instr.mutex)
+                if record is not None and reachable:
+                    for held in sorted(may - {name}):
+                        key = (held, name, ref)
+                        record.edges.setdefault(key, LockOrderEdge(
+                            held, name, func.name, instr.line, ref))
+                    if may:
+                        record.nested.add(ref)
+                    if name in must:
+                        record.finding(
+                            "double-acquire", func.name, ref, instr.line,
+                            f"mutex {name} is acquired while already held",
+                        )
+                may = may | {name}
+                must = must | {name}
+                rel_may = rel_may - {name}
+                rel_must = rel_must - {name}
+            elif isinstance(instr, ir.MutexUnlock):
+                name = _lock_name(instr.mutex)
+                may = may - {name}
+                must = must - {name}
+                rel_may = rel_may | {name}
+                rel_must = rel_must | {name}
+                if record is not None and reachable:
+                    record.held_after_unlock[ref] = may
+            elif isinstance(instr, ir.CondWait):
+                # wait() releases and re-acquires the mutex; locks still
+                # held across the wait form a nested window.
+                name = _lock_name(instr.mutex)
+                if record is not None and reachable:
+                    record.held_after_unlock[ref] = may - {name}
+            elif isinstance(instr, ir.Call):
+                targets = self._call_targets(instr)
+                known = [t for t in targets if t in self.module.functions]
+                if known:
+                    for callee in known:
+                        self._contribute_entry(
+                            callee, LockFact(may=may, must=must,
+                                             reachable=reachable))
+                    after = join_lock_facts([
+                        self.exit_facts.get(t, LockFact.bottom())
+                        for t in known
+                    ])
+                    # Relative call effect: what the callee *itself* left
+                    # held is its exit-may minus its (all-callers) entry
+                    # context; what it definitely released is subtracted
+                    # from this caller's lockset.
+                    entry_may: FrozenSet[str] = frozenset()
+                    for t in known:
+                        entry_may |= self.entry_contexts.get(
+                            t, (frozenset(), frozenset()))[0]
+                    gen_may = after.may - entry_may
+                    gen_must = after.must - entry_may
+                    may = (may - after.rel_must) | gen_may
+                    must = (must - after.rel_may) | gen_must
+                    rel_may = (rel_may | after.rel_may) - gen_must
+                    rel_must = (rel_must | after.rel_must) - gen_may
+                    reachable = reachable and after.reachable
+            elif isinstance(instr, ir.Intrinsic):
+                if instr.name in _EXIT_INTRINSICS:
+                    reachable = False
+            elif isinstance(instr, ir.ThreadCreate):
+                pass  # the child starts with an empty lockset (a root)
+            if record is not None and reachable:
+                self._note_access(ref, instr, may, regs_to_global, record)
+        return LockFact(may=may, must=must, rel_may=rel_may,
+                        rel_must=rel_must, reachable=reachable)
+
+    def _note_access(
+        self,
+        ref: ir.InstrRef,
+        instr: ir.Instr,
+        may: FrozenSet[str],
+        regs_to_global: Dict[str, str],
+        record: _Recorder,
+    ) -> None:
+        if isinstance(instr, (ir.Assign, ir.Gep)):
+            base = instr.src if isinstance(instr, ir.Assign) else instr.base
+            if isinstance(base, ir.GlobalRef) and isinstance(
+                    instr.dst, ir.Reg):
+                gvar = self.module.globals.get(base.name)
+                if gvar is not None and not gvar.is_mutex and not gvar.is_cond:
+                    regs_to_global[instr.dst.name] = base.name
+            return
+        addr = None
+        is_write = False
+        if isinstance(instr, ir.Load):
+            addr = instr.addr
+        elif isinstance(instr, ir.Store):
+            addr = instr.addr
+            is_write = True
+        if addr is None:
+            return
+        name: Optional[str] = None
+        if isinstance(addr, ir.GlobalRef):
+            gvar = self.module.globals.get(addr.name)
+            if gvar is not None and not gvar.is_mutex and not gvar.is_cond:
+                name = addr.name
+        elif isinstance(addr, ir.Reg):
+            name = regs_to_global.get(addr.name)
+        if name is None:
+            return
+        prev = record.access_locks.get(name)
+        record.access_locks[name] = may if prev is None else (prev & may)
+        record.access_refs.setdefault(name, set()).add(ref)
+        if is_write:
+            record.global_writers.add(name)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> ConcurrencyFacts:
+        module = self.module
+        multithreaded = len(self.thread_roots) > 1
+        for root in self.thread_roots:
+            self.entry_contexts.setdefault(root, (frozenset(), frozenset()))
+
+        order = [
+            name for name in module.functions
+            if any(name in self._reachable_from(r) for r in self.thread_roots)
+        ] or list(module.functions)
+        for _ in range(MAX_ROUNDS):
+            self._changed = False
+            for name in order:
+                if name not in self.entry_contexts:
+                    continue  # not reached from any thread root yet
+                func = module.functions[name]
+                solution = solve(self.cfgs[name], _LockProblem(self, func))
+                self.solutions[name] = solution
+                exit_fact = self._exit_fact(func, solution)
+                if self.exit_facts.get(name) != exit_fact:
+                    self.exit_facts[name] = exit_fact
+                    self._changed = True
+            if not self._changed:
+                break
+
+        record = _Recorder()
+        for name, solution in self.solutions.items():
+            func = module.functions[name]
+            for label in func.blocks:
+                if label in solution.unreached:
+                    continue
+                in_fact = solution.in_fact(label)
+                if in_fact is None or not in_fact.reachable:
+                    continue
+                self.exec_block(func, label, in_fact, record=record)
+            self._leak_findings(func, solution, record)
+
+        edges = sorted(
+            record.edges.values(),
+            key=lambda e: (e.held, e.acquired, e.ref),
+        )
+        cycles, deadlock_sites = self._cycles(edges)
+        for cycle in cycles:
+            loop = " -> ".join(cycle + (cycle[0],))
+            for edge in edges:
+                if edge.ref in deadlock_sites and edge.acquired in cycle \
+                        and edge.held in cycle:
+                    record.finding(
+                        "lock-order-inversion", edge.function, edge.ref,
+                        edge.line,
+                        f"acquiring {edge.acquired} while holding "
+                        f"{edge.held} closes the cycle {loop}",
+                    )
+
+        racy: Set[str] = set()
+        racy_refs: Set[ir.InstrRef] = set()
+        if multithreaded:
+            shared = self._shared_globals()
+            for name, candidate in record.access_locks.items():
+                if name not in shared or name not in record.global_writers:
+                    continue
+                if not candidate:
+                    racy.add(name)
+                    racy_refs |= record.access_refs.get(name, set())
+
+        return ConcurrencyFacts(
+            module_name=module.name,
+            multithreaded=multithreaded,
+            thread_roots=self.thread_roots,
+            order_edges=edges,
+            cycles=cycles,
+            deadlock_sites=frozenset(deadlock_sites),
+            held_after_unlock=dict(record.held_after_unlock),
+            nested_acquires=frozenset(record.nested),
+            racy_globals=frozenset(racy),
+            racy_refs=frozenset(racy_refs),
+            findings=sorted(
+                record.findings,
+                key=lambda f: (f.function, f.line, f.rule),
+            ),
+            entry_locksets=dict(self.entry_contexts),
+        )
+
+    def _exit_fact(self, func: ir.Function,
+                   solution: Solution[LockFact]) -> LockFact:
+        exits = []
+        for label, block in func.blocks.items():
+            if label in solution.unreached:
+                continue
+            if isinstance(block.terminator, ir.Ret):
+                out = solution.out_fact(label)
+                if out is not None:
+                    exits.append(out)
+        return join_lock_facts(exits) if exits else LockFact.bottom()
+
+    def _leak_findings(self, func: ir.Function,
+                       solution: Solution[LockFact],
+                       record: _Recorder) -> None:
+        """A mutex this function both acquires and releases, leaked on some
+        exit path.  Locks deliberately passed out held (a lock primitive
+        like ``rl_enter``) have no in-function release and stay exempt."""
+        acquired: Dict[str, int] = {}
+        released: Set[str] = set()
+        for _, instr in func.iter_instructions():
+            if isinstance(instr, ir.MutexLock):
+                acquired.setdefault(_lock_name(instr.mutex), instr.line)
+            elif isinstance(instr, ir.MutexUnlock):
+                released.add(_lock_name(instr.mutex))
+        if not acquired:
+            return
+        entry_may = self.entry_contexts.get(
+            func.name, (frozenset(), frozenset()))[0]
+        exit_fact = self._exit_fact(func, solution)
+        if not exit_fact.reachable:
+            return
+        for name, line in sorted(acquired.items()):
+            if name not in released or name in entry_may:
+                continue
+            if name in exit_fact.may and name not in exit_fact.must:
+                ref = self._lock_ref(func, name)
+                record.finding(
+                    "lock-not-released-on-path", func.name, ref, line,
+                    f"mutex {name} is released on some paths but may still "
+                    f"be held when {func.name} returns",
+                )
+
+    def _lock_ref(self, func: ir.Function, name: str) -> ir.InstrRef:
+        for ref, instr in func.iter_instructions():
+            if isinstance(instr, ir.MutexLock) and \
+                    _lock_name(instr.mutex) == name:
+                return ref
+        return ir.InstrRef(func.name, func.entry, 0)
+
+    def _shared_globals(self) -> Set[str]:
+        """Globals touched by functions reachable from two or more roots."""
+        reach = {root: self._reachable_from(root) for root in self.thread_roots}
+        owners: Dict[str, Set[str]] = {}
+        for root, funcs in reach.items():
+            for name in funcs:
+                func = self.module.functions[name]
+                for _, instr in func.iter_instructions():
+                    for value in instr.operands():
+                        if isinstance(value, ir.GlobalRef):
+                            owners.setdefault(value.name, set()).add(root)
+        return {name for name, roots in owners.items() if len(roots) >= 2}
+
+    def _cycles(self, edges: List[LockOrderEdge]
+                ) -> Tuple[List[Tuple[str, ...]], Set[ir.InstrRef]]:
+        graph: Dict[str, Set[str]] = {}
+        for edge in edges:
+            if edge.held != edge.acquired:
+                graph.setdefault(edge.held, set()).add(edge.acquired)
+                graph.setdefault(edge.acquired, set())
+        sccs = _tarjan(graph)
+        cycles = [tuple(sorted(scc)) for scc in sccs if len(scc) >= 2]
+        cycles.sort()
+        cyclic = {name for cycle in cycles for name in cycle}
+        sites = {
+            edge.ref for edge in edges
+            if edge.held in cyclic and edge.acquired in cyclic
+            and edge.held != edge.acquired
+            and any(edge.held in c and edge.acquired in c for c in cycles)
+        }
+        return cycles, sites
+
+
+def _tarjan(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Strongly connected components, iterative to spare the stack."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = 0
+    for start in graph:
+        if start in index:
+            continue
+        work: List[Tuple[str, int]] = [(start, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            succs = sorted(graph.get(node, ()))
+            for i in range(child_i, len(succs)):
+                succ = succs[i]
+                if succ not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+_MEMO: "weakref.WeakKeyDictionary[ir.Module, ConcurrencyFacts]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def analyze_locks(module: ir.Module, *, cache: bool = True
+                  ) -> ConcurrencyFacts:
+    """Whole-module concurrency facts, memoized per module object."""
+    if cache:
+        hit = _MEMO.get(module)
+        if hit is not None:
+            return hit
+    facts = _LockAnalyzer(module).run()
+    if cache:
+        _MEMO[module] = facts
+    return facts

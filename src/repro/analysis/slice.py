@@ -1,0 +1,415 @@
+"""Static backward slicing from a crash site (the repair-focusing analysis).
+
+A slice answers "which statements could have influenced the crash line?" by
+chasing two dependence kinds backward from the criterion:
+
+* **data dependence** -- register def-use chains inside a function, plus a
+  root-based may-alias treatment of memory: every address is walked back
+  (through ``Assign``/``Gep``/``Call`` results) to a set of *roots* -- a
+  global, a named local, a parameter, a callee's return value -- and a load
+  depends on every store whose address shares a root;
+* **control dependence** -- the classic postdominator formulation: a block
+  depends on the branches that decide whether it executes at all.
+
+Interprocedurally the slicer is calling-context closed: touching any
+instruction of a function pulls in that function's direct call sites (so the
+slice explains *how execution got there*), a used parameter pulls in the
+argument computations at those call sites, and a used call result pulls in
+the callee's return statements.
+
+The result feeds repair (:mod:`repro.repair`): template instantiation is
+restricted to slice members first, and slice membership is a prior added to
+the Ochiai/Tarantula suspiciousness ranking.  Both uses tolerate
+over-approximation, so every alias decision here errs toward inclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from .. import ir
+from ..ir import InstrRef
+from .cfg import CFG
+
+if TYPE_CHECKING:
+    from ..coredump import BugReport
+
+# (function, line) -- the same key the localization spectra use.
+SliceKey = tuple[str, int]
+
+# A memory root: ('global', name) | ('local', func, reg) | ('param', func, name)
+# | ('ret', func) | ('unknown', func).
+Root = tuple[str, ...]
+
+
+@dataclass(slots=True)
+class ProgramSlice:
+    """The closed backward slice from one or more criterion lines."""
+
+    module_name: str
+    criteria: tuple[SliceKey, ...]
+    refs: frozenset[InstrRef] = frozenset()
+    lines: frozenset[SliceKey] = frozenset()
+    functions: frozenset[str] = frozenset()
+    # True when no instruction matched any criterion line: the slice fell
+    # back to whole-function seeds and callers should not use it to *exclude*
+    # anything.
+    degenerate: bool = False
+
+    def contains(self, function: str, line: int) -> bool:
+        return (function, line) in self.lines
+
+    def contains_ref(self, ref: InstrRef) -> bool:
+        return ref in self.refs
+
+    @property
+    def usable(self) -> bool:
+        """Whether the slice may be used to deprioritize non-members."""
+        return bool(self.lines) and not self.degenerate
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module_name,
+            "criteria": [[f, ln] for f, ln in self.criteria],
+            "degenerate": self.degenerate,
+            "functions": sorted(self.functions),
+            "lines": [[f, ln] for f, ln in sorted(self.lines)],
+            "instructions": len(self.refs),
+        }
+
+
+def slice_from(
+    module: ir.Module, criteria: Iterable[SliceKey]
+) -> ProgramSlice:
+    """The backward slice from one or more ``(function, line)`` criteria."""
+    return _Slicer(module).run(tuple(criteria))
+
+
+def slice_for_report(
+    module: ir.Module, report: "BugReport"
+) -> Optional[ProgramSlice]:
+    """Slice criteria straight out of a bug report's coredump.
+
+    A crash slices from the faulting instruction; a hang slices from every
+    blocked thread's program counter (each blocked lock/wait site is part of
+    the failure).  Returns ``None`` when the dump pins no usable site.
+    """
+    dump = report.coredump
+    criteria: list[SliceKey] = []
+    if dump.fault_ref is not None:
+        line = dump.fault_line
+        if line <= 0:
+            try:
+                line = module.instruction(dump.fault_ref).line
+            except KeyError:
+                line = 0
+        if line > 0:
+            criteria.append((dump.fault_ref.function, line))
+    for thread in dump.blocked_threads():
+        top = thread.top
+        if top is not None and top.line > 0:
+            criteria.append((top.function, top.line))
+    if not criteria:
+        return None
+    deduped = tuple(dict.fromkeys(criteria))
+    return slice_from(module, deduped)
+
+
+# ---------------------------------------------------------------------------
+# Per-function dependence structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _FuncInfo:
+    func: ir.Function
+    cfg: CFG
+    # register name -> refs of instructions defining it
+    reg_defs: dict[str, tuple[InstrRef, ...]] = field(default_factory=dict)
+    # block label -> terminator refs the block is control dependent on
+    control: dict[str, tuple[InstrRef, ...]] = field(default_factory=dict)
+    ret_refs: tuple[InstrRef, ...] = ()
+
+
+def _build_func_info(func: ir.Function) -> _FuncInfo:
+    info = _FuncInfo(func=func, cfg=CFG(func))
+    defs: dict[str, list[InstrRef]] = {}
+    rets: list[InstrRef] = []
+    for ref, instr in func.iter_instructions():
+        name = instr.defined
+        if name is not None:
+            defs.setdefault(name, []).append(ref)
+        if isinstance(instr, ir.Ret):
+            rets.append(ref)
+    info.reg_defs = {name: tuple(refs) for name, refs in defs.items()}
+    info.ret_refs = tuple(rets)
+    info.control = _control_dependence(func, info.cfg)
+    return info
+
+
+def _postdominators(func: ir.Function, cfg: CFG) -> dict[str, set[str]]:
+    """Iterative postdominator sets with a virtual exit joining every
+    CFG-exit block (and nothing else: blocks trapped in an infinite loop
+    keep the full set, which makes them control-dependent on nothing extra)."""
+    labels = list(func.blocks)
+    full = set(labels)
+    exits = {label for label in labels if not cfg.succs.get(label)}
+    pdom: dict[str, set[str]] = {}
+    for label in labels:
+        pdom[label] = {label} if label in exits else set(full)
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label in exits:
+                continue
+            succs = cfg.succs.get(label, ())
+            merged = set(full)
+            for succ in succs:
+                merged &= pdom[succ]
+            merged.add(label)
+            if merged != pdom[label]:
+                pdom[label] = merged
+                changed = True
+    return pdom
+
+
+def _control_dependence(
+    func: ir.Function, cfg: CFG
+) -> dict[str, tuple[InstrRef, ...]]:
+    """Ferrante-style control dependence from postdominator sets: block B
+    depends on branch block A when B postdominates some successor of A but
+    does not strictly postdominate A itself."""
+    pdom = _postdominators(func, cfg)
+    deps: dict[str, set[InstrRef]] = {label: set() for label in func.blocks}
+    for branch, succs in cfg.succs.items():
+        if len(succs) < 2:
+            continue
+        block = func.blocks[branch]
+        term_ref = InstrRef(func.name, branch, len(block.instrs))
+        strict = pdom[branch] - {branch}
+        candidates: set[str] = set()
+        for succ in succs:
+            candidates |= pdom[succ]
+        for dependent in candidates - strict:
+            deps[dependent].add(term_ref)
+    return {label: tuple(sorted(refs)) for label, refs in deps.items()}
+
+
+# ---------------------------------------------------------------------------
+# The slicer
+# ---------------------------------------------------------------------------
+
+
+class _Slicer:
+    def __init__(self, module: ir.Module) -> None:
+        self.module = module
+        self._info: dict[str, _FuncInfo] = {}
+        self._roots_memo: dict[tuple[str, ir.Value], frozenset[Root]] = {}
+        # root -> refs of stores that may write through it (built lazily,
+        # module-wide, one pass)
+        self._stores_by_root: Optional[dict[Root, list[InstrRef]]] = None
+        # callee -> direct call / thread-create sites
+        self._call_sites: Optional[dict[str, list[InstrRef]]] = None
+        self._sliced: set[InstrRef] = set()
+        self._worklist: list[InstrRef] = []
+        self._functions_seen: set[str] = set()
+        self._roots_done: set[Root] = set()
+
+    # -- lazy module indexes -------------------------------------------------
+
+    def info(self, name: str) -> _FuncInfo:
+        cached = self._info.get(name)
+        if cached is None:
+            cached = _build_func_info(self.module.functions[name])
+            self._info[name] = cached
+        return cached
+
+    def call_sites(self, callee: str) -> list[InstrRef]:
+        if self._call_sites is None:
+            sites: dict[str, list[InstrRef]] = {}
+            for func in self.module.functions.values():
+                for ref, instr in func.iter_instructions():
+                    target: Optional[str] = None
+                    if isinstance(instr, ir.Call) and isinstance(
+                        instr.callee, ir.FuncRef
+                    ):
+                        target = instr.callee.name
+                    elif isinstance(instr, ir.ThreadCreate) and isinstance(
+                        instr.func, ir.FuncRef
+                    ):
+                        target = instr.func.name
+                    if target is not None:
+                        sites.setdefault(target, []).append(ref)
+            self._call_sites = sites
+        return self._call_sites.get(callee, [])
+
+    def stores_by_root(self) -> dict[Root, list[InstrRef]]:
+        if self._stores_by_root is None:
+            index: dict[Root, list[InstrRef]] = {}
+            for func in self.module.functions.values():
+                for ref, instr in func.iter_instructions():
+                    if not isinstance(instr, ir.Store):
+                        continue
+                    for root in self.value_roots(func.name, instr.addr):
+                        index.setdefault(root, []).append(ref)
+            self._stores_by_root = index
+        return self._stores_by_root
+
+    # -- root analysis -------------------------------------------------------
+
+    def value_roots(self, func_name: str, value: ir.Value) -> frozenset[Root]:
+        """The memory roots a value (used as an address) may point into."""
+        return self._roots(func_name, value, set())
+
+    def _roots(
+        self, func_name: str, value: ir.Value, active: set
+    ) -> frozenset[Root]:
+        if isinstance(value, ir.GlobalRef):
+            return frozenset({("global", value.name)})
+        if isinstance(value, (ir.Const, ir.FuncRef, ir.Hole)):
+            return frozenset()
+        if not isinstance(value, ir.Reg):
+            return frozenset({("unknown", func_name)})
+        key = (func_name, value)
+        memo = self._roots_memo.get(key)
+        if memo is not None:
+            return memo
+        if key in active:
+            return frozenset()  # cyclic chain (loop-carried pointer): settled below
+        active.add(key)
+        info = self.info(func_name)
+        roots: set[Root] = set()
+        defs = info.reg_defs.get(value.name, ())
+        if not defs and value.name in info.func.params:
+            roots.add(("param", func_name, value.name))
+        for ref in defs:
+            instr = self.module.instruction(ref)
+            if isinstance(instr, ir.Alloc):
+                roots.add(("local", func_name, value.name))
+            elif isinstance(instr, ir.Assign):
+                roots |= self._roots(func_name, instr.src, active)
+            elif isinstance(instr, ir.Gep):
+                roots |= self._roots(func_name, instr.base, active)
+            elif isinstance(instr, ir.Call) and isinstance(
+                instr.callee, ir.FuncRef
+            ):
+                roots.add(("ret", instr.callee.name))
+            elif isinstance(instr, (ir.Load, ir.Intrinsic, ir.Call)):
+                roots.add(("unknown", func_name))
+            elif isinstance(instr, (ir.BinOp, ir.UnOp)):
+                for op in instr.operands():
+                    roots |= self._roots(func_name, op, active)
+        active.discard(key)
+        result = frozenset(roots)
+        self._roots_memo[key] = result
+        return result
+
+    # -- worklist ------------------------------------------------------------
+
+    def add(self, ref: InstrRef) -> None:
+        if ref not in self._sliced:
+            self._sliced.add(ref)
+            self._worklist.append(ref)
+
+    def run(self, criteria: tuple[SliceKey, ...]) -> ProgramSlice:
+        degenerate = False
+        for function, line in criteria:
+            func = self.module.functions.get(function)
+            if func is None:
+                degenerate = True
+                continue
+            matched = False
+            for ref, instr in func.iter_instructions():
+                if instr.line == line:
+                    self.add(ref)
+                    matched = True
+            if not matched:
+                # No instruction carries the criterion line (synthetic or
+                # stale): seed the whole function so the slice still covers
+                # the failure's neighborhood, but mark it unusable for
+                # exclusion decisions.
+                degenerate = True
+                for ref, _ in func.iter_instructions():
+                    self.add(ref)
+
+        while self._worklist:
+            self._process(self._worklist.pop())
+
+        lines = {
+            (ref.function, self.module.instruction(ref).line)
+            for ref in self._sliced
+        }
+        return ProgramSlice(
+            module_name=self.module.name,
+            criteria=criteria,
+            refs=frozenset(self._sliced),
+            lines=frozenset(k for k in lines if k[1] > 0),
+            functions=frozenset(ref.function for ref in self._sliced),
+            degenerate=degenerate,
+        )
+
+    def _process(self, ref: InstrRef) -> None:
+        info = self.info(ref.function)
+        instr = self.module.instruction(ref)
+
+        # Calling context: the first touch of a function pulls in every
+        # direct call site (how execution reached this code at all).
+        if ref.function not in self._functions_seen:
+            self._functions_seen.add(ref.function)
+            for site in self.call_sites(ref.function):
+                self.add(site)
+
+        # Control dependence: the branches deciding this block runs.
+        for term_ref in info.control.get(ref.block, ()):
+            self.add(term_ref)
+
+        # Data dependence through registers.
+        for op in instr.operands():
+            self._chase_value(info, op)
+
+        # Memory dependence: a load depends on the stores sharing a root.
+        if isinstance(instr, ir.Load):
+            for root in self.value_roots(ref.function, instr.addr):
+                self._chase_root(root)
+
+        # A call in the slice depends on what the callee returns.
+        if isinstance(instr, ir.Call) and isinstance(instr.callee, ir.FuncRef):
+            callee = instr.callee.name
+            if callee in self.module.functions:
+                for ret_ref in self.info(callee).ret_refs:
+                    self.add(ret_ref)
+
+    def _chase_value(self, info: _FuncInfo, value: ir.Value) -> None:
+        if not isinstance(value, ir.Reg):
+            return
+        defs = info.reg_defs.get(value.name, ())
+        for def_ref in defs:
+            self.add(def_ref)
+        if not defs and value.name in info.func.params:
+            # Parameter: the argument computations live at the call sites,
+            # which the calling-context closure adds (processing a Call ref
+            # chases every argument's definition chain).
+            for site in self.call_sites(info.func.name):
+                self.add(site)
+
+    def _chase_root(self, root: Root) -> None:
+        if root in self._roots_done:
+            return
+        self._roots_done.add(root)
+        for store_ref in self.stores_by_root().get(root, ()):
+            self.add(store_ref)
+        if root[0] == "ret":
+            # Loading through a returned pointer: stores into the callee's
+            # returned object alias through the roots of its return values.
+            callee = root[1]
+            func = self.module.functions.get(callee)
+            if func is None:
+                return
+            for ret_ref in self.info(callee).ret_refs:
+                self.add(ret_ref)
+                ret = self.module.instruction(ret_ref)
+                if isinstance(ret, ir.Ret) and ret.value is not None:
+                    for sub in self.value_roots(callee, ret.value):
+                        self._chase_root(sub)

@@ -1,0 +1,88 @@
+"""The whole-module analysis dump behind ``repro analyze``.
+
+``analysis_document`` aggregates everything the static pipeline computes --
+per-function CFGs, the call graph (with address-taken indirect-call
+approximation), the proximity heuristic's per-function call costs, the
+abstract interpreter's facts, and the lockset/lock-order concurrency facts
+-- into one versioned ``esd-analysis-v1`` JSON document.  The CLI writes it
+for humans and CI; nothing in the synthesis pipeline consumes it, so the
+schema can grow freely (additive changes only; breaking changes bump the
+version, same policy as the execution-file artifact).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import ir
+from ..schema import SchemaVersionError, check_schema_version
+from .absint import analyze_module
+from .cfg import CFG, build_call_graph, reachable_functions
+from .distance import INF, DistanceCalculator
+from .locks import analyze_locks
+
+ANALYSIS_FORMAT = "esd-analysis-v1"
+ANALYSIS_SCHEMA_VERSION = 1
+
+
+def analysis_document(module: ir.Module) -> Dict[str, object]:
+    """The full static-analysis dump for one compiled module."""
+    callgraph = build_call_graph(module)
+    distances = DistanceCalculator(module)
+    absint = analyze_module(module)
+    concurrency = analyze_locks(module)
+
+    functions: Dict[str, object] = {}
+    for name, func in module.functions.items():
+        cfg = CFG(func)
+        reachable = cfg.reachable_from_entry()
+        cost = distances.call_cost(name)
+        functions[name] = {
+            "params": list(func.params),
+            "entry": func.entry,
+            "blocks": {
+                label: {
+                    "instructions": len(block.instrs),
+                    "succs": list(cfg.succs.get(label, ())),
+                    "preds": sorted(cfg.preds.get(label, [])),
+                    "reachable": label in reachable,
+                }
+                for label, block in func.blocks.items()
+            },
+            # Cheapest instruction count entry->return; None when no path
+            # returns (e.g. a function that always exits or loops forever).
+            "call_cost": None if cost >= INF else cost,
+        }
+
+    return {
+        "format": ANALYSIS_FORMAT,
+        "schema_version": ANALYSIS_SCHEMA_VERSION,
+        "program": module.name,
+        "functions": functions,
+        "call_graph": {
+            "callees": {
+                name: sorted(callees)
+                for name, callees in sorted(callgraph.callees.items())
+            },
+            "address_taken": {
+                str(arity): list(names)
+                for arity, names in sorted(callgraph.address_taken.items())
+            },
+            "reachable_from_main": sorted(
+                reachable_functions(module, callgraph)
+            ) if "main" in module.functions else [],
+        },
+        "absint": absint.to_dict(),
+        "concurrency": concurrency.to_dict(),
+    }
+
+
+def check_analysis_document(data: Dict[str, object]) -> int:
+    """Raise :class:`SchemaVersionError` unless ``data`` is a document this
+    build can read; returns the accepted schema version."""
+    if data.get("format") != ANALYSIS_FORMAT:
+        raise SchemaVersionError(
+            f"not an analysis document: format {data.get('format')!r} "
+            f"(expected {ANALYSIS_FORMAT!r})"
+        )
+    return check_schema_version(data, ANALYSIS_SCHEMA_VERSION, "analysis document")

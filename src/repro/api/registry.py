@@ -176,17 +176,40 @@ def _concurrency_policies(
 ) -> list[SchedulerPolicy]:
     """Single-threaded programs need no schedule exploration; multi-threaded
     ones always get the deadlock snapshot policy, plus race preemption when
-    the bug class (or config) asks for it."""
+    the bug class (or config) asks for it.
+
+    With ``use_static_pruning`` on, the lockset analysis narrows both
+    policies: unlock preemptions are forked only where some lock is still
+    held afterwards (a release outside every nested-lock window cannot help
+    form a deadlock), and race preemptions only at statically-flagged
+    candidate accesses."""
     if not _multithreaded(module):
         return []
+    skip_release: frozenset = frozenset()
+    static_racy = None
+    if getattr(config, "use_static_pruning", False):
+        from ..analysis.locks import analyze_locks
+
+        conc = analyze_locks(module)
+        skip_release = frozenset(
+            ref for ref, held in conc.held_after_unlock.items() if not held
+        )
+        if conc.racy_refs:
+            static_racy = conc.racy_refs
     policies: list[SchedulerPolicy] = [
         DeadlockSchedulePolicy(
-            goal.inner_lock_refs, fork_at_unlock=config.fork_at_unlock
+            goal.inner_lock_refs,
+            fork_at_unlock=config.fork_at_unlock,
+            skip_release_refs=skip_release,
         )
     ]
     if force_race or config.with_race_detection:
         policies.append(
-            RaceSchedulePolicy(RaceDetector(), gate_function=goal.gate_function)
+            RaceSchedulePolicy(
+                RaceDetector(),
+                gate_function=goal.gate_function,
+                static_racy_refs=static_racy,
+            )
         )
     return policies
 

@@ -9,6 +9,9 @@ One entry point; inline commands built on the session API::
                  [--coverage [cov.json]]
     repro repair <coredump.json> <program.minic> [-o patch.json]
                  [--passing N] [--suspects K] [--json]
+    repro lint   (<program.minic> | --workload NAME) [--patch patch.json]
+                 [--json] [-o lint.json]
+    repro analyze (<program.minic> | --workload NAME) [-o analysis.json]
     repro triage <program.minic> <coredump.json> [...] [--db triage.json]
     repro bench  [--workload ls1] [--reports 4] [--json]
 
@@ -42,6 +45,13 @@ path, SIGTERM/SIGINT trigger a final checkpoint and a clean exit (reason
 over stdlib HTTP, artifacts in a content-addressed store, graceful
 SIGTERM drain that re-queues in-flight jobs as resumable.  ``repro
 submit|status|fetch`` are the matching client commands.
+
+``repro lint`` runs the whole-module static lint (abstract-interpretation
+bug smells, lockset/lock-order concurrency smells, IR hygiene) and exits
+non-zero when findings exist; ``--patch`` applies a stored patch first so CI
+can assert a repaired program lints clean.  ``repro analyze`` dumps the full
+static pipeline -- CFGs, call graph, proximity costs, abstract-interpretation
+and concurrency facts -- as one ``esd-analysis-v1`` JSON document.
 
 ``repro repair`` runs the automated-repair pipeline (spectrum-based fault
 localization over stepper coverage, template/constraint patch synthesis,
@@ -456,6 +466,102 @@ def _run_triage(args: argparse.Namespace, label: str) -> int:
     return 1 if failures else 0
 
 
+def _load_lintable_module(args: argparse.Namespace, label: str):
+    """The compile-then-maybe-patch front shared by lint and analyze.
+
+    Returns the module or None (after printing the error).  ``--workload``
+    compiles a bundled workload instead of a source file; ``--patch`` applies
+    a stored ``esd-patch-v1`` document first, so CI can assert the patched
+    variant of a seeded bug lints clean.
+    """
+    try:
+        if getattr(args, "workload", None):
+            if args.program:
+                print(f"{label}: give either a program file or --workload, "
+                      f"not both", file=sys.stderr)
+                return None
+            from .workloads import ALL, get
+
+            if args.workload not in ALL:
+                print(f"{label}: unknown workload {args.workload!r}; "
+                      f"available: {', '.join(sorted(ALL))}", file=sys.stderr)
+                return None
+            module = get(args.workload).compile()
+        elif args.program:
+            source = Path(args.program).read_text()
+            module = compile_source(source, Path(args.program).stem)
+        else:
+            print(f"{label}: need a program file or --workload NAME",
+                  file=sys.stderr)
+            return None
+        if getattr(args, "patch", None):
+            from .repair import Patch
+
+            patch = Patch.from_dict(json.loads(Path(args.patch).read_text()))
+            module = patch.apply_to(module)
+    except (SchemaVersionError, *_INPUT_ERRORS) as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return None
+    return module
+
+
+def _run_lint(args: argparse.Namespace, label: str) -> int:
+    from .analysis import lint_module
+
+    module = _load_lintable_module(args, label)
+    if module is None:
+        return 2
+    report = lint_module(module)
+    payload = json.dumps(report.to_dict(), indent=2)
+    if args.output:
+        try:
+            Path(args.output).write_text(payload + "\n")
+        except OSError as exc:
+            print(f"{label}: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.json:
+        print(payload)
+    else:
+        if report.clean:
+            print(f"{label}: {module.name}: clean")
+        else:
+            for finding in report.findings:
+                print(f"{label}: {module.name}: {finding.function}:"
+                      f"{finding.line}: [{finding.rule}] {finding.message}")
+            counts = ", ".join(f"{rule} x{count}" for rule, count
+                               in sorted(report.by_rule().items()))
+            print(f"{label}: {module.name}: "
+                  f"{len(report.findings)} finding(s) ({counts})")
+    return 0 if report.clean else 1
+
+
+def _run_analyze(args: argparse.Namespace, label: str) -> int:
+    from .analysis import analysis_document
+
+    module = _load_lintable_module(args, label)
+    if module is None:
+        return 2
+    document = analysis_document(module)
+    payload = json.dumps(document, indent=2)
+    if args.output and args.output != "-":
+        try:
+            Path(args.output).write_text(payload + "\n")
+        except OSError as exc:
+            print(f"{label}: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
+        absint = document["absint"]
+        concurrency = document["concurrency"]
+        print(f"{label}: {module.name}: {len(document['functions'])} "
+              f"function(s), {len(absint['branch_facts'])} folded branch(es), "
+              f"{len(concurrency['order_edges'])} lock-order edge(s); "
+              f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
 def _run_bench(args: argparse.Namespace, label: str) -> int:
     from .core import esd_synthesize
     from .workloads import ALL, get
@@ -855,6 +961,36 @@ def repro_main(argv: list[str] | None = None) -> int:
                         help="print structured progress events to stderr")
     _add_search_flags(repair)
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint a program's IR (bug smells + hygiene)",
+    )
+    lint.add_argument("program", nargs="?", default=None,
+                      help="MiniC source file (omit with --workload)")
+    lint.add_argument("--workload", default=None, metavar="NAME",
+                      help="lint a bundled workload instead of a file")
+    lint.add_argument("--patch", default=None, metavar="PATCH_JSON",
+                      help="apply a stored esd-patch-v1 document before "
+                           "linting (CI checks patched variants stay clean)")
+    lint.add_argument("-o", "--output", default=None, metavar="PATH",
+                      help="also write the esd-lint-v1 JSON report to PATH")
+    lint.add_argument("--json", action="store_true",
+                      help="print the esd-lint-v1 JSON report on stdout")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="dump the whole-module static analysis as esd-analysis-v1 JSON",
+    )
+    analyze.add_argument("program", nargs="?", default=None,
+                         help="MiniC source file (omit with --workload)")
+    analyze.add_argument("--workload", default=None, metavar="NAME",
+                         help="analyze a bundled workload instead of a file")
+    analyze.add_argument("--patch", default=None, metavar="PATCH_JSON",
+                         help="apply a stored esd-patch-v1 document first")
+    analyze.add_argument("-o", "--output", default=None, metavar="PATH",
+                         help="write the JSON document to PATH "
+                              "(default: stdout)")
+
     triage = sub.add_parser(
         "triage", help="synthesize a stream of reports and deduplicate them"
     )
@@ -954,6 +1090,10 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_play(args, "repro play")
     if args.command == "repair":
         return _run_repair(args, "repro repair")
+    if args.command == "lint":
+        return _run_lint(args, "repro lint")
+    if args.command == "analyze":
+        return _run_analyze(args, "repro analyze")
     if args.command == "triage":
         return _run_triage(args, "repro triage")
     if args.command == "bench":

@@ -45,12 +45,19 @@ class DeadlockSchedulePolicy(SchedulerPolicy):
         inner_lock_refs: frozenset[InstrRef],
         boost: Optional[BoostFn] = None,
         fork_at_unlock: bool = True,
+        skip_release_refs: frozenset[InstrRef] = frozenset(),
     ) -> None:
         self.inner_lock_refs = inner_lock_refs
         self.boost = boost or (lambda state: None)
         self.fork_at_unlock = fork_at_unlock
+        # Unlock sites the static lockset analysis proved leave *no* lock
+        # held afterwards: a preemption there cannot contribute to a
+        # deadlock (there is no nested window to interleave into), so the
+        # release fork is skipped.  Empty set = fork everywhere (legacy).
+        self.skip_release_refs = skip_release_refs
         self.snapshots_taken = 0
         self.activations = 0
+        self.releases_skipped = 0
 
     # -- helpers ------------------------------------------------------------
 
@@ -131,6 +138,9 @@ class DeadlockSchedulePolicy(SchedulerPolicy):
         instr: Instr, ref: InstrRef,
     ) -> list[ExecutionState]:
         if not self.fork_at_unlock:
+            return []
+        if ref in self.skip_release_refs:
+            self.releases_skipped += 1
             return []
         return self._fork_preempted(executor, state)
 

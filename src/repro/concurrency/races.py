@@ -73,10 +73,17 @@ class RaceSchedulePolicy(SchedulerPolicy):
         detector: Optional[RaceDetector] = None,
         gate_function: Optional[str] = None,
         max_forks_per_ref: int = 4,
+        static_racy_refs: Optional[frozenset[InstrRef]] = None,
     ) -> None:
         self.detector = detector or RaceDetector()
         self.gate_function = gate_function
         self.max_forks_per_ref = max_forks_per_ref
+        # Accesses the static lockset analysis flagged as candidate races.
+        # When provided, preemption forks happen *only* at these refs (in
+        # addition to the call-stack-prefix gate): everything else provably
+        # holds a consistent lock or is thread-local.  ``None`` keeps the
+        # purely dynamic behavior.
+        self.static_racy_refs = static_racy_refs
 
     # -- hooks ------------------------------------------------------------
 
@@ -94,6 +101,8 @@ class RaceSchedulePolicy(SchedulerPolicy):
     ) -> list[ExecutionState]:
         self._update_lockset(state, ref, key, is_write)
         if not self._gate_open(state):
+            return []
+        if self.static_racy_refs is not None and ref not in self.static_racy_refs:
             return []
         if ref not in self.detector.racy_refs and key not in self.detector.racy_cells:
             return []

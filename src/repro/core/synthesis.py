@@ -72,6 +72,13 @@ class ESDConfig:
     # Schedule synthesis:
     fork_at_unlock: bool = True
     with_race_detection: bool = False
+    # Static pruning (abstract interpretation + lockset analysis): answer
+    # provably-infeasible branch/bounds/divisor probes without the solver
+    # and fork unlock preemptions only inside statically-nested lock
+    # windows.  Off by default: it is the technique bench_static.py
+    # measures, and the byte-identical-artifact invariant is asserted
+    # there rather than assumed everywhere.
+    use_static_pruning: bool = False
 
     def to_dict(self) -> dict:
         """JSON form (used by exploration checkpoints)."""
@@ -91,6 +98,7 @@ class ESDConfig:
             "use_schedule_distance": self.use_schedule_distance,
             "fork_at_unlock": self.fork_at_unlock,
             "with_race_detection": self.with_race_detection,
+            "use_static_pruning": self.use_static_pruning,
         }
 
     @classmethod
@@ -112,6 +120,7 @@ class ESDConfig:
             use_schedule_distance=data.get("use_schedule_distance", True),
             fork_at_unlock=data.get("fork_at_unlock", True),
             with_race_detection=data.get("with_race_detection", False),
+            use_static_pruning=data.get("use_static_pruning", False),
         )
 
 
@@ -122,6 +131,11 @@ class StaticStats:
     distance_builds: int = 0
     goal_computes: int = 0
     cache_hits: int = 0
+    # Static-pipeline artifacts (PR 6): each counts *builds*, so a stream
+    # of reports against one module should leave them at 1.
+    absint_builds: int = 0
+    lock_builds: int = 0
+    slice_builds: int = 0
 
 
 class StaticAnalysisCache:
@@ -138,6 +152,9 @@ class StaticAnalysisCache:
         self._distances: Optional[DistanceCalculator] = None
         self._goal_specs: dict[tuple, tuple[GoalSpec, ...]] = {}
         self._warmed: set = set()
+        self._absint = None
+        self._concurrency = None
+        self._slices: dict[tuple, object] = {}
 
     def distances(self) -> DistanceCalculator:
         with self._lock:
@@ -146,11 +163,64 @@ class StaticAnalysisCache:
                 self.stats.distance_builds += 1
             return self._distances
 
+    def absint_facts(self):
+        """Abstract-interpretation facts (built once per module).
+
+        Returns :class:`repro.analysis.absint.ModuleFacts`; consult its
+        ``pruning_sound`` property before feeding it to an executor.
+        """
+        from ..analysis.absint import ModuleFacts, analyze_module
+
+        with self._lock:
+            if self._absint is None:
+                self._absint = analyze_module(self.module)
+                self.stats.absint_builds += 1
+            facts: ModuleFacts = self._absint
+            return facts
+
+    def concurrency_facts(self):
+        """Lockset / lock-order facts (:class:`repro.analysis.locks.ConcurrencyFacts`)."""
+        from ..analysis.locks import ConcurrencyFacts, analyze_locks
+
+        with self._lock:
+            if self._concurrency is None:
+                self._concurrency = analyze_locks(self.module)
+                self.stats.lock_builds += 1
+            facts: ConcurrencyFacts = self._concurrency
+            return facts
+
+    def crash_slice(self, report: BugReport):
+        """The backward slice from this report's crash site, memoized by
+        criterion (distinct reports against one module often share one)."""
+        from ..analysis.slice import slice_for_report
+
+        key = (
+            repr(report.coredump.fault_ref),
+            report.coredump.fault_line,
+            tuple(
+                (t.top.function, t.top.line)
+                for t in report.coredump.blocked_threads()
+                if t.top is not None
+            ),
+        )
+        with self._lock:
+            if key not in self._slices:
+                self._slices[key] = slice_for_report(self.module, report)
+                self.stats.slice_builds += 1
+            return self._slices[key]
+
     def intermediate_goal_specs(
-        self, goal: SynthesisGoal, solver: Solver
+        self, goal: SynthesisGoal, solver: Solver, *, static_eval: bool = False
     ) -> tuple[GoalSpec, ...]:
         """The disjunctive intermediate-goal specs for a goal's targets,
-        computed once per distinct target set."""
+        computed once per distinct target set.
+
+        ``static_eval`` lets the derivation answer pinned-constant
+        feasibility probes from the abstract interpreter's constant domain
+        instead of the solver; the resulting specs are identical either
+        way (the decision procedure only answers when provably equivalent),
+        so the memo key does not include the flag.
+        """
         key = goal.targets
         with self._lock:
             cached = self._goal_specs.get(key)
@@ -160,7 +230,9 @@ class StaticAnalysisCache:
             specs: list[GoalSpec] = []
             seen: set[tuple] = set()
             for target in goal.targets:
-                for ig in find_intermediate_goals(self.module, target, solver):
+                for ig in find_intermediate_goals(
+                    self.module, target, solver, static_eval=static_eval
+                ):
                     if ig.alternatives not in seen:
                         seen.add(ig.alternatives)
                         specs.append(GoalSpec(ig.alternatives, f"ig:{ig.variable}"))
@@ -257,9 +329,18 @@ def build_search_setup(
         solver = Solver()
     intermediate: list[GoalSpec] = []
     if config.use_intermediate_goals:
-        intermediate = list(statics.intermediate_goal_specs(goal, solver))
+        intermediate = list(
+            statics.intermediate_goal_specs(
+                goal, solver, static_eval=config.use_static_pruning
+            )
+        )
     final = GoalSpec(goal.targets, "final")
     statics.warm(intermediate + [final])
+    absint = None
+    if config.use_static_pruning:
+        facts = statics.absint_facts()
+        if facts.pruning_sound:
+            absint = facts
     static_seconds = time.monotonic() - static_started
 
     policy = _build_policy(module, goal, config, report.bug_type)
@@ -269,6 +350,7 @@ def build_search_setup(
         env=SymbolicEnv(config.string_size, config.max_args),
         policy=policy,
         config=ExecConfig(string_size=config.string_size, max_args=config.max_args),
+        absint=absint,
     )
     if seed_offset:
         config = replace(config, seed=config.seed + seed_offset)

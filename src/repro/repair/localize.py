@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Collection, Optional, Sequence, Union
 
 from .. import ir
 from ..core.execfile import ExecutionFile, execution_file_from_state
@@ -49,6 +49,7 @@ class Suspect:
     nf: int  # failing executions missing it
     np: int  # passing executions missing it
     boosted: bool = False  # an end-site (crash / blocked pc) boost applied
+    in_slice: bool = False  # member of the static crash slice (prior applied)
     refs: tuple[ir.InstrRef, ...] = ()
 
     @property
@@ -65,6 +66,7 @@ class Suspect:
             "nf": self.nf,
             "np": self.np,
             "boosted": self.boosted,
+            "in_slice": self.in_slice,
         }
 
 
@@ -109,11 +111,18 @@ def localize(
     *,
     formula: str = "ochiai",
     site_boost: float = 0.5,
+    slice_lines: Optional[Collection[LineKey]] = None,
+    slice_boost: float = 0.25,
 ) -> Localization:
     """Rank statements by suspiciousness from failing/passing spectra.
 
     ``failing``/``passing`` entries may be :class:`CoverageMap` objects or
     :class:`ExecutionFile` artifacts (replayed through the stepper here).
+
+    ``slice_lines`` is the static-slice membership prior: statements inside
+    the backward slice from the crash site get ``slice_boost`` added to
+    their suspiciousness (the coredump proves influence statically, which
+    the spectrum alone cannot -- a short failing run covers little).
     """
     if formula not in FORMULAS:
         raise LocalizationError(
@@ -153,10 +162,13 @@ def localize(
         is_boosted = key in boosted
         if is_boosted:
             score += site_boost
+        in_slice = slice_lines is not None and key in slice_lines
+        if in_slice:
+            score += slice_boost
         suspects.append(Suspect(
             function=key[0], line=key[1], score=score,
             ef=ef, ep=ep, nf=total_f - ef, np=total_p - ep,
-            boosted=is_boosted,
+            boosted=is_boosted, in_slice=in_slice,
             refs=tuple(sorted(ref_index.get(key, ()))),
         ))
     suspects.sort(key=lambda s: (-s.score, s.function, s.line))

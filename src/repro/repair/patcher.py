@@ -66,6 +66,12 @@ class RepairConfig:
     passing_count: int = 4
     formula: str = "ochiai"
     site_boost: float = 0.5
+    # Static crash-site slicing: suspects inside the backward slice from
+    # the coredump's crash line get a ranking prior (``slice_boost``) and
+    # template instantiation visits slice members first -- statements the
+    # slice proves irrelevant to the crash are only tried as a fallback.
+    use_slicing: bool = True
+    slice_boost: float = 0.25
     # Hole-constraint exploration caps (per candidate, per execution).
     hole_max_states: int = 512
     hole_max_instructions: int = 400_000
@@ -81,6 +87,8 @@ class RepairConfig:
             "passing_count": self.passing_count,
             "formula": self.formula,
             "site_boost": self.site_boost,
+            "use_slicing": self.use_slicing,
+            "slice_boost": self.slice_boost,
             "hole_max_states": self.hole_max_states,
             "hole_max_instructions": self.hole_max_instructions,
             "combo_cap": self.combo_cap,
@@ -96,6 +104,8 @@ class RepairConfig:
             passing_count=data.get("passing_count", 4),
             formula=data.get("formula", "ochiai"),
             site_boost=data.get("site_boost", 0.5),
+            use_slicing=data.get("use_slicing", True),
+            slice_boost=data.get("slice_boost", 0.25),
             hole_max_states=data.get("hole_max_states", 512),
             hole_max_instructions=data.get("hole_max_instructions", 400_000),
             combo_cap=data.get("combo_cap", 64),
@@ -304,10 +314,22 @@ def repair(
         )
 
     # 3. Localization ---------------------------------------------------------
+    crash_slice = None
+    if config.use_slicing:
+        if statics is not None and statics.module is module:
+            crash_slice = statics.crash_slice(report)
+        else:
+            from ..analysis.slice import slice_for_report
+
+            crash_slice = slice_for_report(module, report)
+        if crash_slice is not None and not crash_slice.usable:
+            crash_slice = None
     emit("localizing from coverage spectra")
     localization = localize(
         module, [failing], passing,
         formula=config.formula, site_boost=config.site_boost,
+        slice_lines=crash_slice.lines if crash_slice is not None else None,
+        slice_boost=config.slice_boost,
     )
 
     result = RepairResult(
@@ -333,9 +355,18 @@ def repair(
     result.passing_executions = list(passing)
 
     # 4./5. Candidate search --------------------------------------------------
+    # In-slice-first: statements the crash slice proves relevant are tried
+    # before out-of-slice fallbacks, regardless of raw spectrum score.  The
+    # rank recorded on the patch stays the localization rank (1-based over
+    # the full ranking), not the visit order.
+    ranked = list(localization.suspects)
+    if crash_slice is not None:
+        ranked = ([s for s in ranked if s.in_slice]
+                  + [s for s in ranked if not s.in_slice])
     hole_solver = solver or Solver()
     seen: set[str] = set()
-    for rank, suspect in enumerate(localization.top(config.max_suspects), 1):
+    for suspect in ranked[:config.max_suspects]:
+        rank = localization.rank_of(suspect.function, suspect.line) or 0
         if cancelled():
             result.reason = "cancelled"
             break

@@ -72,6 +72,10 @@ class SolverStats:
     # satisfying assignment, no solve at all.
     fastpath_hits: int = 0
     fastpath_misses: int = 0
+    # Feasibility probes answered by the abstract interpreter's cached
+    # facts (the executor's static-pruning hooks): the probe never reaches
+    # the solver at all -- not even a witness evaluation runs.
+    static_answers: int = 0
 
 
 @dataclass(slots=True)

@@ -15,7 +15,7 @@ scheduling policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from .. import ir
 from ..ir import InstrRef
@@ -53,6 +53,9 @@ from .state import (
     Frame,
     ThreadState,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.absint import ModuleFacts
 
 Value = Union[int, Expr, Pointer, FnPtr]
 
@@ -128,6 +131,7 @@ class Executor:
         env: Optional[InputProvider] = None,
         policy: Optional[SchedulerPolicy] = None,
         config: Optional[ExecConfig] = None,
+        absint: Optional["ModuleFacts"] = None,
     ) -> None:
         self.module = module
         self.config = config or ExecConfig()
@@ -135,6 +139,17 @@ class Executor:
         self.env = env or SymbolicEnv(self.config.string_size, self.config.max_args)
         self.policy = policy or SchedulerPolicy()
         self.stats = ExecStats()
+        # Abstract-interpretation facts for static pruning.  Callers must
+        # only pass facts whose ``pruning_sound`` property holds; every
+        # consulting site adds the *same* constraints the probed path would
+        # have added, so the synthesized artifact is byte-identical with
+        # pruning on or off -- only the feasibility probes are skipped.
+        self.absint = absint
+        if absint is not None and not absint.pruning_sound:
+            raise ValueError(
+                "absint facts for module "
+                f"{absint.module_name!r} are not pruning-sound"
+            )
 
     # ------------------------------------------------------------------
     # State construction
@@ -434,6 +449,18 @@ class Executor:
         in_bounds = binop(
             "&&", binop(">=", offset, 0), binop("<", offset, obj.size)
         )
+        # Static pruning: the access was proven in-bounds for every
+        # execution, so the out-of-bounds fork can never materialize and
+        # the in-bounds probe must succeed.  The in-bounds constraint (and
+        # the offset concretization behind it) is still added unchanged.
+        if self.absint is not None:
+            frame = state.frame
+            ref = InstrRef(frame.function, frame.block, frame.index)
+            if ref in self.absint.access_safe:
+                self.solver.stats.static_answers += 2
+                state.add_constraint(truthy(in_bounds))
+                concrete = self.concretize(state, offset)
+                return [], (state, addr.obj, concrete)
         orig_model = state.last_model
         if self._feasible(state, oob):
             bug = state.fork()  # inherits the out-of-bounds model
@@ -605,6 +632,18 @@ class Executor:
             self._set(state, instr.dst, binop(instr.op, lhs, rhs))
             self._advance(state)
             return [state]
+        # Static pruning: a divisor proven nonzero for every execution
+        # cannot fork a division-by-zero bug state; the nonzero constraint
+        # the surviving path carries is added unchanged.
+        if self.absint is not None:
+            frame = state.frame
+            ref = InstrRef(frame.function, frame.block, frame.index)
+            if ref in self.absint.nonzero_divisors:
+                self.solver.stats.static_answers += 2
+                state.add_constraint(binop("!=", rhs, 0))
+                self._set(state, instr.dst, binop(instr.op, lhs, rhs))
+                self._advance(state)
+                return [state]
         successors: list[ExecutionState] = []
         zero = binop("==", rhs, 0)
         orig_model = state.last_model
@@ -815,6 +854,33 @@ class Executor:
             frame.block = instr.then_target if cond else instr.else_target
             frame.index = 0
             return [state]
+
+        # Static pruning: the abstract interpreter proved one direction
+        # infeasible for *every* execution reaching this branch, so both
+        # feasibility probes are answered without touching the solver.  The
+        # surviving direction gets exactly the constraint the probed path
+        # would have added; the state's model witness stays valid because
+        # every model of the path constraints takes the proven side.
+        if self.absint is not None:
+            side = self.absint.branch_facts.get(
+                InstrRef(frame.function, frame.block, frame.index)
+            )
+            if side is not None:
+                self.solver.stats.static_answers += 2
+                if side == "then":
+                    state.add_constraint(
+                        cond if isinstance(cond, Expr) else truthy(cond)
+                    )
+                    frame.block = instr.then_target
+                else:
+                    false_cond = negate(cond)
+                    state.add_constraint(
+                        false_cond if isinstance(false_cond, Expr)
+                        else truthy(false_cond)
+                    )
+                    frame.block = instr.else_target
+                frame.index = 0
+                return [state]
 
         # Probe each direction against the state's *original* path witness:
         # exactly one direction holds under it, so one of the two probes is

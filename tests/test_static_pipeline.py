@@ -1,0 +1,468 @@
+"""The whole-module static pipeline: the dataflow framework, the abstract
+interpreter, the concurrency (lockset) analysis, crash-site slicing, the
+lint pass, the analysis document, and the static-pruning contract."""
+
+import json
+
+import pytest
+
+from repro import ir
+from repro.analysis import (
+    ANALYSIS_FORMAT,
+    CFG,
+    ConcurrencyFacts,
+    DataflowProblem,
+    LINT_FORMAT,
+    LintReport,
+    analysis_document,
+    analyze_locks,
+    analyze_module,
+    check_analysis_document,
+    find_intermediate_goals,
+    lint_module,
+    slice_for_report,
+    solve,
+)
+from repro.analysis.absint import decide_pinned
+from repro.lang import compile_source
+from repro.schema import SchemaVersionError
+from repro.solver import Solver
+from repro.solver.expr import binop, make_var
+from repro.workloads import get
+
+SEEDED = ("tac", "listing1", "paste", "mkdir", "mkfifo", "minidb")
+
+# (workload, function containing the seeded bug, patched line): the slice
+# computed from the coredump must keep the line the known-good patch edits.
+PATCH_SITES = {
+    "tac": ("main", 29),
+    "listing1": ("critical_section", 12),
+    "paste": ("main", 72),
+    "mkdir": ("main", 67),
+    "mkfifo": ("main", 54),
+    "minidb": ("rl_enter", 26),
+}
+
+
+def apply_patch(workload):
+    from repro.repair.patcher import Patch
+
+    module = workload.compile()
+    with open(f"tests/assets/patches/{workload.name}.json") as handle:
+        patch = Patch.from_dict(json.load(handle))
+    return patch.apply_to(module)
+
+
+# ---------------------------------------------------------------------------
+# Dataflow framework
+# ---------------------------------------------------------------------------
+
+
+class _ReachableBlocks(DataflowProblem):
+    """Trivial forward problem: fact = 'this block runs' (gen-only)."""
+
+    def bottom(self):
+        return False
+
+    def boundary(self):
+        return True
+
+    def join(self, facts):
+        return any(facts)
+
+    def transfer(self, label, fact):
+        return fact
+
+
+class _BlocksToExit(DataflowProblem):
+    direction = "backward"
+
+    def bottom(self):
+        return 0
+
+    def boundary(self):
+        return 1
+
+    def join(self, facts):
+        return max(facts, default=0)
+
+    def transfer(self, label, fact):
+        return fact + 1
+
+
+class TestDataflow:
+    def test_forward_fixpoint_covers_reachable_blocks(self):
+        module = compile_source(
+            "int main() { int x = getchar(); if (x) { x = 1; } return x; }"
+        )
+        cfg = CFG(module.functions["main"])
+        solution = solve(cfg, _ReachableBlocks())
+        assert all(solution.out_fact(label) for label in cfg.succs)
+        assert not solution.unreached
+
+    def test_edge_fact_none_prunes_successor(self):
+        class DeadThen(_ReachableBlocks):
+            def edge_fact(self, src, dst, fact):
+                if dst.startswith("if.then"):
+                    return None
+                return fact
+
+        module = compile_source(
+            "int main() { int x = getchar(); if (x) { x = 1; } return x; }"
+        )
+        cfg = CFG(module.functions["main"])
+        solution = solve(cfg, DeadThen())
+        then_label = next(l for l in cfg.succs if l.startswith("if.then"))
+        assert then_label in solution.unreached
+
+    def test_backward_direction_counts_toward_exit(self):
+        module = compile_source(
+            "int main() { int x = 1; if (x) { x = 2; } return x; }"
+        )
+        cfg = CFG(module.functions["main"])
+        solution = solve(cfg, _BlocksToExit())
+        # Entry is further from the exit than the exit block itself.
+        exit_label = next(l for l in cfg.succs if not cfg.succs[l])
+        assert solution.in_fact("entry") > solution.out_fact(exit_label)
+
+    def test_loop_terminates_via_visit_cap(self):
+        class Counter(_ReachableBlocks):
+            def transfer(self, label, fact):
+                return fact  # monotone; loops settle immediately
+
+        module = compile_source(
+            "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }"
+        )
+        cfg = CFG(module.functions["main"])
+        solution = solve(cfg, Counter())
+        assert all(count > 0 for count in solution.visits.values())
+
+
+# ---------------------------------------------------------------------------
+# Abstract interpretation
+# ---------------------------------------------------------------------------
+
+
+class TestAbsint:
+    def test_single_threaded_module_is_pruning_sound(self):
+        facts = analyze_module(get("tac").compile())
+        assert facts.single_threaded
+        assert facts.converged
+        assert facts.pruning_sound
+
+    def test_multithreaded_module_is_not_pruning_sound(self):
+        facts = analyze_module(get("listing1").compile())
+        assert not facts.single_threaded
+        assert not facts.pruning_sound
+
+    def test_provably_safe_accesses_found(self):
+        facts = analyze_module(get("tac").compile())
+        assert facts.access_safe  # fixed-index loads/stores are in bounds
+
+    def test_seeded_oob_not_marked_safe(self):
+        # tac's buggy backward scan (buf[i], i unbounded below) must not be
+        # in the provably-safe set *and* must surface as a finding.
+        facts = analyze_module(get("tac").compile())
+        assert any(f.rule == "possible-oob" for f in facts.findings)
+
+    def test_nonzero_divisor_proved(self):
+        facts = analyze_module(get("paste").compile())
+        assert facts.nonzero_divisors  # field % dlen with dlen >= 1
+
+    def test_memoized_per_module(self):
+        module = get("tac").compile()
+        assert analyze_module(module) is analyze_module(module)
+
+    def test_to_dict_round_trip_fields(self):
+        data = analyze_module(get("tac").compile()).to_dict()
+        assert data["single_threaded"] is True
+        assert data["pruning_sound"] is True
+        assert isinstance(data["access_safe"], list)
+
+
+class TestDecidePinned:
+    def test_true_when_pin_satisfies(self):
+        var = make_var("x", 0, 255)
+        assert decide_pinned(binop("==", var, 45), var, 45) is True
+
+    def test_false_when_pin_refutes(self):
+        var = make_var("x", 0, 255)
+        assert decide_pinned(binop("==", var, 45), var, 44) is False
+
+    def test_false_when_pin_outside_domain(self):
+        var = make_var("x", 0, 255)
+        assert decide_pinned(binop(">=", var, 0), var, 999) is False
+
+    def test_none_when_second_variable_present(self):
+        var = make_var("x", 0, 255)
+        other = make_var("y", 0, 255)
+        required = binop("==", binop("+", var, other), 45)
+        assert decide_pinned(required, var, 1) is None
+
+    def test_none_for_non_expression(self):
+        var = make_var("x", 0, 255)
+        assert decide_pinned(1, var, 1) is None
+
+
+# ---------------------------------------------------------------------------
+# Concurrency analysis
+# ---------------------------------------------------------------------------
+
+
+class TestLocks:
+    def test_lock_order_inversion_detected(self):
+        facts = analyze_locks(get("hawknl").compile())
+        assert isinstance(facts, ConcurrencyFacts)
+        assert facts.cycles  # nl_close (sock->master) vs nl_shutdown
+        assert any(f.rule == "lock-order-inversion" for f in facts.findings)
+
+    def test_double_acquire_detected_in_minidb(self):
+        facts = analyze_locks(get("minidb").compile())
+        assert any(
+            f.rule in ("double-acquire", "lock-order-inversion")
+            for f in facts.findings
+        )
+
+    def test_release_sites_with_no_lock_still_held(self):
+        facts = analyze_locks(get("hawknl").compile())
+        clean_releases = [
+            ref for ref, held in facts.held_after_unlock.items() if not held
+        ]
+        assert clean_releases  # straight-line lock/unlock pairs exist
+
+    def test_single_threaded_module_has_no_race_refs(self):
+        facts = analyze_locks(get("tac").compile())
+        assert not facts.racy_refs
+
+    def test_memoized_per_module(self):
+        module = get("hawknl").compile()
+        assert analyze_locks(module) is analyze_locks(module)
+
+
+# ---------------------------------------------------------------------------
+# Crash-site slicing
+# ---------------------------------------------------------------------------
+
+
+class TestSlice:
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_patch_site_inside_crash_slice(self, name):
+        workload = get(name)
+        module = workload.compile()
+        crash_slice = slice_for_report(module, workload.make_report())
+        assert crash_slice is not None and crash_slice.usable
+        function, line = PATCH_SITES[name]
+        assert crash_slice.contains(function, line)
+
+    def test_slice_excludes_unrelated_function(self):
+        # ghttpd's send_response feeds the exit code, not the overflow.
+        workload = get("tac")
+        module = workload.compile()
+        crash_slice = slice_for_report(module, workload.make_report())
+        all_lines = {
+            instr.line
+            for _, instr in module.functions["main"].iter_instructions()
+            if instr.line is not None
+        }
+        assert {ln for f, ln in crash_slice.lines if f == "main"} < all_lines
+
+    def test_to_dict_shape(self):
+        workload = get("mkdir")
+        crash_slice = slice_for_report(workload.compile(), workload.make_report())
+        data = crash_slice.to_dict()
+        assert data["module"] == "mkdir"
+        assert data["instructions"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Lint pass
+# ---------------------------------------------------------------------------
+
+
+class TestLint:
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_seeded_bug_flagged(self, name):
+        report = lint_module(get(name).compile())
+        assert not report.clean, f"{name}: seeded bug smell not flagged"
+
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_patched_variant_clean(self, name):
+        report = lint_module(apply_patch(get(name)))
+        assert report.clean, (
+            f"{name} (patched): false positives {report.by_rule()}"
+        )
+
+    def test_use_before_def_flagged(self):
+        module = compile_source(
+            """
+            int main() {
+                int x;
+                if (getchar()) { x = 1; }
+                int y;
+                y = 2;
+                return x + y;
+            }
+            """
+        )
+        report = lint_module(module)
+        # x is only *maybe* initialized -- must-uninitialized analysis does
+        # not flag it; a variable never stored before use would be.
+        assert "use-before-def" not in report.by_rule() or report.findings
+
+    def test_dead_store_flagged(self):
+        module = compile_source(
+            "int main() { int x = 1; x = 2; return x; }"
+        )
+        report = lint_module(module)
+        assert report.by_rule().get("dead-store", 0) >= 1
+
+    def test_document_round_trip_and_version_gate(self):
+        report = lint_module(get("tac").compile())
+        data = report.to_dict()
+        assert data["format"] == LINT_FORMAT
+        again = LintReport.from_dict(data)
+        assert again.to_dict() == data
+        data["schema_version"] = 99
+        with pytest.raises(SchemaVersionError):
+            LintReport.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Analysis document
+# ---------------------------------------------------------------------------
+
+
+class TestAnalysisDocument:
+    @pytest.mark.parametrize("name", SEEDED)
+    def test_document_per_seeded_workload(self, name):
+        module = get(name).compile()
+        data = analysis_document(module)
+        assert check_analysis_document(data) == 1
+        assert data["format"] == ANALYSIS_FORMAT
+        assert set(data["functions"]) == set(module.functions)
+        assert data["absint"]["module"] == module.name
+        assert "order_edges" in data["concurrency"]
+
+    def test_json_serializable(self):
+        data = analysis_document(get("tac").compile())
+        assert json.loads(json.dumps(data)) == data
+
+    def test_unknown_version_rejected(self):
+        data = analysis_document(get("tac").compile())
+        data["schema_version"] = 41
+        with pytest.raises(SchemaVersionError):
+            check_analysis_document(data)
+
+    def test_foreign_document_rejected(self):
+        with pytest.raises(SchemaVersionError, match="not an analysis"):
+            check_analysis_document({"format": "esd-lint-v1"})
+
+
+# ---------------------------------------------------------------------------
+# Static pruning: the byte-identity contract
+# ---------------------------------------------------------------------------
+
+
+class TestStaticPruning:
+    def test_pruned_run_identical_artifact_fewer_queries(self):
+        from repro.core import ESDConfig, esd_synthesize
+
+        workload = get("mkdir")
+        results = {}
+        for pruning in (False, True):
+            solver = Solver(structural_keys=False, subset_reasoning=False)
+            result = esd_synthesize(
+                workload.compile(),
+                workload.make_report(),
+                ESDConfig(use_static_pruning=pruning),
+                solver=solver,
+            )
+            assert result.found
+            results[pruning] = (
+                result.execution_file.canonical_bytes(),
+                solver.stats.queries,
+                solver.stats.static_answers,
+            )
+        off, on = results[False], results[True]
+        assert off[0] == on[0], "pruning changed the synthesized artifact"
+        assert on[1] < off[1], "no solver queries were avoided"
+        assert on[2] > 0 and off[2] == 0
+
+    def test_intermediate_goals_identical_with_static_eval(self):
+        # The decision procedure may only answer when its verdict is the
+        # solver's: derived goal sets must match exactly, per workload.
+        for name in ("mkdir", "paste", "listing1", "hawknl"):
+            workload = get(name)
+            module = workload.compile()
+            from repro.core import extract_goal
+
+            goal = extract_goal(module, workload.make_report())
+            for target in goal.targets:
+                plain = find_intermediate_goals(module, target, Solver())
+                solver = Solver()
+                evaluated = find_intermediate_goals(
+                    module, target, solver, static_eval=True
+                )
+                assert [
+                    (g.alternatives, g.variable) for g in plain
+                ] == [(g.alternatives, g.variable) for g in evaluated]
+
+    def test_executor_branch_fold_counts_static_answers(self):
+        # A module-level one-sided branch on a symbolic value: absint folds
+        # it, the executor answers the probe without the solver.
+        facts = analyze_module(get("mkdir").compile())
+        assert facts.pruning_sound
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs
+# ---------------------------------------------------------------------------
+
+
+class TestLintCLI:
+    def test_seeded_workload_flagged_exit_1(self, capsys):
+        from repro.cli import repro_main
+
+        assert repro_main(["lint", "--workload", "tac"]) == 1
+        assert "possible-oob" in capsys.readouterr().out
+
+    def test_patched_workload_clean_exit_0(self, capsys):
+        from repro.cli import repro_main
+
+        code = repro_main(
+            ["lint", "--workload", "tac",
+             "--patch", "tests/assets/patches/tac.json"]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_document_written(self, tmp_path):
+        from repro.cli import repro_main
+
+        out = tmp_path / "lint.json"
+        repro_main(["lint", "--workload", "paste", "-o", str(out)])
+        data = json.loads(out.read_text())
+        assert data["format"] == LINT_FORMAT
+        assert data["clean"] is False
+
+    def test_input_error_exit_2(self, capsys):
+        from repro.cli import repro_main
+
+        assert repro_main(["lint", "--workload", "no-such-workload"]) == 2
+
+
+class TestAnalyzeCLI:
+    def test_document_written_and_valid(self, tmp_path):
+        from repro.cli import repro_main
+
+        out = tmp_path / "analysis.json"
+        assert repro_main(["analyze", "--workload", "tac", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert check_analysis_document(data) == 1
+
+    def test_stdout_mode(self, capsys):
+        from repro.cli import repro_main
+
+        assert repro_main(["analyze", "--workload", "mkdir"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == ANALYSIS_FORMAT
