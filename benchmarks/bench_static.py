@@ -15,12 +15,16 @@ seeded workload, by running the identical synthesis twice:
 
 Workloads are measured under the mechanism that applies to them:
 
-* ``IDENTITY_WORKLOADS`` exercise the abstract-interpretation path.  The
-  headline metric is **solver queries avoided**, and the correctness gate
-  is strict: the synthesized execution artifact must be *byte-identical*
-  between the two runs, because the static answers are provably the
-  answers the solver would have given -- pruning may only change how the
-  answer is computed, never the answer.
+* ``IDENTITY_WORKLOADS`` exercise the abstract-interpretation path plus
+  the goal-directed reachability layer (function summaries -> may-reach
+  closure -> backward necessary preconditions).  The headline metrics are
+  **solver queries avoided**, **states dropped at INF distance** (the
+  searcher never expands a state whose block cannot reach the goal), and
+  **feasibility probes refuted by necessary preconditions** (zero solver
+  work).  The correctness gate is strict: the synthesized execution
+  artifact must be *byte-identical* between the two runs, because the
+  static answers are provably the answers the solver would have given --
+  pruning may only change how the answer is computed, never the answer.
 * ``SCHEDULE_WORKLOADS`` exercise lockset narrowing.  Suppressing forks
   changes which valid interleaving the search reaches first, so the
   artifacts legitimately differ; the metric is **states explored**, and
@@ -34,8 +38,11 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_static.py [--quick] [--json OUT]
 
 Exit status is 0 when every run reproduces its bug, every
-identity-workload artifact pair is byte-identical, and at least one
-identity workload shows a measured reduction in solver queries.
+identity-workload artifact pair is byte-identical, at least one identity
+workload shows a measured reduction in solver queries, the goal-directed
+layer shows activity (a state dropped at INF distance or a probe refuted
+by a necessary precondition), and the aggregate pruning-on/off query
+ratio across identity workloads stays below ``REACH_RATIO_GATE``.
 """
 
 from __future__ import annotations
@@ -59,6 +66,12 @@ FULL_IDENTITY = ("tac", "mkdir", "mkfifo", "paste", "listing1", "minidb")
 # Lockset narrowing: states avoided, both runs must reproduce the bug.
 QUICK_SCHEDULE = ("hawknl",)
 FULL_SCHEDULE = ("hawknl",)
+
+# Pruning-on runs must spend at most this fraction of the pruning-off
+# solver queries, summed across the identity workloads.  The measured
+# ratio sits around 0.85; the gate leaves headroom for search jitter
+# while still failing if the reachability layer stops paying for itself.
+REACH_RATIO_GATE = 0.97
 
 
 def _config(pruning: bool) -> ESDConfig:
@@ -84,6 +97,7 @@ def run_one(name: str, pruning: bool) -> dict:
         result.execution_file.canonical_bytes()
         if result.execution_file is not None else None
     )
+    prune = result.static_prune
     return {
         "found": result.found,
         "reason": result.reason,
@@ -92,6 +106,12 @@ def run_one(name: str, pruning: bool) -> dict:
         ),
         "solver_queries": solver.stats.queries,
         "static_answers": solver.stats.static_answers,
+        "wp_refuted": solver.stats.wp_refuted,
+        "states_pruned": result.states_pruned,
+        "wp_checks": prune.checks if prune is not None else 0,
+        "wp_branch_prunes": prune.branch_prunes if prune is not None else 0,
+        "wp_state_kills": prune.state_kills if prune is not None else 0,
+        "wp_probes_avoided": prune.probes_avoided if prune is not None else 0,
         "states_explored": result.states_explored,
         "instructions": result.instructions,
         "search_seconds": round(result.search_seconds, 6),
@@ -115,6 +135,14 @@ def bench_workload(name: str, mechanism: str) -> dict:
         "queries_on": on["solver_queries"],
         "queries_avoided": off["solver_queries"] - on["solver_queries"],
         "static_answers": on["static_answers"],
+        # Goal-directed layer (pruning-on side): searcher drops at INF
+        # distance, and necessary-precondition refutations at fork points.
+        "states_pruned": on["states_pruned"],
+        "wp_refuted": on["wp_refuted"],
+        "wp_checks": on["wp_checks"],
+        "wp_branch_prunes": on["wp_branch_prunes"],
+        "wp_state_kills": on["wp_state_kills"],
+        "wp_probes_avoided": on["wp_probes_avoided"],
         "states_off": off["states_explored"],
         "states_on": on["states_explored"],
         "states_delta": off["states_explored"] - on["states_explored"],
@@ -142,7 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     record: dict = {"quick": args.quick, "workloads": []}
 
     print(f"{'workload':10s} {'mech':8s} {'queries off->on':>16s} "
-          f"{'states off->on':>16s} {'static':>6s}  artifact")
+          f"{'states off->on':>16s} {'static':>6s} {'inf':>4s} {'wp':>4s}"
+          f"  artifact")
     for name, mechanism in (
         [(n, "absint") for n in identity] + [(n, "schedule") for n in schedule]
     ):
@@ -152,7 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:10s} {mechanism:8s} "
               f"{row['queries_off']:6d} -> {row['queries_on']:<6d} "
               f"{row['states_off']:6d} -> {row['states_on']:<6d} "
-              f"{row['static_answers']:6d}  {marker}")
+              f"{row['static_answers']:6d} {row['states_pruned']:4d} "
+              f"{row['wp_refuted']:4d}  {marker}")
 
     rows = record["workloads"]
     absint_rows = [r for r in rows if r["mechanism"] == "absint"]
@@ -161,10 +191,25 @@ def main(argv: list[str] | None = None) -> int:
     record["absint_identical"] = all(r["artifact_identical"] for r in absint_rows)
     record["absint_queries_avoided"] = sum(r["queries_avoided"] for r in absint_rows)
     record["schedule_states_avoided"] = sum(r["states_delta"] for r in schedule_rows)
+    # Reachability-layer aggregates and the ratio gate.
+    record["reach_states_pruned"] = sum(r["states_pruned"] for r in absint_rows)
+    record["reach_wp_refuted"] = sum(r["wp_refuted"] for r in absint_rows)
+    record["reach_probes_avoided"] = sum(
+        r["wp_probes_avoided"] for r in absint_rows
+    )
+    queries_off = sum(r["queries_off"] for r in absint_rows)
+    queries_on = sum(r["queries_on"] for r in absint_rows)
+    record["reach_query_ratio"] = (
+        round(queries_on / queries_off, 4) if queries_off else 1.0
+    )
+    record["reach_ratio_gate"] = REACH_RATIO_GATE
     record["passed"] = (
         record["all_found"]
         and record["absint_identical"]
         and any(r["queries_avoided"] > 0 for r in absint_rows)
+        and (record["reach_states_pruned"] > 0
+             or record["reach_wp_refuted"] > 0)
+        and record["reach_query_ratio"] <= REACH_RATIO_GATE
     )
 
     if args.json:
@@ -174,6 +219,10 @@ def main(argv: list[str] | None = None) -> int:
     status = "PASS" if record["passed"] else "FAIL"
     print(f"{status}: {record['absint_queries_avoided']} solver queries avoided "
           f"(artifacts byte-identical: {record['absint_identical']}); "
+          f"reachability layer: {record['reach_states_pruned']} state(s) "
+          f"dropped at INF distance, {record['reach_wp_refuted']} probe(s) "
+          f"refuted by necessary preconditions, on/off query ratio "
+          f"{record['reach_query_ratio']} (gate {REACH_RATIO_GATE}); "
           f"{record['schedule_states_avoided']} states avoided by lockset "
           f"narrowing across {len(schedule_rows)} concurrency workload(s)")
     return 0 if record["passed"] else 1

@@ -6,21 +6,23 @@ The whole-module static analyses feed three consumers:
                   smells, the lockset analysis' ordering violations, and
                   the IR hygiene checks into one `esd-lint-v1` report;
     synthesize -- with `use_static_pruning` on, the same facts answer
-                  provably-decided feasibility probes without the solver
-                  and gate the schedule policies' fork sites -- while the
-                  synthesized execution stays byte-identical;
+                  provably-decided feasibility probes without the solver,
+                  the goal-directed layer (summaries -> reach -> wp) drops
+                  states that can statically never reach the goal -- while
+                  the synthesized execution stays byte-identical;
     repair     -- the backward slice from the crash site restricts patch
                   templates and boosts slice-member suspects.
 
-This example runs all three on the `tac` workload, then re-lints the
-patched module to show the seeded smell is gone.
+This example runs all three on the `tac` workload (plus a look at what
+`repro analyze` reports about the goal), then re-lints the patched module
+to show the seeded smell is gone.
 
 Run:  python examples/lint_quickstart.py
 """
 
 from repro import ReproSession
-from repro.analysis import lint_module
-from repro.core import ESDConfig, esd_synthesize
+from repro.analysis import analysis_document, lint_module
+from repro.core import ESDConfig, esd_synthesize, extract_goal
 from repro.lang import compile_source
 from repro.search import SearchBudget
 from repro.solver import Solver
@@ -39,6 +41,19 @@ def main() -> None:
               f"-- {finding.message}")
     assert not lint.clean, "the seeded bug's smell should be flagged"
 
+    print("\n== step 1b: what `repro analyze` knows about the goal ==")
+    goal = extract_goal(module, report)
+    document = analysis_document(module, goals={"tac-crash": goal.targets})
+    summary = document["summaries"]["functions"]["main"]
+    print(f"   main summary: mods={summary['mods']} ret={summary['ret']}")
+    section = document["goals"][0]
+    reach_blocks = sum(len(v) for v in section["reach"]["blocks"].values())
+    print(f"   goal {section['targets']}: {reach_blocks} block(s) can still "
+          f"reach it; necessary conditions per block:")
+    for func, blocks in section["necessary_conditions"]["conditions"].items():
+        for label, cond in sorted(blocks.items()):
+            print(f"      {func}:{label}: {cond}")
+
     print("\n== step 2: synthesize with static pruning ==")
     solver = Solver()
     config = ESDConfig(
@@ -49,6 +64,10 @@ def main() -> None:
     print(f"   reproduced {result.execution_file.bug_kind} with "
           f"{solver.stats.queries} solver queries "
           f"({solver.stats.static_answers} probes answered statically)")
+    if result.static_prune is not None:
+        print(f"   goal-directed layer: {result.static_prune.checks} wp "
+              f"checks, {result.static_prune.state_kills} state(s) killed, "
+              f"{result.states_pruned} dropped at INF distance")
 
     print("\n== step 3: repair, guided by the crash slice ==")
     session = ReproSession.from_source(workload.source, "tac", config=config)

@@ -1,7 +1,8 @@
 """Static analyses: CFG, call graph, reaching definitions, critical edges,
 intermediate goals, the Algorithm-1 proximity heuristic, the abstract
 interpreter, the concurrency (lockset/lock-order) analysis, crash-site
-backward slicing, and the IR lint pass."""
+backward slicing, compositional function summaries, goal-directed
+reachability with necessary-precondition inference, and the IR lint pass."""
 
 from .absint import Finding, ModuleFacts, analyze_module
 from .cfg import (
@@ -19,7 +20,13 @@ from .critical import (
     find_intermediate_goals,
 )
 from .dataflow import DataflowProblem, Solution, solve
-from .distance import INF, RECURSION_COST, DistanceCalculator
+from .distance import (
+    INF,
+    RECURSION_COST,
+    DistanceCalculator,
+    DistanceSource,
+    GoalGatedDistances,
+)
 from .lint import LINT_FORMAT, LINT_SCHEMA_VERSION, LintReport, lint_module
 from .locks import ConcurrencyFacts, LockOrderEdge, analyze_locks
 from .reachdefs import (
@@ -29,13 +36,21 @@ from .reachdefs import (
     local_address_regs,
     store_target,
 )
+from .reach import GoalReach, compute_reach
 from .reconstruct import ReconstructedCondition, reconstruct_condition
 from .slice import ProgramSlice, slice_for_report, slice_from
+from .summaries import FunctionSummary, ModuleSummaries, summarize_module
 from .summary import (
     ANALYSIS_FORMAT,
     ANALYSIS_SCHEMA_VERSION,
     analysis_document,
     check_analysis_document,
+)
+from .wp import (
+    FALSE,
+    NecessaryConditions,
+    StaticPruneStats,
+    compute_necessary_conditions,
 )
 
 __all__ = [
@@ -49,7 +64,12 @@ __all__ = [
     "DataflowProblem",
     "Definition",
     "DistanceCalculator",
+    "DistanceSource",
+    "FALSE",
     "Finding",
+    "FunctionSummary",
+    "GoalGatedDistances",
+    "GoalReach",
     "INF",
     "IntermediateGoal",
     "LINT_FORMAT",
@@ -57,11 +77,14 @@ __all__ = [
     "LintReport",
     "LockOrderEdge",
     "ModuleFacts",
+    "ModuleSummaries",
+    "NecessaryConditions",
     "ProgramSlice",
     "ReachingDefs",
     "ReconstructedCondition",
     "RECURSION_COST",
     "Solution",
+    "StaticPruneStats",
     "address_taken_functions",
     "analysis_document",
     "analyze_locks",
@@ -69,6 +92,8 @@ __all__ = [
     "build_call_graph",
     "check_analysis_document",
     "collect_global_definitions",
+    "compute_necessary_conditions",
+    "compute_reach",
     "find_critical_edges",
     "find_intermediate_goals",
     "lint_module",
@@ -79,4 +104,5 @@ __all__ = [
     "slice_from",
     "solve",
     "store_target",
+    "summarize_module",
 ]

@@ -536,6 +536,11 @@ class ModuleFacts:
     unreachable: Dict[str, FrozenSet[str]] = field(default_factory=dict)
     findings: List[Finding] = field(default_factory=list)
     block_facts: Dict[str, Dict[str, Dict[str, str]]] = field(default_factory=dict)
+    # Per-function return-value intervals (empty interval = never returns a
+    # scalar).  Exported only when ``pruning_sound``: mid-fixpoint summaries
+    # are under-approximations and thread interference breaks the global
+    # reasoning they rest on.  Consumed by :mod:`.summaries`.
+    ret_intervals: Dict[str, Interval] = field(default_factory=dict)
 
     @property
     def pruning_sound(self) -> bool:
@@ -561,6 +566,10 @@ class ModuleFacts:
             },
             "findings": [f.to_dict() for f in self.findings],
             "block_facts": self.block_facts,
+            "ret_intervals": {
+                name: [iv.lo, iv.hi]
+                for name, iv in sorted(self.ret_intervals.items())
+            },
         }
 
 
@@ -1360,6 +1369,9 @@ class _Analyzer:
             facts.branch_facts = dict(recorder.branch_facts)
             facts.access_safe = frozenset(recorder.access_safe)
             facts.nonzero_divisors = frozenset(recorder.nonzero_divisors)
+            facts.ret_intervals = {
+                name: self.summaries[name].ret.num for name in order
+            }
         return facts
 
     def _collect(self, func: ir.Function, solution: Solution[Env]) -> None:

@@ -21,7 +21,7 @@ from .. import ir
 from ..ir import InstrRef
 from ..solver import Solver
 from ..solver.expr import Atom, Var, binop, negate, truthy
-from .absint import decide_pinned
+from .absint import analyze_module, decide_pinned
 from .cfg import CFG
 from .reachdefs import Definition, ReachingDefs, VarId
 from .reconstruct import reconstruct_condition
@@ -111,9 +111,13 @@ def find_intermediate_goals(
 
     With ``static_eval`` on, pinned-constant feasibility probes that the
     abstract interpreter's constant domain can decide are answered without
-    the solver (counted in ``solver.stats.static_answers``).  The decision
-    procedure only answers when its verdict is provably the solver's, so
-    the goal set -- and everything downstream -- is identical either way.
+    the solver (counted in ``solver.stats.static_answers``), and -- when
+    the facts are ``pruning_sound`` -- definitions in blocks the abstract
+    interpreter proved unreachable are not offered as alternatives (a
+    store that can never execute can never satisfy the edge).  The pinned
+    decision procedure only answers when its verdict is provably the
+    solver's; the dead-definition filter can shrink the goal set, which is
+    why callers memoize per flag value.
     """
     solver = solver or Solver()
     goals: list[IntermediateGoal] = []
@@ -161,6 +165,11 @@ def _direct_intermediate_goals(
     edges = find_critical_edges(module, goal)
     goals: list[IntermediateGoal] = []
     reachdefs = ReachingDefs(module, goal.function)
+    dead_blocks: dict[str, frozenset[str]] = {}
+    if static_eval:
+        facts = analyze_module(module)
+        if facts.pruning_sound:
+            dead_blocks = dict(facts.unreachable)
 
     for edge in edges:
         block = module.functions[goal.function].blocks[edge.branch.block]
@@ -187,7 +196,9 @@ def _direct_intermediate_goals(
                 solver, required, var, initial, static_eval
             ):
                 continue  # no store needed for this variable
-            alternatives = _qualifying_blocks(solver, required, var, defs, static_eval)
+            alternatives = _qualifying_blocks(
+                solver, required, var, defs, static_eval, dead_blocks
+            )
             if alternatives:
                 goals.append(
                     IntermediateGoal(tuple(sorted(alternatives)), _var_label(var_id), edge)
@@ -201,9 +212,14 @@ def _qualifying_blocks(
     var: Var,
     defs: set[Definition],
     static_eval: bool = False,
+    dead_blocks: dict[str, frozenset[str]] | None = None,
 ) -> set[InstrRef]:
     blocks: set[InstrRef] = set()
     for definition in defs:
+        if dead_blocks and definition.ref.block in dead_blocks.get(
+            definition.ref.function, frozenset()
+        ):
+            continue  # the defining block provably never executes
         constant = definition.constant
         if constant is None:
             qualifies = True  # statically unknown value: cannot exclude

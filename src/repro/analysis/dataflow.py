@@ -71,11 +71,23 @@ class DataflowProblem(Generic[F]):
         return bool(a == b)
 
     def edge_fact(self, src: str, dst: str, fact: F) -> Optional[F]:
-        """Refine ``fact`` along the edge ``src -> dst`` (forward only).
+        """Refine ``fact`` along the edge ``src -> dst``.
 
+        Forward, ``fact`` is ``src``'s out-fact flowing into ``dst``;
+        backward, it is ``dst``'s in-fact flowing into ``src``'s out join.
         Return ``None`` to declare the edge statically infeasible.
         """
         return fact
+
+    def extra_seeds(self) -> Sequence[str]:
+        """Extra worklist seeds for backward problems.
+
+        Backward solving normally starts at exit blocks; a problem whose
+        interesting facts originate mid-CFG (e.g. necessary-precondition
+        inference seeding at goal sites) lists those blocks here so regions
+        with no path to an exit -- infinite loops -- are still processed.
+        """
+        return ()
 
 
 @dataclass(slots=True)
@@ -226,8 +238,12 @@ def _solve_backward(cfg: CFG, problem: DataflowProblem[F]) -> Solution[F]:
     out_facts: Dict[str, F] = {}   # fact *after* the block, in forward order
     in_facts: Dict[str, F] = {}    # fact *before* the block (the result)
     visits: Dict[str, int] = {}
-    worklist: List[str] = list(exits)
-    queued: Set[str] = set(exits)
+    seeds = list(exits) + [
+        label for label in problem.extra_seeds()
+        if label in cfg.function.blocks and label not in set(exits)
+    ]
+    worklist: List[str] = list(seeds)
+    queued: Set[str] = set(seeds)
     exit_set = set(exits)
 
     while worklist:
@@ -242,7 +258,9 @@ def _solve_backward(cfg: CFG, problem: DataflowProblem[F]) -> Solution[F]:
             incoming.append(problem.boundary())
         for succ in cfg.succs.get(label, ()):
             if succ in in_facts:
-                incoming.append(in_facts[succ])
+                refined = problem.edge_fact(label, succ, in_facts[succ])
+                if refined is not None:
+                    incoming.append(refined)
         new_out = problem.join(incoming) if incoming else problem.bottom()
         if visits[label] > problem.widen_after and label in out_facts:
             new_out = problem.widen(out_facts[label], new_out, visits[label])

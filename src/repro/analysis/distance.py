@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import FrozenSet, Protocol
 
 from .. import ir
 from ..ir import InstrRef
@@ -40,6 +41,17 @@ SYSCALL_COST = 1  # intrinsics model environment calls
 # it is simply dropped -- entries are cheap to recompute from the persistent
 # goal tables.
 STATE_CACHE_LIMIT = 200_000
+
+
+class DistanceSource(Protocol):
+    """What a searcher needs from a distance provider -- satisfied both by
+    :class:`DistanceCalculator` and by goal-gated wrappers around it."""
+
+    def instruction_distance(self, ref: InstrRef, goal: InstrRef) -> float:
+        ...
+
+    def state_distance(self, frames: list[InstrRef], goal: InstrRef) -> float:
+        ...
 
 
 @dataclass(slots=True)
@@ -323,6 +335,58 @@ class _GoalTable:
             for succ in block.terminator.successors():
                 succ_dist = self.block_dist.get((ref.function, succ), INF)
                 best = min(best, tail + succ_dist)
+        return best
+
+
+class GoalGatedDistances:
+    """A :class:`DistanceSource` that scores provably-dead positions INF.
+
+    Wraps the syntactic :class:`DistanceCalculator` with a goal-directed
+    reach set (:class:`repro.analysis.reach.GoalReach`): a frame positioned
+    in a ``(function, block)`` node outside the set cannot reach the goal
+    without first returning, so its per-frame distance is ``INF``.  The
+    Algorithm-1 stack walk is unchanged -- outer frames still contribute
+    through their own (gated) positions, and ``dist2ret`` stays ungated
+    because returning is exactly the escape the reach set does not cover.
+
+    The searcher then drops states whose *every* frame is outside the set
+    (their distance is INF), which is the proximity-heuristic face of the
+    same soundness argument the executor's necessary-condition check uses.
+    """
+
+    __slots__ = ("base", "reach_blocks", "_state_cache")
+
+    def __init__(
+        self,
+        base: DistanceCalculator,
+        reach_blocks: FrozenSet[tuple[str, str]],
+    ) -> None:
+        self.base = base
+        self.reach_blocks = reach_blocks
+        self._state_cache: dict[tuple, float] = {}
+
+    def instruction_distance(self, ref: InstrRef, goal: InstrRef) -> float:
+        if (ref.function, ref.block) not in self.reach_blocks:
+            return INF
+        return self.base.instruction_distance(ref, goal)
+
+    def state_distance(self, frames: list[InstrRef], goal: InstrRef) -> float:
+        if not frames:
+            return INF
+        key = (tuple(frames), goal)
+        cached = self._state_cache.get(key)
+        if cached is not None:
+            return cached
+        best = self.instruction_distance(frames[0], goal)
+        acc = self.base.dist2ret(frames[0]) + 1
+        for resume in frames[1:]:
+            if acc == INF:
+                break
+            best = min(best, acc + self.instruction_distance(resume, goal))
+            acc += self.base.dist2ret(resume) + 1
+        if len(self._state_cache) >= STATE_CACHE_LIMIT:
+            self._state_cache.clear()
+        self._state_cache[key] = best
         return best
 
 

@@ -11,6 +11,18 @@
 * **unreachable-block** -- a basic block no terminator path from the
   function entry can reach;
 
+-- plus two whole-module checks over the call graph / summary layer --
+
+* **call-to-unreachable-function** -- a direct call whose callee the
+  whole-module call graph proves unreachable from ``main`` (the call site
+  necessarily sits in dead code itself, so it can never execute);
+* **dead-parameter** -- a declared parameter whose value can never be
+  observed: its spill slot is never read and its address never escapes,
+  and no call site feeds it anything but constants (so it is vestigial
+  end to end, not an API-symmetry placeholder).  Skipped for ``main``,
+  address-taken functions, thread start routines (signatures fixed by
+  convention), and parameters named as intentionally unused;
+
 -- and merges them with the findings the two deep analyses already computed:
 the abstract interpreter's ``possible-oob`` / ``possible-null-deref`` /
 ``free-of-non-heap`` (:mod:`repro.analysis.absint`) and the concurrency
@@ -31,7 +43,7 @@ from typing import Dict, List, Optional
 from .. import ir
 from ..schema import check_schema_version
 from .absint import Finding, analyze_module
-from .cfg import CFG
+from .cfg import CFG, build_call_graph, reachable_functions
 from .locks import analyze_locks
 from .reachdefs import ReachingDefs, local_address_regs
 
@@ -50,6 +62,8 @@ RULES = (
     "use-before-def",
     "dead-store",
     "unreachable-block",
+    "call-to-unreachable-function",
+    "dead-parameter",
 )
 
 
@@ -111,6 +125,7 @@ def lint_module(module: ir.Module) -> LintReport:
     findings: List[Finding] = []
     findings.extend(analyze_module(module).findings)
     findings.extend(analyze_locks(module).findings)
+    findings.extend(_summary_findings(module))
     for func in module.functions.values():
         findings.extend(_hygiene_findings(module, func))
     order = {rule: index for index, rule in enumerate(RULES)}
@@ -238,3 +253,119 @@ def _dead_stores(
                 ))
             pending[name] = (index, instr)
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Summary-layer rules (whole-module call graph)
+# ---------------------------------------------------------------------------
+
+
+def _summary_findings(module: ir.Module) -> List[Finding]:
+    """Rules that need the whole-module call graph, not one function."""
+    if "main" not in module.functions:
+        return []  # a library module: every function is a potential root
+    graph = build_call_graph(module)
+    live = reachable_functions(module, graph, "main")
+    findings: List[Finding] = []
+    for func in module.functions.values():
+        for ref, instr in func.iter_instructions():
+            if not (isinstance(instr, ir.Call)
+                    and isinstance(instr.callee, ir.FuncRef)):
+                continue
+            target = instr.callee.name
+            if target in module.functions and target not in live:
+                findings.append(Finding(
+                    rule="call-to-unreachable-function",
+                    function=func.name,
+                    line=instr.line,
+                    ref=ref,
+                    message=(
+                        f"call to {target!r} can never execute: "
+                        f"{target!r} is unreachable from 'main'"
+                    ),
+                ))
+    findings.extend(_dead_parameters(module, graph))
+    return findings
+
+
+def _dead_parameters(module: ir.Module, graph) -> List[Finding]:
+    address_taken = {
+        name for names in graph.address_taken.values() for name in names
+    }
+    thread_entries: set = set()
+    # func name -> set of parameter indices some call site feeds a live
+    # (non-constant) value.  Such a parameter documents real data flow --
+    # usually API symmetry, like a lock-release taking the same tid as the
+    # acquire -- so only parameters fed constants everywhere are vestigial.
+    live_args: Dict[str, set] = {}
+    for func in module.functions.values():
+        for _, instr in func.iter_instructions():
+            if (isinstance(instr, ir.ThreadCreate)
+                    and isinstance(instr.func, ir.FuncRef)):
+                thread_entries.add(instr.func.name)
+            elif (isinstance(instr, ir.Call)
+                    and isinstance(instr.callee, ir.FuncRef)):
+                for position, arg in enumerate(instr.args):
+                    if not isinstance(arg, ir.Const):
+                        live_args.setdefault(
+                            instr.callee.name, set()
+                        ).add(position)
+
+    findings: List[Finding] = []
+    for func in module.functions.values():
+        if not func.params or func.name == "main":
+            continue
+        if func.name in address_taken or func.name in thread_entries:
+            continue  # the signature is fixed by a calling convention
+        addr_regs = local_address_regs(func)
+        private = _private_scalars(func, addr_regs)
+        for position, param in enumerate(func.params):
+            if param.startswith("_") or param == "unused":
+                continue  # named as intentionally unused
+            if position in live_args.get(func.name, ()):
+                continue  # a caller feeds it a computed value: deliberate
+            dead, line = _param_dead(func, param, addr_regs, private)
+            if dead:
+                entry = next(iter(func.blocks), "entry")
+                findings.append(Finding(
+                    rule="dead-parameter",
+                    function=func.name,
+                    line=line,
+                    ref=ir.InstrRef(func.name, entry, 0),
+                    message=f"parameter {param!r} is never read",
+                ))
+    return findings
+
+
+def _param_dead(
+    func: ir.Function,
+    param: str,
+    addr_regs: Dict[str, str],
+    private: frozenset,
+) -> tuple:
+    """``(dead, line)``: the parameter's value is provably unobservable.
+
+    The compiler spills every parameter into an alloca at entry, so the
+    spill store does not count as a use; the parameter is dead when that
+    store is its *only* use and the spill slot is itself never loaded
+    (and its address never escapes, so nothing else can read the cell).
+    """
+    line = 0
+    for _, instr in func.iter_instructions():
+        if any(isinstance(op, ir.Reg) and op.name == param
+               for op in instr.operands()):
+            if (isinstance(instr, ir.Store)
+                    and isinstance(instr.value, ir.Reg)
+                    and instr.value.name == param
+                    and isinstance(instr.addr, ir.Reg)
+                    and addr_regs.get(instr.addr.name) == param):
+                line = line or instr.line
+                continue  # the entry spill
+            return False, 0  # any other use observes the value
+        if (isinstance(instr, ir.Load)
+                and isinstance(instr.addr, ir.Reg)
+                and addr_regs.get(instr.addr.name) == param):
+            return False, 0  # the spill slot is read back
+    if param in addr_regs.values() and param not in private:
+        return False, 0  # the slot's address escapes: it may be read
+    return True, line

@@ -1,0 +1,159 @@
+"""Goal-directed may-reach sets over the statically pruned program graph.
+
+For a goal (a set of crash-site instruction refs), :func:`compute_reach`
+answers "from the start of which ``(function, block)`` nodes can execution
+possibly reach the goal?" -- the backward closure of the goal over
+intra-procedural CFG edges plus call-descent edges (a caller block reaches
+the goal when it contains a call site into a function whose entry reaches
+it).  The graph is pruned first with the abstract interpreter's facts: blocks
+it proved semantically dead and conditional-branch edges it proved never
+taken do not propagate reachability.
+
+The result over-approximates the syntactic relation the proximity heuristic
+(:mod:`.distance`) computes, *minus* the statically dead regions -- so a
+block outside the reach set provably cannot reach the goal without first
+returning from its function, and the searcher may score it ``INF``
+(:class:`repro.analysis.distance.GoalGatedDistances`) or the executor prune
+it (:mod:`.wp`), modulo the return-path escape both consumers check.
+
+Only meaningful when the abstract facts are ``pruning_sound``; callers gate
+on that (the facts' dead blocks/edges are themselves only sound then).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .. import ir
+from .absint import ModuleFacts, analyze_module
+from .cfg import CFG, CallGraph, build_call_graph
+
+
+@dataclass(frozen=True, slots=True)
+class GoalReach:
+    """May-reach closure of one goal over the pruned program graph."""
+
+    goal_refs: Tuple[ir.InstrRef, ...]
+    # (function, block) nodes from whose *entry* the goal may be reachable
+    # without returning out of ``function``.
+    blocks: FrozenSet[Tuple[str, str]]
+    functions: FrozenSet[str]
+
+    def block_may_reach(self, function: str, label: str) -> bool:
+        return (function, label) in self.blocks
+
+    def to_dict(self) -> Dict[str, object]:
+        per_function: Dict[str, List[str]] = {}
+        for function, label in self.blocks:
+            per_function.setdefault(function, []).append(label)
+        return {
+            "goal": [repr(ref) for ref in self.goal_refs],
+            "blocks": {
+                function: sorted(labels)
+                for function, labels in sorted(per_function.items())
+            },
+            "functions": sorted(self.functions),
+        }
+
+
+def _dead_edges(
+    module: ir.Module, facts: ModuleFacts
+) -> Dict[Tuple[str, str], str]:
+    """(func, block) -> the one successor a decided CondBr can never take."""
+    dead: Dict[Tuple[str, str], str] = {}
+    for ref, side in facts.branch_facts.items():
+        func = module.functions.get(ref.function)
+        if func is None:
+            continue
+        block = func.blocks.get(ref.block)
+        if block is None or not isinstance(block.terminator, ir.CondBr):
+            continue
+        term = block.terminator
+        if term.then_target == term.else_target:
+            continue
+        dead[(ref.function, ref.block)] = (
+            term.else_target if side == "then" else term.then_target
+        )
+    return dead
+
+
+def compute_reach(
+    module: ir.Module,
+    goal_refs: Sequence[ir.InstrRef],
+    facts: Optional[ModuleFacts] = None,
+    callgraph: Optional[CallGraph] = None,
+) -> GoalReach:
+    """Backward may-reach closure of ``goal_refs`` with absint pruning."""
+    if facts is None:
+        facts = analyze_module(module)
+    if callgraph is None:
+        callgraph = build_call_graph(module)
+    # Dead blocks/edges are only trustworthy from a converged single-threaded
+    # run; otherwise fall back to the purely syntactic closure.
+    if facts.pruning_sound:
+        dead_blocks = facts.unreachable
+        dead_edges = _dead_edges(module, facts)
+    else:
+        dead_blocks = {}
+        dead_edges = {}
+
+    cfgs = {name: CFG(func) for name, func in module.functions.items()}
+
+    def alive(function: str, label: str) -> bool:
+        return label not in dead_blocks.get(function, frozenset())
+
+    # Reverse call-descent edges: callee -> caller blocks with a site on it.
+    sites_of: Dict[str, List[Tuple[str, str]]] = {}
+    for (caller, label), sites in callgraph.sites_by_block.items():
+        for site in sites:
+            for target in site.targets:
+                if target in module.functions:
+                    sites_of.setdefault(target, []).append((caller, label))
+
+    reached: Set[Tuple[str, str]] = set()
+    worklist: List[Tuple[str, str]] = []
+    for ref in goal_refs:
+        if ref.function not in module.functions:
+            continue
+        node = (ref.function, ref.block)
+        if alive(*node) and node not in reached:
+            reached.add(node)
+            worklist.append(node)
+    if not reached and goal_refs:
+        # The goal sits in a block the interpreter called dead -- a crash
+        # report contradicting the analysis.  Trust the report: fall back to
+        # the unpruned syntactic closure rather than declaring everything
+        # unreachable.
+        dead_blocks = {}
+        dead_edges = {}
+        for ref in goal_refs:
+            if ref.function not in module.functions:
+                continue
+            node = (ref.function, ref.block)
+            if node not in reached:
+                reached.add(node)
+                worklist.append(node)
+
+    while worklist:
+        function, label = worklist.pop()
+        for pred in cfgs[function].preds.get(label, ()):
+            if not alive(function, pred):
+                continue
+            if dead_edges.get((function, pred)) == label:
+                continue
+            node = (function, pred)
+            if node not in reached:
+                reached.add(node)
+                worklist.append(node)
+        if label == module.functions[function].entry:
+            for node in sites_of.get(function, ()):
+                if alive(*node) and node not in reached:
+                    reached.add(node)
+                    worklist.append(node)
+
+    return GoalReach(
+        goal_refs=tuple(goal_refs),
+        blocks=frozenset(reached),
+        functions=frozenset(function for function, _ in reached),
+    )

@@ -14,8 +14,13 @@ chasing two dependence kinds backward from the criterion:
 Interprocedurally the slicer is calling-context closed: touching any
 instruction of a function pulls in that function's direct call sites (so the
 slice explains *how execution got there*), a used parameter pulls in the
-argument computations at those call sites, and a used call result pulls in
-the callee's return statements.
+argument computations at those call sites, and a *used* call result pulls in
+the callee's return statements (a call whose result is ignored influences
+the caller only through memory, which the root analysis covers).  Call
+effects on memory use the compositional mod/ref summaries
+(:mod:`.summaries`): a load from a global also depends on the indirect
+stores of exactly those functions whose summary says they may write it,
+rather than every store through every escaped pointer in the module.
 
 The result feeds repair (:mod:`repro.repair`): template instantiation is
 restricted to slice members first, and slice membership is a prior added to
@@ -210,6 +215,10 @@ class _Slicer:
         # root -> refs of stores that may write through it (built lazily,
         # module-wide, one pass)
         self._stores_by_root: Optional[dict[Root, list[InstrRef]]] = None
+        # function -> refs of its stores through escaped (possibly global-
+        # aliasing) pointers; paired with mod summaries in _chase_root.
+        self._indirect_stores: Optional[dict[str, list[InstrRef]]] = None
+        self._summaries = None
         # callee -> direct call / thread-create sites
         self._call_sites: Optional[dict[str, list[InstrRef]]] = None
         self._sliced: set[InstrRef] = set()
@@ -374,8 +383,14 @@ class _Slicer:
             for root in self.value_roots(ref.function, instr.addr):
                 self._chase_root(root)
 
-        # A call in the slice depends on what the callee returns.
-        if isinstance(instr, ir.Call) and isinstance(instr.callee, ir.FuncRef):
+        # A call whose *result is used* depends on what the callee returns;
+        # with the result ignored the callee reaches the caller only through
+        # memory, which the root analysis (plus mod summaries) covers.
+        if (
+            isinstance(instr, ir.Call)
+            and instr.dst is not None
+            and isinstance(instr.callee, ir.FuncRef)
+        ):
             callee = instr.callee.name
             if callee in self.module.functions:
                 for ret_ref in self.info(callee).ret_refs:
@@ -394,12 +409,51 @@ class _Slicer:
             for site in self.call_sites(info.func.name):
                 self.add(site)
 
+    def indirect_store_sites(self) -> dict[str, list[InstrRef]]:
+        """Per function, its stores through pointers that may alias a global
+        (the stores a mod summary's ``writes_unknown`` is made of)."""
+        if self._indirect_stores is None:
+            from .summaries import global_unsafe_regs
+
+            index: dict[str, list[InstrRef]] = {}
+            for func in self.module.functions.values():
+                unsafe = global_unsafe_regs(func)
+                for ref, instr in func.iter_instructions():
+                    if not isinstance(instr, ir.Store):
+                        continue
+                    addr = instr.addr
+                    if isinstance(addr, ir.GlobalRef):
+                        continue  # direct: already indexed under its root
+                    if isinstance(addr, ir.Reg) and addr.name not in unsafe:
+                        continue  # provably local-only pointer
+                    index.setdefault(func.name, []).append(ref)
+            self._indirect_stores = index
+        return self._indirect_stores
+
+    def summaries(self):
+        if self._summaries is None:
+            from .summaries import summarize_module
+
+            self._summaries = summarize_module(self.module)
+        return self._summaries
+
     def _chase_root(self, root: Root) -> None:
         if root in self._roots_done:
             return
         self._roots_done.add(root)
         for store_ref in self.stores_by_root().get(root, ()):
             self.add(store_ref)
+        if root[0] == "global":
+            # Indirect writes: only functions whose mod summary says they
+            # may write this global contribute their escaped-pointer stores
+            # (the summaries are what keeps every other callee out).
+            name = root[1]
+            for func_name, refs in self.indirect_store_sites().items():
+                summary = self.summaries().functions.get(func_name)
+                if summary is None or name not in summary.mods:
+                    continue
+                for store_ref in refs:
+                    self.add(store_ref)
         if root[0] == "ret":
             # Loading through a returned pointer: stores into the callee's
             # returned object alias through the roots of its return values.

@@ -1,0 +1,327 @@
+"""Compositional per-function summaries, bottom-up over the call graph.
+
+Each function gets one :class:`FunctionSummary` -- the globals it (or any
+transitive callee) may write (``mods``) or read (``refs``), whether an
+indirect store makes its write effect unknowable (``writes_unknown``), the
+interval of values it may return (from the abstract interpreter's converged
+summaries), and the set of functions it may transitively call.  Summaries
+compose: a caller's effect is its own instructions' effect joined with its
+callees' summaries, so the whole module is summarized in one bottom-up pass
+over the call graph's strongly connected components (Tarjan; members of one
+SCC share the union of their effects).
+
+Unlike the abstract interpreter's internal write sets, stores through
+registers are classified by a per-function pointer-taint pass: an address
+computed only from local ``Alloc`` results can never alias a global, so
+stores through it do not touch the global state.  Anything else (parameters,
+loaded pointers, call results, ``GlobalRef`` arithmetic) conservatively may.
+
+Consumers: the backward necessary-precondition inference (:mod:`.wp`) uses
+``mods`` to kill conditions across calls, goal-directed reachability
+(:mod:`.reach`) uses the transitive callee sets, and the crash slicer uses
+``mods``/``refs`` to keep irrelevant callees out of slices.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .. import ir
+from ..solver.intervals import FULL, Interval
+from .absint import analyze_module
+from .cfg import CallGraph, build_call_graph
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSummary:
+    """The externally observable effect of one function, callees included."""
+
+    name: str
+    # Globals possibly written / read by the function or any transitive
+    # callee.  When ``writes_unknown`` holds, ``mods`` already contains
+    # every global (an indirect store could target any of them).
+    mods: FrozenSet[str]
+    refs: FrozenSet[str]
+    writes_unknown: bool
+    reads_unknown: bool
+    # Interval of scalar return values (``FULL`` when nothing is known;
+    # empty when the function never returns a scalar).
+    ret: Interval
+    # Functions transitively callable from this one (module functions only).
+    callees: FrozenSet[str]
+
+    def may_reach(self, func: str) -> bool:
+        """May execution entering this function reach ``func``'s body?"""
+        return func == self.name or func in self.callees
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mods": sorted(self.mods),
+            "refs": sorted(self.refs),
+            "writes_unknown": self.writes_unknown,
+            "reads_unknown": self.reads_unknown,
+            "ret": None if self.ret.empty else [self.ret.lo, self.ret.hi],
+            "callees": sorted(self.callees),
+        }
+
+
+@dataclass(slots=True)
+class ModuleSummaries:
+    """All function summaries for one module, plus call-graph structure."""
+
+    module_name: str
+    functions: Dict[str, FunctionSummary]
+    # Strongly connected components in bottom-up order: every SCC appears
+    # after all SCCs it calls into.
+    sccs: List[Tuple[str, ...]]
+    # Functions involved in recursion (non-trivial SCC or a self loop).
+    recursive: FrozenSet[str]
+    # Whether return intervals come from a converged, single-threaded
+    # abstract interpretation (otherwise they are FULL).
+    sound: bool
+
+    def may_reach(self, caller: str, target: str) -> bool:
+        summary = self.functions.get(caller)
+        return summary is not None and summary.may_reach(target)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module_name,
+            "sound": self.sound,
+            "sccs": [list(scc) for scc in self.sccs],
+            "recursive": sorted(self.recursive),
+            "functions": {
+                name: summary.to_dict()
+                for name, summary in sorted(self.functions.items())
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Pointer taint: which address registers may alias a global
+# ---------------------------------------------------------------------------
+
+
+def _value_may_alias_global(value: ir.Value, unsafe: Set[str]) -> bool:
+    if isinstance(value, ir.Reg):
+        return value.name in unsafe
+    if isinstance(value, ir.Const):
+        return False
+    # GlobalRef, FuncRef, Hole, anything else: treat as possibly global.
+    return True
+
+
+def global_unsafe_regs(func: ir.Function) -> Set[str]:
+    """Registers that may hold a pointer into a global.
+
+    A register derived only from local ``Alloc`` results (through ``Gep`` /
+    ``Assign`` chains) can never alias a global; everything else --
+    parameters, loaded values, call results, ``GlobalRef`` arithmetic --
+    conservatively may.
+    """
+    unsafe: Set[str] = set(func.params)
+    changed = True
+    while changed:
+        changed = False
+        for _, instr in func.iter_instructions():
+            dst = instr.defined
+            if dst is None or dst in unsafe:
+                continue
+            if isinstance(instr, ir.Alloc):
+                risky = False
+            elif isinstance(instr, ir.Gep):
+                risky = _value_may_alias_global(instr.base, unsafe)
+            elif isinstance(instr, ir.Assign):
+                risky = _value_may_alias_global(instr.src, unsafe)
+            else:
+                # Load / Call / BinOp / Intrinsic / ThreadJoin results.
+                risky = True
+            if risky:
+                unsafe.add(dst)
+                changed = True
+    return unsafe
+
+
+# ---------------------------------------------------------------------------
+# Direct (intraprocedural) effects
+# ---------------------------------------------------------------------------
+
+
+def _direct_effects(
+    module: ir.Module, func: ir.Function
+) -> Tuple[Set[str], Set[str], bool, bool]:
+    """(mods, refs, writes_unknown, reads_unknown) of ``func`` alone."""
+    all_globals = set(module.globals)
+    unsafe = global_unsafe_regs(func)
+    mods: Set[str] = set()
+    refs: Set[str] = set()
+    writes_unknown = False
+    reads_unknown = False
+    for _, instr in func.iter_instructions():
+        if isinstance(instr, ir.Store):
+            addr = instr.addr
+            if isinstance(addr, ir.GlobalRef):
+                mods.add(addr.name)
+            elif not (isinstance(addr, ir.Reg) and addr.name not in unsafe):
+                writes_unknown = True
+        elif isinstance(instr, ir.Load):
+            addr = instr.addr
+            if isinstance(addr, ir.GlobalRef):
+                refs.add(addr.name)
+            elif not (isinstance(addr, ir.Reg) and addr.name not in unsafe):
+                reads_unknown = True
+        elif isinstance(instr, ir.Intrinsic):
+            # Environment calls may fill caller-provided buffers, which can
+            # alias globals through escaped pointers.
+            if any(_value_may_alias_global(arg, unsafe) for arg in instr.args):
+                writes_unknown = True
+                reads_unknown = True
+    if writes_unknown:
+        mods = set(all_globals)
+    if reads_unknown:
+        refs = set(all_globals)
+    return mods, refs, writes_unknown, reads_unknown
+
+
+# ---------------------------------------------------------------------------
+# Tarjan SCCs (iterative) in bottom-up (callee-first) order
+# ---------------------------------------------------------------------------
+
+
+def _tarjan_sccs(
+    nodes: List[str], edges: Dict[str, Set[str]]
+) -> List[Tuple[str, ...]]:
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Tuple[str, ...]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(edges.get(node, ()))
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index:
+                    work[-1] = (node, position + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                members: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(members)))
+    # Tarjan emits an SCC only after every SCC reachable from it, so the
+    # emission order is already callee-first (bottom-up).
+    return sccs
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _build(module: ir.Module, callgraph: CallGraph) -> ModuleSummaries:
+    facts = analyze_module(module)
+    ret_intervals = facts.ret_intervals if facts.pruning_sound else {}
+    edges = {
+        name: {c for c in callgraph.callees.get(name, ()) if c in module.functions}
+        for name in module.functions
+    }
+    sccs = _tarjan_sccs(sorted(module.functions), edges)
+
+    recursive: Set[str] = set()
+    for scc in sccs:
+        if len(scc) > 1 or scc[0] in edges.get(scc[0], ()):
+            recursive.update(scc)
+
+    summaries: Dict[str, FunctionSummary] = {}
+    closures: Dict[str, FrozenSet[str]] = {}
+    for scc in sccs:
+        mods: Set[str] = set()
+        refs: Set[str] = set()
+        writes_unknown = False
+        reads_unknown = False
+        callees: Set[str] = set()
+        for name in scc:
+            d_mods, d_refs, d_wu, d_ru = _direct_effects(
+                module, module.functions[name]
+            )
+            mods |= d_mods
+            refs |= d_refs
+            writes_unknown |= d_wu
+            reads_unknown |= d_ru
+            for callee in edges.get(name, ()):
+                callees.add(callee)
+                if callee not in scc:
+                    callees |= closures[callee]
+                    below = summaries[callee]
+                    mods |= below.mods
+                    refs |= below.refs
+                    writes_unknown |= below.writes_unknown
+                    reads_unknown |= below.reads_unknown
+        if len(scc) > 1:
+            callees.update(scc)
+        closure = frozenset(callees)
+        for name in scc:
+            closures[name] = closure
+            summaries[name] = FunctionSummary(
+                name=name,
+                mods=frozenset(mods),
+                refs=frozenset(refs),
+                writes_unknown=writes_unknown,
+                reads_unknown=reads_unknown,
+                ret=ret_intervals.get(name, FULL),
+                callees=closure,
+            )
+
+    return ModuleSummaries(
+        module_name=module.name,
+        functions=summaries,
+        sccs=sccs,
+        recursive=frozenset(recursive),
+        sound=facts.pruning_sound,
+    )
+
+
+_memo: "weakref.WeakKeyDictionary[ir.Module, ModuleSummaries]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def summarize_module(module: ir.Module, *, cache: bool = True) -> ModuleSummaries:
+    """Build (memoized) compositional summaries for every function."""
+    if cache:
+        cached = _memo.get(module)
+        if cached is not None:
+            return cached
+    summaries = _build(module, build_call_graph(module))
+    if cache:
+        _memo[module] = summaries
+    return summaries

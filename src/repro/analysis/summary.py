@@ -3,16 +3,19 @@
 ``analysis_document`` aggregates everything the static pipeline computes --
 per-function CFGs, the call graph (with address-taken indirect-call
 approximation), the proximity heuristic's per-function call costs, the
-abstract interpreter's facts, and the lockset/lock-order concurrency facts
--- into one versioned ``esd-analysis-v1`` JSON document.  The CLI writes it
-for humans and CI; nothing in the synthesis pipeline consumes it, so the
-schema can grow freely (additive changes only; breaking changes bump the
-version, same policy as the execution-file artifact).
+abstract interpreter's facts, the lockset/lock-order concurrency facts,
+and the compositional function summaries -- into one versioned
+``esd-analysis-v1`` JSON document.  Passing ``goals`` adds one section per
+named goal: its may-reach closure and the per-block necessary-precondition
+table the backward inference derived (the facts the executor uses to prune).
+The CLI writes it for humans and CI; nothing in the synthesis pipeline
+consumes it, so the schema can grow freely (additive changes only; breaking
+changes bump the version, same policy as the execution-file artifact).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Mapping, Optional, Sequence
 
 from .. import ir
 from ..schema import SchemaVersionError, check_schema_version
@@ -20,17 +23,24 @@ from .absint import analyze_module
 from .cfg import CFG, build_call_graph, reachable_functions
 from .distance import INF, DistanceCalculator
 from .locks import analyze_locks
+from .reach import compute_reach
+from .summaries import summarize_module
+from .wp import compute_necessary_conditions
 
 ANALYSIS_FORMAT = "esd-analysis-v1"
 ANALYSIS_SCHEMA_VERSION = 1
 
 
-def analysis_document(module: ir.Module) -> Dict[str, object]:
+def analysis_document(
+    module: ir.Module,
+    goals: Optional[Mapping[str, Sequence[ir.InstrRef]]] = None,
+) -> Dict[str, object]:
     """The full static-analysis dump for one compiled module."""
     callgraph = build_call_graph(module)
     distances = DistanceCalculator(module)
     absint = analyze_module(module)
     concurrency = analyze_locks(module)
+    summaries = summarize_module(module)
 
     functions: Dict[str, object] = {}
     for name, func in module.functions.items():
@@ -54,7 +64,7 @@ def analysis_document(module: ir.Module) -> Dict[str, object]:
             "call_cost": None if cost >= INF else cost,
         }
 
-    return {
+    document: Dict[str, object] = {
         "format": ANALYSIS_FORMAT,
         "schema_version": ANALYSIS_SCHEMA_VERSION,
         "program": module.name,
@@ -74,6 +84,29 @@ def analysis_document(module: ir.Module) -> Dict[str, object]:
         },
         "absint": absint.to_dict(),
         "concurrency": concurrency.to_dict(),
+        "summaries": summaries.to_dict(),
+    }
+    if goals:
+        document["goals"] = [
+            _goal_section(module, name, tuple(refs), absint, summaries,
+                          callgraph)
+            for name, refs in goals.items()
+        ]
+    return document
+
+
+def _goal_section(module, name, refs, absint, summaries, callgraph):
+    reach = compute_reach(module, list(refs), facts=absint,
+                          callgraph=callgraph)
+    conditions = compute_necessary_conditions(
+        module, refs, facts=absint, summaries=summaries, reach=reach,
+        callgraph=callgraph,
+    )
+    return {
+        "name": name,
+        "targets": [repr(ref) for ref in refs],
+        "reach": reach.to_dict(),
+        "necessary_conditions": conditions.to_dict(),
     }
 
 
@@ -85,4 +118,31 @@ def check_analysis_document(data: Dict[str, object]) -> int:
             f"not an analysis document: format {data.get('format')!r} "
             f"(expected {ANALYSIS_FORMAT!r})"
         )
-    return check_schema_version(data, ANALYSIS_SCHEMA_VERSION, "analysis document")
+    version = check_schema_version(
+        data, ANALYSIS_SCHEMA_VERSION, "analysis document"
+    )
+    # Additive v1 sections: absent in older documents, but when present
+    # they must have the documented shape.
+    summaries = data.get("summaries")
+    if summaries is not None:
+        if not isinstance(summaries, dict) or "functions" not in summaries:
+            raise SchemaVersionError(
+                "malformed analysis document: 'summaries' has no 'functions'"
+            )
+    goals = data.get("goals", [])
+    if not isinstance(goals, list):
+        raise SchemaVersionError(
+            "malformed analysis document: 'goals' is not a list"
+        )
+    for goal in goals:
+        if not isinstance(goal, dict):
+            raise SchemaVersionError(
+                "malformed analysis document: goal section is not an object"
+            )
+        missing = {"name", "targets", "reach", "necessary_conditions"} - set(goal)
+        if missing:
+            raise SchemaVersionError(
+                "malformed analysis document: goal section missing "
+                + ", ".join(sorted(missing))
+            )
+    return version

@@ -1,0 +1,696 @@
+"""Backward necessary-precondition inference from goal sites.
+
+For every block of every function that may reach the goal, compute a
+condition any goal-reaching execution must satisfy *at that block's entry*
+(before returning out of the function -- the interprocedural "return then
+reach the goal from the caller" escape is the consumer's job to check, see
+:meth:`NecessaryConditions.condition_at` and the executor's reach-escape
+test).  A condition is a conjunction of interval constraints over the
+stable memory cells the IR can track syntactically -- size-1 globals and
+non-escaping scalar stack locals -- or the sentinel :data:`FALSE` ("no
+execution from here reaches the goal").
+
+The inference is the generic backward dataflow (:mod:`.dataflow`) with:
+
+* **seeds** at goal sites (condition ``TRUE``) and at call sites into
+  functions that may reach the goal (the callee's entry condition,
+  restricted to globals) -- interprocedural propagation is bottom-up over
+  the call graph using :mod:`.summaries`;
+* **join** = disjunction over goal-reaching paths, over-approximated as
+  key-intersection with interval hull (``FALSE`` is the identity);
+* **transfer** = backward kill/discharge per instruction: a store of a
+  constant inside the condition's interval *discharges* the key, a store
+  of a constant outside it makes the path ``FALSE``, any other write to
+  the key (including calls that may write the global, per the callee's
+  mod summary) drops the key;
+* **edge refinement** = conditional branches whose condition traces to an
+  unclobbered load of a tracked cell against a constant constrain the key
+  along each edge (the same syntactic discipline the abstract interpreter
+  uses), and absint-decided dead edges propagate nothing.
+
+Soundness: every transfer/join weakens toward ``TRUE``, so the least
+fixpoint over-approximates the exact necessary condition.  The solver's
+visit cap can stop *before* a fixpoint, which would be unsound here, so a
+verification pass re-applies every equation once and discards a function's
+conditions unless the solution is a genuine post-fixpoint.  Consumers must
+additionally gate on ``ModuleFacts.pruning_sound`` (thread interference
+invalidates the sequential reasoning, exactly as for absint's facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from .. import ir
+from ..solver.intervals import FULL, HI_MAX, LO_MIN, Interval
+from .absint import ModuleFacts, _tracked_locals, analyze_module
+from .cfg import CFG, CallGraph, build_call_graph
+from .dataflow import BACKWARD, DataflowProblem, Solution, solve
+from .reach import GoalReach, _dead_edges, compute_reach
+from .summaries import (
+    ModuleSummaries,
+    _value_may_alias_global,
+    global_unsafe_regs,
+    summarize_module,
+)
+
+# One tracked memory cell: ('global', '', name) or ('local', func, alloc_reg).
+VarKey = Tuple[str, str, str]
+
+
+class _FalseCond:
+    """Sentinel: no execution from this point reaches the goal."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+FALSE = _FalseCond()
+
+# A necessary condition: FALSE, or a conjunction {cell: allowed interval}.
+# The empty dict is TRUE (no information).
+Cond = Union[_FalseCond, Dict[VarKey, Interval]]
+
+
+def cond_join(conds: Sequence[Cond]) -> Cond:
+    """Disjunction, over-approximated: common keys, interval hulls."""
+    real = [c for c in conds if not isinstance(c, _FalseCond)]
+    if not real:
+        return FALSE
+    keys = set(real[0])
+    for cond in real[1:]:
+        keys &= set(cond)
+    out: Dict[VarKey, Interval] = {}
+    for key in keys:
+        hull = real[0][key]
+        for cond in real[1:]:
+            hull = hull.union(cond[key])
+        if hull != FULL:
+            out[key] = hull
+    return out
+
+
+def cond_and_key(cond: Cond, key: VarKey, interval: Interval) -> Cond:
+    """Conjoin one interval constraint; FALSE when it contradicts."""
+    if isinstance(cond, _FalseCond):
+        return cond
+    current = cond.get(key, FULL)
+    refined = current.intersect(interval)
+    if refined.empty:
+        return FALSE
+    out = dict(cond)
+    out[key] = refined
+    return out
+
+
+def cond_widen(old: Cond, new: Cond) -> Cond:
+    """Extrapolate: keep shared keys, jump growing bounds to the extremes."""
+    if isinstance(old, _FalseCond):
+        return new
+    if isinstance(new, _FalseCond):
+        return old
+    out: Dict[VarKey, Interval] = {}
+    for key, new_iv in new.items():
+        old_iv = old.get(key)
+        if old_iv is None:
+            continue
+        lo = new_iv.lo if new_iv.lo >= old_iv.lo else LO_MIN
+        hi = new_iv.hi if new_iv.hi <= old_iv.hi else HI_MAX
+        if lo == LO_MIN and hi == HI_MAX:
+            continue
+        out[key] = Interval(lo, hi)
+    return out
+
+
+def cond_equal(a: Cond, b: Cond) -> bool:
+    if isinstance(a, _FalseCond) or isinstance(b, _FalseCond):
+        return a is b
+    return a == b
+
+
+def cond_implied_by(strong: Cond, weak: Cond) -> bool:
+    """Is ``weak`` implied by ``strong`` (strong's executions ⊆ weak's)?"""
+    if isinstance(strong, _FalseCond):
+        return True
+    if isinstance(weak, _FalseCond):
+        return False
+    for key, weak_iv in weak.items():
+        strong_iv = strong.get(key)
+        if strong_iv is None:
+            return False
+        refined = strong_iv.intersect(weak_iv)
+        if refined != strong_iv:
+            return False
+    return True
+
+
+def _globals_only(cond: Cond) -> Cond:
+    if isinstance(cond, _FalseCond):
+        return cond
+    return {key: iv for key, iv in cond.items() if key[0] == "global"}
+
+
+def _drop_globals(cond: Cond) -> Cond:
+    if isinstance(cond, _FalseCond):
+        return cond
+    out = {key: iv for key, iv in cond.items() if key[0] != "global"}
+    return out if len(out) != len(cond) else cond
+
+
+def _render_cond(cond: Cond) -> object:
+    if isinstance(cond, _FalseCond):
+        return False
+    if not cond:
+        return True
+    return {
+        (f"@{name}" if kind == "global" else f"{func}:{name}"):
+            [iv.lo, iv.hi]
+        for (kind, func, name), iv in sorted(cond.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# Branch-condition tracing (syntactic, absint's unclobbered-load discipline)
+# ---------------------------------------------------------------------------
+
+_CMP_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+_NEGATED = {
+    "==": "!=", "!=": "==", "<": ">=", ">=": "<", ">": "<=", "<=": ">",
+    "truthy": "falsy", "falsy": "truthy",
+}
+_SWAPPED = {"==": "==", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _edge_interval(op: str, const: int, then_edge: bool) -> Optional[Interval]:
+    """Allowed interval for the traced cell along one CondBr edge."""
+    if not then_edge:
+        op = _NEGATED[op]
+    if op == "==":
+        return Interval(const, const)
+    if op == "<":
+        return Interval(LO_MIN, const - 1)
+    if op == "<=":
+        return Interval(LO_MIN, const)
+    if op == ">":
+        return Interval(const + 1, HI_MAX)
+    if op == ">=":
+        return Interval(const, HI_MAX)
+    if op == "falsy":
+        return Interval(0, 0)
+    return None  # '!=' / 'truthy': not a single interval
+
+
+class _FunctionContext:
+    """Per-function syntactic context shared by transfer and tracing."""
+
+    __slots__ = ("module", "func", "tracked", "unsafe")
+
+    def __init__(
+        self, module: ir.Module, func: ir.Function, unsafe: Set[str]
+    ) -> None:
+        self.module = module
+        self.func = func
+        self.tracked: Dict[str, str] = _tracked_locals(func)
+        self.unsafe = unsafe
+
+    def load_key(self, instr: ir.Load) -> Optional[VarKey]:
+        addr = instr.addr
+        if isinstance(addr, ir.GlobalRef):
+            var = self.module.globals.get(addr.name)
+            if var is not None and var.size == 1:
+                return ("global", "", addr.name)
+            return None
+        if isinstance(addr, ir.Reg) and addr.name in self.tracked:
+            return ("local", self.func.name, addr.name)
+        return None
+
+    def store_key(self, instr: ir.Store) -> Optional[VarKey]:
+        addr = instr.addr
+        if isinstance(addr, ir.GlobalRef):
+            return ("global", "", addr.name)
+        if isinstance(addr, ir.Reg) and addr.name in self.tracked:
+            return ("local", self.func.name, addr.name)
+        return None
+
+    def clobbered(
+        self, block: ir.Block, start: int, key: VarKey
+    ) -> bool:
+        """May instructions [start, end of block) overwrite ``key``?"""
+        for index in range(start, len(block.instrs)):
+            instr = block.instrs[index]
+            if isinstance(instr, ir.Store):
+                skey = self.store_key(instr)
+                if skey == key:
+                    return True
+                if skey is None and key[0] == "global":
+                    addr = instr.addr
+                    safe_local = (
+                        isinstance(addr, ir.Reg)
+                        and addr.name not in self.unsafe
+                    )
+                    if not safe_local:
+                        return True
+            elif isinstance(
+                instr, (ir.Call, ir.Intrinsic, ir.ThreadCreate, *ir.SYNC_INSTRS)
+            ) and key[0] == "global":
+                return True
+        return False
+
+
+def _resolve_term(
+    ctx: _FunctionContext, block: ir.Block, upto: int, value: ir.Value
+) -> Union[VarKey, int, None]:
+    """Resolve a comparison operand to a constant or an unclobbered cell."""
+    for _ in range(32):
+        if isinstance(value, ir.Const):
+            return value.value if isinstance(value.value, int) else None
+        if not isinstance(value, ir.Reg):
+            return None
+        def_index = None
+        for index in range(upto - 1, -1, -1):
+            if block.instrs[index].defined == value.name:
+                def_index = index
+                break
+        if def_index is None:
+            return None
+        instr = block.instrs[def_index]
+        if isinstance(instr, ir.Assign):
+            value = instr.src
+            upto = def_index
+            continue
+        if isinstance(instr, ir.Load):
+            key = ctx.load_key(instr)
+            if key is None or ctx.clobbered(block, def_index + 1, key):
+                return None
+            return key
+        return None
+    return None
+
+
+def _trace_branch(
+    ctx: _FunctionContext, block: ir.Block
+) -> Optional[Tuple[VarKey, str, int]]:
+    """Trace a CondBr condition to ``(cell, op, const)`` when possible."""
+    term = block.terminator
+    if not isinstance(term, ir.CondBr):
+        return None
+    value: ir.Value = term.cond
+    negations = 0
+    upto = len(block.instrs)
+    for _ in range(32):
+        if not isinstance(value, ir.Reg):
+            return None
+        def_index = None
+        for index in range(upto - 1, -1, -1):
+            if block.instrs[index].defined == value.name:
+                def_index = index
+                break
+        if def_index is None:
+            return None
+        instr = block.instrs[def_index]
+        if isinstance(instr, ir.Assign):
+            value = instr.src
+            upto = def_index
+            continue
+        if isinstance(instr, ir.UnOp) and instr.op == "!":
+            negations += 1
+            value = instr.value
+            upto = def_index
+            continue
+        if isinstance(instr, ir.Load):
+            key = ctx.load_key(instr)
+            if key is None or ctx.clobbered(block, def_index + 1, key):
+                return None
+            op = "falsy" if negations % 2 else "truthy"
+            return (key, op, 0)
+        if isinstance(instr, ir.BinOp) and instr.op in _CMP_OPS:
+            left = _resolve_term(ctx, block, def_index, instr.lhs)
+            right = _resolve_term(ctx, block, def_index, instr.rhs)
+            op = instr.op
+            if isinstance(left, tuple) and isinstance(right, int):
+                key, const = left, right
+            elif isinstance(right, tuple) and isinstance(left, int):
+                key, const, op = right, left, _SWAPPED[op]
+            else:
+                return None
+            if negations % 2:
+                op = _NEGATED[op]
+            return (key, op, const)
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The per-function backward problem
+# ---------------------------------------------------------------------------
+
+
+class _WpProblem(DataflowProblem[Cond]):
+    direction = BACKWARD
+
+    def __init__(
+        self,
+        ctx: _FunctionContext,
+        seeds: Dict[str, List[Tuple[int, Cond]]],
+        summaries: ModuleSummaries,
+        callgraph: CallGraph,
+        dead_edges: Dict[Tuple[str, str], str],
+    ) -> None:
+        self.ctx = ctx
+        self.seeds = seeds
+        self.summaries = summaries
+        self.callgraph = callgraph
+        self.dead_edges = dead_edges
+        self._traces: Dict[str, Optional[Tuple[VarKey, str, int]]] = {}
+
+    def bottom(self) -> Cond:
+        return FALSE
+
+    def boundary(self) -> Cond:
+        # Falling off an exit block leaves the function: no intra-procedural
+        # path to the goal remains.
+        return FALSE
+
+    def join(self, facts: Sequence[Cond]) -> Cond:
+        return cond_join(facts)
+
+    def widen(self, old: Cond, new: Cond, visits: int) -> Cond:
+        return cond_widen(old, new)
+
+    def equal(self, a: Cond, b: Cond) -> bool:
+        return cond_equal(a, b)
+
+    def extra_seeds(self) -> Sequence[str]:
+        return sorted(self.seeds)
+
+    def transfer(self, label: str, fact: Cond) -> Cond:
+        block = self.ctx.func.blocks[label]
+        sites = self.seeds.get(label, ())
+        at_terminator = [c for i, c in sites if i >= len(block.instrs)]
+        if at_terminator:
+            fact = cond_join([*at_terminator, fact])
+        for index in range(len(block.instrs) - 1, -1, -1):
+            fact = self._step(block.instrs[index], fact)
+            here = [c for i, c in sites if i == index]
+            if here:
+                fact = cond_join([*here, fact])
+        return fact
+
+    def edge_fact(self, src: str, dst: str, fact: Cond) -> Optional[Cond]:
+        block = self.ctx.func.blocks[src]
+        term = block.terminator
+        if not isinstance(term, ir.CondBr) or term.then_target == term.else_target:
+            return fact
+        if self.dead_edges.get((self.ctx.func.name, src)) == dst:
+            return None
+        if isinstance(fact, _FalseCond):
+            return fact
+        if src not in self._traces:
+            self._traces[src] = _trace_branch(self.ctx, block)
+        trace = self._traces[src]
+        if trace is None:
+            return fact
+        key, op, const = trace
+        interval = _edge_interval(op, const, dst == term.then_target)
+        if interval is None:
+            return fact
+        return cond_and_key(fact, key, interval)
+
+    # -- instruction semantics, applied backward ---------------------------
+
+    def _step(self, instr: ir.Instr, fact: Cond) -> Cond:
+        if isinstance(fact, _FalseCond):
+            return fact
+        if isinstance(instr, ir.Store):
+            key = self.ctx.store_key(instr)
+            if key is not None:
+                if key in fact:
+                    value = instr.value
+                    if isinstance(value, ir.Const) and isinstance(value.value, int):
+                        if value.value in fact[key]:
+                            out = dict(fact)
+                            del out[key]  # the store establishes the condition
+                            return out
+                        return FALSE  # the store contradicts it
+                    out = dict(fact)
+                    del out[key]
+                    return out
+                return fact
+            addr = instr.addr
+            if isinstance(addr, ir.Reg) and addr.name not in self.ctx.unsafe:
+                return fact  # store through a local-only pointer
+            return _drop_globals(fact)
+        if isinstance(instr, ir.Alloc):
+            dst = instr.defined
+            if dst is not None and dst in self.ctx.tracked:
+                key: VarKey = ("local", self.ctx.func.name, dst)
+                if key in fact:
+                    if 0 in fact[key]:  # fresh cells are zero-filled
+                        out = dict(fact)
+                        del out[key]
+                        return out
+                    return FALSE
+            return fact
+        if isinstance(instr, ir.Call):
+            mods, unknown = self._call_mods(instr)
+            if unknown:
+                return _drop_globals(fact)
+            if mods:
+                out = {
+                    k: v for k, v in fact.items()
+                    if not (k[0] == "global" and k[2] in mods)
+                }
+                return out if len(out) != len(fact) else fact
+            return fact
+        if isinstance(instr, ir.Intrinsic):
+            # Same refinement as the summary layer's direct-effect pass: an
+            # environment call can only write a global through a pointer
+            # argument that may alias one (getchar() and friends cannot).
+            if any(
+                _value_may_alias_global(arg, self.ctx.unsafe)
+                for arg in instr.args
+            ):
+                return _drop_globals(fact)
+            return fact
+        if isinstance(instr, (ir.ThreadCreate, ir.ThreadJoin, *ir.SYNC_INSTRS)):
+            return {} if fact else fact
+        return fact
+
+    def _call_mods(self, instr: ir.Call) -> Tuple[Set[str], bool]:
+        if isinstance(instr.callee, ir.FuncRef):
+            targets: Tuple[str, ...] = (instr.callee.name,)
+        else:
+            targets = self.callgraph.address_taken.get(len(instr.args), ())
+        mods: Set[str] = set()
+        unknown = False
+        for target in targets:
+            summary = self.summaries.functions.get(target)
+            if summary is None:
+                continue  # external: writes nothing (absint's convention)
+            mods |= summary.mods
+            unknown |= summary.writes_unknown
+        return mods, unknown
+
+
+def _verify_post_fixpoint(
+    cfg: CFG, problem: _WpProblem, solution: Solution[Cond]
+) -> bool:
+    """True when re-applying every equation cannot strengthen the solution.
+
+    The visit-capped solver may stop before a fixpoint; a genuine
+    post-fixpoint (``transfer(join(...)) ⊑ recorded``) over-approximates
+    the exact necessary condition, anything else must be discarded.
+    """
+    exit_set = {
+        label for label, succs in cfg.succs.items() if not succs
+    } or set(cfg.function.blocks)
+    for label in cfg.function.blocks:
+        incoming: List[Cond] = []
+        if label in exit_set:
+            incoming.append(problem.boundary())
+        for succ in cfg.succs.get(label, ()):
+            succ_in = solution.in_fact(succ)
+            if succ_in is None:
+                succ_in = FALSE
+            refined = problem.edge_fact(label, succ, succ_in)
+            if refined is not None:
+                incoming.append(refined)
+        out = cond_join(incoming) if incoming else FALSE
+        new_in = problem.transfer(label, out)
+        recorded = solution.in_fact(label)
+        if recorded is None:
+            recorded = FALSE
+        if not cond_implied_by(new_in, recorded):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class StaticPruneStats:
+    """What necessary-precondition checks bought the executor."""
+
+    checks: int = 0          # fork points where conditions were consulted
+    branch_prunes: int = 0   # branch directions pruned without a probe
+    state_kills: int = 0     # states killed outright (every direction dead)
+    probes_avoided: int = 0  # solver feasibility probes skipped
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "branch_prunes": self.branch_prunes,
+            "state_kills": self.state_kills,
+            "probes_avoided": self.probes_avoided,
+        }
+
+
+@dataclass(slots=True)
+class NecessaryConditions:
+    """Per-block necessary conditions for reaching one goal."""
+
+    module_name: str
+    goal_refs: Tuple[ir.InstrRef, ...]
+    # Block-entry conditions, complete for every verified function.
+    conditions: Dict[Tuple[str, str], Cond] = field(default_factory=dict)
+    # Functions from which the goal is transitively callable (or that
+    # contain it); everything else is FALSE without returning first.
+    may_reach_functions: FrozenSet[str] = frozenset()
+    # Functions whose backward solution verified as a post-fixpoint.
+    analyzed: FrozenSet[str] = frozenset()
+    # The pruned may-reach closure (consumers' return-path escape check).
+    reach_blocks: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def condition_at(self, function: str, label: str) -> Cond:
+        """Necessary condition at ``label``'s entry, goal reached *without*
+        first returning out of ``function`` (callers must separately allow
+        for the return path, e.g. via :attr:`reach_blocks`)."""
+        cond = self.conditions.get((function, label))
+        if cond is not None:
+            return cond
+        if function in self.may_reach_functions:
+            return {}
+        return FALSE
+
+    @property
+    def dead_blocks(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(
+            node for node, cond in self.conditions.items()
+            if isinstance(cond, _FalseCond)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        rendered: Dict[str, Dict[str, object]] = {}
+        for (function, label), cond in sorted(self.conditions.items()):
+            rendered.setdefault(function, {})[label] = _render_cond(cond)
+        return {
+            "module": self.module_name,
+            "goal": [repr(ref) for ref in self.goal_refs],
+            "may_reach_functions": sorted(self.may_reach_functions),
+            "analyzed": sorted(self.analyzed),
+            "conditions": rendered,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The interprocedural driver
+# ---------------------------------------------------------------------------
+
+
+def compute_necessary_conditions(
+    module: ir.Module,
+    goal_refs: Sequence[ir.InstrRef],
+    facts: Optional[ModuleFacts] = None,
+    summaries: Optional[ModuleSummaries] = None,
+    reach: Optional[GoalReach] = None,
+    callgraph: Optional[CallGraph] = None,
+) -> NecessaryConditions:
+    """Bottom-up necessary-precondition inference toward ``goal_refs``."""
+    if facts is None:
+        facts = analyze_module(module)
+    if summaries is None:
+        summaries = summarize_module(module)
+    if callgraph is None:
+        callgraph = build_call_graph(module)
+    if reach is None:
+        reach = compute_reach(module, goal_refs, facts, callgraph)
+
+    goal_functions = {
+        ref.function for ref in goal_refs if ref.function in module.functions
+    }
+    may_reach = {
+        name for name in module.functions
+        if name in goal_functions
+        or any(summaries.may_reach(name, g) for g in goal_functions)
+    }
+    dead_edges = _dead_edges(module, facts) if facts.pruning_sound else {}
+
+    order = [
+        name for scc in summaries.sccs for name in scc if name in may_reach
+    ]
+
+    entry_conditions: Dict[str, Cond] = {}
+    conditions: Dict[Tuple[str, str], Cond] = {}
+    analyzed: Set[str] = set()
+
+    for name in order:
+        func = module.functions[name]
+        ctx = _FunctionContext(module, func, global_unsafe_regs(func))
+
+        seeds: Dict[str, List[Tuple[int, Cond]]] = {}
+        for ref in goal_refs:
+            if ref.function == name and ref.block in func.blocks:
+                seeds.setdefault(ref.block, []).append((ref.index, {}))
+        for (site_func, label), sites in callgraph.sites_by_block.items():
+            if site_func != name or label not in func.blocks:
+                continue
+            for site in sites:
+                relevant = [t for t in site.targets if t in may_reach]
+                if not relevant:
+                    continue
+                seed = cond_join([
+                    _globals_only(entry_conditions.get(t, {}))
+                    for t in relevant
+                ])
+                if isinstance(seed, _FalseCond):
+                    continue  # no callee path reaches the goal
+                seeds.setdefault(label, []).append((site.ref.index, seed))
+
+        if not seeds:
+            # May-reach via the call graph but no live descent path (e.g.
+            # every relevant callee's entry condition proved FALSE).
+            entry_conditions[name] = FALSE
+            for label in func.blocks:
+                conditions[(name, label)] = FALSE
+            analyzed.add(name)
+            continue
+
+        problem = _WpProblem(ctx, seeds, summaries, callgraph, dead_edges)
+        cfg = CFG(func)
+        solution = solve(cfg, problem)
+        if not _verify_post_fixpoint(cfg, problem, solution):
+            entry_conditions[name] = {}
+            continue  # unverified: leave the function at TRUE
+
+        for label in func.blocks:
+            fact = solution.in_fact(label)
+            conditions[(name, label)] = FALSE if fact is None else fact
+        entry_conditions[name] = _globals_only(
+            conditions[(name, func.entry)]
+        )
+        analyzed.add(name)
+
+    return NecessaryConditions(
+        module_name=module.name,
+        goal_refs=tuple(goal_refs),
+        conditions=conditions,
+        may_reach_functions=frozenset(may_reach),
+        analyzed=frozenset(analyzed),
+        reach_blocks=reach.blocks,
+    )

@@ -41,13 +41,13 @@ from ..search import (
 from ..symbex import SchedulerPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..analysis import DistanceCalculator
+    from ..analysis import DistanceSource
     from ..coredump import BugReport
     from ..core.goals import SynthesisGoal
     from ..core.synthesis import ESDConfig
 
 SearcherFactory = Callable[
-    ["DistanceCalculator", list[GoalSpec], GoalSpec, "ESDConfig"], Searcher
+    ["DistanceSource", list[GoalSpec], GoalSpec, "ESDConfig"], Searcher
 ]
 PolicyBuilder = Callable[
     [ir.Module, "SynthesisGoal", "ESDConfig"], list[SchedulerPolicy]

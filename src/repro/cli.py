@@ -10,7 +10,7 @@ One entry point; inline commands built on the session API::
     repro repair <coredump.json> <program.minic> [-o patch.json]
                  [--passing N] [--suspects K] [--json]
     repro lint   (<program.minic> | --workload NAME) [--patch patch.json]
-                 [--json] [-o lint.json]
+                 [--format text|json] [-o lint.json]
     repro analyze (<program.minic> | --workload NAME) [-o analysis.json]
     repro triage <program.minic> <coredump.json> [...] [--db triage.json]
     repro bench  [--workload ls1] [--reports 4] [--json]
@@ -520,7 +520,7 @@ def _run_lint(args: argparse.Namespace, label: str) -> int:
             print(f"{label}: cannot write {args.output}: {exc}",
                   file=sys.stderr)
             return 2
-    if args.json:
+    if args.json or args.format == "json":
         print(payload)
     else:
         if report.clean:
@@ -542,7 +542,21 @@ def _run_analyze(args: argparse.Namespace, label: str) -> int:
     module = _load_lintable_module(args, label)
     if module is None:
         return 2
-    document = analysis_document(module)
+    goals = None
+    if args.workload:
+        # A bundled workload carries its bug report, so the document can
+        # include the goal-directed sections (may-reach closure + the
+        # necessary-precondition tables the executor prunes with).
+        from .core import GoalError, extract_goal
+        from .workloads import get
+
+        try:
+            goal = extract_goal(module, get(args.workload).make_report())
+        except GoalError:
+            pass  # e.g. a patch moved the faulting instruction
+        else:
+            goals = {goal.description or args.workload: goal.targets}
+    document = analysis_document(module, goals=goals)
     payload = json.dumps(document, indent=2)
     if args.output and args.output != "-":
         try:
@@ -553,10 +567,12 @@ def _run_analyze(args: argparse.Namespace, label: str) -> int:
             return 2
         absint = document["absint"]
         concurrency = document["concurrency"]
+        goal_note = (f", {len(document['goals'])} goal section(s)"
+                     if "goals" in document else "")
         print(f"{label}: {module.name}: {len(document['functions'])} "
               f"function(s), {len(absint['branch_facts'])} folded branch(es), "
-              f"{len(concurrency['order_edges'])} lock-order edge(s); "
-              f"wrote {args.output}", file=sys.stderr)
+              f"{len(concurrency['order_edges'])} lock-order edge(s)"
+              f"{goal_note}; wrote {args.output}", file=sys.stderr)
     else:
         print(payload)
     return 0
@@ -974,8 +990,12 @@ def repro_main(argv: list[str] | None = None) -> int:
                            "linting (CI checks patched variants stay clean)")
     lint.add_argument("-o", "--output", default=None, metavar="PATH",
                       help="also write the esd-lint-v1 JSON report to PATH")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="format",
+                      help="stdout format: human text (default) or the "
+                           "esd-lint-v1 JSON document")
     lint.add_argument("--json", action="store_true",
-                      help="print the esd-lint-v1 JSON report on stdout")
+                      help="alias for --format json")
 
     analyze = sub.add_parser(
         "analyze",

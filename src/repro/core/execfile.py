@@ -109,11 +109,14 @@ class ExecutionFile:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def canonical_dict(self) -> dict:
-        """The content-addressable form: volatile wall-clock timing is
-        zeroed (it lives in the job record instead), so re-synthesizing the
-        same execution yields the same digest."""
+        """The content-addressable form: volatile search provenance --
+        wall-clock timing and instructions explored -- is zeroed (it lives
+        in the job record instead), so re-synthesizing the same execution
+        yields the same digest no matter how much exploration (or static
+        pruning) it took to find."""
         data = self.to_dict()
         data["synthesis_seconds"] = 0.0
+        data["instructions_explored"] = 0
         return data
 
     def canonical_bytes(self) -> bytes:

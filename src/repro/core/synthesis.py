@@ -32,7 +32,12 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from .. import ir
-from ..analysis import DistanceCalculator, find_intermediate_goals
+from ..analysis import (
+    DistanceCalculator,
+    DistanceSource,
+    GoalGatedDistances,
+    find_intermediate_goals,
+)
 from ..concurrency import ChainedPolicy
 from ..coredump import BugReport
 from ..search import (
@@ -136,6 +141,11 @@ class StaticStats:
     absint_builds: int = 0
     lock_builds: int = 0
     slice_builds: int = 0
+    # Goal-directed reachability artifacts (PR 7).  Summaries are
+    # per-module (1 per module); reach/wp are per distinct goal target set.
+    summary_builds: int = 0
+    reach_builds: int = 0
+    wp_builds: int = 0
 
 
 class StaticAnalysisCache:
@@ -155,6 +165,9 @@ class StaticAnalysisCache:
         self._absint = None
         self._concurrency = None
         self._slices: dict[tuple, object] = {}
+        self._summaries = None
+        self._reach: dict[tuple, object] = {}
+        self._wp: dict[tuple, object] = {}
 
     def distances(self) -> DistanceCalculator:
         with self._lock:
@@ -209,19 +222,64 @@ class StaticAnalysisCache:
                 self.stats.slice_builds += 1
             return self._slices[key]
 
+    def summaries(self):
+        """Compositional function summaries (:class:`repro.analysis.summaries.ModuleSummaries`)."""
+        from ..analysis.summaries import ModuleSummaries, summarize_module
+
+        with self._lock:
+            if self._summaries is None:
+                self._summaries = summarize_module(self.module)
+                self.stats.summary_builds += 1
+            summaries: ModuleSummaries = self._summaries
+            return summaries
+
+    def reachability(self, targets: tuple):
+        """Goal-directed may-reach set for one goal target tuple
+        (:class:`repro.analysis.reach.GoalReach`), memoized per target set."""
+        from ..analysis.reach import GoalReach, compute_reach
+
+        facts = self.absint_facts()
+        with self._lock:
+            cached = self._reach.get(targets)
+            if cached is None:
+                cached = compute_reach(self.module, list(targets), facts)
+                self._reach[targets] = cached
+                self.stats.reach_builds += 1
+            reach: GoalReach = cached
+            return reach
+
+    def necessary_conditions(self, targets: tuple):
+        """Backward necessary preconditions for one goal target tuple
+        (:class:`repro.analysis.wp.NecessaryConditions`), memoized per set."""
+        from ..analysis.wp import NecessaryConditions, compute_necessary_conditions
+
+        facts = self.absint_facts()
+        summaries = self.summaries()
+        reach = self.reachability(targets)
+        with self._lock:
+            cached = self._wp.get(targets)
+            if cached is None:
+                cached = compute_necessary_conditions(
+                    self.module, list(targets), facts, summaries, reach
+                )
+                self._wp[targets] = cached
+                self.stats.wp_builds += 1
+            conditions: NecessaryConditions = cached
+            return conditions
+
     def intermediate_goal_specs(
         self, goal: SynthesisGoal, solver: Solver, *, static_eval: bool = False
     ) -> tuple[GoalSpec, ...]:
         """The disjunctive intermediate-goal specs for a goal's targets,
-        computed once per distinct target set.
+        computed once per distinct target set and flag value.
 
         ``static_eval`` lets the derivation answer pinned-constant
         feasibility probes from the abstract interpreter's constant domain
-        instead of the solver; the resulting specs are identical either
-        way (the decision procedure only answers when provably equivalent),
-        so the memo key does not include the flag.
+        instead of the solver, and filter out defining blocks the
+        interpreter proved unreachable -- the filter can shrink the spec
+        set, so the memo key includes the flag.
         """
-        key = goal.targets
+        key = (goal.targets, static_eval)
         with self._lock:
             cached = self._goal_specs.get(key)
             if cached is not None:
@@ -272,6 +330,11 @@ class SynthesisResult:
     states_explored: int
     other_bugs: int
     intermediate_goal_count: int = 0
+    # States the searcher dropped at INF distance (goal-gated proximity).
+    states_pruned: int = 0
+    # The executor's necessary-precondition counters (None when the
+    # goal-directed layer was off or unsound for this module).
+    static_prune: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
@@ -337,10 +400,20 @@ def build_search_setup(
     final = GoalSpec(goal.targets, "final")
     statics.warm(intermediate + [final])
     absint = None
+    wp_conditions = None
+    search_distances: DistanceSource = distances
     if config.use_static_pruning:
         facts = statics.absint_facts()
         if facts.pruning_sound:
             absint = facts
+            # Goal-directed layer: gate the proximity heuristic with the
+            # pruned reach set (states that provably cannot reach the goal
+            # score INF and are dropped) and hand the executor the
+            # necessary preconditions so refuted branch directions skip
+            # their feasibility probes.
+            reach = statics.reachability(goal.targets)
+            search_distances = GoalGatedDistances(distances, reach.blocks)
+            wp_conditions = statics.necessary_conditions(goal.targets)
     static_seconds = time.monotonic() - static_started
 
     policy = _build_policy(module, goal, config, report.bug_type)
@@ -351,10 +424,11 @@ def build_search_setup(
         policy=policy,
         config=ExecConfig(string_size=config.string_size, max_args=config.max_args),
         absint=absint,
+        wp=wp_conditions,
     )
     if seed_offset:
         config = replace(config, seed=config.seed + seed_offset)
-    searcher = searcher_factory(distances, intermediate, final, config)
+    searcher = searcher_factory(search_distances, intermediate, final, config)
     _wire_boost(policy, searcher)
     return SearchSetup(
         goal=goal,
@@ -433,7 +507,7 @@ def search_from_setup(
     )
     return _result_from_outcome(
         module, setup.goal, outcome, setup.executor, setup.static_seconds,
-        setup.intermediate_count,
+        setup.intermediate_count, setup.searcher,
     )
 
 
@@ -472,6 +546,7 @@ def _result_from_outcome(
     executor: Executor,
     static_seconds: float,
     intermediate_count: int,
+    searcher: object = None,
 ) -> SynthesisResult:
     execution_file = None
     if outcome.found:
@@ -495,4 +570,6 @@ def _result_from_outcome(
         states_explored=outcome.stats.states_explored,
         other_bugs=len(outcome.other_bugs),
         intermediate_goal_count=intermediate_count,
+        states_pruned=int(getattr(searcher, "pruned", 0) or 0),
+        static_prune=executor.prune_stats if executor.wp is not None else None,
     )

@@ -28,7 +28,7 @@ import itertools
 import random
 from dataclasses import dataclass
 
-from ..analysis.distance import INF, DistanceCalculator
+from ..analysis.distance import INF, DistanceSource
 from ..ir import InstrRef
 from ..symbex.state import ExecutionState
 from .engine import Searcher
@@ -66,7 +66,7 @@ class ProximityGuidedSearcher(Searcher):
 
     def __init__(
         self,
-        distances: DistanceCalculator,
+        distances: DistanceSource,
         goals: list[GoalSpec],
         final_goal: GoalSpec,
         seed: int = 0,

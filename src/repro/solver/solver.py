@@ -76,6 +76,10 @@ class SolverStats:
     # facts (the executor's static-pruning hooks): the probe never reaches
     # the solver at all -- not even a witness evaluation runs.
     static_answers: int = 0
+    # Branch directions refuted by goal-directed necessary preconditions
+    # (:mod:`repro.analysis.wp`): the direction may well be feasible, but
+    # no execution down it can reach the goal, so its probe is skipped.
+    wp_refuted: int = 0
 
 
 @dataclass(slots=True)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
 from .. import ir
+from ..analysis.wp import StaticPruneStats, _FalseCond
 from ..ir import InstrRef
 from ..solver import Solver
 from ..solver.expr import (
@@ -56,6 +57,8 @@ from .state import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..analysis.absint import ModuleFacts
+    from ..analysis.wp import NecessaryConditions
+    from .state import MutexRec
 
 Value = Union[int, Expr, Pointer, FnPtr]
 
@@ -132,6 +135,8 @@ class Executor:
         policy: Optional[SchedulerPolicy] = None,
         config: Optional[ExecConfig] = None,
         absint: Optional["ModuleFacts"] = None,
+        wp: Optional["NecessaryConditions"] = None,
+        wp_audit: bool = False,
     ) -> None:
         self.module = module
         self.config = config or ExecConfig()
@@ -150,6 +155,18 @@ class Executor:
                 "absint facts for module "
                 f"{absint.module_name!r} are not pruning-sound"
             )
+        # Goal-directed necessary preconditions: a branch direction whose
+        # target block's condition is refuted by the state's concrete store
+        # (and with no outer stack frame through which a return could still
+        # reach the goal) cannot lead to the goal, so it is pruned without a
+        # feasibility probe.  Conditions are *necessary*, so pruning never
+        # loses a goal-reaching path; it can only skip states that at most
+        # witness *other* bugs.  With ``wp_audit`` nothing is pruned --
+        # successors down a refuted direction are tagged in ``state.meta``
+        # instead, so tests can assert the goal state never carries the tag.
+        self.wp = wp
+        self.wp_audit = wp_audit
+        self.prune_stats = StaticPruneStats()
 
     # ------------------------------------------------------------------
     # State construction
@@ -847,11 +864,81 @@ class Executor:
         frame.index = 0
         return [state]
 
+    # ------------------------------------------------------------------
+    # Goal-directed necessary-precondition checks (see :mod:`..analysis.wp`)
+    # ------------------------------------------------------------------
+
+    def _wp_applicable(self, state: ExecutionState) -> bool:
+        """May refuted necessary conditions prune this state?
+
+        Only single-threaded states (the conditions reason sequentially),
+        and only when no *outer* stack frame sits in the goal's reach set:
+        a condition says "the goal is unreachable from here *within this
+        function*", so an outer frame from which the goal is still
+        reachable after a return must veto the prune.
+        """
+        if self.wp is None:
+            return False
+        if len(state.threads) != 1:
+            return False
+        frames = state.thread.frames
+        reach = self.wp.reach_blocks
+        for frame in frames[:-1]:  # outer frames (top of stack is last)
+            if (frame.function, frame.block) in reach:
+                return False
+        return True
+
+    def _wp_refuted(self, state: ExecutionState, function: str, label: str) -> bool:
+        """Does the state's concrete store contradict the necessary
+        condition at ``label``'s entry?  Symbolic or unreadable cells never
+        refute -- only definite concrete violations do."""
+        cond = self.wp.condition_at(function, label)  # type: ignore[union-attr]
+        if isinstance(cond, _FalseCond):
+            return True
+        frame = state.frame
+        for (kind, func, name), interval in cond.items():
+            if kind == "global":
+                obj_id = state.globals.get(name)
+                if obj_id is None:
+                    continue
+                try:
+                    cell = state.address_space.read(obj_id, 0)
+                except MemoryError_:
+                    continue
+            else:
+                if func != frame.function:
+                    continue
+                ptr = frame.regs.get(name)
+                if not isinstance(ptr, Pointer) or ptr.offset != 0:
+                    continue
+                try:
+                    cell = state.address_space.read(ptr.obj, 0)
+                except MemoryError_:
+                    continue
+            if isinstance(cell, int) and cell not in interval:
+                return True
+        return False
+
+    def _wp_kill(self, state: ExecutionState) -> None:
+        state.status = "infeasible"
+        state.meta["killed"] = "wp-dead"
+        self.prune_stats.state_kills += 1
+
     def _exec_condbr(self, state: ExecutionState, instr: ir.CondBr) -> list[ExecutionState]:
         cond = self._truth_value(self._eval(state, instr.cond))
         frame = state.frame
         if isinstance(cond, int):
-            frame.block = instr.then_target if cond else instr.else_target
+            target = instr.then_target if cond else instr.else_target
+            if self.wp is not None and self._wp_applicable(state):
+                self.prune_stats.checks += 1
+                if self._wp_refuted(state, frame.function, target):
+                    if self.wp_audit:
+                        state.meta["wp_dead"] = True
+                    else:
+                        self.solver.stats.wp_refuted += 1
+                        self._wp_kill(state)
+                        return [state]
+            frame.block = target
             frame.index = 0
             return [state]
 
@@ -882,12 +969,66 @@ class Executor:
                 frame.index = 0
                 return [state]
 
+        # Goal-directed pruning: a direction whose target block's necessary
+        # condition is refuted by the concrete store cannot reach the goal
+        # (and no outer frame offers a return path to it), so its
+        # feasibility probe is skipped entirely.  The surviving direction
+        # still gets probed and constrained exactly as an unpruned run
+        # would, so the goal path's constraints -- and the synthesized
+        # artifact -- are unchanged; only dead subtrees disappear.
+        dead_then = dead_else = False
+        if self.wp is not None and self._wp_applicable(state):
+            self.prune_stats.checks += 1
+            dead_then = self._wp_refuted(state, frame.function, instr.then_target)
+            dead_else = self._wp_refuted(state, frame.function, instr.else_target)
+        if (dead_then or dead_else) and not self.wp_audit:
+            self.solver.stats.wp_refuted += int(dead_then) + int(dead_else)
+            if dead_then and dead_else:
+                self._wp_kill(state)
+                return [state]
+            self.prune_stats.branch_prunes += 1
+            self.prune_stats.probes_avoided += 1
+            self.solver.stats.static_answers += 1
+            if dead_else:
+                if not self._feasible(state, cond):
+                    self._wp_kill(state)
+                    return [state]
+                state.add_constraint(cond if isinstance(cond, Expr) else truthy(cond))
+                frame.block = instr.then_target
+            else:
+                false_cond = negate(cond)
+                if not self._feasible(state, false_cond):
+                    self._wp_kill(state)
+                    return [state]
+                state.add_constraint(
+                    false_cond if isinstance(false_cond, Expr) else truthy(false_cond)
+                )
+                frame.block = instr.else_target
+            frame.index = 0
+            return [state]
+
+        successors = self._condbr_fork(state, instr, cond)
+        if self.wp_audit and (dead_then or dead_else):
+            for succ in successors:
+                if succ.status != "running":
+                    continue
+                block = succ.frame.block
+                if (dead_then and block == instr.then_target) or (
+                    dead_else and block == instr.else_target
+                ):
+                    succ.meta["wp_dead"] = True
+        return successors
+
+    def _condbr_fork(
+        self, state: ExecutionState, instr: ir.CondBr, cond: Value
+    ) -> list[ExecutionState]:
         # Probe each direction against the state's *original* path witness:
         # exactly one direction holds under it, so one of the two probes is
         # a guaranteed fast-path hit.  Letting the first probe's refreshed
         # model leak into the second would poison it (a model satisfying
         # ``cond`` never satisfies ``!cond``), and each surviving branch
         # must keep the model matching the constraint it adds.
+        frame = state.frame
         orig_model = state.last_model
         true_feasible = self._feasible(state, cond)
         true_model = state.last_model
@@ -1213,7 +1354,7 @@ class Executor:
         return "".join(chars)
 
 
-def _fresh_mutex():
+def _fresh_mutex() -> "MutexRec":
     from .state import MutexRec
 
     return MutexRec()

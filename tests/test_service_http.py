@@ -261,37 +261,61 @@ class TestSpoolDedup:
         finally:
             daemon.stop(graceful=False)
 
-    def test_spool_result_survives_daemon_restart(self, tmp_path):
+    def test_spool_result_survives_daemon_restart(self, tmp_path, monkeypatch):
         """A spec already renamed to .submitted whose result was never
         written is re-adopted by a restarted daemon (dedupe onto the
-        recovered job) and still gets its .result.json."""
+        recovered job) and still gets its .result.json.
+
+        Deterministic by construction: the first daemon's search is gated
+        on the service's own graceful-shutdown interrupt, so the stop is
+        guaranteed to land mid-search regardless of machine speed -- no
+        heavyweight workload racing a wall-clock poll."""
+        import threading
+
+        from repro.service import service as service_module
         from repro.store import ArtifactStore
 
         spool = tmp_path / "spool"
         spool.mkdir()
         root = tmp_path / "store"
-        spec = json.dumps(hard_spec("spool-restart").to_dict())
+        spec = json.dumps(JobSpec(workload="tac").to_dict())
         (spool / "slow.json").write_text(spec)
 
         service = ReproService(store=ArtifactStore(root), max_workers=1)
+        real_search = service_module.search_from_setup
+        search_entered = threading.Event()
+
+        def gated_search(module, setup, config, **kwargs):
+            # First (and only) search of the first daemon: report in, then
+            # hold until shutdown(graceful=True) raises the interrupt flag.
+            # The engine then observes should_stop() on its very first pick
+            # and the job re-queues as resumable.
+            if not search_entered.is_set():
+                search_entered.set()
+                service._interrupt.wait(timeout=60)
+            return real_search(module, setup, config, **kwargs)
+
+        monkeypatch.setattr(service_module, "search_from_setup", gated_search)
         daemon = ServiceDaemon(service, port=0, spool_dir=spool)
         daemon.start()
+        assert search_entered.wait(timeout=60), "job never reached the search"
         deadline = time.monotonic() + 30
         while (not (spool / "slow.json.submitted").exists()
                and time.monotonic() < deadline):
-            time.sleep(0.05)
+            time.sleep(0.01)
         assert (spool / "slow.json.submitted").exists()
         daemon.stop(graceful=True)  # mid-search: job re-queues as resumable
         assert not (spool / "slow.result.json").exists()
 
+        monkeypatch.setattr(service_module, "search_from_setup", real_search)
         revived = ReproService(store=ArtifactStore(root), max_workers=1)
         daemon2 = ServiceDaemon(revived, port=0, spool_dir=spool)
         daemon2.start()
         try:
-            deadline = time.monotonic() + 240
+            deadline = time.monotonic() + 120
             result = spool / "slow.result.json"
             while not result.exists() and time.monotonic() < deadline:
-                time.sleep(0.1)
+                time.sleep(0.05)
             assert result.exists(), "restarted daemon never wrote the result"
             assert json.loads(result.read_text())["state"] == FOUND
         finally:

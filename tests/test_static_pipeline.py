@@ -445,6 +445,21 @@ class TestLintCLI:
         assert data["format"] == LINT_FORMAT
         assert data["clean"] is False
 
+    def test_format_json_on_stdout(self, capsys):
+        from repro.cli import repro_main
+
+        assert repro_main(["lint", "--workload", "tac",
+                           "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["format"] == LINT_FORMAT
+        assert data["clean"] is False
+
+    def test_json_flag_still_aliases_format_json(self, capsys):
+        from repro.cli import repro_main
+
+        repro_main(["lint", "--workload", "tac", "--json"])
+        assert json.loads(capsys.readouterr().out)["format"] == LINT_FORMAT
+
     def test_input_error_exit_2(self, capsys):
         from repro.cli import repro_main
 
@@ -466,3 +481,22 @@ class TestAnalyzeCLI:
         assert repro_main(["analyze", "--workload", "mkdir"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert data["format"] == ANALYSIS_FORMAT
+
+    def test_workload_document_has_summaries_and_goal_tables(self, capsys):
+        from repro.cli import repro_main
+
+        assert repro_main(["analyze", "--workload", "paste"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert check_analysis_document(data) == 1
+        assert set(data["summaries"]["functions"]) == set(data["functions"])
+        goals = data["goals"]
+        assert len(goals) == 1
+        table = goals[0]["necessary_conditions"]
+        assert "main" in table["may_reach_functions"]
+        assert table["conditions"]["main"]
+
+    def test_malformed_goal_section_rejected(self):
+        data = analysis_document(get("tac").compile())
+        data["goals"] = [{"name": "g"}]  # missing the required tables
+        with pytest.raises(SchemaVersionError, match="goal section"):
+            check_analysis_document(data)
