@@ -20,11 +20,36 @@ from typing import Optional
 from repro.api import ReproSession
 from repro.baselines import kc_find_path
 from repro.core import ESDConfig, SynthesisResult, extract_goal
+from repro.obs import counters_delta, unified_registry
 from repro.search import SearchBudget
 from repro.workloads.base import Workload
 
 KC_BUDGET_SECONDS = float(os.environ.get("ESD_BENCH_KC_SECONDS", "8"))
 ESD_BUDGET_SECONDS = float(os.environ.get("ESD_BENCH_ESD_SECONDS", "120"))
+
+
+# ---------------------------------------------------------------------------
+# Unified metrics (the one sanctioned way to read pipeline counters).
+#
+# Benchmarks measure an interval by snapshotting a registry before and
+# after the measured region and subtracting with ``interval_counters``.
+# Never sample raw stats fields and reset them between phases: with two
+# readers (a bench loop plus the report emitter) the reset runs twice and
+# the second interval undercounts.  Snapshots never mutate the underlying
+# counters, so any number of readers agree.
+# ---------------------------------------------------------------------------
+
+
+def pipeline_registry(*, solver=None, solver_cache=None, statics=None,
+                      executor=None, prune=None):
+    """A unified ``esd_*`` registry over the handles a benchmark owns."""
+    return unified_registry(solver=solver, solver_cache=solver_cache,
+                            statics=statics, executor=executor, prune=prune)
+
+
+def interval_counters(after: dict, before: dict) -> dict:
+    """Per-counter delta between two ``esd-metrics-v1`` snapshots."""
+    return counters_delta(after, before)
 
 
 def esd_budget() -> SearchBudget:

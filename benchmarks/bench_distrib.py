@@ -43,7 +43,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import ESDConfig, esd_synthesize  # noqa: E402
 from repro.distrib import ParallelExplorer, parallel_supported  # noqa: E402
+from repro.obs import counters_delta, unified_registry  # noqa: E402
 from repro.playback import play_back  # noqa: E402
+from repro.solver import Solver  # noqa: E402
 from repro.workloads import get  # noqa: E402
 from repro.workloads.ghttpd import hard_workload  # noqa: E402
 
@@ -62,9 +64,18 @@ def bench_workload(name, workload, strategy, max_seconds, worker_counts,
     module = workload.compile()
     report = workload.make_report()
 
+    # Explicit solvers so each run's query counters are read through the
+    # unified registry (snapshot deltas; the pool merges worker solver
+    # deltas into the master solver, so its counters cover the whole run).
+    serial_solver = Solver()
+    serial_registry = unified_registry(solver=serial_solver)
+    serial_before = serial_registry.snapshot()
     started = time.perf_counter()
-    serial = esd_synthesize(module, report, _config(strategy, max_seconds))
+    serial = esd_synthesize(module, report, _config(strategy, max_seconds),
+                            solver=serial_solver)
     serial_wall = time.perf_counter() - started
+    serial_counters = counters_delta(serial_registry.snapshot(),
+                                     serial_before)
     record = {
         "workload": name,
         "strategy": strategy,
@@ -73,17 +84,26 @@ def bench_workload(name, workload, strategy, max_seconds, worker_counts,
             "found": serial.found,
             "instructions": serial.instructions,
             "states": serial.states_explored,
+            "solver_queries": serial_counters.get(
+                "esd_solver_queries_total", 0),
+            "metrics": serial_registry.snapshot(
+                meta={"tool": "bench_distrib", "run": "serial"}),
         },
         "parallel": {},
         "ok": serial.found,
     }
     for workers in worker_counts:
+        pool_solver = Solver()
+        pool_registry = unified_registry(solver=pool_solver)
+        pool_before = pool_registry.snapshot()
         pool = ParallelExplorer(
-            module, report, _config(strategy, max_seconds), workers=workers
+            module, report, _config(strategy, max_seconds), workers=workers,
+            solver=pool_solver,
         )
         started = time.perf_counter()
         result = pool.run()
         wall = time.perf_counter() - started
+        pool_counters = counters_delta(pool_registry.snapshot(), pool_before)
         valid = result.found
         if valid:
             if exact_artifact:
@@ -103,6 +123,10 @@ def bench_workload(name, workload, strategy, max_seconds, worker_counts,
             "steals": pool.steals,
             "speedup": serial_wall / wall if wall > 0 else None,
             "artifact_valid": valid,
+            "solver_queries": pool_counters.get(
+                "esd_solver_queries_total", 0),
+            "metrics": pool_registry.snapshot(
+                meta={"tool": "bench_distrib", "run": f"workers-{workers}"}),
         }
         record["ok"] = record["ok"] and valid
     return record

@@ -1,0 +1,179 @@
+"""Observability overhead benchmark: tracing must cost <= 5%.
+
+Runs the identical synthesis twice per workload -- tracer attached
+(session ``trace=True``: job/phase/quantum spans, slow-solver-query
+records, bug marks) and tracer absent -- and gates on the aggregate
+wall-clock ratio.  Interleaved min-of-N timing: each configuration's
+per-workload time is the minimum over ``repeats`` alternating runs, so a
+noisy neighbor inflates both sides or neither.
+
+Two correctness gates ride along, because an observability layer that
+changes results is worse than useless:
+
+* the synthesized execution artifact must be byte-identical with and
+  without the tracer (timing lives in the trace document, never in
+  canonical artifacts);
+* the traced run must produce a valid ``esd-trace-v1`` document whose
+  ``phase:*`` spans cover >= ``COVERAGE_FLOOR`` of the job wall-clock.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--quick] [--json OUT]
+
+Exit status is 0 when every workload reproduces its bug on both sides,
+artifacts are byte-identical, traces validate, and the aggregate
+traced/untraced ratio stays at or below ``OVERHEAD_GATE`` (override via
+ESD_BENCH_OBS_GATE for noisy CI hosts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import ReproSession  # noqa: E402
+from repro.core import ESDConfig  # noqa: E402
+from repro.obs import check_trace_document, phase_summary  # noqa: E402
+from repro.search import SearchBudget  # noqa: E402
+from repro.workloads import get  # noqa: E402
+
+OVERHEAD_GATE = float(os.environ.get("ESD_BENCH_OBS_GATE", "1.05"))
+COVERAGE_FLOOR = 0.95
+
+QUICK_WORKLOADS = ("tac", "mkdir", "paste")
+FULL_WORKLOADS = ("tac", "mkdir", "mkfifo", "paste", "minidb", "ghttpd")
+
+
+def _config() -> ESDConfig:
+    return ESDConfig(
+        budget=SearchBudget(
+            max_seconds=120.0,
+            max_instructions=20_000_000,
+            max_states=500_000,
+        ),
+    )
+
+
+def run_once(name: str, traced: bool) -> tuple[float, bytes, dict]:
+    """One cold synthesis; returns (seconds, artifact bytes, trace doc)."""
+    workload = get(name)
+    session = ReproSession(workload.compile(), trace=traced)
+    report = workload.make_report()
+    gc.collect()  # keep collection pauses out of the timed region
+    started = time.perf_counter()
+    result = session.synthesize(report, _config())
+    seconds = time.perf_counter() - started
+    if not result.found:
+        raise SystemExit(f"bench_obs: {name} did not reproduce "
+                         f"({result.reason}); cannot measure overhead")
+    artifact = result.execution_file.canonical_bytes()
+    document = session.trace_document() if traced else {}
+    return seconds, artifact, document
+
+
+def bench_workload(name: str, repeats: int) -> dict:
+    """Interleaved min-of-N for one workload, plus the correctness gates."""
+    plain: list[float] = []
+    traced: list[float] = []
+    artifact_plain = artifact_traced = None
+    summary: dict = {}
+    for i in range(repeats):
+        # Alternate which configuration runs first within each pair:
+        # whatever systematic first-run/second-run skew the host has
+        # (cache state, allocator growth) then hits both sides equally.
+        for is_traced in ((False, True) if i % 2 == 0 else (True, False)):
+            seconds, artifact, document = run_once(name, traced=is_traced)
+            if is_traced:
+                traced.append(seconds)
+                artifact_traced = artifact
+                check_trace_document(document)
+                # Best coverage across repeats: on millisecond-scale runs a
+                # single descheduling blip between phases dominates one
+                # sample's gap.
+                candidate = phase_summary(document)
+                if not summary or candidate["coverage"] > summary["coverage"]:
+                    summary = candidate
+            else:
+                plain.append(seconds)
+                artifact_plain = artifact
+    return {
+        "workload": name,
+        "plain_seconds": round(min(plain), 6),
+        "traced_seconds": round(min(traced), 6),
+        "ratio": round(min(traced) / min(plain), 4) if min(plain) > 0 else 1.0,
+        "artifact_identical": artifact_plain == artifact_traced,
+        "trace_spans": summary["spans"],
+        "phase_coverage": summary["coverage"],
+        "phase_seconds": summary["phase_seconds"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="representative subset (CI smoke)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the result record as JSON")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="interleaved runs per configuration "
+                             "(default: 7, or 3 with --quick)")
+    args = parser.parse_args(argv)
+
+    names = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    # Min-of-N needs enough N: on a busy single-core host a descheduling
+    # blip adds tens of percent to any one sample.
+    repeats = args.repeats or (3 if args.quick else 7)
+    record: dict = {"quick": args.quick, "repeats": repeats, "workloads": []}
+
+    print(f"{'workload':10s} {'plain':>10s} {'traced':>10s} {'ratio':>7s} "
+          f"{'spans':>6s} {'cover':>6s}  artifact")
+    for name in names:
+        row = bench_workload(name, repeats)
+        record["workloads"].append(row)
+        marker = "identical" if row["artifact_identical"] else "DIFFERS"
+        print(f"{name:10s} {row['plain_seconds']:9.4f}s "
+              f"{row['traced_seconds']:9.4f}s {row['ratio']:7.3f} "
+              f"{row['trace_spans']:6d} {100 * row['phase_coverage']:5.1f}%"
+              f"  {marker}")
+
+    rows = record["workloads"]
+    # Aggregate ratio over summed minima: per-workload ratios on
+    # sub-millisecond runs are all jitter; the sum is what users feel.
+    plain_total = sum(r["plain_seconds"] for r in rows)
+    traced_total = sum(r["traced_seconds"] for r in rows)
+    record["plain_total_seconds"] = round(plain_total, 6)
+    record["traced_total_seconds"] = round(traced_total, 6)
+    record["overhead_ratio"] = (
+        round(traced_total / plain_total, 4) if plain_total > 0 else 1.0
+    )
+    record["overhead_gate"] = OVERHEAD_GATE
+    record["coverage_floor"] = COVERAGE_FLOOR
+    record["all_identical"] = all(r["artifact_identical"] for r in rows)
+    record["min_coverage"] = round(min(r["phase_coverage"] for r in rows), 4)
+    record["passed"] = (
+        record["all_identical"]
+        and record["overhead_ratio"] <= OVERHEAD_GATE
+        and record["min_coverage"] >= COVERAGE_FLOOR
+    )
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    status = "PASS" if record["passed"] else "FAIL"
+    print(f"{status}: traced/untraced ratio {record['overhead_ratio']:.3f} "
+          f"(gate {OVERHEAD_GATE}), phase coverage >= "
+          f"{100 * record['min_coverage']:.1f}%, artifacts byte-identical: "
+          f"{record['all_identical']}")
+    return 0 if record["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.lang import compile_source  # noqa: E402
+from repro.obs import counters_delta, unified_registry  # noqa: E402
 from repro.solver import Solver, binop, make_var  # noqa: E402
 from repro.symbex import ExecConfig, Executor  # noqa: E402
 
@@ -114,19 +115,27 @@ def growth_queries(chains: int, depth: int, repeats: int) -> list[list]:
 
 
 def run_solver_workload(solver: Solver, queries: list[list]) -> dict:
+    # Counters via unified-registry snapshots (esd-metrics-v1): subtract
+    # before from after; never read raw fields or reset anything.
+    registry = unified_registry(solver=solver)
+    before = registry.snapshot()
     started = time.perf_counter()
     for constraints in queries:
         solver.check(constraints)
     seconds = time.perf_counter() - started
+    after = registry.snapshot()
+    delta = counters_delta(after, before)
     return {
         "queries": len(queries),
         "seconds": round(seconds, 6),
         "qps": round(len(queries) / seconds, 1) if seconds > 0 else float("inf"),
-        "component_lookups": solver.cache.stats.lookups,
-        "cache_hits": solver.stats.cache_hits,
-        "unsat_superset_hits": solver.stats.unsat_superset_hits,
-        "sat_subset_hits": solver.stats.sat_subset_hits,
-        "search_nodes": solver.stats.search_nodes,
+        "component_lookups": delta.get("esd_solver_cache_lookups_total", 0),
+        "cache_hits": delta.get("esd_solver_cache_hits_total", 0),
+        "unsat_superset_hits": delta.get(
+            "esd_solver_unsat_superset_hits_total", 0),
+        "sat_subset_hits": delta.get("esd_solver_sat_subset_hits_total", 0),
+        "search_nodes": delta.get("esd_solver_search_nodes_total", 0),
+        "metrics": after,
     }
 
 
@@ -154,6 +163,8 @@ def run_branch_workload(solver: Solver, probes: int, sweeps: int) -> dict:
         module, solver=solver,
         config=ExecConfig(model_reuse=solver.structural_keys),
     )
+    registry = unified_registry(solver=solver, executor=executor)
+    before = registry.snapshot()
     started = time.perf_counter()
     feasible = 0
     for _ in range(sweeps):
@@ -171,14 +182,17 @@ def run_branch_workload(solver: Solver, probes: int, sweeps: int) -> dict:
             feasible += executor._feasible(state, binop("<", var, bound))
             feasible += executor._feasible(state, binop(">=", var, bound))
     seconds = time.perf_counter() - started
+    after = registry.snapshot()
+    delta = counters_delta(after, before)
     queries = 2 * probes * sweeps
     return {
         "queries": queries,
         "feasible": feasible,
         "seconds": round(seconds, 6),
         "qps": round(queries / seconds, 1) if seconds > 0 else float("inf"),
-        "fastpath_hits": solver.stats.fastpath_hits,
-        "fastpath_misses": solver.stats.fastpath_misses,
+        "fastpath_hits": delta.get("esd_solver_fastpath_hits_total", 0),
+        "fastpath_misses": delta.get("esd_solver_fastpath_misses_total", 0),
+        "metrics": after,
     }
 
 

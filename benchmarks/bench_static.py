@@ -56,6 +56,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import ESDConfig, esd_synthesize  # noqa: E402
+from repro.obs import counters_delta, unified_registry  # noqa: E402
 from repro.search import SearchBudget  # noqa: E402
 from repro.solver import Solver  # noqa: E402
 from repro.workloads import get  # noqa: E402
@@ -92,26 +93,38 @@ def run_one(name: str, pruning: bool) -> dict:
     # Cache-free solver: measured queries are real solver work, and the
     # pruning-off run cannot borrow answers computed by the pruning-on run.
     solver = Solver(structural_keys=False, subset_reasoning=False)
+    # Counters via unified-registry snapshots (never raw field reads): the
+    # prune-stats object only exists after the run, so it gets its own
+    # single post-run snapshot.
+    registry = unified_registry(solver=solver)
+    before = registry.snapshot()
     result = esd_synthesize(module, report, _config(pruning), solver=solver)
+    delta = counters_delta(registry.snapshot(), before)
     artifact = (
         result.execution_file.canonical_bytes()
         if result.execution_file is not None else None
     )
     prune = result.static_prune
+    wp = (unified_registry(prune=prune).snapshot()["metrics"]
+          if prune is not None else {})
+
+    def wp_counter(name: str):
+        return wp.get(name, {}).get("value", 0)
+
     return {
         "found": result.found,
         "reason": result.reason,
         "artifact_sha256": (
             hashlib.sha256(artifact).hexdigest() if artifact is not None else None
         ),
-        "solver_queries": solver.stats.queries,
-        "static_answers": solver.stats.static_answers,
-        "wp_refuted": solver.stats.wp_refuted,
+        "solver_queries": delta.get("esd_solver_queries_total", 0),
+        "static_answers": delta.get("esd_solver_static_answers_total", 0),
+        "wp_refuted": delta.get("esd_solver_wp_refuted_total", 0),
         "states_pruned": result.states_pruned,
-        "wp_checks": prune.checks if prune is not None else 0,
-        "wp_branch_prunes": prune.branch_prunes if prune is not None else 0,
-        "wp_state_kills": prune.state_kills if prune is not None else 0,
-        "wp_probes_avoided": prune.probes_avoided if prune is not None else 0,
+        "wp_checks": wp_counter("esd_wp_checks_total"),
+        "wp_branch_prunes": wp_counter("esd_wp_branch_prunes_total"),
+        "wp_state_kills": wp_counter("esd_wp_state_kills_total"),
+        "wp_probes_avoided": wp_counter("esd_wp_probes_avoided_total"),
         "states_explored": result.states_explored,
         "instructions": result.instructions,
         "search_seconds": round(result.search_seconds, 6),

@@ -44,7 +44,9 @@ from ..core.execfile import ExecutionFile
 from ..core.synthesis import ESDConfig, StaticStats, SynthesisResult
 from ..core.triage import TriageDatabase
 from ..lang import compile_source
+from ..obs import Tracer
 from ..playback import PlaybackResult, play_back
+from ..schema import atomic_write_text
 from ..search import EventCallback
 from ..service import JobRecord, ReproService
 from ..solver import CacheStats, SolverStats
@@ -147,6 +149,7 @@ class ReproSession:
         workers: Optional[int] = None,
         service: Optional[ReproService] = None,
         source: Optional[str] = None,
+        trace: bool = False,
     ) -> None:
         self.module = module
         self.config = config or ESDConfig()
@@ -171,6 +174,19 @@ class ReproSession:
         self.solver_cache = self.program.solver_cache
         self.solver = self.program.solver
         self.triage_db = TriageDatabase()
+        # Observability (``trace=True``): a session-rooted span tracer that
+        # every synthesize/batch/portfolio call reports into.  The tracer
+        # is attached to the session's solver -- safe because the session
+        # is single-tenant over its program -- so slow queries appear as
+        # solver-query spans.  Timing lives only in the trace document;
+        # synthesized artifacts stay byte-identical with tracing on or off.
+        self.tracer = Tracer(enabled=trace)
+        self._session_span = (
+            self.tracer.begin("session", "session", {"module": module.name})
+            if trace else None
+        )
+        if trace:
+            self.solver.tracer = self.tracer
 
     @classmethod
     def from_source(
@@ -262,6 +278,7 @@ class ReproSession:
             checkpoint_path=checkpoint_path,
             checkpoint_interval=checkpoint_interval,
             handle_signals=handle_signals,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
 
     # -- async jobs ----------------------------------------------------------
@@ -330,6 +347,7 @@ class ReproSession:
             checkpoint_path=checkpoint_path,
             checkpoint_interval=checkpoint_interval,
             handle_signals=handle_signals,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
         return pool.resume(checkpoint)
 
@@ -449,7 +467,46 @@ class ReproSession:
         max_steps: int = 10_000_000,
     ) -> PlaybackResult:
         """Deterministically replay a synthesized execution."""
-        return play_back(self.module, execution, mode=mode, max_steps=max_steps)
+        span = (self.tracer.begin("phase:replay", "phase",
+                                  {"mode": mode})
+                if self.tracer.enabled else None)
+        try:
+            return play_back(self.module, execution, mode=mode,
+                             max_steps=max_steps)
+        finally:
+            if span is not None:
+                self.tracer.finish(span)
+
+    # -- observability -------------------------------------------------------
+
+    def trace_document(self, meta: Optional[dict] = None) -> dict:
+        """The session's spans as an ``esd-trace-v1`` document.
+
+        Valid whenever the session was built with ``trace=True``; spans
+        still open (including the root session span) are exported with
+        their current duration and the tracer keeps recording, so this
+        can be called repeatedly as the session accumulates work.
+        """
+        base = {"module": self.module.name}
+        if meta:
+            base.update(meta)
+        return self.tracer.to_document(meta=base)
+
+    def save_trace(self, path, meta: Optional[dict] = None) -> dict:
+        """Write :meth:`trace_document` to ``path`` as JSON; returns it."""
+        import json as _json
+
+        doc = self.trace_document(meta=meta)
+        atomic_write_text(path, _json.dumps(doc, indent=2) + "\n")
+        return doc
+
+    def metrics(self) -> dict:
+        """The backing service's unified ``esd-metrics-v1`` snapshot.
+
+        Covers this session's program (solver, cache, static, executor
+        counters) plus any other programs registered on a shared service.
+        """
+        return self.service.metrics_snapshot()
 
     def triage(
         self,

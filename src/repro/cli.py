@@ -21,7 +21,18 @@ plus the job-service commands built on :mod:`repro.service`::
     repro submit (<coredump.json> <program.minic> | --workload NAME)
                  [--url URL] [--priority N] [--wait]
     repro status [JOB_ID] [--url URL] [--events] [--json]
-    repro fetch  JOB_ID [-o exec.json] [--url URL] [--wait]
+    repro fetch  JOB_ID [-o exec.json] [--url URL] [--wait] [--kind KIND]
+    repro stats  [--url URL] [--prometheus] [--json]
+    repro trace  TRACE_JSON [--chrome out.json] [--json]
+
+Observability: ``repro synth --trace PATH`` records a hierarchical span
+trace (``esd-trace-v1``) of the whole synthesis -- static/search/solve
+phases, search quanta, slow solver queries -- without perturbing the
+output artifact (byte-identical either way).  ``repro trace`` summarizes
+such a file and converts it to Chrome trace-event JSON for Perfetto.
+``repro serve --trace`` records one trace per job (``repro fetch --kind
+trace``); ``repro stats`` reads the live daemon's unified metrics
+registry (the same data Prometheus scrapes from ``/metrics``).
 
 The coredump file holds a serialized :class:`~repro.coredump.BugReport`
 (``BugReport.to_dict``); the program is MiniC source; the execution file is
@@ -105,9 +116,10 @@ def _load_report(path: str) -> BugReport:
     return BugReport.from_dict(json.loads(Path(path).read_text()))
 
 
-def _make_session(program: str) -> ReproSession:
+def _make_session(program: str, trace: bool = False) -> ReproSession:
     source = Path(program).read_text()
-    return ReproSession(compile_source(source, Path(program).stem))
+    return ReproSession(compile_source(source, Path(program).stem),
+                        trace=trace)
 
 
 def _make_config(args: argparse.Namespace) -> ESDConfig:
@@ -179,11 +191,12 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
     on_progress = (
         _progress_printer(label) if getattr(args, "progress", False) else None
     )
+    trace_path = getattr(args, "trace", None)
     try:
         report = _load_report(args.coredump)
         if args.bug_type:
             report.bug_type = args.bug_type
-        session = _make_session(args.program)
+        session = _make_session(args.program, trace=trace_path is not None)
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
         return 1
@@ -209,6 +222,15 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
     except GoalError as exc:
         print(f"{label}: {exc}", file=sys.stderr)
         return 1
+    if trace_path is not None:
+        try:
+            session.save_trace(trace_path)
+        except OSError as exc:
+            print(f"{label}: cannot write {trace_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{label}: wrote span trace to {trace_path} "
+              f"(inspect with `repro trace {trace_path}`)", file=sys.stderr)
     return _finish_synth(result, args, label)
 
 
@@ -604,8 +626,20 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
     warm_static = batch.static_seconds
 
     if getattr(args, "json", False):
-        sstats = session.solver_stats
-        cstats = session.solver_cache_stats
+        # All counters read through one unified-registry snapshot (the
+        # ``esd-metrics-v1`` schema every bench tool emits); the legacy
+        # ``solver`` block is derived from the same snapshot.
+        from .obs import unified_registry
+
+        registry = unified_registry(solver=session.solver,
+                                    statics=session.statics)
+        snap = registry.snapshot(meta={"tool": "repro bench",
+                                       "workload": workload.name})
+        metrics = snap["metrics"]
+
+        def counter(name: str):
+            return metrics.get(name, {}).get("value", 0)
+
         ok = all(r.found for r in batch) and all(r.found for r in cold)
         print(json.dumps({
             "workload": workload.name,
@@ -615,21 +649,28 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
                          "wall_seconds": cold_wall},
             "session": {"static_seconds": warm_static,
                         "wall_seconds": warm_wall,
-                        "distance_builds": session.static_stats.distance_builds,
-                        "cache_hits": session.static_stats.cache_hits},
+                        "distance_builds": counter(
+                            "esd_static_distance_builds_total"),
+                        "cache_hits": counter(
+                            "esd_static_cache_hits_total")},
             "amortization": (cold_static / warm_static
                              if warm_static > 0 else None),
             "solver": {
-                "queries": sstats.queries,
-                "cache_hits": sstats.cache_hits,
-                "exact_hits": cstats.exact_hits,
-                "unsat_superset_hits": cstats.unsat_superset_hits,
-                "sat_subset_hits": cstats.sat_subset_hits,
-                "unknown_hits": cstats.unknown_hits,
-                "search_nodes": sstats.search_nodes,
-                "fastpath_hits": sstats.fastpath_hits,
-                "fastpath_misses": sstats.fastpath_misses,
+                "queries": counter("esd_solver_queries_total"),
+                "cache_hits": counter("esd_solver_cache_hits_total"),
+                "exact_hits": counter("esd_solver_cache_exact_hits_total"),
+                "unsat_superset_hits": counter(
+                    "esd_solver_cache_unsat_superset_hits_total"),
+                "sat_subset_hits": counter(
+                    "esd_solver_cache_sat_subset_hits_total"),
+                "unknown_hits": counter(
+                    "esd_solver_cache_unknown_hits_total"),
+                "search_nodes": counter("esd_solver_search_nodes_total"),
+                "fastpath_hits": counter("esd_solver_fastpath_hits_total"),
+                "fastpath_misses": counter(
+                    "esd_solver_fastpath_misses_total"),
             },
+            "metrics": snap,
         }, indent=2))
         return 0 if ok else 1
 
@@ -688,7 +729,8 @@ def _run_serve(args: argparse.Namespace, label: str) -> int:
     except StoreError as exc:
         print(f"{label}: {exc}", file=sys.stderr)
         return 1
-    service = ReproService(store=store, max_workers=args.max_workers)
+    service = ReproService(store=store, max_workers=args.max_workers,
+                           trace_jobs=args.trace)
     try:
         daemon = ServiceDaemon(service, host=args.host, port=args.port,
                                spool_dir=args.spool, verbose=args.verbose)
@@ -840,6 +882,72 @@ def _run_fetch(args: argparse.Namespace, label: str) -> int:
     return 0
 
 
+def _run_stats(args: argparse.Namespace, label: str) -> int:
+    """``repro stats``: the live service's unified metrics snapshot."""
+    from .service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        if args.prometheus:
+            sys.stdout.write(client.metrics_text())
+            return 0
+        snapshot = client.metrics()
+    except ServiceClientError as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    for name, entry in snapshot["metrics"].items():
+        if entry["type"] == "histogram":
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            print(f"{name:<44} count={entry['count']} "
+                  f"sum={entry['sum']:.3f}s mean={mean:.4f}s")
+        else:
+            value = entry["value"]
+            shown = (f"{value:.4f}" if isinstance(value, float)
+                     and value != int(value) else f"{int(value)}")
+            print(f"{name:<44} {shown}")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace, label: str) -> int:
+    """``repro trace``: summarize (and convert) an esd-trace-v1 file."""
+    from .obs import chrome_trace, load_trace, phase_summary
+
+    try:
+        document = load_trace(args.trace_file)
+    except (SchemaVersionError, *_INPUT_ERRORS) as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    if args.chrome:
+        try:
+            Path(args.chrome).write_text(
+                json.dumps(chrome_trace(document)) + "\n"
+            )
+        except OSError as exc:
+            print(f"{label}: cannot write {args.chrome}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{label}: wrote Chrome trace-event JSON to {args.chrome} "
+              f"(open in Perfetto / chrome://tracing)", file=sys.stderr)
+    summary = phase_summary(document)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"{label}: {summary['spans']} span(s), {summary['jobs']} job(s), "
+          f"{summary['total_seconds']:.3f}s total"
+          + (f", {summary['dropped']} dropped" if summary["dropped"] else ""))
+    total = summary["total_seconds"] or 1.0
+    for phase, seconds in sorted(summary["phase_seconds"].items(),
+                                 key=lambda kv: -kv[1]):
+        print(f"{label}:   {phase:<10} {seconds:8.3f}s "
+              f"({100.0 * seconds / total:5.1f}%)")
+    print(f"{label}: phase coverage {100.0 * summary['coverage']:.1f}% "
+          f"of job wall-clock")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -891,6 +999,11 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
         help="print structured progress events to stderr",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a hierarchical span trace (esd-trace-v1 JSON) of the "
+             "synthesis to PATH; inspect with `repro trace PATH`",
     )
 
 
@@ -1051,6 +1164,9 @@ def repro_main(argv: list[str] | None = None) -> int:
                        help="also watch DIR for *.json job-spec files")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    serve.add_argument("--trace", action="store_true",
+                       help="record a span trace per job (fetched with "
+                            "`repro fetch --kind trace`)")
 
     submit = sub.add_parser(
         "submit", help="submit a synthesis job to a running `repro serve`"
@@ -1095,11 +1211,35 @@ def repro_main(argv: list[str] | None = None) -> int:
     fetch.add_argument("job_id")
     fetch.add_argument("-o", "--output", default="execution.json")
     fetch.add_argument("--kind", default="execution",
-                       choices=("execution", "checkpoint", "spec", "patch"))
+                       choices=("execution", "checkpoint", "spec", "patch",
+                                "trace"))
     fetch.add_argument("--url", default=None)
     fetch.add_argument("--wait", action="store_true",
                        help="wait for the job to finish first")
     fetch.add_argument("--timeout", type=float, default=None)
+
+    stats = sub.add_parser(
+        "stats", help="unified metrics snapshot from a running `repro serve`"
+    )
+    stats.add_argument("--url", default=None,
+                       help="service URL (default: $REPRO_SERVICE_URL or "
+                            "http://127.0.0.1:8377)")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="print the raw /metrics text exposition")
+    stats.add_argument("--json", action="store_true",
+                       help="print the esd-metrics-v1 snapshot as JSON")
+
+    trace = sub.add_parser(
+        "trace", help="summarize an esd-trace-v1 span trace file"
+    )
+    trace.add_argument("trace_file",
+                       help="trace JSON written by `repro synth --trace` or "
+                            "fetched with `repro fetch --kind trace`")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also convert to Chrome trace-event JSON "
+                            "(Perfetto / chrome://tracing)")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable phase summary on stdout")
 
     args = parser.parse_args(argv)
     if args.command == "synth":
@@ -1126,6 +1266,10 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_status(args, "repro status")
     if args.command == "fetch":
         return _run_fetch(args, "repro fetch")
+    if args.command == "stats":
+        return _run_stats(args, "repro stats")
+    if args.command == "trace":
+        return _run_trace(args, "repro trace")
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from .. import ir
 from ..analysis import (
@@ -363,12 +363,16 @@ def build_search_setup(
     statics: Optional[StaticAnalysisCache] = None,
     solver: Optional[Solver] = None,
     seed_offset: int = 0,
+    tracer=None,
 ) -> SearchSetup:
     """Run the static phase and wire up executor/searcher/policy.
 
     ``seed_offset`` perturbs the searcher's RNG seed (each parallel worker
     gets a distinct stream so sibling shards do not mirror each other's
-    queue choices).
+    queue choices).  ``tracer`` (a :class:`repro.obs.Tracer`) wraps the
+    call in a ``phase:static`` span and is handed to the executor's
+    solver owner for query attribution; timing stays in the trace, never
+    in the returned setup or any artifact derived from it.
     """
     config = config or ESDConfig()
     if statics is None:
@@ -379,6 +383,30 @@ def build_search_setup(
             f"not {module.name!r}; a recompiled (e.g. patched) program needs "
             f"a fresh cache/session"
         )
+    span = (tracer.begin("phase:static", "phase")
+            if tracer is not None and tracer.enabled else None)
+    try:
+        setup = _build_search_setup_timed(
+            module, report, config, statics=statics, solver=solver,
+            seed_offset=seed_offset,
+        )
+        if span is not None:
+            setup.executor.tracer = tracer
+        return setup
+    finally:
+        if span is not None:
+            tracer.finish(span)
+
+
+def _build_search_setup_timed(
+    module: ir.Module,
+    report: BugReport,
+    config: ESDConfig,
+    *,
+    statics: StaticAnalysisCache,
+    solver: Optional[Solver],
+    seed_offset: int,
+) -> SearchSetup:
     # Resolve the strategy before paying for the static phase, so a typo'd
     # name fails fast (lazy import: the registry layers above core).
     from ..api.registry import get_searcher
@@ -449,6 +477,8 @@ def esd_synthesize(
     solver: Optional[Solver] = None,
     on_progress: Optional[EventCallback] = None,
     should_stop: Optional[StopPredicate] = None,
+    tracer=None,
+    executor_sink: Optional[Callable[[Executor], None]] = None,
 ) -> SynthesisResult:
     """Synthesize an execution reproducing the reported bug.
 
@@ -459,16 +489,39 @@ def esd_synthesize(
     reports (the solver is reentrant, so portfolio variants may share one
     concurrently); ``on_progress`` observes the explore loop via
     :class:`~repro.search.SynthesisEvent`; ``should_stop`` cancels the
-    search cooperatively (outcome reason ``'cancelled'``).
+    search cooperatively (outcome reason ``'cancelled'``); ``tracer``
+    wraps the whole call in a ``job`` span containing the ``phase:*``
+    spans of the static, search, and solve phases; ``executor_sink``
+    receives the run's executor once the search ends (found or not), so
+    callers tracking cumulative ``ExecStats`` across runs can fold in
+    this run's counters before the executor is dropped.
     """
     config = config or ESDConfig()
-    setup = build_search_setup(
-        module, report, config, statics=statics, solver=solver
-    )
-    return search_from_setup(
-        module, setup, config, on_progress=on_progress,
-        should_stop=should_stop,
-    )
+    job = (tracer.begin(f"synth:{module.name}", "job",
+                        {"bug_type": report.bug_type})
+           if tracer is not None and tracer.enabled else None)
+    result: Optional[SynthesisResult] = None
+    try:
+        setup = build_search_setup(
+            module, report, config, statics=statics, solver=solver,
+            tracer=tracer,
+        )
+        try:
+            result = search_from_setup(
+                module, setup, config, on_progress=on_progress,
+                should_stop=should_stop, tracer=tracer,
+            )
+            return result
+        finally:
+            if executor_sink is not None:
+                executor_sink(setup.executor)
+    finally:
+        if job is not None:
+            attrs = ({"found": result.found, "reason": result.reason,
+                      "instructions": result.instructions,
+                      "states": result.states_explored}
+                     if result is not None else {})
+            tracer.finish(job, attrs)
 
 
 def search_from_setup(
@@ -480,6 +533,7 @@ def search_from_setup(
     count_frontier: bool = True,
     on_progress: Optional[EventCallback] = None,
     should_stop: Optional[StopPredicate] = None,
+    tracer=None,
 ) -> SynthesisResult:
     """The dynamic phase alone: explore from a prepared
     :class:`SearchSetup` and package the outcome.
@@ -495,19 +549,26 @@ def search_from_setup(
     config = config or ESDConfig()
     states = (frontier if frontier is not None
               else [setup.executor.initial_state()])
-    outcome = explore_frontier(
-        setup.executor,
-        setup.searcher,
-        states,
-        setup.goal.matches,
-        config.budget,
-        on_event=on_progress,
-        should_stop=should_stop,
-        count_frontier=count_frontier,
-    )
+    span = (tracer.begin("phase:search", "phase")
+            if tracer is not None and tracer.enabled else None)
+    try:
+        outcome = explore_frontier(
+            setup.executor,
+            setup.searcher,
+            states,
+            setup.goal.matches,
+            config.budget,
+            on_event=on_progress,
+            should_stop=should_stop,
+            count_frontier=count_frontier,
+            tracer=tracer,
+        )
+    finally:
+        if span is not None:
+            tracer.finish(span)
     return _result_from_outcome(
         module, setup.goal, outcome, setup.executor, setup.static_seconds,
-        setup.intermediate_count, setup.searcher,
+        setup.intermediate_count, setup.searcher, tracer=tracer,
     )
 
 
@@ -547,17 +608,24 @@ def _result_from_outcome(
     static_seconds: float,
     intermediate_count: int,
     searcher: object = None,
+    tracer=None,
 ) -> SynthesisResult:
     execution_file = None
     if outcome.found:
         assert outcome.goal_state is not None
-        execution_file = execution_file_from_state(
-            module.name,
-            outcome.goal_state,
-            executor.solver,
-            synthesis_seconds=static_seconds + outcome.stats.seconds,
-            instructions_explored=outcome.stats.instructions,
-        )
+        span = (tracer.begin("phase:solve", "phase")
+                if tracer is not None and tracer.enabled else None)
+        try:
+            execution_file = execution_file_from_state(
+                module.name,
+                outcome.goal_state,
+                executor.solver,
+                synthesis_seconds=static_seconds + outcome.stats.seconds,
+                instructions_explored=outcome.stats.instructions,
+            )
+        finally:
+            if span is not None:
+                tracer.finish(span)
     return SynthesisResult(
         found=outcome.found,
         reason=outcome.reason,

@@ -55,6 +55,7 @@ from typing import Optional
 from .. import ir
 from ..coredump import BugReport
 from ..core.execfile import execution_file_from_state
+from ..obs.trace import Tracer
 from ..core.synthesis import (
     ESDConfig,
     SearchSetup,
@@ -164,6 +165,7 @@ class ParallelExplorer:
         verify_snapshots: bool = False,
         source_path: str = "",
         handle_signals: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -186,6 +188,11 @@ class ParallelExplorer:
         self.checkpoints_written = 0
         self.steals = 0
         self._shutdown_requested = threading.Event()
+        # Observability: worker tracers ship their spans in quantum-status
+        # and steal payloads (the same boundaries the solver-cache delta
+        # merge uses); the master ingests them under its phase:search span.
+        self.tracer = tracer
+        self._search_span = None
 
     # -- public entry points -------------------------------------------------
 
@@ -216,21 +223,31 @@ class ParallelExplorer:
         SIGINT during the run become :meth:`request_shutdown` instead of
         killing the process mid-search, so the final checkpoint makes the
         interrupted job resumable."""
-        if not (self.handle_signals
-                and threading.current_thread() is threading.main_thread()):
-            return self._run_impl(resume)
-        previous = {}
-
-        def on_signal(signum, frame):  # noqa: ARG001 -- signal API
-            self.request_shutdown()
-
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            previous[sig] = signal.signal(sig, on_signal)
+        tracer = self.tracer
+        job = (tracer.begin(f"synth:{self.module.name}", "job",
+                            {"bug_type": self.report.bug_type,
+                             "workers": self.workers,
+                             "resumed": resume is not None})
+               if tracer is not None and tracer.enabled else None)
         try:
-            return self._run_impl(resume)
+            if not (self.handle_signals
+                    and threading.current_thread() is threading.main_thread()):
+                return self._run_impl(resume)
+            previous = {}
+
+            def on_signal(signum, frame):  # noqa: ARG001 -- signal API
+                self.request_shutdown()
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                previous[sig] = signal.signal(sig, on_signal)
+            try:
+                return self._run_impl(resume)
+            finally:
+                for sig, old in previous.items():
+                    signal.signal(sig, old)
         finally:
-            for sig, old in previous.items():
-                signal.signal(sig, old)
+            if job is not None:
+                tracer.finish(job)
 
     def _run_impl(
         self, resume: Optional[ExplorationCheckpoint]
@@ -244,11 +261,14 @@ class ParallelExplorer:
         totals = _Totals()
         setup = build_search_setup(
             self.module, self.report, config,
-            statics=self.statics, solver=self.solver,
+            statics=self.statics, solver=self.solver, tracer=self.tracer,
         )
         static_seconds = setup.static_seconds
         started = time.monotonic()
         deadline = started + budget.max_seconds
+        traced = self.tracer is not None and self.tracer.enabled
+        self._search_span = (self.tracer.begin("phase:search", "phase")
+                             if traced else None)
 
         self._emit("start", totals, (), started)
         if resume is not None:
@@ -418,6 +438,9 @@ class ParallelExplorer:
         if goal_state is None and self._errors:
             # Do not let a worker crash masquerade as a genuine negative
             # ("exhausted"/"budget") answer.
+            if self._search_span is not None and self.tracer is not None:
+                self.tracer.finish(self._search_span, {"reason": "error"})
+                self._search_span = None
             shard, trace = self._errors[0]
             raise RuntimeError(
                 f"parallel exploration worker {shard} crashed "
@@ -456,6 +479,7 @@ class ParallelExplorer:
         outcome = explore_frontier(
             setup.executor, searcher, [setup.executor.initial_state()],
             setup.goal.matches, budget, should_stop=stop, on_event=forward,
+            tracer=self.tracer,
         )
         totals.instructions += outcome.stats.instructions
         totals.states += outcome.stats.states_explored
@@ -496,7 +520,8 @@ class ParallelExplorer:
                 target=_worker_main,
                 args=(child_conn, shard_id, self.module, self.report,
                       self.config, self.statics, self.solver.cache,
-                      self._cancel, shard),
+                      self._cancel, shard,
+                      self.tracer is not None and self.tracer.enabled),
                 daemon=True,
             )
             proc.start()
@@ -608,12 +633,22 @@ class ParallelExplorer:
         for name, value in solver_delta.items():
             setattr(self.solver.stats, name,
                     getattr(self.solver.stats, name) + value)
+        self._ingest_spans(handle, payload)
         if payload["goal"] is not None:
             return restore_states(payload["goal"])[0]
         return None
 
+    def _ingest_spans(self, handle, payload) -> None:
+        """Adopt a worker's drained spans under the master's search span."""
+        spans = payload.get("spans")
+        if spans and self.tracer is not None and self.tracer.enabled:
+            parent = (self._search_span.span_id
+                      if self._search_span is not None else 0)
+            self.tracer.ingest(spans, worker=handle.shard, parent_id=parent)
+
     def _route_steal(self, victim, payload, handles) -> None:
         victim.pending = payload["pending"]
+        self._ingest_spans(victim, payload)
         thief_id, victim.thief = victim.thief, None
         if not payload["payload"]["states"]:
             return
@@ -710,13 +745,26 @@ class ParallelExplorer:
     def _result(self, goal_state, reason, setup, totals: _Totals,
                 static_seconds: float, started: float) -> SynthesisResult:
         search_seconds = totals.prior_seconds + (time.monotonic() - started)
+        tracer = self.tracer
+        if self._search_span is not None and tracer is not None:
+            tracer.finish(self._search_span,
+                          {"reason": reason, "steals": self.steals,
+                           "instructions": totals.instructions,
+                           "states": totals.states})
+            self._search_span = None
         execution_file = None
         if goal_state is not None:
-            execution_file = execution_file_from_state(
-                self.module.name, goal_state, self.solver,
-                synthesis_seconds=static_seconds + search_seconds,
-                instructions_explored=totals.instructions,
-            )
+            span = (tracer.begin("phase:solve", "phase")
+                    if tracer is not None and tracer.enabled else None)
+            try:
+                execution_file = execution_file_from_state(
+                    self.module.name, goal_state, self.solver,
+                    synthesis_seconds=static_seconds + search_seconds,
+                    instructions_explored=totals.instructions,
+                )
+            finally:
+                if span is not None:
+                    tracer.finish(span)
         self._emit("done", totals, (), started, reason=reason)
         return SynthesisResult(
             found=goal_state is not None,
@@ -737,7 +785,7 @@ class ParallelExplorer:
 
 
 def _worker_main(conn, shard_id: int, module, report, config, statics,
-                 cache, cancel, shard) -> None:
+                 cache, cancel, shard, trace: bool = False) -> None:
     """One shard's lifetime: build a search stack, serve commands.
 
     Runs in a forked child.  ``module``, ``statics``, ``cache``, and
@@ -750,7 +798,7 @@ def _worker_main(conn, shard_id: int, module, report, config, statics,
     try:
         try:
             _worker_loop(conn, shard_id, module, report, config, statics,
-                         cache, cancel, shard)
+                         cache, cancel, shard, trace)
         except Exception:  # noqa: BLE001 -- reported to the master
             # A crashed worker must not masquerade as an exhausted shard:
             # ship the traceback so the master can surface (or raise) it.
@@ -768,16 +816,27 @@ def _worker_main(conn, shard_id: int, module, report, config, statics,
 
 
 def _worker_loop(conn, shard_id: int, module, report, config, statics,
-                 cache, cancel, shard) -> None:
+                 cache, cancel, shard, trace: bool = False) -> None:
     cache.enable_delta_log()
     cache.drain_delta()  # discard anything journaled before the fork
     solver = Solver(cache=cache)
+    # Per-worker tracer: spans accumulate locally and travel to the master
+    # inside quantum-status and steal payloads (drained, so each payload
+    # carries only the spans since the previous boundary).  The worker's
+    # static setup is deliberately *not* traced -- every worker rebuilds the
+    # same warm setup, and counting it per worker would double-bill the
+    # static phase the master already recorded.
+    tracer = Tracer() if trace else None
+    if tracer is not None:
+        solver.tracer = tracer
     setup = build_search_setup(
         module, report, config, statics=statics, solver=solver,
         seed_offset=shard_id + 1,
     )
     searcher = setup.searcher
     executor = setup.executor
+    if tracer is not None:
+        executor.tracer = tracer
     solver_base = _solver_snapshot(solver.stats)
     seeds: list[ExecutionState] = list(shard)
     while True:
@@ -801,7 +860,7 @@ def _worker_loop(conn, shard_id: int, module, report, config, statics,
             outcome = explore_frontier(
                 executor, searcher, seeds, setup.goal.matches,
                 quantum_budget, should_stop=cancel.is_set,
-                count_frontier=False,
+                count_frontier=False, tracer=tracer,
             )
             seeds = []
             goal_payload = None
@@ -819,6 +878,7 @@ def _worker_loop(conn, shard_id: int, module, report, config, statics,
                 "infeasible": outcome.stats.paths_infeasible,
                 "delta": cache.drain_delta(),
                 "solver": _solver_delta(solver.stats, solver_base),
+                "spans": tracer.drain() if tracer is not None else None,
             }))
             solver_base = _solver_snapshot(solver.stats)
         elif op == "steal":
@@ -835,6 +895,7 @@ def _worker_loop(conn, shard_id: int, module, report, config, statics,
                 "payload": snapshot_states([s for _, s in stolen]),
                 "scores": [score for score, _ in stolen],
                 "pending": len(searcher),
+                "spans": tracer.drain() if tracer is not None else None,
             }))
         elif op == "export":
             scored = searcher.export_frontier()

@@ -1,0 +1,59 @@
+"""Unified telemetry: hierarchical tracing, metrics registry, exports.
+
+The observability layer the rest of the pipeline reports into:
+
+* :mod:`repro.obs.trace`   -- span tracer (session -> job -> phase ->
+  search-quantum -> solver-query), ``esd-trace-v1`` documents, Chrome
+  trace-event conversion, per-phase wall-clock attribution.
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms, the
+  ``esd-metrics-v1`` snapshot schema, Prometheus text rendering, and
+  the monotonic-snapshot/delta discipline that replaced ad-hoc stat
+  sampling in the benchmarks.
+
+Zero third-party dependencies; importing this package pulls in nothing
+beyond the stdlib and :mod:`repro.schema`.
+"""
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_FORMAT,
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    check_metrics_document,
+    counters_delta,
+    unified_registry,
+)
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    check_trace_document,
+    chrome_trace,
+    load_trace,
+    phase_summary,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS_FORMAT",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "check_metrics_document",
+    "check_trace_document",
+    "chrome_trace",
+    "counters_delta",
+    "load_trace",
+    "phase_summary",
+    "unified_registry",
+]

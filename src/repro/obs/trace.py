@@ -1,0 +1,490 @@
+"""Hierarchical span tracer for the ESD pipeline.
+
+The paper's evaluation (Table 1, Figs. 2-4) is entirely an attribution
+exercise: where does synthesis wall-clock go, between the static phase,
+the path search, the schedule search, and the final constraint solve?
+This module provides the substrate for answering that question on the
+reproduction: a tree of timed spans
+
+    session -> job -> phase(static | search | solve | replay)
+            -> search-quantum -> solver-query
+
+recorded against a single monotonic clock and exported as a versioned
+``esd-trace-v1`` JSON document (convertible to Chrome trace-event form
+for Perfetto / ``chrome://tracing``).
+
+Design constraints, in priority order:
+
+* **Disabled must be free.**  A disabled tracer is never consulted on
+  the executor hot loop at all; instrumented call sites gate on a plain
+  ``tracer is not None and tracer.enabled`` attribute check and make no
+  calls (and allocate nothing) when it fails.
+* **Timing never reaches canonical artifacts.**  Spans live in the
+  trace document only; synthesized execution files remain byte-identical
+  with tracing on or off (enforced by ``tests/test_obs.py`` and
+  ``benchmarks/bench_obs.py``).
+* **Cross-process merge.**  Pool workers run their own tracer and ship
+  completed spans inside the existing quantum status payloads (the same
+  boundary the solver-cache delta merge uses); :meth:`Tracer.ingest`
+  remaps ids and re-parents them under the master's search phase span.
+
+Span timestamps are ``time.perf_counter()`` readings paired with a
+wall-clock epoch captured at tracer construction, so serialized spans
+carry absolute wall times and can be merged across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..schema import SchemaVersionError, check_schema_version
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACE_FORMAT",
+    "TRACE_SCHEMA_VERSION",
+    "check_trace_document",
+    "chrome_trace",
+    "load_trace",
+    "phase_summary",
+]
+
+TRACE_FORMAT = "esd-trace-v1"
+TRACE_SCHEMA_VERSION = 1
+
+# Spans shorter than this are dropped by :meth:`Tracer.record` (used for
+# solver queries, which the cache answers in microseconds); begin/finish
+# spans are always kept.  Tests set it to 0.0 for determinism.
+DEFAULT_MIN_RECORD_SECONDS = 1e-4
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed node in the trace tree.  Times are tracer-relative seconds."""
+
+    span_id: int
+    parent_id: int
+    name: str
+    kind: str
+    start: float
+    end: float = -1.0
+    thread: str = ""
+    worker: int = -1
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end < 0.0
+
+    def duration(self, now: Optional[float] = None) -> float:
+        end = self.end if self.end >= 0.0 else (now if now is not None else self.start)
+        return max(0.0, end - self.start)
+
+
+class _NullSpanContext:
+    """Singleton no-op context manager returned by disabled ``span()`` calls."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Optional[Span]) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Optional[Span]:
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.finish(self._span)
+        return False
+
+
+class Tracer:
+    """Bounded in-memory span recorder with a thread-local parent stack.
+
+    One tracer instance serves one process; spans from pool workers are
+    transported as serialized dicts and re-homed via :meth:`ingest`.
+    """
+
+    def __init__(self, enabled: bool = True, *, max_spans: int = 50_000) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.min_record_seconds = DEFAULT_MIN_RECORD_SECONDS
+        self.dropped = 0
+        self.epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.epoch
+
+    def current_span_id(self) -> int:
+        stack = self._stack()
+        return stack[-1].span_id if stack else 0
+
+    def begin(self, name: str, kind: str = "span",
+              attrs: Optional[dict[str, Any]] = None,
+              parent_id: Optional[int] = None) -> Optional[Span]:
+        """Open a span and push it on this thread's parent stack.
+
+        Returns ``None`` when disabled; :meth:`finish` accepts ``None``
+        so call sites can pair begin/finish without re-checking.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        parent = parent_id if parent_id is not None else (
+            stack[-1].span_id if stack else 0
+        )
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                recorded = False
+            else:
+                recorded = True
+            span = Span(
+                span_id=self._next_id,
+                parent_id=parent,
+                name=name,
+                kind=kind,
+                start=self._now(),
+                thread=threading.current_thread().name,
+                attrs=dict(attrs) if attrs else {},
+            )
+            self._next_id += 1
+            if recorded:
+                self._spans.append(span)
+        stack.append(span)
+        return span
+
+    def finish(self, span: Optional[Span],
+               attrs: Optional[dict[str, Any]] = None) -> None:
+        """Close a span opened by :meth:`begin` and pop the parent stack."""
+        if span is None:
+            return
+        if span.end < 0.0:
+            span.end = self._now()
+        if attrs:
+            span.attrs.update(attrs)
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # defensive: unbalanced begin/finish
+            stack.remove(span)
+
+    def span(self, name: str, kind: str = "span",
+             attrs: Optional[dict[str, Any]] = None):
+        """Context-manager form of begin/finish.
+
+        Disabled tracers return a shared no-op context manager, so the
+        ``with`` statement allocates nothing.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, self.begin(name, kind, attrs))
+
+    def record(self, name: str, kind: str, start: float, end: float,
+               attrs: Optional[dict[str, Any]] = None) -> None:
+        """Record an already-timed span from raw ``perf_counter`` readings.
+
+        Used by the solver's query instrumentation: the caller times the
+        query first and only reports it when it exceeds
+        ``min_record_seconds``, so cache-hit queries (microseconds) cost
+        two clock reads and a compare instead of a span allocation.
+        """
+        if not self.enabled:
+            return
+        if end - start < self.min_record_seconds:
+            return
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else 0
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            span = Span(
+                span_id=self._next_id,
+                parent_id=parent,
+                name=name,
+                kind=kind,
+                start=start - self.epoch,
+                end=end - self.epoch,
+                thread=threading.current_thread().name,
+                attrs=dict(attrs) if attrs else {},
+            )
+            self._next_id += 1
+            self._spans.append(span)
+
+    def mark(self, name: str, kind: str = "mark",
+             attrs: Optional[dict[str, Any]] = None) -> None:
+        """Record an instantaneous event (zero-duration span)."""
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        saved, self.min_record_seconds = self.min_record_seconds, -1.0
+        try:
+            self.record(name, kind, now, now, attrs)
+        finally:
+            self.min_record_seconds = saved
+
+    # ------------------------------------------------------------------
+    # Transport (pool workers -> master)
+
+    def _serialize(self, span: Span, now: float) -> dict[str, Any]:
+        end = span.end if span.end >= 0.0 else now
+        return {
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "kind": span.kind,
+            "t0": self.epoch_wall + span.start,
+            "t1": self.epoch_wall + end,
+            "thread": span.thread,
+            "worker": span.worker,
+            "attrs": span.attrs,
+        }
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Remove and return all *closed* spans as wall-clock dicts.
+
+        Open spans stay buffered so a later drain (or document export)
+        still sees them; workers call this once per quantum status.
+        """
+        with self._lock:
+            closed = [s for s in self._spans if s.end >= 0.0]
+            self._spans = [s for s in self._spans if s.end < 0.0]
+        now = self._now()
+        return [self._serialize(s, now) for s in closed]
+
+    def ingest(self, serialized: list[dict[str, Any]], *,
+               worker: int = -1, parent_id: int = 0) -> int:
+        """Adopt spans drained from another tracer (typically a worker
+        process), remapping ids into this tracer's id space, re-homing
+        roots under ``parent_id``, and converting wall-clock times back
+        into this tracer's relative frame.  Returns spans adopted.
+        """
+        if not serialized:
+            return 0
+        id_map: dict[int, int] = {}
+        adopted = 0
+        with self._lock:
+            for raw in serialized:
+                if len(self._spans) >= self.max_spans:
+                    self.dropped += len(serialized) - adopted
+                    break
+                new_id = self._next_id
+                self._next_id += 1
+                id_map[int(raw["id"])] = new_id
+                parent = id_map.get(int(raw["parent"]), parent_id)
+                raw_worker = int(raw.get("worker", -1))
+                self._spans.append(Span(
+                    span_id=new_id,
+                    parent_id=parent,
+                    name=str(raw["name"]),
+                    kind=str(raw["kind"]),
+                    start=float(raw["t0"]) - self.epoch_wall,
+                    end=float(raw["t1"]) - self.epoch_wall,
+                    thread=str(raw.get("thread", "")),
+                    worker=raw_worker if raw_worker >= 0 else worker,
+                    attrs=dict(raw.get("attrs") or {}),
+                ))
+                adopted += 1
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Export
+
+    def spans(self) -> Iterator[Span]:
+        with self._lock:
+            return iter(list(self._spans))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def to_document(self, meta: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+        """Export the span tree as an ``esd-trace-v1`` document.
+
+        Open spans are exported with ``end`` clamped to "now" and an
+        ``open: true`` attribute; the tracer keeps recording afterwards.
+        """
+        now = self._now()
+        with self._lock:
+            snapshot = list(self._spans)
+            dropped = self.dropped
+        spans: list[dict[str, Any]] = []
+        for s in sorted(snapshot, key=lambda s: (s.start, s.span_id)):
+            end = s.end if s.end >= 0.0 else now
+            entry: dict[str, Any] = {
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "name": s.name,
+                "kind": s.kind,
+                "start": round(s.start, 9),
+                "end": round(end, 9),
+                "thread": s.thread,
+            }
+            if s.worker >= 0:
+                entry["worker"] = s.worker
+            if s.attrs:
+                entry["attrs"] = s.attrs
+            if s.end < 0.0:
+                entry["open"] = True
+            spans.append(entry)
+        doc: dict[str, Any] = {
+            "format": TRACE_FORMAT,
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "epoch_wall": self.epoch_wall,
+            "dropped": dropped,
+            "meta": dict(meta) if meta else {},
+            "spans": spans,
+        }
+        return doc
+
+
+def check_trace_document(data: dict[str, Any]) -> dict[str, Any]:
+    """Validate the shape of an ``esd-trace-v1`` document and return it."""
+    if data.get("format") != TRACE_FORMAT:
+        raise SchemaVersionError(
+            f"not a trace: format {data.get('format')!r} "
+            f"(expected {TRACE_FORMAT!r})"
+        )
+    check_schema_version(data, TRACE_SCHEMA_VERSION, "trace document")
+    spans = data.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("trace document: 'spans' must be a list")
+    seen: set[int] = set()
+    for entry in spans:
+        if not isinstance(entry, dict):
+            raise ValueError("trace document: span entries must be objects")
+        for key in ("id", "parent", "name", "kind", "start", "end"):
+            if key not in entry:
+                raise ValueError(f"trace document: span missing {key!r}")
+        if entry["end"] < entry["start"]:
+            raise ValueError(
+                f"trace document: span {entry['id']} ends before it starts"
+            )
+        if entry["id"] in seen:
+            raise ValueError(f"trace document: duplicate span id {entry['id']}")
+        seen.add(entry["id"])
+    for entry in spans:
+        if entry["parent"] != 0 and entry["parent"] not in seen:
+            # Tolerated (the parent may have been dropped at the buffer
+            # cap) but the reference must at least be an int.
+            int(entry["parent"])
+    return data
+
+
+def chrome_trace(doc: dict[str, Any]) -> dict[str, Any]:
+    """Convert an ``esd-trace-v1`` document to Chrome trace-event JSON.
+
+    The result loads directly in Perfetto / ``chrome://tracing``: one
+    complete ("X") event per span, microsecond timestamps, one virtual
+    thread row per (worker, thread) pair so the master and each pool
+    worker get their own swimlane.
+    """
+    check_trace_document(doc)
+    lanes: dict[tuple[int, str], int] = {}
+    events: list[dict[str, Any]] = []
+    for entry in doc["spans"]:
+        worker = int(entry.get("worker", -1))
+        lane_key = (worker, str(entry.get("thread", "")))
+        tid = lanes.setdefault(lane_key, len(lanes) + 1)
+        args = dict(entry.get("attrs") or {})
+        args["kind"] = entry["kind"]
+        if worker >= 0:
+            args["worker"] = worker
+        events.append({
+            "name": entry["name"],
+            "cat": entry["kind"],
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": round(float(entry["start"]) * 1e6, 3),
+            "dur": round((float(entry["end"]) - float(entry["start"])) * 1e6, 3),
+            "args": args,
+        })
+    for (worker, thread), tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        label = f"worker-{worker}/{thread}" if worker >= 0 else (thread or "main")
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": label},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def phase_summary(doc: dict[str, Any]) -> dict[str, Any]:
+    """Per-phase wall-clock attribution for an ``esd-trace-v1`` document.
+
+    ``total_seconds`` is the summed duration of the job spans (or, when a
+    trace has no job span, the root session span); ``coverage`` is the
+    fraction of that total accounted for by phase spans.  The acceptance
+    gate requires coverage >= 0.95 on a full synth run.
+    """
+    check_trace_document(doc)
+    phases: dict[str, float] = {}
+    total = 0.0
+    jobs = 0
+    for entry in doc["spans"]:
+        dur = float(entry["end"]) - float(entry["start"])
+        if entry["kind"] == "phase":
+            name = str(entry["name"])
+            if name.startswith("phase:"):
+                name = name[len("phase:"):]
+            phases[name] = phases.get(name, 0.0) + dur
+        elif entry["kind"] == "job":
+            total += dur
+            jobs += 1
+    if jobs == 0:
+        for entry in doc["spans"]:
+            if entry["kind"] == "session":
+                total += float(entry["end"]) - float(entry["start"])
+    phase_total = sum(phases.values())
+    return {
+        "jobs": jobs,
+        "total_seconds": round(total, 9),
+        "phase_seconds": {k: round(v, 9) for k, v in sorted(phases.items())},
+        "phase_total_seconds": round(phase_total, 9),
+        "coverage": round(phase_total / total, 6) if total > 0.0 else 0.0,
+        "dropped": int(doc.get("dropped", 0)),
+        "spans": len(doc["spans"]),
+    }
+
+
+def load_trace(path: str) -> dict[str, Any]:
+    """Read and validate an ``esd-trace-v1`` document from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return check_trace_document(json.load(fh))

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..obs.trace import Tracer
 from ..symbex.executor import Executor
 from ..symbex.state import ExecutionState
 
@@ -134,6 +135,7 @@ def explore(
     on_event: Optional[EventCallback] = None,
     event_interval: int = 4096,
     should_stop: Optional[StopPredicate] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SearchOutcome:
     """Run the search until the goal is found or a budget is exhausted.
 
@@ -151,7 +153,7 @@ def explore(
     return explore_frontier(
         executor, searcher, [initial], is_goal, budget,
         on_event=on_event, event_interval=event_interval,
-        should_stop=should_stop,
+        should_stop=should_stop, tracer=tracer,
     )
 
 
@@ -166,6 +168,7 @@ def explore_frontier(
     event_interval: int = 4096,
     should_stop: Optional[StopPredicate] = None,
     count_frontier: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> SearchOutcome:
     """:func:`explore` generalized to start from a whole frontier.
 
@@ -190,6 +193,15 @@ def explore_frontier(
     deadline = time.monotonic() + budget.max_seconds
     started = time.monotonic()
     states_seen = len(frontier) if count_frontier else 0
+    # Search-quantum spans: when tracing, picks are grouped into spans of
+    # ``event_interval`` picks each (the same granularity as 'progress'
+    # events and the pool's work quanta), so a trace shows where search
+    # time went without recording a span per pick.  ``traced`` is hoisted
+    # so the disabled path costs one boolean test per pick.
+    traced = tracer is not None and tracer.enabled
+    quantum_span = None
+    quantum_picks = 0
+    quantum_size = max(event_interval, 1)
 
     def emit(kind: str, reason: str = "", detail: str = "") -> None:
         if on_event is not None:
@@ -205,8 +217,13 @@ def explore_frontier(
             ))
 
     def finish(goal_state: Optional[ExecutionState], reason: str) -> SearchOutcome:
+        nonlocal quantum_span
         stats.states_explored = states_seen
         stats.seconds = time.monotonic() - started
+        if quantum_span is not None and tracer is not None:
+            tracer.finish(quantum_span, {"picks": quantum_picks,
+                                         "pending": len(searcher)})
+            quantum_span = None
         emit("done", reason=reason)
         return SearchOutcome(goal_state, reason, stats, other_bugs)
 
@@ -232,6 +249,15 @@ def explore_frontier(
 
         state = searcher.pick()
         stats.picks += 1
+        if traced and tracer is not None:
+            if quantum_span is None:
+                quantum_span = tracer.begin("search.quantum", "search-quantum")
+                quantum_picks = 0
+            quantum_picks += 1
+            if quantum_picks >= quantum_size:
+                tracer.finish(quantum_span, {"picks": quantum_picks,
+                                             "pending": len(searcher)})
+                quantum_span = None
         if on_event is not None and stats.picks % max(event_interval, 1) == 0:
             emit("progress")
         # Run the picked state for a batch: stop at a fork, termination, or

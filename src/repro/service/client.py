@@ -67,6 +67,15 @@ class ServiceClient:
     def health(self) -> dict:
         return self._json("GET", "/healthz")
 
+    def metrics(self) -> dict:
+        """The service's ``esd-metrics-v1`` snapshot."""
+        return self._json("GET", "/v1/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition from ``/metrics``."""
+        raw, _ = self._request("GET", "/metrics")
+        return raw.decode("utf-8")
+
     def submit(self, spec: Union[JobSpec, dict]) -> dict:
         """Submit a spec; returns the job record (existing one on dedup)."""
         payload = spec.to_dict() if isinstance(spec, JobSpec) else spec

@@ -2,7 +2,9 @@
 
 Wire API (all JSON; no dependencies beyond :mod:`http.server`)::
 
-    GET  /healthz                   liveness + scheduler counters
+    GET  /healthz                   liveness, queue depth, worker states
+    GET  /metrics                   Prometheus text exposition (0.0.4)
+    GET  /v1/metrics                esd-metrics-v1 JSON snapshot
     POST /v1/jobs                   submit a JobSpec document
     GET  /v1/jobs                   list job records
     GET  /v1/jobs/<id>              one job record
@@ -114,13 +116,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str, parts: list[str], query: dict) -> None:
         if method == "GET" and parts == ["healthz"]:
-            service = self.service
-            self._send_json({
-                "ok": True,
-                "version": __version__,
-                "jobs": len(service.jobs()),
-                "stats": service.stats.to_dict(),
-            })
+            payload = self.service.health()
+            payload["jobs_total"] = sum(payload["jobs"].values())
+            self._send_json(payload)
+            return
+        if method == "GET" and parts == ["metrics"]:
+            body = self.service.prometheus_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if method == "GET" and parts == ["v1", "metrics"]:
+            self._send_json(self.service.metrics_snapshot())
             return
         if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "jobs":
             self._dispatch_jobs(method, parts[2:], query)

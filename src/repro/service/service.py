@@ -36,6 +36,7 @@ not fork a process pool out of a multi-threaded daemon.  (The inline
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import threading
 import time
@@ -69,10 +70,12 @@ from ..core.synthesis import (
     search_from_setup,
 )
 from ..lang import compile_source
+from ..obs import DEFAULT_TIME_BUCKETS, MetricsRegistry, Tracer
 from ..schema import canonical_json_bytes, content_digest
 from ..search import EventCallback, StopPredicate
 from ..solver import CounterexampleCache, Solver
 from ..store import ArtifactStore
+from ..symbex.executor import ExecStats
 
 __all__ = ["ReproService", "ServiceProgram", "ServiceStats"]
 
@@ -88,13 +91,36 @@ class ServiceProgram:
         self.statics = StaticAnalysisCache(module)
         # One reentrant solver + locked structural counterexample cache per
         # program, shared by every job and inline call on it (PR 2's
-        # session-level sharing, promoted to the service layer).
+        # session-style sharing, promoted to the service layer).
         self.solver_cache = CounterexampleCache()
         self.solver = Solver(cache=self.solver_cache)
+        # Cumulative executor counters across every serial run on this
+        # program (each run builds a throwaway Executor; the service folds
+        # its stats in here so the metrics registry has a durable source).
+        self.exec_totals = ExecStats()
+        self.prune_totals: dict[str, int] = {}
+        self._totals_lock = threading.Lock()
 
     @property
     def static_stats(self):
         return self.statics.stats
+
+    def absorb_executor(self, executor) -> None:
+        """Fold a finished run's executor counters into this program's
+        cumulative totals (counters only ever grow -- interval readings
+        come from snapshot deltas, never from resets)."""
+        with self._totals_lock:
+            for f in dataclasses.fields(self.exec_totals):
+                setattr(self.exec_totals, f.name,
+                        getattr(self.exec_totals, f.name)
+                        + getattr(executor.stats, f.name))
+            prune = getattr(executor, "prune_stats", None)
+            if prune is not None:
+                for name, value in prune.to_dict().items():
+                    if isinstance(value, (int, float)):
+                        self.prune_totals[name] = (
+                            self.prune_totals.get(name, 0) + value
+                        )
 
 
 @dataclass(slots=True)
@@ -156,6 +182,7 @@ class ReproService:
         max_workers: int = 2,
         default_config: Optional[ESDConfig] = None,
         recover: bool = True,
+        trace_jobs: bool = False,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -165,6 +192,7 @@ class ReproService:
         self.max_workers = max_workers
         self.default_config = default_config or ESDConfig()
         self.stats = ServiceStats()
+        self.trace_jobs = trace_jobs
 
         self._lock = threading.RLock()
         self._cv = threading.Condition(self._lock)
@@ -180,6 +208,8 @@ class ReproService:
         self._closed = False
         self._stop = threading.Event()       # scheduler threads exit
         self._interrupt = threading.Event()  # graceful drain: checkpoint+requeue
+        self._busy = 0                       # scheduler threads inside _execute
+        self.registry = self._build_registry()
         if recover and self.store.persistent:
             self.recover()
 
@@ -255,6 +285,127 @@ class ReproService:
         if spec.workload is not None:
             return self.program_for_workload(spec.workload)
         return self.program_for_source(spec.source, spec.program_name)
+
+    # -- observability ---------------------------------------------------------
+
+    def _build_registry(self) -> MetricsRegistry:
+        """The service-wide metrics surface (``/metrics``, ``repro stats``).
+
+        Scheduling counters and per-program pipeline stats are *bound*, not
+        copied: the registry samples the live dataclasses at snapshot time
+        and sums across programs, so readings are always cumulative.
+        Interval measurements subtract two snapshots (``counters_delta``) --
+        nothing here is ever reset.
+        """
+        registry = MetricsRegistry()
+        registry.bind_stats("esd_service_jobs", lambda: self.stats,
+                            help_="service job lifecycle counters")
+
+        def programs() -> list[ServiceProgram]:
+            with self._lock:
+                return list(self._programs.values())
+
+        registry.bind_stats(
+            "esd_solver", lambda: [p.solver.stats for p in programs()],
+            help_="solver query counters across programs")
+        registry.bind_stats(
+            "esd_solver_cache",
+            lambda: [p.solver_cache.stats for p in programs()],
+            help_="counterexample cache counters across programs")
+        registry.bind_stats(
+            "esd_static", lambda: [p.static_stats for p in programs()],
+            help_="static analysis cache counters across programs")
+        registry.bind_stats(
+            "esd_exec", lambda: [p.exec_totals for p in programs()],
+            help_="symbolic executor counters across programs")
+        registry.bind_stats(
+            "esd_wp", lambda: [p.prune_totals for p in programs()],
+            help_="weakest-precondition pruning counters across programs")
+
+        def queue_depth() -> float:
+            with self._lock:
+                return float(sum(1 for r in self._records.values()
+                                 if r.state == QUEUED))
+
+        def in_flight() -> float:
+            with self._lock:
+                return float(sum(1 for r in self._records.values()
+                                 if r.state in RUNNING_STATES))
+
+        def workers_alive() -> float:
+            with self._lock:
+                return float(sum(1 for t in self._threads if t.is_alive()))
+
+        def cache_hit_rate() -> float:
+            lookups = hits = 0
+            for p in programs():
+                stats = p.solver_cache.stats
+                lookups += stats.lookups
+                hits += stats.hits
+            return hits / lookups if lookups else 0.0
+
+        registry.gauge("esd_service_queue_depth",
+                       "jobs waiting in the priority queue", fn=queue_depth)
+        registry.gauge("esd_service_jobs_inflight",
+                       "jobs currently in a running state", fn=in_flight)
+        registry.gauge("esd_service_workers_alive",
+                       "live scheduler threads", fn=workers_alive)
+        registry.gauge("esd_service_workers_busy",
+                       "scheduler threads executing a job",
+                       fn=lambda: float(self._busy))
+        registry.gauge("esd_service_programs",
+                       "registered program contexts",
+                       fn=lambda: float(len(self.programs())))
+        registry.gauge("esd_solver_cache_hit_rate",
+                       "counterexample cache hit rate across programs",
+                       fn=cache_hit_rate)
+        registry.histogram("esd_job_seconds",
+                           "wall-clock seconds per completed job",
+                           buckets=DEFAULT_TIME_BUCKETS)
+        return registry
+
+    def metrics_snapshot(self) -> dict:
+        """Point-in-time ``esd-metrics-v1`` document for every metric."""
+        return self.registry.snapshot(meta={"component": "service"})
+
+    def prometheus_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return self.registry.to_prometheus()
+
+    def health(self) -> dict:
+        """Liveness + load summary (the daemon's enriched ``/healthz``)."""
+        from .. import __version__
+
+        with self._lock:
+            states: dict[str, int] = {}
+            for record in self._records.values():
+                states[record.state] = states.get(record.state, 0) + 1
+            queue_depth = states.get(QUEUED, 0)
+            in_flight = sum(states.get(s, 0) for s in RUNNING_STATES)
+            alive = sum(1 for t in self._threads if t.is_alive())
+            busy = self._busy
+            programs = len(self._programs)
+            cache_lookups = cache_hits = 0
+            for p in self._programs.values():
+                cache_lookups += p.solver_cache.stats.lookups
+                cache_hits += p.solver_cache.stats.hits
+        return {
+            "ok": True,
+            "version": __version__,
+            "jobs": states,
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "workers": {"alive": alive, "busy": busy,
+                        "max": self.max_workers},
+            "programs": programs,
+            "solver_cache": {
+                "lookups": cache_lookups,
+                "hits": cache_hits,
+                "hit_rate": (cache_hits / cache_lookups
+                             if cache_lookups else 0.0),
+            },
+            "stats": self.stats.to_dict(),
+        }
 
     # -- submission ------------------------------------------------------------
 
@@ -540,6 +691,7 @@ class ReproService:
                 record.transition(STATIC)
                 cancel = self._cancels.setdefault(job_id, threading.Event())
                 self._persist(record)
+                self._busy += 1
             try:
                 self._execute(job_id, record, cancel)
             except Exception:  # noqa: BLE001 -- job must record the failure
@@ -550,9 +702,22 @@ class ReproService:
                     self._prune(job_id)
                     self._persist(record)
                     self._cv.notify_all()
+            finally:
+                with self._lock:
+                    self._busy -= 1
 
     def _execute(self, job_id: str, record: JobRecord,
                  cancel: threading.Event) -> None:
+        start = time.perf_counter()
+        try:
+            self._execute_job(job_id, record, cancel)
+        finally:
+            self.registry.histogram("esd_job_seconds").observe(
+                time.perf_counter() - start
+            )
+
+    def _execute_job(self, job_id: str, record: JobRecord,
+                     cancel: threading.Event) -> None:
         work = self._work[job_id]
         program = self._program_for_work(work)
         report = work.report
@@ -570,11 +735,26 @@ class ReproService:
                                  report, config)
             return
 
+        # Per-job tracer: jobs on one program share a solver, so the solver
+        # itself is never instrumented here (a shared tracer would mix
+        # concurrent jobs' queries); phase and quantum spans are per-run.
+        tracer = Tracer() if self.trace_jobs else None
+        job_span = (tracer.begin(f"job:{job_id}", "job",
+                                 {"program": program.key,
+                                  "bug_type": report.bug_type})
+                    if tracer is not None else None)
+
         setup = build_search_setup(
             program.module, report, config,
             statics=program.statics, solver=program.solver,
+            tracer=tracer,
         )
 
+        # Job bookkeeping (checkpoint restore, state persist) is timed
+        # under its own span so the trace attributes the gap between
+        # phase:static and phase:search instead of leaving it dark.
+        admit_span = (tracer.begin("job.admit", "span")
+                      if tracer is not None else None)
         frontier = None
         count_frontier = True
         prior = None
@@ -594,6 +774,8 @@ class ReproService:
                               detail=f"resuming {len(frontier)} frontier "
                                      f"state(s)" if frontier else "")
             self._persist(record)
+        if tracer is not None:
+            tracer.finish(admit_span, {"resumed": frontier is not None})
 
         def on_progress(event) -> None:
             if event.kind in ("progress", "bug"):
@@ -608,7 +790,23 @@ class ReproService:
             program.module, setup, config,
             frontier=frontier, count_frontier=count_frontier,
             on_progress=on_progress, should_stop=should_stop,
+            tracer=tracer,
         )
+        program.absorb_executor(setup.executor)
+        trace_digest = None
+        if tracer is not None:
+            tracer.finish(job_span, {
+                "found": result.found,
+                "reason": result.reason,
+                "instructions": result.instructions,
+                "states": result.states_explored,
+            })
+            trace_digest = self.store.put_bytes(
+                canonical_json_bytes(tracer.to_document(
+                    meta={"job_id": job_id, "program": program.key}
+                )),
+                kind="trace",
+            )
         if prior is not None:
             result.instructions += prior.instructions
             result.states_explored += prior.states_explored
@@ -621,6 +819,8 @@ class ReproService:
 
         with self._cv:
             record.result = _result_summary(result)
+            if trace_digest is not None:
+                record.artifacts["trace"] = trace_digest
             if result.found:
                 record.artifacts["execution"] = self.store.put_bytes(
                     result.execution_file.canonical_bytes(), kind="execution"
@@ -775,6 +975,7 @@ class ReproService:
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: float = 5.0,
         handle_signals: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> SynthesisResult:
         """Synchronous synthesis on the caller's thread against the shared
         program context -- the engine behind ``ReproSession.synthesize``.
@@ -810,14 +1011,16 @@ class ReproService:
                     checkpoint_path=checkpoint_path,
                     checkpoint_interval=checkpoint_interval,
                     handle_signals=handle_signals,
+                    tracer=tracer,
                 )
                 return pool.run()
+        # Module-global call (not a direct-import binding) so tests can
+        # stub the serial engine; the sink folds the finished run's
+        # executor counters into the program's totals (the registry's
+        # ``esd_exec_*`` source) before the executor is dropped.
         return esd_synthesize(
-            program.module,
-            report,
-            config,
-            statics=program.statics,
-            solver=program.solver,
-            on_progress=on_progress,
-            should_stop=should_stop,
+            program.module, report, config,
+            statics=program.statics, solver=program.solver,
+            on_progress=on_progress, should_stop=should_stop,
+            tracer=tracer, executor_sink=program.absorb_executor,
         )

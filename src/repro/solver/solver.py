@@ -25,6 +25,7 @@ feasible" (search keeps going, never drops paths).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -124,6 +125,13 @@ class Solver:
         self.stats = SolverStats()
         # `cache or ...` would discard an *empty* shared cache (it has len()).
         self.cache = cache if cache is not None else CounterexampleCache()
+        # Observability hooks (repro.obs), both optional and attached by the
+        # owner after construction: ``tracer`` records slow queries as
+        # solver-query spans, ``latency`` is a histogram fed every query
+        # duration.  The disabled path is two attribute loads and two `is
+        # None` tests -- no obs code runs, nothing is allocated.
+        self.tracer = None
+        self.latency = None
 
     # -- public API -----------------------------------------------------------
 
@@ -137,6 +145,24 @@ class Solver:
         cost one small solve for the component the newest constraint touches,
         with everything else answered from cache.
         """
+        tracer = self.tracer
+        if (tracer is not None and tracer.enabled) or self.latency is not None:
+            start = time.perf_counter()
+            solution = self._check_impl(constraints)
+            end = time.perf_counter()
+            if self.latency is not None:
+                self.latency.observe(end - start)
+            # Threshold checked here, not in record(): fast queries (the
+            # vast majority) then cost two clock reads and one compare --
+            # no attrs dict, no method call.
+            if (tracer is not None and tracer.enabled
+                    and end - start >= tracer.min_record_seconds):
+                tracer.record("solver.check", "solver-query", start, end,
+                              {"result": solution.result.value})
+            return solution
+        return self._check_impl(constraints)
+
+    def _check_impl(self, constraints: Iterable[Atom]) -> Solution:
         self.stats.queries += 1
         exprs: list[Expr] = []
         for atom in constraints:

@@ -167,6 +167,10 @@ class Executor:
         self.wp = wp
         self.wp_audit = wp_audit
         self.prune_stats = StaticPruneStats()
+        # Optional repro.obs tracer, attached by the owner of the search
+        # (never consulted in step() -- the hot loop stays telemetry-free;
+        # bug discoveries are rare enough to record as instant marks).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # State construction
@@ -288,6 +292,10 @@ class Executor:
             fault_value=fault_value,
             cycle=cycle or [],
         )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.mark(f"bug:{kind.value}", "bug",
+                        {"line": instr.line, "tid": state.current_tid})
 
     # ------------------------------------------------------------------
     # Value evaluation
