@@ -85,17 +85,20 @@ JOB_KINDS = ("synth", "repair")
 class JobSpec:
     """One synthesis (or repair) request in wire form.
 
-    Exactly one of ``source`` (MiniC text, compiled as ``program_name``) or
-    ``workload`` (a bundled workload name) identifies the program.  The
-    report may be omitted only for workload jobs -- the service generates
-    the workload's deterministic coredump server-side.  ``kind='repair'``
-    asks for the automated-repair pipeline instead of plain synthesis;
-    ``repair_config`` (a :class:`~repro.repair.RepairConfig` dict) tunes it.
+    Exactly one of ``source`` (program text, compiled as ``program_name``)
+    or ``workload`` (a bundled workload name) identifies the program.
+    ``lang`` selects the frontend for source jobs: ``'esd'`` (MiniC,
+    the default) or ``'python'`` (``repro.frontend``).  The report may be
+    omitted only for workload jobs -- the service generates the workload's
+    deterministic coredump server-side.  ``kind='repair'`` asks for the
+    automated-repair pipeline instead of plain synthesis; ``repair_config``
+    (a :class:`~repro.repair.RepairConfig` dict) tunes it.
     """
 
     report: Optional[BugReport] = None
     source: Optional[str] = None
     program_name: str = "main"
+    lang: str = "esd"
     workload: Optional[str] = None
     config: Optional[ESDConfig] = None
     workers: int = 1
@@ -110,6 +113,11 @@ class JobSpec:
             )
         if self.workload is None and self.report is None:
             raise SpecError("a source job spec needs a bug report")
+        if self.lang not in ("esd", "python"):
+            raise SpecError(
+                f"unknown program language {self.lang!r}; "
+                f"available: esd, python"
+            )
         if self.workers < 1:
             raise SpecError("workers must be at least 1")
         if self.kind not in JOB_KINDS:
@@ -123,7 +131,8 @@ class JobSpec:
     def to_dict(self) -> dict:
         program: dict = (
             {"workload": self.workload} if self.workload is not None
-            else {"source": self.source, "name": self.program_name}
+            else {"source": self.source, "name": self.program_name,
+                  "lang": self.lang}
         )
         return {
             "format": JOBSPEC_FORMAT,
@@ -154,6 +163,7 @@ class JobSpec:
             report=BugReport.from_dict(report) if report else None,
             source=program.get("source"),
             program_name=program.get("name", "main"),
+            lang=program.get("lang", "esd"),
             workload=program.get("workload"),
             config=ESDConfig.from_dict(config) if config else None,
             workers=data.get("workers", 1),

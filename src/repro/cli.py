@@ -88,19 +88,21 @@ from . import __version__
 from .api import ReproSession, UnknownStrategyError, available_searchers
 from .core import ESDConfig, ExecutionFile, GoalError, TriageDatabase
 from .coredump import BugReport
+from .frontend import FrontendError
 from .lang import CompileError, LexError, ParseError, compile_source
 from .schema import SchemaVersionError
 from .search import SynthesisEvent
 
 # Everything loading a bad input file can raise: unreadable/malformed/
 # wrong-shaped JSON (OSError, ValueError, KeyError, TypeError) or an
-# uncompilable program (Lex/Parse/CompileError).  Deliberately NOT wrapped
-# around the synthesis pipeline itself: an internal error there is a bug to
-# surface, not a bad input to report politely (GoalError is the one
-# input-shaped error synthesis raises, handled separately).
+# uncompilable program (Lex/Parse/CompileError for MiniC, FrontendError
+# for Python).  Deliberately NOT wrapped around the synthesis pipeline
+# itself: an internal error there is a bug to surface, not a bad input to
+# report politely (GoalError is the one input-shaped error synthesis
+# raises, handled separately).
 _INPUT_ERRORS = (
     OSError, ValueError, KeyError, TypeError, LexError, ParseError,
-    CompileError,
+    CompileError, FrontendError,
 )
 
 
@@ -116,10 +118,27 @@ def _load_report(path: str) -> BugReport:
     return BugReport.from_dict(json.loads(Path(path).read_text()))
 
 
-def _make_session(program: str, trace: bool = False) -> ReproSession:
-    source = Path(program).read_text()
-    return ReproSession(compile_source(source, Path(program).stem),
-                        trace=trace)
+def _program_lang(path: str, lang: str | None) -> str:
+    """An explicit ``--lang`` wins; otherwise the file extension decides
+    (``.py`` is Python, everything else MiniC)."""
+    if lang:
+        return lang
+    return "python" if path.endswith(".py") else "esd"
+
+
+def _compile_program(path: str, lang: str | None):
+    source = Path(path).read_text()
+    name = Path(path).stem
+    if _program_lang(path, lang) == "python":
+        from .frontend import compile_python_source
+
+        return compile_python_source(source, name)
+    return compile_source(source, name)
+
+
+def _make_session(program: str, trace: bool = False,
+                  lang: str | None = None) -> ReproSession:
+    return ReproSession(_compile_program(program, lang), trace=trace)
 
 
 def _make_config(args: argparse.Namespace) -> ESDConfig:
@@ -196,7 +215,8 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
         report = _load_report(args.coredump)
         if args.bug_type:
             report.bug_type = args.bug_type
-        session = _make_session(args.program, trace=trace_path is not None)
+        session = _make_session(args.program, trace=trace_path is not None,
+                                lang=getattr(args, "lang", None))
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
         return 1
@@ -267,7 +287,7 @@ def _run_resume(args: argparse.Namespace, label: str) -> int:
 
 def _run_play(args: argparse.Namespace, label: str) -> int:
     try:
-        session = _make_session(args.program)
+        session = _make_session(args.program, lang=getattr(args, "lang", None))
         execution = ExecutionFile.load(args.execution)
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
@@ -324,7 +344,7 @@ def _run_repair(args: argparse.Namespace, label: str) -> int:
         report = _load_report(args.coredump)
         if args.bug_type:
             report.bug_type = args.bug_type
-        session = _make_session(args.program)
+        session = _make_session(args.program, lang=getattr(args, "lang", None))
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
         return 1
@@ -393,7 +413,7 @@ def _run_repair(args: argparse.Namespace, label: str) -> int:
 def _run_triage(args: argparse.Namespace, label: str) -> int:
     as_json = getattr(args, "json", False)
     try:
-        session = _make_session(args.program)
+        session = _make_session(args.program, lang=getattr(args, "lang", None))
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
         return 1
@@ -510,8 +530,8 @@ def _load_lintable_module(args: argparse.Namespace, label: str):
                 return None
             module = get(args.workload).compile()
         elif args.program:
-            source = Path(args.program).read_text()
-            module = compile_source(source, Path(args.program).stem)
+            module = _compile_program(args.program,
+                                      getattr(args, "lang", None))
         else:
             print(f"{label}: need a program file or --workload NAME",
                   file=sys.stderr)
@@ -794,6 +814,7 @@ def _run_submit(args: argparse.Namespace, label: str) -> int:
                 report=report,
                 source=Path(args.program).read_text(),
                 program_name=Path(args.program).stem,
+                lang=_program_lang(args.program, getattr(args, "lang", None)),
                 config=_make_config(args),
                 priority=args.priority,
                 kind=kind,
@@ -948,9 +969,137 @@ def _run_trace(args: argparse.Namespace, label: str) -> int:
     return 0
 
 
+def _corpus_programs(args: argparse.Namespace):
+    """The corpus bases: the bundled fixed Python programs, or one source
+    file given with ``--program``."""
+    from .corpus import CorpusProgram, default_programs
+
+    if getattr(args, "program", None):
+        path = args.program
+        return [CorpusProgram(
+            name=Path(path).stem,
+            source=Path(path).read_text(),
+            lang=_program_lang(path, getattr(args, "lang", None)),
+        )]
+    return default_programs()
+
+
+def _print_corpus_rates(doc: dict, label: str) -> None:
+    header = (f"{'class':<12} {'sel':>4} {'man':>4} {'repro':>6} "
+              f"{'top3':>6} {'repair':>7}")
+    print(f"{label}: {header}")
+    rows = list(doc.get("classes", {}).items()) + [("TOTAL", doc["totals"])]
+    for cls, row in rows:
+        print(f"{label}: {cls:<12} {row.get('selected', 0):>4} "
+              f"{row['manifested']:>4} {row['repro_rate']:>6.2f} "
+              f"{row['top3_rate']:>6.2f} {row['repair_rate']:>7.2f}")
+
+
+def _run_corpus_cmd(args: argparse.Namespace, label: str) -> int:
+    """``repro corpus generate|run|report``: the mutation bug corpus."""
+    from .corpus import run_corpus, select_mutations
+
+    if args.mode == "report":
+        try:
+            doc = json.loads(Path(args.input).read_text())
+            if doc.get("schema") != "esd-corpus-v1":
+                raise ValueError(
+                    f"not an esd-corpus-v1 document "
+                    f"(schema {doc.get('schema')!r})"
+                )
+        except _INPUT_ERRORS as exc:
+            print(f"{label}: {_describe(exc)}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(
+                {"schema": doc["schema"], "seed": doc["seed"],
+                 "classes": doc.get("classes", {}), "totals": doc["totals"]},
+                indent=2, sort_keys=True))
+        else:
+            print(f"{label}: seed {doc['seed']}, "
+                  f"{doc['totals']['selected']} mutant(s) over "
+                  f"{len(doc.get('programs', []))} program(s)")
+            _print_corpus_rates(doc, label)
+        return 0
+
+    try:
+        programs = _corpus_programs(args)
+    except _INPUT_ERRORS as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+
+    if args.mode == "generate":
+        # Enumerate and select, but run nothing: the mutant list itself.
+        share = args.count // len(programs)
+        extra = args.count % len(programs)
+        payload = []
+        for position, program in enumerate(programs):
+            try:
+                module = program.compile()
+            except _INPUT_ERRORS as exc:
+                print(f"{label}: {program.name}: {_describe(exc)}",
+                      file=sys.stderr)
+                return 1
+            want = share + (1 if position < extra else 0)
+            selection, total = select_mutations(
+                module, args.seed + position, want)
+            payload.append({
+                "program": program.name,
+                "lang": program.lang,
+                "sites_total": total,
+                "mutations": [m.to_dict() for m in selection],
+            })
+        blob = json.dumps(
+            {"schema": "esd-corpus-mutations-v1", "seed": args.seed,
+             "programs": payload},
+            indent=2, sort_keys=True)
+        if args.output and args.output != "-":
+            Path(args.output).write_text(blob + "\n")
+            print(f"{label}: wrote "
+                  f"{sum(len(p['mutations']) for p in payload)} mutation(s) "
+                  f"to {args.output}", file=sys.stderr)
+        else:
+            print(blob)
+        return 0
+
+    # mode == "run": the full pipeline.
+    def on_progress(name, index, total, outcome):
+        if args.progress:
+            print(f"{label}: {name} {index}/{total} "
+                  f"{outcome.mutation.kind} -> {outcome.status}",
+                  file=sys.stderr)
+
+    doc = run_corpus(
+        seed=args.seed, count=args.count, programs=programs,
+        repair_every=args.repair_every, on_progress=on_progress,
+    )
+    blob = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output and args.output != "-":
+        try:
+            Path(args.output).write_text(blob + "\n")
+        except OSError as exc:
+            print(f"{label}: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{label}: wrote {args.output}", file=sys.stderr)
+    if args.json:
+        print(blob)
+    else:
+        _print_corpus_rates(doc, label)
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
+
+
+def _add_lang_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lang", choices=("esd", "python"), default=None,
+        help="program language (default: by extension -- .py is Python, "
+             "anything else MiniC)",
+    )
 
 
 def _add_search_flags(parser: argparse.ArgumentParser) -> None:
@@ -974,7 +1123,8 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
 
 def _add_synth_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("coredump", help="bug report JSON (BugReport.to_dict)")
-    parser.add_argument("program", help="MiniC source file")
+    parser.add_argument("program", help="MiniC or Python (.py) source file")
+    _add_lang_flag(parser)
     kind = parser.add_mutually_exclusive_group()
     kind.add_argument("--crash", action="store_const", const="crash", dest="bug_type")
     kind.add_argument(
@@ -1008,7 +1158,8 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_play_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("program", help="MiniC source file")
+    parser.add_argument("program", help="MiniC or Python (.py) source file")
+    _add_lang_flag(parser)
     parser.add_argument("execution", help="execution file written by repro synth")
     parser.add_argument(
         "--mode", choices=("strict", "happens-before"), default="strict"
@@ -1065,7 +1216,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         help="localize the fault and synthesize a validated patch",
     )
     repair.add_argument("coredump", help="bug report JSON (BugReport.to_dict)")
-    repair.add_argument("program", help="MiniC source file")
+    repair.add_argument("program", help="MiniC or Python (.py) source file")
+    _add_lang_flag(repair)
     repair_kind = repair.add_mutually_exclusive_group()
     repair_kind.add_argument("--crash", action="store_const", const="crash",
                              dest="bug_type")
@@ -1095,7 +1247,9 @@ def repro_main(argv: list[str] | None = None) -> int:
         help="statically lint a program's IR (bug smells + hygiene)",
     )
     lint.add_argument("program", nargs="?", default=None,
-                      help="MiniC source file (omit with --workload)")
+                      help="MiniC or Python (.py) source file "
+                           "(omit with --workload)")
+    _add_lang_flag(lint)
     lint.add_argument("--workload", default=None, metavar="NAME",
                       help="lint a bundled workload instead of a file")
     lint.add_argument("--patch", default=None, metavar="PATCH_JSON",
@@ -1115,7 +1269,9 @@ def repro_main(argv: list[str] | None = None) -> int:
         help="dump the whole-module static analysis as esd-analysis-v1 JSON",
     )
     analyze.add_argument("program", nargs="?", default=None,
-                         help="MiniC source file (omit with --workload)")
+                         help="MiniC or Python (.py) source file "
+                              "(omit with --workload)")
+    _add_lang_flag(analyze)
     analyze.add_argument("--workload", default=None, metavar="NAME",
                          help="analyze a bundled workload instead of a file")
     analyze.add_argument("--patch", default=None, metavar="PATCH_JSON",
@@ -1127,7 +1283,8 @@ def repro_main(argv: list[str] | None = None) -> int:
     triage = sub.add_parser(
         "triage", help="synthesize a stream of reports and deduplicate them"
     )
-    triage.add_argument("program", help="MiniC source file")
+    triage.add_argument("program", help="MiniC or Python (.py) source file")
+    _add_lang_flag(triage)
     triage.add_argument("coredumps", nargs="+",
                         help="bug report JSON files, one per incoming report")
     _add_search_flags(triage)
@@ -1174,7 +1331,9 @@ def repro_main(argv: list[str] | None = None) -> int:
     submit.add_argument("coredump", nargs="?", default=None,
                         help="bug report JSON (omit with --workload)")
     submit.add_argument("program", nargs="?", default=None,
-                        help="MiniC source file (omit with --workload)")
+                        help="MiniC or Python (.py) source file "
+                             "(omit with --workload)")
+    _add_lang_flag(submit)
     submit.add_argument("--workload", default=None, metavar="NAME",
                         help="submit a bundled workload instead of files")
     submit.add_argument("--bug-type", default=None, dest="bug_type",
@@ -1229,6 +1388,40 @@ def repro_main(argv: list[str] | None = None) -> int:
     stats.add_argument("--json", action="store_true",
                        help="print the esd-metrics-v1 snapshot as JSON")
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="mutation-generated bug corpus: seed bugs into correct "
+             "programs and measure the pipeline on them",
+    )
+    corpus.add_argument("mode", choices=("generate", "run", "report"),
+                        help="generate: write the selected mutation list; "
+                             "run: execute the full pipeline and write the "
+                             "esd-corpus-v1 document; report: summarize an "
+                             "existing document")
+    corpus.add_argument("input", nargs="?", default="corpus.json",
+                        help="esd-corpus-v1 document to summarize "
+                             "(report mode only; default: corpus.json)")
+    corpus.add_argument("--program", default=None, metavar="FILE",
+                        help="mutate one source file instead of the "
+                             "bundled fixed Python programs")
+    _add_lang_flag(corpus)
+    corpus.add_argument("--seed", type=int, default=0,
+                        help="mutation-selection seed (default: 0)")
+    corpus.add_argument("--count", type=int, default=100, metavar="N",
+                        help="mutants to select across programs "
+                             "(default: 100)")
+    corpus.add_argument("--repair-every", type=int, default=5, metavar="K",
+                        dest="repair_every",
+                        help="run repair on every K-th manifested mutant "
+                             "per program (1 = all, 0 = none; default: 5)")
+    corpus.add_argument("-o", "--output", default="corpus.json",
+                        help="where to write the document / mutation list "
+                             "('-' for stdout; default: corpus.json)")
+    corpus.add_argument("--json", action="store_true",
+                        help="machine-readable document on stdout")
+    corpus.add_argument("--progress", action="store_true",
+                        help="print per-mutant progress to stderr")
+
     trace = sub.add_parser(
         "trace", help="summarize an esd-trace-v1 span trace file"
     )
@@ -1268,6 +1461,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_fetch(args, "repro fetch")
     if args.command == "stats":
         return _run_stats(args, "repro stats")
+    if args.command == "corpus":
+        return _run_corpus_cmd(args, "repro corpus")
     if args.command == "trace":
         return _run_trace(args, "repro trace")
     parser.error(f"unknown command {args.command!r}")

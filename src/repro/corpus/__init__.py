@@ -1,0 +1,34 @@
+"""Mutation-generated bug corpus (``esd-corpus-v1``).
+
+The corpus closes the evaluation loop the hand-written workloads can't:
+it starts from *correct* programs, seeds bugs mechanically with the
+inverse images of the repair grammar (so ground truth is known by
+construction), and measures the whole pipeline -- reproduction rate,
+localization rank, repair rate -- per mutation class, deterministically.
+"""
+
+from .mutations import MUTATION_CLASSES, Mutation, enumerate_mutations
+from .runner import (
+    SCHEMA,
+    CorpusProgram,
+    MutantOutcome,
+    default_programs,
+    mutant_workload,
+    run_corpus,
+    run_mutant,
+    select_mutations,
+)
+
+__all__ = [
+    "MUTATION_CLASSES",
+    "Mutation",
+    "SCHEMA",
+    "CorpusProgram",
+    "MutantOutcome",
+    "default_programs",
+    "enumerate_mutations",
+    "mutant_workload",
+    "run_corpus",
+    "run_mutant",
+    "select_mutations",
+]

@@ -1,0 +1,190 @@
+"""Seedable IR mutation engine: the inverse images of the repair grammar.
+
+Each mutation class undoes one repair template (PR 5's grammar), so every
+generated bug is, by construction, fixable by the grammar and its ground
+truth is the mutated statement:
+
+=============  =======================  ================================
+mutation       inverse of template      seeded defect
+=============  =======================  ================================
+``cmp-flip``   cmp-op                   wrong comparison operator
+``off-by-one`` const-hole               constant off by one
+``guard-drop`` bounds-guard/branch-flip branch forced to one arm
+``lock-swap``  unlock-hoist             unlock sunk past a later acquire
+``stmt-del``   line-drop                stored effect deleted
+=============  =======================  ================================
+
+Mutations operate on the IR, not on source text, so they apply uniformly
+to modules compiled from MiniC *and* from real Python.  Enumeration is
+fully deterministic (module order), selection is driven by a seeded
+``random.Random`` -- the same (module, seed, count) always yields the
+same corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import ir
+from ..ir import InstrRef
+from ..repair import clone_module
+
+MUTATION_CLASSES = (
+    "cmp-flip", "off-by-one", "guard-drop", "lock-swap", "stmt-del",
+)
+
+# Flipping to the *negation* or a boundary-shifted neighbour; identity
+# excluded.  Deterministic order matters for reproducibility.
+_CMP_FLIPS = {
+    "==": ("!=", "<=", ">="),
+    "!=": ("==",),
+    "<": ("<=", ">", ">="),
+    "<=": ("<", ">=", ">"),
+    ">": (">=", "<", "<="),
+    ">=": (">", "<=", "<"),
+}
+
+
+@dataclass(slots=True)
+class Mutation:
+    """One concrete, applicable mutation with its ground truth."""
+
+    kind: str  # one of MUTATION_CLASSES
+    ref: InstrRef  # the mutated statement
+    function: str
+    line: int  # ground-truth source line
+    description: str
+    # Class-specific payload (replacement op, const delta, forced arm,
+    # insertion point...) -- everything needed to re-apply deterministically.
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.kind, self.function, self.line)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "line": self.line,
+            "ref": str(self.ref),
+            "description": self.description,
+            "detail": dict(sorted(self.detail.items())),
+        }
+
+    def apply(self, module: ir.Module) -> ir.Module:
+        """A mutated *clone* of ``module``; the input is never touched."""
+        mutant = clone_module(module)
+        block = mutant.functions[self.ref.function].blocks[self.ref.block]
+        index = self.ref.index
+        instr = block.instruction_at(index)
+        if self.kind == "cmp-flip":
+            assert isinstance(instr, ir.BinOp)
+            instr.op = self.detail["to"]
+        elif self.kind == "off-by-one":
+            assert isinstance(instr, ir.BinOp)
+            which = self.detail["operand"]
+            old = instr.lhs if which == 0 else instr.rhs
+            assert isinstance(old, ir.Const)
+            bumped = ir.Const(old.value + self.detail["delta"])
+            if which == 0:
+                instr.lhs = bumped
+            else:
+                instr.rhs = bumped
+        elif self.kind == "guard-drop":
+            assert isinstance(instr, ir.CondBr)
+            instr.cond = ir.Const(self.detail["force"])
+        elif self.kind == "lock-swap":
+            assert isinstance(instr, ir.MutexUnlock)
+            unlock = block.instrs.pop(index)
+            # The later acquire slid one slot down; re-insert after it.
+            block.instrs.insert(self.detail["past_index"], unlock)
+        elif self.kind == "stmt-del":
+            assert isinstance(instr, ir.Store)
+            block.instrs[index] = ir.Assign(
+                ir.Reg("__mut.nop"), ir.Const(0), line=instr.line
+            )
+        else:  # pragma: no cover
+            raise ValueError(f"unknown mutation kind {self.kind!r}")
+        return mutant
+
+
+def enumerate_mutations(module: ir.Module) -> list[Mutation]:
+    """Every applicable mutation, in deterministic module order."""
+    out: list[Mutation] = []
+    for func_name in module.functions:
+        func = module.functions[func_name]
+        for label in func.blocks:
+            block = func.blocks[label]
+            for index, instr in enumerate(block.instrs):
+                ref = InstrRef(func_name, label, index)
+                out.extend(_mutations_for(block, ref, instr))
+            terminator = block.terminator
+            if terminator is not None:
+                ref = InstrRef(func_name, label, len(block.instrs))
+                out.extend(_mutations_for(block, ref, terminator))
+    return out
+
+
+def _mutations_for(
+    block: ir.BasicBlock, ref: InstrRef, instr: ir.Instr
+) -> list[Mutation]:
+    out: list[Mutation] = []
+    if isinstance(instr, ir.BinOp):
+        if instr.op in _CMP_FLIPS:
+            for to in _CMP_FLIPS[instr.op]:
+                out.append(Mutation(
+                    "cmp-flip", ref, ref.function, instr.line,
+                    f"{ref}: comparison {instr.op!r} -> {to!r}",
+                    {"from": instr.op, "to": to},
+                ))
+        for which, operand in ((0, instr.lhs), (1, instr.rhs)):
+            if isinstance(operand, ir.Const):
+                for delta in (1, -1):
+                    out.append(Mutation(
+                        "off-by-one", ref, ref.function, instr.line,
+                        f"{ref}: constant {operand.value} -> "
+                        f"{operand.value + delta}",
+                        {"operand": which, "delta": delta},
+                    ))
+    elif isinstance(instr, ir.CondBr) and not isinstance(instr.cond, ir.Const):
+        for force in (1, 0):
+            arm = instr.then_target if force else instr.else_target
+            out.append(Mutation(
+                "guard-drop", ref, ref.function, instr.line,
+                f"{ref}: guard dropped, always {arm}",
+                {"force": force},
+            ))
+    elif isinstance(instr, ir.MutexUnlock):
+        swap = _lock_swap_for(block, ref, instr)
+        if swap is not None:
+            out.append(swap)
+    if isinstance(instr, ir.Store):
+        out.append(Mutation(
+            "stmt-del", ref, ref.function, instr.line,
+            f"{ref}: store deleted",
+            {},
+        ))
+    return out
+
+
+def _lock_swap_for(
+    block: ir.BasicBlock, ref: InstrRef, unlock: ir.MutexUnlock
+) -> Optional[Mutation]:
+    """An unlock followed (same block) by an acquire of a *different* mutex
+    sinks past it: the inverse of the unlock-hoist repair, re-creating the
+    hold-while-blocking lock-order bug."""
+    for later, candidate in enumerate(block.instrs[ref.index + 1:],
+                                      start=ref.index + 1):
+        if isinstance(candidate, ir.MutexLock):
+            if candidate.mutex != unlock.mutex:
+                return Mutation(
+                    "lock-swap", ref, ref.function, unlock.line,
+                    f"{ref}: unlock sunk past the acquire at index {later}",
+                    {"past_index": later},
+                )
+            return None
+        if isinstance(candidate, ir.MutexUnlock):
+            return None
+    return None

@@ -1,0 +1,496 @@
+"""Corpus pipeline: mutate -> manifest -> synth -> localize -> repair.
+
+``run_corpus`` turns correct source programs into a measured bug corpus:
+seeded mutation selection, a concrete trigger hunt per mutant (the
+simulated end-user crash), then the full ESD pipeline on the resulting
+coredump, scored against the mutation's ground-truth statement.  The
+result is a versioned ``esd-corpus-v1`` document with per-mutation-class
+reproduction / localization-rank / repair rates.
+
+Determinism contract: the same (programs, seed, count) yields a
+byte-identical document.  Budgets are instruction counts, never
+wall-clock; every rate is rounded; repair patch entries carry only the
+(kind, function, line, template-description) tuple -- hole names and
+solved bindings are process-global and excluded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .. import ir
+from ..baselines import Directive, ForcedSchedulePolicy
+from ..coredump import BugReport, coredump_from_state
+from ..core import ESDConfig
+from ..repair import RepairConfig
+from ..search import SearchBudget
+from ..symbex import BugKind, ConcreteEnv, ExecConfig, Executor, RecordedInputs
+from ..workloads.base import Workload
+from .mutations import MUTATION_CLASSES, Mutation, enumerate_mutations
+
+SCHEMA = "esd-corpus-v1"
+
+# Per-mutant concrete trigger budget (steps, not seconds) and the caps for
+# the synthesis/validation searches.  Instruction counts keep the document
+# byte-reproducible across machines; the seconds cap is a safety net that
+# no in-budget run should ever reach.
+_TRIGGER_MAX_STEPS = 60_000
+_SEARCH_BUDGET = dict(
+    max_instructions=400_000, max_states=20_000, max_seconds=3600.0,
+)
+_MAX_SCHEDULES = 12
+
+
+@dataclass(slots=True)
+class CorpusProgram:
+    """A correct source program the corpus seeds bugs into."""
+
+    name: str
+    source: str
+    lang: str = "python"  # 'python' | 'esd'
+    # The concrete input battery the trigger hunt tries, in order.
+    inputs: Sequence[RecordedInputs] = (RecordedInputs(),)
+    # For threaded programs: also try preemption schedules derived from the
+    # mutant's unlock sites (from_tid -> to_tid after each unlock).
+    schedule_preemptions: Sequence[tuple[int, int]] = ()
+
+    def compile(self) -> ir.Module:
+        if self.lang == "python":
+            from ..frontend import compile_python_source
+
+            return compile_python_source(self.source, self.name)
+        from ..lang import compile_source
+
+        return compile_source(self.source, self.name)
+
+
+def default_programs() -> list[CorpusProgram]:
+    """The bundled corpus bases: the *fixed* real-Python workloads."""
+    from ..workloads.pyprograms import FIXED_SOURCES
+
+    return [
+        CorpusProgram(
+            name="pytally",
+            source=FIXED_SOURCES["pytally"],
+            inputs=(
+                RecordedInputs(env={"MODE": "A"}),
+                RecordedInputs(env={"MODE": "B"}),
+                RecordedInputs(),
+            ),
+        ),
+        CorpusProgram(
+            name="pyledger",
+            source=FIXED_SOURCES["pyledger"],
+            inputs=(
+                RecordedInputs(env={"PLAN": "H"}),
+                RecordedInputs(env={"PLAN": "L"}),
+                RecordedInputs(),
+            ),
+        ),
+        CorpusProgram(
+            name="pyrlock",
+            source=FIXED_SOURCES["pyrlock"],
+            inputs=(RecordedInputs(),),
+            schedule_preemptions=((1, 2), (2, 1)),
+        ),
+    ]
+
+
+@dataclass(slots=True)
+class MutantOutcome:
+    """Everything the pipeline learned about one mutant."""
+
+    mutant_id: str
+    program: str
+    mutation: Mutation
+    status: str = "selected"  # invalid | benign | manifested
+    bug_kind: Optional[BugKind] = None
+    bug_type: Optional[str] = None
+    trigger_driver: Optional[dict] = None
+    reproduced: Optional[bool] = None
+    localization_rank: Optional[int] = None
+    top3: Optional[bool] = None
+    repair_attempted: bool = False
+    repaired: Optional[bool] = None
+    repaired_at_truth: Optional[bool] = None
+    patch: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "id": self.mutant_id,
+            "program": self.program,
+            "class": self.mutation.kind,
+            "site": {
+                "function": self.mutation.function,
+                "line": self.mutation.line,
+                "ref": str(self.mutation.ref),
+            },
+            "description": self.mutation.description,
+            "status": self.status,
+        }
+        if self.bug_kind is not None:
+            doc["bug_kind"] = self.bug_kind.value
+            doc["bug_type"] = self.bug_type
+            doc["trigger"] = self.trigger_driver
+            doc["reproduced"] = self.reproduced
+            doc["localization_rank"] = self.localization_rank
+            doc["top3"] = self.top3
+        if self.repair_attempted:
+            doc["repaired"] = self.repaired
+            doc["repaired_at_truth"] = self.repaired_at_truth
+            doc["patch"] = self.patch
+        return doc
+
+
+@dataclass(slots=True)
+class _Manifestation:
+    state: object
+    inputs: RecordedInputs
+    directive: Optional[Directive]
+    driver: dict
+
+
+def _search_config() -> ESDConfig:
+    return ESDConfig(budget=SearchBudget(**_SEARCH_BUDGET))
+
+
+def select_mutations(
+    module: ir.Module, seed: int, count: int
+) -> tuple[list[Mutation], int]:
+    """A seeded, class-stratified sample of ``count`` mutations (all of
+    them when fewer exist).  Every mutation class that has at least one
+    site gets at least one pick, so rare classes (``lock-swap`` typically
+    has a single site) are never sampled away.  Returns (selection, total
+    enumerated)."""
+    sites = enumerate_mutations(module)
+    if count >= len(sites):
+        return list(sites), len(sites)
+    rng = random.Random(seed)
+    picked: set[int] = set()
+    for cls in MUTATION_CLASSES:
+        indices = [i for i, s in enumerate(sites) if s.kind == cls]
+        if indices and len(picked) < count:
+            picked.add(rng.choice(indices))
+    remaining = [i for i in range(len(sites)) if i not in picked]
+    picked.update(rng.sample(remaining, count - len(picked)))
+    return [sites[i] for i in sorted(picked)], len(sites)
+
+
+def _verified(module: ir.Module) -> bool:
+    try:
+        ir.verify_module(module)
+    except Exception:
+        return False
+    return True
+
+
+def _classify(kind: BugKind) -> str:
+    if kind is BugKind.DEADLOCK:
+        return "deadlock"
+    if kind is BugKind.DATA_RACE:
+        return "race"
+    return "crash"
+
+
+def _schedule_battery(
+    module: ir.Module, preemptions: Sequence[tuple[int, int]]
+) -> list[Optional[Directive]]:
+    """No forced schedule first, then one preemption per unlock site."""
+    battery: list[Optional[Directive]] = [None]
+    unlocks = [
+        ref
+        for name in module.functions
+        for ref, instr in module.functions[name].iter_instructions()
+        if isinstance(instr, ir.MutexUnlock)
+    ]
+    for from_tid, to_tid in preemptions:
+        for ref in unlocks:
+            battery.append(Directive(ref, from_tid, to_tid))
+            if len(battery) > _MAX_SCHEDULES:
+                return battery[: _MAX_SCHEDULES + 1]
+    return battery
+
+
+def _hunt_trigger(
+    module: ir.Module, program: CorpusProgram
+) -> Optional[_Manifestation]:
+    """Concretely run the mutant over the program's input battery (and, for
+    threaded programs, its preemption schedules) until a bug manifests."""
+    schedules = _schedule_battery(module, program.schedule_preemptions)
+    for inputs in program.inputs:
+        for directive in schedules:
+            policy = (
+                ForcedSchedulePolicy([directive]) if directive is not None
+                else None
+            )
+            executor = Executor(
+                module, env=ConcreteEnv(inputs), policy=policy,
+                config=ExecConfig(),
+            )
+            try:
+                state = executor.run_to_completion(
+                    executor.initial_state(), max_steps=_TRIGGER_MAX_STEPS
+                )
+            except RuntimeError:
+                continue  # non-deterministic or runaway execution
+            if state.status == "bug" and state.bug is not None:
+                driver = {
+                    "env": dict(sorted((inputs.env or {}).items())),
+                    "schedule": str(directive.ref) if directive else None,
+                }
+                return _Manifestation(state, inputs, directive, driver)
+    return None
+
+
+def run_mutant(
+    program: CorpusProgram,
+    base_module: ir.Module,
+    mutation: Mutation,
+    mutant_id: str,
+    *,
+    with_repair: bool = False,
+) -> MutantOutcome:
+    """The full pipeline for one mutant."""
+    from ..api import ReproSession
+
+    outcome = MutantOutcome(mutant_id, program.name, mutation)
+    module = mutation.apply(base_module)
+    if not _verified(module):
+        outcome.status = "invalid"
+        return outcome
+    manifest = _hunt_trigger(module, program)
+    if manifest is None:
+        outcome.status = "benign"
+        return outcome
+    state = manifest.state
+    outcome.status = "manifested"
+    outcome.bug_kind = state.bug.kind  # type: ignore[attr-defined]
+    outcome.bug_type = _classify(outcome.bug_kind)
+    outcome.trigger_driver = manifest.driver
+
+    dump = coredump_from_state(module, state)  # type: ignore[arg-type]
+    report = BugReport(dump, outcome.bug_type,
+                       description=mutation.description)
+    session = ReproSession(module, config=_search_config())
+    try:
+        result = session.synthesize(report)
+        outcome.reproduced = bool(result.found)
+    except Exception:
+        # Mutants can manifest bugs whose coredumps the goal extractor
+        # rejects (e.g. a deadlock report with no blocked sync frame).
+        # That is a measured non-reproduction, not a corpus failure.
+        outcome.reproduced = False
+    if not outcome.reproduced:
+        outcome.top3 = False
+        return outcome
+
+    try:
+        localization = session.localize(
+            report, failing=result.execution_file, config=_search_config()
+        )
+        outcome.localization_rank = localization.rank_of(
+            mutation.function, mutation.line
+        )
+    except Exception:
+        outcome.localization_rank = None
+    outcome.top3 = (
+        outcome.localization_rank is not None
+        and outcome.localization_rank <= 3
+    )
+
+    if with_repair:
+        outcome.repair_attempted = True
+        try:
+            repair_result = session.repair(
+                report,
+                failing=result.execution_file,
+                config=RepairConfig(esd=_search_config()),
+            )
+        except Exception:
+            outcome.repaired = False
+            outcome.repaired_at_truth = False
+            return outcome
+        outcome.repaired = bool(repair_result.found)
+        patch = repair_result.patch
+        if patch is not None:
+            candidate = patch.candidate
+            outcome.patch = {
+                "kind": candidate.kind,
+                "function": candidate.function,
+                "line": candidate.line,
+            }
+            outcome.repaired_at_truth = (
+                outcome.repaired
+                and candidate.function == mutation.function
+                and candidate.line == mutation.line
+            )
+        else:
+            outcome.repaired_at_truth = False
+    return outcome
+
+
+def run_corpus(
+    *,
+    seed: int = 0,
+    count: int = 100,
+    programs: Optional[Sequence[CorpusProgram]] = None,
+    repair_every: int = 5,
+    on_progress=None,
+) -> dict:
+    """Generate and evaluate a corpus; returns the ``esd-corpus-v1`` doc.
+
+    ``count`` mutants are split evenly across the programs.  Repair (the
+    slowest stage) runs on every ``repair_every``-th manifested mutant per
+    program; 1 repairs everything, 0 disables repair.
+    """
+    programs = list(programs if programs is not None else default_programs())
+    if not programs:
+        raise ValueError("corpus needs at least one program")
+    outcomes: list[MutantOutcome] = []
+    program_meta = []
+    share = count // len(programs)
+    extra = count % len(programs)
+    for position, program in enumerate(programs):
+        base_module = program.compile()
+        want = share + (1 if position < extra else 0)
+        selection, total = select_mutations(
+            base_module, seed + position, want
+        )
+        program_meta.append({
+            "name": program.name,
+            "lang": program.lang,
+            "sites_total": total,
+            "selected": len(selection),
+        })
+        manifested_seen = 0
+        for index, mutation in enumerate(selection):
+            mutant_id = f"{program.name}-{seed}-{index:04d}"
+            with_repair = False
+            if repair_every:
+                # Decide from deterministic pipeline state (how many
+                # manifested so far), never from an RNG shared with
+                # selection.
+                with_repair = manifested_seen % repair_every == 0
+            outcome = run_mutant(
+                program, base_module, mutation, mutant_id,
+                with_repair=with_repair,
+            )
+            if outcome.status == "manifested":
+                manifested_seen += 1
+            if outcome.status != "manifested" and outcome.repair_attempted:
+                outcome.repair_attempted = False
+            outcomes.append(outcome)
+            if on_progress is not None:
+                on_progress(program.name, index + 1, len(selection), outcome)
+    return _document(seed, count, repair_every, program_meta, outcomes)
+
+
+def _rate(numerator: int, denominator: int) -> float:
+    return round(numerator / denominator, 4) if denominator else 0.0
+
+
+def _document(
+    seed: int,
+    count: int,
+    repair_every: int,
+    program_meta: list[dict],
+    outcomes: list[MutantOutcome],
+) -> dict:
+    classes = {}
+    for cls in MUTATION_CLASSES:
+        rows = [o for o in outcomes if o.mutation.kind == cls]
+        if not rows:
+            continue
+        manifested = [o for o in rows if o.status == "manifested"]
+        reproduced = [o for o in manifested if o.reproduced]
+        top3 = [o for o in manifested if o.top3]
+        attempted = [o for o in manifested if o.repair_attempted]
+        repaired = [o for o in attempted if o.repaired]
+        classes[cls] = {
+            "selected": len(rows),
+            "invalid": sum(o.status == "invalid" for o in rows),
+            "benign": sum(o.status == "benign" for o in rows),
+            "manifested": len(manifested),
+            "reproduced": len(reproduced),
+            "repro_rate": _rate(len(reproduced), len(manifested)),
+            "top3": len(top3),
+            "top3_rate": _rate(len(top3), len(manifested)),
+            "repair_attempted": len(attempted),
+            "repaired": len(repaired),
+            "repair_rate": _rate(len(repaired), len(attempted)),
+        }
+    manifested = [o for o in outcomes if o.status == "manifested"]
+    reproduced = [o for o in manifested if o.reproduced]
+    top3 = [o for o in manifested if o.top3]
+    attempted = [o for o in manifested if o.repair_attempted]
+    repaired = [o for o in attempted if o.repaired]
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "requested": count,
+        "repair_every": repair_every,
+        "budget": dict(_SEARCH_BUDGET),
+        "programs": program_meta,
+        "mutants": [o.to_dict() for o in outcomes],
+        "classes": classes,
+        "totals": {
+            "selected": len(outcomes),
+            "manifested": len(manifested),
+            "reproduced": len(reproduced),
+            "repro_rate": _rate(len(reproduced), len(manifested)),
+            "top3": len(top3),
+            "top3_rate": _rate(len(top3), len(manifested)),
+            "repair_attempted": len(attempted),
+            "repaired": len(repaired),
+            "repair_rate": _rate(len(repaired), len(attempted)),
+        },
+    }
+
+
+def mutant_workload(
+    program: CorpusProgram,
+    mutation: Mutation,
+    outcome: MutantOutcome,
+    *,
+    register: bool = False,
+) -> Workload:
+    """Wrap a manifested mutant as a first-class workload: ``repro submit
+    --workload``, the triage DB, and every CLI verb then treat it exactly
+    like the bundled programs."""
+    if outcome.status != "manifested" or outcome.bug_kind is None:
+        raise ValueError(f"mutant {outcome.mutant_id} never manifested a bug")
+    module = mutation.apply(program.compile())
+    directive = None
+    if outcome.trigger_driver and outcome.trigger_driver.get("schedule"):
+        schedule_ref = outcome.trigger_driver["schedule"]
+        preemptions = program.schedule_preemptions
+        for ref in _schedule_battery(module, preemptions)[1:]:
+            if ref is not None and str(ref.ref) == schedule_ref:
+                directive = ref
+                break
+    env = dict(outcome.trigger_driver.get("env") or {}) \
+        if outcome.trigger_driver else {}
+    captured = directive
+
+    def _directives(_module: ir.Module) -> list[Directive]:
+        assert captured is not None
+        return [captured]
+
+    workload = Workload(
+        name=f"corpus-{outcome.mutant_id}",
+        source=program.source,
+        bug_type=outcome.bug_type or "crash",
+        expected_kind=outcome.bug_kind,
+        description=f"corpus mutant: {mutation.description}",
+        trigger_inputs=RecordedInputs(env=env),
+        directives=_directives if captured is not None else None,
+        lang=program.lang,
+    )
+    workload._module = module  # pre-built: the mutation lives in the IR
+    if register:
+        from ..workloads import register as register_workload
+
+        register_workload(workload, replace=True)
+    return workload

@@ -1,0 +1,17 @@
+"""Real-Python frontend: compile a practical Python subset to the ESD IR.
+
+``compile_python_source`` is the entry point; it either produces a verified
+IR module with Python-faithful semantics or raises a precise
+:class:`UnsupportedPythonError` / :class:`PythonCompileError` -- it never
+miscompiles a construct it only partially understands.
+"""
+
+from .compiler import compile_python_source
+from .errors import FrontendError, PythonCompileError, UnsupportedPythonError
+
+__all__ = [
+    "FrontendError",
+    "PythonCompileError",
+    "UnsupportedPythonError",
+    "compile_python_source",
+]

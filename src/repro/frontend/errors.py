@@ -1,0 +1,50 @@
+"""Diagnostics for the Python frontend.
+
+Every failure names the offending construct and carries the exact source
+position (1-based line, 0-based column, matching CPython's ``ast`` fields).
+The contract is strict: a program either compiles with Python-faithful
+semantics or is rejected here -- the frontend never miscompiles a construct
+it only half-understands.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+
+
+class FrontendError(Exception):
+    """Base class for Python-frontend compilation failures."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        if line:
+            location = f"line {line}:{col}" if col else f"line {line}"
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+class UnsupportedPythonError(FrontendError):
+    """The source uses Python outside the supported subset.
+
+    The message always names the AST node class and, where it helps, the
+    reason the construct cannot be mapped onto the ESD IR faithfully.
+    """
+
+    @classmethod
+    def for_node(cls, node: pyast.AST, why: str = "") -> "UnsupportedPythonError":
+        kind = type(node).__name__
+        message = f"unsupported Python construct {kind}"
+        if why:
+            message += f" ({why})"
+        return cls(
+            message,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+        )
+
+
+class PythonCompileError(FrontendError):
+    """The construct is in the subset but the program is ill-formed
+    (unknown name, arity mismatch, duplicate definition, ...)."""

@@ -1,7 +1,8 @@
 """Abstract syntax tree for MiniC.
 
-Every node carries the source line it started on; the compiler propagates
-these onto IR instructions.
+Every node carries the source line (and 1-based column) it started on; the
+compiler propagates lines onto IR instructions and positions onto
+diagnostics.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from typing import Optional
 @dataclass(slots=True)
 class Node:
     line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
 
 
 # --- Expressions -----------------------------------------------------------

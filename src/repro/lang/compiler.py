@@ -38,9 +38,11 @@ _BUILTIN_ARITIES = {
 
 
 class CompileError(Exception):
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
+    def __init__(self, message: str, line: int, col: int = 0) -> None:
+        where = f"line {line}:{col}" if col else f"line {line}"
+        super().__init__(f"{where}: {message}")
         self.line = line
+        self.col = col
 
 
 @dataclass(slots=True)
@@ -95,7 +97,7 @@ class _Compiler:
 
     def _compile_global(self, decl: ast.VarDecl) -> None:
         if decl.name in self._globals or decl.name in self._func_names:
-            raise CompileError(f"duplicate global {decl.name!r}", decl.line)
+            raise CompileError(f"duplicate global {decl.name!r}", decl.line, decl.col)
         if decl.kind in ("mutex", "cond"):
             var = ir.GlobalVar(
                 decl.name, 1,
@@ -109,7 +111,7 @@ class _Compiler:
         if decl.kind == "array":
             init = list(decl.init_list or [])
             if len(init) > decl.array_size:
-                raise CompileError("too many initializers", decl.line)
+                raise CompileError("too many initializers", decl.line, decl.col)
             self._module.add_global(ir.GlobalVar(decl.name, decl.array_size, init))
             self._globals[decl.name] = _Symbol(
                 decl.name, "array", ir.GlobalRef(decl.name), decl.array_size
@@ -124,15 +126,14 @@ class _Compiler:
                 value = value.operand
             if not isinstance(value, ast.IntLit):
                 raise CompileError(
-                    "global initializers must be integer constants", decl.line
-                )
+                    "global initializers must be integer constants", decl.line, decl.col)
             init_cells = [-value.value if negate else value.value]
         self._module.add_global(ir.GlobalVar(decl.name, 1, init_cells))
         self._globals[decl.name] = _Symbol(decl.name, "scalar", ir.GlobalRef(decl.name))
 
     def _compile_function(self, func_def: ast.FuncDef) -> None:
         if func_def.name in self._module.functions:
-            raise CompileError(f"duplicate function {func_def.name!r}", func_def.line)
+            raise CompileError(f"duplicate function {func_def.name!r}", func_def.line, func_def.col)
         self._func = self._module.function(func_def.name, func_def.params)
         self._locals = {}
         self._temp_counter = 0
@@ -142,7 +143,8 @@ class _Compiler:
 
         # Spill parameters into allocas so they behave like any other local.
         for param in func_def.params:
-            symbol = self._declare_local(param, "scalar", 1, func_def.line)
+            symbol = self._declare_local(param, "scalar", 1, func_def.line,
+                                 func_def.col)
             self._emit(
                 ir.Store(symbol.address, ir.Reg(param), line=func_def.line)
             )
@@ -176,19 +178,20 @@ class _Compiler:
     def _switch_to(self, block: ir.BasicBlock) -> None:
         self._block = block
 
-    def _declare_local(self, name: str, kind: str, size: int, line: int) -> _Symbol:
+    def _declare_local(self, name: str, kind: str, size: int, line: int,
+                       col: int = 0) -> _Symbol:
         if name in self._locals:
-            raise CompileError(f"redeclaration of {name!r}", line)
+            raise CompileError(f"redeclaration of {name!r}", line, col)
         addr = ir.Reg(f"{name}.addr")
         self._emit(ir.Alloc(addr, ir.Const(size), heap=False, name=name, line=line))
         symbol = _Symbol(name, kind, addr, size)
         self._locals[name] = symbol
         return symbol
 
-    def _lookup(self, name: str, line: int) -> _Symbol:
+    def _lookup(self, name: str, line: int, col: int = 0) -> _Symbol:
         symbol = self._locals.get(name) or self._globals.get(name)
         if symbol is None:
-            raise CompileError(f"undefined variable {name!r}", line)
+            raise CompileError(f"undefined variable {name!r}", line, col)
         return symbol
 
     # -- statements --------------------------------------------------------------
@@ -218,21 +221,22 @@ class _Compiler:
             self._emit(ir.Ret(value, line=stmt.line))
         elif isinstance(stmt, ast.Break):
             if not self._loop_stack:
-                raise CompileError("break outside loop", stmt.line)
+                raise CompileError("break outside loop", stmt.line, stmt.col)
             self._emit(ir.Br(self._loop_stack[-1][0], line=stmt.line))
         elif isinstance(stmt, ast.Continue):
             if not self._loop_stack:
-                raise CompileError("continue outside loop", stmt.line)
+                raise CompileError("continue outside loop", stmt.line, stmt.col)
             self._emit(ir.Br(self._loop_stack[-1][1], line=stmt.line))
         else:  # pragma: no cover - parser produces no other nodes
-            raise CompileError(f"unsupported statement {stmt!r}", stmt.line)
+            raise CompileError(f"unsupported statement {stmt!r}", stmt.line, stmt.col)
 
     def _compile_local_decl(self, decl: ast.VarDecl) -> None:
         if decl.kind in ("mutex", "cond"):
-            raise CompileError("mutex/cond must be declared at global scope", decl.line)
+            raise CompileError("mutex/cond must be declared at global scope", decl.line, decl.col)
         size = decl.array_size if decl.kind == "array" else 1
         kind = "array" if decl.kind == "array" else "scalar"
-        symbol = self._declare_local(decl.name, kind, size, decl.line)
+        symbol = self._declare_local(decl.name, kind, size, decl.line,
+                                     decl.col)
         if decl.init_list is not None:
             for offset, value in enumerate(decl.init_list):
                 addr = self._temp()
@@ -333,9 +337,9 @@ class _Compiler:
     def _compile_lvalue(self, expr: ast.Expr) -> ir.Value:
         """Compile an expression to the *address* being assigned."""
         if isinstance(expr, ast.Ident):
-            symbol = self._lookup(expr.name, expr.line)
+            symbol = self._lookup(expr.name, expr.line, expr.col)
             if symbol.kind != "scalar":
-                raise CompileError(f"cannot assign to {symbol.kind} {expr.name!r}", expr.line)
+                raise CompileError(f"cannot assign to {symbol.kind} {expr.name!r}", expr.line, expr.col)
             return symbol.address
         if isinstance(expr, ast.Index):
             base = self._compile_expr(expr.base)
@@ -345,7 +349,7 @@ class _Compiler:
             return addr
         if isinstance(expr, ast.Unary) and expr.op == "*":
             return self._compile_expr(expr.operand)
-        raise CompileError("expression is not assignable", expr.line)
+        raise CompileError("expression is not assignable", expr.line, expr.col)
 
     def _compile_expr(self, expr: ast.Expr, want_value: bool = True) -> ir.Value:
         if isinstance(expr, ast.IntLit):
@@ -368,12 +372,12 @@ class _Compiler:
             return dst
         if isinstance(expr, ast.CallExpr):
             return self._compile_call(expr, want_value)
-        raise CompileError(f"unsupported expression {expr!r}", expr.line)
+        raise CompileError(f"unsupported expression {expr!r}", expr.line, expr.col)
 
     def _compile_ident(self, expr: ast.Ident) -> ir.Value:
         if expr.name in self._func_names and expr.name not in self._locals:
             return ir.FuncRef(expr.name)
-        symbol = self._lookup(expr.name, expr.line)
+        symbol = self._lookup(expr.name, expr.line, expr.col)
         if symbol.kind in ("array", "mutex", "cond"):
             return symbol.address  # arrays decay; sync objects are opaque
         dst = self._temp()
@@ -386,14 +390,14 @@ class _Compiler:
                 name = expr.operand.name
                 if name in self._func_names and name not in self._locals:
                     return ir.FuncRef(name)
-                return self._lookup(name, expr.line).address
+                return self._lookup(name, expr.line, expr.col).address
             if isinstance(expr.operand, ast.Index):
                 base = self._compile_expr(expr.operand.base)
                 index = self._compile_expr(expr.operand.index)
                 addr = self._temp()
                 self._emit(ir.Gep(addr, base, index, line=expr.line))
                 return addr
-            raise CompileError("cannot take address of expression", expr.line)
+            raise CompileError("cannot take address of expression", expr.line, expr.col)
         if expr.op == "*":
             ptr = self._compile_expr(expr.operand)
             dst = self._temp()
@@ -445,8 +449,7 @@ class _Compiler:
                 want = len(self._program_params(name))
                 if len(args) != want:
                     raise CompileError(
-                        f"{name}() takes {want} args, got {len(args)}", expr.line
-                    )
+                        f"{name}() takes {want} args, got {len(args)}", expr.line, expr.col)
                 dst = self._temp() if want_value else self._temp()
                 self._emit(ir.Call(dst, ir.FuncRef(name), args, line=expr.line))
                 return dst
@@ -467,8 +470,7 @@ class _Compiler:
         arity = _BUILTIN_ARITIES[name]
         if len(expr.args) != arity:
             raise CompileError(
-                f"{name}() takes {arity} args, got {len(expr.args)}", expr.line
-            )
+                f"{name}() takes {arity} args, got {len(expr.args)}", expr.line, expr.col)
         line = expr.line
         args = [self._compile_expr(arg) for arg in expr.args]
 

@@ -27,9 +27,11 @@ _OPERATORS = [
 
 
 class LexError(Exception):
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
+    def __init__(self, message: str, line: int, col: int = 0) -> None:
+        where = f"line {line}:{col}" if col else f"line {line}"
+        super().__init__(f"{where}: {message}")
         self.line = line
+        self.col = col
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,9 +40,10 @@ class Token:
     text: str
     line: int
     value: int = 0
+    col: int = 0  # 1-based column of the token's first character
 
     def __repr__(self) -> str:
-        return f"{self.kind}({self.text!r})@{self.line}"
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
 
 
 _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
@@ -53,12 +56,15 @@ def tokenize(source: str) -> list[Token]:
 def _tokens(source: str) -> Iterator[Token]:
     pos = 0
     line = 1
+    line_start = 0  # index of the first character of the current line
     n = len(source)
     while pos < n:
         ch = source[pos]
+        col = pos - line_start + 1
         if ch == "\n":
             line += 1
             pos += 1
+            line_start = pos
             continue
         if ch in " \t\r":
             pos += 1
@@ -70,8 +76,11 @@ def _tokens(source: str) -> Iterator[Token]:
         if source.startswith("/*", pos):
             end = source.find("*/", pos + 2)
             if end < 0:
-                raise LexError("unterminated block comment", line)
+                raise LexError("unterminated block comment", line, col)
             line += source.count("\n", pos, end)
+            newline = source.rfind("\n", pos, end + 2)
+            if newline >= 0:
+                line_start = newline + 1
             pos = end + 2
             continue
         if ch.isdigit():
@@ -79,7 +88,7 @@ def _tokens(source: str) -> Iterator[Token]:
             while pos < n and source[pos].isdigit():
                 pos += 1
             text = source[start:pos]
-            yield Token("int", text, line, value=int(text))
+            yield Token("int", text, line, value=int(text), col=col)
             continue
         if ch.isalpha() or ch == "_":
             start = pos
@@ -87,24 +96,25 @@ def _tokens(source: str) -> Iterator[Token]:
                 pos += 1
             text = source[start:pos]
             kind = "kw" if text in KEYWORDS else "ident"
-            yield Token(kind, text, line)
+            yield Token(kind, text, line, col=col)
             continue
         if ch == "'":
             value, pos = _char_literal(source, pos, line)
-            yield Token("char", source[pos - 1], line, value=value)
+            yield Token("char", source[pos - 1], line, value=value, col=col)
             continue
         if ch == '"':
-            text, pos, line = _string_literal(source, pos, line)
-            yield Token("string", text, line)
+            text, pos, new_line = _string_literal(source, pos, line)
+            yield Token("string", text, new_line, col=col)
+            line = new_line
             continue
         for op in _OPERATORS:
             if source.startswith(op, pos):
-                yield Token("op", op, line)
+                yield Token("op", op, line, col=col)
                 pos += len(op)
                 break
         else:
-            raise LexError(f"unexpected character {ch!r}", line)
-    yield Token("eof", "", line)
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col=pos - line_start + 1)
 
 
 def _char_literal(source: str, pos: int, line: int) -> tuple[int, int]:

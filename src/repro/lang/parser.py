@@ -9,9 +9,11 @@ from .lexer import Token, tokenize
 
 
 class ParseError(Exception):
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
+    def __init__(self, message: str, line: int, col: int = 0) -> None:
+        where = f"line {line}:{col}" if col else f"line {line}"
+        super().__init__(f"{where}: {message}")
         self.line = line
+        self.col = col
 
 
 # Binary operator precedence levels, lowest first.
@@ -62,7 +64,7 @@ class _Parser:
         tok = self._tok
         if tok.kind != kind or (text is not None and tok.text != text):
             want = text if text is not None else kind
-            raise ParseError(f"expected {want!r}, got {tok.text!r}", tok.line)
+            raise ParseError(f"expected {want!r}, got {tok.text!r}", tok.line, tok.col)
         return self._advance()
 
     def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
@@ -79,31 +81,30 @@ class _Parser:
         while self._tok.kind != "eof":
             if self._tok.kind != "kw":
                 raise ParseError(
-                    f"expected declaration, got {self._tok.text!r}", self._tok.line
-                )
+                    f"expected declaration, got {self._tok.text!r}", self._tok.line, self._tok.col)
             if self._tok.text in ("mutex", "cond"):
                 globals_.append(self._parse_sync_decl())
                 continue
             if self._tok.text not in _TYPE_KEYWORDS:
-                raise ParseError(f"unexpected keyword {self._tok.text!r}", self._tok.line)
+                raise ParseError(f"unexpected keyword {self._tok.text!r}", self._tok.line, self._tok.col)
             # Distinguish "int f(...) {" from "int x;" by looking past the name.
             offset = 1
             while self._peek(offset).text == "*":
                 offset += 1
             if self._peek(offset).kind != "ident":
-                raise ParseError("expected name after type", self._tok.line)
+                raise ParseError("expected name after type", self._tok.line, self._tok.col)
             after = self._peek(offset + 1)
             if after.text == "(":
                 functions.append(self._parse_function())
             else:
                 globals_.append(self._parse_var_decl())
-        return ast.Program(globals_, functions, source=self._source, line=1)
+        return ast.Program(globals_, functions, source=self._source, line=1, col=1)
 
     def _parse_sync_decl(self) -> ast.VarDecl:
         kw = self._advance()  # mutex | cond
         name = self._expect("ident")
         self._expect("op", ";")
-        return ast.VarDecl(name.text, kw.text, line=kw.line)
+        return ast.VarDecl(name.text, kw.text, line=kw.line, col=kw.col)
 
     def _parse_function(self) -> ast.FuncDef:
         start = self._advance()  # return type keyword
@@ -124,13 +125,13 @@ class _Parser:
                 self._expect("op", ",")
         self._expect("op", "{")
         body = self._parse_block_body()
-        return ast.FuncDef(name.text, params, body, line=start.line)
+        return ast.FuncDef(name.text, params, body, line=start.line, col=start.col)
 
     def _parse_block_body(self) -> list[ast.Stmt]:
         stmts: list[ast.Stmt] = []
         while not self._match("op", "}"):
             if self._tok.kind == "eof":
-                raise ParseError("unexpected end of file in block", self._tok.line)
+                raise ParseError("unexpected end of file in block", self._tok.line, self._tok.col)
             stmts.append(self._parse_statement())
         return stmts
 
@@ -151,21 +152,21 @@ class _Parser:
                 if not (self._tok.kind == "op" and self._tok.text == ";"):
                     value = self._parse_expression()
                 self._expect("op", ";")
-                return ast.Return(value, line=tok.line)
+                return ast.Return(value, line=tok.line, col=tok.col)
             if tok.text == "break":
                 self._advance()
                 self._expect("op", ";")
-                return ast.Break(line=tok.line)
+                return ast.Break(line=tok.line, col=tok.col)
             if tok.text == "continue":
                 self._advance()
                 self._expect("op", ";")
-                return ast.Continue(line=tok.line)
-            raise ParseError(f"unexpected keyword {tok.text!r}", tok.line)
+                return ast.Continue(line=tok.line, col=tok.col)
+            raise ParseError(f"unexpected keyword {tok.text!r}", tok.line, tok.col)
         if tok.text == "{":
             # A bare block is allowed and flattened by the compiler.
             self._advance()
             body = self._parse_block_body()
-            return ast.If(ast.IntLit(1, line=tok.line), body, [], line=tok.line)
+            return ast.If(ast.IntLit(1, line=tok.line, col=tok.col), body, [], line=tok.line, col=tok.col)
         return self._parse_assign_or_expr()
 
     def _parse_var_decl(self) -> ast.VarDecl:
@@ -196,7 +197,7 @@ class _Parser:
         if self._match("op", "="):
             init = self._parse_expression()
         self._expect("op", ";")
-        return ast.VarDecl(name.text, kind, init=init, line=start.line)
+        return ast.VarDecl(name.text, kind, init=init, line=start.line, col=start.col)
 
     def _parse_const_item(self) -> int:
         negative = bool(self._match("op", "-"))
@@ -204,7 +205,7 @@ class _Parser:
         if tok.kind == "int" or tok.kind == "char":
             self._advance()
             return -tok.value if negative else tok.value
-        raise ParseError("expected constant in initializer list", tok.line)
+        raise ParseError("expected constant in initializer list", tok.line, tok.col)
 
     def _parse_if(self) -> ast.If:
         start = self._expect("kw", "if")
@@ -218,7 +219,7 @@ class _Parser:
                 else_body = [self._parse_if()]
             else:
                 else_body = self._parse_body_or_single()
-        return ast.If(cond, then_body, else_body, line=start.line)
+        return ast.If(cond, then_body, else_body, line=start.line, col=start.col)
 
     def _parse_while(self) -> ast.While:
         start = self._expect("kw", "while")
@@ -226,7 +227,7 @@ class _Parser:
         cond = self._parse_expression()
         self._expect("op", ")")
         body = self._parse_body_or_single()
-        return ast.While(cond, body, line=start.line)
+        return ast.While(cond, body, line=start.line, col=start.col)
 
     def _parse_for(self) -> ast.For:
         start = self._expect("kw", "for")
@@ -246,7 +247,7 @@ class _Parser:
             step = self._parse_assign_or_expr(consume_semicolon=False)
         self._expect("op", ")")
         body = self._parse_body_or_single()
-        return ast.For(init, cond, step, body, line=start.line)
+        return ast.For(init, cond, step, body, line=start.line, col=start.col)
 
     def _parse_body_or_single(self) -> list[ast.Stmt]:
         if self._match("op", "{"):
@@ -255,15 +256,16 @@ class _Parser:
 
     def _parse_assign_or_expr(self, consume_semicolon: bool = True) -> ast.Stmt:
         line = self._tok.line
+        col = self._tok.col
         expr = self._parse_expression()
         if self._match("op", "="):
             value = self._parse_expression()
             if consume_semicolon:
                 self._expect("op", ";")
-            return ast.Assign(expr, value, line=line)
+            return ast.Assign(expr, value, line=line, col=col)
         if consume_semicolon:
             self._expect("op", ";")
-        return ast.ExprStmt(expr, line=line)
+        return ast.ExprStmt(expr, line=line, col=col)
 
     # -- expressions ---------------------------------------------------------
 
@@ -278,7 +280,7 @@ class _Parser:
         while self._tok.kind == "op" and self._tok.text in ops:
             op = self._advance()
             rhs = self._parse_binary(level + 1)
-            lhs = ast.Binary(op.text, lhs, rhs, line=op.line)
+            lhs = ast.Binary(op.text, lhs, rhs, line=op.line, col=op.col)
         return lhs
 
     def _parse_unary(self) -> ast.Expr:
@@ -286,7 +288,7 @@ class _Parser:
         if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
             self._advance()
             operand = self._parse_unary()
-            return ast.Unary(tok.text, operand, line=tok.line)
+            return ast.Unary(tok.text, operand, line=tok.line, col=tok.col)
         return self._parse_postfix()
 
     def _parse_postfix(self) -> ast.Expr:
@@ -302,12 +304,12 @@ class _Parser:
                         if self._match("op", ")"):
                             break
                         self._expect("op", ",")
-                expr = ast.CallExpr(expr, args, line=tok.line)
+                expr = ast.CallExpr(expr, args, line=tok.line, col=tok.col)
             elif tok.kind == "op" and tok.text == "[":
                 self._advance()
                 index = self._parse_expression()
                 self._expect("op", "]")
-                expr = ast.Index(expr, index, line=tok.line)
+                expr = ast.Index(expr, index, line=tok.line, col=tok.col)
             else:
                 return expr
 
@@ -315,16 +317,16 @@ class _Parser:
         tok = self._tok
         if tok.kind in ("int", "char"):
             self._advance()
-            return ast.IntLit(tok.value, line=tok.line)
+            return ast.IntLit(tok.value, line=tok.line, col=tok.col)
         if tok.kind == "string":
             self._advance()
-            return ast.StrLit(tok.text, line=tok.line)
+            return ast.StrLit(tok.text, line=tok.line, col=tok.col)
         if tok.kind == "ident":
             self._advance()
-            return ast.Ident(tok.text, line=tok.line)
+            return ast.Ident(tok.text, line=tok.line, col=tok.col)
         if tok.kind == "op" and tok.text == "(":
             self._advance()
             expr = self._parse_expression()
             self._expect("op", ")")
             return expr
-        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)

@@ -84,10 +84,12 @@ class ServiceProgram:
     """One registered program and the artifacts concurrent jobs share."""
 
     def __init__(self, key: str, module: ir.Module,
-                 source: Optional[str] = None) -> None:
+                 source: Optional[str] = None,
+                 lang: str = "esd") -> None:
         self.key = key
         self.module = module
         self.source = source
+        self.lang = lang
         self.statics = StaticAnalysisCache(module)
         # One reentrant solver + locked structural counterexample cache per
         # program, shared by every job and inline call on it (PR 2's
@@ -216,7 +218,8 @@ class ReproService:
     # -- program registry ------------------------------------------------------
 
     def register_module(self, module: ir.Module,
-                        source: Optional[str] = None) -> ServiceProgram:
+                        source: Optional[str] = None,
+                        lang: str = "esd") -> ServiceProgram:
         """Register an already-compiled module (the session facade's path).
 
         With ``source`` given, the context is keyed by the source digest and
@@ -226,24 +229,31 @@ class ReproService:
             key = self._module_keys.get(id(module))
             if key is None:
                 if source is not None:
-                    key = self._source_key(source, module.name)
+                    key = self._source_key(source, module.name, lang)
                 else:
                     key = f"module:{module.name}#{len(self._programs)}"
             program = self._programs.get(key)
             if program is None:
-                program = ServiceProgram(key, module, source)
+                program = ServiceProgram(key, module, source, lang=lang)
                 self._programs[key] = program
             self._module_keys[id(module)] = key
             return program
 
-    def program_for_source(self, source: str, name: str = "main") -> ServiceProgram:
-        """Compile-once program context for MiniC source text."""
-        key = self._source_key(source, name)
+    def program_for_source(self, source: str, name: str = "main",
+                           lang: str = "esd") -> ServiceProgram:
+        """Compile-once program context for source text (MiniC or, with
+        ``lang='python'``, the real-Python frontend)."""
+        key = self._source_key(source, name, lang)
         with self._lock:
             program = self._programs.get(key)
             if program is None:
-                program = ServiceProgram(key, compile_source(source, name),
-                                         source)
+                if lang == "python":
+                    from ..frontend import compile_python_source
+
+                    module = compile_python_source(source, name)
+                else:
+                    module = compile_source(source, name)
+                program = ServiceProgram(key, module, source, lang=lang)
                 self._programs[key] = program
                 self._module_keys[id(program.module)] = key
             return program
@@ -262,7 +272,8 @@ class ReproService:
             program = self._programs.get(key)
             if program is None:
                 program = ServiceProgram(key, workload.compile(),
-                                         workload.source)
+                                         workload.source,
+                                         lang=workload.lang)
                 self._programs[key] = program
                 self._module_keys[id(program.module)] = key
             return program
@@ -272,9 +283,9 @@ class ReproService:
             return dict(self._programs)
 
     @staticmethod
-    def _source_key(source: str, name: str) -> str:
+    def _source_key(source: str, name: str, lang: str = "esd") -> str:
         return "src:" + content_digest(
-            canonical_json_bytes([name, source])
+            canonical_json_bytes([name, source, lang])
         )[:16]
 
     def _program_for_work(self, work: _Work) -> ServiceProgram:
@@ -284,7 +295,8 @@ class ReproService:
         assert spec is not None
         if spec.workload is not None:
             return self.program_for_workload(spec.workload)
-        return self.program_for_source(spec.source, spec.program_name)
+        return self.program_for_source(spec.source, spec.program_name,
+                                       lang=spec.lang)
 
     # -- observability ---------------------------------------------------------
 
@@ -438,6 +450,7 @@ class ReproService:
         if program.source is not None:
             spec = JobSpec(report=report, source=program.source,
                            program_name=program.module.name,
+                           lang=program.lang,
                            config=config, priority=priority,
                            kind=kind, repair_config=repair_config)
             record = self.submit(spec)

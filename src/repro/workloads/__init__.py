@@ -1,4 +1,5 @@
-"""The evaluation workloads (paper Table 1 + the Figure 2 ls variants)."""
+"""The evaluation workloads (paper Table 1 + the Figure 2 ls variants),
+plus the real-Python programs compiled through ``repro.frontend``."""
 
 from .base import Workload
 from .coreutils import MKDIR, MKFIFO, MKNOD, PASTE, TAC
@@ -7,6 +8,7 @@ from .hawknl import WORKLOAD as HAWKNL
 from .listing1 import WORKLOAD as LISTING1
 from .ls import LS1, LS2, LS3, LS4, ls_source
 from .minidb import WORKLOAD as MINIDB
+from .pyprograms import PYLEDGER, PYRLOCK, PYTALLY, PYTHON_WORKLOADS
 
 # Table 1's eight real bugs, in the paper's order.
 TABLE1 = [MINIDB, HAWKNL, GHTTPD, PASTE, MKNOD, MKDIR, MKFIFO, TAC]
@@ -18,11 +20,28 @@ FIGURE2 = [LS1, LS2, LS3, LS4, GHTTPD, TAC, MKDIR, MKFIFO, MKNOD, PASTE,
 # ghttpd-hard is not part of the paper's evaluation set: it scales the
 # ghttpd overflow behind a header-parsing plateau for the distributed-
 # search benchmark, so it joins the registry but not TABLE1/FIGURE2.
-ALL = {w.name: w for w in [LISTING1] + FIGURE2 + [GHTTPD_HARD]}
+# The Python workloads likewise join the registry only: they are the
+# frontend's evaluation set, not the paper's.
+ALL = {
+    w.name: w
+    for w in [LISTING1] + FIGURE2 + [GHTTPD_HARD] + PYTHON_WORKLOADS
+}
 
 
 def get(name: str) -> Workload:
     return ALL[name]
+
+
+def register(workload: Workload, replace: bool = False) -> Workload:
+    """Add a workload to the registry (corpus variants, plugins, tests).
+
+    Registered programs are first-class: ``repro submit --workload``, the
+    triage database, and every CLI verb resolve them through ``get``.
+    """
+    if workload.name in ALL and not replace:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    ALL[workload.name] = workload
+    return workload
 
 
 __all__ = [
@@ -41,9 +60,14 @@ __all__ = [
     "MKFIFO",
     "MKNOD",
     "PASTE",
+    "PYLEDGER",
+    "PYRLOCK",
+    "PYTALLY",
+    "PYTHON_WORKLOADS",
     "TABLE1",
     "TAC",
     "Workload",
     "get",
     "ls_source",
+    "register",
 ]

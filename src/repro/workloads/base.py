@@ -32,11 +32,17 @@ class Workload:
     directives: Optional[DirectiveFactory] = None
     corrupt_dump: bool = False  # the ghttpd scenario
     paper_seconds: Optional[float] = None  # Table 1's reported synthesis time
+    lang: str = "esd"  # 'esd' (MiniC) | 'python' (repro.frontend)
     _module: Optional[ir.Module] = None
 
     def compile(self) -> ir.Module:
         if self._module is None:
-            self._module = compile_source(self.source, self.name)
+            if self.lang == "python":
+                from ..frontend import compile_python_source
+
+                self._module = compile_python_source(self.source, self.name)
+            else:
+                self._module = compile_source(self.source, self.name)
         return self._module
 
     @property

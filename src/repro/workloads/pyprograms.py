@@ -1,0 +1,236 @@
+"""Real-Python workloads, compiled through ``repro.frontend``.
+
+Three actual Python programs with seeded bugs, exercising the three bug
+shapes the pipeline handles end to end: an out-of-bounds read behind an
+off-by-one comparison, an assertion failure behind an unguarded constant,
+and a lock-order deadlock in a hand-rolled recursive lock (the SQLite
+#1672 shape from ``minidb``, now in Python ``threading``).
+
+Each program also ships its *fixed* source (``*_FIXED``): the mutation
+corpus (``repro.corpus``) starts from the correct program and re-seeds
+bugs mechanically, so ground truth is known by construction.  The buggy
+sources here stay hand-written because their trigger inputs and repair
+ground truth are part of the evaluation contract.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..baselines import Directive
+from ..symbex import BugKind, RecordedInputs
+from .base import Workload
+
+# ---------------------------------------------------------------------------
+# pytally: off-by-one bound -> out-of-bounds list read (IndexError).
+# ---------------------------------------------------------------------------
+
+PYTALLY_SOURCE = '''\
+"""pytally: sum a fixed report window from a metrics ring."""
+import os
+
+ITEMS = [3, 1, 4, 1, 5, 9, 2, 6]
+
+
+def total(upto):
+    s = 0
+    i = 0
+    while i <= upto:
+        s = s + ITEMS[i]
+        i = i + 1
+    return s
+
+
+def main():
+    mode = os.getenv("MODE")
+    limit = 4
+    if mode[0] == 'A':
+        limit = len(ITEMS)
+    return total(limit)
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+# The fix: the window bound is exclusive.
+PYTALLY_FIXED = PYTALLY_SOURCE.replace("while i <= upto:", "while i < upto:")
+
+PYTALLY = Workload(
+    name="pytally",
+    source=PYTALLY_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.OUT_OF_BOUNDS,
+    description="IndexError: off-by-one window bound reads past the ring",
+    trigger_inputs=RecordedInputs(env={"MODE": "A"}),
+    lang="python",
+)
+
+# ---------------------------------------------------------------------------
+# pyledger: unguarded fee escalation -> failed balance assertion.
+# ---------------------------------------------------------------------------
+
+PYLEDGER_SOURCE = '''\
+"""pyledger: toy double-entry ledger with a non-negative balance invariant."""
+import os
+
+BALANCE = [100, 50]
+FEES_PAID = 0
+
+
+def apply_fee(acct, fee):
+    global FEES_PAID
+    BALANCE[acct] = BALANCE[acct] - fee
+    FEES_PAID = FEES_PAID + fee
+    return BALANCE[acct]
+
+
+def main():
+    mode = os.getenv("PLAN")
+    fee = 2
+    if mode[0] == 'H':
+        fee = 60
+    apply_fee(0, fee)
+    apply_fee(1, fee)
+    assert BALANCE[1] >= 0
+    return FEES_PAID
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+# The fix: the premium plan fee must not exceed the smallest balance.
+PYLEDGER_FIXED = PYLEDGER_SOURCE.replace("fee = 60", "fee = 40")
+
+PYLEDGER = Workload(
+    name="pyledger",
+    source=PYLEDGER_SOURCE,
+    bug_type="crash",
+    expected_kind=BugKind.ASSERT_FAIL,
+    description="AssertionError: premium fee drives a balance negative",
+    trigger_inputs=RecordedInputs(env={"PLAN": "H"}),
+    lang="python",
+)
+
+# ---------------------------------------------------------------------------
+# pyrlock: hand-rolled recursive lock, acquires the real lock while still
+# holding the bookkeeping mutex (SQLite #1672 analogue, in Python).
+# ---------------------------------------------------------------------------
+
+PYRLOCK_SOURCE = '''\
+"""pyrlock: recursive lock built from two threading.Locks."""
+import threading
+
+master = threading.Lock()
+real = threading.Lock()
+OWNER = -1
+COUNT = 0
+TOTAL = 0
+SEEN = 0
+
+
+def rl_enter(tid):
+    global OWNER, COUNT
+    master.acquire()
+    if OWNER == tid:
+        COUNT = COUNT + 1
+        master.release()
+        return 0
+    real.acquire()
+    OWNER = tid
+    COUNT = 1
+    master.release()
+    return 0
+
+
+def rl_leave(tid):
+    global OWNER, COUNT
+    master.acquire()
+    COUNT = COUNT - 1
+    if COUNT == 0:
+        OWNER = -1
+        real.release()
+    master.release()
+    return 0
+
+
+def writer(tid):
+    global TOTAL
+    rl_enter(tid)
+    i = 0
+    while i < 2:
+        rl_enter(tid)
+        TOTAL = TOTAL + i
+        rl_leave(tid)
+        i = i + 1
+    rl_leave(tid)
+    return 0
+
+
+def reader(tid):
+    global SEEN
+    rl_enter(tid)
+    SEEN = SEEN + TOTAL
+    rl_leave(tid)
+    return 0
+
+
+def main():
+    t1 = threading.Thread(target=writer, args=(1,))
+    t2 = threading.Thread(target=reader, args=(2,))
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+    return TOTAL
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+# The fix: release the bookkeeping mutex before blocking on the real lock
+# (the unlock-hoist repair template's target shape).
+PYRLOCK_FIXED = PYRLOCK_SOURCE.replace(
+    """    real.acquire()
+    OWNER = tid
+    COUNT = 1
+    master.release()""",
+    """    master.release()
+    real.acquire()
+    OWNER = tid
+    COUNT = 1""",
+)
+
+
+def _pyrlock_directives(module: ir.Module) -> list[Directive]:
+    """The end-user's unlucky schedule, exactly minidb's: preempt the writer
+    to the reader right after its transaction-opening rl_enter releases the
+    bookkeeping mutex.  The reader then holds master and blocks on real; the
+    writer later blocks on master inside rl_leave."""
+    unlocks = [
+        ref for ref, instr in module.functions["rl_enter"].iter_instructions()
+        if isinstance(instr, ir.MutexUnlock)
+    ]
+    # The acquire-path unlock is the last unlock in rl_enter.
+    return [Directive(unlocks[-1], 1, 2)]
+
+
+PYRLOCK = Workload(
+    name="pyrlock",
+    source=PYRLOCK_SOURCE,
+    bug_type="deadlock",
+    expected_kind=BugKind.DEADLOCK,
+    description="hang: recursive lock acquires real while holding master",
+    directives=_pyrlock_directives,
+    lang="python",
+)
+
+PYTHON_WORKLOADS = [PYTALLY, PYLEDGER, PYRLOCK]
+
+# (buggy workload, fixed source) pairs: the corpus mutates the fixed ones.
+FIXED_SOURCES = {
+    "pytally": PYTALLY_FIXED,
+    "pyledger": PYLEDGER_FIXED,
+    "pyrlock": PYRLOCK_FIXED,
+}

@@ -260,3 +260,66 @@ class TestGracefulInterrupt:
         assert ckpt.exists()
         assert repro_main(["resume", str(ckpt), "-o", str(out)]) == 0
         assert ExecutionFile.load(out).bug_kind == "buffer-overflow"
+
+
+class TestPythonFrontendCLI:
+    """`.py` programs flow through every program-taking verb: the
+    extension selects the frontend, `--lang` overrides it."""
+
+    @pytest.fixture()
+    def pytally_files(self, tmp_path):
+        from repro.cli import repro_main  # noqa: F401  (import check)
+
+        workload = get("pytally")
+        program = tmp_path / "pytally.py"
+        program.write_text(workload.source)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(workload.make_report().to_dict()))
+        return program, dump, tmp_path / "execution.json"
+
+    def test_synth_and_play_py_by_extension(self, pytally_files, capsys):
+        from repro.cli import repro_main
+
+        program, dump, output = pytally_files
+        assert repro_main(["synth", str(dump), str(program),
+                           "-o", str(output)]) == 0
+        assert json.loads(output.read_text())["bug_kind"] == "buffer-overflow"
+        assert repro_main(["play", str(program), str(output)]) == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_lang_flag_overrides_extension(self, pytally_files, capsys):
+        from repro.cli import repro_main
+
+        program, dump, output = pytally_files
+        # Forcing the MiniC frontend on Python text is a polite input
+        # error (exit 1 + message), not a traceback.
+        assert repro_main(["synth", str(dump), str(program),
+                           "--lang", "esd", "-o", str(output)]) == 1
+        renamed = program.with_suffix(".txt")
+        renamed.write_text(program.read_text())
+        assert repro_main(["synth", str(dump), str(renamed),
+                           "--lang", "python", "-o", str(output)]) == 0
+
+    def test_lint_py_program(self, pytally_files, capsys):
+        from repro.cli import repro_main
+
+        program, _, _ = pytally_files
+        assert repro_main(["lint", str(program)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_frontend_error_is_polite(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def main():\n    return {1: 2}\n")
+        assert repro_main(["lint", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "Dict" in err
+
+    def test_python_workload_flows_through_lint(self, capsys):
+        from repro.cli import repro_main
+
+        # The static lint sees the seeded deadlock in the Python workload:
+        # findings mean exit 1, and lock-order-inversion is among them.
+        assert repro_main(["lint", "--workload", "pyrlock"]) == 1
+        assert "lock-order-inversion" in capsys.readouterr().out

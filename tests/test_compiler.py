@@ -234,3 +234,16 @@ class TestListing1:
         instrs = [i for _, i in module.functions["main"].iter_instructions()]
         names = {i.name for i in instrs if isinstance(i, ir.Intrinsic)}
         assert {"getchar", "getenv"} <= names
+
+
+class TestColumns:
+    def test_compile_error_carries_column(self):
+        import pytest
+
+        from repro.lang import CompileError, compile_source
+
+        with pytest.raises(CompileError) as info:
+            compile_source("int main() { return nope; }")
+        assert info.value.line == 1
+        assert info.value.col == 21
+        assert "line 1:21" in str(info.value)

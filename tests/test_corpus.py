@@ -1,0 +1,268 @@
+"""The mutation corpus: deterministic enumeration, seeded stratified
+selection, pipeline outcomes, byte-reproducible documents, and the
+corpus CLI verb."""
+
+import json
+
+import pytest
+
+from repro import ir
+from repro.corpus import (
+    MUTATION_CLASSES,
+    CorpusProgram,
+    default_programs,
+    enumerate_mutations,
+    mutant_workload,
+    run_corpus,
+    run_mutant,
+    select_mutations,
+)
+from repro.frontend import compile_python_source
+from repro.workloads.pyprograms import FIXED_SOURCES
+
+
+@pytest.fixture(scope="module")
+def pyrlock_module():
+    return compile_python_source(FIXED_SOURCES["pyrlock"], "pyrlock")
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return default_programs()
+
+
+class TestEnumeration:
+    def test_deterministic(self, pyrlock_module):
+        first = [m.to_dict() for m in enumerate_mutations(pyrlock_module)]
+        second = [m.to_dict() for m in enumerate_mutations(pyrlock_module)]
+        assert first == second
+        assert first  # non-empty
+
+    def test_all_classes_have_sites_somewhere(self, programs):
+        kinds = set()
+        for program in programs:
+            kinds.update(
+                m.kind for m in enumerate_mutations(program.compile()))
+        assert kinds == set(MUTATION_CLASSES)
+
+    def test_lock_swap_site_is_the_fixed_release(self, pyrlock_module):
+        swaps = [m for m in enumerate_mutations(pyrlock_module)
+                 if m.kind == "lock-swap"]
+        # Exactly the hoisted master.release() in rl_enter can sink back
+        # past the real.acquire() -- the inverse of the unlock-hoist fix.
+        assert [(m.function,) for m in swaps] == [("rl_enter",)]
+
+    def test_apply_clones_and_mutates(self, pyrlock_module):
+        mutation = next(m for m in enumerate_mutations(pyrlock_module)
+                        if m.kind == "cmp-flip")
+        before = [m.to_dict() for m in enumerate_mutations(pyrlock_module)]
+        mutant = mutation.apply(pyrlock_module)
+        assert mutant is not pyrlock_module
+        ir.verify_module(mutant)
+        # The original is untouched.
+        assert [m.to_dict()
+                for m in enumerate_mutations(pyrlock_module)] == before
+        block = mutant.functions[mutation.ref.function] \
+            .blocks[mutation.ref.block]
+        assert block.instruction_at(mutation.ref.index).op \
+            == mutation.detail["to"]
+
+
+class TestSelection:
+    def test_same_seed_same_selection(self, pyrlock_module):
+        a, _ = select_mutations(pyrlock_module, seed=5, count=10)
+        b, _ = select_mutations(pyrlock_module, seed=5, count=10)
+        assert [m.to_dict() for m in a] == [m.to_dict() for m in b]
+
+    def test_different_seed_differs(self, pyrlock_module):
+        a, _ = select_mutations(pyrlock_module, seed=1, count=10)
+        b, _ = select_mutations(pyrlock_module, seed=2, count=10)
+        assert [m.to_dict() for m in a] != [m.to_dict() for m in b]
+
+    def test_stratified_never_drops_rare_classes(self, pyrlock_module):
+        # lock-swap has a single site; every sample must include it.
+        for seed in range(5):
+            selection, total = select_mutations(
+                pyrlock_module, seed=seed, count=8)
+            assert total > 8
+            assert "lock-swap" in {m.kind for m in selection}
+
+
+class TestPipeline:
+    def test_manifested_mutant_reproduces_and_localizes(self, programs):
+        # The pytally off-by-one at the ring read (constant 8 -> 9 in the
+        # bounds comparison): manifests, reproduces, localizes rank 1, and
+        # repair lands exactly on the mutated statement.
+        program = next(p for p in programs if p.name == "pytally")
+        module = program.compile()
+        mutation = next(
+            m for m in enumerate_mutations(module)
+            if m.kind == "off-by-one" and m.function == "total"
+            and m.line == 11 and m.detail["delta"] == 1)
+        outcome = run_mutant(program, module, mutation, "t-0001",
+                             with_repair=True)
+        assert outcome.status == "manifested"
+        assert outcome.bug_type == "crash"
+        assert outcome.reproduced
+        assert outcome.top3
+        assert outcome.repaired
+        assert outcome.repaired_at_truth
+
+    def test_always_covered_bound_is_a_measured_miss(self, programs):
+        # Flipping the loop bound itself manifests and reproduces, but the
+        # bound line is covered by passing runs too, so spectrum
+        # localization ranks it outside the top 3: the corpus *measures*
+        # this rather than hiding it.
+        program = next(p for p in programs if p.name == "pytally")
+        module = program.compile()
+        mutation = next(
+            m for m in enumerate_mutations(module)
+            if m.kind == "cmp-flip" and m.detail.get("to") == "<=")
+        outcome = run_mutant(program, module, mutation, "t-0004")
+        assert outcome.status == "manifested"
+        assert outcome.reproduced
+        assert outcome.localization_rank is not None
+
+    def test_lock_swap_manifests_deadlock(self, programs):
+        program = next(p for p in programs if p.name == "pyrlock")
+        module = program.compile()
+        mutation = next(m for m in enumerate_mutations(module)
+                        if m.kind == "lock-swap")
+        outcome = run_mutant(program, module, mutation, "t-0002")
+        assert outcome.status == "manifested"
+        assert outcome.bug_type == "deadlock"
+        assert outcome.reproduced
+
+    def test_benign_mutant_stays_benign(self, programs):
+        # Flipping a comparison ESD never covers concretely: print path.
+        program = next(p for p in programs if p.name == "pytally")
+        module = program.compile()
+        benign = [m for m in enumerate_mutations(module)
+                  if m.kind == "off-by-one" and m.function == "total"
+                  and m.detail["delta"] == -1]
+        outcome = run_mutant(program, module, benign[0], "t-0003")
+        assert outcome.status in ("benign", "manifested")
+
+
+class TestDocument:
+    def test_byte_reproducible(self, programs):
+        first = run_corpus(seed=99, count=12, programs=programs,
+                           repair_every=0)
+        second = run_corpus(seed=99, count=12, programs=programs,
+                            repair_every=0)
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(second, sort_keys=True)
+
+    def test_schema_and_rates(self, programs):
+        doc = run_corpus(seed=99, count=12, programs=programs,
+                         repair_every=0)
+        assert doc["schema"] == "esd-corpus-v1"
+        assert doc["seed"] == 99
+        totals = doc["totals"]
+        assert totals["selected"] == 12
+        assert 0.0 <= totals["repro_rate"] <= 1.0
+        for row in doc["classes"].values():
+            assert row["manifested"] >= row["reproduced"] >= 0
+        assert len(doc["mutants"]) == 12
+        for mutant in doc["mutants"]:
+            assert mutant["class"] in MUTATION_CLASSES
+            assert mutant["status"] in ("invalid", "benign", "manifested")
+
+    def test_json_serializable_and_sorted(self, programs):
+        doc = run_corpus(seed=99, count=6, programs=programs,
+                         repair_every=0)
+        blob = json.dumps(doc, sort_keys=True)
+        assert json.loads(blob) == doc
+
+
+class TestMutantWorkload:
+    def test_registered_mutant_is_first_class(self, programs):
+        from repro.workloads import ALL, get
+
+        program = next(p for p in programs if p.name == "pytally")
+        module = program.compile()
+        mutation = next(
+            m for m in enumerate_mutations(module)
+            if m.kind == "cmp-flip" and m.detail.get("to") == "<=")
+        outcome = run_mutant(program, module, mutation, "wl-0001")
+        assert outcome.status == "manifested"
+        workload = mutant_workload(program, mutation, outcome, register=True)
+        try:
+            assert get(workload.name) is workload
+            report = workload.make_report()
+            assert report.bug_type == "crash"
+        finally:
+            ALL.pop(workload.name, None)
+
+    def test_unmanifested_mutant_rejected(self, programs):
+        program = next(p for p in programs if p.name == "pytally")
+        module = program.compile()
+        mutation = enumerate_mutations(module)[0]
+        outcome = run_mutant(program, module, mutation, "wl-0002")
+        if outcome.status != "manifested":
+            with pytest.raises(ValueError, match="never manifested"):
+                mutant_workload(program, mutation, outcome)
+
+
+class TestCorpusCLI:
+    def test_generate_run_report(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        mutations_path = tmp_path / "mutations.json"
+        code = repro_main(["corpus", "generate", "--count", "6",
+                           "--seed", "3", "-o", str(mutations_path)])
+        assert code == 0
+        generated = json.loads(mutations_path.read_text())
+        assert generated["schema"] == "esd-corpus-mutations-v1"
+        assert sum(len(p["mutations"]) for p in generated["programs"]) == 6
+
+        doc_path = tmp_path / "corpus.json"
+        code = repro_main(["corpus", "run", "--count", "6", "--seed", "3",
+                           "--repair-every", "0", "-o", str(doc_path)])
+        assert code == 0
+        doc = json.loads(doc_path.read_text())
+        assert doc["schema"] == "esd-corpus-v1"
+        capsys.readouterr()
+
+        code = repro_main(["corpus", "report", str(doc_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+
+    def test_report_rejects_non_corpus_file(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "other"}))
+        assert repro_main(["corpus", "report", str(bogus)]) == 1
+
+    def test_single_program_corpus(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        program = tmp_path / "prog.py"
+        program.write_text(FIXED_SOURCES["pytally"])
+        doc_path = tmp_path / "one.json"
+        code = repro_main(["corpus", "run", "--program", str(program),
+                           "--count", "5", "--repair-every", "0",
+                           "-o", str(doc_path)])
+        assert code == 0
+        doc = json.loads(doc_path.read_text())
+        assert [p["name"] for p in doc["programs"]] == ["prog"]
+
+
+class TestCustomCorpusProgram:
+    def test_minic_program_mutates_too(self):
+        # The engine is IR-level: a MiniC program works unchanged.
+        source = """
+        int main() {
+            int i = 0;
+            int s = 0;
+            while (i < 4) { s = s + i; i = i + 1; }
+            return s;
+        }
+        """
+        program = CorpusProgram(name="mini", source=source, lang="esd")
+        module = program.compile()
+        sites = enumerate_mutations(module)
+        assert {m.kind for m in sites} >= {"cmp-flip", "off-by-one",
+                                           "stmt-del"}

@@ -105,3 +105,23 @@ class TestErrors:
         with pytest.raises(LexError) as err:
             tokenize("ok\nok\n@")
         assert err.value.line == 3
+
+
+class TestColumns:
+    def test_tokens_carry_columns(self):
+        from repro.lang.lexer import tokenize
+
+        toks = tokenize("int main() { return 42; }")
+        assert [(t.text, t.line, t.col) for t in toks[:3]] == [
+            ("int", 1, 1), ("main", 1, 5), ("(", 1, 9)]
+
+    def test_lex_error_carries_column(self):
+        import pytest
+
+        from repro.lang.lexer import LexError, tokenize
+
+        with pytest.raises(LexError) as info:
+            tokenize("int x @ 1;")
+        assert info.value.line == 1
+        assert info.value.col == 7
+        assert "line 1:7" in str(info.value)

@@ -224,3 +224,22 @@ class TestErrors:
         with pytest.raises(ParseError) as err:
             parse("int main() {\nint x = ;\n}")
         assert err.value.line == 2
+
+
+class TestColumns:
+    def test_parse_error_carries_column(self):
+        import pytest
+
+        from repro.lang.parser import ParseError, parse
+
+        with pytest.raises(ParseError) as info:
+            parse("int main() { return x }")
+        assert info.value.line == 1
+        assert info.value.col == 23
+
+    def test_nodes_carry_columns(self):
+        from repro.lang.parser import parse
+
+        program = parse("int main() {\n    return 7;\n}")
+        ret = program.functions[0].body[0]
+        assert (ret.line, ret.col) == (2, 5)

@@ -1,0 +1,98 @@
+"""End-to-end acceptance for the real-Python workloads: each program goes
+through the full ESD pipeline -- trigger, coredump, synthesis from the
+dump alone, spectrum localization (ground truth in the top 3), and a
+validated repair."""
+
+import pytest
+
+from repro.api import ReproSession
+from repro.symbex import BugKind
+from repro.workloads import PYTHON_WORKLOADS, get
+from repro.workloads.pyprograms import FIXED_SOURCES
+
+# Ground truth per workload: the buggy statement(s).  Spectrum formulas
+# legitimately rank a failing-only neighbour (the crash site or the
+# trigger-enabling line) above an always-covered bound, so ground truth
+# is the *set* of lines a fix may touch; the acceptance bar is
+# best_rank(set) <= 3.
+GROUND_TRUTH = {
+    # The off-by-one bound and the unfenced read it enables.
+    "pytally": [("total", 10), ("total", 11)],
+    # The unguarded premium fee.
+    "pyledger": [("main", 19)],
+    # Hold-while-blocking: the acquire taken while master is held, and
+    # the release that must hoist above it.
+    "pyrlock": [("rl_enter", 19), ("rl_enter", 22)],
+}
+
+
+class TestRegistry:
+    def test_python_workloads_registered(self):
+        for workload in PYTHON_WORKLOADS:
+            assert get(workload.name) is workload
+            assert workload.lang == "python"
+
+    def test_at_least_one_multithreaded_lock_order_bug(self):
+        kinds = {w.name: w.expected_kind for w in PYTHON_WORKLOADS}
+        assert BugKind.DEADLOCK in kinds.values()
+
+    def test_fixed_sources_run_clean(self):
+        # The corpus bases: every fixed program must terminate without a
+        # bug under its own trigger inputs.
+        from repro.symbex import ConcreteEnv, ExecConfig, Executor
+
+        from repro.frontend import compile_python_source
+
+        for name, source in FIXED_SOURCES.items():
+            workload = get(name)
+            module = compile_python_source(source, name)
+            policy = None
+            if workload.directives is not None:
+                from repro.baselines import ForcedSchedulePolicy
+
+                policy = ForcedSchedulePolicy(workload.directives(module))
+            executor = Executor(
+                module,
+                env=ConcreteEnv(workload.trigger_inputs),
+                policy=policy,
+                config=ExecConfig(),
+            )
+            state = executor.run_to_completion(executor.initial_state())
+            assert state.status == "exited", (name, state.status, state.bug)
+
+
+@pytest.mark.parametrize("name", ["pytally", "pyledger", "pyrlock"])
+class TestFullPipeline:
+    def test_synth_localize_repair(self, name):
+        workload = get(name)
+        report = workload.make_report()
+        session = ReproSession(workload.compile())
+
+        # 1. Synthesis from the coredump alone reproduces the bug.
+        result = session.synthesize(report)
+        assert result.found, result.reason
+        assert result.execution_file.bug_kind == workload.expected_kind.value
+
+        # 2. The ground-truth statement localizes in the top 3.
+        localization = session.localize(report, failing=result.execution_file)
+        rank = localization.best_rank(GROUND_TRUTH[name])
+        assert rank is not None and rank <= 3, (
+            name, rank, [(s.function, s.line) for s in localization.top(5)])
+
+        # 3. Repair finds and validates a patch.
+        repair = session.repair(report, failing=result.execution_file)
+        assert repair.found, repair.reason
+        assert repair.patch.validation is not None
+
+
+class TestRepairGroundTruth:
+    def test_pyrlock_repair_is_the_lock_order_fix(self):
+        # The deadlock repair is exact: hoist the master release above the
+        # real acquire (the PYRLOCK_FIXED edit), not a spec weakening.
+        workload = get("pyrlock")
+        report = workload.make_report()
+        session = ReproSession(workload.compile())
+        repair = session.repair(report)
+        assert repair.found, repair.reason
+        assert repair.patch.candidate.kind == "unlock-hoist"
+        assert repair.patch.candidate.function == "rl_enter"

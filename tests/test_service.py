@@ -355,3 +355,54 @@ class TestReviewRegressions:
         record.add_event("progress", instructions=10_000)
         assert record.events[-1].seq > seen
         assert record.events[-1].instructions == 10_000
+
+
+class TestPythonLangJobs:
+    """Source jobs carry a `lang` field: the service compiles `.py` text
+    through repro.frontend, and Python workloads resolve by name."""
+
+    def test_python_source_job_runs_to_found(self, service):
+        workload = get("pyledger")
+        record = service.submit(JobSpec(
+            report=workload.make_report(),
+            source=workload.source,
+            program_name="pyledger",
+            lang="python",
+            config=wide_config(),
+        ))
+        final = service.wait(record.job_id, timeout=120)
+        assert final.state == FOUND
+        assert final.result["found"] is True
+
+    def test_python_workload_job_by_name(self, service):
+        record = service.submit(JobSpec(workload="pytally",
+                                        config=wide_config()))
+        final = service.wait(record.job_id, timeout=120)
+        assert final.state == FOUND
+
+    def test_lang_round_trips_through_wire_form(self):
+        workload = get("pytally")
+        spec = JobSpec(report=workload.make_report(),
+                       source=workload.source,
+                       program_name="pytally", lang="python")
+        restored = JobSpec.from_dict(spec.to_dict())
+        assert restored.lang == "python"
+        assert restored.digest() == spec.digest()
+
+    def test_lang_changes_the_dedup_digest(self):
+        workload = get("pytally")
+        report = workload.make_report()
+        python_spec = JobSpec(report=report, source=workload.source,
+                              program_name="pytally", lang="python")
+        esd_spec = JobSpec(report=report, source=workload.source,
+                           program_name="pytally", lang="esd")
+        assert python_spec.digest() != esd_spec.digest()
+
+    def test_unknown_lang_rejected(self):
+        from repro.api.jobs import SpecError
+
+        workload = get("pytally")
+        spec = JobSpec(report=workload.make_report(),
+                       source=workload.source, lang="fortran")
+        with pytest.raises(SpecError, match="fortran"):
+            spec.validate()
