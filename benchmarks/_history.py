@@ -1,0 +1,39 @@
+"""Benchmark history tracking, importable from the bench scripts.
+
+The implementation lives in :mod:`repro.obs.history` (inside the package
+so ``repro bench --history`` works from an installed CLI without the
+``benchmarks/`` directory present); this shim re-exports it for the
+``bench_*`` scripts, which already put ``src`` on ``sys.path``.
+
+Usage from a bench script::
+
+    from _history import append_entry, compare_latest, render_compare
+
+    path = append_entry(history_dir, "obs", record)
+    report = compare_latest(path, max_ratio=1.5)
+    if not report["passed"]:
+        print(render_compare(report)); sys.exit(1)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.history import (  # noqa: E402,F401
+    DEFAULT_METRIC_PATTERNS,
+    HISTORY_FORMAT,
+    HISTORY_SCHEMA_VERSION,
+    append_entry,
+    compare_latest,
+    flatten_numeric,
+    history_path,
+    load_history,
+    main,
+    render_compare,
+)
+
+if __name__ == "__main__":
+    raise SystemExit(main())

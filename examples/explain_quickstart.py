@@ -1,0 +1,71 @@
+"""Explainability quickstart: the flight recorder and `repro explain`.
+
+The span tracer (see examples/observability_quickstart.py) answers where
+the *time* went; the flight recorder answers why the *search* did what
+it did -- which virtual queue picked each state and at what proximity
+score, which layer killed each abandoned path (weakest-precondition
+refutation, the step budget, a solver-refuted constraint, distance-INF),
+and what every decision cost in instructions and solver queries.
+
+Two invariants carry over from tracing: recording off costs one hoisted
+boolean per pick and allocates nothing, and recording on never changes
+results -- a recorded synthesis produces byte-identical artifacts to an
+unrecorded one.
+
+This example runs in-process; `repro synth --flight out.json`, `repro
+explain`, `repro serve --flight` + `repro fetch --kind flight`, and
+`repro status JOB --follow` expose the same surfaces from the command
+line.
+
+Run:  python examples/explain_quickstart.py
+"""
+
+from repro.api import ReproSession
+from repro.core import ESDConfig
+from repro.obs import diff_flights, explain_flight, render_diff, render_explain
+from repro.workloads import get
+
+
+def main() -> None:
+    # --- 1. a recorded synthesis -------------------------------------------
+    print("== 1. synthesize with the flight recorder on ==")
+    workload = get("paste")
+    session = ReproSession(workload.compile(), workers=1, flight=True)
+    result = session.synthesize(workload.make_report())
+    print(f"   found={result.found}: {result.goal.description}")
+
+    # One compact record per search decision, bounded, aggregates exact.
+    counts = session.flight.counts()
+    print(f"   flight log: {counts['picks']} picks, {counts['adds']} adds, "
+          f"{counts['records']} records, outcome {counts['reason']!r}")
+
+    # --- 2. byte-identity: recording changes nothing -----------------------
+    print("== 2. recorded artifacts are byte-identical to unrecorded ==")
+    plain = ReproSession(workload.compile(), workers=1) \
+        .synthesize(workload.make_report())
+    identical = (plain.execution_file.canonical_bytes()
+                 == result.execution_file.canonical_bytes())
+    print(f"   identical: {identical}")
+    assert identical
+
+    # --- 3. explain: goal path, subsystems, budget spend --------------------
+    print("== 3. repro explain (in-process) ==")
+    doc = session.flight_document()  # versioned esd-searchlog-v1
+    report = explain_flight(doc)
+    print("   " + render_explain(report).replace("\n", "\n   "))
+    assert report["attribution"] >= 0.95  # the CI acceptance gate
+
+    # --- 4. diff two runs: why did the budget move? -------------------------
+    print("== 4. diff against a run with a tighter step budget ==")
+    config = ESDConfig()
+    config.budget.max_instructions = max(
+        200, result.instructions // 2)
+    tight = ReproSession(workload.compile(), workers=1, flight=True,
+                         config=config)
+    tight.synthesize(workload.make_report())
+    diff = diff_flights(tight.flight_document(), doc)
+    print("   " + render_diff(diff).replace("\n", "\n   "))
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,7 @@ from ..core.execfile import ExecutionFile
 from ..core.synthesis import ESDConfig, StaticStats, SynthesisResult
 from ..core.triage import TriageDatabase
 from ..lang import compile_source
-from ..obs import Tracer
+from ..obs import FlightRecorder, Tracer
 from ..playback import PlaybackResult, play_back
 from ..schema import atomic_write_text
 from ..search import EventCallback
@@ -150,6 +150,7 @@ class ReproSession:
         service: Optional[ReproService] = None,
         source: Optional[str] = None,
         trace: bool = False,
+        flight: bool = False,
     ) -> None:
         self.module = module
         self.config = config or ESDConfig()
@@ -187,6 +188,11 @@ class ReproSession:
         )
         if trace:
             self.solver.tracer = self.tracer
+        # Flight recording (``flight=True``): a session-lifetime search
+        # flight recorder every synthesize() call reports into.  Like the
+        # tracer it only observes -- recorded synthesis stays byte-identical
+        # to unrecorded -- and the log exports via :meth:`flight_document`.
+        self.flight = FlightRecorder(enabled=flight)
 
     @classmethod
     def from_source(
@@ -279,6 +285,7 @@ class ReproSession:
             checkpoint_interval=checkpoint_interval,
             handle_signals=handle_signals,
             tracer=self.tracer if self.tracer.enabled else None,
+            flight=self.flight if self.flight.enabled else None,
         )
 
     # -- async jobs ----------------------------------------------------------
@@ -497,6 +504,26 @@ class ReproSession:
         import json as _json
 
         doc = self.trace_document(meta=meta)
+        atomic_write_text(path, _json.dumps(doc, indent=2) + "\n")
+        return doc
+
+    def flight_document(self, meta: Optional[dict] = None) -> dict:
+        """The session's search log as an ``esd-searchlog-v1`` document.
+
+        Valid whenever the session was built with ``flight=True``; the
+        recorder keeps appending across synthesize() calls, so this can
+        be exported repeatedly as the session accumulates searches.
+        """
+        base = {"module": self.module.name}
+        if meta:
+            base.update(meta)
+        return self.flight.to_document(meta=base)
+
+    def save_flight(self, path, meta: Optional[dict] = None) -> dict:
+        """Write :meth:`flight_document` to ``path`` as JSON; returns it."""
+        import json as _json
+
+        doc = self.flight_document(meta=meta)
         atomic_write_text(path, _json.dumps(doc, indent=2) + "\n")
         return doc
 

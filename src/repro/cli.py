@@ -20,19 +20,27 @@ plus the job-service commands built on :mod:`repro.service`::
     repro serve  [--port 8377] [--store DIR] [--max-workers N] [--spool DIR]
     repro submit (<coredump.json> <program.minic> | --workload NAME)
                  [--url URL] [--priority N] [--wait]
-    repro status [JOB_ID] [--url URL] [--events] [--json]
+    repro status [JOB_ID] [--url URL] [--events] [--follow] [--json]
     repro fetch  JOB_ID [-o exec.json] [--url URL] [--wait] [--kind KIND]
     repro stats  [--url URL] [--prometheus] [--json]
     repro trace  TRACE_JSON [--chrome out.json] [--json]
+    repro explain FLIGHT_JSON [--diff OTHER] [--json]
 
 Observability: ``repro synth --trace PATH`` records a hierarchical span
 trace (``esd-trace-v1``) of the whole synthesis -- static/search/solve
 phases, search quanta, slow solver queries -- without perturbing the
 output artifact (byte-identical either way).  ``repro trace`` summarizes
 such a file and converts it to Chrome trace-event JSON for Perfetto.
-``repro serve --trace`` records one trace per job (``repro fetch --kind
-trace``); ``repro stats`` reads the live daemon's unified metrics
-registry (the same data Prometheus scrapes from ``/metrics``).
+``repro synth --flight PATH`` records the search flight log
+(``esd-searchlog-v1``): one compact record per search decision -- pick
+(queue, proximity score, cost deltas), lineage, and per-layer kill
+attribution -- which ``repro explain`` turns into the goal path's
+decision chain, per-subsystem budget spend, and A/B diffs of two runs.
+``repro serve --trace``/``--flight`` record one trace/flight log per job
+(``repro fetch --kind trace|flight``); ``repro status JOB --follow``
+streams a running job's events live over server-sent events; ``repro
+stats`` reads the live daemon's unified metrics registry (the same data
+Prometheus scrapes from ``/metrics``).
 
 The coredump file holds a serialized :class:`~repro.coredump.BugReport`
 (``BugReport.to_dict``); the program is MiniC source; the execution file is
@@ -136,9 +144,10 @@ def _compile_program(path: str, lang: str | None):
     return compile_source(source, name)
 
 
-def _make_session(program: str, trace: bool = False,
+def _make_session(program: str, trace: bool = False, flight: bool = False,
                   lang: str | None = None) -> ReproSession:
-    return ReproSession(_compile_program(program, lang), trace=trace)
+    return ReproSession(_compile_program(program, lang), trace=trace,
+                        flight=flight)
 
 
 def _make_config(args: argparse.Namespace) -> ESDConfig:
@@ -211,11 +220,13 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
         _progress_printer(label) if getattr(args, "progress", False) else None
     )
     trace_path = getattr(args, "trace", None)
+    flight_path = getattr(args, "flight", None)
     try:
         report = _load_report(args.coredump)
         if args.bug_type:
             report.bug_type = args.bug_type
         session = _make_session(args.program, trace=trace_path is not None,
+                                flight=flight_path is not None,
                                 lang=getattr(args, "lang", None))
     except _INPUT_ERRORS as exc:
         print(f"{label}: {_describe(exc)}", file=sys.stderr)
@@ -251,6 +262,16 @@ def _run_synth(args: argparse.Namespace, label: str) -> int:
             return 1
         print(f"{label}: wrote span trace to {trace_path} "
               f"(inspect with `repro trace {trace_path}`)", file=sys.stderr)
+    if flight_path is not None:
+        try:
+            session.save_flight(flight_path)
+        except OSError as exc:
+            print(f"{label}: cannot write {flight_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"{label}: wrote search flight log to {flight_path} "
+              f"(inspect with `repro explain {flight_path}`)",
+              file=sys.stderr)
     return _finish_synth(result, args, label)
 
 
@@ -644,6 +665,30 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
     batch = session.synthesize_batch(reports)
     warm_wall = time.perf_counter() - warm_started
     warm_static = batch.static_seconds
+    ok = all(r.found for r in batch) and all(r.found for r in cold)
+
+    def finish(exit_code: int) -> int:
+        """Common tail: append to / gate against the benchmark history."""
+        if not getattr(args, "history", None):
+            return exit_code
+        from .obs.history import append_entry, compare_latest, render_compare
+
+        path = append_entry(args.history, f"bench_{workload.name}", {
+            "workload": workload.name,
+            "reports": args.reports,
+            "all_found": ok,
+            "one_shot": {"static_seconds": cold_static,
+                         "wall_seconds": cold_wall},
+            "session": {"static_seconds": warm_static,
+                        "wall_seconds": warm_wall},
+        })
+        print(f"{label}: bench history appended to {path}", file=sys.stderr)
+        if getattr(args, "compare", False):
+            report = compare_latest(path, max_ratio=args.max_regression)
+            print(render_compare(report), file=sys.stderr)
+            if not report["passed"]:
+                return 1
+        return exit_code
 
     if getattr(args, "json", False):
         # All counters read through one unified-registry snapshot (the
@@ -660,7 +705,6 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
         def counter(name: str):
             return metrics.get(name, {}).get("value", 0)
 
-        ok = all(r.found for r in batch) and all(r.found for r in cold)
         print(json.dumps({
             "workload": workload.name,
             "reports": args.reports,
@@ -692,7 +736,7 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
             },
             "metrics": snap,
         }, indent=2))
-        return 0 if ok else 1
+        return finish(0 if ok else 1)
 
     print(f"{label}: workload {workload.name}, {args.reports} reports")
     print(f"{label}: one-shot API: static {cold_static*1000:8.2f}ms total "
@@ -718,8 +762,7 @@ def _run_bench(args: argparse.Namespace, label: str) -> int:
         print(f"{label}: model-reuse fast path: {sstats.fastpath_hits}/"
               f"{fast_total} branch queries "
               f"({100.0 * sstats.fastpath_hits / fast_total:.1f}% hit)")
-    ok = all(r.found for r in batch) and all(r.found for r in cold)
-    return 0 if ok else 1
+    return finish(0 if ok else 1)
 
 
 # ---------------------------------------------------------------------------
@@ -750,7 +793,8 @@ def _run_serve(args: argparse.Namespace, label: str) -> int:
         print(f"{label}: {exc}", file=sys.stderr)
         return 1
     service = ReproService(store=store, max_workers=args.max_workers,
-                           trace_jobs=args.trace)
+                           trace_jobs=args.trace,
+                           record_flight=args.flight)
     try:
         daemon = ServiceDaemon(service, host=args.host, port=args.port,
                                spool_dir=args.spool, verbose=args.verbose)
@@ -859,6 +903,20 @@ def _run_status(args: argparse.Namespace, label: str) -> int:
                     print(f"{label}: no jobs", file=sys.stderr)
             return 0
         record = client.job(args.job_id)
+        if args.follow:
+            for event, data in client.stream(args.job_id, since=args.since):
+                if args.json:
+                    print(json.dumps({"event": event, "data": data}),
+                          flush=True)
+                elif event == "done":
+                    print(f"{label}: job {data['job_id']}: {data['state']}"
+                          + (f" ({data['reason']})" if data.get("reason")
+                             else ""))
+                else:
+                    print(f"#{data.get('seq', 0):<4} {event:<9} "
+                          f"{data.get('state') or '':<10} "
+                          f"{data.get('detail') or ''}", flush=True)
+            return 0
         if args.events:
             events = client.events(args.job_id, since=args.since)
             if args.json:
@@ -966,6 +1024,38 @@ def _run_trace(args: argparse.Namespace, label: str) -> int:
               f"({100.0 * seconds / total:5.1f}%)")
     print(f"{label}: phase coverage {100.0 * summary['coverage']:.1f}% "
           f"of job wall-clock")
+    return 0
+
+
+def _run_explain(args: argparse.Namespace, label: str) -> int:
+    """``repro explain``: decision chain and budget attribution from an
+    esd-searchlog-v1 flight log (or the ranked diff of two)."""
+    from .obs import (
+        diff_flights,
+        explain_flight,
+        load_flight,
+        render_diff,
+        render_explain,
+    )
+
+    try:
+        document = load_flight(args.flight_file)
+        other = load_flight(args.diff) if args.diff else None
+    except (SchemaVersionError, *_INPUT_ERRORS) as exc:
+        print(f"{label}: {_describe(exc)}", file=sys.stderr)
+        return 1
+    if other is not None:
+        report = diff_flights(document, other)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_diff(report))
+        return 0
+    report = explain_flight(document)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_explain(report))
     return 0
 
 
@@ -1155,6 +1245,11 @@ def _add_synth_args(parser: argparse.ArgumentParser) -> None:
         help="record a hierarchical span trace (esd-trace-v1 JSON) of the "
              "synthesis to PATH; inspect with `repro trace PATH`",
     )
+    parser.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="record the search flight log (esd-searchlog-v1 JSON) to "
+             "PATH; inspect with `repro explain PATH`",
+    )
 
 
 def _add_play_args(parser: argparse.ArgumentParser) -> None:
@@ -1307,6 +1402,16 @@ def repro_main(argv: list[str] | None = None) -> int:
     bench.add_argument("--max-seconds", type=float, default=120.0)
     bench.add_argument("--json", action="store_true",
                        help="machine-readable results on stdout")
+    bench.add_argument("--history", default=None, metavar="DIR",
+                       help="append this run to the benchmark history in "
+                            "DIR (esd-benchhistory-v1 JSONL, per host)")
+    bench.add_argument("--compare", action="store_true",
+                       help="with --history: gate this run against the "
+                            "previous entry, exit 1 on regression")
+    bench.add_argument("--max-regression", type=float, default=1.5,
+                       metavar="RATIO",
+                       help="latest/baseline ratio that fails --compare "
+                            "(default: 1.5)")
 
     serve = sub.add_parser(
         "serve", help="run the job-service daemon (HTTP + artifact store)"
@@ -1324,6 +1429,10 @@ def repro_main(argv: list[str] | None = None) -> int:
     serve.add_argument("--trace", action="store_true",
                        help="record a span trace per job (fetched with "
                             "`repro fetch --kind trace`)")
+    serve.add_argument("--flight", action="store_true",
+                       help="record a search flight log per job (fetched "
+                            "with `repro fetch --kind flight`, read with "
+                            "`repro explain`)")
 
     submit = sub.add_parser(
         "submit", help="submit a synthesis job to a running `repro serve`"
@@ -1360,6 +1469,9 @@ def repro_main(argv: list[str] | None = None) -> int:
     status.add_argument("--url", default=None)
     status.add_argument("--events", action="store_true",
                         help="print the job's lifecycle/progress events")
+    status.add_argument("--follow", action="store_true",
+                        help="stream events live (server-sent events) "
+                             "until the job is terminal")
     status.add_argument("--since", type=int, default=0,
                         help="only events after this sequence number")
     status.add_argument("--json", action="store_true")
@@ -1371,7 +1483,7 @@ def repro_main(argv: list[str] | None = None) -> int:
     fetch.add_argument("-o", "--output", default="execution.json")
     fetch.add_argument("--kind", default="execution",
                        choices=("execution", "checkpoint", "spec", "patch",
-                                "trace"))
+                                "trace", "flight"))
     fetch.add_argument("--url", default=None)
     fetch.add_argument("--wait", action="store_true",
                        help="wait for the job to finish first")
@@ -1434,6 +1546,19 @@ def repro_main(argv: list[str] | None = None) -> int:
     trace.add_argument("--json", action="store_true",
                        help="machine-readable phase summary on stdout")
 
+    explain = sub.add_parser(
+        "explain",
+        help="explain a search from its esd-searchlog-v1 flight log",
+    )
+    explain.add_argument("flight_file",
+                         help="flight log written by `repro synth --flight` "
+                              "or fetched with `repro fetch --kind flight`")
+    explain.add_argument("--diff", default=None, metavar="OTHER",
+                         help="compare against a second flight log and rank "
+                              "what moved")
+    explain.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout")
+
     args = parser.parse_args(argv)
     if args.command == "synth":
         return _run_synth(args, "repro synth")
@@ -1465,6 +1590,8 @@ def repro_main(argv: list[str] | None = None) -> int:
         return _run_corpus_cmd(args, "repro corpus")
     if args.command == "trace":
         return _run_trace(args, "repro trace")
+    if args.command == "explain":
+        return _run_explain(args, "repro explain")
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover
 

@@ -364,6 +364,7 @@ def build_search_setup(
     solver: Optional[Solver] = None,
     seed_offset: int = 0,
     tracer=None,
+    flight=None,
 ) -> SearchSetup:
     """Run the static phase and wire up executor/searcher/policy.
 
@@ -372,7 +373,10 @@ def build_search_setup(
     queue choices).  ``tracer`` (a :class:`repro.obs.Tracer`) wraps the
     call in a ``phase:static`` span and is handed to the executor's
     solver owner for query attribution; timing stays in the trace, never
-    in the returned setup or any artifact derived from it.
+    in the returned setup or any artifact derived from it.  ``flight``
+    (a :class:`repro.obs.FlightRecorder`) is attached to the executor
+    the same way; like the tracer it only observes, so recorded runs
+    stay byte-identical to unrecorded ones.
     """
     config = config or ESDConfig()
     if statics is None:
@@ -392,6 +396,8 @@ def build_search_setup(
         )
         if span is not None:
             setup.executor.tracer = tracer
+        if flight is not None and flight.enabled:
+            setup.executor.flight = flight
         return setup
     finally:
         if span is not None:
@@ -478,6 +484,7 @@ def esd_synthesize(
     on_progress: Optional[EventCallback] = None,
     should_stop: Optional[StopPredicate] = None,
     tracer=None,
+    flight=None,
     executor_sink: Optional[Callable[[Executor], None]] = None,
 ) -> SynthesisResult:
     """Synthesize an execution reproducing the reported bug.
@@ -504,12 +511,12 @@ def esd_synthesize(
     try:
         setup = build_search_setup(
             module, report, config, statics=statics, solver=solver,
-            tracer=tracer,
+            tracer=tracer, flight=flight,
         )
         try:
             result = search_from_setup(
                 module, setup, config, on_progress=on_progress,
-                should_stop=should_stop, tracer=tracer,
+                should_stop=should_stop, tracer=tracer, flight=flight,
             )
             return result
         finally:
@@ -534,6 +541,7 @@ def search_from_setup(
     on_progress: Optional[EventCallback] = None,
     should_stop: Optional[StopPredicate] = None,
     tracer=None,
+    flight=None,
 ) -> SynthesisResult:
     """The dynamic phase alone: explore from a prepared
     :class:`SearchSetup` and package the outcome.
@@ -562,14 +570,42 @@ def search_from_setup(
             should_stop=should_stop,
             count_frontier=count_frontier,
             tracer=tracer,
+            flight=flight,
         )
     finally:
         if span is not None:
             tracer.finish(span)
+    if flight is not None and flight.enabled:
+        flight.totals.update(_flight_totals(outcome, setup))
     return _result_from_outcome(
         module, setup.goal, outcome, setup.executor, setup.static_seconds,
         setup.intermediate_count, setup.searcher, tracer=tracer,
     )
+
+
+def _flight_totals(outcome: SearchOutcome, setup: SearchSetup) -> dict:
+    """Whole-run stats stamped into the flight log after a recorded search.
+
+    ``repro explain`` uses ``states_explored`` as the attribution
+    denominator and the solver/pruning counters for subsystem spend; all
+    of it lives in the log document, never in synthesis artifacts.
+    """
+    solver_stats = setup.executor.solver.stats
+    prune = setup.executor.prune_stats
+    return {
+        "states_explored": outcome.stats.states_explored,
+        "picks": outcome.stats.picks,
+        "instructions": outcome.stats.instructions,
+        "search_seconds": round(outcome.stats.seconds, 6),
+        "static_seconds": round(setup.static_seconds, 6),
+        "states_pruned": int(getattr(setup.searcher, "pruned", 0) or 0),
+        "solver_queries": solver_stats.queries,
+        "static_answers": solver_stats.static_answers,
+        "wp_checks": prune.checks,
+        "wp_branch_prunes": prune.branch_prunes,
+        "wp_probes_avoided": prune.probes_avoided,
+        "wp_state_kills": prune.state_kills,
+    }
 
 
 def _build_policy(

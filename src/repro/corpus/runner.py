@@ -24,6 +24,7 @@ from .. import ir
 from ..baselines import Directive, ForcedSchedulePolicy
 from ..coredump import BugReport, coredump_from_state
 from ..core import ESDConfig
+from ..obs import MetricsRegistry
 from ..repair import RepairConfig
 from ..search import SearchBudget
 from ..symbex import BugKind, ConcreteEnv, ExecConfig, Executor, RecordedInputs
@@ -348,6 +349,7 @@ def run_corpus(
     programs = list(programs if programs is not None else default_programs())
     if not programs:
         raise ValueError("corpus needs at least one program")
+    registry = _corpus_registry()
     outcomes: list[MutantOutcome] = []
     program_meta = []
     share = count // len(programs)
@@ -381,14 +383,60 @@ def run_corpus(
                 manifested_seen += 1
             if outcome.status != "manifested" and outcome.repair_attempted:
                 outcome.repair_attempted = False
+            _count_outcome(registry, outcome)
             outcomes.append(outcome)
             if on_progress is not None:
                 on_progress(program.name, index + 1, len(selection), outcome)
-    return _document(seed, count, repair_every, program_meta, outcomes)
+    return _document(seed, count, repair_every, program_meta, outcomes,
+                     registry)
 
 
 def _rate(numerator: int, denominator: int) -> float:
     return round(numerator / denominator, 4) if denominator else 0.0
+
+
+# Pipeline-stage counter names, in pipeline order.  These become the
+# ``esd_corpus_*`` counter family in the registry and the document's
+# embedded ``esd-metrics-v1`` snapshot.
+_STAGE_COUNTERS = {
+    "esd_corpus_selected_total": "mutation sites sampled into the corpus",
+    "esd_corpus_invalid_total": "mutants the IR verifier rejected",
+    "esd_corpus_benign_total": "mutants no concrete trigger manifested",
+    "esd_corpus_manifested_total": "mutants that concretely crashed",
+    "esd_corpus_reproduced_total": "manifested bugs ESD reproduced",
+    "esd_corpus_top3_total": "reproductions localized in the top 3",
+    "esd_corpus_repair_attempted_total": "reproductions repair ran on",
+    "esd_corpus_repaired_total": "repairs that validated",
+}
+
+
+def _corpus_registry() -> MetricsRegistry:
+    """A registry with the ``esd_corpus_*`` pipeline counters pre-created
+    so a snapshot always carries the full family (zeros included)."""
+    registry = MetricsRegistry()
+    for name, help_ in _STAGE_COUNTERS.items():
+        registry.counter(name, help_)
+    return registry
+
+
+def _count_outcome(registry: MetricsRegistry, outcome: MutantOutcome) -> None:
+    """Fold one finished mutant into the pipeline counters.
+
+    Only deterministic pipeline facts are counted (never timings or
+    process state) so the embedded snapshot keeps the document's
+    byte-reproducibility contract.
+    """
+    registry.counter("esd_corpus_selected_total").inc()
+    if outcome.status in ("invalid", "benign", "manifested"):
+        registry.counter(f"esd_corpus_{outcome.status}_total").inc()
+    if outcome.reproduced:
+        registry.counter("esd_corpus_reproduced_total").inc()
+    if outcome.top3:
+        registry.counter("esd_corpus_top3_total").inc()
+    if outcome.repair_attempted:
+        registry.counter("esd_corpus_repair_attempted_total").inc()
+    if outcome.repaired:
+        registry.counter("esd_corpus_repaired_total").inc()
 
 
 def _document(
@@ -397,6 +445,7 @@ def _document(
     repair_every: int,
     program_meta: list[dict],
     outcomes: list[MutantOutcome],
+    registry: Optional[MetricsRegistry] = None,
 ) -> dict:
     classes = {}
     for cls in MUTATION_CLASSES:
@@ -426,6 +475,10 @@ def _document(
     top3 = [o for o in manifested if o.top3]
     attempted = [o for o in manifested if o.repair_attempted]
     repaired = [o for o in attempted if o.repaired]
+    if registry is None:
+        registry = _corpus_registry()
+        for outcome in outcomes:
+            _count_outcome(registry, outcome)
     return {
         "schema": SCHEMA,
         "seed": seed,
@@ -435,6 +488,9 @@ def _document(
         "programs": program_meta,
         "mutants": [o.to_dict() for o in outcomes],
         "classes": classes,
+        "metrics": registry.snapshot(
+            meta={"source": "corpus", "seed": seed, "requested": count}
+        ),
         "totals": {
             "selected": len(outcomes),
             "manifested": len(manifested),

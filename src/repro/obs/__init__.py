@@ -1,4 +1,4 @@
-"""Unified telemetry: hierarchical tracing, metrics registry, exports.
+"""Unified telemetry: tracing, metrics, flight recording, explanations.
 
 The observability layer the rest of the pipeline reports into:
 
@@ -9,11 +9,28 @@ The observability layer the rest of the pipeline reports into:
   ``esd-metrics-v1`` snapshot schema, Prometheus text rendering, and
   the monotonic-snapshot/delta discipline that replaced ad-hoc stat
   sampling in the benchmarks.
+* :mod:`repro.obs.flight`  -- the search flight recorder: one compact
+  record per state transition (pick score, lineage, termination/prune
+  attribution, solver-query linkage), ``esd-searchlog-v1`` documents.
+* :mod:`repro.obs.explain` -- turn a flight log into answers: the goal
+  path's decision chain, budget spend per subsystem/function, and
+  two-log diffs (``repro explain``).
+* :mod:`repro.obs.history` -- durable per-host benchmark history with
+  configurable regression gating (``repro bench --history``).
 
 Zero third-party dependencies; importing this package pulls in nothing
 beyond the stdlib and :mod:`repro.schema`.
 """
 
+from .explain import diff_flights, explain_flight, render_diff, render_explain
+from .flight import (
+    FLIGHT_FORMAT,
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    check_flight_document,
+    load_flight,
+)
+from .history import append_entry, compare_latest, load_history, render_compare
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
     METRICS_FORMAT,
@@ -40,6 +57,9 @@ from .trace import (
 __all__ = [
     "Counter",
     "DEFAULT_TIME_BUCKETS",
+    "FLIGHT_FORMAT",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "METRICS_FORMAT",
@@ -49,11 +69,21 @@ __all__ = [
     "TRACE_FORMAT",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "append_entry",
+    "check_flight_document",
     "check_metrics_document",
     "check_trace_document",
     "chrome_trace",
+    "compare_latest",
     "counters_delta",
+    "diff_flights",
+    "explain_flight",
+    "load_flight",
+    "load_history",
     "load_trace",
     "phase_summary",
+    "render_compare",
+    "render_diff",
+    "render_explain",
     "unified_registry",
 ]

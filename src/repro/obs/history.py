@@ -1,0 +1,268 @@
+"""Benchmark history: append every bench record, compare run-over-run.
+
+The ``bench_*`` scripts and ``repro bench --json`` each emit a one-shot
+JSON record and forget it; nothing in the repo could answer "is synthesis
+slower than it was last week".  This module gives those records a durable
+trajectory:
+
+* :func:`append_entry` appends a record to a per-host, per-benchmark
+  JSONL history file (``DIR/<bench>.<host>.jsonl``) -- per-host because
+  wall-clock numbers from different machines are not comparable, JSONL
+  because append is atomic enough under the one-writer-per-host
+  assumption and old entries are never rewritten.
+* :func:`compare_latest` flattens the newest record's numeric leaves,
+  matches them against metric glob patterns (default: every ``*seconds*``
+  field), and fails when ``new/baseline`` exceeds a configurable
+  regression ratio.  The baseline is the previous entry or the minimum
+  over the whole history (``baseline='min'`` resists a creeping series
+  of sub-threshold regressions).
+
+Run as a module for CI wiring (exit 1 on regression)::
+
+    python -m repro.obs.history append DIR record.json --bench obs
+    python -m repro.obs.history compare DIR --bench obs --max-ratio 1.5
+
+``benchmarks/_history.py`` re-exports this API next to the bench scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import socket
+import time
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from ..schema import check_schema_version
+
+__all__ = [
+    "HISTORY_FORMAT",
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_METRIC_PATTERNS",
+    "history_path",
+    "append_entry",
+    "load_history",
+    "flatten_numeric",
+    "compare_latest",
+    "render_compare",
+    "main",
+]
+
+HISTORY_FORMAT = "esd-benchhistory-v1"
+HISTORY_SCHEMA_VERSION = 1
+
+# Wall-clock style fields are what regress when the implementation slows
+# down; counters (queries, states) move legitimately with feature work.
+DEFAULT_METRIC_PATTERNS: tuple[str, ...] = ("*seconds*",)
+
+
+def _host_tag(host: Optional[str] = None) -> str:
+    name = host or socket.gethostname() or "unknown-host"
+    return re.sub(r"[^A-Za-z0-9._-]", "_", name)
+
+
+def history_path(directory: Union[str, Path], bench: str,
+                 host: Optional[str] = None) -> Path:
+    return Path(directory) / f"{bench}.{_host_tag(host)}.jsonl"
+
+
+def append_entry(directory: Union[str, Path], bench: str,
+                 record: dict[str, Any], *, host: Optional[str] = None,
+                 timestamp: Optional[float] = None) -> Path:
+    """Append one bench record to the history; returns the history file."""
+    path = history_path(directory, bench, host)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "format": HISTORY_FORMAT,
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "bench": bench,
+        "host": _host_tag(host),
+        "at": round(time.time() if timestamp is None else timestamp, 3),
+        "record": record,
+    }
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True,
+                            separators=(",", ":")) + "\n")
+    return path
+
+
+def load_history(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """All entries of one history file, oldest first."""
+    entries: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("format") != HISTORY_FORMAT:
+                raise ValueError(
+                    f"{path}:{line_no}: not a bench history entry "
+                    f"(format {entry.get('format')!r})"
+                )
+            check_schema_version(entry, HISTORY_SCHEMA_VERSION,
+                                 "bench history entry")
+            entries.append(entry)
+    return entries
+
+
+def flatten_numeric(obj: Any, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested record as dotted-path -> value.
+
+    Lists of objects (per-workload rows) are keyed by a ``workload`` or
+    ``name`` field when one exists, by index otherwise, so the same row
+    lines up across runs even if ordering changes.
+    """
+    out: dict[str, float] = {}
+    if isinstance(obj, bool):
+        return out
+    if isinstance(obj, (int, float)):
+        out[prefix or "value"] = float(obj)
+        return out
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(obj[key], path))
+        return out
+    if isinstance(obj, list):
+        for index, item in enumerate(obj):
+            label = str(index)
+            if isinstance(item, dict):
+                for id_key in ("workload", "name", "bench"):
+                    if isinstance(item.get(id_key), str):
+                        label = item[id_key]
+                        break
+            path = f"{prefix}[{label}]" if prefix else f"[{label}]"
+            out.update(flatten_numeric(item, path))
+        return out
+    return out
+
+
+def _matched(name: str, patterns: Iterable[str]) -> bool:
+    return any(fnmatch(name, pattern) for pattern in patterns)
+
+
+def compare_latest(path: Union[str, Path], *, max_ratio: float = 1.5,
+                   patterns: Iterable[str] = DEFAULT_METRIC_PATTERNS,
+                   baseline: str = "previous",
+                   min_seconds: float = 0.001) -> dict[str, Any]:
+    """Gate the newest history entry against its baseline.
+
+    ``baseline`` is ``'previous'`` (the entry before the newest) or
+    ``'min'`` (per-metric minimum over all earlier entries).  Metrics
+    whose baseline is below ``min_seconds`` are skipped -- ratios of
+    sub-millisecond timings are all jitter.  Returns a report with
+    ``passed``, the regressions found, and what was compared.
+    """
+    if baseline not in ("previous", "min"):
+        raise ValueError(f"unknown baseline mode {baseline!r}")
+    entries = load_history(path)
+    report: dict[str, Any] = {
+        "history": str(path),
+        "entries": len(entries),
+        "max_ratio": max_ratio,
+        "baseline": baseline,
+        "patterns": list(patterns),
+        "compared": 0,
+        "regressions": [],
+        "passed": True,
+    }
+    if len(entries) < 2:
+        report["note"] = "fewer than two entries; nothing to compare"
+        return report
+
+    newest = flatten_numeric(entries[-1].get("record", {}))
+    older = [flatten_numeric(e.get("record", {})) for e in entries[:-1]]
+
+    for name in sorted(newest):
+        if not _matched(name, report["patterns"]):
+            continue
+        if baseline == "previous":
+            base = older[-1].get(name)
+        else:
+            seen = [o[name] for o in older if name in o]
+            base = min(seen) if seen else None
+        if base is None or base < min_seconds:
+            continue
+        report["compared"] += 1
+        ratio = newest[name] / base
+        if ratio > max_ratio:
+            report["regressions"].append({
+                "metric": name,
+                "baseline": round(base, 6),
+                "latest": round(newest[name], 6),
+                "ratio": round(ratio, 4),
+            })
+    report["regressions"].sort(key=lambda r: -r["ratio"])
+    report["passed"] = not report["regressions"]
+    return report
+
+
+def render_compare(report: dict[str, Any]) -> str:
+    lines = [
+        f"bench history: {report['history']} ({report['entries']} entries, "
+        f"baseline={report['baseline']}, gate {report['max_ratio']}x)"
+    ]
+    if report.get("note"):
+        lines.append(report["note"])
+    lines.append(f"compared {report['compared']} metric(s) matching "
+                 f"{', '.join(report['patterns'])}")
+    for reg in report["regressions"]:
+        lines.append(f"REGRESSION {reg['metric']}: {reg['baseline']}s -> "
+                     f"{reg['latest']}s ({reg['ratio']:.2f}x)")
+    lines.append("PASS" if report["passed"] else "FAIL")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.history",
+        description="Append to / compare against a benchmark history.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="append a bench JSON record")
+    p_append.add_argument("directory", help="history directory")
+    p_append.add_argument("record", help="bench record JSON file")
+    p_append.add_argument("--bench", required=True, help="benchmark name")
+    p_append.add_argument("--host", default=None, help="override host tag")
+
+    p_cmp = sub.add_parser("compare", help="gate newest entry vs baseline")
+    p_cmp.add_argument("directory", help="history directory")
+    p_cmp.add_argument("--bench", required=True, help="benchmark name")
+    p_cmp.add_argument("--host", default=None, help="override host tag")
+    p_cmp.add_argument("--max-ratio", type=float, default=1.5,
+                       help="fail when latest/baseline exceeds this (default 1.5)")
+    p_cmp.add_argument("--metrics", nargs="+", default=list(DEFAULT_METRIC_PATTERNS),
+                       help="glob patterns of flattened metric paths")
+    p_cmp.add_argument("--baseline", choices=("previous", "min"),
+                       default="previous")
+    p_cmp.add_argument("--json", action="store_true",
+                       help="emit the comparison report as JSON")
+    args = parser.parse_args(argv)
+
+    if args.command == "append":
+        with open(args.record, encoding="utf-8") as fh:
+            record = json.load(fh)
+        path = append_entry(args.directory, args.bench, record, host=args.host)
+        print(f"appended to {path}")
+        return 0
+
+    path = history_path(args.directory, args.bench, args.host)
+    if not path.exists():
+        print(f"no history at {path}")
+        return 2
+    report = compare_latest(path, max_ratio=args.max_ratio,
+                            patterns=args.metrics, baseline=args.baseline)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_compare(report))
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

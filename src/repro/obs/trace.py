@@ -128,6 +128,7 @@ class Tracer:
         self.max_spans = max_spans
         self.min_record_seconds = DEFAULT_MIN_RECORD_SECONDS
         self.dropped = 0
+        self.high_water = 0  # max buffered spans ever held (capacity probe)
         self.epoch = time.perf_counter()
         self.epoch_wall = time.time()
         self._lock = threading.Lock()
@@ -184,6 +185,8 @@ class Tracer:
             self._next_id += 1
             if recorded:
                 self._spans.append(span)
+                if len(self._spans) > self.high_water:
+                    self.high_water = len(self._spans)
         stack.append(span)
         return span
 
@@ -244,6 +247,8 @@ class Tracer:
             )
             self._next_id += 1
             self._spans.append(span)
+            if len(self._spans) > self.high_water:
+                self.high_water = len(self._spans)
 
     def mark(self, name: str, kind: str = "mark",
              attrs: Optional[dict[str, Any]] = None) -> None:
@@ -319,6 +324,8 @@ class Tracer:
                     attrs=dict(raw.get("attrs") or {}),
                 ))
                 adopted += 1
+            if len(self._spans) > self.high_water:
+                self.high_water = len(self._spans)
         return adopted
 
     # ------------------------------------------------------------------
@@ -342,6 +349,7 @@ class Tracer:
         with self._lock:
             snapshot = list(self._spans)
             dropped = self.dropped
+            high_water = self.high_water
         spans: list[dict[str, Any]] = []
         for s in sorted(snapshot, key=lambda s: (s.start, s.span_id)):
             end = s.end if s.end >= 0.0 else now
@@ -366,6 +374,7 @@ class Tracer:
             "schema_version": TRACE_SCHEMA_VERSION,
             "epoch_wall": self.epoch_wall,
             "dropped": dropped,
+            "high_water": high_water,
             "meta": dict(meta) if meta else {},
             "spans": spans,
         }

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..obs.flight import FlightRecorder
 from ..obs.trace import Tracer
 from ..symbex.executor import Executor
 from ..symbex.state import ExecutionState
@@ -54,12 +55,26 @@ StopPredicate = Callable[[], bool]
 class Searcher:
     """Strategy interface: a mutable container of pending states."""
 
+    # States abandoned instead of enqueued (ESD's path abandonment).  On
+    # the base class so the engine can observe the before/after delta of
+    # an ``add`` uniformly; strategies without pruning leave it at 0.
+    pruned: int = 0
+
     def add(self, state: ExecutionState) -> None:
         raise NotImplementedError
 
     def pick(self) -> ExecutionState:
         """Remove and return the next state to execute."""
         raise NotImplementedError
+
+    def pick_info(self) -> tuple[int, float, str]:
+        """(queue, score, strategy) describing the most recent :meth:`pick`.
+
+        Flight-recorder attribution: strategies that rank states report
+        which virtual queue won and at what priority; the default says
+        only which strategy picked.  Only consulted while recording.
+        """
+        return (-1, 0.0, type(self).__name__)
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -136,6 +151,7 @@ def explore(
     event_interval: int = 4096,
     should_stop: Optional[StopPredicate] = None,
     tracer: Optional[Tracer] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> SearchOutcome:
     """Run the search until the goal is found or a budget is exhausted.
 
@@ -153,7 +169,7 @@ def explore(
     return explore_frontier(
         executor, searcher, [initial], is_goal, budget,
         on_event=on_event, event_interval=event_interval,
-        should_stop=should_stop, tracer=tracer,
+        should_stop=should_stop, tracer=tracer, flight=flight,
     )
 
 
@@ -169,6 +185,7 @@ def explore_frontier(
     should_stop: Optional[StopPredicate] = None,
     count_frontier: bool = True,
     tracer: Optional[Tracer] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> SearchOutcome:
     """:func:`explore` generalized to start from a whole frontier.
 
@@ -202,6 +219,37 @@ def explore_frontier(
     quantum_span = None
     quantum_picks = 0
     quantum_size = max(event_interval, 1)
+    # Flight recording mirrors the tracer's hoisted gate: the disabled
+    # loop pays one boolean test per pick and allocates nothing.
+    recording = flight is not None and flight.enabled
+    solver_stats = executor.solver.stats
+
+    def record_end(succ: ExecutionState, reason: str) -> None:
+        """One termination record, attributed to the killing layer."""
+        if flight is None:
+            return
+        why = ""
+        line = 0
+        if reason == "infeasible":
+            # The executor tags the layer that killed the state (wp-dead,
+            # step-limit, no-runnable-thread); untagged infeasibility means
+            # a feasibility probe refuted the path constraints.
+            why = str(succ.meta.get("killed", "") or "path-constraint")
+        elif reason == "bug" and succ.bug is not None:
+            why = f"bug:{succ.bug.kind.value}"
+            line = succ.bug.line
+        flight.end(succ.sid, succ.parent_sid, reason, why=why, line=line)
+
+    def record_add(succ: ExecutionState, fresh: bool) -> None:
+        """Enqueue ``succ``, logging the lineage edge or the abandonment."""
+        if flight is None:
+            return
+        pruned_before = searcher.pruned
+        searcher.add(succ)
+        if searcher.pruned > pruned_before:
+            flight.drop(succ.sid, succ.parent_sid, "distance-inf")
+        elif fresh:
+            flight.add(succ.sid, succ.parent_sid)
 
     def emit(kind: str, reason: str = "", detail: str = "") -> None:
         if on_event is not None:
@@ -224,6 +272,10 @@ def explore_frontier(
             tracer.finish(quantum_span, {"picks": quantum_picks,
                                          "pending": len(searcher)})
             quantum_span = None
+        if recording and flight is not None:
+            if goal_state is not None:
+                record_end(goal_state, "goal")
+            flight.done(reason)
         emit("done", reason=reason)
         return SearchOutcome(goal_state, reason, stats, other_bugs)
 
@@ -235,7 +287,16 @@ def explore_frontier(
     for state in frontier:
         if is_goal(state):
             return finish(state, "goal")
-        searcher.add(state)
+        if recording:
+            record_add(state, fresh=True)
+        else:
+            searcher.add(state)
+
+    # Predefined so the per-pick assignments stay inside the recording
+    # branch (mypy-clean without paying for them when off).
+    solver_base = 0
+    static_base = 0
+    picked_fn = ""
 
     while len(searcher):
         if should_stop is not None and should_stop():
@@ -263,6 +324,13 @@ def explore_frontier(
         # Run the picked state for a batch: stop at a fork, termination, or
         # the batch limit, whichever comes first.
         batch_base = executed()
+        if recording:
+            solver_base = solver_stats.queries
+            static_base = solver_stats.static_answers
+            picked_thread = state.threads.get(state.current_tid)
+            picked_fn = (picked_thread.frames[-1].function
+                         if picked_thread is not None and picked_thread.frames
+                         else "")
         pending = [state]
         for _ in range(max(budget.batch_instructions, 1)):
             successors = executor.step(pending[-1])
@@ -276,6 +344,14 @@ def explore_frontier(
                         searcher.notify("step", succ)
                 break
         stats.instructions += executed() - batch_base
+        if recording and flight is not None:
+            queue, score, strategy = searcher.pick_info()
+            flight.pick(
+                state.sid, queue=queue, score=score, strategy=strategy,
+                function=picked_fn, instructions=executed() - batch_base,
+                solver_queries=solver_stats.queries - solver_base,
+                static_answers=solver_stats.static_answers - static_base,
+            )
 
         for succ in pending:
             if is_goal(succ):
@@ -283,17 +359,26 @@ def explore_frontier(
             if succ.status == "bug":
                 stats.bugs_seen += 1
                 other_bugs.append(succ)
+                if recording:
+                    record_end(succ, "bug")
                 if on_event is not None:
                     emit("bug", detail=succ.bug.summary() if succ.bug else "")
                 continue
             if succ.status == "exited":
                 stats.paths_completed += 1
+                if recording:
+                    record_end(succ, "exited")
                 continue
             if succ.status == "infeasible":
                 stats.paths_infeasible += 1
+                if recording:
+                    record_end(succ, "infeasible")
                 continue
             if succ is not state:
                 states_seen += 1
-            searcher.add(succ)
+            if recording:
+                record_add(succ, fresh=succ is not state)
+            else:
+                searcher.add(succ)
 
     return finish(None, "exhausted")

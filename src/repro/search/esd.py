@@ -86,6 +86,11 @@ class ProximityGuidedSearcher(Searcher):
         self._seq = itertools.count()
         self._live = 0
         self.pruned = 0
+        # The most recent pick's (queue, priority), for flight-recorder
+        # attribution via :meth:`pick_info`.  Two attribute writes per
+        # pick -- noise next to the RNG draw and heap pop.
+        self._last_queue: list[tuple[float, int, dict]] = []
+        self._last_priority = 0.0
         # Map (function, block) -> intermediate-goal indices, used to mark a
         # goal *achieved* the moment a state's pc enters one of its blocks.
         # Achieved goals stop attracting that state's lineage: without this,
@@ -185,11 +190,26 @@ class ProximityGuidedSearcher(Searcher):
             if not candidates:
                 raise IndexError("pick from an empty searcher")
             queue = self._rng.choice(candidates)
-            _, _, token = heapq.heappop(queue)
+            priority, _, token = heapq.heappop(queue)
             if token["live"]:
                 token["live"] = False
                 self._live -= 1
+                self._last_queue = queue
+                self._last_priority = priority
                 return token["state"]
+
+    def pick_info(self) -> tuple[int, float, str]:
+        """Which virtual queue won the last pick and at what priority.
+
+        The queue index is resolved lazily (only the flight recorder asks)
+        against the goal list: index ``i`` is goal ``Gi+1``'s queue, the
+        last index the final goal's.
+        """
+        queue_index = next(
+            (i for i, q in enumerate(self._queues) if q is self._last_queue),
+            -1,
+        )
+        return (queue_index, self._last_priority, "proximity")
 
     def drain(self) -> list[ExecutionState]:
         """Remove every pending state without consuming RNG draws.

@@ -11,7 +11,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from ..api.jobs import TERMINAL_STATES, JobSpec
 
@@ -125,3 +125,47 @@ class ServiceClient:
             if deadline is not None and time.monotonic() >= deadline:
                 return record
             time.sleep(poll)
+
+    def stream(self, job_id: str,
+               since: int = 0) -> Iterator[tuple[str, dict]]:
+        """Follow ``/v1/jobs/<id>/stream``: yield ``(event, data)`` pairs
+        live until the server's terminal ``done`` frame (which is yielded
+        too, carrying the final job record).
+
+        Heartbeat comment frames are filtered out here; they only exist to
+        keep the socket read below ``timeout`` while the job is quiet.
+        """
+        request = urllib.request.Request(
+            f"{self.url}/v1/jobs/{job_id}/stream?since={since}"
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace")[:200]
+            raise ServiceClientError(exc.code, message or exc.reason) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, f"cannot reach service at {self.url}: {exc.reason}"
+            ) from exc
+        with response:
+            event = "message"
+            data_lines: list[str] = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line = end of frame
+                    if data_lines:
+                        yield event, json.loads("\n".join(data_lines))
+                        if event == "done":
+                            return
+                    event = "message"
+                    data_lines = []
+                elif line.startswith(":"):
+                    continue  # heartbeat comment
+                elif line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].lstrip())

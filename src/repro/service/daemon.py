@@ -9,9 +9,23 @@ Wire API (all JSON; no dependencies beyond :mod:`http.server`)::
     GET  /v1/jobs                   list job records
     GET  /v1/jobs/<id>              one job record
     GET  /v1/jobs/<id>/events       lifecycle/progress events (?since=SEQ)
+    GET  /v1/jobs/<id>/stream       live server-sent events (?since=SEQ)
     GET  /v1/jobs/<id>/result       terminal record (409 while in flight)
     POST /v1/jobs/<id>/cancel       cancel queued or running
     GET  /v1/artifacts/<digest>     raw artifact bytes by store digest
+
+``/stream`` wire format (SSE, ``text/event-stream``): each job event is
+one frame -- an ``event:`` line naming the event kind (``state``,
+``progress``, ``flight``, ...), a ``data:`` line carrying the event
+record as compact JSON (including its ``seq``), and a blank line.
+``?since=SEQ`` starts past already-seen events, exactly as on
+``/events``; ``?heartbeat=SECS`` (default 10) bounds the quiet interval
+with ``: heartbeat`` comment frames so client read timeouts never fire
+mid-job.  The stream always terminates with an ``event: done`` frame
+whose data is the terminal job record, then the connection closes
+(``Connection: close`` delimits the stream; there is no Content-Length).
+``repro status JOB --follow`` and :meth:`ServiceClient.stream` consume
+exactly this.
 
 Spool mode watches a directory for ``*.json`` job-spec files -- the
 scriptable, no-HTTP integration path: drop ``fix-1042.json`` in, the file
@@ -28,6 +42,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional
@@ -171,6 +186,10 @@ class _Handler(BaseHTTPRequestHandler):
         elif method == "GET" and action == "events":
             since = int(query.get("since", ["0"])[0])
             self._send_json({"events": service.events(job_id, since=since)})
+        elif method == "GET" and action == "stream":
+            since = int(query.get("since", ["0"])[0])
+            heartbeat = float(query.get("heartbeat", ["10"])[0])
+            self._stream_events(job_id, since, heartbeat)
         elif method == "GET" and action == "result":
             self._send_json(service.result(job_id).to_dict())
         elif method == "POST" and action == "cancel":
@@ -178,6 +197,55 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(service.describe(job_id))
         else:
             self._send_error_json(404, f"no route {method} {self.path}")
+
+    # -- server-sent events ----------------------------------------------------
+
+    def _write_sse(self, event: str, data: dict) -> None:
+        payload = json.dumps(data, separators=(",", ":"))
+        self.wfile.write(f"event: {event}\ndata: {payload}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+    def _stream_events(self, job_id: str, since: int,
+                       heartbeat: float) -> None:
+        """``GET /v1/jobs/<id>/stream``: the ``?since=`` event feed as a
+        live ``text/event-stream``.
+
+        Each job event becomes one SSE frame (``event:`` is the job-event
+        kind, ``data:`` the JSON event); comment frames (``: heartbeat``)
+        keep idle connections alive, and a final ``done`` frame carrying
+        the job record ends the stream when the job turns terminal.  SSE
+        has no Content-Length, so the response closes the connection to
+        delimit the stream (``Connection: close``).
+        """
+        service = self.service
+        service.describe(job_id)  # 404s before headers go out
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        poll = min(0.2, heartbeat)
+        last_write = time.monotonic()
+        try:
+            while True:
+                events = service.events(job_id, since=since)
+                for event in events:
+                    since = max(since, int(event.get("seq", since)))
+                    self._write_sse(event.get("kind") or "message", event)
+                record = service.describe(job_id)
+                if record["state"] in TERMINAL_STATES:
+                    self._write_sse("done", record)
+                    return
+                if events:
+                    last_write = time.monotonic()
+                elif time.monotonic() - last_write >= heartbeat:
+                    self.wfile.write(b": heartbeat\n\n")
+                    self.wfile.flush()
+                    last_write = time.monotonic()
+                time.sleep(poll)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # follower went away; nothing to clean up
 
 
 class _SpoolWatcher(threading.Thread):

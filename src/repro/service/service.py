@@ -42,7 +42,7 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from .. import ir
 from ..api.jobs import (
@@ -70,7 +70,7 @@ from ..core.synthesis import (
     search_from_setup,
 )
 from ..lang import compile_source
-from ..obs import DEFAULT_TIME_BUCKETS, MetricsRegistry, Tracer
+from ..obs import DEFAULT_TIME_BUCKETS, FlightRecorder, MetricsRegistry, Tracer
 from ..schema import canonical_json_bytes, content_digest
 from ..search import EventCallback, StopPredicate
 from ..solver import CounterexampleCache, Solver
@@ -185,6 +185,7 @@ class ReproService:
         default_config: Optional[ESDConfig] = None,
         recover: bool = True,
         trace_jobs: bool = False,
+        record_flight: bool = False,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -195,6 +196,19 @@ class ReproService:
         self.default_config = default_config or ESDConfig()
         self.stats = ServiceStats()
         self.trace_jobs = trace_jobs
+        self.record_flight = record_flight
+        self._started = time.time()
+        # Thread name -> last time the scheduler loop was seen alive, for
+        # the /healthz per-worker heartbeat ages.
+        self._heartbeats: dict[str, float] = {}
+        # Cumulative buffer-pressure counters folded in from finished
+        # jobs' tracers/recorders (the esd_obs_* metric families).
+        self._obs_totals: dict[str, int] = {
+            "trace_dropped_spans": 0,
+            "trace_span_high_water": 0,
+            "flight_dropped_records": 0,
+            "flight_record_high_water": 0,
+        }
 
         self._lock = threading.RLock()
         self._cv = threading.Condition(self._lock)
@@ -334,6 +348,19 @@ class ReproService:
             "esd_wp", lambda: [p.prune_totals for p in programs()],
             help_="weakest-precondition pruning counters across programs")
 
+        def obs_dropped() -> dict[str, int]:
+            with self._lock:
+                return {
+                    "trace_dropped_spans":
+                        self._obs_totals["trace_dropped_spans"],
+                    "flight_dropped_records":
+                        self._obs_totals["flight_dropped_records"],
+                }
+
+        registry.bind_stats(
+            "esd_obs", obs_dropped,
+            help_="observability buffer pressure across finished jobs")
+
         def queue_depth() -> float:
             with self._lock:
                 return float(sum(1 for r in self._records.values()
@@ -371,6 +398,19 @@ class ReproService:
         registry.gauge("esd_solver_cache_hit_rate",
                        "counterexample cache hit rate across programs",
                        fn=cache_hit_rate)
+
+        def obs_high_water(key: str) -> Callable[[], float]:
+            def read() -> float:
+                with self._lock:
+                    return float(self._obs_totals[key])
+            return read
+
+        registry.gauge("esd_obs_trace_span_high_water",
+                       "max spans ever buffered by one job's tracer",
+                       fn=obs_high_water("trace_span_high_water"))
+        registry.gauge("esd_obs_flight_record_high_water",
+                       "max records ever buffered by one job's recorder",
+                       fn=obs_high_water("flight_record_high_water"))
         registry.histogram("esd_job_seconds",
                            "wall-clock seconds per completed job",
                            buckets=DEFAULT_TIME_BUCKETS)
@@ -387,7 +427,10 @@ class ReproService:
     def health(self) -> dict:
         """Liveness + load summary (the daemon's enriched ``/healthz``)."""
         from .. import __version__
+        from ..api.jobs import JOBRECORD_FORMAT, JOBSPEC_FORMAT
+        from ..obs import FLIGHT_FORMAT, METRICS_FORMAT, TRACE_FORMAT
 
+        now = time.time()
         with self._lock:
             states: dict[str, int] = {}
             for record in self._records.values():
@@ -401,14 +444,28 @@ class ReproService:
             for p in self._programs.values():
                 cache_lookups += p.solver_cache.stats.lookups
                 cache_hits += p.solver_cache.stats.hits
+            heartbeats = {
+                name: round(now - seen, 3)
+                for name, seen in sorted(self._heartbeats.items())
+            }
+            obs = dict(self._obs_totals)
         return {
             "ok": True,
             "version": __version__,
+            "uptime_seconds": round(now - self._started, 3),
+            "schemas": {
+                "jobspec": JOBSPEC_FORMAT,
+                "jobrecord": JOBRECORD_FORMAT,
+                "trace": TRACE_FORMAT,
+                "metrics": METRICS_FORMAT,
+                "searchlog": FLIGHT_FORMAT,
+            },
             "jobs": states,
             "queue_depth": queue_depth,
             "in_flight": in_flight,
             "workers": {"alive": alive, "busy": busy,
-                        "max": self.max_workers},
+                        "max": self.max_workers,
+                        "heartbeat_age_seconds": heartbeats},
             "programs": programs,
             "solver_cache": {
                 "lookups": cache_lookups,
@@ -416,6 +473,7 @@ class ReproService:
                 "hit_rate": (cache_hits / cache_lookups
                              if cache_lookups else 0.0),
             },
+            "obs": obs,
             "stats": self.stats.to_dict(),
         }
 
@@ -688,8 +746,10 @@ class ReproService:
         return None
 
     def _scheduler_loop(self) -> None:
+        worker = threading.current_thread().name
         while True:
             with self._cv:
+                self._heartbeats[worker] = time.time()
                 job_id = None
                 while not self._stop.is_set():
                     job_id = self._pop_runnable()
@@ -698,6 +758,7 @@ class ReproService:
                     # Every queue/state change notifies; the timeout is a
                     # safety net, not the wake mechanism.
                     self._cv.wait(5.0)
+                    self._heartbeats[worker] = time.time()
                 if job_id is None:
                     return
                 record = self._records[job_id]
@@ -718,6 +779,7 @@ class ReproService:
             finally:
                 with self._lock:
                     self._busy -= 1
+                    self._heartbeats[worker] = time.time()
 
     def _execute(self, job_id: str, record: JobRecord,
                  cancel: threading.Event) -> None:
@@ -756,11 +818,14 @@ class ReproService:
                                  {"program": program.key,
                                   "bug_type": report.bug_type})
                     if tracer is not None else None)
+        # Per-job flight recorder, same sharing rules as the tracer: the
+        # shared solver is never instrumented, only this job's search loop.
+        flight = FlightRecorder() if self.record_flight else None
 
         setup = build_search_setup(
             program.module, report, config,
             statics=program.statics, solver=program.solver,
-            tracer=tracer,
+            tracer=tracer, flight=flight,
         )
 
         # Job bookkeeping (checkpoint restore, state persist) is timed
@@ -803,7 +868,7 @@ class ReproService:
             program.module, setup, config,
             frontier=frontier, count_frontier=count_frontier,
             on_progress=on_progress, should_stop=should_stop,
-            tracer=tracer,
+            tracer=tracer, flight=flight,
         )
         program.absorb_executor(setup.executor)
         trace_digest = None
@@ -820,6 +885,18 @@ class ReproService:
                 )),
                 kind="trace",
             )
+        flight_digest = None
+        flight_counts = None
+        if flight is not None:
+            flight_digest = self.store.put_bytes(
+                canonical_json_bytes(flight.to_document(
+                    meta={"job_id": job_id, "program": program.key,
+                          "bug_type": report.bug_type}
+                )),
+                kind="searchlog",
+            )
+            flight_counts = flight.counts()
+        self._absorb_obs(tracer, flight)
         if prior is not None:
             result.instructions += prior.instructions
             result.states_explored += prior.states_explored
@@ -834,6 +911,17 @@ class ReproService:
             record.result = _result_summary(result)
             if trace_digest is not None:
                 record.artifacts["trace"] = trace_digest
+            if flight_digest is not None and flight_counts is not None:
+                record.artifacts["flight"] = flight_digest
+                ends = flight_counts["ends"]
+                record.add_event(
+                    "flight",
+                    detail=(f"picks={flight_counts['picks']} "
+                            f"adds={flight_counts['adds']} "
+                            f"drops={flight_counts['drops']} "
+                            f"ends={sum(ends.values())} "
+                            f"reason={flight_counts['reason'] or '?'}"),
+                )
             if result.found:
                 record.artifacts["execution"] = self.store.put_bytes(
                     result.execution_file.canonical_bytes(), kind="execution"
@@ -974,6 +1062,27 @@ class ReproService:
     def _persist(self, record: JobRecord) -> None:
         self.store.save_job(record.job_id, record.to_dict())
 
+    def _absorb_obs(self, tracer: Optional[Tracer],
+                    flight: Optional[FlightRecorder]) -> None:
+        """Fold a finished job's observer buffer pressure into the
+        cumulative ``esd_obs_*`` sources (dropped counts sum; high-water
+        marks keep the max across jobs)."""
+        if tracer is None and flight is None:
+            return
+        with self._lock:
+            if tracer is not None:
+                self._obs_totals["trace_dropped_spans"] += tracer.dropped
+                self._obs_totals["trace_span_high_water"] = max(
+                    self._obs_totals["trace_span_high_water"],
+                    tracer.high_water,
+                )
+            if flight is not None:
+                self._obs_totals["flight_dropped_records"] += flight.dropped
+                self._obs_totals["flight_record_high_water"] = max(
+                    self._obs_totals["flight_record_high_water"],
+                    flight.high_water,
+                )
+
     # -- the inline path (ReproSession's engine) -------------------------------
 
     def synthesize(
@@ -989,6 +1098,7 @@ class ReproService:
         checkpoint_interval: float = 5.0,
         handle_signals: bool = False,
         tracer: Optional[Tracer] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> SynthesisResult:
         """Synchronous synthesis on the caller's thread against the shared
         program context -- the engine behind ``ReproSession.synthesize``.
@@ -996,7 +1106,9 @@ class ReproService:
         ``workers > 1`` (or a ``checkpoint_path``) routes the search through
         :class:`~repro.distrib.ParallelExplorer`; ``should_stop`` callers
         (portfolio variants on threads) always get the serial engine, since
-        forking a pool from a multi-threaded parent is not safe.
+        forking a pool from a multi-threaded parent is not safe.  The
+        flight recorder covers the serial engine only -- a pool run's picks
+        happen in the worker processes, so ``flight`` is ignored there.
         """
         config = config or self.default_config
         use_pool = workers > 1 or checkpoint_path is not None
@@ -1031,9 +1143,12 @@ class ReproService:
         # stub the serial engine; the sink folds the finished run's
         # executor counters into the program's totals (the registry's
         # ``esd_exec_*`` source) before the executor is dropped.
-        return esd_synthesize(
+        result = esd_synthesize(
             program.module, report, config,
             statics=program.statics, solver=program.solver,
             on_progress=on_progress, should_stop=should_stop,
-            tracer=tracer, executor_sink=program.absorb_executor,
+            tracer=tracer, flight=flight,
+            executor_sink=program.absorb_executor,
         )
+        self._absorb_obs(tracer, flight)
+        return result

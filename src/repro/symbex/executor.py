@@ -171,6 +171,12 @@ class Executor:
         # (never consulted in step() -- the hot loop stays telemetry-free;
         # bug discoveries are rare enough to record as instant marks).
         self.tracer = None
+        # Optional repro.obs flight recorder, attached the same way.  The
+        # engine does the per-pick recording from outside; the executor
+        # only contributes rare instant marks (bug discoveries), and
+        # attributes its kills by tagging ``state.meta['killed']`` at the
+        # pruning sites, which the engine reads when the state comes back.
+        self.flight = None
 
     # ------------------------------------------------------------------
     # State construction
@@ -296,6 +302,10 @@ class Executor:
         if tracer is not None and tracer.enabled:
             tracer.mark(f"bug:{kind.value}", "bug",
                         {"line": instr.line, "tid": state.current_tid})
+        flight = self.flight
+        if flight is not None and flight.enabled:
+            flight.mark(f"bug:{kind.value}",
+                        f"line={instr.line} tid={state.current_tid}")
 
     # ------------------------------------------------------------------
     # Value evaluation

@@ -174,6 +174,27 @@ class TestDocument:
         blob = json.dumps(doc, sort_keys=True)
         assert json.loads(blob) == doc
 
+    def test_embedded_metrics_snapshot_matches_totals(self, programs):
+        from repro.obs import check_metrics_document
+
+        doc = run_corpus(seed=99, count=6, programs=programs,
+                         repair_every=1)
+        snap = check_metrics_document(doc["metrics"])
+        assert snap["meta"] == {"source": "corpus", "seed": 99,
+                                "requested": 6}
+        values = {name: entry["value"]
+                  for name, entry in snap["metrics"].items()}
+        totals = doc["totals"]
+        for stage in ("selected", "manifested", "reproduced",
+                      "repair_attempted", "repaired", "top3"):
+            assert values[f"esd_corpus_{stage}_total"] == totals[stage]
+        # The full counter family is always present, zeros included, and
+        # the statuses partition the selection.
+        assert values["esd_corpus_selected_total"] == (
+            values["esd_corpus_invalid_total"]
+            + values["esd_corpus_benign_total"]
+            + values["esd_corpus_manifested_total"])
+
 
 class TestMutantWorkload:
     def test_registered_mutant_is_first_class(self, programs):

@@ -1,0 +1,472 @@
+"""The flight recorder, ``repro explain``, SSE job streaming, and the
+benchmark history gate -- plus the invariant everything rides on: a
+recorded synthesis produces byte-identical artifacts to an unrecorded
+one."""
+
+import json
+
+import pytest
+
+from repro.api import ReproSession
+from repro.api.jobs import FOUND, JobSpec
+from repro.cli import repro_main
+from repro.obs import (
+    FlightRecorder,
+    check_flight_document,
+    diff_flights,
+    explain_flight,
+    load_flight,
+    render_diff,
+    render_explain,
+)
+from repro.obs.history import (
+    append_entry,
+    compare_latest,
+    flatten_numeric,
+    history_path,
+    load_history,
+)
+from repro.obs.history import main as history_main
+from repro.schema import SchemaVersionError
+from repro.service import ReproService
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.daemon import ServiceDaemon
+from repro.workloads import get
+
+# ---------------------------------------------------------------------------
+# Recorder mechanics
+
+
+class TestFlightRecorder:
+    def test_disabled_recorder_is_inert(self):
+        flight = FlightRecorder(enabled=False)
+        flight.pick(1, queue=0, score=1.0, strategy="s", function="f",
+                    instructions=10, solver_queries=1, static_answers=0)
+        flight.add(2, 1)
+        flight.drop(3, 1, "wp-dead")
+        flight.end(2, 1, "goal")
+        flight.mark("bug")
+        flight.done("goal")
+        assert len(flight) == 0
+        counts = flight.counts()
+        assert counts["picks"] == 0 and counts["reason"] == ""
+
+    def test_aggregates_and_lineage(self):
+        flight = FlightRecorder()
+        flight.pick(1, queue=2, score=100.0, strategy="proximity",
+                    function="main", instructions=50, solver_queries=3,
+                    static_answers=1)
+        flight.add(2, 1)
+        flight.add(3, 1)
+        flight.drop(3, 1, "distance-inf")
+        flight.end(2, 1, "goal")
+        flight.done("goal")
+        counts = flight.counts()
+        assert counts["picks"] == 1 and counts["adds"] == 2
+        assert counts["drops"] == 1
+        assert counts["ends"] == {"goal": 1}
+        assert counts["kills"] == {"distance-inf": 1}
+        assert counts["reason"] == "goal"
+        kinds = [r["k"] for r in flight.records()]
+        assert kinds == ["pick", "add", "add", "drop", "end", "done"]
+
+    def test_bounded_buffer_keeps_exact_aggregates(self):
+        flight = FlightRecorder(max_records=3)
+        for sid in range(10):
+            flight.end(sid, 0, "infeasible", why="wp-dead")
+        assert len(flight) == 3
+        counts = flight.counts()
+        assert counts["dropped"] == 7
+        assert counts["high_water"] == 3
+        # The aggregates never lose a state even though the buffer did.
+        assert counts["ends"] == {"infeasible": 10}
+        assert counts["kills"] == {"wp-dead": 10}
+
+    def test_document_round_trip_and_totals_merge(self, tmp_path):
+        flight = FlightRecorder()
+        flight.pick(1, queue=0, score=9.0, strategy="proximity",
+                    function="f", instructions=5, solver_queries=0,
+                    static_answers=0)
+        flight.end(1, 0, "goal")
+        flight.done("goal")
+        flight.totals["states_explored"] = 1
+        doc = flight.to_document(meta={"program": "demo"},
+                                 totals={"solver_queries": 4})
+        check_flight_document(doc)
+        assert doc["format"] == "esd-searchlog-v1"
+        assert doc["meta"]["program"] == "demo"
+        # Owner-filled totals merge under the export-time ones.
+        assert doc["totals"] == {"states_explored": 1, "solver_queries": 4}
+        path = tmp_path / "flight.json"
+        path.write_text(json.dumps(doc))
+        assert load_flight(path)["records"] == doc["records"]
+
+    def test_rejects_wrong_format_and_malformed_records(self):
+        with pytest.raises(SchemaVersionError):
+            check_flight_document({"format": "esd-trace-v1",
+                                   "schema_version": 1})
+        with pytest.raises(ValueError):
+            check_flight_document({"format": "esd-searchlog-v1",
+                                   "schema_version": 1, "counts": {},
+                                   "records": [{"sid": 1}]})
+
+
+# ---------------------------------------------------------------------------
+# Recorded synthesis: byte identity + the explain acceptance gate
+
+# Table 1 workloads with deterministic serial artifacts (same set the
+# tracer identity tests pin) plus the real-Python workloads.
+IDENTITY_WORKLOADS = ("tac", "paste", "mknod", "mkdir", "mkfifo", "minidb")
+PY_WORKLOADS = ("pytally", "pyledger", "pyrlock")
+
+
+class TestRecordedSynthesis:
+    @pytest.mark.parametrize("name", IDENTITY_WORKLOADS)
+    def test_artifacts_byte_identical_recorded_vs_unrecorded(self, name):
+        workload = get(name)
+        report = workload.make_report()
+        plain = ReproSession(workload.compile(), workers=1).synthesize(report)
+        recorded_session = ReproSession(workload.compile(), workers=1,
+                                        flight=True)
+        recorded = recorded_session.synthesize(report)
+        assert plain.found and recorded.found
+        assert (plain.execution_file.canonical_bytes()
+                == recorded.execution_file.canonical_bytes())
+        check_flight_document(recorded_session.flight_document())
+
+    @pytest.mark.parametrize("name", PY_WORKLOADS)
+    def test_python_workloads_byte_identical_under_observers(self, name):
+        # One plain run pins the artifact; a traced run and a recorded run
+        # must both reproduce it bit for bit.
+        workload = get(name)
+        report = workload.make_report()
+        plain = ReproSession(workload.compile(), workers=1).synthesize(report)
+        traced = ReproSession(workload.compile(), workers=1,
+                              trace=True).synthesize(report)
+        recorded = ReproSession(workload.compile(), workers=1,
+                                flight=True).synthesize(report)
+        assert plain.found and traced.found and recorded.found
+        baseline = plain.execution_file.canonical_bytes()
+        assert traced.execution_file.canonical_bytes() == baseline
+        assert recorded.execution_file.canonical_bytes() == baseline
+
+    def test_explain_attribution_gate_and_goal_path(self):
+        workload = get("paste")
+        session = ReproSession(workload.compile(), workers=1, flight=True)
+        assert session.synthesize(workload.make_report()).found
+        doc = session.flight_document()
+        report = explain_flight(doc)
+        assert report["outcome"] == "goal"
+        # Acceptance gate: >= 95% of explored states are attributed.
+        assert report["attribution"] >= 0.95
+        assert report["picks"] == doc["counts"]["picks"] > 0
+        assert report["goal_path"], "goal run must reconstruct its chain"
+        assert report["goal_path"][-1]["reason"] == "goal"
+        assert any(step.get("picks") for step in report["goal_path"])
+        assert sum(report["subsystems"].values()) > 0
+        assert report["functions"][0]["instructions"] > 0
+        text = render_explain(report)
+        assert "goal path decision chain" in text
+
+
+# ---------------------------------------------------------------------------
+# Explain on synthetic logs: subsystem folding and diffs
+
+
+def synthetic_flight(picks, ends):
+    """A minimal valid document: `picks` (sid, fn, instr) pick records,
+    `ends` (sid, parent, reason, why) terminations."""
+    flight = FlightRecorder()
+    for sid, fn, instr in picks:
+        flight.pick(sid, queue=1, score=100.0, strategy="proximity",
+                    function=fn, instructions=instr, solver_queries=1,
+                    static_answers=0)
+    for sid, parent, reason, why in ends:
+        if parent:
+            flight.add(sid, parent)
+        flight.end(sid, parent, reason, why=why)
+    flight.done("goal" if any(e[2] == "goal" for e in ends) else "exhausted")
+    return flight.to_document(
+        totals={"states_explored": len({e[0] for e in ends})})
+
+
+class TestExplain:
+    def test_subsystem_folding(self):
+        doc = synthetic_flight(
+            picks=[(1, "main", 100)],
+            ends=[(2, 1, "infeasible", "wp-dead"),
+                  (3, 1, "infeasible", ""),
+                  (4, 1, "exited", ""),
+                  (5, 1, "infeasible", "step-limit"),
+                  (6, 1, "goal", "")],
+        )
+        report = explain_flight(doc)
+        subs = report["subsystems"]
+        assert subs["wp"] == 1          # wp-dead -> wp
+        assert subs["solver"] == 1      # untagged infeasible -> solver
+        assert subs["completed"] == 1   # exited -> completed
+        assert subs["budget"] == 1      # step-limit -> budget
+        assert subs["goal"] == 1
+
+    def test_goal_path_is_root_first_lineage(self):
+        doc = synthetic_flight(
+            picks=[(1, "main", 10), (2, "helper", 20), (2, "helper", 5)],
+            ends=[(2, 1, "goal", ""), (3, 1, "infeasible", "")],
+        )
+        report = explain_flight(doc)
+        assert [step["sid"] for step in report["goal_path"]] == [1, 2]
+        leaf = report["goal_path"][-1]
+        assert leaf["picks"] == 2 and leaf["instructions"] == 25
+        assert leaf["function"] == "helper"
+
+    def test_attribution_uses_engine_denominator(self):
+        doc = synthetic_flight(picks=[], ends=[(1, 0, "exited", "")])
+        doc["totals"]["states_explored"] = 4  # 3 states never recorded
+        report = explain_flight(doc)
+        assert report["attribution"] == 0.25
+
+    def test_diff_ranks_function_movers(self):
+        a = synthetic_flight(picks=[(1, "main", 100)],
+                             ends=[(1, 0, "goal", "")])
+        b = synthetic_flight(
+            picks=[(1, "main", 100), (2, "helper", 900)],
+            ends=[(1, 0, "goal", ""), (2, 1, "infeasible", "")],
+        )
+        diff = diff_flights(a, b)
+        assert diff["headline"]["picks"]["delta"] == 1
+        assert diff["headline"]["states_explored"] == {
+            "a": 1, "b": 2, "delta": 1, "ratio": 2.0}
+        assert diff["functions"][0]["function"] == "helper"
+        assert diff["functions"][0]["delta"] == 900
+        assert diff["ends"]["infeasible"]["delta"] == 1
+        assert "largest movers" in render_diff(diff)
+
+    def test_cli_explain_and_diff(self, tmp_path, capsys):
+        workload = get("tac")
+        program = tmp_path / "tac.minic"
+        program.write_text(workload.source)
+        dump = tmp_path / "report.json"
+        dump.write_text(json.dumps(workload.make_report().to_dict()))
+        flight_path = tmp_path / "flight.json"
+        assert repro_main(["synth", str(dump), str(program), "--crash",
+                           "-o", str(tmp_path / "exec.json"),
+                           "--workers", "1",
+                           "--flight", str(flight_path)]) == 0
+        capsys.readouterr()
+
+        assert repro_main(["explain", str(flight_path)]) == 0
+        assert "outcome: goal" in capsys.readouterr().out
+
+        assert repro_main(["explain", str(flight_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["attribution"] >= 0.95
+
+        assert repro_main(["explain", str(flight_path),
+                           "--diff", str(flight_path), "--json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["headline"]["picks"]["delta"] == 0
+
+    def test_cli_explain_rejects_non_flight_file(self, tmp_path, capsys):
+        bogus = tmp_path / "not_a_flight.json"
+        bogus.write_text(json.dumps({"format": "esd-trace-v1",
+                                     "schema_version": 1}))
+        assert repro_main(["explain", str(bogus)]) == 1
+        assert "not a search flight log" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# SSE streaming + the flight-aware service surface
+
+
+@pytest.fixture(scope="module")
+def flight_daemon():
+    service = ReproService(max_workers=2, trace_jobs=True, record_flight=True)
+    daemon = ServiceDaemon(service, port=0)
+    daemon.start()
+    yield daemon
+    daemon.stop(graceful=False)
+
+
+@pytest.fixture(scope="module")
+def flight_client(flight_daemon):
+    return ServiceClient(flight_daemon.url)
+
+
+class TestSseStreaming:
+    def test_stream_yields_events_then_terminal_done(self, flight_client):
+        client = flight_client
+        job_id = client.submit(JobSpec(workload="tac"))["job_id"]
+        frames = list(client.stream(job_id))
+        assert frames, "stream produced no frames"
+        events = [event for event, _ in frames]
+        assert events[-1] == "done"
+        assert "flight" in events  # flight summary reaches followers
+        done = frames[-1][1]
+        assert done["job_id"] == job_id and done["state"] == FOUND
+        # Every non-terminal frame is a job event with a sequence number.
+        seqs = [data["seq"] for event, data in frames[:-1]]
+        assert seqs == sorted(seqs)
+
+    def test_stream_since_skips_replayed_events(self, flight_client):
+        client = flight_client
+        job_id = client.submit(JobSpec(workload="mkdir"))["job_id"]
+        client.wait(job_id, timeout=120)
+        full = list(client.stream(job_id))
+        seqs = [data["seq"] for event, data in full[:-1]]
+        resumed = list(client.stream(job_id, since=seqs[0]))
+        resumed_seqs = [data["seq"] for event, data in resumed[:-1]]
+        assert resumed_seqs == [s for s in seqs if s > seqs[0]]
+        assert resumed[-1][0] == "done"
+
+    def test_stream_unknown_job_404(self, flight_client):
+        with pytest.raises(ServiceClientError) as err:
+            list(flight_client.stream("jr-missing"))
+        assert err.value.status == 404
+
+    def test_flight_artifact_fetch_and_explain(self, flight_client):
+        client = flight_client
+        job_id = client.submit(JobSpec(workload="paste"))["job_id"]
+        record = client.wait(job_id, timeout=120)
+        assert record["state"] == FOUND
+        assert "flight" in record["artifacts"]
+        doc = check_flight_document(
+            json.loads(client.fetch_job_artifact(job_id, kind="flight")))
+        assert doc["meta"]["job_id"] == job_id
+        assert explain_flight(doc)["attribution"] >= 0.95
+
+    def test_cli_status_follow(self, flight_daemon, capsys):
+        url = flight_daemon.url
+        assert repro_main(["submit", "--workload", "mkfifo", "--url", url,
+                           "--wait", "--json"]) == 0
+        job_id = json.loads(capsys.readouterr().out)["job_id"]
+        assert repro_main(["status", job_id, "--url", url, "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "flight" in out
+        assert f"job {job_id}: FOUND" in out
+
+    def test_healthz_uptime_schemas_heartbeats_and_obs(self, flight_client):
+        health = flight_client.health()
+        assert health["uptime_seconds"] >= 0
+        schemas = health["schemas"]
+        assert schemas["searchlog"] == "esd-searchlog-v1"
+        assert schemas["jobrecord"] == "esd-jobrecord-v1"
+        ages = health["workers"]["heartbeat_age_seconds"]
+        assert ages and all(age >= 0 for age in ages.values())
+        assert set(health["obs"]) == {
+            "trace_dropped_spans", "trace_span_high_water",
+            "flight_dropped_records", "flight_record_high_water"}
+
+    def test_obs_metric_families_exposed(self, flight_client):
+        snap = flight_client.metrics()["metrics"]
+        assert "esd_obs_flight_dropped_records_total" in snap
+        assert "esd_obs_trace_dropped_spans_total" in snap
+        assert snap["esd_obs_flight_record_high_water"]["type"] == "gauge"
+        # Finished flight-recorded jobs pushed the high-water mark up.
+        assert snap["esd_obs_flight_record_high_water"]["value"] > 0
+        text = flight_client.metrics_text()
+        assert "esd_obs_flight_record_high_water" in text
+        assert "esd_obs_trace_span_high_water" in text
+
+
+# ---------------------------------------------------------------------------
+# Benchmark history
+
+
+class TestBenchHistory:
+    def record(self, seconds):
+        return {
+            "bench": "demo",
+            "one_shot": {"wall_seconds": seconds, "queries": 100},
+            "workloads": [
+                {"workload": "tac", "search_seconds": seconds / 2},
+                {"workload": "paste", "search_seconds": seconds / 4},
+            ],
+        }
+
+    def test_append_load_and_host_sanitization(self, tmp_path):
+        path = append_entry(tmp_path, "demo", self.record(1.0),
+                            host="ci node/1")
+        assert path == history_path(tmp_path, "demo", "ci node/1")
+        assert path.name == "demo.ci_node_1.jsonl"
+        append_entry(tmp_path, "demo", self.record(1.1), host="ci node/1")
+        entries = load_history(path)
+        assert len(entries) == 2
+        assert entries[0]["record"]["one_shot"]["wall_seconds"] == 1.0
+
+    def test_flatten_keys_list_rows_by_workload(self):
+        flat = flatten_numeric(self.record(2.0))
+        assert flat["one_shot.wall_seconds"] == 2.0
+        assert flat["workloads[tac].search_seconds"] == 1.0
+        assert flat["workloads[paste].search_seconds"] == 0.5
+        assert "bench" not in flat  # strings are not metrics
+
+    def test_compare_passes_then_flags_regression(self, tmp_path):
+        path = append_entry(tmp_path, "demo", self.record(1.0), host="h")
+        append_entry(tmp_path, "demo", self.record(1.2), host="h")
+        report = compare_latest(path, max_ratio=1.5)
+        assert report["passed"] and report["compared"] == 3
+
+        append_entry(tmp_path, "demo", self.record(2.5), host="h")
+        report = compare_latest(path, max_ratio=1.5)
+        assert not report["passed"]
+        metrics = {r["metric"] for r in report["regressions"]}
+        assert "one_shot.wall_seconds" in metrics
+        # Counters never gate: only *seconds* patterns are compared.
+        assert all("queries" not in m for m in metrics)
+
+    def test_min_baseline_resists_creeping_regressions(self, tmp_path):
+        path = append_entry(tmp_path, "demo", self.record(1.0), host="h")
+        # Three +40% steps: each passes vs the previous, not vs the min.
+        for seconds in (1.4, 1.96, 2.74):
+            append_entry(tmp_path, "demo", self.record(seconds), host="h")
+        assert compare_latest(path, max_ratio=1.5,
+                              baseline="previous")["passed"]
+        assert not compare_latest(path, max_ratio=1.5,
+                                  baseline="min")["passed"]
+
+    def test_sub_threshold_baselines_are_skipped(self, tmp_path):
+        path = append_entry(tmp_path, "demo", self.record(0.0001), host="h")
+        append_entry(tmp_path, "demo", self.record(0.0009), host="h")
+        report = compare_latest(path, max_ratio=1.5)
+        assert report["passed"] and report["compared"] == 0
+
+    def test_module_cli_exit_codes(self, tmp_path, capsys):
+        assert history_main(["compare", str(tmp_path), "--bench", "ghost",
+                             "--host", "h"]) == 2  # no history yet
+        record_file = tmp_path / "record.json"
+        record_file.write_text(json.dumps(self.record(1.0)))
+        assert history_main(["append", str(tmp_path), str(record_file),
+                             "--bench", "demo", "--host", "h"]) == 0
+        append_entry(tmp_path, "demo", self.record(5.0), host="h")
+        assert history_main(["compare", str(tmp_path), "--bench", "demo",
+                             "--host", "h"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_repro_bench_history_and_compare(self, tmp_path, capsys):
+        history_dir = tmp_path / "history"
+        args = ["bench", "--workload", "tac", "--reports", "1",
+                "--history", str(history_dir)]
+        assert repro_main(args) == 0
+        # A generous gate keeps run-2-vs-run-1 jitter-proof.
+        assert repro_main(args + ["--compare",
+                                  "--max-regression", "50"]) == 0
+        path = history_path(history_dir, "bench_tac")
+        assert len(load_history(path)) == 2
+        capsys.readouterr()
+
+        # Plant a baseline at the minimum comparable timing; with a
+        # near-zero gate the next real run must read as a regression and
+        # fail the bench, whatever its absolute speed.
+        def floored(obj):
+            if isinstance(obj, dict):
+                return {k: (0.001 if isinstance(v, (int, float))
+                            and not isinstance(v, bool) and "seconds" in k
+                            else floored(v)) for k, v in obj.items()}
+            if isinstance(obj, list):
+                return [floored(v) for v in obj]
+            return obj
+
+        append_entry(history_dir, "bench_tac",
+                     floored(load_history(path)[-1]["record"]))
+        assert repro_main(args + ["--compare",
+                                  "--max-regression", "0.01"]) == 1
